@@ -1,0 +1,20 @@
+//! Bench for Fig. 5: times the 15-kernel roofline sweep (cycle
+//! simulations + extrapolations) and prints the series once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntx_model::roofline::Roofline;
+
+fn bench(c: &mut Criterion) {
+    let points = ntx_bench::fig5_points();
+    eprintln!("{}", ntx_bench::format::fig5(&points, &Roofline::default()));
+    c.bench_function("fig5/full_kernel_sweep", |b| {
+        b.iter(ntx_bench::fig5_points);
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Bench for Fig. 6: times the efficiency-comparison computation and
+//! prints the bars once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntx_dnn::TrainingModel;
+use ntx_model::compare::figure6;
+
+fn bench(c: &mut Criterion) {
+    eprintln!(
+        "{}",
+        ntx_bench::format::fig6(&figure6(&TrainingModel::default()))
+    );
+    c.bench_function("fig6/efficiency_bars", |b| {
+        b.iter(|| figure6(&TrainingModel::default()));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

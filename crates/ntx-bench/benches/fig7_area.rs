@@ -1,0 +1,13 @@
+//! Bench for Fig. 7: times the area-efficiency computation and prints
+//! the bars once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntx_model::compare::figure7;
+
+fn bench(c: &mut Criterion) {
+    eprintln!("{}", ntx_bench::format::fig7(&figure7()));
+    c.bench_function("fig7/area_bars", |b| b.iter(figure7));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

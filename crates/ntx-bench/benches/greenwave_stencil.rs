@@ -1,0 +1,36 @@
+//! Bench for the §IV Green-Wave comparison: times the stencil model
+//! evaluation and a real in-TCDM Laplacian simulation; prints the
+//! comparison once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntx_kernels::stencil::Laplace3dKernel;
+use ntx_sim::{Cluster, ClusterConfig};
+
+fn bench(c: &mut Criterion) {
+    eprintln!(
+        "{}",
+        ntx_bench::format::greenwave(&ntx_bench::greenwave_rows())
+    );
+    c.bench_function("greenwave/model_evaluation", |b| {
+        b.iter(ntx_bench::greenwave_rows);
+    });
+    let grid = ntx_bench::experiments::test_data(16 * 16 * 16, 3);
+    c.bench_function("greenwave/lap3d_16c_cycle_sim", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::new(ClusterConfig::default());
+            Laplace3dKernel {
+                depth: 16,
+                height: 16,
+                width: 16,
+            }
+            .run(&mut cluster, &grid)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Bench for the §II-C precision study: times the wide-accumulator
+//! RMSE experiment and prints the result once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    eprintln!(
+        "{}",
+        ntx_bench::format::precision(&ntx_bench::precision_experiment())
+    );
+    c.bench_function("precision/conv_layer_rmse", |b| {
+        b.iter(ntx_bench::precision_experiment);
+    });
+    // Micro-benchmark of the accumulator itself.
+    let data = ntx_bench::experiments::test_data(4096, 7);
+    c.bench_function("precision/wide_accumulator_4k_macs", |b| {
+        b.iter(|| {
+            let mut acc = ntx_fpu::WideAccumulator::new();
+            for pair in data.chunks_exact(2) {
+                acc.add_product(pair[0], pair[1]);
+            }
+            acc.round()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Bench for Table I: times the streaming 3×3-convolution simulation
+//! that produces the cluster's figures of merit, and prints the
+//! reproduced table once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let report = ntx_bench::table1_report();
+    eprintln!("{}", ntx_bench::format::table1(&report));
+    c.bench_function("table1/conv3x3_streaming_sim", |b| {
+        b.iter(ntx_bench::table1_report);
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench for Table II: times the full 9-configuration × 6-network
+//! training-efficiency evaluation and prints the reproduced table once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntx_dnn::TrainingModel;
+use ntx_model::table2::this_work_rows;
+
+fn bench(c: &mut Criterion) {
+    let rows = this_work_rows(&TrainingModel::default());
+    let paper = [22.5, 29.3, 36.7, 35.9, 47.5, 60.4, 70.6, 76.0, 78.7];
+    eprintln!(
+        "{}",
+        ntx_bench::format::table2(
+            &rows,
+            &ntx_model::compare::accelerators(),
+            &ntx_model::compare::gpus(),
+            &paper
+        )
+    );
+    c.bench_function("table2/nine_rows_six_networks", |b| {
+        b.iter(|| this_work_rows(&TrainingModel::default()));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Prints the Fig. 5 roofline reproduction plus the §III-C AXI sweep.
+use ntx_model::roofline::Roofline;
+fn main() {
+    let points = ntx_bench::fig5_points();
+    let roofline = Roofline::default();
+    print!("{}", ntx_bench::format::fig5(&points, &roofline));
+    println!("\nAXI-width sweep (SIII-C):");
+    for words in [1u32, 2, 4] {
+        let r = Roofline::with_axi_words(words);
+        println!(
+            "  {:>3}-bit port: {:>5.0} GB/s, ridge at {:.1} flop/B",
+            64 * words,
+            r.peak_bandwidth / 1e9,
+            r.ridge()
+        );
+    }
+}

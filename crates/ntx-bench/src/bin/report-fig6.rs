@@ -1,0 +1,5 @@
+//! Prints the Fig. 6 energy-efficiency comparison.
+fn main() {
+    let f = ntx_model::compare::figure6(&ntx_dnn::TrainingModel::default());
+    print!("{}", ntx_bench::format::fig6(&f));
+}

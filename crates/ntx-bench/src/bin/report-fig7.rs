@@ -1,0 +1,5 @@
+//! Prints the Fig. 7 area-efficiency comparison.
+fn main() {
+    let f = ntx_model::compare::figure7();
+    print!("{}", ntx_bench::format::fig7(&f));
+}

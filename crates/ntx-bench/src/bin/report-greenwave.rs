@@ -1,0 +1,5 @@
+//! Prints the §IV Green-Wave stencil comparison.
+fn main() {
+    let rows = ntx_bench::greenwave_rows();
+    print!("{}", ntx_bench::format::greenwave(&rows));
+}

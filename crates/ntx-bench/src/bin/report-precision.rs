@@ -1,0 +1,5 @@
+//! Prints the §II-C deferred-rounding precision experiment.
+fn main() {
+    let r = ntx_bench::precision_experiment();
+    print!("{}", ntx_bench::format::precision(&r));
+}

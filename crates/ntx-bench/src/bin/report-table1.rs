@@ -1,0 +1,14 @@
+//! Prints the Table I reproduction (cluster figures of merit).
+fn main() {
+    let r = ntx_bench::table1_report();
+    print!("{}", ntx_bench::format::table1(&r));
+    println!("\nFigure 4 — floorplan breakdown (22FDX)");
+    for c in ntx_model::area::cluster_breakdown() {
+        println!("  {:<28} {:>6.3} mm2", c.name, c.mm2);
+    }
+    println!(
+        "  outline {:.3} mm2, placement density {:.0} % (paper: 0.51 mm2, 59 %)",
+        ntx_model::area::outline_mm2(),
+        ntx_model::area::placement_density() * 100.0
+    );
+}

@@ -1,0 +1,14 @@
+//! Prints the Table II reproduction (DNN training efficiency).
+fn main() {
+    let rows = ntx_model::table2::this_work_rows(&ntx_dnn::TrainingModel::default());
+    let paper = [22.5, 29.3, 36.7, 35.9, 47.5, 60.4, 70.6, 76.0, 78.7];
+    print!(
+        "{}",
+        ntx_bench::format::table2(
+            &rows,
+            &ntx_model::compare::accelerators(),
+            &ntx_model::compare::gpus(),
+            &paper
+        )
+    );
+}

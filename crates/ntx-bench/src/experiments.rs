@@ -1,0 +1,434 @@
+//! The experiment runners behind every reproduced table and figure.
+
+use ntx_fpu::rmse_ratio_vs_fma;
+use ntx_kernels::blas::{AxpyKernel, GemmKernel, GemvKernel};
+use ntx_kernels::conv::Conv2dKernel;
+use ntx_kernels::schedule::{axpy_tiles, conv_tiles, run_tiles, write_replicated_weights};
+use ntx_kernels::stencil::{
+    DiffusionKernel, HighOrderLaplaceKernel, Laplace1dKernel, Laplace2dKernel, Laplace3dKernel,
+};
+use ntx_model::compare::{greenwave_comparison, StencilPlatform};
+use ntx_model::power::EnergyModel;
+use ntx_model::roofline::{Roofline, RooflinePoint};
+use ntx_sim::{Cluster, ClusterConfig, PerfSnapshot};
+
+/// Deterministic pseudo-random data generator (xorshift32), so every
+/// experiment is reproducible without a seed file.
+pub fn test_data(n: usize, mut seed: u32) -> Vec<f32> {
+    (0..n)
+        .map(|_| {
+            seed ^= seed << 13;
+            seed ^= seed >> 17;
+            seed ^= seed << 5;
+            (seed as f32 / u32::MAX as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Table I
+
+/// Everything Table I reports, measured from the simulator plus the
+/// calibrated energy model.
+#[derive(Debug, Clone)]
+pub struct Table1Report {
+    /// Peak compute performance, flop/s.
+    pub peak_flops: f64,
+    /// Peak AXI bandwidth, bytes/s.
+    pub peak_bandwidth: f64,
+    /// Measured sustained performance on the 3×3-conv workload, flop/s.
+    pub sustained_flops: f64,
+    /// Measured banking-conflict probability (paper: ≈0.13).
+    pub conflict_probability: f64,
+    /// Practical performance ceiling derived from it (paper: ≈17.4 G).
+    pub practical_peak: f64,
+    /// Modelled power on the conv workload, W (paper: 0.186).
+    pub power_w: f64,
+    /// Peak-rate energy efficiency, flop/s/W (paper: 108 G).
+    pub efficiency: f64,
+    /// Energy per flop at peak rate, pJ (paper: 9.3).
+    pub pj_per_flop: f64,
+    /// Raw counters of the measured window.
+    pub perf: PerfSnapshot,
+}
+
+/// Runs the Table I workload — a streaming multi-filter 3×3 convolution
+/// with DMA double buffering — on the default cluster and evaluates the
+/// calibrated energy model on the measured activity.
+#[must_use]
+pub fn table1_report() -> Table1Report {
+    let mut cluster = Cluster::new(ClusterConfig::default());
+    // Odd image pitch: streaming kernels pad their leading dimension
+    // so the eight engines spread across the TCDM banks.
+    let kernel = Conv2dKernel {
+        height: 66,
+        width: 63,
+        k: 3,
+        filters: 8,
+    };
+    let image = test_data((kernel.height * kernel.width) as usize, 0x1234_5678);
+    let weights = test_data((kernel.k * kernel.k * kernel.filters) as usize, 0x9abc_def0);
+    cluster.ext_mem().write_f32_slice(0, &image);
+    write_replicated_weights(&mut cluster, 0, &weights);
+    let tiles = conv_tiles(&cluster, &kernel, 0, 0, 0x10_0000, 8);
+    let perf = run_tiles(&mut cluster, &tiles);
+    let cfg = cluster.config();
+    let model = EnergyModel::tapeout();
+    let freq = cfg.ntx_freq_hz;
+    let power = model.cluster_power(&perf, freq);
+    Table1Report {
+        peak_flops: cfg.peak_flops(),
+        peak_bandwidth: cfg.peak_bandwidth(),
+        sustained_flops: perf.flops_per_second(freq),
+        conflict_probability: perf.conflict_probability(),
+        practical_peak: cfg.peak_flops() * (1.0 - perf.conflict_probability()),
+        power_w: power,
+        efficiency: model.peak_efficiency(&perf, freq, cfg.peak_flops()),
+        pj_per_flop: model.picojoule_per_flop(&perf, freq, cfg.peak_flops()),
+        perf,
+    }
+}
+
+// ---------------------------------------------------------------- Fig. 5
+
+fn fresh_cluster() -> Cluster {
+    Cluster::new(ClusterConfig::default())
+}
+
+/// Utilisation (fraction of the 16 flop/cycle cluster peak) of a
+/// measured window.
+fn utilization(perf: &PerfSnapshot) -> f64 {
+    if perf.cycles == 0 {
+        0.0
+    } else {
+        perf.flops as f64 / (16.0 * perf.cycles as f64)
+    }
+}
+
+/// §III-C-style extrapolation: the measured sustained compute rate,
+/// capped by the conflict-derated bandwidth roof at intensity `oi`.
+fn extrapolate(roofline: &Roofline, oi: f64, perf: &PerfSnapshot) -> f64 {
+    let compute_rate = utilization(perf) * roofline.peak_flops;
+    compute_rate.min(roofline.practical_bandwidth() * oi)
+}
+
+/// The 15 kernel points of Fig. 5. AXPY and the 3×3 convolution are
+/// measured end to end in the streaming simulator; the other kernels
+/// are extrapolated the way §III-C extrapolates from its gate-level
+/// trace: the sustained compute rate measured in a representative
+/// cycle simulation, capped by the conflict-derated bandwidth roof
+/// (`practical_bandwidth × OI`) when the kernel streams its working
+/// set — the streaming AXPY measurement validates that cap (it reaches
+/// 99 % of it).
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn fig5_points() -> Vec<RooflinePoint> {
+    let roofline = Roofline::default();
+    let mut points = Vec::new();
+
+    // --- AXPY, streaming, measured directly ---
+    for &n in &[16u32, 16_384] {
+        let mut cluster = fresh_cluster();
+        let x = test_data(n as usize, 1);
+        let y = test_data(n as usize, 2);
+        cluster.ext_mem().write_f32_slice(0, &x);
+        cluster.ext_mem().write_f32_slice(0x100_0000, &y);
+        let tiles = axpy_tiles(&cluster, n, 2.0, 0, 0x100_0000, 2048.min(n));
+        let perf = run_tiles(&mut cluster, &tiles);
+        points.push(RooflinePoint {
+            label: format!("AXPY {n}"),
+            oi: AxpyKernel { n, a: 2.0 }.cost().operational_intensity(),
+            performance: perf.flops_per_second(1.25e9),
+        });
+    }
+
+    // --- GEMV 16 measured in-TCDM; GEMV 16384 extrapolated ---
+    {
+        let mut cluster = fresh_cluster();
+        let k = GemvKernel { rows: 16, cols: 16 };
+        let a = test_data(256, 3);
+        let x = test_data(16, 4);
+        let (_, perf) = k.run(&mut cluster, &a, &x);
+        let oi = k.cost().operational_intensity();
+        points.push(RooflinePoint {
+            label: "GEMV 16".into(),
+            oi,
+            performance: extrapolate(&roofline, oi, &perf),
+        });
+    }
+    {
+        // Representative larger tile for the utilisation measurement.
+        let mut cluster = fresh_cluster();
+        let k = GemvKernel {
+            rows: 16,
+            cols: 512,
+        };
+        let a = test_data(16 * 512, 5);
+        let x = test_data(512, 6);
+        let (_, perf) = k.run(&mut cluster, &a, &x);
+        let oi = GemvKernel {
+            rows: 16_384,
+            cols: 16_384,
+        }
+        .cost()
+        .operational_intensity();
+        points.push(RooflinePoint {
+            label: "GEMV 16384 / LAP1D".into(),
+            oi,
+            performance: extrapolate(&roofline, oi, &perf),
+        });
+    }
+
+    // --- GEMM 16/32/64 measured in-TCDM; 128 and 1024 extrapolated ---
+    let mut gemm64_perf = PerfSnapshot::default();
+    for &n in &[16u32, 32, 64] {
+        let mut cluster = fresh_cluster();
+        let k = GemmKernel { m: n, k: n, n };
+        let a = test_data((n * n) as usize, 7);
+        let b = test_data((n * n) as usize, 8);
+        let (_, perf) = k.run(&mut cluster, &a, &b);
+        if n == 64 {
+            gemm64_perf = perf;
+        }
+        let oi = k.cost().operational_intensity();
+        points.push(RooflinePoint {
+            label: format!("GEMM {n}"),
+            oi,
+            performance: extrapolate(&roofline, oi, &perf),
+        });
+    }
+    for &n in &[128u32, 1024] {
+        let oi = GemmKernel { m: n, k: n, n }.cost().operational_intensity();
+        points.push(RooflinePoint {
+            label: format!("GEMM {n}"),
+            oi,
+            // Larger tiles amortise more setup; the measured GEMM-64
+            // sustained rate is the conservative extrapolation base.
+            performance: extrapolate(&roofline, oi, &gemm64_perf),
+        });
+    }
+
+    // --- CONV 3×3 streaming, measured; 5×5 and 7×7 in-TCDM ---
+    {
+        let mut cluster = fresh_cluster();
+        let k = Conv2dKernel {
+            height: 66,
+            width: 63,
+            k: 3,
+            filters: 4,
+        };
+        let img = test_data((k.height * k.width) as usize, 9);
+        let w = test_data(9 * 4, 10);
+        cluster.ext_mem().write_f32_slice(0, &img);
+        write_replicated_weights(&mut cluster, 0, &w);
+        let tiles = conv_tiles(&cluster, &k, 0, 0, 0x10_0000, 8);
+        let perf = run_tiles(&mut cluster, &tiles);
+        points.push(RooflinePoint {
+            label: "CONV 3x3".into(),
+            oi: k.cost().operational_intensity(),
+            performance: perf.flops_per_second(1.25e9),
+        });
+    }
+    for &ksz in &[5u32, 7] {
+        let mut cluster = fresh_cluster();
+        let k = Conv2dKernel {
+            height: 24 + ksz,
+            width: 33,
+            k: ksz,
+            filters: 1,
+        };
+        let img = test_data((k.height * k.width) as usize, 11);
+        let w = test_data((ksz * ksz) as usize, 12);
+        let (_, perf) = k.run(&mut cluster, &img, &w);
+        // The figure plots the DNN-style multi-filter intensity.
+        let oi = Conv2dKernel {
+            filters: 4,
+            ..k
+        }
+        .cost()
+        .operational_intensity();
+        points.push(RooflinePoint {
+            label: format!("CONV {ksz}x{ksz}"),
+            oi,
+            performance: extrapolate(&roofline, oi, &perf),
+        });
+    }
+
+    // --- Stencils, measured in-TCDM ---
+    {
+        let mut cluster = fresh_cluster();
+        let k = Laplace2dKernel {
+            height: 63,
+            width: 63,
+        };
+        let grid = test_data(63 * 63, 13);
+        let (_, perf) = k.run(&mut cluster, &grid);
+        let oi = k.cost().operational_intensity();
+        points.push(RooflinePoint {
+            label: "LAP2D".into(),
+            oi,
+            performance: extrapolate(&roofline, oi, &perf),
+        });
+    }
+    {
+        let mut cluster = fresh_cluster();
+        let k = Laplace3dKernel {
+            depth: 16,
+            height: 16,
+            width: 15,
+        };
+        let grid = test_data(16 * 16 * 15, 14);
+        let (_, perf) = k.run(&mut cluster, &grid);
+        let oi = k.cost().operational_intensity();
+        points.push(RooflinePoint {
+            label: "LAP3D".into(),
+            oi,
+            performance: extrapolate(&roofline, oi, &perf),
+        });
+    }
+    {
+        let mut cluster = fresh_cluster();
+        let k = DiffusionKernel {
+            depth: 12,
+            height: 16,
+            width: 15,
+        };
+        let grid = test_data(12 * 16 * 15, 15);
+        let plane = [0.05, 0.1, 0.05, 0.1, 0.4, 0.1, 0.05, 0.1, 0.05];
+        let (_, perf) = k.run(&mut cluster, &grid, &plane, &[0.08, 0.07], &[0.02, 0.03]);
+        let oi = k.cost().operational_intensity();
+        points.push(RooflinePoint {
+            label: "DIFF".into(),
+            oi,
+            performance: extrapolate(&roofline, oi, &perf),
+        });
+    }
+    points
+}
+
+/// Measured utilisation of a 1-D Laplace run (exercised separately from
+/// the Fig. 5 list because its point coincides with GEMV 16384 in the
+/// figure).
+#[must_use]
+pub fn lap1d_utilization() -> f64 {
+    let mut cluster = fresh_cluster();
+    let input = test_data(4096, 16);
+    let (_, perf) = Laplace1dKernel { n: 4096 }.run(&mut cluster, &input);
+    utilization(&perf)
+}
+
+// ----------------------------------------------------------- §II-C RMSE
+
+/// Result of the deferred-rounding precision experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct PrecisionReport {
+    /// RMSE of the NTX wide-accumulator reduction vs the f64 reference.
+    pub ntx_rmse: f64,
+    /// RMSE of a conventional sequential-FMA fp32 FPU.
+    pub fpu_rmse: f64,
+    /// `fpu_rmse / ntx_rmse` (paper: ≈1.7 on a DNN conv layer).
+    pub improvement: f64,
+}
+
+/// Reproduces the §II-C claim on a DNN-convolution-shaped workload:
+/// dot products of length `3·3·64` (a 3×3 kernel over 64 input
+/// channels), many output pixels.
+#[must_use]
+pub fn precision_experiment() -> PrecisionReport {
+    let dot_len = 3 * 3 * 64;
+    let rows = 2048;
+    let lhs = test_data(dot_len * rows, 0xdead_beef);
+    let rhs = test_data(dot_len * rows, 0xcafe_f00d);
+    let (ntx, fpu) = rmse_ratio_vs_fma(&lhs, &rhs, dot_len);
+    PrecisionReport {
+        ntx_rmse: ntx.rmse,
+        fpu_rmse: fpu.rmse,
+        improvement: fpu.rmse / ntx.rmse,
+    }
+}
+
+// ------------------------------------------------------- §IV Green Wave
+
+/// The Green-Wave comparison rows (8th-order seismic Laplacian on a
+/// 512³ grid).
+#[must_use]
+pub fn greenwave_rows() -> Vec<StencilPlatform> {
+    let cost = HighOrderLaplaceKernel {
+        depth: 512,
+        height: 512,
+        width: 512,
+    }
+    .cost();
+    greenwave_comparison(&cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_report_is_in_the_paper_regime() {
+        let r = table1_report();
+        assert!((r.peak_flops - 20.0e9).abs() < 1.0);
+        assert!(r.conflict_probability > 0.02 && r.conflict_probability < 0.35);
+        assert!(r.sustained_flops > 5.0e9, "{:.1} G", r.sustained_flops / 1e9);
+        assert!(
+            r.power_w > 0.10 && r.power_w < 0.30,
+            "{:.0} mW",
+            r.power_w * 1e3
+        );
+        assert!(r.pj_per_flop > 5.0 && r.pj_per_flop < 16.0);
+    }
+
+    #[test]
+    fn fig5_has_15_points_with_sane_shapes() {
+        let pts = fig5_points();
+        assert_eq!(pts.len(), 15);
+        let roofline = Roofline::default();
+        for p in &pts {
+            assert!(p.oi > 0.0, "{}: OI {}", p.label, p.oi);
+            assert!(
+                p.performance <= roofline.performance(p.oi) * 1.001,
+                "{} exceeds the roofline",
+                p.label
+            );
+            assert!(p.performance > 0.0, "{} has zero performance", p.label);
+        }
+        // Memory-bound AXPY below compute-bound GEMM 1024.
+        let axpy = pts.iter().find(|p| p.label == "AXPY 16384").unwrap();
+        let gemm = pts.iter().find(|p| p.label == "GEMM 1024").unwrap();
+        assert!(gemm.performance > 4.0 * axpy.performance);
+    }
+
+    #[test]
+    fn precision_improvement_is_positive() {
+        let r = precision_experiment();
+        assert!(
+            r.improvement > 1.2,
+            "deferred rounding should clearly beat sequential FMA: {:.2}",
+            r.improvement
+        );
+        assert!(r.ntx_rmse > 0.0);
+    }
+
+    #[test]
+    fn greenwave_has_three_rows() {
+        let rows = greenwave_rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].name, "Green Wave");
+    }
+
+    #[test]
+    fn lap1d_utilization_reasonable() {
+        let u = lap1d_utilization();
+        assert!(u > 0.1 && u <= 1.0, "utilization {u}");
+    }
+
+    #[test]
+    fn test_data_is_deterministic() {
+        assert_eq!(test_data(8, 42), test_data(8, 42));
+        assert_ne!(test_data(8, 42), test_data(8, 43));
+        for v in test_data(100, 7) {
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+}

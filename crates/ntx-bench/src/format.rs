@@ -1,0 +1,230 @@
+//! Plain-text table formatting for the report binaries.
+
+use crate::experiments::{PrecisionReport, Table1Report};
+use ntx_model::compare::{AreaFigure, EfficiencyFigure, PlatformRow, StencilPlatform};
+use ntx_model::roofline::{Roofline, RooflinePoint};
+use ntx_model::table2::Table2Row;
+
+/// Formats Table I ("Figures of merit of one NTX cluster").
+#[must_use]
+pub fn table1(r: &Table1Report) -> String {
+    let mut s = String::new();
+    s.push_str("Table I — figures of merit of one NTX cluster (22FDX)\n");
+    s.push_str(&format!(
+        "  {:<28} {:>10}    (paper)\n",
+        "metric", "measured"
+    ));
+    let rows = [
+        ("peak performance [Gflop/s]", r.peak_flops / 1e9, 20.0),
+        ("peak AXI bandwidth [GB/s]", r.peak_bandwidth / 1e9, 5.0),
+        (
+            "sustained conv3x3 [Gflop/s]",
+            r.sustained_flops / 1e9,
+            17.4,
+        ),
+        (
+            "banking-conflict prob. [%]",
+            r.conflict_probability * 100.0,
+            13.0,
+        ),
+        ("practical peak [Gflop/s]", r.practical_peak / 1e9, 17.4),
+        ("power @ conv3x3 [mW]", r.power_w * 1e3, 186.0),
+        ("efficiency [Gflop/sW]", r.efficiency / 1e9, 108.0),
+        ("energy [pJ/flop]", r.pj_per_flop, 9.3),
+    ];
+    for (name, v, paper) in rows {
+        s.push_str(&format!("  {name:<28} {v:>10.2}    ({paper})\n"));
+    }
+    s
+}
+
+/// Formats the Fig. 5 roofline series.
+#[must_use]
+pub fn fig5(points: &[RooflinePoint], roofline: &Roofline) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 5 — roofline of one NTX cluster\n");
+    s.push_str(&format!(
+        "  ridge at {:.1} flop/B; peak {:.0} Gflop/s; bandwidth {:.0} GB/s\n",
+        roofline.ridge(),
+        roofline.peak_flops / 1e9,
+        roofline.peak_bandwidth / 1e9
+    ));
+    s.push_str(&format!(
+        "  {:<22} {:>10} {:>14} {:>10} {:>8}\n",
+        "kernel", "OI [fl/B]", "perf [Gfl/s]", "limit", "util"
+    ));
+    for p in points {
+        let bound = if roofline.is_compute_bound(p.oi) {
+            "compute"
+        } else {
+            "memory"
+        };
+        s.push_str(&format!(
+            "  {:<22} {:>10.3} {:>14.2} {:>10} {:>7.0}%\n",
+            p.label,
+            p.oi,
+            p.performance / 1e9,
+            bound,
+            p.utilization(roofline) * 100.0
+        ));
+    }
+    s
+}
+
+/// Formats Table II (this work + comparison platforms).
+#[must_use]
+pub fn table2(
+    rows: &[Table2Row],
+    accelerators: &[PlatformRow],
+    gpus: &[PlatformRow],
+    paper_geomeans: &[f64],
+) -> String {
+    let mut s = String::new();
+    s.push_str("Table II — training energy efficiency [Gop/sW]\n");
+    s.push_str(&format!(
+        "  {:<12} {:>3} {:>4} {:>6} {:>4} {:>5} {:>6} | {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} | {:>7} {:>7}\n",
+        "platform", "nm", "dram", "mm2", "LiM", "GHz", "Top/s", "Alex", "GooLe", "Incv3", "RN34",
+        "RN50", "RN152", "geomean", "(paper)"
+    ));
+    for (r, paper) in rows.iter().zip(paper_geomeans) {
+        s.push_str(&format!(
+            "  {:<12} {:>3} {:>4} {:>6.1} {:>4} {:>5.2} {:>6.3} |",
+            r.label, r.logic_nm, r.dram_nm, r.area_mm2, r.lim, r.freq_ghz, r.peak_tops
+        ));
+        for (_, e) in &r.efficiency {
+            s.push_str(&format!(" {e:>6.1}"));
+        }
+        s.push_str(&format!(" | {:>7.1} {:>7.1}\n", r.geomean, paper));
+    }
+    s.push_str("  --- custom accelerators (literature values) ---\n");
+    for p in accelerators {
+        s.push_str(&platform_line(p));
+    }
+    s.push_str("  --- GPUs (literature values) ---\n");
+    for p in gpus {
+        s.push_str(&platform_line(p));
+    }
+    s
+}
+
+fn platform_line(p: &PlatformRow) -> String {
+    let area = p
+        .area_mm2
+        .map_or_else(|| "   -".into(), |a| format!("{a:>6.1}"));
+    let dram = p
+        .dram_nm
+        .map_or_else(|| "   -".into(), |d| format!("{d:>4}"));
+    let mut s = format!(
+        "  {:<12} {:>3} {} {} {:>4} {:>5.2} {:>6.3} |",
+        p.name, p.logic_nm, dram, area, "-", p.freq_ghz, p.peak_tops
+    );
+    for e in &p.efficiency {
+        match e {
+            Some(v) => s.push_str(&format!(" {v:>6.1}")),
+            None => s.push_str("      -"),
+        }
+    }
+    s.push_str(&format!(" | {:>7.1}\n", p.geomean));
+    s
+}
+
+/// Formats the Fig. 6 energy-efficiency bars.
+#[must_use]
+pub fn fig6(f: &EfficiencyFigure) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 6 — training energy efficiency [Gop/sW]\n");
+    for b in &f.bars {
+        let bar = "#".repeat((b.value / 1.5).round() as usize);
+        s.push_str(&format!("  {:<10} {:>6.1} {:<10} {}\n", b.name, b.value, b.class, bar));
+    }
+    s.push_str(&format!(
+        "  NTX 32 (22 nm) vs best 28 nm GPU: x{:.1}   (paper: x2.5)\n",
+        f.ratio_22nm
+    ));
+    s.push_str(&format!(
+        "  NTX 64 (14 nm) vs best 16 nm GPU: x{:.1}   (paper: x3.0)\n",
+        f.ratio_14nm
+    ));
+    s
+}
+
+/// Formats the Fig. 7 area-efficiency bars.
+#[must_use]
+pub fn fig7(f: &AreaFigure) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 7 — compute per silicon area [Gop/s mm²]\n");
+    for b in &f.bars {
+        let bar = "#".repeat((b.value / 5.0).round() as usize);
+        s.push_str(&format!("  {:<10} {:>6.1} {:<10} {}\n", b.name, b.value, b.class, bar));
+    }
+    s.push_str(&format!(
+        "  NTX 32 (22 nm) vs best 28 nm GPU: x{:.1}   (paper: x6.5)\n",
+        f.ratio_22nm
+    ));
+    s.push_str(&format!(
+        "  NTX 64 (14 nm) vs best 16 nm GPU: x{:.1}   (paper: x10.4)\n",
+        f.ratio_14nm
+    ));
+    s
+}
+
+/// Formats the §II-C precision experiment.
+#[must_use]
+pub fn precision(r: &PrecisionReport) -> String {
+    format!(
+        "Section II-C — deferred-rounding precision (3x3 conv layer, 64 ch)\n  \
+         NTX wide-accumulator RMSE : {:.3e}\n  \
+         conventional fp32 FPU RMSE: {:.3e}\n  \
+         improvement               : x{:.2}   (paper: x1.7)\n",
+        r.ntx_rmse, r.fpu_rmse, r.improvement
+    )
+}
+
+/// Formats the §IV Green-Wave comparison.
+#[must_use]
+pub fn greenwave(rows: &[StencilPlatform]) -> String {
+    let mut s = String::new();
+    s.push_str("Section IV — 8th-order seismic Laplacian comparison\n");
+    s.push_str(&format!(
+        "  {:<16} {:>12} {:>14}\n",
+        "platform", "Gflop/s", "Gflop/sW"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "  {:<16} {:>12.1} {:>14.2}\n",
+            r.name, r.gflops, r.gflops_per_watt
+        ));
+    }
+    s.push_str("  (paper estimates NTX 16 at 130 Gflop/s, 11 Gflop/sW)\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments;
+    use ntx_dnn::TrainingModel;
+    use ntx_model::{compare, table2 as t2};
+
+    #[test]
+    fn all_formatters_produce_nonempty_output() {
+        let t1 = experiments::table1_report();
+        assert!(table1(&t1).contains("Table I"));
+        let pts = experiments::fig5_points();
+        let r = Roofline::default();
+        let out = fig5(&pts, &r);
+        assert!(out.contains("CONV 3x3") && out.contains("GEMM 1024"));
+        let rows = t2::this_work_rows(&TrainingModel::default());
+        let paper = [22.5, 29.3, 36.7, 35.9, 47.5, 60.4, 70.6, 76.0, 78.7];
+        let out = table2(&rows, &compare::accelerators(), &compare::gpus(), &paper);
+        assert!(out.contains("ScaleDeep") && out.contains("GTX 1080 Ti"));
+        let out = fig6(&compare::figure6(&TrainingModel::default()));
+        assert!(out.contains("paper: x2.5"));
+        let out = fig7(&compare::figure7());
+        assert!(out.contains("paper: x10.4"));
+        let out = precision(&experiments::precision_experiment());
+        assert!(out.contains("improvement"));
+        let out = greenwave(&experiments::greenwave_rows());
+        assert!(out.contains("Green Wave"));
+    }
+}

@@ -1,0 +1,18 @@
+//! Experiment harness: one runner per table/figure of the paper.
+//!
+//! Each function reproduces one evaluation artifact end to end —
+//! running the cycle simulator where the paper ran its gate-level
+//! simulation, and the calibrated analytical models where the paper
+//! extrapolated — and returns the data the paper's table or figure
+//! plots. The `report-*` binaries print them; the Criterion benches
+//! in `benches/` time the underlying simulations.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod format;
+
+pub use experiments::{
+    fig5_points, greenwave_rows, precision_experiment, table1_report, PrecisionReport,
+    Table1Report,
+};

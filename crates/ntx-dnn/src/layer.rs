@@ -1,0 +1,272 @@
+//! Layer-level accounting of convolutional networks.
+
+/// A 2-D convolution layer ("same" padding, square kernels — the shape
+/// used by all six evaluated networks; stem layers with larger strides
+/// express their geometry through `stride`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvLayer {
+    /// Input feature-map height.
+    pub h: u32,
+    /// Input feature-map width.
+    pub w: u32,
+    /// Input channels.
+    pub c_in: u32,
+    /// Output channels (filters).
+    pub c_out: u32,
+    /// Kernel height (square unless `kw` differs).
+    pub kh: u32,
+    /// Kernel width.
+    pub kw: u32,
+    /// Spatial stride.
+    pub stride: u32,
+}
+
+impl ConvLayer {
+    /// Square-kernel constructor.
+    #[must_use]
+    pub fn square(h: u32, w: u32, c_in: u32, c_out: u32, k: u32, stride: u32) -> Self {
+        Self {
+            h,
+            w,
+            c_in,
+            c_out,
+            kh: k,
+            kw: k,
+            stride,
+        }
+    }
+
+    /// Output height (same padding).
+    #[must_use]
+    pub fn out_h(&self) -> u32 {
+        self.h.div_ceil(self.stride)
+    }
+
+    /// Output width (same padding).
+    #[must_use]
+    pub fn out_w(&self) -> u32 {
+        self.w.div_ceil(self.stride)
+    }
+
+    /// Multiply-accumulate operations of one forward pass.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        u64::from(self.out_h())
+            * u64::from(self.out_w())
+            * u64::from(self.c_out)
+            * u64::from(self.c_in)
+            * u64::from(self.kh)
+            * u64::from(self.kw)
+    }
+
+    /// Weight parameters (biases ignored, as in the usual MAC counts).
+    #[must_use]
+    pub fn params(&self) -> u64 {
+        u64::from(self.c_in) * u64::from(self.c_out) * u64::from(self.kh) * u64::from(self.kw)
+    }
+
+    /// Input activation element count.
+    #[must_use]
+    pub fn activations_in(&self) -> u64 {
+        u64::from(self.h) * u64::from(self.w) * u64::from(self.c_in)
+    }
+
+    /// Output activation element count.
+    #[must_use]
+    pub fn activations_out(&self) -> u64 {
+        u64::from(self.out_h()) * u64::from(self.out_w()) * u64::from(self.c_out)
+    }
+}
+
+/// A fully-connected layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FcLayer {
+    /// Input feature count.
+    pub inputs: u32,
+    /// Output feature count.
+    pub outputs: u32,
+}
+
+impl FcLayer {
+    /// MACs of one forward pass.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        u64::from(self.inputs) * u64::from(self.outputs)
+    }
+}
+
+/// A pooling layer (max or average — identical cost footprint here:
+/// negligible MACs, real activation traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolLayer {
+    /// Input height.
+    pub h: u32,
+    /// Input width.
+    pub w: u32,
+    /// Channels.
+    pub c: u32,
+    /// Window size.
+    pub k: u32,
+    /// Stride.
+    pub stride: u32,
+}
+
+impl PoolLayer {
+    /// Output activation element count.
+    #[must_use]
+    pub fn activations_out(&self) -> u64 {
+        u64::from(self.h.div_ceil(self.stride))
+            * u64::from(self.w.div_ceil(self.stride))
+            * u64::from(self.c)
+    }
+
+    /// Input activation element count.
+    #[must_use]
+    pub fn activations_in(&self) -> u64 {
+        u64::from(self.h) * u64::from(self.w) * u64::from(self.c)
+    }
+}
+
+/// One network layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Layer {
+    /// Convolution.
+    Conv(ConvLayer),
+    /// Fully connected.
+    Fc(FcLayer),
+    /// Pooling.
+    Pool(PoolLayer),
+}
+
+impl Layer {
+    /// Forward-pass MACs.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        match self {
+            Layer::Conv(c) => c.macs(),
+            Layer::Fc(f) => f.macs(),
+            // Pooling compares/averages; counted as 1 op per input
+            // element but no MACs.
+            Layer::Pool(_) => 0,
+        }
+    }
+
+    /// Weight parameters.
+    #[must_use]
+    pub fn params(&self) -> u64 {
+        match self {
+            Layer::Conv(c) => c.params(),
+            Layer::Fc(f) => u64::from(f.inputs) * u64::from(f.outputs),
+            Layer::Pool(_) => 0,
+        }
+    }
+
+    /// Input activation elements.
+    #[must_use]
+    pub fn activations_in(&self) -> u64 {
+        match self {
+            Layer::Conv(c) => c.activations_in(),
+            Layer::Fc(f) => u64::from(f.inputs),
+            Layer::Pool(p) => p.activations_in(),
+        }
+    }
+
+    /// Output activation elements.
+    #[must_use]
+    pub fn activations_out(&self) -> u64 {
+        match self {
+            Layer::Conv(c) => c.activations_out(),
+            Layer::Fc(f) => u64::from(f.outputs),
+            Layer::Pool(p) => p.activations_out(),
+        }
+    }
+}
+
+/// A whole network: a named list of layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Network {
+    /// Display name ("AlexNet", "ResNet-50", …).
+    pub name: &'static str,
+    /// Layers in execution order.
+    pub layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Total forward-pass MACs.
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(Layer::macs).sum()
+    }
+
+    /// Total weight parameters.
+    #[must_use]
+    pub fn total_params(&self) -> u64 {
+        self.layers.iter().map(Layer::params).sum()
+    }
+
+    /// Total activation elements written during one forward pass.
+    #[must_use]
+    pub fn total_activations(&self) -> u64 {
+        self.layers.iter().map(Layer::activations_out).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_macs_known_value() {
+        // 3x3 conv, 8->16 channels on 10x10 input, stride 1:
+        // 10*10*16*8*9 MACs.
+        let c = ConvLayer::square(10, 10, 8, 16, 3, 1);
+        assert_eq!(c.macs(), 10 * 10 * 16 * 8 * 9);
+        assert_eq!(c.params(), 8 * 16 * 9);
+    }
+
+    #[test]
+    fn strided_conv_shrinks_output() {
+        let c = ConvLayer::square(224, 224, 3, 64, 7, 2);
+        assert_eq!(c.out_h(), 112);
+        assert_eq!(c.activations_out(), 112 * 112 * 64);
+    }
+
+    #[test]
+    fn asymmetric_kernel() {
+        let c = ConvLayer {
+            h: 17,
+            w: 17,
+            c_in: 128,
+            c_out: 192,
+            kh: 1,
+            kw: 7,
+            stride: 1,
+        };
+        assert_eq!(c.macs(), 17 * 17 * 192 * 128 * 7);
+    }
+
+    #[test]
+    fn network_totals_sum_layers() {
+        let net = Network {
+            name: "tiny",
+            layers: vec![
+                Layer::Conv(ConvLayer::square(8, 8, 1, 4, 3, 1)),
+                Layer::Pool(PoolLayer {
+                    h: 8,
+                    w: 8,
+                    c: 4,
+                    k: 2,
+                    stride: 2,
+                }),
+                Layer::Fc(FcLayer {
+                    inputs: 64,
+                    outputs: 10,
+                }),
+            ],
+        };
+        assert_eq!(net.total_macs(), 8 * 8 * 4 * 9 + 64 * 10);
+        assert_eq!(net.total_params(), 4 * 9 + 640);
+        assert_eq!(net.total_activations(), 8 * 8 * 4 + 4 * 4 * 4 + 10);
+    }
+}

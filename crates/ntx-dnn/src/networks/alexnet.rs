@@ -1,0 +1,86 @@
+//! AlexNet [20] — 5 convolutions (two-tower grouping on conv2/4/5) and
+//! three fully-connected layers; ≈0.72 GMAC, ≈61 M parameters.
+
+use crate::layer::{ConvLayer, FcLayer, Layer, Network, PoolLayer};
+
+/// Builds the AlexNet layer table.
+#[must_use]
+pub fn alexnet() -> Network {
+    let mut layers = Vec::new();
+    // conv1: 11×11/4, 3→96, output 55×55.
+    layers.push(Layer::Conv(ConvLayer::square(220, 220, 3, 96, 11, 4)));
+    layers.push(Layer::Pool(PoolLayer {
+        h: 54,
+        w: 54,
+        c: 96,
+        k: 3,
+        stride: 2,
+    }));
+    // conv2: 5×5, 96→256, grouped (2): effective c_in 48, output 27×27.
+    layers.push(Layer::Conv(ConvLayer::square(27, 27, 48, 256, 5, 1)));
+    layers.push(Layer::Pool(PoolLayer {
+        h: 26,
+        w: 26,
+        c: 256,
+        k: 3,
+        stride: 2,
+    }));
+    // conv3: 3×3, 256→384, output 13×13.
+    layers.push(Layer::Conv(ConvLayer::square(13, 13, 256, 384, 3, 1)));
+    // conv4: 3×3, 384→384, grouped (2).
+    layers.push(Layer::Conv(ConvLayer::square(13, 13, 192, 384, 3, 1)));
+    // conv5: 3×3, 384→256, grouped (2).
+    layers.push(Layer::Conv(ConvLayer::square(13, 13, 192, 256, 3, 1)));
+    layers.push(Layer::Pool(PoolLayer {
+        h: 13,
+        w: 13,
+        c: 256,
+        k: 3,
+        stride: 2,
+    }));
+    // fc6/fc7/fc8 dominate the parameter count.
+    layers.push(Layer::Fc(FcLayer {
+        inputs: 9216,
+        outputs: 4096,
+    }));
+    layers.push(Layer::Fc(FcLayer {
+        inputs: 4096,
+        outputs: 4096,
+    }));
+    layers.push(Layer::Fc(FcLayer {
+        inputs: 4096,
+        outputs: 1000,
+    }));
+    Network {
+        name: "AlexNet",
+        layers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv1_produces_55x55() {
+        let net = alexnet();
+        if let Layer::Conv(c) = net.layers[0] {
+            assert_eq!(c.out_h(), 55);
+            assert_eq!(c.activations_out(), 55 * 55 * 96);
+        } else {
+            panic!("first layer must be conv1");
+        }
+    }
+
+    #[test]
+    fn fc_layers_dominate_parameters() {
+        let net = alexnet();
+        let fc_params: u64 = net
+            .layers
+            .iter()
+            .filter(|l| matches!(l, Layer::Fc(_)))
+            .map(Layer::params)
+            .sum();
+        assert!(fc_params * 10 > net.total_params() * 9);
+    }
+}

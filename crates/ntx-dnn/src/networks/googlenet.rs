@@ -1,0 +1,134 @@
+//! GoogLeNet [10] — the 9-module Inception-v1 network.
+
+use crate::layer::{ConvLayer, FcLayer, Layer, Network, PoolLayer};
+
+/// Appends one inception module at spatial size `s` with the branch
+/// widths of Table 1 of [10]: `ch1` (1×1), `ch3r→ch3` (3×3 branch),
+/// `ch5r→ch5` (5×5 branch), `pool_proj` (pooling projection). Returns
+/// the module's output channel count.
+fn inception(
+    layers: &mut Vec<Layer>,
+    s: u32,
+    c_in: u32,
+    ch1: u32,
+    ch3r: u32,
+    ch3: u32,
+    ch5r: u32,
+    ch5: u32,
+    pool_proj: u32,
+) -> u32 {
+    layers.push(Layer::Conv(ConvLayer::square(s, s, c_in, ch1, 1, 1)));
+    layers.push(Layer::Conv(ConvLayer::square(s, s, c_in, ch3r, 1, 1)));
+    layers.push(Layer::Conv(ConvLayer::square(s, s, ch3r, ch3, 3, 1)));
+    layers.push(Layer::Conv(ConvLayer::square(s, s, c_in, ch5r, 1, 1)));
+    layers.push(Layer::Conv(ConvLayer::square(s, s, ch5r, ch5, 5, 1)));
+    layers.push(Layer::Pool(PoolLayer {
+        h: s,
+        w: s,
+        c: c_in,
+        k: 3,
+        stride: 1,
+    }));
+    layers.push(Layer::Conv(ConvLayer::square(s, s, c_in, pool_proj, 1, 1)));
+    ch1 + ch3 + ch5 + pool_proj
+}
+
+/// Builds the GoogLeNet layer table.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn googlenet() -> Network {
+    let mut layers = Vec::new();
+    // Stem.
+    layers.push(Layer::Conv(ConvLayer::square(224, 224, 3, 64, 7, 2))); // 112
+    layers.push(Layer::Pool(PoolLayer {
+        h: 112,
+        w: 112,
+        c: 64,
+        k: 3,
+        stride: 2,
+    })); // 56
+    layers.push(Layer::Conv(ConvLayer::square(56, 56, 64, 64, 1, 1)));
+    layers.push(Layer::Conv(ConvLayer::square(56, 56, 64, 192, 3, 1)));
+    layers.push(Layer::Pool(PoolLayer {
+        h: 56,
+        w: 56,
+        c: 192,
+        k: 3,
+        stride: 2,
+    })); // 28
+    // Inception 3a/3b at 28×28.
+    let c = inception(&mut layers, 28, 192, 64, 96, 128, 16, 32, 32);
+    let c = inception(&mut layers, 28, c, 128, 128, 192, 32, 96, 64);
+    layers.push(Layer::Pool(PoolLayer {
+        h: 28,
+        w: 28,
+        c,
+        k: 3,
+        stride: 2,
+    })); // 14
+    // Inception 4a–4e at 14×14.
+    let c = inception(&mut layers, 14, c, 192, 96, 208, 16, 48, 64);
+    let c = inception(&mut layers, 14, c, 160, 112, 224, 24, 64, 64);
+    let c = inception(&mut layers, 14, c, 128, 128, 256, 24, 64, 64);
+    let c = inception(&mut layers, 14, c, 112, 144, 288, 32, 64, 64);
+    let c = inception(&mut layers, 14, c, 256, 160, 320, 32, 128, 128);
+    layers.push(Layer::Pool(PoolLayer {
+        h: 14,
+        w: 14,
+        c,
+        k: 3,
+        stride: 2,
+    })); // 7
+    // Inception 5a/5b at 7×7.
+    let c = inception(&mut layers, 7, c, 256, 160, 320, 32, 128, 128);
+    let c = inception(&mut layers, 7, c, 384, 192, 384, 48, 128, 128);
+    // Global average pool + classifier.
+    layers.push(Layer::Pool(PoolLayer {
+        h: 7,
+        w: 7,
+        c,
+        k: 7,
+        stride: 7,
+    }));
+    layers.push(Layer::Fc(FcLayer {
+        inputs: c,
+        outputs: 1000,
+    }));
+    Network {
+        name: "GoogLeNet",
+        layers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_output_channels_match_the_paper() {
+        let mut layers = Vec::new();
+        // Inception 3a: 64 + 128 + 32 + 32 = 256.
+        assert_eq!(
+            inception(&mut layers, 28, 192, 64, 96, 128, 16, 32, 32),
+            256
+        );
+    }
+
+    #[test]
+    fn final_classifier_sees_1024_channels() {
+        let net = googlenet();
+        let Some(Layer::Fc(fc)) = net.layers.last() else {
+            panic!("last layer must be the classifier");
+        };
+        assert_eq!(fc.inputs, 1024); // 384+384+128+128
+        assert_eq!(fc.outputs, 1000);
+    }
+
+    #[test]
+    fn much_lighter_in_parameters_than_alexnet() {
+        // GoogLeNet's famous claim: ~12× fewer parameters than AlexNet.
+        let g = googlenet().total_params();
+        let a = super::super::alexnet().total_params();
+        assert!(a > 7 * g, "AlexNet {a} vs GoogLeNet {g}");
+    }
+}

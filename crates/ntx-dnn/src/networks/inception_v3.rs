@@ -1,0 +1,179 @@
+//! Inception-v3 [21] — factorised inception modules at 35/17/8 spatial
+//! resolution; ≈5.7 GMAC.
+
+use crate::layer::{ConvLayer, FcLayer, Layer, Network, PoolLayer};
+
+fn conv(layers: &mut Vec<Layer>, s: u32, c_in: u32, c_out: u32, kh: u32, kw: u32, stride: u32) {
+    layers.push(Layer::Conv(ConvLayer {
+        h: s,
+        w: s,
+        c_in,
+        c_out,
+        kh,
+        kw,
+        stride,
+    }));
+}
+
+/// Inception-A at 35×35 (5×5 branch, double-3×3 branch, pool proj).
+fn inception_a(layers: &mut Vec<Layer>, c_in: u32, pool_features: u32) -> u32 {
+    let s = 35;
+    conv(layers, s, c_in, 64, 1, 1, 1);
+    conv(layers, s, c_in, 48, 1, 1, 1);
+    conv(layers, s, 48, 64, 5, 5, 1);
+    conv(layers, s, c_in, 64, 1, 1, 1);
+    conv(layers, s, 64, 96, 3, 3, 1);
+    conv(layers, s, 96, 96, 3, 3, 1);
+    conv(layers, s, c_in, pool_features, 1, 1, 1);
+    64 + 64 + 96 + pool_features
+}
+
+/// Reduction-A: 35×35 → 17×17.
+fn reduction_a(layers: &mut Vec<Layer>, c_in: u32) -> u32 {
+    conv(layers, 35, c_in, 384, 3, 3, 2);
+    conv(layers, 35, c_in, 64, 1, 1, 1);
+    conv(layers, 35, 64, 96, 3, 3, 1);
+    conv(layers, 35, 96, 96, 3, 3, 2);
+    layers.push(Layer::Pool(PoolLayer {
+        h: 35,
+        w: 35,
+        c: c_in,
+        k: 3,
+        stride: 2,
+    }));
+    384 + 96 + c_in
+}
+
+/// Inception-B at 17×17 with factorised 7×7 branches of width `c7`.
+fn inception_b(layers: &mut Vec<Layer>, c_in: u32, c7: u32) -> u32 {
+    let s = 17;
+    conv(layers, s, c_in, 192, 1, 1, 1);
+    // 7×7 branch: 1×1, 1×7, 7×1.
+    conv(layers, s, c_in, c7, 1, 1, 1);
+    conv(layers, s, c7, c7, 1, 7, 1);
+    conv(layers, s, c7, 192, 7, 1, 1);
+    // Double 7×7 branch.
+    conv(layers, s, c_in, c7, 1, 1, 1);
+    conv(layers, s, c7, c7, 7, 1, 1);
+    conv(layers, s, c7, c7, 1, 7, 1);
+    conv(layers, s, c7, c7, 7, 1, 1);
+    conv(layers, s, c7, 192, 1, 7, 1);
+    // Pool projection.
+    conv(layers, s, c_in, 192, 1, 1, 1);
+    4 * 192
+}
+
+/// Reduction-B: 17×17 → 8×8.
+fn reduction_b(layers: &mut Vec<Layer>, c_in: u32) -> u32 {
+    conv(layers, 17, c_in, 192, 1, 1, 1);
+    conv(layers, 17, 192, 320, 3, 3, 2);
+    conv(layers, 17, c_in, 192, 1, 1, 1);
+    conv(layers, 17, 192, 192, 1, 7, 1);
+    conv(layers, 17, 192, 192, 7, 1, 1);
+    conv(layers, 17, 192, 192, 3, 3, 2);
+    layers.push(Layer::Pool(PoolLayer {
+        h: 17,
+        w: 17,
+        c: c_in,
+        k: 3,
+        stride: 2,
+    }));
+    320 + 192 + c_in
+}
+
+/// Inception-C at 8×8 (split 3×3 branches).
+fn inception_c(layers: &mut Vec<Layer>, c_in: u32) -> u32 {
+    let s = 8;
+    conv(layers, s, c_in, 320, 1, 1, 1);
+    conv(layers, s, c_in, 384, 1, 1, 1);
+    conv(layers, s, 384, 384, 1, 3, 1);
+    conv(layers, s, 384, 384, 3, 1, 1);
+    conv(layers, s, c_in, 448, 1, 1, 1);
+    conv(layers, s, 448, 384, 3, 3, 1);
+    conv(layers, s, 384, 384, 1, 3, 1);
+    conv(layers, s, 384, 384, 3, 1, 1);
+    conv(layers, s, c_in, 192, 1, 1, 1);
+    320 + 768 + 768 + 192
+}
+
+/// Builds the Inception-v3 layer table.
+#[must_use]
+pub fn inception_v3() -> Network {
+    let mut layers = Vec::new();
+    // Stem: 299 → 149 → 147 → 73 → 71 → 35 (canonical sizes).
+    conv(&mut layers, 299, 3, 32, 3, 3, 2); // 150
+    conv(&mut layers, 149, 32, 32, 3, 3, 1);
+    conv(&mut layers, 147, 32, 64, 3, 3, 1);
+    layers.push(Layer::Pool(PoolLayer {
+        h: 147,
+        w: 147,
+        c: 64,
+        k: 3,
+        stride: 2,
+    })); // 74 ≈ 73
+    conv(&mut layers, 73, 64, 80, 1, 1, 1);
+    conv(&mut layers, 73, 80, 192, 3, 3, 1);
+    layers.push(Layer::Pool(PoolLayer {
+        h: 71,
+        w: 71,
+        c: 192,
+        k: 3,
+        stride: 2,
+    })); // 36 ≈ 35
+    // 3× Inception-A.
+    let c = inception_a(&mut layers, 192, 32);
+    let c = inception_a(&mut layers, c, 64);
+    let c = inception_a(&mut layers, c, 64);
+    // Reduction-A.
+    let c = reduction_a(&mut layers, c);
+    // 4× Inception-B with growing 7×7 widths.
+    let c = inception_b(&mut layers, c, 128);
+    let c = inception_b(&mut layers, c, 160);
+    let c = inception_b(&mut layers, c, 160);
+    let c = inception_b(&mut layers, c, 192);
+    // Reduction-B.
+    let c = reduction_b(&mut layers, c);
+    // 2× Inception-C.
+    let c = inception_c(&mut layers, c);
+    let c = inception_c(&mut layers, c);
+    // Classifier.
+    layers.push(Layer::Pool(PoolLayer {
+        h: 8,
+        w: 8,
+        c,
+        k: 8,
+        stride: 8,
+    }));
+    layers.push(Layer::Fc(FcLayer {
+        inputs: c,
+        outputs: 1000,
+    }));
+    Network {
+        name: "Inception-v3",
+        layers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_channel_arithmetic() {
+        let mut l = Vec::new();
+        assert_eq!(inception_a(&mut l, 192, 32), 256);
+        assert_eq!(reduction_a(&mut l, 288), 768);
+        assert_eq!(inception_b(&mut l, 768, 128), 768);
+        assert_eq!(reduction_b(&mut l, 768), 1280);
+        assert_eq!(inception_c(&mut l, 1280), 2048);
+    }
+
+    #[test]
+    fn classifier_input_is_2048() {
+        let net = inception_v3();
+        let Some(Layer::Fc(fc)) = net.layers.last() else {
+            panic!("classifier missing");
+        };
+        assert_eq!(fc.inputs, 2048);
+    }
+}

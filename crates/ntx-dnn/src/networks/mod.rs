@@ -1,0 +1,104 @@
+//! The six networks of the Table II training study.
+//!
+//! Layer tables follow the published architectures; spatial sizes are
+//! the canonical feature-map sizes (same-padding approximation, stem
+//! strides included), so total MAC counts land within a few percent of
+//! the commonly quoted figures — which is what the energy-efficiency
+//! model consumes.
+
+mod alexnet;
+mod googlenet;
+mod inception_v3;
+mod resnet;
+
+pub use alexnet::alexnet;
+pub use googlenet::googlenet;
+pub use inception_v3::inception_v3;
+pub use resnet::{resnet152, resnet34, resnet50};
+
+use crate::layer::Network;
+
+/// All six evaluated networks, in the column order of Table II.
+#[must_use]
+pub fn all() -> Vec<Network> {
+    vec![
+        alexnet(),
+        googlenet(),
+        inception_v3(),
+        resnet34(),
+        resnet50(),
+        resnet152(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Published forward-pass GMAC figures (grouped AlexNet, torchvision
+    /// conventions); our tables must land in the right regime.
+    #[test]
+    fn mac_totals_are_in_the_published_regime() {
+        let cases: [(fn() -> Network, f64, f64); 6] = [
+            (alexnet, 0.5, 1.2),
+            (googlenet, 1.0, 2.2),
+            (inception_v3, 4.5, 7.0),
+            (resnet34, 3.0, 4.5),
+            (resnet50, 3.5, 5.0),
+            (resnet152, 10.0, 13.0),
+        ];
+        for (f, lo, hi) in cases {
+            let net = f();
+            let gmacs = net.total_macs() as f64 / 1e9;
+            assert!(
+                gmacs > lo && gmacs < hi,
+                "{}: {gmacs:.2} GMAC outside [{lo}, {hi}]",
+                net.name
+            );
+        }
+    }
+
+    #[test]
+    fn parameter_counts_are_plausible() {
+        // AlexNet is famously parameter-heavy (~61 M), ResNet-50 ~25 M.
+        let alex = alexnet();
+        let m = alex.total_params() as f64 / 1e6;
+        assert!(m > 40.0 && m < 70.0, "AlexNet params {m:.1} M");
+        let r50 = resnet50();
+        let m = r50.total_params() as f64 / 1e6;
+        assert!(m > 18.0 && m < 30.0, "ResNet-50 params {m:.1} M");
+    }
+
+    #[test]
+    fn deeper_resnets_cost_more() {
+        assert!(resnet50().total_macs() > resnet34().total_macs());
+        assert!(resnet152().total_macs() > 2 * resnet50().total_macs());
+    }
+
+    #[test]
+    fn all_returns_six_networks_in_table_order() {
+        let nets = all();
+        let names: Vec<&str> = nets.iter().map(|n| n.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "AlexNet",
+                "GoogLeNet",
+                "Inception-v3",
+                "ResNet-34",
+                "ResNet-50",
+                "ResNet-152"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_network_is_nonempty_and_consistent() {
+        for net in all() {
+            assert!(net.layers.len() > 5, "{} too shallow", net.name);
+            assert!(net.total_macs() > 0);
+            assert!(net.total_params() > 0);
+            assert!(net.total_activations() > 0);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Deep residual networks [11]: ResNet-34 (basic blocks) and
+//! ResNet-50/152 (bottleneck blocks), generated from the stage table of
+//! the paper.
+
+use crate::layer::{ConvLayer, FcLayer, Layer, Network, PoolLayer};
+
+fn conv(layers: &mut Vec<Layer>, s: u32, c_in: u32, c_out: u32, k: u32, stride: u32) {
+    layers.push(Layer::Conv(ConvLayer::square(s, s, c_in, c_out, k, stride)));
+}
+
+fn stem(layers: &mut Vec<Layer>) {
+    conv(layers, 224, 3, 64, 7, 2); // 112
+    layers.push(Layer::Pool(PoolLayer {
+        h: 112,
+        w: 112,
+        c: 64,
+        k: 3,
+        stride: 2,
+    })); // 56
+}
+
+/// A basic residual block: two 3×3 convolutions (ResNet-18/34).
+/// `stride` applies to the first conv; a strided block also adds the
+/// 1×1 projection on the shortcut.
+fn basic_block(layers: &mut Vec<Layer>, s: u32, c_in: u32, c_out: u32, stride: u32) {
+    conv(layers, s, c_in, c_out, 3, stride);
+    let s_out = s / stride;
+    conv(layers, s_out, c_out, c_out, 3, 1);
+    if stride != 1 || c_in != c_out {
+        conv(layers, s, c_in, c_out, 1, stride); // projection shortcut
+    }
+}
+
+/// A bottleneck block: 1×1 reduce, 3×3, 1×1 expand (×4) (ResNet-50+).
+fn bottleneck_block(layers: &mut Vec<Layer>, s: u32, c_in: u32, width: u32, stride: u32) {
+    let c_out = 4 * width;
+    conv(layers, s, c_in, width, 1, 1);
+    conv(layers, s, width, width, 3, stride);
+    let s_out = s / stride;
+    conv(layers, s_out, width, c_out, 1, 1);
+    if stride != 1 || c_in != c_out {
+        conv(layers, s, c_in, c_out, 1, stride);
+    }
+}
+
+fn residual_network(
+    name: &'static str,
+    blocks: [u32; 4],
+    bottleneck: bool,
+) -> Network {
+    let mut layers = Vec::new();
+    stem(&mut layers);
+    let widths = [64u32, 128, 256, 512];
+    let mut s = 56u32;
+    let mut c_in = 64u32;
+    for (stage, (&width, &count)) in widths.iter().zip(&blocks).enumerate() {
+        for b in 0..count {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            if bottleneck {
+                bottleneck_block(&mut layers, s, c_in, width, stride);
+                c_in = 4 * width;
+            } else {
+                basic_block(&mut layers, s, c_in, width, stride);
+                c_in = width;
+            }
+            s /= stride;
+        }
+    }
+    layers.push(Layer::Pool(PoolLayer {
+        h: s,
+        w: s,
+        c: c_in,
+        k: s,
+        stride: s,
+    }));
+    layers.push(Layer::Fc(FcLayer {
+        inputs: c_in,
+        outputs: 1000,
+    }));
+    Network { name, layers }
+}
+
+/// ResNet-34: basic blocks, stage depths 3-4-6-3.
+#[must_use]
+pub fn resnet34() -> Network {
+    residual_network("ResNet-34", [3, 4, 6, 3], false)
+}
+
+/// ResNet-50: bottleneck blocks, stage depths 3-4-6-3.
+#[must_use]
+pub fn resnet50() -> Network {
+    residual_network("ResNet-50", [3, 4, 6, 3], true)
+}
+
+/// ResNet-152: bottleneck blocks, stage depths 3-8-36-3.
+#[must_use]
+pub fn resnet152() -> Network {
+    residual_network("ResNet-152", [3, 8, 36, 3], true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet34_mac_count_near_published() {
+        let gmacs = resnet34().total_macs() as f64 / 1e9;
+        assert!((3.0..4.5).contains(&gmacs), "{gmacs:.2} GMAC");
+    }
+
+    #[test]
+    fn resnet50_classifier_width() {
+        let net = resnet50();
+        let Some(crate::layer::Layer::Fc(fc)) = net.layers.last() else {
+            panic!("classifier missing");
+        };
+        assert_eq!(fc.inputs, 2048);
+    }
+
+    #[test]
+    fn resnet34_classifier_width() {
+        let net = resnet34();
+        let Some(crate::layer::Layer::Fc(fc)) = net.layers.last() else {
+            panic!("classifier missing");
+        };
+        assert_eq!(fc.inputs, 512);
+    }
+
+    #[test]
+    fn block_counts() {
+        // ResNet-152 has 50 bottleneck blocks = 150 convs + projections
+        // + stem + fc; sanity-check the layer count regime.
+        let n152 = resnet152().layers.len();
+        let n50 = resnet50().layers.len();
+        assert!(n152 > 150);
+        assert!(n50 > 50 && n50 < n152);
+    }
+
+    #[test]
+    fn spatial_sizes_collapse_to_7() {
+        // After 4 stages the feature map is 7×7 (global pool window).
+        let net = resnet50();
+        let pool = net
+            .layers
+            .iter()
+            .rev()
+            .find_map(|l| match l {
+                crate::layer::Layer::Pool(p) => Some(*p),
+                _ => None,
+            })
+            .expect("global pool present");
+        assert_eq!(pool.h, 7);
+        assert_eq!(pool.k, 7);
+    }
+}

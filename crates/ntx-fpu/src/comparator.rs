@@ -1,0 +1,152 @@
+//! Comparator and index counter of the NTX FPU.
+//!
+//! §II-C: *"An additional comparator, index counter, and ALU register
+//! enable various additional commands such as finding minima/maxima,
+//! ReLU, thresholding and masking, and memcpy/memset."*
+//!
+//! The comparator tracks a running extremum together with the innermost
+//! loop index at which it occurred, which is what makes single-pass
+//! argmin/argmax reductions possible.
+
+/// Whether the comparator searches for the minimum or the maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompareMode {
+    /// Track the smallest value seen.
+    Min,
+    /// Track the largest value seen.
+    Max,
+}
+
+/// Running min/max reduction with an index counter.
+///
+/// NaN inputs are ignored (they never become the extremum), mirroring the
+/// "maxNum"-style semantics that hardware comparators implement; an
+/// all-NaN stream leaves the comparator empty.
+///
+/// # Example
+///
+/// ```
+/// use ntx_fpu::{Comparator, CompareMode};
+///
+/// let mut cmp = Comparator::new(CompareMode::Max);
+/// for (i, &x) in [1.0f32, 7.5, -2.0, 7.5].iter().enumerate() {
+///     cmp.observe(x, i as u32);
+/// }
+/// assert_eq!(cmp.value(), Some(7.5));
+/// assert_eq!(cmp.index(), Some(1)); // first occurrence wins
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparator {
+    mode: CompareMode,
+    best: Option<(f32, u32)>,
+}
+
+impl Comparator {
+    /// Creates an empty comparator for the given search mode.
+    #[must_use]
+    pub fn new(mode: CompareMode) -> Self {
+        Self { mode, best: None }
+    }
+
+    /// Returns the search mode.
+    #[must_use]
+    pub fn mode(&self) -> CompareMode {
+        self.mode
+    }
+
+    /// Feeds one element and its index through the comparator.
+    ///
+    /// Ties keep the earlier index (the hardware only updates on a strict
+    /// improvement).
+    pub fn observe(&mut self, value: f32, index: u32) {
+        if value.is_nan() {
+            return;
+        }
+        let improved = match self.best {
+            None => true,
+            Some((best, _)) => match self.mode {
+                CompareMode::Min => value < best,
+                CompareMode::Max => value > best,
+            },
+        };
+        if improved {
+            self.best = Some((value, index));
+        }
+    }
+
+    /// Current extremum, if any non-NaN element was observed.
+    #[must_use]
+    pub fn value(&self) -> Option<f32> {
+        self.best.map(|(v, _)| v)
+    }
+
+    /// Index of the current extremum, if any.
+    #[must_use]
+    pub fn index(&self) -> Option<u32> {
+        self.best.map(|(_, i)| i)
+    }
+
+    /// Clears the comparator for the next reduction.
+    pub fn clear(&mut self) {
+        self.best = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_tracks_smallest() {
+        let mut cmp = Comparator::new(CompareMode::Min);
+        for (i, &x) in [3.0f32, -1.0, 2.0, -1.0].iter().enumerate() {
+            cmp.observe(x, i as u32);
+        }
+        assert_eq!(cmp.value(), Some(-1.0));
+        assert_eq!(cmp.index(), Some(1));
+    }
+
+    #[test]
+    fn empty_comparator() {
+        let cmp = Comparator::new(CompareMode::Max);
+        assert_eq!(cmp.value(), None);
+        assert_eq!(cmp.index(), None);
+    }
+
+    #[test]
+    fn nan_ignored() {
+        let mut cmp = Comparator::new(CompareMode::Max);
+        cmp.observe(f32::NAN, 0);
+        assert_eq!(cmp.value(), None);
+        cmp.observe(1.0, 1);
+        cmp.observe(f32::NAN, 2);
+        assert_eq!(cmp.value(), Some(1.0));
+        assert_eq!(cmp.index(), Some(1));
+    }
+
+    #[test]
+    fn negative_zero_vs_zero_is_a_tie() {
+        // -0.0 < 0.0 is false in IEEE comparisons, so the first one wins.
+        let mut cmp = Comparator::new(CompareMode::Min);
+        cmp.observe(0.0, 0);
+        cmp.observe(-0.0, 1);
+        assert_eq!(cmp.index(), Some(0));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut cmp = Comparator::new(CompareMode::Min);
+        cmp.observe(1.0, 0);
+        cmp.clear();
+        assert_eq!(cmp.value(), None);
+    }
+
+    #[test]
+    fn infinity_participates() {
+        let mut cmp = Comparator::new(CompareMode::Max);
+        cmp.observe(1.0, 0);
+        cmp.observe(f32::INFINITY, 1);
+        assert_eq!(cmp.value(), Some(f32::INFINITY));
+        assert_eq!(cmp.index(), Some(1));
+    }
+}

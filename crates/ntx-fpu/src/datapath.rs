@@ -1,0 +1,281 @@
+//! The complete FPU datapath: FMAC + comparator + ALU register.
+//!
+//! [`FpuDatapath`] is the stateful execution unit the NTX controller
+//! issues micro-instructions to (Fig. 2 of the paper). It bundles the
+//! wide accumulator, the comparator with its index counter, and the ALU
+//! scalar register, and implements the per-cycle element operations of
+//! every NTX command.
+
+use crate::comparator::{CompareMode, Comparator};
+use crate::kulisch::WideAccumulator;
+
+/// Micro-operation classes the controller can issue, used both to drive
+/// [`FpuDatapath::execute`] and for flop accounting in the performance
+/// counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpuOp {
+    /// `accu += x * y` — the fast FMAC path (2 flop).
+    Mac,
+    /// `out = x + y` (1 flop).
+    Add,
+    /// `out = x - y` (1 flop).
+    Sub,
+    /// `out = x * y` (1 flop).
+    Mul,
+    /// Running minimum with index counter (1 flop-equivalent compare).
+    Min,
+    /// Running maximum with index counter (1 flop-equivalent compare).
+    Max,
+    /// `out = max(x, 0)` (1 flop-equivalent compare).
+    Relu,
+    /// `out = (x > r) ? y : 0` — threshold & mask (1 flop-equivalent).
+    ThresholdMask,
+    /// `out = x` — data movement only (0 flop).
+    Copy,
+    /// `out = r` — data movement only (0 flop).
+    Set,
+}
+
+impl FpuOp {
+    /// Floating-point operations retired per issued element, the figure
+    /// used by Fig. 3b of the paper ("commands and their throughput").
+    #[must_use]
+    pub fn flops_per_element(self) -> u64 {
+        match self {
+            FpuOp::Mac => 2,
+            FpuOp::Add
+            | FpuOp::Sub
+            | FpuOp::Mul
+            | FpuOp::Min
+            | FpuOp::Max
+            | FpuOp::Relu
+            | FpuOp::ThresholdMask => 1,
+            FpuOp::Copy | FpuOp::Set => 0,
+        }
+    }
+
+    /// True if the op reduces into the accumulator/comparator instead of
+    /// producing a per-element result.
+    #[must_use]
+    pub fn is_reduction(self) -> bool {
+        matches!(self, FpuOp::Mac | FpuOp::Min | FpuOp::Max)
+    }
+}
+
+/// The stateful FPU of one NTX co-processor.
+///
+/// # Example
+///
+/// ```
+/// use ntx_fpu::{FpuDatapath, FpuOp};
+///
+/// let mut fpu = FpuDatapath::new();
+/// fpu.init_accumulator(None); // accu = 0
+/// fpu.execute(FpuOp::Mac, 2.0, 3.0, 0);
+/// fpu.execute(FpuOp::Mac, 4.0, 0.5, 1);
+/// assert_eq!(fpu.store_accumulator(), 8.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FpuDatapath {
+    accumulator: WideAccumulator,
+    min_cmp: Comparator,
+    max_cmp: Comparator,
+    alu_register: f32,
+}
+
+impl Default for FpuDatapath {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FpuDatapath {
+    /// Creates a datapath with a cleared accumulator and `R = 0`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            accumulator: WideAccumulator::new(),
+            min_cmp: Comparator::new(CompareMode::Min),
+            max_cmp: Comparator::new(CompareMode::Max),
+            alu_register: 0.0,
+        }
+    }
+
+    /// Sets the ALU scalar register `R`.
+    pub fn set_register(&mut self, r: f32) {
+        self.alu_register = r;
+    }
+
+    /// Returns the ALU scalar register `R`.
+    #[must_use]
+    pub fn register(&self) -> f32 {
+        self.alu_register
+    }
+
+    /// Initialises the accumulator and comparators at the *init level* of
+    /// the loop nest: `Some(v)` loads `v` (the `accu = *AGU2` option of
+    /// Fig. 3a), `None` clears to zero.
+    pub fn init_accumulator(&mut self, initial: Option<f32>) {
+        self.accumulator.clear();
+        self.min_cmp.clear();
+        self.max_cmp.clear();
+        if let Some(v) = initial {
+            self.accumulator.add_value(v);
+            self.min_cmp.observe(v, u32::MAX);
+            self.max_cmp.observe(v, u32::MAX);
+        }
+    }
+
+    /// Executes one element operation. Returns the per-element output for
+    /// non-reduction ops, `None` for reductions (their result is read at
+    /// the store level via [`Self::store_accumulator`]).
+    ///
+    /// `index` is the value of the innermost index counter, used by the
+    /// argmin/argmax machinery.
+    pub fn execute(&mut self, op: FpuOp, x: f32, y: f32, index: u32) -> Option<f32> {
+        match op {
+            FpuOp::Mac => {
+                self.accumulator.add_product(x, y);
+                None
+            }
+            FpuOp::Min => {
+                self.min_cmp.observe(x, index);
+                None
+            }
+            FpuOp::Max => {
+                self.max_cmp.observe(x, index);
+                None
+            }
+            FpuOp::Add => Some(x + y),
+            FpuOp::Sub => Some(x - y),
+            FpuOp::Mul => Some(x * y),
+            FpuOp::Relu => Some(if x > 0.0 { x } else { 0.0 }),
+            FpuOp::ThresholdMask => Some(if x > self.alu_register { y } else { 0.0 }),
+            FpuOp::Copy => Some(x),
+            FpuOp::Set => Some(self.alu_register),
+        }
+    }
+
+    /// Reads the reduction result at the *store level*: the rounded wide
+    /// accumulator. The accumulator keeps its exact state so outer loop
+    /// levels can continue accumulating.
+    #[must_use]
+    pub fn store_accumulator(&self) -> f32 {
+        self.accumulator.round()
+    }
+
+    /// Result of a `Min` reduction (value), or 0 if nothing was observed.
+    #[must_use]
+    pub fn store_min(&self) -> f32 {
+        self.min_cmp.value().unwrap_or(0.0)
+    }
+
+    /// Result of a `Max` reduction (value), or 0 if nothing was observed.
+    #[must_use]
+    pub fn store_max(&self) -> f32 {
+        self.max_cmp.value().unwrap_or(0.0)
+    }
+
+    /// Index counter value for the argmin result.
+    #[must_use]
+    pub fn argmin(&self) -> Option<u32> {
+        self.min_cmp.index().filter(|&i| i != u32::MAX)
+    }
+
+    /// Index counter value for the argmax result.
+    #[must_use]
+    pub fn argmax(&self) -> Option<u32> {
+        self.max_cmp.index().filter(|&i| i != u32::MAX)
+    }
+
+    /// Direct access to the wide accumulator (used by precision studies).
+    #[must_use]
+    pub fn accumulator(&self) -> &WideAccumulator {
+        &self.accumulator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_reduction() {
+        let mut fpu = FpuDatapath::new();
+        fpu.init_accumulator(None);
+        for i in 1..=4 {
+            fpu.execute(FpuOp::Mac, i as f32, i as f32, i - 1);
+        }
+        assert_eq!(fpu.store_accumulator(), 30.0); // 1+4+9+16
+    }
+
+    #[test]
+    fn mac_with_memory_init() {
+        let mut fpu = FpuDatapath::new();
+        fpu.init_accumulator(Some(10.0));
+        fpu.execute(FpuOp::Mac, 2.0, 2.0, 0);
+        assert_eq!(fpu.store_accumulator(), 14.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let mut fpu = FpuDatapath::new();
+        assert_eq!(fpu.execute(FpuOp::Add, 2.0, 3.0, 0), Some(5.0));
+        assert_eq!(fpu.execute(FpuOp::Sub, 2.0, 3.0, 0), Some(-1.0));
+        assert_eq!(fpu.execute(FpuOp::Mul, 2.0, 3.0, 0), Some(6.0));
+        assert_eq!(fpu.execute(FpuOp::Copy, 7.0, 0.0, 0), Some(7.0));
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut fpu = FpuDatapath::new();
+        assert_eq!(fpu.execute(FpuOp::Relu, -1.5, 0.0, 0), Some(0.0));
+        assert_eq!(fpu.execute(FpuOp::Relu, 1.5, 0.0, 0), Some(1.5));
+        // NaN propagates as 0 through the `>` comparison, like hardware.
+        assert_eq!(fpu.execute(FpuOp::Relu, f32::NAN, 0.0, 0), Some(0.0));
+    }
+
+    #[test]
+    fn threshold_mask_uses_register() {
+        let mut fpu = FpuDatapath::new();
+        fpu.set_register(0.5);
+        assert_eq!(fpu.execute(FpuOp::ThresholdMask, 0.7, 42.0, 0), Some(42.0));
+        assert_eq!(fpu.execute(FpuOp::ThresholdMask, 0.3, 42.0, 0), Some(0.0));
+    }
+
+    #[test]
+    fn set_broadcasts_register() {
+        let mut fpu = FpuDatapath::new();
+        fpu.set_register(-3.25);
+        assert_eq!(fpu.execute(FpuOp::Set, 0.0, 0.0, 0), Some(-3.25));
+    }
+
+    #[test]
+    fn argmax_reduction() {
+        let mut fpu = FpuDatapath::new();
+        fpu.init_accumulator(None);
+        for (i, &x) in [0.1f32, 0.9, 0.4].iter().enumerate() {
+            fpu.execute(FpuOp::Max, x, 0.0, i as u32);
+        }
+        assert_eq!(fpu.store_max(), 0.9);
+        assert_eq!(fpu.argmax(), Some(1));
+    }
+
+    #[test]
+    fn argmin_with_memory_init_has_no_index() {
+        let mut fpu = FpuDatapath::new();
+        fpu.init_accumulator(Some(-100.0));
+        fpu.execute(FpuOp::Min, 1.0, 0.0, 0);
+        assert_eq!(fpu.store_min(), -100.0);
+        assert_eq!(fpu.argmin(), None); // extremum came from memory init
+    }
+
+    #[test]
+    fn flop_accounting() {
+        assert_eq!(FpuOp::Mac.flops_per_element(), 2);
+        assert_eq!(FpuOp::Add.flops_per_element(), 1);
+        assert_eq!(FpuOp::Copy.flops_per_element(), 0);
+        assert!(FpuOp::Mac.is_reduction());
+        assert!(!FpuOp::Add.is_reduction());
+    }
+}

@@ -1,0 +1,277 @@
+//! Bit-level helpers for IEEE 754 binary32 values.
+//!
+//! These are the primitives from which the wide accumulator is built:
+//! exact decomposition of an `f32` into an integer significand scaled by a
+//! power of two, and the inverse composition with round-to-nearest-even.
+
+/// Classification of an `f32` as seen by the NTX datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FloatClass {
+    /// Positive or negative zero.
+    Zero,
+    /// Subnormal or normal finite non-zero value.
+    Finite,
+    /// Positive or negative infinity.
+    Infinite,
+    /// Not a number.
+    Nan,
+}
+
+/// Exact decomposition of a finite `f32`: `value = sign * mantissa * 2^exp`.
+///
+/// `mantissa` is at most 2^24 - 1 and `exp >= -149`. Zero decomposes to a
+/// zero mantissa.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decomposed {
+    /// True when the value is negative (includes `-0.0`).
+    pub negative: bool,
+    /// Integer significand, `< 2^24`.
+    pub mantissa: u32,
+    /// Power-of-two scale of the least significant mantissa bit.
+    pub exp: i32,
+}
+
+/// Classifies a value the way the datapath does.
+#[must_use]
+pub fn classify(x: f32) -> FloatClass {
+    if x.is_nan() {
+        FloatClass::Nan
+    } else if x.is_infinite() {
+        FloatClass::Infinite
+    } else if x == 0.0 {
+        FloatClass::Zero
+    } else {
+        FloatClass::Finite
+    }
+}
+
+/// Decomposes a finite `f32` into sign, integer significand and exponent.
+///
+/// The result satisfies `value == sign * mantissa as f64 * 2f64.powi(exp)`
+/// exactly.
+///
+/// # Panics
+///
+/// Panics if `x` is NaN or infinite; the datapath filters those earlier.
+#[must_use]
+pub fn decompose(x: f32) -> Decomposed {
+    assert!(x.is_finite(), "decompose requires a finite value");
+    let bits = x.to_bits();
+    let negative = bits >> 31 != 0;
+    let biased = ((bits >> 23) & 0xff) as i32;
+    let frac = bits & 0x7f_ffff;
+    if biased == 0 {
+        // Subnormal (or zero): value = frac * 2^-149.
+        Decomposed {
+            negative,
+            mantissa: frac,
+            exp: -149,
+        }
+    } else {
+        // Normal: value = (2^23 + frac) * 2^(biased - 127 - 23).
+        Decomposed {
+            negative,
+            mantissa: (1 << 23) | frac,
+            exp: biased - 127 - 23,
+        }
+    }
+}
+
+/// Composes an `f32` from a sign, an arbitrary-width magnitude and the
+/// power-of-two weight of the magnitude's least significant bit, rounding
+/// to nearest-even. Overflow returns the correctly signed infinity.
+///
+/// `magnitude` is passed as a 128-bit window holding the most significant
+/// bits of the value with `lsb_exp` the weight of window bit 0; callers
+/// must set `sticky` if any non-zero bits were discarded below the window.
+#[must_use]
+pub fn compose(negative: bool, magnitude: u128, lsb_exp: i32, sticky: bool) -> f32 {
+    if magnitude == 0 {
+        return if sticky {
+            // All information was below the window: underflow to signed zero
+            // (the wide accumulator never does this; defensive only).
+            if negative {
+                -0.0
+            } else {
+                0.0
+            }
+        } else if negative {
+            -0.0
+        } else {
+            0.0
+        };
+    }
+    let top = 127 - magnitude.leading_zeros() as i32; // index of MSB
+    let msb_exp = lsb_exp + top; // weight of the MSB = 2^msb_exp
+    if msb_exp > 127 {
+        return if negative {
+            f32::NEG_INFINITY
+        } else {
+            f32::INFINITY
+        };
+    }
+    // Target LSB weight of the 24-bit significand.
+    let target_lsb = if msb_exp < -126 {
+        -149 // subnormal: fixed quantum
+    } else {
+        msb_exp - 23
+    };
+    let shift = target_lsb - lsb_exp; // how many window bits fall below target
+    let (mut mant, round_bit, extra_sticky) = if shift <= 0 {
+        // Window is coarser than (or equal to) the target quantum: exact shift up.
+        let up = (-shift) as u32;
+        if up >= 104 {
+            // Magnitude would exceed 2^128 after shift; cannot happen because
+            // msb_exp <= 127 bounds `top + up` to < 128 + 24.
+            (0u128, false, true)
+        } else {
+            (magnitude << up, false, false)
+        }
+    } else {
+        let down = shift as u32;
+        if down >= 128 {
+            (0u128, false, true)
+        } else {
+            let kept = magnitude >> down;
+            let dropped = magnitude & ((1u128 << down) - 1);
+            let round_bit = (dropped >> (down - 1)) & 1 == 1;
+            let below = dropped & ((1u128 << (down - 1)) - 1);
+            (kept, round_bit, below != 0)
+        }
+    };
+    let any_sticky = sticky || extra_sticky;
+    // Round to nearest, ties to even.
+    if round_bit && (any_sticky || mant & 1 == 1) {
+        mant += 1;
+    }
+    // Rounding may have carried into a new bit (e.g. 0xFFFFFF -> 0x1000000).
+    let mut exp = target_lsb;
+    if mant >> 24 != 0 {
+        // keep 24 bits
+        let over = 128 - 24 - mant.leading_zeros() as i32;
+        mant >>= over;
+        exp += over;
+    }
+    debug_assert!(mant < (1 << 24));
+    let value = mant as f64 * 2f64.powi(exp);
+    let out = value as f32; // exact: mant*2^exp representable or rounds identically
+    if negative {
+        -out
+    } else {
+        out
+    }
+}
+
+/// Returns the unit in the last place of `x` (the gap to the next
+/// representable value away from zero), used by error statistics.
+///
+/// # Panics
+///
+/// Panics if `x` is NaN or infinite.
+#[must_use]
+pub fn ulp(x: f32) -> f32 {
+    assert!(x.is_finite(), "ulp requires a finite value");
+    let a = x.abs();
+    let next = f32::from_bits(a.to_bits() + 1);
+    if next.is_infinite() {
+        a - f32::from_bits(a.to_bits() - 1)
+    } else {
+        next - a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decompose_normal() {
+        let d = decompose(1.5);
+        assert!(!d.negative);
+        assert_eq!(d.mantissa, 0xc0_0000);
+        assert_eq!(d.exp, -23);
+        assert_eq!(d.mantissa as f64 * 2f64.powi(d.exp), 1.5);
+    }
+
+    #[test]
+    fn decompose_subnormal() {
+        let x = f32::from_bits(3); // 3 * 2^-149
+        let d = decompose(x);
+        assert_eq!(d.mantissa, 3);
+        assert_eq!(d.exp, -149);
+    }
+
+    #[test]
+    fn decompose_negative_zero() {
+        let d = decompose(-0.0);
+        assert!(d.negative);
+        assert_eq!(d.mantissa, 0);
+    }
+
+    #[test]
+    fn decompose_max() {
+        let d = decompose(f32::MAX);
+        assert_eq!(d.mantissa, 0xff_ffff);
+        assert_eq!(d.exp, 104);
+    }
+
+    #[test]
+    fn compose_roundtrip_simple() {
+        for &x in &[1.0f32, -2.5, 1.0e-40, 3.4e38, 1.1754944e-38, -0.0] {
+            let d = decompose(x);
+            let y = compose(d.negative, d.mantissa as u128, d.exp, false);
+            assert_eq!(x.to_bits(), y.to_bits(), "roundtrip of {x}");
+        }
+    }
+
+    #[test]
+    fn compose_overflow_to_infinity() {
+        let y = compose(false, 1, 128, false);
+        assert_eq!(y, f32::INFINITY);
+        let y = compose(true, 1, 128, false);
+        assert_eq!(y, f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn compose_rounds_to_even() {
+        // 2^24 + 1 is halfway between 2^24 and 2^24 + 2 -> rounds to 2^24.
+        let y = compose(false, (1 << 24) | 1, 0, false);
+        assert_eq!(y, 16777216.0);
+        // With a sticky bit it must round up.
+        let y = compose(false, (1 << 24) | 1, 0, true);
+        assert_eq!(y, 16777218.0);
+    }
+
+    #[test]
+    fn compose_carry_propagation() {
+        // 0xFFFFFF.8 rounds up to 0x1000000 which needs a renormalise.
+        let y = compose(false, 0x1ff_ffff, -1, false);
+        assert_eq!(y, 16777216.0);
+    }
+
+    #[test]
+    fn compose_subnormal_rounding() {
+        // Smallest subnormal / 2 with sticky rounds to smallest subnormal.
+        let y = compose(false, 1, -150, true);
+        assert_eq!(y, f32::from_bits(1));
+        // Exactly half of the smallest subnormal ties to even zero.
+        let y = compose(false, 1, -150, false);
+        assert_eq!(y, 0.0);
+    }
+
+    #[test]
+    fn ulp_of_one() {
+        assert_eq!(ulp(1.0), f32::EPSILON);
+        assert_eq!(ulp(-1.0), f32::EPSILON);
+    }
+
+    #[test]
+    fn classify_all() {
+        assert_eq!(classify(0.0), FloatClass::Zero);
+        assert_eq!(classify(-0.0), FloatClass::Zero);
+        assert_eq!(classify(1.0), FloatClass::Finite);
+        assert_eq!(classify(f32::MIN_POSITIVE / 2.0), FloatClass::Finite);
+        assert_eq!(classify(f32::INFINITY), FloatClass::Infinite);
+        assert_eq!(classify(f32::NAN), FloatClass::Nan);
+    }
+}

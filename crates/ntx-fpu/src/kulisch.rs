@@ -1,0 +1,457 @@
+//! The wide (Kulisch-style) accumulator behind the NTX FMAC unit.
+//!
+//! §II-C of the paper: *"It is based on a Partial Carry-Save (PCS)
+//! accumulator which aggregates the 48 bit multiplication result at full
+//! fixed-point precision (≈300 bit). After accumulation the partial sums
+//! are reduced in multiple pipelined segments. [...] The wide accumulator
+//! and deferred rounding allows NTX to achieve higher precision than
+//! conventional FPUs."*
+//!
+//! The model below keeps the running sum as a 640-bit two's-complement
+//! fixed-point number whose bit 0 weighs 2^-298 — wide enough to hold
+//! *any* product of two finite `f32` values exactly (significand 48 bits,
+//! LSB weight down to 2^-298, magnitude up to almost 2^256) with headroom
+//! for at least 2^85 accumulation steps. Rounding to `f32`
+//! (round-to-nearest-even) happens once, at write-back, exactly like the
+//! deferred rounding of the silicon.
+
+use crate::float::{classify, compose, decompose, FloatClass};
+
+/// Weight of bit 0 of the accumulator is 2^[`LSB_EXP`].
+const LSB_EXP: i32 = -298;
+/// Number of 64-bit limbs in the fixed-point window.
+const LIMBS: usize = 10;
+
+/// Sticky special-value state of the accumulator.
+///
+/// IEEE special inputs do not have a fixed-point representation; the
+/// hardware handles them with sticky flags that override the numeric
+/// result at write-back, which this enum mirrors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AccuState {
+    /// All inputs so far were finite; the fixed-point sum is exact.
+    #[default]
+    Exact,
+    /// A positive infinity was accumulated (and no negative one).
+    PosInf,
+    /// A negative infinity was accumulated (and no positive one).
+    NegInf,
+    /// A NaN was accumulated, or infinities of both signs collided,
+    /// or an `inf * 0` product was formed.
+    Nan,
+}
+
+/// Exact fixed-point accumulator for sums of `f32` products.
+///
+/// # Example
+///
+/// ```
+/// use ntx_fpu::WideAccumulator;
+///
+/// let mut acc = WideAccumulator::new();
+/// for _ in 0..10 {
+///     acc.add_product(0.1, 1.0);
+/// }
+/// // 10 * 0.1 rounds to exactly 1.0 + 2^-23 with a single final rounding
+/// // of the exact sum; a sequential f32 loop returns 1.0000001 as well
+/// // here, but diverges for longer, cancelling sums.
+/// let exact = acc.round();
+/// assert!((exact - 1.0).abs() <= f32::EPSILON);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WideAccumulator {
+    limbs: [u64; LIMBS],
+    state: AccuState,
+}
+
+impl Default for WideAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WideAccumulator {
+    /// Creates a cleared accumulator (value zero, state [`AccuState::Exact`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            limbs: [0; LIMBS],
+            state: AccuState::Exact,
+        }
+    }
+
+    /// Clears the accumulator to zero and resets the special state.
+    pub fn clear(&mut self) {
+        self.limbs = [0; LIMBS];
+        self.state = AccuState::Exact;
+    }
+
+    /// Returns the sticky special-value state.
+    #[must_use]
+    pub fn state(&self) -> AccuState {
+        self.state
+    }
+
+    /// Returns true if the fixed-point sum is exactly zero and no special
+    /// value was seen.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.state == AccuState::Exact && self.limbs.iter().all(|&l| l == 0)
+    }
+
+    fn note_special(&mut self, incoming: AccuState) {
+        use AccuState::*;
+        self.state = match (self.state, incoming) {
+            (Nan, _) | (_, Nan) => Nan,
+            (PosInf, NegInf) | (NegInf, PosInf) => Nan,
+            (PosInf, _) | (_, PosInf) => PosInf,
+            (NegInf, _) | (_, NegInf) => NegInf,
+            (Exact, Exact) => Exact,
+        };
+    }
+
+    /// Accumulates the exact product `a * b`.
+    ///
+    /// Special values follow IEEE semantics with deferred resolution:
+    /// NaN inputs and `0 * inf` poison the accumulator; infinities are
+    /// sticky and signed, and opposite-signed infinities yield NaN.
+    pub fn add_product(&mut self, a: f32, b: f32) {
+        match (classify(a), classify(b)) {
+            (FloatClass::Nan, _) | (_, FloatClass::Nan) => {
+                self.note_special(AccuState::Nan);
+                return;
+            }
+            (FloatClass::Infinite, FloatClass::Zero)
+            | (FloatClass::Zero, FloatClass::Infinite) => {
+                self.note_special(AccuState::Nan);
+                return;
+            }
+            (FloatClass::Infinite, _) | (_, FloatClass::Infinite) => {
+                let neg = a.is_sign_negative() ^ b.is_sign_negative();
+                self.note_special(if neg { AccuState::NegInf } else { AccuState::PosInf });
+                return;
+            }
+            (FloatClass::Zero, _) | (_, FloatClass::Zero) => return,
+            (FloatClass::Finite, FloatClass::Finite) => {}
+        }
+        let da = decompose(a);
+        let db = decompose(b);
+        let product = u128::from(da.mantissa) * u128::from(db.mantissa);
+        if product == 0 {
+            return;
+        }
+        let exp = da.exp + db.exp;
+        let bitpos = (exp - LSB_EXP) as u32;
+        self.add_magnitude(product, bitpos, da.negative ^ db.negative);
+    }
+
+    /// Accumulates a single `f32` value (used when the accumulator is
+    /// initialised from memory, i.e. `accu = *AGU2` at the init level).
+    pub fn add_value(&mut self, x: f32) {
+        match classify(x) {
+            FloatClass::Nan => self.note_special(AccuState::Nan),
+            FloatClass::Infinite => self.note_special(if x > 0.0 {
+                AccuState::PosInf
+            } else {
+                AccuState::NegInf
+            }),
+            FloatClass::Zero => {}
+            FloatClass::Finite => {
+                let d = decompose(x);
+                if d.mantissa != 0 {
+                    let bitpos = (d.exp - LSB_EXP) as u32;
+                    self.add_magnitude(u128::from(d.mantissa), bitpos, d.negative);
+                }
+            }
+        }
+    }
+
+    /// Adds or subtracts `magnitude << bitpos` to the fixed-point window.
+    fn add_magnitude(&mut self, magnitude: u128, bitpos: u32, negative: bool) {
+        debug_assert!(bitpos as usize / 64 < LIMBS);
+        let limb = (bitpos / 64) as usize;
+        let off = bitpos % 64;
+        // Spread the shifted 128-bit magnitude over three 64-bit words.
+        let lo = magnitude << off;
+        let hi = if off == 0 {
+            0
+        } else {
+            (magnitude >> (64 - off)) >> 64
+        };
+        let words = [lo as u64, (lo >> 64) as u64, hi as u64];
+        if negative {
+            let mut borrow = 0u64;
+            for (i, &w) in words.iter().enumerate() {
+                if limb + i >= LIMBS {
+                    break;
+                }
+                let (r1, b1) = self.limbs[limb + i].overflowing_sub(w);
+                let (r2, b2) = r1.overflowing_sub(borrow);
+                self.limbs[limb + i] = r2;
+                borrow = u64::from(b1) + u64::from(b2);
+            }
+            let mut i = limb + words.len();
+            while borrow != 0 && i < LIMBS {
+                let (r, b) = self.limbs[i].overflowing_sub(borrow);
+                self.limbs[i] = r;
+                borrow = u64::from(b);
+                i += 1;
+            }
+        } else {
+            let mut carry = 0u64;
+            for (i, &w) in words.iter().enumerate() {
+                if limb + i >= LIMBS {
+                    break;
+                }
+                let (r1, c1) = self.limbs[limb + i].overflowing_add(w);
+                let (r2, c2) = r1.overflowing_add(carry);
+                self.limbs[limb + i] = r2;
+                carry = u64::from(c1) + u64::from(c2);
+            }
+            let mut i = limb + words.len();
+            while carry != 0 && i < LIMBS {
+                let (r, c) = self.limbs[i].overflowing_add(carry);
+                self.limbs[i] = r;
+                carry = u64::from(c);
+                i += 1;
+            }
+        }
+    }
+
+    /// Rounds the accumulated sum to `f32` (round-to-nearest-even).
+    ///
+    /// This is the single deferred rounding of the write-back path; the
+    /// accumulator itself is left unchanged so chained reductions can
+    /// continue (matching the store-level semantics of the loop nest).
+    #[must_use]
+    pub fn round(&self) -> f32 {
+        match self.state {
+            AccuState::Nan => return f32::NAN,
+            AccuState::PosInf => return f32::INFINITY,
+            AccuState::NegInf => return f32::NEG_INFINITY,
+            AccuState::Exact => {}
+        }
+        // Determine sign from the two's-complement top bit and obtain the
+        // magnitude.
+        let negative = self.limbs[LIMBS - 1] >> 63 != 0;
+        let mut mag = self.limbs;
+        if negative {
+            // mag = -limbs (two's complement negation).
+            let mut carry = 1u64;
+            for l in &mut mag {
+                let (r1, c1) = (!*l).overflowing_add(carry);
+                *l = r1;
+                carry = u64::from(c1);
+            }
+        }
+        // Locate the most significant set bit.
+        let Some(top_limb) = mag.iter().rposition(|&l| l != 0) else {
+            return if negative { -0.0 } else { 0.0 };
+        };
+        let top_bit = 63 - mag[top_limb].leading_zeros() as usize;
+        let h = top_limb * 64 + top_bit;
+        // Extract a 96-bit window [low, h] into a u128 plus a sticky flag
+        // for everything below. 96 bits comfortably exceed the 24-bit
+        // significand + guard/round needed by `compose`.
+        let low = h.saturating_sub(95);
+        let mut window: u128 = 0;
+        for i in (0..LIMBS).rev() {
+            let base = i * 64;
+            if base + 63 < low {
+                break;
+            }
+            if base > h {
+                continue;
+            }
+            for bit in (0..64).rev() {
+                let pos = base + bit;
+                if pos > h || pos < low {
+                    continue;
+                }
+                window = (window << 1) | u128::from((mag[i] >> bit) & 1);
+            }
+        }
+        let mut sticky = false;
+        for pos in 0..low {
+            if (mag[pos / 64] >> (pos % 64)) & 1 == 1 {
+                sticky = true;
+                break;
+            }
+        }
+        compose(negative, window, low as i32 + LSB_EXP, sticky)
+    }
+
+    /// Lossy conversion of the accumulated value to `f64`, for debugging
+    /// and error analysis. Special states map to the matching `f64`.
+    #[must_use]
+    pub fn to_f64_lossy(&self) -> f64 {
+        match self.state {
+            AccuState::Nan => return f64::NAN,
+            AccuState::PosInf => return f64::INFINITY,
+            AccuState::NegInf => return f64::NEG_INFINITY,
+            AccuState::Exact => {}
+        }
+        let negative = self.limbs[LIMBS - 1] >> 63 != 0;
+        let mut mag = self.limbs;
+        if negative {
+            let mut carry = 1u64;
+            for l in &mut mag {
+                let (r, c) = (!*l).overflowing_add(carry);
+                *l = r;
+                carry = u64::from(c);
+            }
+        }
+        let mut acc = 0f64;
+        for (i, &l) in mag.iter().enumerate() {
+            if l != 0 {
+                acc += l as f64 * 2f64.powi(64 * i as i32 + LSB_EXP);
+            }
+        }
+        if negative {
+            -acc
+        } else {
+            acc
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc_of(pairs: &[(f32, f32)]) -> WideAccumulator {
+        let mut acc = WideAccumulator::new();
+        for &(a, b) in pairs {
+            acc.add_product(a, b);
+        }
+        acc
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let acc = WideAccumulator::new();
+        assert!(acc.is_zero());
+        assert_eq!(acc.round(), 0.0);
+        assert!(!acc.round().is_sign_negative());
+    }
+
+    #[test]
+    fn single_product_exact() {
+        let acc = acc_of(&[(1.5, 2.5)]);
+        assert_eq!(acc.round(), 3.75);
+    }
+
+    #[test]
+    fn negative_sum() {
+        let acc = acc_of(&[(2.0, -3.0)]);
+        assert_eq!(acc.round(), -6.0);
+    }
+
+    #[test]
+    fn cancellation_is_exact() {
+        // (1e8 * 1e8) + 1 - (1e8 * 1e8) == 1 exactly in the wide window,
+        // while f32 FMA sequential accumulation loses the 1 entirely.
+        let acc = acc_of(&[(1.0e8, 1.0e8), (1.0, 1.0), (-1.0e8, 1.0e8)]);
+        assert_eq!(acc.round(), 1.0);
+        let seq = (1.0e8f32).mul_add(1.0e8, 0.0) + 1.0 + (-1.0e8f32) * 1.0e8;
+        assert_ne!(seq, 1.0);
+    }
+
+    #[test]
+    fn subnormal_products() {
+        let tiny = f32::from_bits(1); // 2^-149
+        let mut acc = WideAccumulator::new();
+        // tiny * tiny = 2^-298 = exactly bit 0 of the window.
+        acc.add_product(tiny, tiny);
+        assert!(!acc.is_zero());
+        // 2^-298 rounds to zero in f32...
+        assert_eq!(acc.round(), 0.0);
+        // ...but accumulating 2^149 of them yields exactly tiny.
+        let mut acc = WideAccumulator::new();
+        acc.add_product(tiny, 1.0);
+        assert_eq!(acc.round(), tiny);
+    }
+
+    #[test]
+    fn max_products_do_not_wrap() {
+        let mut acc = WideAccumulator::new();
+        for _ in 0..1000 {
+            acc.add_product(f32::MAX, f32::MAX);
+        }
+        assert_eq!(acc.round(), f32::INFINITY);
+        for _ in 0..1000 {
+            acc.add_product(-f32::MAX, f32::MAX);
+        }
+        assert_eq!(acc.round(), 0.0);
+        assert!(acc.is_zero());
+    }
+
+    #[test]
+    fn nan_is_sticky() {
+        let mut acc = WideAccumulator::new();
+        acc.add_product(f32::NAN, 1.0);
+        acc.add_product(1.0, 1.0);
+        assert!(acc.round().is_nan());
+        assert_eq!(acc.state(), AccuState::Nan);
+    }
+
+    #[test]
+    fn zero_times_inf_is_nan() {
+        let mut acc = WideAccumulator::new();
+        acc.add_product(0.0, f32::INFINITY);
+        assert!(acc.round().is_nan());
+    }
+
+    #[test]
+    fn opposite_infinities_are_nan() {
+        let mut acc = WideAccumulator::new();
+        acc.add_product(f32::INFINITY, 1.0);
+        assert_eq!(acc.state(), AccuState::PosInf);
+        acc.add_product(1.0, f32::NEG_INFINITY);
+        assert!(acc.round().is_nan());
+    }
+
+    #[test]
+    fn signed_infinity_product() {
+        let mut acc = WideAccumulator::new();
+        acc.add_product(-2.0, f32::INFINITY);
+        assert_eq!(acc.round(), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn add_value_roundtrips() {
+        for &x in &[0.5f32, -123.25, 1.0e-40, 3.0e38] {
+            let mut acc = WideAccumulator::new();
+            acc.add_value(x);
+            assert_eq!(acc.round(), x);
+        }
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut acc = acc_of(&[(f32::NAN, 1.0)]);
+        acc.clear();
+        assert!(acc.is_zero());
+        assert_eq!(acc.state(), AccuState::Exact);
+    }
+
+    #[test]
+    fn harmonic_sum_matches_f64_reference() {
+        // Sum of 1/k for k in 1..=10000 computed exactly then rounded once
+        // must match the f64 reference rounded to f32.
+        let mut acc = WideAccumulator::new();
+        let mut reference = 0f64;
+        for k in 1..=10_000 {
+            let x = 1.0f32 / k as f32;
+            acc.add_product(x, 1.0);
+            reference += f64::from(x);
+        }
+        assert_eq!(acc.round(), reference as f32);
+    }
+
+    #[test]
+    fn to_f64_lossy_tracks_value() {
+        let acc = acc_of(&[(3.0, 4.0), (0.5, 0.5)]);
+        assert!((acc.to_f64_lossy() - 12.25).abs() < 1e-12);
+    }
+}

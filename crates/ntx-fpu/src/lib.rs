@@ -1,0 +1,48 @@
+//! Floating-point datapath of the NTX streaming co-processor.
+//!
+//! This crate models the FPU described in §II-C of the DATE 2019 paper
+//! *"NTX: An Energy-efficient Streaming Accelerator for Floating-point
+//! Generalized Reduction Workloads in 22 nm FD-SOI"*:
+//!
+//! * a fast FMAC unit built around a **Partial-Carry-Save (PCS) wide
+//!   accumulator** that aggregates the exact 48-bit product of two
+//!   IEEE 754 `f32` values at full fixed-point precision and defers
+//!   rounding until the result is stored ([`WideAccumulator`]);
+//! * a **comparator with index counter** used for min/max/argmin/argmax
+//!   reductions ([`Comparator`]);
+//! * an **ALU register** used as a scalar operand for scaling, threshold
+//!   and memset-style commands ([`FpuDatapath`]).
+//!
+//! The hardware implements the accumulator as segmented partial
+//! carry-save registers (~300 bit); this model uses a plain
+//! two's-complement fixed-point window wide enough for the *entire*
+//! `f32 × f32` product range, which is numerically equivalent up to the
+//! single deferred rounding (a Kulisch accumulator).
+//!
+//! # Example
+//!
+//! ```
+//! use ntx_fpu::WideAccumulator;
+//!
+//! let mut acc = WideAccumulator::new();
+//! // Catastrophic cancellation that a plain f32 loop gets wrong:
+//! acc.add_product(3.0e7, 3.0e7); // 9.0e14
+//! acc.add_product(1.0, 1.0);
+//! acc.add_product(-3.0e7, 3.0e7);
+//! assert_eq!(acc.round(), 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod comparator;
+mod datapath;
+mod float;
+mod kulisch;
+mod rmse;
+
+pub use comparator::{CompareMode, Comparator};
+pub use datapath::{FpuDatapath, FpuOp};
+pub use float::{compose, decompose, ulp, Decomposed, FloatClass};
+pub use kulisch::{AccuState, WideAccumulator};
+pub use rmse::{rmse, rmse_ratio_vs_fma, ErrorStats};

@@ -1,0 +1,137 @@
+//! Property-based tests of the wide accumulator and float helpers.
+//!
+//! The reference for exactness is integer arithmetic: inputs are
+//! constrained so every product and the whole running sum fit in an
+//! `i128` fixed-point value, which Rust converts to `f32` with correct
+//! round-to-nearest-even — a fully independent oracle.
+
+use ntx_fpu::{compose, decompose, ulp, WideAccumulator};
+use proptest::prelude::*;
+
+/// Small floats of the form m * 2^e with |m| < 2^12 and e in [-12, 12].
+fn small_float() -> impl Strategy<Value = f32> {
+    (-(1i32 << 12)..(1i32 << 12), -12i32..=12).prop_map(|(m, e)| m as f32 * 2f32.powi(e))
+}
+
+/// Any finite f32 from raw bits.
+fn finite_f32() -> impl Strategy<Value = f32> {
+    any::<u32>().prop_filter_map("finite", |bits| {
+        let x = f32::from_bits(bits);
+        x.is_finite().then_some(x)
+    })
+}
+
+proptest! {
+    /// decompose/compose are exact inverses on every finite f32.
+    #[test]
+    fn decompose_compose_roundtrip(x in finite_f32()) {
+        let d = decompose(x);
+        let y = compose(d.negative, u128::from(d.mantissa), d.exp, false);
+        prop_assert_eq!(x.to_bits(), y.to_bits());
+    }
+
+    /// decompose reconstructs the exact value in f64.
+    #[test]
+    fn decompose_value_exact(x in finite_f32()) {
+        let d = decompose(x);
+        let v = d.mantissa as f64 * 2f64.powi(d.exp);
+        let v = if d.negative { -v } else { v };
+        // Comparing through f64 is exact: every f32 is exactly an f64.
+        if x == 0.0 {
+            prop_assert_eq!(v, 0.0);
+        } else {
+            prop_assert_eq!(v, f64::from(x));
+        }
+    }
+
+    /// The accumulator computes the correctly rounded exact sum of
+    /// products (oracle: i128 fixed-point arithmetic).
+    #[test]
+    fn accumulator_is_exact_sum(pairs in prop::collection::vec((small_float(), small_float()), 0..200)) {
+        let mut acc = WideAccumulator::new();
+        let mut exact: i128 = 0; // fixed point, LSB = 2^-48
+        for &(a, b) in &pairs {
+            acc.add_product(a, b);
+            // a = ma * 2^-24-ish; reconstruct exactly over 2^-48 grid:
+            let fa = (f64::from(a) * 2f64.powi(24)) as i128;
+            let fb = (f64::from(b) * 2f64.powi(24)) as i128;
+            // Both are exact integers by construction of small_float.
+            exact += fa * fb;
+        }
+        let expected = exact as f32 * 2f32.powi(-48);
+        // `i128 as f32` rounds to nearest even; multiplying by a power of
+        // two is exact in this range, so `expected` is the correctly
+        // rounded exact sum.
+        prop_assert_eq!(acc.round().to_bits(), expected.to_bits());
+    }
+
+    /// Accumulation is order-independent (exactness implies commutativity).
+    #[test]
+    fn accumulator_order_independent(pairs in prop::collection::vec((small_float(), small_float()), 1..50)) {
+        let mut fwd = WideAccumulator::new();
+        for &(a, b) in &pairs {
+            fwd.add_product(a, b);
+        }
+        let mut rev = WideAccumulator::new();
+        for &(a, b) in pairs.iter().rev() {
+            rev.add_product(a, b);
+        }
+        prop_assert_eq!(fwd.round().to_bits(), rev.round().to_bits());
+    }
+
+    /// x*y accumulated once rounds to the IEEE product (which is what an
+    /// FMA with a zero addend produces).
+    #[test]
+    fn single_product_matches_ieee(a in finite_f32(), b in finite_f32()) {
+        let mut acc = WideAccumulator::new();
+        acc.add_product(a, b);
+        let expected = a.mul_add(b, 0.0);
+        if expected.is_nan() {
+            prop_assert!(acc.round().is_nan());
+        } else if expected == 0.0 {
+            // The exact product may be a tiny non-zero value that IEEE
+            // flushes to zero only after rounding; both are acceptable
+            // zero representations here.
+            prop_assert_eq!(acc.round(), 0.0);
+        } else {
+            prop_assert_eq!(acc.round().to_bits(), expected.to_bits());
+        }
+    }
+
+    /// add_value then round reproduces the value bit-exactly.
+    #[test]
+    fn add_value_roundtrip(x in finite_f32()) {
+        let mut acc = WideAccumulator::new();
+        acc.add_value(x);
+        if x == 0.0 {
+            prop_assert_eq!(acc.round(), 0.0);
+        } else {
+            prop_assert_eq!(acc.round().to_bits(), x.to_bits());
+        }
+    }
+
+    /// Adding and subtracting the same products cancels exactly.
+    #[test]
+    fn exact_cancellation(pairs in prop::collection::vec((finite_f32(), finite_f32()), 0..50)) {
+        let mut acc = WideAccumulator::new();
+        for &(a, b) in &pairs {
+            if (a * b).is_nan() || f64::from(a) * f64::from(b) == 0.0 {
+                continue; // avoid NaN poisoning / sign-of-zero questions
+            }
+            acc.add_product(a, b);
+        }
+        for &(a, b) in &pairs {
+            if (a * b).is_nan() || f64::from(a) * f64::from(b) == 0.0 {
+                continue;
+            }
+            acc.add_product(-a, b);
+        }
+        prop_assert!(acc.is_zero(), "residue after cancelling all products");
+    }
+
+    /// ulp is positive and bounds the compose rounding error.
+    #[test]
+    fn ulp_positive(x in finite_f32()) {
+        prop_assert!(ulp(x) > 0.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Address Generation Units (§II-D).
+//!
+//! Each of the three AGUs holds a 32-bit byte address and five signed
+//! strides. After every innermost iteration the address advances by
+//! `strides[j]`, where `j` is the outermost loop level whose counter
+//! incremented in that cycle (reported by
+//! [`LoopCounters::advance`](crate::LoopCounters::advance)). Stride slots
+//! of disabled loop levels are never selected.
+
+use crate::error::ConfigError;
+use crate::loops::MAX_LOOPS;
+
+/// Static configuration of one AGU: base address plus per-level strides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AguConfig {
+    /// Starting byte address.
+    pub base: u32,
+    /// Stride (bytes) applied when loop level `j` is the outermost loop
+    /// advancing in a cycle.
+    pub strides: [i32; MAX_LOOPS],
+}
+
+impl AguConfig {
+    /// Creates a configuration from a base address and explicit strides.
+    #[must_use]
+    pub fn new(base: u32, strides: [i32; MAX_LOOPS]) -> Self {
+        Self { base, strides }
+    }
+
+    /// A linear stream: the same `step` regardless of which loop wrapped
+    /// (e.g. walking a contiguous tensor in storage order).
+    #[must_use]
+    pub fn stream(base: u32, step: i32) -> Self {
+        Self {
+            base,
+            strides: [step; MAX_LOOPS],
+        }
+    }
+
+    /// A fixed pointer that never moves (single store destination, or a
+    /// scalar re-read every iteration).
+    #[must_use]
+    pub fn fixed(base: u32) -> Self {
+        Self {
+            base,
+            strides: [0; MAX_LOOPS],
+        }
+    }
+
+    /// Validates 4-byte alignment of the base and all strides.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::UnalignedBase`] / [`ConfigError::UnalignedStride`].
+    pub fn validate(&self, agu_index: usize) -> Result<(), ConfigError> {
+        if self.base % 4 != 0 {
+            return Err(ConfigError::UnalignedBase {
+                agu: agu_index,
+                base: self.base,
+            });
+        }
+        for (slot, &s) in self.strides.iter().enumerate() {
+            if s % 4 != 0 {
+                return Err(ConfigError::UnalignedStride {
+                    agu: agu_index,
+                    slot,
+                    stride: s,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Dynamic state of one AGU during command execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Agu {
+    config: AguConfig,
+    address: u32,
+}
+
+impl Agu {
+    /// Loads the configuration and resets the pointer to the base.
+    #[must_use]
+    pub fn new(config: AguConfig) -> Self {
+        Self {
+            config,
+            address: config.base,
+        }
+    }
+
+    /// The current byte address.
+    #[must_use]
+    pub fn address(&self) -> u32 {
+        self.address
+    }
+
+    /// Advances the pointer for a cycle in which loop `level` was the
+    /// outermost loop to increment (wrapping 32-bit arithmetic, like the
+    /// hardware adder).
+    pub fn advance(&mut self, level: usize) {
+        let stride = self.config.strides[level];
+        self.address = self.address.wrapping_add(stride as u32);
+    }
+
+    /// Restarts the pointer at the base address (new command).
+    pub fn reset(&mut self) {
+        self.address = self.config.base;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loops::{LoopCounters, LoopNest};
+
+    #[test]
+    fn stream_walks_linearly() {
+        let mut agu = Agu::new(AguConfig::stream(0x100, 4));
+        assert_eq!(agu.address(), 0x100);
+        agu.advance(0);
+        agu.advance(3);
+        assert_eq!(agu.address(), 0x108);
+    }
+
+    #[test]
+    fn fixed_never_moves() {
+        let mut agu = Agu::new(AguConfig::fixed(0x40));
+        for level in 0..MAX_LOOPS {
+            agu.advance(level);
+        }
+        assert_eq!(agu.address(), 0x40);
+    }
+
+    #[test]
+    fn negative_stride_rewinds() {
+        let mut agu = Agu::new(AguConfig::new(0x20, [4, -8, 0, 0, 0]));
+        agu.advance(0);
+        agu.advance(0);
+        assert_eq!(agu.address(), 0x28);
+        agu.advance(1);
+        assert_eq!(agu.address(), 0x20);
+    }
+
+    #[test]
+    fn wrapping_arithmetic() {
+        let mut agu = Agu::new(AguConfig::new(0xffff_fffc, [4, 0, 0, 0, 0]));
+        agu.advance(0);
+        assert_eq!(agu.address(), 0);
+    }
+
+    #[test]
+    fn validate_alignment() {
+        assert!(AguConfig::stream(0x101, 4).validate(0).is_err());
+        assert!(AguConfig::new(0x100, [2, 0, 0, 0, 0]).validate(1).is_err());
+        assert!(AguConfig::stream(0x100, 4).validate(2).is_ok());
+    }
+
+    /// The canonical §II-D pattern: AGU strides + loop cascade walk a 2-D
+    /// row-major matrix with a row gap.
+    #[test]
+    fn two_d_walk_matches_reference() {
+        let cols = 3u32;
+        let row_pitch = 5 * 4; // matrix embedded in a wider buffer
+        let nest = LoopNest::nested(&[cols, 2]);
+        // After the last column of a row, jump to the next row start:
+        // stride at level 1 = row_pitch - (cols-1)*4.
+        let cfg = AguConfig::new(0, [4, row_pitch - (cols as i32 - 1) * 4, 0, 0, 0]);
+        let mut agu = Agu::new(cfg);
+        let mut counters = LoopCounters::new(nest);
+        let mut addrs = Vec::new();
+        loop {
+            addrs.push(agu.address());
+            match counters.advance() {
+                Some(level) => agu.advance(level),
+                None => break,
+            }
+        }
+        assert_eq!(addrs, vec![0, 4, 8, 20, 24, 28]);
+    }
+
+    #[test]
+    fn reset_returns_to_base() {
+        let mut agu = Agu::new(AguConfig::stream(0x10, 4));
+        agu.advance(0);
+        agu.reset();
+        assert_eq!(agu.address(), 0x10);
+    }
+}

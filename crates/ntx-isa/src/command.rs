@@ -1,0 +1,310 @@
+//! The NTX command set (Fig. 3b of the paper).
+//!
+//! The DATE paper prints the supported commands only as a figure; the
+//! mnemonics here follow the textual description in §II-C and the
+//! companion IEEE TC article: a fast FMAC reduction, element-wise vector
+//! arithmetic with either a memory or the ALU-register operand, min/max
+//! reductions with the index counter (argmin/argmax), ReLU, threshold &
+//! mask, and memcpy/memset.
+
+use crate::error::ConfigError;
+use ntx_fpu::FpuOp;
+
+/// Selects the second operand `y` of a two-operand command: read through
+/// AGU 1 or taken from the ALU scalar register `R` (Fig. 3b's `[..|..]`
+/// notation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OperandSelect {
+    /// `y = *AGU1`.
+    #[default]
+    Memory,
+    /// `y = R`.
+    Register,
+}
+
+/// How the accumulator is initialised at the init level (Fig. 3a:
+/// `accu = [0 | *AGU2]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AccuInit {
+    /// Start the reduction from zero.
+    #[default]
+    Zero,
+    /// Load the running value from memory through AGU 2 (read-modify-
+    /// write accumulation, e.g. accumulating output channels in place).
+    Memory,
+}
+
+/// What a reduction command writes back at the store level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreSource {
+    /// The rounded wide accumulator (MAC commands).
+    Accumulator,
+    /// The comparator value (min/max commands).
+    CompareValue,
+    /// The index counter (argmin/argmax commands), stored as a `u32`
+    /// bit pattern.
+    CompareIndex,
+    /// The per-element FPU output (element-wise commands).
+    Element,
+}
+
+/// One NTX command, the unit of work offloaded by the RISC-V core.
+///
+/// Reduction commands (`Mac`, `Min`, `Max`, `ArgMin`, `ArgMax`) run the
+/// FPU in the innermost loop and write back at the configured store
+/// level; element-wise commands produce one output per innermost
+/// iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Command {
+    /// `accu += *AGU0 * y` — the fast FMAC reduction (2 flop/cycle).
+    Mac {
+        /// Second multiplicand: memory stream or scalar register.
+        operand: OperandSelect,
+    },
+    /// `*AGU2 = *AGU0 + y`.
+    Add {
+        /// Second addend: memory stream or scalar register.
+        operand: OperandSelect,
+    },
+    /// `*AGU2 = *AGU0 - y`.
+    Sub {
+        /// Subtrahend: memory stream or scalar register.
+        operand: OperandSelect,
+    },
+    /// `*AGU2 = *AGU0 * y`.
+    Mul {
+        /// Second multiplicand: memory stream or scalar register.
+        operand: OperandSelect,
+    },
+    /// Running minimum of the `*AGU0` stream; stores the value.
+    Min,
+    /// Running maximum of the `*AGU0` stream; stores the value.
+    Max,
+    /// Running minimum of the `*AGU0` stream; stores the index counter.
+    ArgMin,
+    /// Running maximum of the `*AGU0` stream; stores the index counter.
+    ArgMax,
+    /// `*AGU2 = max(*AGU0, 0)` — rectified linear unit.
+    Relu,
+    /// `*AGU2 = (*AGU0 > R) ? *AGU1 : 0` — threshold & mask.
+    ThresholdMask,
+    /// `*AGU2 = *AGU0` — memcpy through the streamer (0 flop).
+    Copy,
+    /// `*AGU2 = R` — memset through the streamer (0 flop).
+    Set,
+}
+
+impl Command {
+    /// The FPU micro-op this command issues each innermost cycle.
+    #[must_use]
+    pub fn fpu_op(self) -> FpuOp {
+        match self {
+            Command::Mac { .. } => FpuOp::Mac,
+            Command::Add { .. } => FpuOp::Add,
+            Command::Sub { .. } => FpuOp::Sub,
+            Command::Mul { .. } => FpuOp::Mul,
+            Command::Min | Command::ArgMin => FpuOp::Min,
+            Command::Max | Command::ArgMax => FpuOp::Max,
+            Command::Relu => FpuOp::Relu,
+            Command::ThresholdMask => FpuOp::ThresholdMask,
+            Command::Copy => FpuOp::Copy,
+            Command::Set => FpuOp::Set,
+        }
+    }
+
+    /// True for commands that reduce over the loop nest instead of
+    /// producing one output per element.
+    #[must_use]
+    pub fn is_reduction(self) -> bool {
+        matches!(
+            self,
+            Command::Mac { .. }
+                | Command::Min
+                | Command::Max
+                | Command::ArgMin
+                | Command::ArgMax
+        )
+    }
+
+    /// What the store path writes through AGU 2.
+    #[must_use]
+    pub fn store_source(self) -> StoreSource {
+        match self {
+            Command::Mac { .. } => StoreSource::Accumulator,
+            Command::Min | Command::Max => StoreSource::CompareValue,
+            Command::ArgMin | Command::ArgMax => StoreSource::CompareIndex,
+            _ => StoreSource::Element,
+        }
+    }
+
+    /// Number of TCDM reads issued per innermost iteration.
+    #[must_use]
+    pub fn reads_per_element(self) -> u32 {
+        match self {
+            Command::Mac { operand }
+            | Command::Add { operand }
+            | Command::Sub { operand }
+            | Command::Mul { operand } => match operand {
+                OperandSelect::Memory => 2,
+                OperandSelect::Register => 1,
+            },
+            Command::ThresholdMask => 2,
+            Command::Min | Command::Max | Command::ArgMin | Command::ArgMax => 1,
+            Command::Relu | Command::Copy => 1,
+            Command::Set => 0,
+        }
+    }
+
+    /// Floating-point operations retired per innermost iteration, the
+    /// throughput column of Fig. 3b.
+    #[must_use]
+    pub fn flops_per_element(self) -> u64 {
+        self.fpu_op().flops_per_element()
+    }
+
+    /// Encodes the command into the 32-bit command-register format.
+    ///
+    /// Layout: bits `[7:0]` opcode, bit `8` operand select (1 = register).
+    #[must_use]
+    pub fn encode(self) -> u32 {
+        let (op, sel): (u32, OperandSelect) = match self {
+            Command::Mac { operand } => (0x01, operand),
+            Command::Add { operand } => (0x02, operand),
+            Command::Sub { operand } => (0x03, operand),
+            Command::Mul { operand } => (0x04, operand),
+            Command::Min => (0x05, OperandSelect::Memory),
+            Command::Max => (0x06, OperandSelect::Memory),
+            Command::ArgMin => (0x07, OperandSelect::Memory),
+            Command::ArgMax => (0x08, OperandSelect::Memory),
+            Command::Relu => (0x09, OperandSelect::Memory),
+            Command::ThresholdMask => (0x0a, OperandSelect::Memory),
+            Command::Copy => (0x0b, OperandSelect::Memory),
+            Command::Set => (0x0c, OperandSelect::Memory),
+        };
+        op | (u32::from(sel == OperandSelect::Register) << 8)
+    }
+
+    /// Decodes a command-register word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::UnknownCommandEncoding`] for opcodes outside
+    /// the command set.
+    pub fn decode(raw: u32) -> Result<Self, ConfigError> {
+        let operand = if raw & 0x100 != 0 {
+            OperandSelect::Register
+        } else {
+            OperandSelect::Memory
+        };
+        Ok(match raw & 0xff {
+            0x01 => Command::Mac { operand },
+            0x02 => Command::Add { operand },
+            0x03 => Command::Sub { operand },
+            0x04 => Command::Mul { operand },
+            0x05 => Command::Min,
+            0x06 => Command::Max,
+            0x07 => Command::ArgMin,
+            0x08 => Command::ArgMax,
+            0x09 => Command::Relu,
+            0x0a => Command::ThresholdMask,
+            0x0b => Command::Copy,
+            0x0c => Command::Set,
+            _ => return Err(ConfigError::UnknownCommandEncoding { raw }),
+        })
+    }
+
+    /// All distinct command variants (with both operand selections where
+    /// applicable), used by exhaustive tests and documentation tables.
+    #[must_use]
+    pub fn all() -> Vec<Command> {
+        let mut v = Vec::new();
+        for operand in [OperandSelect::Memory, OperandSelect::Register] {
+            v.push(Command::Mac { operand });
+            v.push(Command::Add { operand });
+            v.push(Command::Sub { operand });
+            v.push(Command::Mul { operand });
+        }
+        v.extend([
+            Command::Min,
+            Command::Max,
+            Command::ArgMin,
+            Command::ArgMax,
+            Command::Relu,
+            Command::ThresholdMask,
+            Command::Copy,
+            Command::Set,
+        ]);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip_all() {
+        for cmd in Command::all() {
+            let enc = cmd.encode();
+            let dec = Command::decode(enc).expect("known encoding");
+            assert_eq!(cmd, dec, "roundtrip of {cmd:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert!(matches!(
+            Command::decode(0xff),
+            Err(ConfigError::UnknownCommandEncoding { raw: 0xff })
+        ));
+        assert!(Command::decode(0).is_err());
+    }
+
+    #[test]
+    fn mac_throughput_is_two_flops() {
+        let mac = Command::Mac {
+            operand: OperandSelect::Memory,
+        };
+        assert_eq!(mac.flops_per_element(), 2);
+        assert_eq!(mac.reads_per_element(), 2);
+        assert!(mac.is_reduction());
+    }
+
+    #[test]
+    fn register_operand_halves_reads() {
+        let mac = Command::Mac {
+            operand: OperandSelect::Register,
+        };
+        assert_eq!(mac.reads_per_element(), 1);
+    }
+
+    #[test]
+    fn copy_set_move_data_without_flops() {
+        assert_eq!(Command::Copy.flops_per_element(), 0);
+        assert_eq!(Command::Set.flops_per_element(), 0);
+        assert_eq!(Command::Set.reads_per_element(), 0);
+        assert_eq!(Command::Copy.reads_per_element(), 1);
+    }
+
+    #[test]
+    fn store_sources() {
+        assert_eq!(
+            Command::Mac {
+                operand: OperandSelect::Memory
+            }
+            .store_source(),
+            StoreSource::Accumulator
+        );
+        assert_eq!(Command::Min.store_source(), StoreSource::CompareValue);
+        assert_eq!(Command::ArgMax.store_source(), StoreSource::CompareIndex);
+        assert_eq!(Command::Relu.store_source(), StoreSource::Element);
+    }
+
+    #[test]
+    fn reductions_classified() {
+        assert!(Command::ArgMin.is_reduction());
+        assert!(!Command::Relu.is_reduction());
+        assert!(!Command::Copy.is_reduction());
+    }
+}

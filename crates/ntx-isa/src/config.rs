@@ -1,0 +1,262 @@
+//! The complete NTX command configuration and its builder.
+
+use crate::agu::AguConfig;
+use crate::command::{AccuInit, Command, OperandSelect};
+use crate::error::ConfigError;
+use crate::loops::LoopNest;
+
+/// Everything one offloaded NTX command needs: the command itself, the
+/// loop nest, the three address generators, the accumulator init mode
+/// and the ALU scalar register (§II-E).
+///
+/// Construct via [`NtxConfig::builder`], which validates all hardware
+/// constraints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NtxConfig {
+    /// The command to execute in the innermost loop.
+    pub command: Command,
+    /// The hardware loop nest.
+    pub loops: LoopNest,
+    /// The three address generators (0 and 1 read, 2 reads/writes).
+    pub agus: [AguConfig; 3],
+    /// Accumulator initialisation at the init level.
+    pub accu_init: AccuInit,
+    /// The ALU scalar register `R`.
+    pub register: f32,
+}
+
+impl NtxConfig {
+    /// Starts building a configuration.
+    #[must_use]
+    pub fn builder() -> NtxConfigBuilder {
+        NtxConfigBuilder::new()
+    }
+
+    /// Validates the full configuration against the hardware limits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first violated constraint as a [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.loops.validate()?;
+        for (i, agu) in self.agus.iter().enumerate() {
+            agu.validate(i)?;
+        }
+        if self.command.is_reduction() && self.loops.store_level() == 0 {
+            return Err(ConfigError::ReductionStoresEveryCycle);
+        }
+        Ok(())
+    }
+
+    /// Total floating-point operations this command retires.
+    #[must_use]
+    pub fn total_flops(&self) -> u64 {
+        self.loops.total_iterations() * self.command.flops_per_element()
+    }
+
+    /// Total TCDM read accesses (element reads plus accumulator-init
+    /// reads when `accu_init` is [`AccuInit::Memory`]).
+    #[must_use]
+    pub fn total_reads(&self) -> u64 {
+        let element = self.loops.total_iterations() * u64::from(self.command.reads_per_element());
+        let init = if self.command.is_reduction() && self.accu_init == AccuInit::Memory {
+            self.loops.init_events()
+        } else {
+            0
+        };
+        element + init
+    }
+
+    /// Total TCDM write accesses (store events; element-wise commands
+    /// write every iteration).
+    #[must_use]
+    pub fn total_writes(&self) -> u64 {
+        if self.command.is_reduction() {
+            self.loops.store_events()
+        } else {
+            self.loops.total_iterations()
+        }
+    }
+}
+
+/// Builder for [`NtxConfig`] (non-consuming, per the builder guideline).
+///
+/// # Example
+///
+/// ```
+/// use ntx_isa::{AguConfig, Command, LoopNest, NtxConfig, OperandSelect};
+///
+/// let cfg = NtxConfig::builder()
+///     .command(Command::Set)
+///     .register(1.5)
+///     .loops(LoopNest::elementwise(32))
+///     .agu(2, AguConfig::stream(0x400, 4))
+///     .build()?;
+/// assert_eq!(cfg.total_writes(), 32);
+/// # Ok::<(), ntx_isa::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NtxConfigBuilder {
+    command: Command,
+    loops: LoopNest,
+    agus: [AguConfig; 3],
+    accu_init: AccuInit,
+    register: f32,
+}
+
+impl Default for NtxConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NtxConfigBuilder {
+    /// Creates a builder with a 1-element MAC reduction as the neutral
+    /// starting point.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            command: Command::Mac {
+                operand: OperandSelect::Memory,
+            },
+            loops: LoopNest::vector(1),
+            agus: [AguConfig::default(); 3],
+            accu_init: AccuInit::Zero,
+            register: 0.0,
+        }
+    }
+
+    /// Sets the command.
+    pub fn command(&mut self, command: Command) -> &mut Self {
+        self.command = command;
+        self
+    }
+
+    /// Sets the loop nest.
+    pub fn loops(&mut self, loops: LoopNest) -> &mut Self {
+        self.loops = loops;
+        self
+    }
+
+    /// Sets AGU `index` (0..3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 3`.
+    pub fn agu(&mut self, index: usize, config: AguConfig) -> &mut Self {
+        self.agus[index] = config;
+        self
+    }
+
+    /// Sets the accumulator initialisation mode.
+    pub fn accu_init(&mut self, init: AccuInit) -> &mut Self {
+        self.accu_init = init;
+        self
+    }
+
+    /// Sets the ALU scalar register `R`.
+    pub fn register(&mut self, r: f32) -> &mut Self {
+        self.register = r;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated hardware constraint.
+    pub fn build(&self) -> Result<NtxConfig, ConfigError> {
+        let cfg = NtxConfig {
+            command: self.command,
+            loops: self.loops,
+            agus: self.agus,
+            accu_init: self.accu_init,
+            register: self.register,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac() -> Command {
+        Command::Mac {
+            operand: OperandSelect::Memory,
+        }
+    }
+
+    #[test]
+    fn builder_produces_valid_config() {
+        let cfg = NtxConfig::builder()
+            .command(mac())
+            .loops(LoopNest::vector(16))
+            .agu(0, AguConfig::stream(0, 4))
+            .agu(1, AguConfig::stream(0x100, 4))
+            .agu(2, AguConfig::fixed(0x200))
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.total_flops(), 32);
+        assert_eq!(cfg.total_reads(), 32);
+        assert_eq!(cfg.total_writes(), 1);
+    }
+
+    #[test]
+    fn reduction_with_elementwise_store_rejected() {
+        let err = NtxConfig::builder()
+            .command(mac())
+            .loops(LoopNest::elementwise(4))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ReductionStoresEveryCycle);
+    }
+
+    #[test]
+    fn memory_init_adds_reads() {
+        let cfg = NtxConfig::builder()
+            .command(mac())
+            .loops(LoopNest::nested(&[8, 4]).with_levels(1, 1))
+            .accu_init(AccuInit::Memory)
+            .build()
+            .expect("valid");
+        // 32 iterations * 2 reads + 4 init reads.
+        assert_eq!(cfg.total_reads(), 68);
+        assert_eq!(cfg.total_writes(), 4);
+    }
+
+    #[test]
+    fn elementwise_writes_every_iteration() {
+        let cfg = NtxConfig::builder()
+            .command(Command::Relu)
+            .loops(LoopNest::elementwise(10))
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.total_writes(), 10);
+        assert_eq!(cfg.total_reads(), 10);
+        assert_eq!(cfg.total_flops(), 10);
+    }
+
+    #[test]
+    fn invalid_agu_rejected() {
+        let err = NtxConfig::builder()
+            .command(mac())
+            .loops(LoopNest::vector(4))
+            .agu(1, AguConfig::stream(3, 4))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::UnalignedBase { agu: 1, .. }));
+    }
+
+    #[test]
+    fn builder_is_reusable() {
+        let mut b = NtxConfig::builder();
+        b.command(Command::Copy).loops(LoopNest::elementwise(4));
+        let c1 = b.build().expect("valid");
+        b.loops(LoopNest::elementwise(8));
+        let c2 = b.build().expect("valid");
+        assert_eq!(c1.loops.total_iterations(), 4);
+        assert_eq!(c2.loops.total_iterations(), 8);
+    }
+}

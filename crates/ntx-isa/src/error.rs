@@ -1,0 +1,138 @@
+//! Validation errors for NTX configurations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Reasons an [`NtxConfig`](crate::NtxConfig) or a raw register-file image
+/// fails validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A loop bound exceeds the 16-bit hardware counter (max 65 535).
+    LoopBoundTooLarge {
+        /// Loop level, 0 = innermost.
+        level: usize,
+        /// The offending bound.
+        bound: u32,
+    },
+    /// An enabled loop has a zero iteration count.
+    ZeroLoopBound {
+        /// Loop level, 0 = innermost.
+        level: usize,
+    },
+    /// `outer_level` is outside `1..=5`.
+    InvalidOuterLevel {
+        /// The offending value.
+        outer: usize,
+    },
+    /// `init_level` or `store_level` exceeds `outer_level`.
+    LevelOutOfRange {
+        /// `"init"` or `"store"`.
+        which: &'static str,
+        /// The offending level.
+        level: usize,
+        /// The configured `outer_level`.
+        outer: usize,
+    },
+    /// A reduction command requires `store_level >= 1`.
+    ReductionStoresEveryCycle,
+    /// An address-generator base address is not 4-byte aligned.
+    UnalignedBase {
+        /// AGU index (0..3).
+        agu: usize,
+        /// The offending base address.
+        base: u32,
+    },
+    /// An address-generator stride is not a multiple of 4 bytes.
+    UnalignedStride {
+        /// AGU index (0..3).
+        agu: usize,
+        /// Stride slot (loop level).
+        slot: usize,
+        /// The offending stride.
+        stride: i32,
+    },
+    /// The command register holds an encoding that maps to no command.
+    UnknownCommandEncoding {
+        /// The offending raw word.
+        raw: u32,
+    },
+    /// A register-file access was outside the NTX register window.
+    RegisterOffsetOutOfRange {
+        /// The offending byte offset.
+        offset: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::LoopBoundTooLarge { level, bound } => write!(
+                f,
+                "loop {level} bound {bound} exceeds the 16-bit hardware counter"
+            ),
+            ConfigError::ZeroLoopBound { level } => {
+                write!(f, "enabled loop {level} has a zero iteration count")
+            }
+            ConfigError::InvalidOuterLevel { outer } => {
+                write!(f, "outer level {outer} is outside 1..=5")
+            }
+            ConfigError::LevelOutOfRange {
+                which,
+                level,
+                outer,
+            } => write!(
+                f,
+                "{which} level {level} exceeds the outer level {outer}"
+            ),
+            ConfigError::ReductionStoresEveryCycle => {
+                write!(f, "reduction commands require a store level of at least 1")
+            }
+            ConfigError::UnalignedBase { agu, base } => {
+                write!(f, "AGU {agu} base address {base:#x} is not 4-byte aligned")
+            }
+            ConfigError::UnalignedStride { agu, slot, stride } => write!(
+                f,
+                "AGU {agu} stride {slot} ({stride}) is not a multiple of 4 bytes"
+            ),
+            ConfigError::UnknownCommandEncoding { raw } => {
+                write!(f, "command word {raw:#010x} maps to no NTX command")
+            }
+            ConfigError::RegisterOffsetOutOfRange { offset } => {
+                write!(f, "register offset {offset:#x} is outside the NTX window")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_without_period() {
+        let samples: Vec<ConfigError> = vec![
+            ConfigError::LoopBoundTooLarge {
+                level: 1,
+                bound: 70_000,
+            },
+            ConfigError::ZeroLoopBound { level: 0 },
+            ConfigError::InvalidOuterLevel { outer: 9 },
+            ConfigError::ReductionStoresEveryCycle,
+            ConfigError::UnknownCommandEncoding { raw: 0xdead_beef },
+        ];
+        for e in samples {
+            let msg = e.to_string();
+            assert!(!msg.ends_with('.'), "no trailing period: {msg}");
+            assert!(!msg.is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<ConfigError>();
+    }
+}

@@ -1,0 +1,56 @@
+//! Instruction-set architecture of the NTX streaming co-processor.
+//!
+//! This crate defines everything a program needs to *describe* work for
+//! NTX, independent of the cycle simulator that executes it:
+//!
+//! * the [`Command`] set (§II-C and Fig. 3b of the paper): FMAC-based
+//!   reductions, element-wise vector arithmetic, min/max with argmin /
+//!   argmax via the index counter, ReLU, threshold/mask, memcpy/memset;
+//! * the [`LoopNest`] descriptor for the five cascaded 16-bit hardware
+//!   loops with programmable *init* and *store* levels (§II-D, Fig. 3a);
+//! * the [`AguConfig`] address generators: three 32-bit pointers, each
+//!   with five programmable strides selected by the outermost loop that
+//!   advanced in a cycle (§II-D);
+//! * the [`NtxConfig`] bundle with a validating [`NtxConfigBuilder`];
+//! * the memory-mapped [`RegFile`] layout used by the RISC-V core to
+//!   offload commands, including the double-buffered commit-on-command
+//!   write semantics (§II-E).
+//!
+//! # Example: describing a GEMV row reduction
+//!
+//! ```
+//! use ntx_isa::{AguConfig, Command, LoopNest, NtxConfig, OperandSelect};
+//!
+//! let rows = 8u32;
+//! let cols = 16u32;
+//! let cfg = NtxConfig::builder()
+//!     .command(Command::Mac { operand: OperandSelect::Memory })
+//!     // loop0 = columns (dot product), loop1 = rows.
+//!     .loops(LoopNest::nested(&[cols, rows]).with_levels(1, 1))
+//!     // A is row-major: advance 4 bytes per column, wraps naturally.
+//!     .agu(0, AguConfig::stream(0x0000, 4))
+//!     // x is re-read every row: advance 4 per column, rewind per row.
+//!     .agu(1, AguConfig::new(0x1000, [4, -((cols as i32 - 1) * 4), 0, 0, 0]))
+//!     // y takes one store per row.
+//!     .agu(2, AguConfig::new(0x2000, [0, 4, 0, 0, 0]))
+//!     .build()?;
+//! assert_eq!(cfg.loops.total_iterations(), (rows * cols) as u64);
+//! # Ok::<(), ntx_isa::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agu;
+mod command;
+mod config;
+mod error;
+mod loops;
+mod regfile;
+
+pub use agu::{Agu, AguConfig};
+pub use command::{AccuInit, Command, OperandSelect, StoreSource};
+pub use config::{NtxConfig, NtxConfigBuilder};
+pub use error::ConfigError;
+pub use loops::{LoopCounters, LoopNest, MAX_LOOPS};
+pub use regfile::{RegFile, RegOffset, WriteEffect, NTX_REGFILE_BYTES};

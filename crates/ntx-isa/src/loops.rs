@@ -1,0 +1,436 @@
+//! The five cascaded hardware loops (§II-D).
+//!
+//! Each loop maintains a 16-bit counter with a programmable iteration
+//! count. Counters cascade: when a counter wraps from its maximum back to
+//! zero it increments the next-outer loop — exactly a software loop nest,
+//! but advancing one innermost iteration per clock cycle.
+//!
+//! [`LoopNest`] is the static description (bounds, enabled depth, init
+//! and store levels); [`LoopCounters`] is the dynamic state stepped by
+//! the execution engine.
+
+use crate::error::ConfigError;
+
+/// Number of hardware loops in NTX.
+pub const MAX_LOOPS: usize = 5;
+
+/// Static description of the loop nest offloaded to NTX (Fig. 3a).
+///
+/// * `bounds[l]` is the iteration count of loop `l` (0 = innermost).
+/// * `outer` enables loops `0..outer`.
+/// * `init_level = k` re-initialises the accumulator every time loops
+///   `0..k` are about to start a fresh pass (i.e. once per iteration of
+///   loop `k`); `init_level = outer` initialises exactly once.
+/// * `store_level = k` writes the reduction result after every complete
+///   pass of loops `0..k`; `store_level = 0` means an element-wise store
+///   on every innermost cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LoopNest {
+    bounds: [u32; MAX_LOOPS],
+    outer: usize,
+    init_level: usize,
+    store_level: usize,
+}
+
+impl LoopNest {
+    /// Describes a flat vector of `n` elements: one loop, init before and
+    /// store after the full reduction.
+    #[must_use]
+    pub fn vector(n: u32) -> Self {
+        Self {
+            bounds: [n, 1, 1, 1, 1],
+            outer: 1,
+            init_level: 1,
+            store_level: 1,
+        }
+    }
+
+    /// Describes an element-wise pass over `n` elements (store every
+    /// cycle).
+    #[must_use]
+    pub fn elementwise(n: u32) -> Self {
+        Self {
+            bounds: [n, 1, 1, 1, 1],
+            outer: 1,
+            init_level: 1,
+            store_level: 0,
+        }
+    }
+
+    /// Builds a nest from iteration counts, innermost first. Up to
+    /// [`MAX_LOOPS`] entries. Defaults to init/store at the innermost
+    /// reduction boundary (`level 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty or longer than [`MAX_LOOPS`]; bound
+    /// *values* are validated by [`NtxConfig::builder`](crate::NtxConfig::builder).
+    #[must_use]
+    pub fn nested(counts: &[u32]) -> Self {
+        assert!(
+            !counts.is_empty() && counts.len() <= MAX_LOOPS,
+            "loop nest depth must be 1..=5"
+        );
+        let mut bounds = [1u32; MAX_LOOPS];
+        bounds[..counts.len()].copy_from_slice(counts);
+        Self {
+            bounds,
+            outer: counts.len(),
+            init_level: 1,
+            store_level: 1,
+        }
+    }
+
+    /// Sets the init and store levels (returns the modified nest).
+    #[must_use]
+    pub fn with_levels(mut self, init_level: usize, store_level: usize) -> Self {
+        self.init_level = init_level;
+        self.store_level = store_level;
+        self
+    }
+
+    /// Iteration count of loop `level` (0 = innermost).
+    #[must_use]
+    pub fn bound(&self, level: usize) -> u32 {
+        self.bounds[level]
+    }
+
+    /// All five bounds, innermost first (disabled loops read as 1).
+    #[must_use]
+    pub fn bounds(&self) -> [u32; MAX_LOOPS] {
+        self.bounds
+    }
+
+    /// Number of enabled loops.
+    #[must_use]
+    pub fn outer_level(&self) -> usize {
+        self.outer
+    }
+
+    /// Accumulator re-initialisation level.
+    #[must_use]
+    pub fn init_level(&self) -> usize {
+        self.init_level
+    }
+
+    /// Reduction write-back level.
+    #[must_use]
+    pub fn store_level(&self) -> usize {
+        self.store_level
+    }
+
+    /// Total innermost iterations (= busy cycles without stalls).
+    #[must_use]
+    pub fn total_iterations(&self) -> u64 {
+        self.bounds[..self.outer]
+            .iter()
+            .map(|&b| u64::from(b))
+            .product()
+    }
+
+    /// Number of store events a reduction with this nest produces.
+    #[must_use]
+    pub fn store_events(&self) -> u64 {
+        if self.store_level == 0 {
+            self.total_iterations()
+        } else {
+            self.bounds[self.store_level..self.outer]
+                .iter()
+                .map(|&b| u64::from(b))
+                .product()
+        }
+    }
+
+    /// Number of accumulator initialisation events.
+    #[must_use]
+    pub fn init_events(&self) -> u64 {
+        self.bounds[self.init_level.min(self.outer)..self.outer]
+            .iter()
+            .map(|&b| u64::from(b))
+            .product()
+    }
+
+    /// Validates bounds and levels against the hardware limits.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConfigError`] variants for each violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.outer == 0 || self.outer > MAX_LOOPS {
+            return Err(ConfigError::InvalidOuterLevel { outer: self.outer });
+        }
+        for (level, &b) in self.bounds[..self.outer].iter().enumerate() {
+            if b == 0 {
+                return Err(ConfigError::ZeroLoopBound { level });
+            }
+            if b > u32::from(u16::MAX) {
+                return Err(ConfigError::LoopBoundTooLarge { level, bound: b });
+            }
+        }
+        if self.init_level > self.outer {
+            return Err(ConfigError::LevelOutOfRange {
+                which: "init",
+                level: self.init_level,
+                outer: self.outer,
+            });
+        }
+        if self.store_level > self.outer {
+            return Err(ConfigError::LevelOutOfRange {
+                which: "store",
+                level: self.store_level,
+                outer: self.outer,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Dynamic counter state of the loop cascade during execution.
+///
+/// One call to [`LoopCounters::advance`] models one innermost iteration
+/// completing; it reports the outermost loop level that incremented,
+/// which is what selects the AGU stride for that cycle (§II-D).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopCounters {
+    nest: LoopNest,
+    counters: [u32; MAX_LOOPS],
+    /// Flattened element index since the last accumulator init (drives
+    /// the argmin/argmax index counter).
+    index_counter: u32,
+    done: bool,
+}
+
+impl LoopCounters {
+    /// Starts a fresh execution of `nest`.
+    #[must_use]
+    pub fn new(nest: LoopNest) -> Self {
+        Self {
+            nest,
+            counters: [0; MAX_LOOPS],
+            index_counter: 0,
+            done: nest.total_iterations() == 0,
+        }
+    }
+
+    /// The static nest being executed.
+    #[must_use]
+    pub fn nest(&self) -> &LoopNest {
+        &self.nest
+    }
+
+    /// Current counter values, innermost first.
+    #[must_use]
+    pub fn counters(&self) -> [u32; MAX_LOOPS] {
+        self.counters
+    }
+
+    /// The argmin/argmax index counter (elements since the last init).
+    #[must_use]
+    pub fn index_counter(&self) -> u32 {
+        self.index_counter
+    }
+
+    /// True when every iteration has been issued.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// True if the accumulator must be (re-)initialised before executing
+    /// the current iteration: all counters below the init level are zero.
+    #[must_use]
+    pub fn at_init(&self) -> bool {
+        self.counters[..self.nest.init_level]
+            .iter()
+            .all(|&c| c == 0)
+    }
+
+    /// True if the store path fires after executing the current
+    /// iteration: all counters below the store level are at their last
+    /// value (store level 0 fires every cycle).
+    #[must_use]
+    pub fn at_store(&self) -> bool {
+        self.counters[..self.nest.store_level]
+            .iter()
+            .zip(&self.nest.bounds)
+            .all(|(&c, &b)| c + 1 == b)
+    }
+
+    /// Completes the current innermost iteration and advances the
+    /// cascade. Returns the outermost loop level that incremented (the
+    /// AGU stride selector), or `None` when the nest finished.
+    pub fn advance(&mut self) -> Option<usize> {
+        if self.done {
+            return None;
+        }
+        self.index_counter = self.index_counter.wrapping_add(1);
+        for level in 0..self.nest.outer {
+            self.counters[level] += 1;
+            if self.counters[level] < self.nest.bounds[level] {
+                // Reset the index counter when crossing the init level.
+                if level >= self.nest.init_level {
+                    self.index_counter = 0;
+                }
+                return Some(level);
+            }
+            self.counters[level] = 0;
+        }
+        self.done = true;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_nest_counts() {
+        let n = LoopNest::vector(10);
+        assert_eq!(n.total_iterations(), 10);
+        assert_eq!(n.store_events(), 1);
+        assert_eq!(n.init_events(), 1);
+        n.validate().expect("valid");
+    }
+
+    #[test]
+    fn elementwise_stores_every_cycle() {
+        let n = LoopNest::elementwise(7);
+        assert_eq!(n.store_events(), 7);
+    }
+
+    #[test]
+    fn nested_counts_multiply() {
+        let n = LoopNest::nested(&[4, 3, 2]);
+        assert_eq!(n.total_iterations(), 24);
+        assert_eq!(n.store_events(), 6); // store level 1: per loop-0 pass
+        let n = n.with_levels(2, 2);
+        assert_eq!(n.store_events(), 2);
+        assert_eq!(n.init_events(), 2);
+    }
+
+    #[test]
+    fn validate_rejects_zero_bound() {
+        let n = LoopNest::nested(&[0, 3]);
+        assert!(matches!(
+            n.validate(),
+            Err(ConfigError::ZeroLoopBound { level: 0 })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_large_bound() {
+        let n = LoopNest::vector(70_000);
+        assert!(matches!(
+            n.validate(),
+            Err(ConfigError::LoopBoundTooLarge { level: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_bad_levels() {
+        let n = LoopNest::nested(&[2, 2]).with_levels(3, 1);
+        assert!(matches!(
+            n.validate(),
+            Err(ConfigError::LevelOutOfRange { which: "init", .. })
+        ));
+        let n = LoopNest::nested(&[2, 2]).with_levels(1, 5);
+        assert!(matches!(
+            n.validate(),
+            Err(ConfigError::LevelOutOfRange { which: "store", .. })
+        ));
+    }
+
+    #[test]
+    fn counters_walk_the_full_nest() {
+        let nest = LoopNest::nested(&[3, 2]);
+        let mut c = LoopCounters::new(nest);
+        let mut seen = Vec::new();
+        loop {
+            seen.push(c.counters());
+            if c.advance().is_none() {
+                break;
+            }
+        }
+        assert_eq!(seen.len(), 6);
+        assert_eq!(seen[0][..2], [0, 0]);
+        assert_eq!(seen[2][..2], [2, 0]);
+        assert_eq!(seen[3][..2], [0, 1]);
+        assert_eq!(seen[5][..2], [2, 1]);
+        assert!(c.is_done());
+    }
+
+    #[test]
+    fn advance_reports_stride_selector() {
+        let nest = LoopNest::nested(&[2, 2]);
+        let mut c = LoopCounters::new(nest);
+        // it 0 -> innermost increments (level 0)
+        assert_eq!(c.advance(), Some(0));
+        // it 1 -> loop 0 wraps, loop 1 increments (level 1)
+        assert_eq!(c.advance(), Some(1));
+        assert_eq!(c.advance(), Some(0));
+        // last iteration wraps everything -> done
+        assert_eq!(c.advance(), None);
+        assert!(c.is_done());
+    }
+
+    #[test]
+    fn init_store_flags_for_gemv_shape() {
+        // 3 columns per row, 2 rows; init/store at level 1.
+        let nest = LoopNest::nested(&[3, 2]).with_levels(1, 1);
+        let mut c = LoopCounters::new(nest);
+        let mut events = Vec::new();
+        loop {
+            events.push((c.at_init(), c.at_store()));
+            if c.advance().is_none() {
+                break;
+            }
+        }
+        assert_eq!(
+            events,
+            vec![
+                (true, false),
+                (false, false),
+                (false, true),
+                (true, false),
+                (false, false),
+                (false, true),
+            ]
+        );
+    }
+
+    #[test]
+    fn index_counter_resets_at_init_boundary() {
+        let nest = LoopNest::nested(&[3, 2]).with_levels(1, 1);
+        let mut c = LoopCounters::new(nest);
+        let mut indices = Vec::new();
+        loop {
+            indices.push(c.index_counter());
+            if c.advance().is_none() {
+                break;
+            }
+        }
+        assert_eq!(indices, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn store_level_zero_fires_every_cycle() {
+        let nest = LoopNest::elementwise(3);
+        let mut c = LoopCounters::new(nest);
+        for _ in 0..3 {
+            assert!(c.at_store());
+            c.advance();
+        }
+    }
+
+    #[test]
+    fn empty_nest_is_done_immediately() {
+        // A zero bound fails validation, but the counters must still be
+        // safe if constructed directly.
+        let nest = LoopNest::nested(&[1]);
+        let mut c = LoopCounters::new(nest);
+        assert!(!c.is_done());
+        assert_eq!(c.advance(), None);
+        assert!(c.is_done());
+    }
+}

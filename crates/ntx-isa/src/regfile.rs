@@ -1,0 +1,339 @@
+//! Memory-mapped configuration register file (§II-E).
+//!
+//! *"Each NTX has a set of configuration registers that are mapped into
+//! the memory space of the associated RISC-V core. [...] Writing to the
+//! command register causes the current configuration to be copied into
+//! an internal buffer and executed, allowing the CPU to prepare the next
+//! command in parallel."*
+//!
+//! [`RegFile`] models the staging copy of those registers; writing
+//! [`RegOffset::COMMAND`] decodes and returns the committed
+//! [`NtxConfig`], which the execution engine double-buffers.
+
+use crate::agu::AguConfig;
+use crate::command::{AccuInit, Command};
+use crate::config::NtxConfig;
+use crate::error::ConfigError;
+use crate::loops::{LoopNest, MAX_LOOPS};
+
+/// Size of one NTX register window in bytes.
+pub const NTX_REGFILE_BYTES: u32 = 0x80;
+
+/// Named byte offsets into the NTX register window.
+///
+/// All registers are 32-bit and word-aligned; the layout groups the loop
+/// bounds, levels, AGU bases, strides and the scalar register, with the
+/// command register last so a descriptor can be written as one ascending
+/// burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegOffset;
+
+impl RegOffset {
+    /// Loop iteration counts, `LOOP_BOUND + 4*level`.
+    pub const LOOP_BOUND: u32 = 0x00;
+    /// Number of enabled loops.
+    pub const OUTER_LEVEL: u32 = 0x14;
+    /// Accumulator init level.
+    pub const INIT_LEVEL: u32 = 0x18;
+    /// Reduction store level.
+    pub const STORE_LEVEL: u32 = 0x1c;
+    /// AGU base addresses, `AGU_BASE + 4*agu`.
+    pub const AGU_BASE: u32 = 0x20;
+    /// Accumulator init select (0 = zero, 1 = memory).
+    pub const ACCU_INIT: u32 = 0x2c;
+    /// AGU strides, `AGU_STRIDE + 4*(agu*MAX_LOOPS + slot)`.
+    pub const AGU_STRIDE: u32 = 0x30;
+    /// ALU scalar register (f32 bit pattern).
+    pub const ALU_REG: u32 = 0x6c;
+    /// Command register; writing commits and starts execution.
+    pub const COMMAND: u32 = 0x70;
+    /// Read-only status register (bit 0 = busy).
+    pub const STATUS: u32 = 0x74;
+}
+
+/// Effect of a register write, as seen by the execution engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WriteEffect {
+    /// The write only updated the staging registers.
+    Staged,
+    /// The write hit the command register: the staged configuration was
+    /// committed and execution of the returned command must start.
+    Commit(Box<NtxConfig>),
+}
+
+/// The staging configuration registers of one NTX.
+///
+/// # Example
+///
+/// ```
+/// use ntx_isa::{NtxConfig, RegFile, RegOffset, Command, LoopNest, AguConfig, OperandSelect};
+///
+/// // Drive the register file the way the RISC-V core does.
+/// let mut rf = RegFile::new();
+/// rf.write(RegOffset::LOOP_BOUND, 8)?;          // 8 iterations
+/// rf.write(RegOffset::OUTER_LEVEL, 1)?;
+/// rf.write(RegOffset::INIT_LEVEL, 1)?;
+/// rf.write(RegOffset::STORE_LEVEL, 1)?;
+/// rf.write(RegOffset::AGU_BASE, 0x000)?;        // x
+/// rf.write(RegOffset::AGU_BASE + 4, 0x100)?;    // y
+/// rf.write(RegOffset::AGU_BASE + 8, 0x200)?;    // out
+/// for slot in 0..5 {
+///     rf.write(RegOffset::AGU_STRIDE + 4 * slot, 4)?;       // AGU0 strides
+///     rf.write(RegOffset::AGU_STRIDE + 20 + 4 * slot, 4)?;  // AGU1 strides
+/// }
+/// let effect = rf.write(
+///     RegOffset::COMMAND,
+///     Command::Mac { operand: OperandSelect::Memory }.encode(),
+/// )?;
+/// # Ok::<(), ntx_isa::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegFile {
+    words: [u32; (NTX_REGFILE_BYTES / 4) as usize],
+}
+
+impl Default for RegFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RegFile {
+    /// Creates a register file with hardware reset values (all zeros
+    /// except a depth-1 loop nest so a bare command is well formed).
+    #[must_use]
+    pub fn new() -> Self {
+        let mut rf = Self {
+            words: [0; (NTX_REGFILE_BYTES / 4) as usize],
+        };
+        rf.words[(RegOffset::LOOP_BOUND / 4) as usize] = 1;
+        rf.words[(RegOffset::OUTER_LEVEL / 4) as usize] = 1;
+        rf.words[(RegOffset::INIT_LEVEL / 4) as usize] = 1;
+        rf.words[(RegOffset::STORE_LEVEL / 4) as usize] = 1;
+        rf
+    }
+
+    fn check(offset: u32) -> Result<usize, ConfigError> {
+        if offset % 4 != 0 || offset >= NTX_REGFILE_BYTES {
+            return Err(ConfigError::RegisterOffsetOutOfRange { offset });
+        }
+        Ok((offset / 4) as usize)
+    }
+
+    /// Writes a staging register.
+    ///
+    /// Writing [`RegOffset::COMMAND`] additionally decodes and validates
+    /// the staged configuration and returns it for execution
+    /// ([`WriteEffect::Commit`]); the staging registers stay intact so the
+    /// core can modify only what differs for the next command.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::RegisterOffsetOutOfRange`] for a bad offset, or any
+    /// validation error when a command write commits an ill-formed
+    /// configuration.
+    pub fn write(&mut self, offset: u32, value: u32) -> Result<WriteEffect, ConfigError> {
+        let idx = Self::check(offset)?;
+        if offset == RegOffset::STATUS {
+            // Status is read-only; the write is silently discarded like
+            // the RTL does.
+            return Ok(WriteEffect::Staged);
+        }
+        self.words[idx] = value;
+        if offset == RegOffset::COMMAND {
+            let cfg = self.staged_config()?;
+            return Ok(WriteEffect::Commit(Box::new(cfg)));
+        }
+        Ok(WriteEffect::Staged)
+    }
+
+    /// Reads a staging register; `busy` supplies the live status bit.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::RegisterOffsetOutOfRange`] for a bad offset.
+    pub fn read(&self, offset: u32, busy: bool) -> Result<u32, ConfigError> {
+        let idx = Self::check(offset)?;
+        if offset == RegOffset::STATUS {
+            return Ok(u32::from(busy));
+        }
+        Ok(self.words[idx])
+    }
+
+    /// Decodes the staged registers into a validated [`NtxConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`ConfigError`] the staged values violate.
+    pub fn staged_config(&self) -> Result<NtxConfig, ConfigError> {
+        let w = |off: u32| self.words[(off / 4) as usize];
+        let mut counts = Vec::new();
+        let outer = w(RegOffset::OUTER_LEVEL) as usize;
+        if outer == 0 || outer > MAX_LOOPS {
+            return Err(ConfigError::InvalidOuterLevel { outer });
+        }
+        for level in 0..outer {
+            counts.push(w(RegOffset::LOOP_BOUND + 4 * level as u32));
+        }
+        let loops = LoopNest::nested(&counts).with_levels(
+            w(RegOffset::INIT_LEVEL) as usize,
+            w(RegOffset::STORE_LEVEL) as usize,
+        );
+        let mut agus = [AguConfig::default(); 3];
+        for (i, agu) in agus.iter_mut().enumerate() {
+            let mut strides = [0i32; MAX_LOOPS];
+            for (slot, s) in strides.iter_mut().enumerate() {
+                *s = w(RegOffset::AGU_STRIDE + 4 * (i * MAX_LOOPS + slot) as u32) as i32;
+            }
+            *agu = AguConfig::new(w(RegOffset::AGU_BASE + 4 * i as u32), strides);
+        }
+        let command = Command::decode(w(RegOffset::COMMAND))?;
+        let accu_init = if w(RegOffset::ACCU_INIT) & 1 != 0 {
+            AccuInit::Memory
+        } else {
+            AccuInit::Zero
+        };
+        let cfg = NtxConfig {
+            command,
+            loops,
+            agus,
+            accu_init,
+            register: f32::from_bits(w(RegOffset::ALU_REG)),
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Loads a complete configuration into the staging registers (the
+    /// driver-side inverse of [`Self::staged_config`]); does not commit.
+    pub fn load_config(&mut self, cfg: &NtxConfig) {
+        let mut set = |off: u32, v: u32| self.words[(off / 4) as usize] = v;
+        for level in 0..MAX_LOOPS {
+            set(
+                RegOffset::LOOP_BOUND + 4 * level as u32,
+                cfg.loops.bounds()[level],
+            );
+        }
+        set(RegOffset::OUTER_LEVEL, cfg.loops.outer_level() as u32);
+        set(RegOffset::INIT_LEVEL, cfg.loops.init_level() as u32);
+        set(RegOffset::STORE_LEVEL, cfg.loops.store_level() as u32);
+        for (i, agu) in cfg.agus.iter().enumerate() {
+            set(RegOffset::AGU_BASE + 4 * i as u32, agu.base);
+            for (slot, &s) in agu.strides.iter().enumerate() {
+                set(
+                    RegOffset::AGU_STRIDE + 4 * (i * MAX_LOOPS + slot) as u32,
+                    s as u32,
+                );
+            }
+        }
+        set(
+            RegOffset::ACCU_INIT,
+            u32::from(cfg.accu_init == AccuInit::Memory),
+        );
+        set(RegOffset::ALU_REG, cfg.register.to_bits());
+        set(RegOffset::COMMAND, cfg.command.encode());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::OperandSelect;
+
+    fn sample_config() -> NtxConfig {
+        NtxConfig::builder()
+            .command(Command::Mac {
+                operand: OperandSelect::Memory,
+            })
+            .loops(LoopNest::nested(&[16, 4]).with_levels(1, 1))
+            .agu(0, AguConfig::stream(0x000, 4))
+            .agu(1, AguConfig::new(0x100, [4, -60, 0, 0, 0]))
+            .agu(2, AguConfig::new(0x200, [0, 4, 0, 0, 0]))
+            .register(2.5)
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn load_then_decode_roundtrips() {
+        let cfg = sample_config();
+        let mut rf = RegFile::new();
+        rf.load_config(&cfg);
+        let decoded = rf.staged_config().expect("valid staged config");
+        assert_eq!(decoded, cfg);
+    }
+
+    #[test]
+    fn command_write_commits() {
+        let cfg = sample_config();
+        let mut rf = RegFile::new();
+        rf.load_config(&cfg);
+        let effect = rf
+            .write(RegOffset::COMMAND, cfg.command.encode())
+            .expect("in range");
+        match effect {
+            WriteEffect::Commit(committed) => assert_eq!(*committed, cfg),
+            WriteEffect::Staged => panic!("command write must commit"),
+        }
+    }
+
+    #[test]
+    fn non_command_writes_stage_only() {
+        let mut rf = RegFile::new();
+        let effect = rf.write(RegOffset::LOOP_BOUND, 9).expect("in range");
+        assert_eq!(effect, WriteEffect::Staged);
+        assert_eq!(rf.read(RegOffset::LOOP_BOUND, false).unwrap(), 9);
+    }
+
+    #[test]
+    fn status_reflects_busy_and_ignores_writes() {
+        let mut rf = RegFile::new();
+        assert_eq!(rf.read(RegOffset::STATUS, true).unwrap(), 1);
+        assert_eq!(rf.read(RegOffset::STATUS, false).unwrap(), 0);
+        rf.write(RegOffset::STATUS, 0xffff).expect("discarded");
+        assert_eq!(rf.read(RegOffset::STATUS, false).unwrap(), 0);
+    }
+
+    #[test]
+    fn bad_offsets_rejected() {
+        let mut rf = RegFile::new();
+        assert!(rf.write(0x80, 0).is_err());
+        assert!(rf.write(0x02, 0).is_err());
+        assert!(rf.read(0x400, false).is_err());
+    }
+
+    #[test]
+    fn committing_invalid_config_fails() {
+        let mut rf = RegFile::new();
+        rf.write(RegOffset::LOOP_BOUND, 0).expect("staged");
+        let err = rf
+            .write(
+                RegOffset::COMMAND,
+                Command::Mac {
+                    operand: OperandSelect::Memory,
+                }
+                .encode(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::ZeroLoopBound { level: 0 }));
+    }
+
+    #[test]
+    fn reset_values_form_a_valid_nest() {
+        let rf = RegFile::new();
+        // Only the command register is missing a valid opcode at reset.
+        assert!(matches!(
+            rf.staged_config(),
+            Err(ConfigError::UnknownCommandEncoding { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_strides_survive_the_u32_window() {
+        let cfg = sample_config();
+        let mut rf = RegFile::new();
+        rf.load_config(&cfg);
+        let decoded = rf.staged_config().expect("valid");
+        assert_eq!(decoded.agus[1].strides[1], -60);
+    }
+}

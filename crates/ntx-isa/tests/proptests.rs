@@ -1,0 +1,177 @@
+//! Property-based tests of the ISA descriptors.
+//!
+//! Oracles: a plain-Rust nested-loop interpreter for the hardware-loop
+//! cascade and AGU address streams, and the register-file image for
+//! configuration roundtrips.
+
+use ntx_isa::{
+    AccuInit, Agu, AguConfig, Command, LoopCounters, LoopNest, NtxConfig, OperandSelect, RegFile,
+    MAX_LOOPS,
+};
+use proptest::prelude::*;
+
+fn arb_command() -> impl Strategy<Value = Command> {
+    prop_oneof![
+        any::<bool>().prop_map(|r| Command::Mac {
+            operand: if r {
+                OperandSelect::Register
+            } else {
+                OperandSelect::Memory
+            }
+        }),
+        any::<bool>().prop_map(|r| Command::Add {
+            operand: if r {
+                OperandSelect::Register
+            } else {
+                OperandSelect::Memory
+            }
+        }),
+        Just(Command::Min),
+        Just(Command::Max),
+        Just(Command::ArgMin),
+        Just(Command::ArgMax),
+        Just(Command::Relu),
+        Just(Command::ThresholdMask),
+        Just(Command::Copy),
+        Just(Command::Set),
+    ]
+}
+
+fn arb_loops() -> impl Strategy<Value = LoopNest> {
+    (1usize..=MAX_LOOPS)
+        .prop_flat_map(|depth| {
+            (
+                prop::collection::vec(1u32..6, depth),
+                0usize..=depth,
+                1usize..=depth,
+            )
+        })
+        .prop_map(|(counts, store, init)| {
+            LoopNest::nested(&counts).with_levels(init.min(counts.len()), store)
+        })
+}
+
+fn arb_agu() -> impl Strategy<Value = AguConfig> {
+    (
+        (0u32..1024).prop_map(|w| w * 4),
+        prop::array::uniform5((-64i32..64).prop_map(|s| s * 4)),
+    )
+        .prop_map(|(base, strides)| AguConfig::new(base, strides))
+}
+
+proptest! {
+    /// Loop counters visit exactly the same index sequence as a plain
+    /// nested-loop reference.
+    #[test]
+    fn counters_match_reference_walk(nest in arb_loops()) {
+        let mut counters = LoopCounters::new(nest);
+        let mut visited = Vec::new();
+        loop {
+            visited.push(counters.counters());
+            if counters.advance().is_none() {
+                break;
+            }
+        }
+        // Reference: odometer increment, innermost first.
+        let bounds = nest.bounds();
+        let outer = nest.outer_level();
+        let mut reference = Vec::new();
+        let mut idx = [0u32; MAX_LOOPS];
+        'outer: loop {
+            reference.push(idx);
+            for l in 0..outer {
+                idx[l] += 1;
+                if idx[l] < bounds[l] {
+                    continue 'outer;
+                }
+                idx[l] = 0;
+            }
+            break;
+        }
+        prop_assert_eq!(visited, reference);
+    }
+
+    /// The AGU address stream equals the affine reference: the address
+    /// at each step is base plus the sum of the strides selected by
+    /// every preceding advance.
+    #[test]
+    fn agu_stream_matches_affine_reference(nest in arb_loops(), agu_cfg in arb_agu()) {
+        let mut counters = LoopCounters::new(nest);
+        let mut agu = Agu::new(agu_cfg);
+        let mut expected = i64::from(agu_cfg.base);
+        loop {
+            prop_assert_eq!(agu.address(), expected as u32);
+            match counters.advance() {
+                Some(level) => {
+                    agu.advance(level);
+                    expected += i64::from(agu_cfg.strides[level]);
+                    expected &= 0xffff_ffff;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Store/init event counts factor the total iteration count.
+    #[test]
+    fn event_counts_divide_total(nest in arb_loops()) {
+        let total = nest.total_iterations();
+        if nest.store_level() > 0 {
+            prop_assert_eq!(total % nest.store_events(), 0);
+        }
+        prop_assert_eq!(total % nest.init_events(), 0);
+    }
+
+    /// Any valid configuration survives the register-file roundtrip
+    /// bit-exactly.
+    #[test]
+    fn regfile_roundtrip(
+        command in arb_command(),
+        loops in arb_loops(),
+        agus in prop::array::uniform3(arb_agu()),
+        memory_init in any::<bool>(),
+        register_bits in any::<u32>(),
+    ) {
+        let mut builder = NtxConfig::builder();
+        builder
+            .command(command)
+            .loops(loops)
+            .accu_init(if memory_init { AccuInit::Memory } else { AccuInit::Zero })
+            .register(f32::from_bits(register_bits));
+        for (i, a) in agus.iter().enumerate() {
+            builder.agu(i, *a);
+        }
+        let Ok(cfg) = builder.build() else {
+            // Reductions with store level 0 are correctly rejected.
+            prop_assert!(command.is_reduction() && loops.store_level() == 0);
+            return Ok(());
+        };
+        let mut rf = RegFile::new();
+        rf.load_config(&cfg);
+        let decoded = rf.staged_config().expect("image of a valid config decodes");
+        // Compare everything except NaN registers bit-wise.
+        prop_assert_eq!(decoded.command, cfg.command);
+        prop_assert_eq!(decoded.loops, cfg.loops);
+        prop_assert_eq!(decoded.agus, cfg.agus);
+        prop_assert_eq!(decoded.accu_init, cfg.accu_init);
+        prop_assert_eq!(decoded.register.to_bits(), cfg.register.to_bits());
+    }
+
+    /// Access accounting: total reads/writes scale with iterations.
+    #[test]
+    fn access_accounting_is_consistent(loops in arb_loops()) {
+        let cfg = NtxConfig::builder()
+            .command(Command::Mac { operand: OperandSelect::Memory })
+            .loops(if loops.store_level() == 0 {
+                loops.with_levels(loops.init_level(), 1)
+            } else {
+                loops
+            })
+            .build()
+            .expect("valid");
+        let total = cfg.loops.total_iterations();
+        prop_assert_eq!(cfg.total_flops(), 2 * total);
+        prop_assert_eq!(cfg.total_reads(), 2 * total);
+        prop_assert_eq!(cfg.total_writes(), cfg.loops.store_events());
+    }
+}

@@ -1,0 +1,507 @@
+//! BLAS 1/2/3 kernels lowered onto NTX (§III-B1).
+//!
+//! * [`AxpyKernel`] — `y = a·x + y`, one fused MAC per element using the
+//!   scalar-register operand and in-place memory accumulation;
+//! * [`GemvKernel`] — `y = A·x`, one hardware-loop dot product per row,
+//!   rows split across the co-processors;
+//! * [`GemmKernel`] — `C = A·B`, three-deep loop nests walking B columns
+//!   with a large stride, output rows split across the co-processors.
+//!
+//! Each kernel provides its analytic [`KernelCost`] (roofline input),
+//! the pure [`NtxConfig`] lowering, and an in-TCDM `run` used by the
+//! correctness tests and utilisation measurements.
+
+use crate::KernelCost;
+use ntx_isa::{AccuInit, AguConfig, Command, ConfigError, LoopNest, NtxConfig, OperandSelect};
+use ntx_sim::{Cluster, PerfSnapshot};
+
+/// Splits `n` work items into at most `parts` contiguous chunks of
+/// near-equal size; returns `(start, len)` pairs (empty chunks omitted).
+fn split_work(n: u32, parts: u32) -> Vec<(u32, u32)> {
+    let parts = parts.min(n).max(1);
+    let base = n / parts;
+    let rem = n % parts;
+    let mut out = Vec::with_capacity(parts as usize);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + u32::from(p < rem);
+        if len > 0 {
+            out.push((start, len));
+        }
+        start += len;
+    }
+    out
+}
+
+/// `y = a·x + y` over `n` elements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AxpyKernel {
+    /// Vector length.
+    pub n: u32,
+    /// The scalar `a`.
+    pub a: f32,
+}
+
+impl AxpyKernel {
+    /// Analytic flop and compulsory-traffic counts (read `x` and `y`,
+    /// write `y`).
+    #[must_use]
+    pub fn cost(&self) -> KernelCost {
+        KernelCost {
+            flops: 2 * u64::from(self.n),
+            min_ext_bytes: 12 * u64::from(self.n),
+        }
+    }
+
+    /// Lowers the kernel onto up to `engines` co-processors with `x` at
+    /// `x_addr` and `y` at `y_addr` in the TCDM. Each element is one
+    /// `accu = y[i]; accu += a·x[i]; y[i] = accu` iteration
+    /// (memory-initialised MAC with the register operand).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] for invalid addresses or sizes.
+    pub fn lower(
+        &self,
+        x_addr: u32,
+        y_addr: u32,
+        engines: u32,
+    ) -> Result<Vec<NtxConfig>, ConfigError> {
+        split_work(self.n, engines)
+            .into_iter()
+            .map(|(start, len)| {
+                NtxConfig::builder()
+                    .command(Command::Mac {
+                        operand: OperandSelect::Register,
+                    })
+                    .register(self.a)
+                    .accu_init(AccuInit::Memory)
+                    .loops(LoopNest::nested(&[1, len]).with_levels(1, 1))
+                    .agu(0, AguConfig::new(x_addr + 4 * start, [0, 4, 0, 0, 0]))
+                    .agu(2, AguConfig::new(y_addr + 4 * start, [0, 4, 0, 0, 0]))
+                    .build()
+            })
+            .collect()
+    }
+
+    /// Runs in the TCDM on `cluster`, returning the updated `y` and the
+    /// perf delta of the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices do not match `n` or the data exceeds the
+    /// TCDM.
+    pub fn run(&self, cluster: &mut Cluster, x: &[f32], y: &[f32]) -> (Vec<f32>, PerfSnapshot) {
+        assert_eq!(x.len() as u32, self.n, "x length mismatch");
+        assert_eq!(y.len() as u32, self.n, "y length mismatch");
+        let x_addr = 0u32;
+        let y_addr = 4 * self.n;
+        assert!(
+            8 * self.n <= cluster.config().tcdm.bytes,
+            "data exceeds TCDM"
+        );
+        cluster.write_tcdm_f32(x_addr, x);
+        cluster.write_tcdm_f32(y_addr, y);
+        let before = cluster.perf();
+        let configs = self
+            .lower(x_addr, y_addr, cluster.num_engines() as u32)
+            .expect("valid lowering");
+        for (i, cfg) in configs.iter().enumerate() {
+            cluster.offload_with_writes(i, cfg, 6);
+        }
+        cluster.run_to_completion();
+        let perf = cluster.perf().since(&before);
+        (cluster.read_tcdm_f32(y_addr, self.n as usize), perf)
+    }
+}
+
+/// `y = A·x` for a row-major `rows × cols` matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemvKernel {
+    /// Number of matrix rows (outputs).
+    pub rows: u32,
+    /// Number of matrix columns (dot-product length).
+    pub cols: u32,
+}
+
+impl GemvKernel {
+    /// Analytic cost: stream `A` once, read `x`, write `y`.
+    #[must_use]
+    pub fn cost(&self) -> KernelCost {
+        let (r, c) = (u64::from(self.rows), u64::from(self.cols));
+        KernelCost {
+            flops: 2 * r * c,
+            min_ext_bytes: 4 * (r * c + c + r),
+        }
+    }
+
+    /// Lowers onto up to `engines` co-processors: loop 0 runs the
+    /// `cols`-long dot product, loop 1 iterates this engine's rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`].
+    pub fn lower(
+        &self,
+        a_addr: u32,
+        x_addr: u32,
+        y_addr: u32,
+        engines: u32,
+    ) -> Result<Vec<NtxConfig>, ConfigError> {
+        let cols = self.cols;
+        split_work(self.rows, engines)
+            .into_iter()
+            .map(|(row0, nrows)| {
+                NtxConfig::builder()
+                    .command(Command::Mac {
+                        operand: OperandSelect::Memory,
+                    })
+                    .loops(LoopNest::nested(&[cols, nrows]).with_levels(1, 1))
+                    // A: walk the row, then fall through to the next row.
+                    .agu(0, AguConfig::new(a_addr + 4 * row0 * cols, [4, 4, 0, 0, 0]))
+                    // x: walk, then rewind to the start for the next row.
+                    .agu(
+                        1,
+                        AguConfig::new(x_addr, [4, -4 * (cols as i32 - 1), 0, 0, 0]),
+                    )
+                    // y: one store per row.
+                    .agu(2, AguConfig::new(y_addr + 4 * row0, [0, 4, 0, 0, 0]))
+                    .build()
+            })
+            .collect()
+    }
+
+    /// Runs in the TCDM; returns `y` and the perf delta.
+    ///
+    /// # Panics
+    ///
+    /// Panics on slice-size mismatch or TCDM overflow.
+    pub fn run(&self, cluster: &mut Cluster, a: &[f32], x: &[f32]) -> (Vec<f32>, PerfSnapshot) {
+        assert_eq!(a.len() as u32, self.rows * self.cols, "A size mismatch");
+        assert_eq!(x.len() as u32, self.cols, "x size mismatch");
+        let a_addr = 0u32;
+        let x_addr = 4 * self.rows * self.cols;
+        let y_addr = x_addr + 4 * self.cols;
+        assert!(
+            y_addr + 4 * self.rows <= cluster.config().tcdm.bytes,
+            "data exceeds TCDM"
+        );
+        cluster.write_tcdm_f32(a_addr, a);
+        cluster.write_tcdm_f32(x_addr, x);
+        let before = cluster.perf();
+        let configs = self
+            .lower(a_addr, x_addr, y_addr, cluster.num_engines() as u32)
+            .expect("valid lowering");
+        for (i, cfg) in configs.iter().enumerate() {
+            cluster.offload_with_writes(i, cfg, 8);
+        }
+        cluster.run_to_completion();
+        let perf = cluster.perf().since(&before);
+        (cluster.read_tcdm_f32(y_addr, self.rows as usize), perf)
+    }
+}
+
+/// `C = A·B` with `A: m × k`, `B: k × n`, all row-major.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmKernel {
+    /// Rows of `A` / `C`.
+    pub m: u32,
+    /// Inner (dot-product) dimension.
+    pub k: u32,
+    /// Columns of `B` / `C`.
+    pub n: u32,
+}
+
+impl GemmKernel {
+    /// Analytic cost under block-matrix tiling with a TCDM of
+    /// `tcdm_bytes`: square blocks of side `b` give each loaded A/B
+    /// element `b` uses, so streaming traffic is `≈ 2·4·m·k·n/b` plus
+    /// the compulsory `C` write (§III-B1).
+    #[must_use]
+    pub fn cost_with_tcdm(&self, tcdm_bytes: u32) -> KernelCost {
+        let (m, k, n) = (u64::from(self.m), u64::from(self.k), u64::from(self.n));
+        // Three b×b blocks (A, B, C) double-buffered must fit.
+        let b = (((f64::from(tcdm_bytes) / 4.0 / 6.0).sqrt()) as u64)
+            .min(m.min(k).min(n))
+            .max(1);
+        let streamed = 2 * 4 * m * k * n / b;
+        KernelCost {
+            flops: 2 * m * k * n,
+            min_ext_bytes: streamed + 4 * (m * n),
+        }
+    }
+
+    /// Analytic cost with the paper's 64 kB TCDM.
+    #[must_use]
+    pub fn cost(&self) -> KernelCost {
+        self.cost_with_tcdm(64 * 1024)
+    }
+
+    /// Lowers onto up to `engines` co-processors: loop 0 is the `k`-dot
+    /// product, loop 1 walks the `n` output columns, loop 2 this
+    /// engine's rows. `B` is stored row-major with leading dimension
+    /// `self.n`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`].
+    pub fn lower(
+        &self,
+        a_addr: u32,
+        b_addr: u32,
+        c_addr: u32,
+        engines: u32,
+    ) -> Result<Vec<NtxConfig>, ConfigError> {
+        self.lower_with_ldb(a_addr, b_addr, c_addr, self.n, engines)
+    }
+
+    /// Like [`Self::lower`] but with an explicit leading dimension for
+    /// `B` (in elements). Padding the leading dimension away from a
+    /// multiple of the bank count is the standard trick to avoid the
+    /// pathological TCDM conflicts of power-of-two column strides.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`].
+    pub fn lower_with_ldb(
+        &self,
+        a_addr: u32,
+        b_addr: u32,
+        c_addr: u32,
+        ldb: u32,
+        engines: u32,
+    ) -> Result<Vec<NtxConfig>, ConfigError> {
+        assert!(ldb >= self.n, "leading dimension below the row length");
+        let (k, n) = (self.k as i32, ldb as i32);
+        split_work(self.m, engines)
+            .into_iter()
+            .map(|(row0, nrows)| {
+                NtxConfig::builder()
+                    .command(Command::Mac {
+                        operand: OperandSelect::Memory,
+                    })
+                    .loops(
+                        LoopNest::nested(&[self.k, self.n, nrows]).with_levels(1, 1),
+                    )
+                    // A row: walk k, rewind per column, advance per row.
+                    .agu(
+                        0,
+                        AguConfig::new(
+                            a_addr + 4 * row0 * self.k,
+                            [4, -4 * (k - 1), 4, 0, 0],
+                        ),
+                    )
+                    // B column: stride ldb words down, hop to the next
+                    // column top, rewind fully (over the n logical
+                    // columns walked) for the next row of A.
+                    .agu(
+                        1,
+                        AguConfig::new(
+                            b_addr,
+                            [
+                                4 * n,
+                                4 * (1 - (k - 1) * n),
+                                -4 * ((k - 1) * n + self.n as i32 - 1),
+                                0,
+                                0,
+                            ],
+                        ),
+                    )
+                    // C: one store per column, rows contiguous.
+                    .agu(
+                        2,
+                        AguConfig::new(c_addr + 4 * row0 * self.n, [0, 4, 4, 0, 0]),
+                    )
+                    .build()
+            })
+            .collect()
+    }
+
+    /// Runs in the TCDM; returns `C` and the perf delta.
+    ///
+    /// # Panics
+    ///
+    /// Panics on slice-size mismatch or TCDM overflow.
+    pub fn run(&self, cluster: &mut Cluster, a: &[f32], b: &[f32]) -> (Vec<f32>, PerfSnapshot) {
+        assert_eq!(a.len() as u32, self.m * self.k, "A size mismatch");
+        assert_eq!(b.len() as u32, self.k * self.n, "B size mismatch");
+        let a_addr = 0u32;
+        let b_addr = 4 * self.m * self.k;
+        let c_addr = b_addr + 4 * self.k * (self.n + 1);
+        assert!(
+            c_addr + 4 * self.m * self.n <= cluster.config().tcdm.bytes,
+            "data exceeds TCDM"
+        );
+        cluster.write_tcdm_f32(a_addr, a);
+        // Pad B's leading dimension to an odd element count so the
+        // column walk cycles through all TCDM banks.
+        let ldb = if self.n % 2 == 0 { self.n + 1 } else { self.n };
+        for row in 0..self.k {
+            cluster.write_tcdm_f32(
+                b_addr + 4 * row * ldb,
+                &b[(row * self.n) as usize..((row + 1) * self.n) as usize],
+            );
+        }
+        let before = cluster.perf();
+        let configs = self
+            .lower_with_ldb(a_addr, b_addr, c_addr, ldb, cluster.num_engines() as u32)
+            .expect("valid lowering");
+        for (i, cfg) in configs.iter().enumerate() {
+            cluster.offload_with_writes(i, cfg, 10);
+        }
+        cluster.run_to_completion();
+        let perf = cluster.perf().since(&before);
+        (
+            cluster.read_tcdm_f32(c_addr, (self.m * self.n) as usize),
+            perf,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use ntx_sim::ClusterConfig;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::default())
+    }
+
+    fn ramp(n: usize, scale: f32) -> Vec<f32> {
+        (0..n).map(|i| scale * (i as f32 - n as f32 / 3.0)).collect()
+    }
+
+    #[test]
+    fn split_work_covers_everything() {
+        for n in [1u32, 7, 8, 9, 64, 1000] {
+            for parts in [1u32, 3, 8] {
+                let chunks = split_work(n, parts);
+                let total: u32 = chunks.iter().map(|&(_, l)| l).sum();
+                assert_eq!(total, n, "n={n} parts={parts}");
+                // Contiguous and ordered.
+                let mut next = 0;
+                for (s, l) in chunks {
+                    assert_eq!(s, next);
+                    next = s + l;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_matches_reference() {
+        let n = 100u32;
+        let x = ramp(n as usize, 0.5);
+        let y0 = ramp(n as usize, -1.5);
+        let mut c = cluster();
+        let kernel = AxpyKernel { n, a: 2.5 };
+        let (got, perf) = kernel.run(&mut c, &x, &y0);
+        let mut expect = y0.clone();
+        reference::axpy(2.5, &x, &mut expect);
+        assert_eq!(got, expect);
+        assert_eq!(perf.flops, 2 * u64::from(n));
+    }
+
+    #[test]
+    fn axpy_single_element() {
+        let mut c = cluster();
+        let kernel = AxpyKernel { n: 1, a: -1.0 };
+        let (got, _) = kernel.run(&mut c, &[3.0], &[10.0]);
+        assert_eq!(got, vec![7.0]);
+    }
+
+    #[test]
+    fn gemv_matches_reference() {
+        let (rows, cols) = (16u32, 24u32);
+        let a = ramp((rows * cols) as usize, 0.25);
+        let x = ramp(cols as usize, 1.0);
+        let mut c = cluster();
+        let kernel = GemvKernel { rows, cols };
+        let (got, perf) = kernel.run(&mut c, &a, &x);
+        let expect = reference::gemv(&a, &x, rows as usize, cols as usize);
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() <= 1e-3 * e.abs().max(1.0), "{g} vs {e}");
+        }
+        assert_eq!(perf.flops, 2 * u64::from(rows * cols));
+        assert_eq!(perf.commands_completed, 8);
+    }
+
+    #[test]
+    fn gemv_fewer_rows_than_engines() {
+        let (rows, cols) = (3u32, 8u32);
+        let a = ramp((rows * cols) as usize, 1.0);
+        let x = vec![1.0; cols as usize];
+        let mut c = cluster();
+        let (got, perf) = GemvKernel { rows, cols }.run(&mut c, &a, &x);
+        let expect = reference::gemv(&a, &x, rows as usize, cols as usize);
+        assert_eq!(got, expect);
+        assert_eq!(perf.commands_completed, 3);
+    }
+
+    #[test]
+    fn gemm_matches_reference() {
+        let (m, k, n) = (8u32, 12u32, 10u32);
+        let a = ramp((m * k) as usize, 0.5);
+        let b = ramp((k * n) as usize, -0.25);
+        let mut c = cluster();
+        let kernel = GemmKernel { m, k, n };
+        let (got, perf) = kernel.run(&mut c, &a, &b);
+        let expect = reference::gemm(&a, &b, m as usize, k as usize, n as usize);
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() <= 1e-3 * e.abs().max(1.0), "{g} vs {e}");
+        }
+        assert_eq!(perf.flops, 2 * u64::from(m * k * n));
+    }
+
+    #[test]
+    fn gemm_multiple_rows_per_engine() {
+        // m > 8 forces several output rows per engine, exercising the
+        // level-2 rewind of the B-column AGU (regression: it was off
+        // by the ldb padding).
+        let (m, k, n) = (28u32, 12u32, 10u32);
+        let a = ramp((m * k) as usize, 0.3);
+        let b = ramp((k * n) as usize, -0.2);
+        let mut c = cluster();
+        let (got, _) = GemmKernel { m, k, n }.run(&mut c, &a, &b);
+        let expect = reference::gemm(&a, &b, m as usize, k as usize, n as usize);
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() <= 1e-3 * e.abs().max(1.0), "{g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn gemm_identity() {
+        let n = 6u32;
+        let mut a = vec![0f32; (n * n) as usize];
+        for i in 0..n {
+            a[(i * n + i) as usize] = 1.0;
+        }
+        let b = ramp((n * n) as usize, 1.0);
+        let mut c = cluster();
+        let (got, _) = GemmKernel { m: n, k: n, n }.run(&mut c, &a, &b);
+        assert_eq!(got, b);
+    }
+
+    #[test]
+    fn costs_have_expected_intensities() {
+        let axpy = AxpyKernel { n: 1024, a: 1.0 }.cost();
+        assert!((axpy.operational_intensity() - 1.0 / 6.0).abs() < 1e-9);
+        let gemv = GemvKernel {
+            rows: 1024,
+            cols: 1024,
+        }
+        .cost();
+        assert!(gemv.operational_intensity() < 0.51);
+        // GEMM intensity grows with size until the TCDM caps the block.
+        let small = GemmKernel { m: 16, k: 16, n: 16 }.cost();
+        let large = GemmKernel {
+            m: 1024,
+            k: 1024,
+            n: 1024,
+        }
+        .cost();
+        assert!(large.operational_intensity() > small.operational_intensity());
+        assert!(large.operational_intensity() > 4.0); // compute bound
+    }
+}

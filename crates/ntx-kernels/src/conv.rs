@@ -1,0 +1,425 @@
+//! 2-D convolutions lowered onto NTX (§III-B2).
+//!
+//! The k×k convolution is the paper's flagship workload: it is the
+//! kernel behind the DNN training evaluation, the gate-level power
+//! trace of Table I, and the calibration point of the Fig. 5 roofline.
+//! On NTX it maps onto a four-deep MAC loop nest — kernel column,
+//! kernel row, output column, output row — with the three AGUs walking
+//! the input window, the weight vector and the output plane (Fig. 3a).
+
+use crate::KernelCost;
+use ntx_isa::{AccuInit, AguConfig, Command, ConfigError, LoopNest, NtxConfig, OperandSelect};
+use ntx_sim::{Cluster, PerfSnapshot};
+
+/// A valid (no-padding) k×k convolution of a `height × width` image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dKernel {
+    /// Input image height.
+    pub height: u32,
+    /// Input image width.
+    pub width: u32,
+    /// Kernel side length (3, 5, 7 in the paper).
+    pub k: u32,
+    /// Number of filters applied to the same input (DNN-style output
+    /// channels). Affects cost accounting and `run_filters`.
+    pub filters: u32,
+}
+
+impl Conv2dKernel {
+    /// Convolution with a single filter.
+    #[must_use]
+    pub fn single(height: u32, width: u32, k: u32) -> Self {
+        Self {
+            height,
+            width,
+            k,
+            filters: 1,
+        }
+    }
+
+    /// Output height.
+    #[must_use]
+    pub fn out_height(&self) -> u32 {
+        self.height - self.k + 1
+    }
+
+    /// Output width.
+    #[must_use]
+    pub fn out_width(&self) -> u32 {
+        self.width - self.k + 1
+    }
+
+    /// Analytic cost: the input plane is read once and reused by all
+    /// filters (the §III-B2 reuse factor of k² per pixel, times the
+    /// filter count), each filter writes its output plane.
+    #[must_use]
+    pub fn cost(&self) -> KernelCost {
+        let out = u64::from(self.out_height()) * u64::from(self.out_width());
+        let f = u64::from(self.filters);
+        let k2 = u64::from(self.k) * u64::from(self.k);
+        KernelCost {
+            flops: 2 * k2 * out * f,
+            min_ext_bytes: 4
+                * (u64::from(self.height) * u64::from(self.width) // image in
+                    + out * f                                      // outputs
+                    + k2 * f), // weights
+        }
+    }
+
+    /// Lowers one filter onto up to `engines` co-processors, splitting
+    /// output rows. `accumulate` selects read-modify-write accumulation
+    /// (used for summing input channels into the same output plane).
+    /// All engines share the weight vector at `w_addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`]; also fails for images smaller than
+    /// the kernel (zero loop bound).
+    pub fn lower(
+        &self,
+        in_addr: u32,
+        w_addr: u32,
+        out_addr: u32,
+        engines: u32,
+        accumulate: bool,
+    ) -> Result<Vec<NtxConfig>, ConfigError> {
+        self.lower_replicated(in_addr, w_addr, 0, out_addr, engines, accumulate)
+    }
+
+    /// Like [`Self::lower`], but engine `e` reads its weights at
+    /// `w_addr + e * w_stride` (bytes). Replicating the tiny k² weight
+    /// vector per engine removes the structural bank conflict of eight
+    /// engines fetching the same weight word every cycle — the standard
+    /// deployment trick for this architecture.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`].
+    pub fn lower_replicated(
+        &self,
+        in_addr: u32,
+        w_addr: u32,
+        w_stride: u32,
+        out_addr: u32,
+        engines: u32,
+        accumulate: bool,
+    ) -> Result<Vec<NtxConfig>, ConfigError> {
+        let k = self.k as i32;
+        let w = self.width as i32;
+        let ow = self.out_width() as i32;
+        let oh = self.out_height();
+        let k2 = k * k;
+        let engines = engines.min(oh).max(1);
+        let rows_base = oh / engines;
+        let rows_rem = oh % engines;
+        let mut configs = Vec::new();
+        let mut row0 = 0u32;
+        for e in 0..engines {
+            let rows = rows_base + u32::from(e < rows_rem);
+            if rows == 0 {
+                continue;
+            }
+            let cfg = NtxConfig::builder()
+                .command(Command::Mac {
+                    operand: OperandSelect::Memory,
+                })
+                .accu_init(if accumulate {
+                    AccuInit::Memory
+                } else {
+                    AccuInit::Zero
+                })
+                // kx, ky, x, y — init and store around the k×k window.
+                .loops(LoopNest::nested(&[self.k, self.k, self.out_width(), rows]).with_levels(2, 2))
+                // Input window walk (byte strides).
+                .agu(
+                    0,
+                    AguConfig::new(
+                        in_addr + 4 * row0 * self.width,
+                        [
+                            4,                              // kx: next column
+                            4 * (w - (k - 1)),              // ky: next window row
+                            4 * (1 - (k - 1) * w - (k - 1)), // x: window slides right
+                            4 * ((2 - k) * w - (ow + k - 2)), // y: next output row
+                            0,
+                        ],
+                    ),
+                )
+                // Weights: walk k² then rewind (per-engine copy).
+                .agu(
+                    1,
+                    AguConfig::new(
+                        w_addr + e * w_stride,
+                        [4, 4, -4 * (k2 - 1), -4 * (k2 - 1), 0],
+                    ),
+                )
+                // Output: one store per pixel, rows contiguous.
+                .agu(
+                    2,
+                    AguConfig::new(out_addr + 4 * row0 * self.out_width(), [0, 0, 4, 4, 0]),
+                )
+                .build()?;
+            configs.push(cfg);
+            row0 += rows;
+        }
+        Ok(configs)
+    }
+
+    /// Runs one filter in the TCDM; returns the output plane and the
+    /// perf delta.
+    ///
+    /// # Panics
+    ///
+    /// Panics on slice-size mismatch or TCDM overflow.
+    pub fn run(
+        &self,
+        cluster: &mut Cluster,
+        image: &[f32],
+        weights: &[f32],
+    ) -> (Vec<f32>, PerfSnapshot) {
+        assert_eq!(
+            image.len() as u32,
+            self.height * self.width,
+            "image size mismatch"
+        );
+        assert_eq!(weights.len() as u32, self.k * self.k, "kernel size mismatch");
+        let in_addr = 0u32;
+        let w_addr = 4 * self.height * self.width;
+        let out_addr = w_addr + 4 * self.k * self.k * cluster.num_engines() as u32;
+        let out_len = self.out_height() * self.out_width();
+        assert!(
+            out_addr + 4 * out_len <= cluster.config().tcdm.bytes,
+            "data exceeds TCDM"
+        );
+        cluster.write_tcdm_f32(in_addr, image);
+        let w_stride = 4 * self.k * self.k;
+        for e in 0..cluster.num_engines() as u32 {
+            cluster.write_tcdm_f32(w_addr + e * w_stride, weights);
+        }
+        let before = cluster.perf();
+        let configs = self
+            .lower_replicated(
+                in_addr,
+                w_addr,
+                w_stride,
+                out_addr,
+                cluster.num_engines() as u32,
+                false,
+            )
+            .expect("valid lowering");
+        for (i, cfg) in configs.iter().enumerate() {
+            cluster.offload_with_writes(i, cfg, 12);
+        }
+        cluster.run_to_completion();
+        let perf = cluster.perf().since(&before);
+        (
+            cluster.read_tcdm_f32(out_addr, out_len as usize),
+            perf,
+        )
+    }
+
+    /// Runs `filters` filters over the same input (weights laid out
+    /// filter-major), writing one output plane per filter — the
+    /// workload shape of the Table I power analysis. Returns all output
+    /// planes concatenated and the perf delta.
+    ///
+    /// # Panics
+    ///
+    /// Panics on slice-size mismatch or TCDM overflow.
+    pub fn run_filters(
+        &self,
+        cluster: &mut Cluster,
+        image: &[f32],
+        weights: &[f32],
+    ) -> (Vec<f32>, PerfSnapshot) {
+        let k2 = self.k * self.k;
+        assert_eq!(
+            weights.len() as u32,
+            k2 * self.filters,
+            "weights size mismatch"
+        );
+        assert_eq!(
+            image.len() as u32,
+            self.height * self.width,
+            "image size mismatch"
+        );
+        let engines = cluster.num_engines() as u32;
+        let in_addr = 0u32;
+        let w_addr = 4 * self.height * self.width;
+        let w_block = 4 * k2 * self.filters;
+        let out_addr = w_addr + w_block * engines;
+        let out_len = self.out_height() * self.out_width();
+        assert!(
+            out_addr + 4 * out_len * self.filters <= cluster.config().tcdm.bytes,
+            "data exceeds TCDM"
+        );
+        cluster.write_tcdm_f32(in_addr, image);
+        for e in 0..engines {
+            cluster.write_tcdm_f32(w_addr + e * w_block, weights);
+        }
+        let before = cluster.perf();
+        for f in 0..self.filters {
+            let configs = self
+                .lower_replicated(
+                    in_addr,
+                    w_addr + 4 * k2 * f,
+                    w_block,
+                    out_addr + 4 * out_len * f,
+                    engines,
+                    false,
+                )
+                .expect("valid lowering");
+            for (i, cfg) in configs.iter().enumerate() {
+                cluster.offload_with_writes(i, cfg, 6);
+            }
+            cluster.run_to_completion();
+        }
+        let perf = cluster.perf().since(&before);
+        (
+            cluster.read_tcdm_f32(out_addr, (out_len * self.filters) as usize),
+            perf,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use ntx_sim::ClusterConfig;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::default())
+    }
+
+    fn pattern(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 7 + 3) % 11) as f32 - 5.0).collect()
+    }
+
+    fn assert_close(got: &[f32], expect: &[f32]) {
+        assert_eq!(got.len(), expect.len());
+        for (i, (g, e)) in got.iter().zip(expect).enumerate() {
+            assert!(
+                (g - e).abs() <= 1e-3 * e.abs().max(1.0),
+                "element {i}: {g} vs {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv3x3_matches_reference() {
+        let (h, w, k) = (12u32, 10u32, 3u32);
+        let img = pattern((h * w) as usize);
+        let ker = pattern((k * k) as usize);
+        let mut c = cluster();
+        let kernel = Conv2dKernel::single(h, w, k);
+        let (got, perf) = kernel.run(&mut c, &img, &ker);
+        let expect = reference::conv2d(&img, h as usize, w as usize, &ker, k as usize);
+        assert_close(&got, &expect);
+        let out = u64::from(kernel.out_height() * kernel.out_width());
+        assert_eq!(perf.flops, 2 * 9 * out);
+    }
+
+    #[test]
+    fn conv5x5_and_7x7_match_reference() {
+        for k in [5u32, 7] {
+            let (h, w) = (k + 9, k + 7);
+            let img = pattern((h * w) as usize);
+            let ker = pattern((k * k) as usize);
+            let mut c = cluster();
+            let (got, _) = Conv2dKernel::single(h, w, k).run(&mut c, &img, &ker);
+            let expect = reference::conv2d(&img, h as usize, w as usize, &ker, k as usize);
+            assert_close(&got, &expect);
+        }
+    }
+
+    #[test]
+    fn conv_with_image_exactly_kernel_sized() {
+        let k = 3u32;
+        let img = pattern(9);
+        let ker = pattern(9);
+        let mut c = cluster();
+        let (got, _) = Conv2dKernel::single(k, k, k).run(&mut c, &img, &ker);
+        let expect = reference::conv2d(&img, 3, 3, &ker, 3);
+        assert_close(&got, &expect);
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn multi_filter_run() {
+        let (h, w, k, f) = (8u32, 8u32, 3u32, 4u32);
+        let img = pattern((h * w) as usize);
+        let weights = pattern((k * k * f) as usize);
+        let mut c = cluster();
+        let kernel = Conv2dKernel {
+            height: h,
+            width: w,
+            k,
+            filters: f,
+        };
+        let (got, perf) = kernel.run_filters(&mut c, &img, &weights);
+        let (oh, ow) = (kernel.out_height() as usize, kernel.out_width() as usize);
+        for fi in 0..f as usize {
+            let expect = reference::conv2d(
+                &img,
+                h as usize,
+                w as usize,
+                &weights[fi * 9..(fi + 1) * 9],
+                k as usize,
+            );
+            assert_close(&got[fi * oh * ow..(fi + 1) * oh * ow], &expect);
+        }
+        assert_eq!(perf.commands_completed as u32, f * 6); // 6 rows -> 6 engines used
+    }
+
+    #[test]
+    fn accumulating_lowering_sums_channels() {
+        // Two "input channels" accumulated into one output plane.
+        let (h, w, k) = (6u32, 6u32, 3u32);
+        let ch0 = pattern((h * w) as usize);
+        let ch1: Vec<f32> = pattern((h * w) as usize).iter().map(|v| v * 0.5).collect();
+        let ker = pattern(9);
+        let mut c = cluster();
+        let kernel = Conv2dKernel::single(h, w, k);
+        // Preload channel planes and weights.
+        let in0 = 0u32;
+        let in1 = 4 * h * w;
+        let w_addr = in1 + 4 * h * w;
+        let out_addr = w_addr + 4 * 9;
+        c.write_tcdm_f32(in0, &ch0);
+        c.write_tcdm_f32(in1, &ch1);
+        c.write_tcdm_f32(w_addr, &ker);
+        // Pass 1: channel 0, overwrite; pass 2: channel 1, accumulate.
+        for (pass, (base, acc)) in [(in0, false), (in1, true)].iter().enumerate() {
+            let _ = pass;
+            let cfgs = kernel
+                .lower(*base, w_addr, out_addr, 8, *acc)
+                .expect("valid");
+            for (i, cfg) in cfgs.iter().enumerate() {
+                c.offload_with_writes(i, cfg, 4);
+            }
+            c.run_to_completion();
+        }
+        let got = c.read_tcdm_f32(out_addr, 16);
+        let mut expect = reference::conv2d(&ch0, 6, 6, &ker, 3);
+        let e1 = reference::conv2d(&ch1, 6, 6, &ker, 3);
+        for (a, b) in expect.iter_mut().zip(&e1) {
+            *a += b;
+        }
+        assert_close(&got, &expect);
+    }
+
+    #[test]
+    fn cost_reuse_scales_with_filters() {
+        let one = Conv2dKernel::single(128, 128, 3).cost();
+        let many = Conv2dKernel {
+            height: 128,
+            width: 128,
+            k: 3,
+            filters: 8,
+        }
+        .cost();
+        assert!(many.operational_intensity() > one.operational_intensity());
+        // k²/4-ish asymptote for 3×3: many filters approach 4.5 flop/B.
+        assert!(many.operational_intensity() < 4.5);
+    }
+}

@@ -1,0 +1,386 @@
+//! The cluster DMA engine.
+//!
+//! §II-A: *"An additional DMA engine allows the transfer of two-
+//! dimensional data planes between the TCDM and the HMC's memory
+//! space."* §II-E: the cores use it for double buffering so NTX compute
+//! and data movement overlap.
+//!
+//! The engine drains a queue of 2-D descriptors, moving one 32-bit word
+//! per granted TCDM access. The AXI port runs 64 bit wide at half the
+//! NTX clock (§III-A), i.e. one word per NTX cycle — 5 GB/s at
+//! 1.25 GHz — which is exactly the TCDM-side request rate, so a single
+//! [`words_per_cycle`](DmaEngine::words_per_cycle) parameter models the
+//! port width (2 for the 128-bit, 4 for the 256-bit variant of §III-C).
+
+use crate::ext_mem::ExtMemory;
+use crate::tcdm::Tcdm;
+use std::collections::VecDeque;
+
+/// Transfer direction of a descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DmaDirection {
+    /// External memory → TCDM (input tile load).
+    ExtToTcdm,
+    /// TCDM → external memory (result tile store).
+    TcdmToExt,
+}
+
+/// A two-dimensional DMA transfer descriptor.
+///
+/// Moves `rows` rows of `row_bytes` bytes each; consecutive rows are
+/// `ext_stride` bytes apart on the external side and `tcdm_stride`
+/// bytes apart in the TCDM. A 1-D transfer is a descriptor with
+/// `rows == 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaDescriptor {
+    /// External-memory base address.
+    pub ext_addr: u64,
+    /// TCDM base address.
+    pub tcdm_addr: u32,
+    /// Bytes per row (must be a positive multiple of 4).
+    pub row_bytes: u32,
+    /// Number of rows (must be positive).
+    pub rows: u32,
+    /// External-side distance between row starts, in bytes.
+    pub ext_stride: u64,
+    /// TCDM-side distance between row starts, in bytes.
+    pub tcdm_stride: u32,
+    /// Transfer direction.
+    pub dir: DmaDirection,
+}
+
+impl DmaDescriptor {
+    /// Convenience 1-D descriptor.
+    #[must_use]
+    pub fn linear(ext_addr: u64, tcdm_addr: u32, bytes: u32, dir: DmaDirection) -> Self {
+        Self {
+            ext_addr,
+            tcdm_addr,
+            row_bytes: bytes,
+            rows: 1,
+            ext_stride: u64::from(bytes),
+            tcdm_stride: bytes,
+            dir,
+        }
+    }
+
+    /// Total payload bytes of the transfer.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        u64::from(self.row_bytes) * u64::from(self.rows)
+    }
+
+    fn total_words(&self) -> u64 {
+        self.total_bytes() / 4
+    }
+
+    fn word_addrs(&self, word: u64) -> (u64, u32) {
+        let wpr = u64::from(self.row_bytes / 4);
+        let row = word / wpr;
+        let col = word % wpr;
+        (
+            self.ext_addr + row * self.ext_stride + col * 4,
+            self.tcdm_addr
+                .wrapping_add((row as u32).wrapping_mul(self.tcdm_stride))
+                .wrapping_add(col as u32 * 4),
+        )
+    }
+}
+
+/// The DMA engine: descriptor queue plus transfer state machine.
+///
+/// Per simulated cycle the cluster asks for the TCDM addresses the DMA
+/// wants ([`DmaEngine::desired_accesses`]), arbitrates them against the
+/// NTX/core masters, and calls [`DmaEngine::commit`] with the grant
+/// flags. [`DmaEngine::run_to_completion`] is the stand-alone variant
+/// used by tests and coarse models, where every access is granted.
+///
+/// # Example
+///
+/// ```
+/// use ntx_mem::{DmaDescriptor, DmaDirection, DmaEngine, ExtMemory, Tcdm};
+///
+/// let mut dma = DmaEngine::new(1);
+/// let mut tcdm = Tcdm::default();
+/// let mut ext = ExtMemory::new();
+/// ext.write_f32_slice(0x100, &[1.0, 2.0, 3.0, 4.0]);
+/// dma.push(DmaDescriptor::linear(0x100, 0x40, 16, DmaDirection::ExtToTcdm));
+/// let cycles = dma.run_to_completion(&mut tcdm, &mut ext);
+/// assert_eq!(cycles, 4); // one word per cycle
+/// assert_eq!(tcdm.read_f32(0x44), 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DmaEngine {
+    queue: VecDeque<DmaDescriptor>,
+    current_word: u64,
+    words_per_cycle: u32,
+    bytes_moved: u64,
+    busy_cycles: u64,
+    completed: u64,
+}
+
+impl DmaEngine {
+    /// Creates an engine moving up to `words_per_cycle` 32-bit words per
+    /// cycle (1 = the paper's 64-bit AXI port at half clock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words_per_cycle` is zero.
+    #[must_use]
+    pub fn new(words_per_cycle: u32) -> Self {
+        assert!(words_per_cycle > 0, "DMA must move at least one word");
+        Self {
+            queue: VecDeque::new(),
+            current_word: 0,
+            words_per_cycle,
+            bytes_moved: 0,
+            busy_cycles: 0,
+            completed: 0,
+        }
+    }
+
+    /// Port width in words per cycle.
+    #[must_use]
+    pub fn words_per_cycle(&self) -> u32 {
+        self.words_per_cycle
+    }
+
+    /// Enqueues a descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the descriptor geometry is degenerate (zero rows, zero
+    /// or unaligned row bytes, unaligned addresses).
+    pub fn push(&mut self, desc: DmaDescriptor) {
+        assert!(desc.rows > 0, "descriptor needs at least one row");
+        assert!(
+            desc.row_bytes > 0 && desc.row_bytes % 4 == 0,
+            "row bytes must be a positive multiple of 4"
+        );
+        assert!(
+            desc.ext_addr % 4 == 0 && desc.tcdm_addr % 4 == 0,
+            "DMA addresses must be word aligned"
+        );
+        assert!(
+            desc.ext_stride % 4 == 0 && desc.tcdm_stride % 4 == 0,
+            "DMA strides must be word aligned"
+        );
+        self.queue.push_back(desc);
+    }
+
+    /// True when no descriptor is pending or in flight.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Number of descriptors waiting (including the active one).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// TCDM word addresses the engine wants to access this cycle, up to
+    /// the port width (fewer near the end of a descriptor; descriptors
+    /// do not overlap within a cycle, matching the RTL's serialisation).
+    #[must_use]
+    pub fn desired_accesses(&self) -> Vec<u32> {
+        let Some(desc) = self.queue.front() else {
+            return Vec::new();
+        };
+        let remaining = desc.total_words() - self.current_word;
+        let n = u64::from(self.words_per_cycle).min(remaining);
+        (0..n)
+            .map(|i| desc.word_addrs(self.current_word + i).1)
+            .collect()
+    }
+
+    /// Performs the granted transfers for this cycle. `granted[i]`
+    /// corresponds to `desired_accesses()[i]`; a prefix-contiguity rule
+    /// applies (a denied word blocks the ones behind it, preserving
+    /// order). Returns the number of words moved.
+    pub fn commit(&mut self, granted: &[bool], tcdm: &mut Tcdm, ext: &mut ExtMemory) -> u32 {
+        let Some(desc) = self.queue.front().copied() else {
+            return 0;
+        };
+        let mut moved = 0u32;
+        for &g in granted {
+            if !g {
+                break; // in-order: a stalled beat blocks the rest
+            }
+            let (ea, ta) = desc.word_addrs(self.current_word);
+            match desc.dir {
+                DmaDirection::ExtToTcdm => {
+                    let w = ext.read_u32(ea);
+                    tcdm.write_u32(ta, w);
+                }
+                DmaDirection::TcdmToExt => {
+                    let w = tcdm.read_u32(ta);
+                    ext.write_u32(ea, w);
+                }
+            }
+            self.current_word += 1;
+            moved += 1;
+        }
+        if moved > 0 {
+            self.busy_cycles += 1;
+            self.bytes_moved += u64::from(moved) * 4;
+        }
+        if self.current_word == desc.total_words() {
+            self.queue.pop_front();
+            self.current_word = 0;
+            self.completed += 1;
+        }
+        moved
+    }
+
+    /// Drains the whole queue assuming every TCDM access is granted.
+    /// Returns the number of cycles consumed.
+    pub fn run_to_completion(&mut self, tcdm: &mut Tcdm, ext: &mut ExtMemory) -> u64 {
+        let mut cycles = 0;
+        while !self.is_idle() {
+            let desired = self.desired_accesses();
+            let grants = vec![true; desired.len()];
+            self.commit(&grants, tcdm, ext);
+            cycles += 1;
+        }
+        cycles
+    }
+
+    /// Total payload bytes moved (both directions).
+    #[must_use]
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// Cycles in which at least one word moved.
+    #[must_use]
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Descriptors fully retired.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Resets the statistics counters (not the queue).
+    pub fn reset_counters(&mut self) {
+        self.bytes_moved = 0;
+        self.busy_cycles = 0;
+        self.completed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_transfer_roundtrip() {
+        let mut dma = DmaEngine::new(1);
+        let mut tcdm = Tcdm::default();
+        let mut ext = ExtMemory::new();
+        ext.write_f32_slice(0, &[1.0, 2.0, 3.0]);
+        dma.push(DmaDescriptor::linear(0, 0x100, 12, DmaDirection::ExtToTcdm));
+        dma.run_to_completion(&mut tcdm, &mut ext);
+        assert_eq!(tcdm.read_f32(0x100), 1.0);
+        assert_eq!(tcdm.read_f32(0x108), 3.0);
+        // And back out to a different location.
+        dma.push(DmaDescriptor::linear(0x40, 0x100, 12, DmaDirection::TcdmToExt));
+        dma.run_to_completion(&mut tcdm, &mut ext);
+        assert_eq!(ext.read_f32_slice(0x40, 3), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn two_dimensional_strided_transfer() {
+        // Copy a 2x3-word tile out of a 5-word-wide external image.
+        let mut dma = DmaEngine::new(1);
+        let mut tcdm = Tcdm::default();
+        let mut ext = ExtMemory::new();
+        #[rustfmt::skip]
+        ext.write_f32_slice(0, &[
+            1.0, 2.0, 3.0, 4.0, 5.0,
+            6.0, 7.0, 8.0, 9.0, 10.0,
+        ]);
+        dma.push(DmaDescriptor {
+            ext_addr: 4,          // start at column 1
+            tcdm_addr: 0,
+            row_bytes: 12,        // 3 words
+            rows: 2,
+            ext_stride: 20,       // 5 words
+            tcdm_stride: 12,      // packed
+            dir: DmaDirection::ExtToTcdm,
+        });
+        dma.run_to_completion(&mut tcdm, &mut ext);
+        let got: Vec<f32> = (0..6).map(|i| tcdm.read_f32(4 * i)).collect();
+        assert_eq!(got, vec![2.0, 3.0, 4.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn bandwidth_is_one_word_per_cycle() {
+        let mut dma = DmaEngine::new(1);
+        let mut tcdm = Tcdm::default();
+        let mut ext = ExtMemory::new();
+        dma.push(DmaDescriptor::linear(0, 0, 400, DmaDirection::ExtToTcdm));
+        let cycles = dma.run_to_completion(&mut tcdm, &mut ext);
+        assert_eq!(cycles, 100);
+        assert_eq!(dma.bytes_moved(), 400);
+    }
+
+    #[test]
+    fn wider_port_halves_cycles() {
+        let mut dma = DmaEngine::new(2);
+        let mut tcdm = Tcdm::default();
+        let mut ext = ExtMemory::new();
+        dma.push(DmaDescriptor::linear(0, 0, 400, DmaDirection::ExtToTcdm));
+        let cycles = dma.run_to_completion(&mut tcdm, &mut ext);
+        assert_eq!(cycles, 50);
+    }
+
+    #[test]
+    fn denied_grant_preserves_order() {
+        let mut dma = DmaEngine::new(2);
+        let mut tcdm = Tcdm::default();
+        let mut ext = ExtMemory::new();
+        ext.write_f32_slice(0, &[1.0, 2.0, 3.0, 4.0]);
+        dma.push(DmaDescriptor::linear(0, 0, 16, DmaDirection::ExtToTcdm));
+        // First beat granted, second denied: only one word moves.
+        let desired = dma.desired_accesses();
+        assert_eq!(desired.len(), 2);
+        assert_eq!(dma.commit(&[true, false], &mut tcdm, &mut ext), 1);
+        // Denied first beat: nothing moves even if the second was granted.
+        assert_eq!(dma.commit(&[false, true], &mut tcdm, &mut ext), 0);
+        // Finish.
+        while !dma.is_idle() {
+            let n = dma.desired_accesses().len();
+            dma.commit(&vec![true; n], &mut tcdm, &mut ext);
+        }
+        let got: Vec<f32> = (0..4).map(|i| tcdm.read_f32(4 * i)).collect();
+        assert_eq!(got, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn queue_processes_in_order() {
+        let mut dma = DmaEngine::new(1);
+        let mut tcdm = Tcdm::default();
+        let mut ext = ExtMemory::new();
+        ext.write_f32(0, 1.0);
+        ext.write_f32(4, 2.0);
+        dma.push(DmaDescriptor::linear(0, 0x10, 4, DmaDirection::ExtToTcdm));
+        dma.push(DmaDescriptor::linear(4, 0x20, 4, DmaDirection::ExtToTcdm));
+        assert_eq!(dma.pending(), 2);
+        dma.run_to_completion(&mut tcdm, &mut ext);
+        assert_eq!(dma.completed(), 2);
+        assert_eq!(tcdm.read_f32(0x10), 1.0);
+        assert_eq!(tcdm.read_f32(0x20), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "word aligned")]
+    fn unaligned_descriptor_rejected() {
+        let mut dma = DmaEngine::new(1);
+        dma.push(DmaDescriptor::linear(2, 0, 4, DmaDirection::ExtToTcdm));
+    }
+}

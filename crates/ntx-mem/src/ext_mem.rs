@@ -1,0 +1,157 @@
+//! External memory behind the cluster's AXI port.
+//!
+//! In the paper this is the HMC memory space (DRAM vaults reached
+//! through the LoB interconnect, Fig. 1); for kernels executed on a
+//! stand-alone cluster it is simply "a DRAM attached to the AXI port"
+//! (§III-B). The model provides byte-addressed storage with traffic
+//! counters the energy model consumes; bandwidth enforcement happens in
+//! the [`DmaEngine`](crate::DmaEngine), which is the only master that
+//! touches it in steady state.
+
+/// Byte-addressed external memory with read/write traffic accounting.
+///
+/// Storage grows on demand (zero-filled), so tests and kernels can use
+/// sparse address layouts without preallocating gigabytes.
+///
+/// # Example
+///
+/// ```
+/// use ntx_mem::ExtMemory;
+///
+/// let mut mem = ExtMemory::new();
+/// mem.write_f32(0x1000, 2.5);
+/// assert_eq!(mem.read_f32(0x1000), 2.5);
+/// assert_eq!(mem.bytes_written(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExtMemory {
+    data: Vec<u8>,
+    bytes_read: u64,
+    bytes_written: u64,
+}
+
+impl ExtMemory {
+    /// Creates an empty external memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, end: u64) {
+        let end = end as usize;
+        if self.data.len() < end {
+            // Grow geometrically to keep amortised cost low.
+            let new_len = end.next_power_of_two().max(4096);
+            self.data.resize(new_len, 0);
+        }
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    pub fn read_bytes(&mut self, addr: u64, buf: &mut [u8]) {
+        self.ensure(addr + buf.len() as u64);
+        let a = addr as usize;
+        buf.copy_from_slice(&self.data[a..a + buf.len()]);
+        self.bytes_read += buf.len() as u64;
+    }
+
+    /// Writes `buf` starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, buf: &[u8]) {
+        self.ensure(addr + buf.len() as u64);
+        let a = addr as usize;
+        self.data[a..a + buf.len()].copy_from_slice(buf);
+        self.bytes_written += buf.len() as u64;
+    }
+
+    /// Reads a 32-bit word (little endian).
+    pub fn read_u32(&mut self, addr: u64) -> u32 {
+        let mut b = [0u8; 4];
+        self.read_bytes(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Writes a 32-bit word (little endian).
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads an `f32`.
+    pub fn read_f32(&mut self, addr: u64) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Writes an `f32`.
+    pub fn write_f32(&mut self, addr: u64, value: f32) {
+        self.write_u32(addr, value.to_bits());
+    }
+
+    /// Writes a whole `f32` slice starting at `addr` (test preloading).
+    pub fn write_f32_slice(&mut self, addr: u64, values: &[f32]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.write_f32(addr + 4 * i as u64, v);
+        }
+    }
+
+    /// Reads `n` consecutive `f32` values starting at `addr`.
+    pub fn read_f32_slice(&mut self, addr: u64, n: usize) -> Vec<f32> {
+        (0..n).map(|i| self.read_f32(addr + 4 * i as u64)).collect()
+    }
+
+    /// Total bytes read since the last counter reset (DRAM traffic).
+    #[must_use]
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Total bytes written since the last counter reset (DRAM traffic).
+    #[must_use]
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Resets the traffic counters.
+    pub fn reset_counters(&mut self) {
+        self.bytes_read = 0;
+        self.bytes_written = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_words() {
+        let mut m = ExtMemory::new();
+        m.write_u32(0, 0x0102_0304);
+        assert_eq!(m.read_u32(0), 0x0102_0304);
+    }
+
+    #[test]
+    fn sparse_addresses_grow_on_demand() {
+        let mut m = ExtMemory::new();
+        m.write_f32(10_000_000, 1.0);
+        assert_eq!(m.read_f32(10_000_000), 1.0);
+        // Unwritten areas read as zero.
+        assert_eq!(m.read_u32(5_000_000), 0);
+    }
+
+    #[test]
+    fn traffic_counters() {
+        let mut m = ExtMemory::new();
+        m.write_bytes(0, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut buf = [0u8; 3];
+        m.read_bytes(2, &mut buf);
+        assert_eq!(buf, [3, 4, 5]);
+        assert_eq!(m.bytes_written(), 8);
+        assert_eq!(m.bytes_read(), 3);
+        m.reset_counters();
+        assert_eq!(m.bytes_written(), 0);
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let mut m = ExtMemory::new();
+        m.write_f32_slice(64, &[1.0, 2.0, 3.0]);
+        assert_eq!(m.read_f32_slice(64, 3), vec![1.0, 2.0, 3.0]);
+    }
+}

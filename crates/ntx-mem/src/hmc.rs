@@ -1,0 +1,116 @@
+//! Hybrid Memory Cube organisation parameters (Fig. 1).
+//!
+//! The paper's full system attaches `m` processing clusters to the main
+//! interconnect on the Logic Base (LoB) of an HMC 2.0 device: 4 DRAM
+//! dies, 32 vaults, 1 GB capacity, four serial links off-cube, and a
+//! 256-bit main interconnect at 1 GHz. These constants feed the
+//! system-level performance and energy models in `ntx-model`; the
+//! cycle simulator abstracts the cube behind its AXI port.
+
+/// Organisation of one HMC device and its LoB.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HmcConfig {
+    /// Number of DRAM vaults (and vault controllers on the LoB).
+    pub vaults: u32,
+    /// Number of stacked DRAM dies.
+    pub dram_dies: u32,
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Serial links leaving the cube.
+    pub serial_links: u32,
+    /// Peak bandwidth of one vault controller, bytes/s.
+    pub vault_bandwidth: f64,
+    /// Peak bandwidth of one serial link, bytes/s.
+    pub link_bandwidth: f64,
+    /// Main LoB interconnect width in bits.
+    pub interconnect_bits: u32,
+    /// Main LoB interconnect clock in Hz.
+    pub interconnect_hz: f64,
+}
+
+impl Default for HmcConfig {
+    /// The HMC 2.0 configuration of Fig. 1.
+    fn default() -> Self {
+        Self {
+            vaults: 32,
+            dram_dies: 4,
+            capacity_bytes: 1 << 30,
+            serial_links: 4,
+            // 32 vaults at 1024-bit pages, 625 MHz TSV bus: the paper's
+            // companion article budgets 10 GB/s per vault.
+            vault_bandwidth: 10.0e9,
+            // HMC 2.0 short-reach link: 120 GB/s aggregate over 4 links.
+            link_bandwidth: 30.0e9,
+            interconnect_bits: 256,
+            interconnect_hz: 1.0e9,
+        }
+    }
+}
+
+impl HmcConfig {
+    /// Aggregate internal DRAM bandwidth (all vaults), bytes/s.
+    #[must_use]
+    pub fn total_vault_bandwidth(&self) -> f64 {
+        f64::from(self.vaults) * self.vault_bandwidth
+    }
+
+    /// Aggregate off-cube link bandwidth, bytes/s.
+    #[must_use]
+    pub fn total_link_bandwidth(&self) -> f64 {
+        f64::from(self.serial_links) * self.link_bandwidth
+    }
+
+    /// Peak bandwidth of the main LoB interconnect, bytes/s.
+    #[must_use]
+    pub fn interconnect_bandwidth(&self) -> f64 {
+        f64::from(self.interconnect_bits) / 8.0 * self.interconnect_hz
+    }
+
+    /// Bandwidth available to `clusters` clusters, limited by the LoB
+    /// interconnect and the aggregate vault bandwidth, bytes/s per
+    /// cluster.
+    #[must_use]
+    pub fn bandwidth_per_cluster(&self, clusters: u32) -> f64 {
+        if clusters == 0 {
+            return 0.0;
+        }
+        self.interconnect_bandwidth()
+            .min(self.total_vault_bandwidth())
+            / f64::from(clusters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_figure_1() {
+        let h = HmcConfig::default();
+        assert_eq!(h.vaults, 32);
+        assert_eq!(h.dram_dies, 4);
+        assert_eq!(h.capacity_bytes, 1 << 30);
+        assert_eq!(h.serial_links, 4);
+    }
+
+    #[test]
+    fn interconnect_bandwidth_is_32_gbs() {
+        let h = HmcConfig::default();
+        assert!((h.interconnect_bandwidth() - 32.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn per_cluster_share_decreases() {
+        let h = HmcConfig::default();
+        let one = h.bandwidth_per_cluster(1);
+        let four = h.bandwidth_per_cluster(4);
+        assert!((one / four - 4.0).abs() < 1e-9);
+        assert_eq!(h.bandwidth_per_cluster(0), 0.0);
+    }
+
+    #[test]
+    fn vault_bandwidth_dominates_links() {
+        let h = HmcConfig::default();
+        assert!(h.total_vault_bandwidth() > h.total_link_bandwidth());
+    }
+}

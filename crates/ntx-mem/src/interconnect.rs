@@ -1,0 +1,249 @@
+//! The logarithmic interconnect between masters and TCDM banks.
+//!
+//! §II-A connects processors and co-processors to the banked TCDM
+//! through a single-cycle logarithmic interconnect. When two masters
+//! address the same bank in the same cycle only one is granted; the
+//! other stalls and retries. §III-C: *"the practically achievable
+//! compute performance is limited by the probability of a banking
+//! conflict in the TCDM interconnect [...] measured to be around 13 %"*.
+//!
+//! [`Interconnect::arbitrate`] resolves one cycle of requests with
+//! per-bank round-robin fairness and keeps the conflict statistics the
+//! evaluation reports.
+
+/// Identity of a master port on the interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MasterId {
+    /// The RISC-V core's load/store unit.
+    Core,
+    /// The cluster DMA engine.
+    Dma,
+    /// NTX co-processor `n` (0-based).
+    Ntx(usize),
+}
+
+impl MasterId {
+    /// Dense index used for round-robin bookkeeping.
+    #[must_use]
+    fn dense(self) -> usize {
+        match self {
+            MasterId::Core => 0,
+            MasterId::Dma => 1,
+            MasterId::Ntx(n) => 2 + n,
+        }
+    }
+}
+
+/// One bank access request for the current cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankRequest {
+    /// Requesting master.
+    pub master: MasterId,
+    /// Byte address of the access (the arbiter only looks at the bank).
+    pub addr: u32,
+}
+
+/// Round-robin bank arbiter with conflict statistics.
+///
+/// # Example
+///
+/// ```
+/// use ntx_mem::{BankRequest, Interconnect, MasterId};
+///
+/// let mut ic = Interconnect::new(32);
+/// // Two masters hitting bank 0 in the same cycle: one wins.
+/// let grants = ic.arbitrate(&[
+///     BankRequest { master: MasterId::Ntx(0), addr: 0x00 },
+///     BankRequest { master: MasterId::Ntx(1), addr: 0x80 }, // bank 0 too
+/// ]);
+/// assert_eq!(grants.iter().filter(|&&g| g).count(), 1);
+/// assert_eq!(ic.conflicts(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Interconnect {
+    banks: u32,
+    /// Per-bank round-robin pointer over dense master indices.
+    rr: Vec<usize>,
+    requests: u64,
+    grants: u64,
+    conflicts: u64,
+}
+
+impl Interconnect {
+    /// Creates an arbiter for `banks` banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero.
+    #[must_use]
+    pub fn new(banks: u32) -> Self {
+        assert!(banks > 0, "interconnect needs at least one bank");
+        Self {
+            banks,
+            rr: vec![0; banks as usize],
+            requests: 0,
+            grants: 0,
+            conflicts: 0,
+        }
+    }
+
+    /// Resolves one cycle of bank requests. Returns a grant flag per
+    /// request (same order). Each bank grants exactly one request; among
+    /// contenders the one whose dense master index follows the bank's
+    /// round-robin pointer wins, and the pointer moves past the winner.
+    pub fn arbitrate(&mut self, requests: &[BankRequest]) -> Vec<bool> {
+        let mut granted = vec![false; requests.len()];
+        // Group request indices by bank. Banks are few; a simple bucket
+        // walk keeps this allocation-light relative to the sim loop.
+        let mut by_bank: Vec<Vec<usize>> = vec![Vec::new(); self.banks as usize];
+        for (i, req) in requests.iter().enumerate() {
+            let bank = ((req.addr / 4) % self.banks) as usize;
+            by_bank[bank].push(i);
+        }
+        for (bank, contenders) in by_bank.iter().enumerate() {
+            if contenders.is_empty() {
+                continue;
+            }
+            self.requests += contenders.len() as u64;
+            // Pick the contender whose dense index follows the pointer
+            // most closely (strictly after it, wrapping around).
+            let ptr = self.rr[bank];
+            let winner = *contenders
+                .iter()
+                .min_by_key(|&&i| {
+                    let d = requests[i].master.dense();
+                    if d > ptr {
+                        d - ptr
+                    } else {
+                        d + 1024 - ptr
+                    }
+                })
+                .expect("non-empty contenders");
+            granted[winner] = true;
+            self.grants += 1;
+            self.conflicts += contenders.len() as u64 - 1;
+            self.rr[bank] = requests[winner].master.dense();
+        }
+        granted
+    }
+
+    /// Total requests observed.
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Total grants issued.
+    #[must_use]
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Total conflicts (requests denied because another master held the
+    /// bank that cycle).
+    #[must_use]
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Fraction of requests that were denied — the §III-C banking-
+    /// conflict probability (≈0.13 on the paper's 3×3 convolution).
+    #[must_use]
+    pub fn conflict_probability(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.conflicts as f64 / self.requests as f64
+        }
+    }
+
+    /// Resets the statistics counters.
+    pub fn reset_counters(&mut self) {
+        self.requests = 0;
+        self.grants = 0;
+        self.conflicts = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(master: MasterId, addr: u32) -> BankRequest {
+        BankRequest { master, addr }
+    }
+
+    #[test]
+    fn disjoint_banks_all_granted() {
+        let mut ic = Interconnect::new(32);
+        let grants = ic.arbitrate(&[
+            req(MasterId::Ntx(0), 0x00),
+            req(MasterId::Ntx(1), 0x04),
+            req(MasterId::Dma, 0x08),
+        ]);
+        assert_eq!(grants, vec![true, true, true]);
+        assert_eq!(ic.conflicts(), 0);
+        assert_eq!(ic.conflict_probability(), 0.0);
+    }
+
+    #[test]
+    fn same_bank_conflicts() {
+        let mut ic = Interconnect::new(32);
+        let grants = ic.arbitrate(&[
+            req(MasterId::Ntx(0), 0x00),
+            req(MasterId::Ntx(1), 0x80),
+            req(MasterId::Ntx(2), 0x100),
+        ]);
+        assert_eq!(grants.iter().filter(|&&g| g).count(), 1);
+        assert_eq!(ic.conflicts(), 2);
+    }
+
+    #[test]
+    fn round_robin_rotates_winners() {
+        let mut ic = Interconnect::new(32);
+        let reqs = [req(MasterId::Ntx(0), 0x00), req(MasterId::Ntx(1), 0x80)];
+        let g1 = ic.arbitrate(&reqs);
+        let g2 = ic.arbitrate(&reqs);
+        // The two cycles must grant different masters.
+        assert_ne!(g1, g2);
+        let g3 = ic.arbitrate(&reqs);
+        assert_eq!(g1, g3);
+    }
+
+    #[test]
+    fn no_starvation_under_sustained_contention() {
+        let mut ic = Interconnect::new(32);
+        let reqs: Vec<BankRequest> = (0..8).map(|n| req(MasterId::Ntx(n), 0x00)).collect();
+        let mut wins = [0u32; 8];
+        for _ in 0..80 {
+            let grants = ic.arbitrate(&reqs);
+            for (n, &g) in grants.iter().enumerate() {
+                if g {
+                    wins[n] += 1;
+                }
+            }
+        }
+        for (n, &w) in wins.iter().enumerate() {
+            assert_eq!(w, 10, "master {n} should win exactly 1/8 of cycles");
+        }
+    }
+
+    #[test]
+    fn statistics_accumulate() {
+        let mut ic = Interconnect::new(4);
+        ic.arbitrate(&[req(MasterId::Core, 0), req(MasterId::Dma, 0)]);
+        assert_eq!(ic.requests(), 2);
+        assert_eq!(ic.grants(), 1);
+        assert_eq!(ic.conflict_probability(), 0.5);
+        ic.reset_counters();
+        assert_eq!(ic.requests(), 0);
+    }
+
+    #[test]
+    fn empty_cycle_is_free() {
+        let mut ic = Interconnect::new(8);
+        let grants = ic.arbitrate(&[]);
+        assert!(grants.is_empty());
+        assert_eq!(ic.requests(), 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Memory system of the NTX processing cluster.
+//!
+//! Models the storage hierarchy of Fig. 1 of the paper, from the inside
+//! out:
+//!
+//! * [`Tcdm`] — the 64 kB tightly-coupled data memory, organised as 32
+//!   word-interleaved banks with single-cycle access latency (§II-A);
+//! * [`Interconnect`] — the logarithmic interconnect arbitrating the
+//!   NTX/DMA/core masters onto the banks, one grant per bank per cycle
+//!   with round-robin fairness; banking conflicts stall the losing
+//!   master (§III-C measures their probability at ≈13 %);
+//! * [`DmaEngine`] — the cluster DMA moving two-dimensional planes
+//!   between TCDM and external memory through the 64-bit AXI port at
+//!   half the NTX clock (5 GB/s peak, §II-A/§III-C);
+//! * [`ExtMemory`] — the byte-addressed memory behind the AXI port (the
+//!   HMC's DRAM vaults in the paper) with traffic counters;
+//! * [`hmc`] — Hybrid Memory Cube organisation parameters used by the
+//!   system-level models.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dma;
+mod ext_mem;
+pub mod hmc;
+mod interconnect;
+mod tcdm;
+
+pub use dma::{DmaDescriptor, DmaDirection, DmaEngine};
+pub use ext_mem::ExtMemory;
+pub use interconnect::{BankRequest, Interconnect, MasterId};
+pub use tcdm::{Tcdm, TcdmConfig};

@@ -1,0 +1,242 @@
+//! The tightly-coupled data memory (TCDM).
+//!
+//! §II-A: *"Both operate on shared 64 kB TCDM. [...] The memory is
+//! divided into 32 banks that are connected to the processors via an
+//! interconnect offering single-cycle access latency."*
+//!
+//! Storage is word-interleaved: consecutive 32-bit words map to
+//! consecutive banks, which is what spreads the streaming accesses of
+//! the NTX AGUs across the banks.
+
+/// Geometry of the TCDM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TcdmConfig {
+    /// Total capacity in bytes (paper: 64 kB; [12] used 128 kB).
+    pub bytes: u32,
+    /// Number of banks (paper: 32).
+    pub banks: u32,
+}
+
+impl Default for TcdmConfig {
+    fn default() -> Self {
+        Self {
+            bytes: 64 * 1024,
+            banks: 32,
+        }
+    }
+}
+
+impl TcdmConfig {
+    /// Bank index serving the word at byte address `addr`.
+    #[must_use]
+    pub fn bank_of(&self, addr: u32) -> u32 {
+        (addr / 4) % self.banks
+    }
+}
+
+/// The TCDM storage array with access counters.
+///
+/// Addresses wrap at the memory size, matching the address decoder of
+/// the cluster (the upper bits select the TCDM region; the lower bits
+/// index into it).
+///
+/// # Example
+///
+/// ```
+/// use ntx_mem::Tcdm;
+///
+/// let mut tcdm = Tcdm::default();
+/// tcdm.write_f32(0x40, 3.25);
+/// assert_eq!(tcdm.read_f32(0x40), 3.25);
+/// assert_eq!(tcdm.config().bank_of(0x40), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tcdm {
+    config: TcdmConfig,
+    data: Vec<u8>,
+    reads: u64,
+    writes: u64,
+}
+
+impl Default for Tcdm {
+    fn default() -> Self {
+        Self::new(TcdmConfig::default())
+    }
+}
+
+impl Tcdm {
+    /// Allocates a zero-initialised TCDM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is zero, not a multiple of `4 * banks`, or
+    /// if `banks` is zero.
+    #[must_use]
+    pub fn new(config: TcdmConfig) -> Self {
+        assert!(config.banks > 0, "TCDM needs at least one bank");
+        assert!(
+            config.bytes > 0 && config.bytes % (4 * config.banks) == 0,
+            "TCDM size must be a positive multiple of 4*banks"
+        );
+        Self {
+            config,
+            data: vec![0; config.bytes as usize],
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// The configured geometry.
+    #[must_use]
+    pub fn config(&self) -> TcdmConfig {
+        self.config
+    }
+
+    fn index(&self, addr: u32) -> usize {
+        (addr % self.config.bytes) as usize
+    }
+
+    /// Reads the 32-bit word at `addr` (little endian, counter-visible).
+    pub fn read_u32(&mut self, addr: u32) -> u32 {
+        self.reads += 1;
+        self.peek_u32(addr)
+    }
+
+    /// Writes the 32-bit word at `addr`.
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        self.writes += 1;
+        let i = self.index(addr & !3);
+        self.data[i..i + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Reads an `f32` at `addr`.
+    pub fn read_f32(&mut self, addr: u32) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Writes an `f32` at `addr`.
+    pub fn write_f32(&mut self, addr: u32, value: f32) {
+        self.write_u32(addr, value.to_bits());
+    }
+
+    /// Reads a byte (used by the RISC-V core's `lb`/`lbu`).
+    pub fn read_u8(&mut self, addr: u32) -> u8 {
+        self.reads += 1;
+        self.data[self.index(addr)]
+    }
+
+    /// Writes a byte (used by the RISC-V core's `sb`).
+    pub fn write_u8(&mut self, addr: u32, value: u8) {
+        self.writes += 1;
+        let i = self.index(addr);
+        self.data[i] = value;
+    }
+
+    /// Non-counting debug read of a word (test harnesses, tracing).
+    #[must_use]
+    pub fn peek_u32(&self, addr: u32) -> u32 {
+        let i = self.index(addr & !3);
+        u32::from_le_bytes([
+            self.data[i],
+            self.data[i + 1],
+            self.data[i + 2],
+            self.data[i + 3],
+        ])
+    }
+
+    /// Non-counting debug write of a word (test-bench preloading).
+    pub fn poke_u32(&mut self, addr: u32, value: u32) {
+        let i = self.index(addr & !3);
+        self.data[i..i + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Number of counted read accesses (energy model input).
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of counted write accesses (energy model input).
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Resets the access counters (e.g. between benchmark phases).
+    pub fn reset_counters(&mut self) {
+        self.reads = 0;
+        self.writes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_geometry_matches_paper() {
+        let t = Tcdm::default();
+        assert_eq!(t.config().bytes, 65_536);
+        assert_eq!(t.config().banks, 32);
+    }
+
+    #[test]
+    fn word_interleaving() {
+        let c = TcdmConfig::default();
+        assert_eq!(c.bank_of(0), 0);
+        assert_eq!(c.bank_of(4), 1);
+        assert_eq!(c.bank_of(4 * 31), 31);
+        assert_eq!(c.bank_of(4 * 32), 0);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut t = Tcdm::default();
+        t.write_u32(0x123 & !3, 0xdead_beef);
+        assert_eq!(t.read_u32(0x120), 0xdead_beef);
+        t.write_f32(0x200, -1.5);
+        assert_eq!(t.read_f32(0x200), -1.5);
+    }
+
+    #[test]
+    fn byte_access() {
+        let mut t = Tcdm::default();
+        t.write_u32(0x10, 0x0403_0201);
+        assert_eq!(t.read_u8(0x10), 0x01);
+        assert_eq!(t.read_u8(0x13), 0x04);
+        t.write_u8(0x11, 0xff);
+        assert_eq!(t.read_u32(0x10), 0x0403_ff01);
+    }
+
+    #[test]
+    fn addresses_wrap_at_capacity() {
+        let mut t = Tcdm::default();
+        t.write_u32(0, 7);
+        assert_eq!(t.read_u32(65_536), 7);
+    }
+
+    #[test]
+    fn counters_track_accesses() {
+        let mut t = Tcdm::default();
+        t.write_u32(0, 1);
+        let _ = t.read_u32(0);
+        let _ = t.read_u32(4);
+        assert_eq!(t.reads(), 2);
+        assert_eq!(t.writes(), 1);
+        let _ = t.peek_u32(0);
+        t.poke_u32(0, 2);
+        assert_eq!(t.reads(), 2);
+        assert_eq!(t.writes(), 1);
+        t.reset_counters();
+        assert_eq!(t.reads(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4*banks")]
+    fn bad_geometry_rejected() {
+        let _ = Tcdm::new(TcdmConfig {
+            bytes: 100,
+            banks: 32,
+        });
+    }
+}

@@ -1,0 +1,89 @@
+//! Silicon area model — the Fig. 4 floorplan and Table I/II area
+//! figures.
+//!
+//! The tape-out cluster occupies 0.51 mm² in 22FDX at 59 % placement
+//! density (816 µm × 624 µm, Table I/Fig. 4). The component breakdown
+//! below follows the highlighted regions of the floorplan; Table II's
+//! per-configuration areas use the denser 0.30 mm²/cluster figure of
+//! the system study (no pads, shared power grid).
+
+use crate::scaling::TechNode;
+
+/// One floorplan component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaComponent {
+    /// Component name as highlighted in Fig. 4.
+    pub name: &'static str,
+    /// Area in mm² (22FDX).
+    pub mm2: f64,
+}
+
+/// The Fig. 4 cluster floorplan breakdown (22FDX).
+#[must_use]
+pub fn cluster_breakdown() -> Vec<AreaComponent> {
+    vec![
+        AreaComponent { name: "64 kB TCDM (32 banks)", mm2: 0.130 },
+        AreaComponent { name: "8x NTX coprocessors", mm2: 0.105 },
+        AreaComponent { name: "logarithmic interconnect", mm2: 0.025 },
+        AreaComponent { name: "RISC-V core + peripherals", mm2: 0.030 },
+        AreaComponent { name: "2 kB ICACHE", mm2: 0.010 },
+    ]
+}
+
+/// Die outline of the tape-out cluster, mm (Fig. 4: 816 µm × 624 µm).
+#[must_use]
+pub fn die_outline_mm() -> (f64, f64) {
+    (0.816, 0.624)
+}
+
+/// Total outline area, mm² (Table I: 0.51 mm²).
+#[must_use]
+pub fn outline_mm2() -> f64 {
+    let (w, h) = die_outline_mm();
+    w * h
+}
+
+/// Placement density: placed standard-cell/macro area over outline
+/// (Table I: 59 %).
+#[must_use]
+pub fn placement_density() -> f64 {
+    cluster_breakdown().iter().map(|c| c.mm2).sum::<f64>() / outline_mm2()
+}
+
+/// Area of one cluster in a given node for the Table II system study.
+#[must_use]
+pub fn system_cluster_mm2(tech: TechNode) -> f64 {
+    0.30 * tech.area_scale()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outline_matches_table1() {
+        assert!((outline_mm2() - 0.509).abs() < 0.01);
+    }
+
+    #[test]
+    fn density_is_near_59_percent() {
+        let d = placement_density();
+        assert!((0.54..0.64).contains(&d), "density {d:.2}");
+    }
+
+    #[test]
+    fn tcdm_is_the_largest_component() {
+        let parts = cluster_breakdown();
+        let max = parts
+            .iter()
+            .max_by(|a, b| a.mm2.total_cmp(&b.mm2))
+            .unwrap();
+        assert_eq!(max.name, "64 kB TCDM (32 banks)");
+    }
+
+    #[test]
+    fn system_cluster_area_matches_table2() {
+        assert!((system_cluster_mm2(TechNode::Fdx22) - 0.30).abs() < 1e-9);
+        assert!((system_cluster_mm2(TechNode::Nm14) - 0.12).abs() < 0.01);
+    }
+}

@@ -1,0 +1,29 @@
+//! Analytical evaluation models — everything §III of the paper derives
+//! from the silicon implementation.
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`roofline`] | Fig. 5 roofline of one cluster, incl. the measured banking-conflict derate and the §III-C AXI-width sweep |
+//! | [`power`] | The energy model calibrated against the Table I post-layout figures (186 mW, 108 Gflop/s W, 9.3 pJ/flop) |
+//! | [`scaling`] | 22FDX → 14 nm constant-field scaling and DRAM-node energies |
+//! | [`area`] | The Fig. 4 floorplan breakdown and per-configuration silicon area |
+//! | [`system`] | NTX 16×…512× system configurations (Table II rows) and the HMC power-envelope frequency solver |
+//! | [`table2`] | The DNN-training efficiency model producing Table II |
+//! | [`compare`] | GPU/NS/DaDianNao/ScaleDeep/Green-Wave comparison data and the Fig. 6/7 ratio computations |
+//!
+//! The absolute calibration constants are fitted once against the
+//! paper's Table I tape-out figures and documented in [`power`] /
+//! [`scaling`]; every reproduced number is then derived, not copied —
+//! the comparison tables in [`compare`] carry the literature values the
+//! paper itself compares against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod compare;
+pub mod power;
+pub mod roofline;
+pub mod scaling;
+pub mod system;
+pub mod table2;

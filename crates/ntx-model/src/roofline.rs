@@ -1,0 +1,168 @@
+//! The roofline model of one NTX cluster (Fig. 5, §III-C).
+//!
+//! `P(OI) = min(P_peak, BW · OI)`, with a *practical* ceiling derated
+//! by the measured TCDM banking-conflict probability: §III-C puts the
+//! conflict probability at ≈13 %, limiting practice to ≈17.4 Gflop/s
+//! and the memory-bound ceiling to ≈4.35 GB/s.
+
+/// Roofline of one cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Roofline {
+    /// Peak compute performance, flop/s (Table I: 20 Gflop/s).
+    pub peak_flops: f64,
+    /// Peak memory bandwidth of the AXI port, bytes/s (Table I: 5 GB/s).
+    pub peak_bandwidth: f64,
+    /// Fraction of issue slots lost to banking conflicts (§III-C: 0.13).
+    pub conflict_probability: f64,
+}
+
+impl Default for Roofline {
+    /// The Table I cluster: 20 Gflop/s, 5 GB/s, 13 % conflicts.
+    fn default() -> Self {
+        Self {
+            peak_flops: 20.0e9,
+            peak_bandwidth: 5.0e9,
+            conflict_probability: 0.13,
+        }
+    }
+}
+
+impl Roofline {
+    /// Builds a roofline with an `axi_words` wide port (1 = 64 bit at
+    /// half clock → 5 GB/s; 2 and 4 give the 10/20 GB/s variants of
+    /// §III-C).
+    #[must_use]
+    pub fn with_axi_words(axi_words: u32) -> Self {
+        Self {
+            peak_bandwidth: f64::from(axi_words) * 5.0e9,
+            ..Self::default()
+        }
+    }
+
+    /// Theoretical performance at operational intensity `oi` (flop/B).
+    #[must_use]
+    pub fn performance(&self, oi: f64) -> f64 {
+        (self.peak_bandwidth * oi).min(self.peak_flops)
+    }
+
+    /// Practical performance: both ceilings derated by the conflict
+    /// probability (a stalled NTX issues nothing; a stalled DMA beat
+    /// moves nothing).
+    #[must_use]
+    pub fn practical_performance(&self, oi: f64) -> f64 {
+        let derate = 1.0 - self.conflict_probability;
+        (self.peak_bandwidth * derate * oi).min(self.peak_flops * derate)
+    }
+
+    /// Practical compute ceiling (paper: ≈17.4 Gflop/s).
+    #[must_use]
+    pub fn practical_peak(&self) -> f64 {
+        self.peak_flops * (1.0 - self.conflict_probability)
+    }
+
+    /// Practical bandwidth ceiling (paper: ≈4.35 GB/s).
+    #[must_use]
+    pub fn practical_bandwidth(&self) -> f64 {
+        self.peak_bandwidth * (1.0 - self.conflict_probability)
+    }
+
+    /// Ridge point: the operational intensity where the model turns
+    /// compute bound (4 flop/B for the Table I cluster).
+    #[must_use]
+    pub fn ridge(&self) -> f64 {
+        self.peak_flops / self.peak_bandwidth
+    }
+
+    /// True if `oi` lands in the compute-bound region.
+    #[must_use]
+    pub fn is_compute_bound(&self, oi: f64) -> bool {
+        oi >= self.ridge()
+    }
+
+    /// Extrapolates kernel performance the way §III-C does: the ideal
+    /// roofline value at `oi`, scaled by a utilisation factor measured
+    /// in a representative cycle simulation (the gate-level 3×3-conv
+    /// trace in the paper; [`PerfSnapshot`](ntx_sim::PerfSnapshot)
+    /// ratios here).
+    #[must_use]
+    pub fn extrapolate(&self, oi: f64, measured_utilization: f64) -> f64 {
+        self.performance(oi) * measured_utilization.clamp(0.0, 1.0)
+    }
+}
+
+/// One point of the Fig. 5 plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflinePoint {
+    /// Kernel label as printed in the figure legend.
+    pub label: String,
+    /// Operational intensity, flop/B.
+    pub oi: f64,
+    /// Achieved (measured or extrapolated) performance, flop/s.
+    pub performance: f64,
+}
+
+impl RooflinePoint {
+    /// Fraction of the roofline limit achieved at this intensity.
+    #[must_use]
+    pub fn utilization(&self, roofline: &Roofline) -> f64 {
+        let limit = roofline.performance(self.oi);
+        if limit == 0.0 {
+            0.0
+        } else {
+            self.performance / limit
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_limits() {
+        let r = Roofline::default();
+        assert_eq!(r.performance(100.0), 20.0e9);
+        assert_eq!(r.performance(1.0), 5.0e9);
+        assert_eq!(r.ridge(), 4.0);
+        assert!(r.is_compute_bound(4.0));
+        assert!(!r.is_compute_bound(3.9));
+    }
+
+    #[test]
+    fn practical_limits_match_section_3c() {
+        let r = Roofline::default();
+        assert!((r.practical_peak() - 17.4e9).abs() < 0.1e9);
+        assert!((r.practical_bandwidth() - 4.35e9).abs() < 0.01e9);
+    }
+
+    #[test]
+    fn axi_width_sweep() {
+        // §III-C: 128/256-bit ports raise the bandwidth to 10/20 GB/s,
+        // moving the ridge to 2 and 1 flop/B.
+        let r2 = Roofline::with_axi_words(2);
+        let r4 = Roofline::with_axi_words(4);
+        assert_eq!(r2.peak_bandwidth, 10.0e9);
+        assert_eq!(r4.peak_bandwidth, 20.0e9);
+        assert_eq!(r2.ridge(), 2.0);
+        assert_eq!(r4.ridge(), 1.0);
+    }
+
+    #[test]
+    fn extrapolation_clamps_utilization() {
+        let r = Roofline::default();
+        assert_eq!(r.extrapolate(100.0, 2.0), 20.0e9);
+        assert_eq!(r.extrapolate(100.0, 0.5), 10.0e9);
+        assert_eq!(r.extrapolate(100.0, -1.0), 0.0);
+    }
+
+    #[test]
+    fn point_utilization() {
+        let r = Roofline::default();
+        let p = RooflinePoint {
+            label: "test".into(),
+            oi: 8.0,
+            performance: 10.0e9,
+        };
+        assert!((p.utilization(&r) - 0.5).abs() < 1e-12);
+    }
+}

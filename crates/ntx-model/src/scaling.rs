@@ -1,0 +1,132 @@
+//! Technology nodes and scaling factors (§III-D).
+//!
+//! Table II evaluates the architecture in the 22FDX node of the
+//! tape-out and in a projected 14 nm node, with DRAM dies at 50 nm and
+//! 30 nm respectively. The constants here are fitted once so that
+//!
+//! * the 22 nm column reproduces the tape-out figures of Table I, and
+//! * the 22 nm → 14 nm deltas reproduce the frequency (×1.4), area
+//!   (×0.4) and efficiency (×1.6) ratios between the matching Table II
+//!   rows,
+//!
+//! and are then used for *every* derived number.
+
+/// Logic technology node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TechNode {
+    /// GLOBALFOUNDRIES 22FDX (the tape-out node).
+    Fdx22,
+    /// Projected 14 nm FinFET node.
+    Nm14,
+}
+
+impl TechNode {
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TechNode::Fdx22 => "22",
+            TechNode::Nm14 => "14",
+        }
+    }
+
+    /// Energy scale factor of the compute/SRAM path relative to 22FDX,
+    /// fitted to the 22 nm → 14 nm efficiency ratios of Table II
+    /// (≈×1.6 at equal cluster count).
+    #[must_use]
+    pub fn energy_scale(self) -> f64 {
+        match self {
+            TechNode::Fdx22 => 1.0,
+            TechNode::Nm14 => 0.48,
+        }
+    }
+
+    /// Area scale factor relative to 22FDX (Table II: 4.8 mm² → 1.9 mm²
+    /// for the same 16-cluster configuration).
+    #[must_use]
+    pub fn area_scale(self) -> f64 {
+        match self {
+            TechNode::Fdx22 => 1.0,
+            TechNode::Nm14 => 0.4,
+        }
+    }
+
+    /// Maximum cluster clock at the nominal operating point, Hz
+    /// (Table II: 2.5 GHz in 22 nm vs 3.5 GHz in 14 nm for NTX 16×).
+    #[must_use]
+    pub fn max_frequency(self) -> f64 {
+        match self {
+            TechNode::Fdx22 => 2.5e9,
+            TechNode::Nm14 => 3.5e9,
+        }
+    }
+
+    /// Static (leakage + always-on) power of one cluster, W.
+    #[must_use]
+    pub fn cluster_static_power(self) -> f64 {
+        match self {
+            TechNode::Fdx22 => 0.041 * self.energy_scale(),
+            TechNode::Nm14 => 0.041 * self.energy_scale(),
+        }
+    }
+}
+
+/// DRAM die node of the HMC stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DramNode {
+    /// 50 nm DRAM (the 22 nm-era HMC of Table II).
+    Nm50,
+    /// 30 nm DRAM (the 14 nm-era stack).
+    Nm30,
+}
+
+impl DramNode {
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DramNode::Nm50 => "50",
+            DramNode::Nm30 => "30",
+        }
+    }
+
+    /// DRAM access energy, J per byte (vault access + TSV transport;
+    /// the 50 nm value corresponds to ≈10 pJ/bit, the HMC-era figure).
+    #[must_use]
+    pub fn energy_per_byte(self) -> f64 {
+        match self {
+            DramNode::Nm50 => 80.0e-12,
+            DramNode::Nm30 => 45.0e-12,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_ratio_matches_table2() {
+        // NTX 16×: 2.50 GHz (22 nm) vs 3.50 GHz (14 nm) = ×1.4.
+        let ratio = TechNode::Nm14.max_frequency() / TechNode::Fdx22.max_frequency();
+        assert!((ratio - 1.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_ratio_matches_table2() {
+        // 4.8 mm² → 1.9 mm² ≈ ×0.4.
+        assert!((TechNode::Nm14.area_scale() - 1.9f64 / 4.8).abs() < 0.005);
+    }
+
+    #[test]
+    fn newer_nodes_are_cheaper() {
+        assert!(TechNode::Nm14.energy_scale() < TechNode::Fdx22.energy_scale());
+        assert!(DramNode::Nm30.energy_per_byte() < DramNode::Nm50.energy_per_byte());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(TechNode::Fdx22.label(), "22");
+        assert_eq!(DramNode::Nm50.label(), "50");
+    }
+}

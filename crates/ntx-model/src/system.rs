@@ -1,0 +1,258 @@
+//! NTX system configurations — the "This Work" rows of Table II.
+//!
+//! A configuration is `n` processing clusters on the LoB (and LiM dies
+//! once the LoB is full) of one HMC. The cluster clock follows the
+//! thermal envelope of the cube:
+//!
+//! * down to the minimum operating voltage, frequency and voltage scale
+//!   together (`P ∝ f²` with `V ∝ √f`), so doubling the clusters costs
+//!   a factor `√2` in frequency;
+//! * below the minimum voltage only the frequency can drop (`P ∝ f`),
+//!   so beyond 64 clusters the aggregate peak saturates at 1.92 Tflop/s
+//!   in 14 nm — exactly the plateau of Table II.
+//!
+//! With the border calibrated at 64 clusters (1.43 GHz in 22 nm,
+//! 1.88 GHz in 14 nm) this little solver reproduces the entire
+//! frequency column of Table II to within a few percent.
+
+use crate::scaling::{DramNode, TechNode};
+
+/// Flops per cluster per cycle (8 NTX × 2-flop FMAC).
+pub const FLOPS_PER_CLUSTER_CYCLE: f64 = 16.0;
+
+/// LoB area available for clusters before LiM dies are needed, mm².
+const LOB_FREE_MM2: f64 = 12.0;
+/// Cluster area a LiM die adds, mm².
+const LIM_DIE_MM2: f64 = 17.0;
+
+/// Envelope border: the cluster count at which the voltage reaches its
+/// minimum.
+const VMIN_CLUSTERS: f64 = 64.0;
+
+fn vmin_frequency(tech: TechNode) -> f64 {
+    match tech {
+        TechNode::Fdx22 => 1.43e9,
+        TechNode::Nm14 => 1.88e9,
+    }
+}
+
+/// Maximum cluster clock permitted by the HMC power envelope for
+/// `clusters` clusters in `tech`.
+#[must_use]
+pub fn envelope_frequency(clusters: u32, tech: TechNode) -> f64 {
+    let n = f64::from(clusters.max(1));
+    let f_vmin = vmin_frequency(tech);
+    let f = if n <= VMIN_CLUSTERS {
+        f_vmin * (VMIN_CLUSTERS / n).sqrt()
+    } else {
+        f_vmin * VMIN_CLUSTERS / n
+    };
+    f.min(tech.max_frequency())
+}
+
+/// Supply voltage at cluster clock `f`. The square-root V-f
+/// characteristic reaches into the near-threshold regime at the large
+/// cluster counts (FD-SOI body biasing / the near-threshold operation
+/// the RI5CY platform targets); 22FDX typical silicon runs 0.80 V at
+/// 1.25 GHz, the Table I operating point.
+#[must_use]
+pub fn supply_voltage(tech: TechNode, f: f64) -> f64 {
+    let f_ghz = f / 1e9;
+    match tech {
+        TechNode::Fdx22 => (0.44 + 0.32 * f_ghz.sqrt()).max(0.50),
+        TechNode::Nm14 => (0.30 + 0.25 * f_ghz.sqrt()).max(0.38),
+    }
+}
+
+/// Reference voltage of the energy-model calibration point per node.
+#[must_use]
+pub fn reference_voltage(tech: TechNode) -> f64 {
+    match tech {
+        // Table I typical corner: 0.8 V.
+        TechNode::Fdx22 => 0.80,
+        // The 14 nm constants are calibrated at that node's 64-cluster
+        // operating point.
+        TechNode::Nm14 => supply_voltage(TechNode::Nm14, vmin_frequency(TechNode::Nm14)),
+    }
+}
+
+/// One NTX system configuration (a Table II "This Work" row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Row label, e.g. `"NTX (64x)"`.
+    pub label: String,
+    /// Number of processing clusters.
+    pub clusters: u32,
+    /// Logic node.
+    pub tech: TechNode,
+    /// DRAM node of the stack.
+    pub dram: DramNode,
+    /// Cluster clock, Hz.
+    pub frequency: f64,
+    /// Aggregate DRAM bandwidth available through the LoB interconnect,
+    /// bytes/s (256 bit @ 1 GHz = 32 GB/s, Fig. 1).
+    pub memory_bandwidth: f64,
+}
+
+impl SystemConfig {
+    /// Builds the configuration with the envelope-derived frequency and
+    /// the node-matched DRAM generation of Table II.
+    #[must_use]
+    pub fn ntx(clusters: u32, tech: TechNode) -> Self {
+        let dram = match tech {
+            TechNode::Fdx22 => DramNode::Nm50,
+            TechNode::Nm14 => DramNode::Nm30,
+        };
+        Self {
+            label: format!("NTX ({clusters}x)"),
+            clusters,
+            tech,
+            dram,
+            frequency: envelope_frequency(clusters, tech),
+            memory_bandwidth: 32.0e9,
+        }
+    }
+
+    /// The nine "This Work" rows of Table II, in table order.
+    #[must_use]
+    pub fn paper_rows() -> Vec<SystemConfig> {
+        let mut rows = Vec::new();
+        for &n in &[16u32, 32, 64] {
+            rows.push(SystemConfig::ntx(n, TechNode::Fdx22));
+        }
+        for &n in &[16u32, 32, 64, 128, 256, 512] {
+            rows.push(SystemConfig::ntx(n, TechNode::Nm14));
+        }
+        rows
+    }
+
+    /// Peak compute performance, flop/s.
+    #[must_use]
+    pub fn peak_flops(&self) -> f64 {
+        f64::from(self.clusters) * FLOPS_PER_CLUSTER_CYCLE * self.frequency
+    }
+
+    /// Silicon area of the clusters, mm² (Table II: 4.8 mm² for 16
+    /// clusters in 22 nm).
+    #[must_use]
+    pub fn area_mm2(&self) -> f64 {
+        let per_cluster_22 = 4.8 / 16.0;
+        f64::from(self.clusters) * per_cluster_22 * self.tech.area_scale()
+    }
+
+    /// LiM dies needed to host the clusters that do not fit the LoB.
+    #[must_use]
+    pub fn lim_dies(&self) -> u32 {
+        let area = self.area_mm2();
+        if area <= LOB_FREE_MM2 {
+            0
+        } else {
+            ((area - LOB_FREE_MM2) / LIM_DIE_MM2).ceil() as u32
+        }
+    }
+
+    /// Operating voltage of this configuration.
+    #[must_use]
+    pub fn voltage(&self) -> f64 {
+        supply_voltage(self.tech, self.frequency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Freq. and Peak columns of Table II, within 7 %.
+    #[test]
+    fn frequency_column_of_table2() {
+        let expect = [
+            (16, TechNode::Fdx22, 2.50),
+            (32, TechNode::Fdx22, 1.90),
+            (64, TechNode::Fdx22, 1.43),
+            (16, TechNode::Nm14, 3.50),
+            (32, TechNode::Nm14, 2.66),
+            (64, TechNode::Nm14, 1.88),
+            (128, TechNode::Nm14, 0.94),
+            (256, TechNode::Nm14, 0.47),
+            (512, TechNode::Nm14, 0.23),
+        ];
+        for (n, tech, f_paper) in expect {
+            let f = envelope_frequency(n, tech) / 1e9;
+            let err = (f - f_paper).abs() / f_paper;
+            assert!(
+                err < 0.07,
+                "{n} clusters {tech:?}: model {f:.2} GHz vs paper {f_paper:.2} GHz"
+            );
+        }
+    }
+
+    #[test]
+    fn peak_saturates_at_1_92_tops_in_14nm() {
+        for &n in &[64u32, 128, 256] {
+            let cfg = SystemConfig::ntx(n, TechNode::Nm14);
+            let tops = cfg.peak_flops() / 1e12;
+            assert!(
+                (tops - 1.92).abs() < 0.01,
+                "{n} clusters: {tops:.3} Top/s should stay at the plateau"
+            );
+        }
+    }
+
+    #[test]
+    fn area_column_of_table2() {
+        let expect = [
+            (16, TechNode::Fdx22, 4.8),
+            (64, TechNode::Fdx22, 19.3),
+            (16, TechNode::Nm14, 1.9),
+            (512, TechNode::Nm14, 61.6),
+        ];
+        for (n, tech, a_paper) in expect {
+            let a = SystemConfig::ntx(n, tech).area_mm2();
+            let err = (a - a_paper).abs() / a_paper;
+            assert!(err < 0.05, "{n} {tech:?}: {a:.1} mm² vs paper {a_paper}");
+        }
+    }
+
+    #[test]
+    fn lim_column_of_table2() {
+        let expect = [
+            (16, TechNode::Fdx22, 0),
+            (32, TechNode::Fdx22, 0),
+            (64, TechNode::Fdx22, 1),
+            (64, TechNode::Nm14, 0),
+            (128, TechNode::Nm14, 1),
+            (256, TechNode::Nm14, 2),
+            (512, TechNode::Nm14, 3),
+        ];
+        for (n, tech, lims) in expect {
+            assert_eq!(
+                SystemConfig::ntx(n, tech).lim_dies(),
+                lims,
+                "{n} clusters {tech:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn voltage_decreases_with_cluster_count() {
+        let v16 = SystemConfig::ntx(16, TechNode::Nm14).voltage();
+        let v512 = SystemConfig::ntx(512, TechNode::Nm14).voltage();
+        assert!(v16 > v512);
+        assert!(v512 >= 0.38); // near-threshold floor
+    }
+
+    #[test]
+    fn paper_rows_are_nine() {
+        let rows = SystemConfig::paper_rows();
+        assert_eq!(rows.len(), 9);
+        assert_eq!(rows[0].label, "NTX (16x)");
+        assert_eq!(rows[8].clusters, 512);
+    }
+
+    #[test]
+    fn tapeout_operating_point_voltage() {
+        // 1.25 GHz typical in 22FDX runs at 0.80 V (Table I).
+        let v = supply_voltage(TechNode::Fdx22, 1.25e9);
+        assert!((v - 0.80).abs() < 0.01, "{v:.3} V");
+    }
+}

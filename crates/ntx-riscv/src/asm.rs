@@ -1,0 +1,647 @@
+//! A label-aware programmatic assembler for RV32IM.
+//!
+//! Control programs for the cluster are short (configure NTX register
+//! windows, program the DMA, poll status), so instead of shipping a text
+//! assembler the crate exposes a typed builder: each method appends one
+//! instruction, labels resolve forward and backward references, and
+//! [`Assembler::assemble`] performs the fixups with range checking.
+//!
+//! All emitted instructions are 32-bit; the core still *executes*
+//! compressed code (e.g. toolchain-produced binaries), it just is not
+//! emitted here.
+
+use crate::instr::encode::{b_type, i_type, j_type, r_type, s_type, u_type};
+use std::error::Error;
+use std::fmt;
+
+/// A branch/jump target handle created by [`Assembler::new_label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Errors produced at [`Assembler::assemble`] time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmError {
+    /// A referenced label was never bound.
+    UnboundLabel {
+        /// The label id.
+        label: usize,
+    },
+    /// A label was bound twice.
+    ReboundLabel {
+        /// The label id.
+        label: usize,
+    },
+    /// A conditional branch target is outside ±4 KiB.
+    BranchOutOfRange {
+        /// Byte offset that did not fit.
+        offset: i64,
+    },
+    /// A `jal` target is outside ±1 MiB.
+    JumpOutOfRange {
+        /// Byte offset that did not fit.
+        offset: i64,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel { label } => write!(f, "label {label} was never bound"),
+            AsmError::ReboundLabel { label } => write!(f, "label {label} bound twice"),
+            AsmError::BranchOutOfRange { offset } => {
+                write!(f, "branch offset {offset} exceeds the ±4 KiB range")
+            }
+            AsmError::JumpOutOfRange { offset } => {
+                write!(f, "jump offset {offset} exceeds the ±1 MiB range")
+            }
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+#[derive(Debug, Clone, Copy)]
+enum FixupKind {
+    Branch { funct3: u32, rs1: u8, rs2: u8 },
+    Jal { rd: u8 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Fixup {
+    word_index: usize,
+    label: Label,
+    kind: FixupKind,
+}
+
+/// The instruction builder.
+///
+/// # Example
+///
+/// ```
+/// use ntx_riscv::{reg, Assembler};
+///
+/// let mut asm = Assembler::new(0x1000);
+/// asm.li(reg::A0, 123456);
+/// asm.ebreak();
+/// let words = asm.assemble()?;
+/// assert_eq!(words.len(), 3); // lui + addi + ebreak
+/// # Ok::<(), ntx_riscv::AsmError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Assembler {
+    base: u32,
+    words: Vec<u32>,
+    labels: Vec<Option<u32>>,
+    fixups: Vec<Fixup>,
+    error: Option<AsmError>,
+}
+
+impl Assembler {
+    /// Starts a program at byte address `base`.
+    #[must_use]
+    pub fn new(base: u32) -> Self {
+        Self {
+            base,
+            words: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    pub fn bind(&mut self, label: Label) {
+        if self.labels[label.0].is_some() {
+            self.error.get_or_insert(AsmError::ReboundLabel { label: label.0 });
+            return;
+        }
+        self.labels[label.0] = Some(self.current_pc());
+    }
+
+    /// Byte address of the next emitted instruction.
+    #[must_use]
+    pub fn current_pc(&self) -> u32 {
+        self.base + 4 * self.words.len() as u32
+    }
+
+    fn emit(&mut self, word: u32) -> &mut Self {
+        self.words.push(word);
+        self
+    }
+
+    // --- RV32I upper immediates and jumps ---
+
+    /// `lui rd, imm20` (`imm` is the value for bits 31:12).
+    pub fn lui(&mut self, rd: u8, imm: u32) -> &mut Self {
+        self.emit(u_type(0x37, rd, imm << 12))
+    }
+
+    /// `auipc rd, imm20`.
+    pub fn auipc(&mut self, rd: u8, imm: u32) -> &mut Self {
+        self.emit(u_type(0x17, rd, imm << 12))
+    }
+
+    /// `jal rd, label`.
+    pub fn jal(&mut self, rd: u8, target: Label) -> &mut Self {
+        self.fixups.push(Fixup {
+            word_index: self.words.len(),
+            label: target,
+            kind: FixupKind::Jal { rd },
+        });
+        self.emit(0)
+    }
+
+    /// `jalr rd, offset(rs1)`.
+    pub fn jalr(&mut self, rd: u8, rs1: u8, offset: i32) -> &mut Self {
+        self.emit(i_type(0x67, rd, 0, rs1, offset))
+    }
+
+    // --- branches ---
+
+    fn branch(&mut self, funct3: u32, rs1: u8, rs2: u8, target: Label) -> &mut Self {
+        self.fixups.push(Fixup {
+            word_index: self.words.len(),
+            label: target,
+            kind: FixupKind::Branch { funct3, rs1, rs2 },
+        });
+        self.emit(0)
+    }
+
+    /// `beq rs1, rs2, label`.
+    pub fn beq(&mut self, rs1: u8, rs2: u8, target: Label) -> &mut Self {
+        self.branch(0, rs1, rs2, target)
+    }
+
+    /// `bne rs1, rs2, label`.
+    pub fn bne(&mut self, rs1: u8, rs2: u8, target: Label) -> &mut Self {
+        self.branch(1, rs1, rs2, target)
+    }
+
+    /// `blt rs1, rs2, label` (signed).
+    pub fn blt(&mut self, rs1: u8, rs2: u8, target: Label) -> &mut Self {
+        self.branch(4, rs1, rs2, target)
+    }
+
+    /// `bge rs1, rs2, label` (signed).
+    pub fn bge(&mut self, rs1: u8, rs2: u8, target: Label) -> &mut Self {
+        self.branch(5, rs1, rs2, target)
+    }
+
+    /// `bltu rs1, rs2, label`.
+    pub fn bltu(&mut self, rs1: u8, rs2: u8, target: Label) -> &mut Self {
+        self.branch(6, rs1, rs2, target)
+    }
+
+    /// `bgeu rs1, rs2, label`.
+    pub fn bgeu(&mut self, rs1: u8, rs2: u8, target: Label) -> &mut Self {
+        self.branch(7, rs1, rs2, target)
+    }
+
+    /// `beqz rs, label` (pseudo).
+    pub fn beqz(&mut self, rs: u8, target: Label) -> &mut Self {
+        self.beq(rs, 0, target)
+    }
+
+    /// `bnez rs, label` (pseudo).
+    pub fn bnez(&mut self, rs: u8, target: Label) -> &mut Self {
+        self.bne(rs, 0, target)
+    }
+
+    // --- loads/stores: rd/src first, then base register and offset ---
+
+    /// `lb rd, offset(base)`.
+    pub fn lb(&mut self, rd: u8, base: u8, offset: i32) -> &mut Self {
+        self.emit(i_type(0x03, rd, 0, base, offset))
+    }
+
+    /// `lh rd, offset(base)`.
+    pub fn lh(&mut self, rd: u8, base: u8, offset: i32) -> &mut Self {
+        self.emit(i_type(0x03, rd, 1, base, offset))
+    }
+
+    /// `lw rd, offset(base)`.
+    pub fn lw(&mut self, rd: u8, base: u8, offset: i32) -> &mut Self {
+        self.emit(i_type(0x03, rd, 2, base, offset))
+    }
+
+    /// `lbu rd, offset(base)`.
+    pub fn lbu(&mut self, rd: u8, base: u8, offset: i32) -> &mut Self {
+        self.emit(i_type(0x03, rd, 4, base, offset))
+    }
+
+    /// `lhu rd, offset(base)`.
+    pub fn lhu(&mut self, rd: u8, base: u8, offset: i32) -> &mut Self {
+        self.emit(i_type(0x03, rd, 5, base, offset))
+    }
+
+    /// `sb src, offset(base)`.
+    pub fn sb(&mut self, src: u8, base: u8, offset: i32) -> &mut Self {
+        self.emit(s_type(0x23, 0, base, src, offset))
+    }
+
+    /// `sh src, offset(base)`.
+    pub fn sh(&mut self, src: u8, base: u8, offset: i32) -> &mut Self {
+        self.emit(s_type(0x23, 1, base, src, offset))
+    }
+
+    /// `sw src, offset(base)`.
+    pub fn sw(&mut self, src: u8, base: u8, offset: i32) -> &mut Self {
+        self.emit(s_type(0x23, 2, base, src, offset))
+    }
+
+    // --- register-immediate ALU ---
+
+    /// `addi rd, rs1, imm`.
+    pub fn addi(&mut self, rd: u8, rs1: u8, imm: i32) -> &mut Self {
+        self.emit(i_type(0x13, rd, 0, rs1, imm))
+    }
+
+    /// `slti rd, rs1, imm`.
+    pub fn slti(&mut self, rd: u8, rs1: u8, imm: i32) -> &mut Self {
+        self.emit(i_type(0x13, rd, 2, rs1, imm))
+    }
+
+    /// `sltiu rd, rs1, imm`.
+    pub fn sltiu(&mut self, rd: u8, rs1: u8, imm: i32) -> &mut Self {
+        self.emit(i_type(0x13, rd, 3, rs1, imm))
+    }
+
+    /// `xori rd, rs1, imm`.
+    pub fn xori(&mut self, rd: u8, rs1: u8, imm: i32) -> &mut Self {
+        self.emit(i_type(0x13, rd, 4, rs1, imm))
+    }
+
+    /// `ori rd, rs1, imm`.
+    pub fn ori(&mut self, rd: u8, rs1: u8, imm: i32) -> &mut Self {
+        self.emit(i_type(0x13, rd, 6, rs1, imm))
+    }
+
+    /// `andi rd, rs1, imm`.
+    pub fn andi(&mut self, rd: u8, rs1: u8, imm: i32) -> &mut Self {
+        self.emit(i_type(0x13, rd, 7, rs1, imm))
+    }
+
+    /// `slli rd, rs1, shamt`.
+    pub fn slli(&mut self, rd: u8, rs1: u8, shamt: u8) -> &mut Self {
+        self.emit(i_type(0x13, rd, 1, rs1, i32::from(shamt & 31)))
+    }
+
+    /// `srli rd, rs1, shamt`.
+    pub fn srli(&mut self, rd: u8, rs1: u8, shamt: u8) -> &mut Self {
+        self.emit(i_type(0x13, rd, 5, rs1, i32::from(shamt & 31)))
+    }
+
+    /// `srai rd, rs1, shamt`.
+    pub fn srai(&mut self, rd: u8, rs1: u8, shamt: u8) -> &mut Self {
+        self.emit(i_type(0x13, rd, 5, rs1, i32::from(shamt & 31) | 0x400))
+    }
+
+    // --- register-register ALU ---
+
+    /// `add rd, rs1, rs2`.
+    pub fn add(&mut self, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
+        self.emit(r_type(0x33, rd, 0, rs1, rs2, 0))
+    }
+
+    /// `sub rd, rs1, rs2`.
+    pub fn sub(&mut self, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
+        self.emit(r_type(0x33, rd, 0, rs1, rs2, 0x20))
+    }
+
+    /// `sll rd, rs1, rs2`.
+    pub fn sll(&mut self, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
+        self.emit(r_type(0x33, rd, 1, rs1, rs2, 0))
+    }
+
+    /// `slt rd, rs1, rs2`.
+    pub fn slt(&mut self, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
+        self.emit(r_type(0x33, rd, 2, rs1, rs2, 0))
+    }
+
+    /// `sltu rd, rs1, rs2`.
+    pub fn sltu(&mut self, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
+        self.emit(r_type(0x33, rd, 3, rs1, rs2, 0))
+    }
+
+    /// `xor rd, rs1, rs2`.
+    pub fn xor(&mut self, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
+        self.emit(r_type(0x33, rd, 4, rs1, rs2, 0))
+    }
+
+    /// `srl rd, rs1, rs2`.
+    pub fn srl(&mut self, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
+        self.emit(r_type(0x33, rd, 5, rs1, rs2, 0))
+    }
+
+    /// `sra rd, rs1, rs2`.
+    pub fn sra(&mut self, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
+        self.emit(r_type(0x33, rd, 5, rs1, rs2, 0x20))
+    }
+
+    /// `or rd, rs1, rs2`.
+    pub fn or(&mut self, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
+        self.emit(r_type(0x33, rd, 6, rs1, rs2, 0))
+    }
+
+    /// `and rd, rs1, rs2`.
+    pub fn and(&mut self, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
+        self.emit(r_type(0x33, rd, 7, rs1, rs2, 0))
+    }
+
+    // --- M extension ---
+
+    /// `mul rd, rs1, rs2`.
+    pub fn mul(&mut self, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
+        self.emit(r_type(0x33, rd, 0, rs1, rs2, 1))
+    }
+
+    /// `mulh rd, rs1, rs2`.
+    pub fn mulh(&mut self, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
+        self.emit(r_type(0x33, rd, 1, rs1, rs2, 1))
+    }
+
+    /// `mulhsu rd, rs1, rs2`.
+    pub fn mulhsu(&mut self, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
+        self.emit(r_type(0x33, rd, 2, rs1, rs2, 1))
+    }
+
+    /// `mulhu rd, rs1, rs2`.
+    pub fn mulhu(&mut self, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
+        self.emit(r_type(0x33, rd, 3, rs1, rs2, 1))
+    }
+
+    /// `div rd, rs1, rs2`.
+    pub fn div(&mut self, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
+        self.emit(r_type(0x33, rd, 4, rs1, rs2, 1))
+    }
+
+    /// `divu rd, rs1, rs2`.
+    pub fn divu(&mut self, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
+        self.emit(r_type(0x33, rd, 5, rs1, rs2, 1))
+    }
+
+    /// `rem rd, rs1, rs2`.
+    pub fn rem(&mut self, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
+        self.emit(r_type(0x33, rd, 6, rs1, rs2, 1))
+    }
+
+    /// `remu rd, rs1, rs2`.
+    pub fn remu(&mut self, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
+        self.emit(r_type(0x33, rd, 7, rs1, rs2, 1))
+    }
+
+    // --- system ---
+
+    /// `ebreak`.
+    pub fn ebreak(&mut self) -> &mut Self {
+        self.emit(i_type(0x73, 0, 0, 0, 1))
+    }
+
+    /// `ecall`.
+    pub fn ecall(&mut self) -> &mut Self {
+        self.emit(i_type(0x73, 0, 0, 0, 0))
+    }
+
+    /// `csrr rd, cycle` — read the cycle counter.
+    pub fn csrr_cycle(&mut self, rd: u8) -> &mut Self {
+        // csrrs rd, 0xc00, x0
+        self.emit(i_type(0x73, rd, 2, 0, 0xc00u32 as i32))
+    }
+
+    // --- pseudo-instructions ---
+
+    /// `nop` (`addi x0, x0, 0`).
+    pub fn nop(&mut self) -> &mut Self {
+        self.addi(0, 0, 0)
+    }
+
+    /// `mv rd, rs` (`addi rd, rs, 0`).
+    pub fn mv(&mut self, rd: u8, rs: u8) -> &mut Self {
+        self.addi(rd, rs, 0)
+    }
+
+    /// Loads a 32-bit constant (`addi`, or `lui`+`addi`).
+    pub fn li(&mut self, rd: u8, imm: i32) -> &mut Self {
+        if (-2048..2048).contains(&imm) {
+            return self.addi(rd, 0, imm);
+        }
+        let uimm = imm as u32;
+        let hi = uimm.wrapping_add(0x800) >> 12;
+        let lo = uimm.wrapping_sub(hi << 12) as i32;
+        self.lui(rd, hi);
+        if lo != 0 {
+            self.addi(rd, rd, lo);
+        }
+        self
+    }
+
+    /// Loads an absolute address (same expansion as [`Assembler::li`]).
+    pub fn la(&mut self, rd: u8, addr: u32) -> &mut Self {
+        self.li(rd, addr as i32)
+    }
+
+    /// Unconditional jump (`jal x0, label`).
+    pub fn jump(&mut self, target: Label) -> &mut Self {
+        self.jal(0, target)
+    }
+
+    /// Call (`jal ra, label`).
+    pub fn call(&mut self, target: Label) -> &mut Self {
+        self.jal(1, target)
+    }
+
+    /// Return (`jalr x0, 0(ra)`).
+    pub fn ret(&mut self) -> &mut Self {
+        self.jalr(0, 1, 0)
+    }
+
+    /// Emits a raw instruction word (escape hatch).
+    pub fn raw(&mut self, word: u32) -> &mut Self {
+        self.emit(word)
+    }
+
+    /// Number of instructions emitted so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if nothing has been emitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Resolves labels and returns the finished instruction words.
+    ///
+    /// # Errors
+    ///
+    /// [`AsmError`] for unbound/rebound labels or out-of-range targets.
+    pub fn assemble(&self) -> Result<Vec<u32>, AsmError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let mut words = self.words.clone();
+        for fixup in &self.fixups {
+            let target = self.labels[fixup.label.0].ok_or(AsmError::UnboundLabel {
+                label: fixup.label.0,
+            })?;
+            let pc = self.base + 4 * fixup.word_index as u32;
+            let offset = i64::from(target) - i64::from(pc);
+            match fixup.kind {
+                FixupKind::Branch { funct3, rs1, rs2 } => {
+                    if !(-4096..4096).contains(&offset) {
+                        return Err(AsmError::BranchOutOfRange { offset });
+                    }
+                    words[fixup.word_index] = b_type(0x63, funct3, rs1, rs2, offset as i32);
+                }
+                FixupKind::Jal { rd } => {
+                    if !(-1_048_576..1_048_576).contains(&offset) {
+                        return Err(AsmError::JumpOutOfRange { offset });
+                    }
+                    words[fixup.word_index] = j_type(0x6f, rd, offset as i32);
+                }
+            }
+        }
+        Ok(words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{decode, BranchOp, Instr};
+    use crate::reg;
+
+    #[test]
+    fn li_small_single_instruction() {
+        let mut a = Assembler::new(0);
+        a.li(reg::A0, -5);
+        let w = a.assemble().unwrap();
+        assert_eq!(w.len(), 1);
+        assert_eq!(
+            decode(w[0]),
+            Some(Instr::OpImm {
+                op: crate::instr::AluOp::Add,
+                rd: reg::A0,
+                rs1: 0,
+                imm: -5
+            })
+        );
+    }
+
+    #[test]
+    fn li_large_values_roundtrip() {
+        // Execute the li expansion mentally: lui hi; addi lo.
+        for &v in &[
+            0x1234_5678i32,
+            -1,
+            i32::MIN,
+            i32::MAX,
+            0x7ff,
+            0x800,
+            -2049,
+            0x0000_8000,
+        ] {
+            let mut a = Assembler::new(0);
+            a.li(reg::T0, v);
+            let w = a.assemble().unwrap();
+            // Evaluate.
+            let mut r = 0u32;
+            for word in w {
+                match decode(word).unwrap() {
+                    Instr::Lui { imm, .. } => r = imm,
+                    Instr::OpImm { imm, .. } => r = r.wrapping_add(imm as u32),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            assert_eq!(r, v as u32, "li {v}");
+        }
+    }
+
+    #[test]
+    fn forward_and_backward_branches() {
+        let mut a = Assembler::new(0x100);
+        let back = a.new_label();
+        a.bind(back);
+        a.nop();
+        let fwd = a.new_label();
+        a.beq(reg::T0, reg::T1, fwd);
+        a.bne(reg::T0, reg::T1, back);
+        a.bind(fwd);
+        let w = a.assemble().unwrap();
+        match decode(w[1]) {
+            Some(Instr::Branch {
+                op: BranchOp::Eq,
+                offset,
+                ..
+            }) => assert_eq!(offset, 8), // to fwd, two instructions ahead
+            other => panic!("{other:?}"),
+        }
+        match decode(w[2]) {
+            Some(Instr::Branch {
+                op: BranchOp::Ne,
+                offset,
+                ..
+            }) => assert_eq!(offset, -8),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut a = Assembler::new(0);
+        let l = a.new_label();
+        a.jump(l);
+        assert!(matches!(
+            a.assemble(),
+            Err(AsmError::UnboundLabel { label: 0 })
+        ));
+    }
+
+    #[test]
+    fn rebound_label_is_an_error() {
+        let mut a = Assembler::new(0);
+        let l = a.new_label();
+        a.bind(l);
+        a.bind(l);
+        a.nop();
+        assert!(matches!(
+            a.assemble(),
+            Err(AsmError::ReboundLabel { label: 0 })
+        ));
+    }
+
+    #[test]
+    fn branch_out_of_range_detected() {
+        let mut a = Assembler::new(0);
+        let far = a.new_label();
+        a.beq(reg::T0, reg::T1, far);
+        for _ in 0..2000 {
+            a.nop();
+        }
+        a.bind(far);
+        assert!(matches!(
+            a.assemble(),
+            Err(AsmError::BranchOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn pc_tracks_emission() {
+        let mut a = Assembler::new(0x80);
+        assert_eq!(a.current_pc(), 0x80);
+        a.nop();
+        a.nop();
+        assert_eq!(a.current_pc(), 0x88);
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,223 @@
+//! The memory bus seen by the RISC-V core.
+//!
+//! The cluster implements [`Bus`] to route core accesses to the TCDM,
+//! the NTX register windows (including the broadcast alias), the DMA
+//! registers, and the L2 program memory. [`Ram`] is a flat test memory.
+
+use std::error::Error;
+use std::fmt;
+
+/// Width of a single memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessSize {
+    /// 8-bit access (`lb`, `lbu`, `sb`).
+    Byte,
+    /// 16-bit access (`lh`, `lhu`, `sh`).
+    Half,
+    /// 32-bit access (`lw`, `sw`, instruction fetch).
+    Word,
+}
+
+impl AccessSize {
+    /// Number of bytes moved by the access.
+    #[must_use]
+    pub fn bytes(self) -> u32 {
+        match self {
+            AccessSize::Byte => 1,
+            AccessSize::Half => 2,
+            AccessSize::Word => 4,
+        }
+    }
+}
+
+/// Errors a bus access can raise (they become traps in the core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BusError {
+    /// No device is mapped at the address.
+    Unmapped {
+        /// The faulting address.
+        addr: u32,
+    },
+    /// The device rejected the access (e.g. a malformed NTX register
+    /// offset or an invalid committed configuration).
+    Device {
+        /// The faulting address.
+        addr: u32,
+    },
+    /// The access violates the device's alignment requirement.
+    Misaligned {
+        /// The faulting address.
+        addr: u32,
+        /// The attempted size.
+        size: u32,
+    },
+}
+
+impl fmt::Display for BusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusError::Unmapped { addr } => write!(f, "no device mapped at {addr:#010x}"),
+            BusError::Device { addr } => write!(f, "device fault at {addr:#010x}"),
+            BusError::Misaligned { addr, size } => {
+                write!(f, "misaligned {size}-byte access at {addr:#010x}")
+            }
+        }
+    }
+}
+
+impl Error for BusError {}
+
+/// Memory interface of the core: instruction fetches use
+/// [`Bus::read`] with [`AccessSize::Word`] semantics (16-bit aligned
+/// fetch for compressed instructions is composed from two halves).
+pub trait Bus {
+    /// Reads `size` bytes at `addr`, zero-extended into the low bits.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return a [`BusError`] for unmapped or rejected
+    /// accesses; the core converts it into a trap.
+    fn read(&mut self, addr: u32, size: AccessSize) -> Result<u32, BusError>;
+
+    /// Writes the low `size` bytes of `value` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return a [`BusError`] for unmapped or rejected
+    /// accesses; the core converts it into a trap.
+    fn write(&mut self, addr: u32, size: AccessSize, value: u32) -> Result<(), BusError>;
+
+    /// Fetches an instruction parcel (16 bits) at `addr`. The default
+    /// implementation reads through [`Bus::read`]; memories that keep
+    /// code separately may override it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying read error.
+    fn fetch16(&mut self, addr: u32) -> Result<u16, BusError> {
+        Ok(self.read(addr, AccessSize::Half)? as u16)
+    }
+}
+
+impl<B: Bus + ?Sized> Bus for &mut B {
+    fn read(&mut self, addr: u32, size: AccessSize) -> Result<u32, BusError> {
+        (**self).read(addr, size)
+    }
+    fn write(&mut self, addr: u32, size: AccessSize, value: u32) -> Result<(), BusError> {
+        (**self).write(addr, size, value)
+    }
+    fn fetch16(&mut self, addr: u32) -> Result<u16, BusError> {
+        (**self).fetch16(addr)
+    }
+}
+
+/// Flat little-endian RAM for stand-alone core tests.
+#[derive(Debug, Clone)]
+pub struct Ram {
+    data: Vec<u8>,
+}
+
+impl Ram {
+    /// Allocates `bytes` of zeroed RAM at address 0.
+    #[must_use]
+    pub fn new(bytes: usize) -> Self {
+        Self {
+            data: vec![0; bytes],
+        }
+    }
+
+    /// Loads 32-bit words starting at byte address `addr` (program
+    /// loading).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the RAM size.
+    pub fn load_words(&mut self, addr: u32, words: &[u32]) {
+        for (i, &w) in words.iter().enumerate() {
+            let a = addr as usize + 4 * i;
+            self.data[a..a + 4].copy_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Size in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the RAM has zero capacity.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Bus for Ram {
+    fn read(&mut self, addr: u32, size: AccessSize) -> Result<u32, BusError> {
+        let n = size.bytes() as usize;
+        let a = addr as usize;
+        if a + n > self.data.len() {
+            return Err(BusError::Unmapped { addr });
+        }
+        let mut v = 0u32;
+        for (i, &b) in self.data[a..a + n].iter().enumerate() {
+            v |= u32::from(b) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    fn write(&mut self, addr: u32, size: AccessSize, value: u32) -> Result<(), BusError> {
+        let n = size.bytes() as usize;
+        let a = addr as usize;
+        if a + n > self.data.len() {
+            return Err(BusError::Unmapped { addr });
+        }
+        for i in 0..n {
+            self.data[a + i] = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ram_roundtrip_all_sizes() {
+        let mut ram = Ram::new(64);
+        ram.write(0, AccessSize::Word, 0x0403_0201).unwrap();
+        assert_eq!(ram.read(0, AccessSize::Word).unwrap(), 0x0403_0201);
+        assert_eq!(ram.read(1, AccessSize::Byte).unwrap(), 0x02);
+        assert_eq!(ram.read(2, AccessSize::Half).unwrap(), 0x0403);
+        ram.write(2, AccessSize::Byte, 0xff).unwrap();
+        assert_eq!(ram.read(0, AccessSize::Word).unwrap(), 0x04ff_0201);
+    }
+
+    #[test]
+    fn out_of_range_is_unmapped() {
+        let mut ram = Ram::new(8);
+        assert!(matches!(
+            ram.read(8, AccessSize::Byte),
+            Err(BusError::Unmapped { addr: 8 })
+        ));
+        assert!(ram.write(6, AccessSize::Word, 0).is_err());
+    }
+
+    #[test]
+    fn load_words_little_endian() {
+        let mut ram = Ram::new(16);
+        ram.load_words(4, &[0xdead_beef]);
+        assert_eq!(ram.read(4, AccessSize::Byte).unwrap(), 0xef);
+        assert_eq!(ram.read(7, AccessSize::Byte).unwrap(), 0xde);
+    }
+
+    #[test]
+    fn fetch16_default_impl() {
+        let mut ram = Ram::new(8);
+        ram.load_words(0, &[0x1234_5678]);
+        assert_eq!(ram.fetch16(0).unwrap(), 0x5678);
+        assert_eq!(ram.fetch16(2).unwrap(), 0x1234);
+    }
+}

@@ -1,0 +1,532 @@
+//! The RV32IMC core executor.
+//!
+//! An instruction-accurate interpreter of the cluster's control core.
+//! Timing is IPC = 1 (the RI5CY core of the paper is a 4-stage in-order
+//! pipeline; the cluster simulator steps the core every second NTX cycle
+//! to model its half-rate clock, §III-A).
+
+use crate::bus::{AccessSize, Bus, BusError};
+use crate::instr::{decode, expand_compressed, AluOp, BranchOp, CsrOp, Instr, LoadOp, MulDivOp, StoreOp};
+
+/// Reasons execution stopped or faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Trap {
+    /// `ebreak` — the conventional "program finished" marker in this
+    /// bare-metal environment.
+    Ebreak,
+    /// `ecall` — environment call (used for host services in tests).
+    Ecall,
+    /// Undecodable instruction word.
+    IllegalInstruction {
+        /// Faulting pc.
+        pc: u32,
+        /// Offending instruction word (expanded form for compressed).
+        word: u32,
+    },
+    /// A data access faulted on the bus.
+    BusFault {
+        /// Faulting pc.
+        pc: u32,
+        /// Underlying bus error.
+        error: BusError,
+    },
+    /// An instruction fetch faulted on the bus.
+    FetchFault {
+        /// Faulting pc.
+        pc: u32,
+        /// Underlying bus error.
+        error: BusError,
+    },
+}
+
+/// The RV32IMC hart.
+///
+/// # Example
+///
+/// ```
+/// use ntx_riscv::{Cpu, Ram, reg};
+///
+/// let mut ram = Ram::new(64);
+/// // addi x10, x0, 42 ; ebreak
+/// ram.load_words(0, &[0x02a0_0513, 0x0010_0073]);
+/// let mut cpu = Cpu::new(0);
+/// cpu.run(&mut ram, 100);
+/// assert_eq!(cpu.reg(reg::A0), 42);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    regs: [u32; 32],
+    pc: u32,
+    cycles: u64,
+    instret: u64,
+}
+
+impl Cpu {
+    /// Creates a hart with cleared registers starting at `pc`.
+    #[must_use]
+    pub fn new(pc: u32) -> Self {
+        Self {
+            regs: [0; 32],
+            pc,
+            cycles: 0,
+            instret: 0,
+        }
+    }
+
+    /// Reads register `x` (x0 always reads zero).
+    #[must_use]
+    pub fn reg(&self, x: u8) -> u32 {
+        self.regs[(x & 31) as usize]
+    }
+
+    /// Writes register `x` (writes to x0 are discarded).
+    pub fn set_reg(&mut self, x: u8, value: u32) {
+        if x & 31 != 0 {
+            self.regs[(x & 31) as usize] = value;
+        }
+    }
+
+    /// Current program counter.
+    #[must_use]
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Sets the program counter (e.g. to restart a program).
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+
+    /// Executed cycles (== retired instructions in this IPC-1 model).
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Retired instruction count.
+    #[must_use]
+    pub fn instret(&self) -> u64 {
+        self.instret
+    }
+
+    fn csr_read(&self, csr: u16) -> u32 {
+        match csr {
+            0xc00 | 0xc01 => self.cycles as u32,          // cycle, time
+            0xc80 | 0xc81 => (self.cycles >> 32) as u32,  // cycleh, timeh
+            0xc02 => self.instret as u32,                 // instret
+            0xc82 => (self.instret >> 32) as u32,         // instreth
+            _ => 0,
+        }
+    }
+
+    /// Executes one instruction. Returns `Ok(())` to continue or the
+    /// trap that stopped the hart.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Trap`] raised by this instruction; the hart state is
+    /// left at the faulting instruction (pc not advanced) for `ebreak` /
+    /// `ecall` / faults, so callers can inspect or resume.
+    #[allow(clippy::too_many_lines)]
+    pub fn step<B: Bus>(&mut self, bus: &mut B) -> Result<(), Trap> {
+        let pc = self.pc;
+        let lo = bus
+            .fetch16(pc)
+            .map_err(|error| Trap::FetchFault { pc, error })?;
+        let (word, len) = if lo & 3 == 3 {
+            let hi = bus
+                .fetch16(pc.wrapping_add(2))
+                .map_err(|error| Trap::FetchFault { pc, error })?;
+            ((u32::from(hi) << 16) | u32::from(lo), 4)
+        } else {
+            let expanded = expand_compressed(lo).ok_or(Trap::IllegalInstruction {
+                pc,
+                word: u32::from(lo),
+            })?;
+            (expanded, 2)
+        };
+        let instr = decode(word).ok_or(Trap::IllegalInstruction { pc, word })?;
+        let mut next_pc = pc.wrapping_add(len);
+        match instr {
+            Instr::Lui { rd, imm } => self.set_reg(rd, imm),
+            Instr::Auipc { rd, imm } => self.set_reg(rd, pc.wrapping_add(imm)),
+            Instr::Jal { rd, offset } => {
+                self.set_reg(rd, next_pc);
+                next_pc = pc.wrapping_add(offset as u32);
+            }
+            Instr::Jalr { rd, rs1, offset } => {
+                let target = self.reg(rs1).wrapping_add(offset as u32) & !1;
+                self.set_reg(rd, next_pc);
+                next_pc = target;
+            }
+            Instr::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let a = self.reg(rs1);
+                let b = self.reg(rs2);
+                let taken = match op {
+                    BranchOp::Eq => a == b,
+                    BranchOp::Ne => a != b,
+                    BranchOp::Lt => (a as i32) < (b as i32),
+                    BranchOp::Ge => (a as i32) >= (b as i32),
+                    BranchOp::Ltu => a < b,
+                    BranchOp::Geu => a >= b,
+                };
+                if taken {
+                    next_pc = pc.wrapping_add(offset as u32);
+                }
+            }
+            Instr::Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                let (size, sign) = match op {
+                    LoadOp::Lb => (AccessSize::Byte, true),
+                    LoadOp::Lbu => (AccessSize::Byte, false),
+                    LoadOp::Lh => (AccessSize::Half, true),
+                    LoadOp::Lhu => (AccessSize::Half, false),
+                    LoadOp::Lw => (AccessSize::Word, false),
+                };
+                let raw = bus
+                    .read(addr, size)
+                    .map_err(|error| Trap::BusFault { pc, error })?;
+                let value = if sign {
+                    match size {
+                        AccessSize::Byte => raw as u8 as i8 as i32 as u32,
+                        AccessSize::Half => raw as u16 as i16 as i32 as u32,
+                        AccessSize::Word => raw,
+                    }
+                } else {
+                    raw
+                };
+                self.set_reg(rd, value);
+            }
+            Instr::Store {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                let size = match op {
+                    StoreOp::Sb => AccessSize::Byte,
+                    StoreOp::Sh => AccessSize::Half,
+                    StoreOp::Sw => AccessSize::Word,
+                };
+                bus.write(addr, size, self.reg(rs2))
+                    .map_err(|error| Trap::BusFault { pc, error })?;
+            }
+            Instr::OpImm { op, rd, rs1, imm } => {
+                let v = Self::alu(op, self.reg(rs1), imm as u32);
+                self.set_reg(rd, v);
+            }
+            Instr::Op { op, rd, rs1, rs2 } => {
+                let v = Self::alu(op, self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, v);
+            }
+            Instr::MulDiv { op, rd, rs1, rs2 } => {
+                let a = self.reg(rs1);
+                let b = self.reg(rs2);
+                let v = Self::muldiv(op, a, b);
+                self.set_reg(rd, v);
+            }
+            Instr::Fence => {}
+            Instr::Ecall => return Err(Trap::Ecall),
+            Instr::Ebreak => return Err(Trap::Ebreak),
+            Instr::Csr {
+                op,
+                rd,
+                src,
+                csr,
+                immediate,
+            } => {
+                let old = self.csr_read(csr);
+                // Performance counters are read-only; set/clear/write
+                // effects on them are dropped, matching RI5CY's
+                // user-mode counter behaviour.
+                let _ = (op, src, immediate);
+                match op {
+                    CsrOp::ReadWrite | CsrOp::ReadSet | CsrOp::ReadClear => {
+                        self.set_reg(rd, old);
+                    }
+                }
+            }
+        }
+        self.pc = next_pc;
+        self.cycles += 1;
+        self.instret += 1;
+        Ok(())
+    }
+
+    fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+        match op {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Sll => a.wrapping_shl(b & 31),
+            AluOp::Slt => u32::from((a as i32) < (b as i32)),
+            AluOp::Sltu => u32::from(a < b),
+            AluOp::Xor => a ^ b,
+            AluOp::Srl => a.wrapping_shr(b & 31),
+            AluOp::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
+            AluOp::Or => a | b,
+            AluOp::And => a & b,
+        }
+    }
+
+    fn muldiv(op: MulDivOp, a: u32, b: u32) -> u32 {
+        match op {
+            MulDivOp::Mul => a.wrapping_mul(b),
+            MulDivOp::Mulh => ((i64::from(a as i32) * i64::from(b as i32)) >> 32) as u32,
+            MulDivOp::Mulhsu => ((i64::from(a as i32) * i64::from(b)) >> 32) as u32,
+            MulDivOp::Mulhu => ((u64::from(a) * u64::from(b)) >> 32) as u32,
+            MulDivOp::Div => {
+                if b == 0 {
+                    u32::MAX
+                } else if a == 0x8000_0000 && b == u32::MAX {
+                    a // overflow: MIN / -1 = MIN
+                } else {
+                    ((a as i32) / (b as i32)) as u32
+                }
+            }
+            MulDivOp::Divu => {
+                if b == 0 {
+                    u32::MAX
+                } else {
+                    a / b
+                }
+            }
+            MulDivOp::Rem => {
+                if b == 0 {
+                    a
+                } else if a == 0x8000_0000 && b == u32::MAX {
+                    0
+                } else {
+                    ((a as i32) % (b as i32)) as u32
+                }
+            }
+            MulDivOp::Remu => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+        }
+    }
+
+    /// Runs until a trap occurs or `max_steps` instructions retire.
+    /// Returns the trap, or `None` if the step budget ran out.
+    pub fn run<B: Bus>(&mut self, bus: &mut B, max_steps: u64) -> Option<Trap> {
+        for _ in 0..max_steps {
+            if let Err(trap) = self.step(bus) {
+                return Some(trap);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::bus::Ram;
+    use crate::reg;
+
+    fn run_asm(build: impl FnOnce(&mut Assembler)) -> Cpu {
+        let mut asm = Assembler::new(0);
+        build(&mut asm);
+        asm.ebreak();
+        let mut ram = Ram::new(65_536);
+        ram.load_words(0, &asm.assemble().expect("assembles"));
+        let mut cpu = Cpu::new(0);
+        let trap = cpu.run(&mut ram, 1_000_000);
+        assert_eq!(trap, Some(Trap::Ebreak), "program must finish");
+        cpu
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let cpu = run_asm(|a| {
+            a.li(reg::T0, 20);
+            a.li(reg::T1, 22);
+            a.add(reg::A0, reg::T0, reg::T1);
+            a.sub(reg::A1, reg::T0, reg::T1);
+            a.xor(reg::A2, reg::T0, reg::T1);
+        });
+        assert_eq!(cpu.reg(reg::A0), 42);
+        assert_eq!(cpu.reg(reg::A1), (-2i32) as u32);
+        assert_eq!(cpu.reg(reg::A2), 20 ^ 22);
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let cpu = run_asm(|a| {
+            a.li(reg::ZERO, 99);
+            a.add(reg::A0, reg::ZERO, reg::ZERO);
+        });
+        assert_eq!(cpu.reg(reg::ZERO), 0);
+        assert_eq!(cpu.reg(reg::A0), 0);
+    }
+
+    #[test]
+    fn shifts_and_compares() {
+        let cpu = run_asm(|a| {
+            a.li(reg::T0, -8);
+            a.srai(reg::A0, reg::T0, 1);
+            a.srli(reg::A1, reg::T0, 28);
+            a.slli(reg::A2, reg::T0, 1);
+            a.slti(reg::A3, reg::T0, 0);
+            a.sltiu(reg::A4, reg::T0, 0);
+        });
+        assert_eq!(cpu.reg(reg::A0) as i32, -4);
+        assert_eq!(cpu.reg(reg::A1), 0xf);
+        assert_eq!(cpu.reg(reg::A2) as i32, -16);
+        assert_eq!(cpu.reg(reg::A3), 1);
+        assert_eq!(cpu.reg(reg::A4), 0);
+    }
+
+    #[test]
+    fn memory_loads_and_stores() {
+        let cpu = run_asm(|a| {
+            a.li(reg::T0, 0x1000);
+            a.li(reg::T1, -2); // 0xfffffffe
+            a.sw(reg::T1, reg::T0, 0);
+            a.lw(reg::A0, reg::T0, 0);
+            a.lb(reg::A1, reg::T0, 0);
+            a.lbu(reg::A2, reg::T0, 0);
+            a.lh(reg::A3, reg::T0, 0);
+            a.lhu(reg::A4, reg::T0, 0);
+            a.li(reg::T2, 0x55);
+            a.sb(reg::T2, reg::T0, 1);
+            a.lw(reg::A5, reg::T0, 0);
+        });
+        assert_eq!(cpu.reg(reg::A0), 0xffff_fffe);
+        assert_eq!(cpu.reg(reg::A1), 0xffff_fffe);
+        assert_eq!(cpu.reg(reg::A2), 0xfe);
+        assert_eq!(cpu.reg(reg::A3), 0xffff_fffe);
+        assert_eq!(cpu.reg(reg::A4), 0xfffe);
+        assert_eq!(cpu.reg(reg::A5), 0xffff_55fe);
+    }
+
+    #[test]
+    fn branches_and_loops() {
+        // Computes 10! iteratively.
+        let cpu = run_asm(|a| {
+            let head = a.new_label();
+            let done = a.new_label();
+            a.li(reg::T0, 10);
+            a.li(reg::A0, 1);
+            a.bind(head);
+            a.beq(reg::T0, reg::ZERO, done);
+            a.mul(reg::A0, reg::A0, reg::T0);
+            a.addi(reg::T0, reg::T0, -1);
+            a.jump(head);
+            a.bind(done);
+        });
+        assert_eq!(cpu.reg(reg::A0), 3_628_800);
+    }
+
+    #[test]
+    fn jal_jalr_link() {
+        let cpu = run_asm(|a| {
+            let func = a.new_label();
+            let over = a.new_label();
+            a.call(func);
+            a.jump(over);
+            a.bind(func);
+            a.li(reg::A0, 7);
+            a.ret();
+            a.bind(over);
+        });
+        assert_eq!(cpu.reg(reg::A0), 7);
+    }
+
+    #[test]
+    fn muldiv_semantics() {
+        let cpu = run_asm(|a| {
+            a.li(reg::T0, -7);
+            a.li(reg::T1, 2);
+            a.div(reg::A0, reg::T0, reg::T1);
+            a.rem(reg::A1, reg::T0, reg::T1);
+            a.li(reg::T2, 0);
+            a.div(reg::A2, reg::T0, reg::T2); // div by zero -> -1
+            a.rem(reg::A3, reg::T0, reg::T2); // rem by zero -> dividend
+            a.mulhu(reg::A4, reg::T0, reg::T0);
+        });
+        assert_eq!(cpu.reg(reg::A0) as i32, -3);
+        assert_eq!(cpu.reg(reg::A1) as i32, -1);
+        assert_eq!(cpu.reg(reg::A2), u32::MAX);
+        assert_eq!(cpu.reg(reg::A3) as i32, -7);
+        // (-7 as u32)^2 >> 32
+        assert_eq!(
+            cpu.reg(reg::A4),
+            ((u64::from((-7i32) as u32) * u64::from((-7i32) as u32)) >> 32) as u32
+        );
+    }
+
+    #[test]
+    fn division_overflow_case() {
+        let cpu = run_asm(|a| {
+            a.li(reg::T0, i32::MIN);
+            a.li(reg::T1, -1);
+            a.div(reg::A0, reg::T0, reg::T1);
+            a.rem(reg::A1, reg::T0, reg::T1);
+        });
+        assert_eq!(cpu.reg(reg::A0), 0x8000_0000);
+        assert_eq!(cpu.reg(reg::A1), 0);
+    }
+
+    #[test]
+    fn cycle_csr_counts() {
+        let cpu = run_asm(|a| {
+            a.csrr_cycle(reg::A0);
+            a.nop();
+            a.nop();
+            a.csrr_cycle(reg::A1);
+        });
+        let delta = cpu.reg(reg::A1) - cpu.reg(reg::A0);
+        assert_eq!(delta, 3); // csrr + 2 nops
+    }
+
+    #[test]
+    fn illegal_instruction_traps() {
+        let mut ram = Ram::new(64);
+        ram.load_words(0, &[0xffff_ffff]);
+        let mut cpu = Cpu::new(0);
+        assert!(matches!(
+            cpu.run(&mut ram, 10),
+            Some(Trap::IllegalInstruction { pc: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn bus_fault_traps() {
+        let mut ram = Ram::new(64);
+        // lw a0, 0(t0) with t0 pointing far out of RAM.
+        let mut asm = Assembler::new(0);
+        asm.li(reg::T0, 0x10_0000);
+        asm.lw(reg::A0, reg::T0, 0);
+        ram.load_words(0, &asm.assemble().unwrap());
+        let mut cpu = Cpu::new(0);
+        assert!(matches!(
+            cpu.run(&mut ram, 10),
+            Some(Trap::BusFault { .. })
+        ));
+    }
+
+    #[test]
+    fn ecall_stops() {
+        let mut ram = Ram::new(64);
+        ram.load_words(0, &[0x0000_0073]);
+        let mut cpu = Cpu::new(0);
+        assert_eq!(cpu.run(&mut ram, 10), Some(Trap::Ecall));
+    }
+}

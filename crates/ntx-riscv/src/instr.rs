@@ -1,0 +1,885 @@
+//! Instruction decoding for RV32IMC.
+//!
+//! [`decode`] turns a 32-bit instruction word into the typed [`Instr`]
+//! representation executed by the [`Cpu`](crate::Cpu);
+//! [`expand_compressed`] maps every RV32C parcel onto its 32-bit
+//! equivalent first, so the executor only deals with one form.
+
+/// Integer register–register / register–immediate ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition (`add`/`addi`).
+    Add,
+    /// Subtraction (`sub`, register form only).
+    Sub,
+    /// Logical left shift.
+    Sll,
+    /// Signed less-than set.
+    Slt,
+    /// Unsigned less-than set.
+    Sltu,
+    /// Exclusive or.
+    Xor,
+    /// Logical right shift.
+    Srl,
+    /// Arithmetic right shift.
+    Sra,
+    /// Inclusive or.
+    Or,
+    /// Bitwise and.
+    And,
+}
+
+/// M-extension multiply/divide operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MulDivOp {
+    /// Low 32 bits of the product.
+    Mul,
+    /// High 32 bits of signed × signed.
+    Mulh,
+    /// High 32 bits of signed × unsigned.
+    Mulhsu,
+    /// High 32 bits of unsigned × unsigned.
+    Mulhu,
+    /// Signed division.
+    Div,
+    /// Unsigned division.
+    Divu,
+    /// Signed remainder.
+    Rem,
+    /// Unsigned remainder.
+    Remu,
+}
+
+/// Conditional branch comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchOp {
+    /// `beq`.
+    Eq,
+    /// `bne`.
+    Ne,
+    /// `blt` (signed).
+    Lt,
+    /// `bge` (signed).
+    Ge,
+    /// `bltu`.
+    Ltu,
+    /// `bgeu`.
+    Geu,
+}
+
+/// Load widths/signedness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadOp {
+    /// `lb` — sign-extended byte.
+    Lb,
+    /// `lh` — sign-extended half.
+    Lh,
+    /// `lw` — word.
+    Lw,
+    /// `lbu` — zero-extended byte.
+    Lbu,
+    /// `lhu` — zero-extended half.
+    Lhu,
+}
+
+/// Store widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreOp {
+    /// `sb`.
+    Sb,
+    /// `sh`.
+    Sh,
+    /// `sw`.
+    Sw,
+}
+
+/// CSR access forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CsrOp {
+    /// `csrrw`/`csrrwi`.
+    ReadWrite,
+    /// `csrrs`/`csrrsi`.
+    ReadSet,
+    /// `csrrc`/`csrrci`.
+    ReadClear,
+}
+
+/// One decoded RV32IM instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Instr {
+    /// `lui rd, imm` (`imm` already aligned to bits 31:12).
+    Lui {
+        /// Destination register.
+        rd: u8,
+        /// Upper immediate, pre-shifted.
+        imm: u32,
+    },
+    /// `auipc rd, imm`.
+    Auipc {
+        /// Destination register.
+        rd: u8,
+        /// Upper immediate, pre-shifted.
+        imm: u32,
+    },
+    /// `jal rd, offset`.
+    Jal {
+        /// Link register.
+        rd: u8,
+        /// Signed byte offset from this instruction.
+        offset: i32,
+    },
+    /// `jalr rd, offset(rs1)`.
+    Jalr {
+        /// Link register.
+        rd: u8,
+        /// Base register.
+        rs1: u8,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// Conditional branch.
+    Branch {
+        /// Comparison.
+        op: BranchOp,
+        /// Left operand register.
+        rs1: u8,
+        /// Right operand register.
+        rs2: u8,
+        /// Signed byte offset from this instruction.
+        offset: i32,
+    },
+    /// Memory load.
+    Load {
+        /// Width/signedness.
+        op: LoadOp,
+        /// Destination register.
+        rd: u8,
+        /// Base register.
+        rs1: u8,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// Memory store.
+    Store {
+        /// Width.
+        op: StoreOp,
+        /// Base register.
+        rs1: u8,
+        /// Source register.
+        rs2: u8,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// Register–immediate ALU operation.
+    OpImm {
+        /// Operation (no `Sub`; shifts take the shamt in `imm`).
+        op: AluOp,
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        rs1: u8,
+        /// Sign-extended immediate (shamt for shifts).
+        imm: i32,
+    },
+    /// Register–register ALU operation.
+    Op {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: u8,
+        /// Left source.
+        rs1: u8,
+        /// Right source.
+        rs2: u8,
+    },
+    /// M-extension operation.
+    MulDiv {
+        /// Operation.
+        op: MulDivOp,
+        /// Destination register.
+        rd: u8,
+        /// Left source.
+        rs1: u8,
+        /// Right source.
+        rs2: u8,
+    },
+    /// `fence`/`fence.i` — a no-op in this single-hart model.
+    Fence,
+    /// `ecall`.
+    Ecall,
+    /// `ebreak`.
+    Ebreak,
+    /// CSR access.
+    Csr {
+        /// Access form.
+        op: CsrOp,
+        /// Destination register.
+        rd: u8,
+        /// Source register or zimm value.
+        src: u8,
+        /// CSR number.
+        csr: u16,
+        /// True for the immediate (`zimm`) forms.
+        immediate: bool,
+    },
+}
+
+#[inline]
+fn bits(word: u32, hi: u32, lo: u32) -> u32 {
+    (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+}
+
+#[inline]
+fn sext(value: u32, bits_: u32) -> i32 {
+    let shift = 32 - bits_;
+    ((value << shift) as i32) >> shift
+}
+
+/// Decodes a 32-bit instruction word. Returns `None` for encodings
+/// outside RV32IM + Zicsr.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn decode(word: u32) -> Option<Instr> {
+    let opcode = word & 0x7f;
+    let rd = bits(word, 11, 7) as u8;
+    let rs1 = bits(word, 19, 15) as u8;
+    let rs2 = bits(word, 24, 20) as u8;
+    let funct3 = bits(word, 14, 12);
+    let funct7 = bits(word, 31, 25);
+    Some(match opcode {
+        0x37 => Instr::Lui {
+            rd,
+            imm: word & 0xffff_f000,
+        },
+        0x17 => Instr::Auipc {
+            rd,
+            imm: word & 0xffff_f000,
+        },
+        0x6f => {
+            let imm = (bits(word, 31, 31) << 20)
+                | (bits(word, 19, 12) << 12)
+                | (bits(word, 20, 20) << 11)
+                | (bits(word, 30, 21) << 1);
+            Instr::Jal {
+                rd,
+                offset: sext(imm, 21),
+            }
+        }
+        0x67 if funct3 == 0 => Instr::Jalr {
+            rd,
+            rs1,
+            offset: sext(bits(word, 31, 20), 12),
+        },
+        0x63 => {
+            let imm = (bits(word, 31, 31) << 12)
+                | (bits(word, 7, 7) << 11)
+                | (bits(word, 30, 25) << 5)
+                | (bits(word, 11, 8) << 1);
+            let op = match funct3 {
+                0 => BranchOp::Eq,
+                1 => BranchOp::Ne,
+                4 => BranchOp::Lt,
+                5 => BranchOp::Ge,
+                6 => BranchOp::Ltu,
+                7 => BranchOp::Geu,
+                _ => return None,
+            };
+            Instr::Branch {
+                op,
+                rs1,
+                rs2,
+                offset: sext(imm, 13),
+            }
+        }
+        0x03 => {
+            let op = match funct3 {
+                0 => LoadOp::Lb,
+                1 => LoadOp::Lh,
+                2 => LoadOp::Lw,
+                4 => LoadOp::Lbu,
+                5 => LoadOp::Lhu,
+                _ => return None,
+            };
+            Instr::Load {
+                op,
+                rd,
+                rs1,
+                offset: sext(bits(word, 31, 20), 12),
+            }
+        }
+        0x23 => {
+            let op = match funct3 {
+                0 => StoreOp::Sb,
+                1 => StoreOp::Sh,
+                2 => StoreOp::Sw,
+                _ => return None,
+            };
+            let imm = (bits(word, 31, 25) << 5) | bits(word, 11, 7);
+            Instr::Store {
+                op,
+                rs1,
+                rs2,
+                offset: sext(imm, 12),
+            }
+        }
+        0x13 => {
+            let imm = sext(bits(word, 31, 20), 12);
+            let op = match funct3 {
+                0 => AluOp::Add,
+                1 if funct7 == 0 => AluOp::Sll,
+                2 => AluOp::Slt,
+                3 => AluOp::Sltu,
+                4 => AluOp::Xor,
+                5 if funct7 == 0 => AluOp::Srl,
+                5 if funct7 == 0x20 => AluOp::Sra,
+                6 => AluOp::Or,
+                7 => AluOp::And,
+                _ => return None,
+            };
+            let imm = match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => bits(word, 24, 20) as i32,
+                _ => imm,
+            };
+            Instr::OpImm { op, rd, rs1, imm }
+        }
+        0x33 => {
+            if funct7 == 1 {
+                let op = match funct3 {
+                    0 => MulDivOp::Mul,
+                    1 => MulDivOp::Mulh,
+                    2 => MulDivOp::Mulhsu,
+                    3 => MulDivOp::Mulhu,
+                    4 => MulDivOp::Div,
+                    5 => MulDivOp::Divu,
+                    6 => MulDivOp::Rem,
+                    7 => MulDivOp::Remu,
+                    _ => unreachable!(),
+                };
+                return Some(Instr::MulDiv { op, rd, rs1, rs2 });
+            }
+            let op = match (funct3, funct7) {
+                (0, 0) => AluOp::Add,
+                (0, 0x20) => AluOp::Sub,
+                (1, 0) => AluOp::Sll,
+                (2, 0) => AluOp::Slt,
+                (3, 0) => AluOp::Sltu,
+                (4, 0) => AluOp::Xor,
+                (5, 0) => AluOp::Srl,
+                (5, 0x20) => AluOp::Sra,
+                (6, 0) => AluOp::Or,
+                (7, 0) => AluOp::And,
+                _ => return None,
+            };
+            Instr::Op { op, rd, rs1, rs2 }
+        }
+        0x0f => Instr::Fence,
+        0x73 => {
+            if funct3 == 0 {
+                match bits(word, 31, 20) {
+                    0 => Instr::Ecall,
+                    1 => Instr::Ebreak,
+                    _ => return None,
+                }
+            } else {
+                let op = match funct3 & 3 {
+                    1 => CsrOp::ReadWrite,
+                    2 => CsrOp::ReadSet,
+                    3 => CsrOp::ReadClear,
+                    _ => return None,
+                };
+                Instr::Csr {
+                    op,
+                    rd,
+                    src: rs1,
+                    csr: bits(word, 31, 20) as u16,
+                    immediate: funct3 >= 4,
+                }
+            }
+        }
+        _ => return None,
+    })
+}
+
+/// Instruction-word encoders shared by the assembler and the compressed
+/// expander.
+pub(crate) mod encode {
+    pub(crate) fn r_type(opcode: u32, rd: u8, funct3: u32, rs1: u8, rs2: u8, funct7: u32) -> u32 {
+        opcode
+            | (u32::from(rd) << 7)
+            | (funct3 << 12)
+            | (u32::from(rs1) << 15)
+            | (u32::from(rs2) << 20)
+            | (funct7 << 25)
+    }
+
+    pub(crate) fn i_type(opcode: u32, rd: u8, funct3: u32, rs1: u8, imm: i32) -> u32 {
+        opcode
+            | (u32::from(rd) << 7)
+            | (funct3 << 12)
+            | (u32::from(rs1) << 15)
+            | (((imm as u32) & 0xfff) << 20)
+    }
+
+    pub(crate) fn s_type(opcode: u32, funct3: u32, rs1: u8, rs2: u8, imm: i32) -> u32 {
+        let imm = imm as u32;
+        opcode
+            | ((imm & 0x1f) << 7)
+            | (funct3 << 12)
+            | (u32::from(rs1) << 15)
+            | (u32::from(rs2) << 20)
+            | (((imm >> 5) & 0x7f) << 25)
+    }
+
+    pub(crate) fn b_type(opcode: u32, funct3: u32, rs1: u8, rs2: u8, imm: i32) -> u32 {
+        let imm = imm as u32;
+        opcode
+            | (((imm >> 11) & 1) << 7)
+            | (((imm >> 1) & 0xf) << 8)
+            | (funct3 << 12)
+            | (u32::from(rs1) << 15)
+            | (u32::from(rs2) << 20)
+            | (((imm >> 5) & 0x3f) << 25)
+            | (((imm >> 12) & 1) << 31)
+    }
+
+    pub(crate) fn u_type(opcode: u32, rd: u8, imm: u32) -> u32 {
+        opcode | (u32::from(rd) << 7) | (imm & 0xffff_f000)
+    }
+
+    pub(crate) fn j_type(opcode: u32, rd: u8, imm: i32) -> u32 {
+        let imm = imm as u32;
+        opcode
+            | (u32::from(rd) << 7)
+            | (((imm >> 12) & 0xff) << 12)
+            | (((imm >> 11) & 1) << 20)
+            | (((imm >> 1) & 0x3ff) << 21)
+            | (((imm >> 20) & 1) << 31)
+    }
+}
+
+/// Expands a 16-bit RV32C parcel into its 32-bit equivalent encoding.
+/// Returns `None` for illegal/reserved parcels (including the all-zero
+/// word, which is defined illegal).
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn expand_compressed(parcel: u16) -> Option<u32> {
+    use encode::*;
+    let w = u32::from(parcel);
+    if w == 0 {
+        return None;
+    }
+    let op = w & 3;
+    let funct3 = bits(w, 15, 13);
+    let rd_full = bits(w, 11, 7) as u8;
+    let rs2_full = bits(w, 6, 2) as u8;
+    let rd_p = 8 + bits(w, 9, 7) as u8; // rs1'/rd' in compressed form
+    let rs2_p = 8 + bits(w, 4, 2) as u8;
+    match (op, funct3) {
+        // --- Quadrant 0 ---
+        (0, 0) => {
+            // c.addi4spn -> addi rd', x2, nzuimm
+            let uimm = (bits(w, 12, 11) << 4)
+                | (bits(w, 10, 7) << 6)
+                | (bits(w, 6, 6) << 2)
+                | (bits(w, 5, 5) << 3);
+            if uimm == 0 {
+                return None;
+            }
+            Some(i_type(0x13, rs2_p, 0, 2, uimm as i32))
+        }
+        (0, 2) => {
+            // c.lw -> lw rd', uimm(rs1')
+            let uimm = (bits(w, 12, 10) << 3) | (bits(w, 6, 6) << 2) | (bits(w, 5, 5) << 6);
+            Some(i_type(0x03, rs2_p, 2, rd_p, uimm as i32))
+        }
+        (0, 6) => {
+            // c.sw -> sw rs2', uimm(rs1')
+            let uimm = (bits(w, 12, 10) << 3) | (bits(w, 6, 6) << 2) | (bits(w, 5, 5) << 6);
+            Some(s_type(0x23, 2, rd_p, rs2_p, uimm as i32))
+        }
+        // --- Quadrant 1 ---
+        (1, 0) => {
+            // c.nop / c.addi
+            let imm = sext((bits(w, 12, 12) << 5) | bits(w, 6, 2), 6);
+            Some(i_type(0x13, rd_full, 0, rd_full, imm))
+        }
+        (1, 1) => Some(j_type(0x6f, 1, cj_offset(w))), // c.jal (RV32)
+        (1, 2) => {
+            // c.li -> addi rd, x0, imm
+            let imm = sext((bits(w, 12, 12) << 5) | bits(w, 6, 2), 6);
+            Some(i_type(0x13, rd_full, 0, 0, imm))
+        }
+        (1, 3) => {
+            if rd_full == 2 {
+                // c.addi16sp
+                let imm = sext(
+                    (bits(w, 12, 12) << 9)
+                        | (bits(w, 6, 6) << 4)
+                        | (bits(w, 5, 5) << 6)
+                        | (bits(w, 4, 3) << 7)
+                        | (bits(w, 2, 2) << 5),
+                    10,
+                );
+                if imm == 0 {
+                    return None;
+                }
+                Some(i_type(0x13, 2, 0, 2, imm))
+            } else {
+                // c.lui
+                let imm = sext((bits(w, 12, 12) << 5) | bits(w, 6, 2), 6);
+                if imm == 0 || rd_full == 0 {
+                    return None;
+                }
+                Some(u_type(0x37, rd_full, (imm as u32) << 12))
+            }
+        }
+        (1, 4) => {
+            let shamt = ((bits(w, 12, 12) << 5) | bits(w, 6, 2)) as i32;
+            match bits(w, 11, 10) {
+                0 => {
+                    // c.srli (RV32 requires shamt[5] == 0)
+                    if shamt >= 32 {
+                        return None;
+                    }
+                    Some(i_type(0x13, rd_p, 5, rd_p, shamt))
+                }
+                1 => {
+                    if shamt >= 32 {
+                        return None;
+                    }
+                    // c.srai: srai encodes funct7 0x20 in imm[11:5]
+                    Some(i_type(0x13, rd_p, 5, rd_p, shamt | 0x400))
+                }
+                2 => {
+                    let imm = sext((bits(w, 12, 12) << 5) | bits(w, 6, 2), 6);
+                    Some(i_type(0x13, rd_p, 7, rd_p, imm))
+                }
+                _ => {
+                    if bits(w, 12, 12) != 0 {
+                        return None; // reserved in RV32
+                    }
+                    let (funct3, funct7) = match bits(w, 6, 5) {
+                        0 => (0, 0x20), // c.sub
+                        1 => (4, 0),    // c.xor
+                        2 => (6, 0),    // c.or
+                        _ => (7, 0),    // c.and
+                    };
+                    Some(r_type(0x33, rd_p, funct3, rd_p, rs2_p, funct7))
+                }
+            }
+        }
+        (1, 5) => Some(j_type(0x6f, 0, cj_offset(w))), // c.j
+        (1, 6) => Some(b_type(0x63, 0, rd_p, 0, cb_offset(w))), // c.beqz
+        (1, 7) => Some(b_type(0x63, 1, rd_p, 0, cb_offset(w))), // c.bnez
+        // --- Quadrant 2 ---
+        (2, 0) => {
+            let shamt = ((bits(w, 12, 12) << 5) | bits(w, 6, 2)) as i32;
+            if shamt >= 32 {
+                return None;
+            }
+            Some(i_type(0x13, rd_full, 1, rd_full, shamt))
+        }
+        (2, 2) => {
+            // c.lwsp
+            if rd_full == 0 {
+                return None;
+            }
+            let uimm = (bits(w, 12, 12) << 5) | (bits(w, 6, 4) << 2) | (bits(w, 3, 2) << 6);
+            Some(i_type(0x03, rd_full, 2, 2, uimm as i32))
+        }
+        (2, 4) => {
+            let bit12 = bits(w, 12, 12) != 0;
+            match (bit12, rd_full, rs2_full) {
+                (false, 0, _) => None,
+                (false, rs1, 0) => Some(i_type(0x67, 0, 0, rs1, 0)), // c.jr
+                (false, rd, rs2) => Some(r_type(0x33, rd, 0, 0, rs2, 0)), // c.mv
+                (true, 0, 0) => Some(i_type(0x73, 0, 0, 0, 1)),      // c.ebreak
+                (true, rs1, 0) => Some(i_type(0x67, 1, 0, rs1, 0)),  // c.jalr
+                (true, rd, rs2) => Some(r_type(0x33, rd, 0, rd, rs2, 0)), // c.add
+            }
+        }
+        (2, 6) => {
+            // c.swsp
+            let uimm = (bits(w, 12, 9) << 2) | (bits(w, 8, 7) << 6);
+            Some(s_type(0x23, 2, 2, rs2_full, uimm as i32))
+        }
+        _ => None,
+    }
+}
+
+/// CJ-format offset (c.j / c.jal).
+fn cj_offset(w: u32) -> i32 {
+    let imm = (bits(w, 12, 12) << 11)
+        | (bits(w, 11, 11) << 4)
+        | (bits(w, 10, 9) << 8)
+        | (bits(w, 8, 8) << 10)
+        | (bits(w, 7, 7) << 6)
+        | (bits(w, 6, 6) << 7)
+        | (bits(w, 5, 3) << 1)
+        | (bits(w, 2, 2) << 5);
+    sext(imm, 12)
+}
+
+/// CB-format offset (c.beqz / c.bnez).
+fn cb_offset(w: u32) -> i32 {
+    let imm = (bits(w, 12, 12) << 8)
+        | (bits(w, 11, 10) << 3)
+        | (bits(w, 6, 5) << 6)
+        | (bits(w, 4, 3) << 1)
+        | (bits(w, 2, 2) << 5);
+    sext(imm, 9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_addi() {
+        // addi x5, x6, -1  => imm=0xfff rs1=6 funct3=0 rd=5 opcode=0x13
+        let word = encode::i_type(0x13, 5, 0, 6, -1);
+        assert_eq!(
+            decode(word),
+            Some(Instr::OpImm {
+                op: AluOp::Add,
+                rd: 5,
+                rs1: 6,
+                imm: -1
+            })
+        );
+    }
+
+    #[test]
+    fn decode_lui_auipc() {
+        assert_eq!(
+            decode(encode::u_type(0x37, 3, 0xdead_b000)),
+            Some(Instr::Lui {
+                rd: 3,
+                imm: 0xdead_b000
+            })
+        );
+        assert_eq!(
+            decode(encode::u_type(0x17, 4, 0x1000)),
+            Some(Instr::Auipc { rd: 4, imm: 0x1000 })
+        );
+    }
+
+    #[test]
+    fn decode_branch_offsets() {
+        for &off in &[-4096, -2, 0, 2, 4094] {
+            let word = encode::b_type(0x63, 1, 1, 2, off);
+            match decode(word) {
+                Some(Instr::Branch {
+                    op: BranchOp::Ne,
+                    rs1: 1,
+                    rs2: 2,
+                    offset,
+                }) => assert_eq!(offset, off, "branch offset {off}"),
+                other => panic!("bad decode {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn decode_jal_offsets() {
+        for &off in &[-1_048_576, -2, 0, 2, 1_048_574] {
+            let word = encode::j_type(0x6f, 1, off);
+            match decode(word) {
+                Some(Instr::Jal { rd: 1, offset }) => assert_eq!(offset, off),
+                other => panic!("bad decode {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn decode_store_offsets() {
+        for &off in &[-2048, -1, 0, 1, 2047] {
+            let word = encode::s_type(0x23, 2, 3, 4, off);
+            match decode(word) {
+                Some(Instr::Store {
+                    op: StoreOp::Sw,
+                    rs1: 3,
+                    rs2: 4,
+                    offset,
+                }) => assert_eq!(offset, off),
+                other => panic!("bad decode {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn decode_muldiv() {
+        let word = encode::r_type(0x33, 1, 4, 2, 3, 1);
+        assert_eq!(
+            decode(word),
+            Some(Instr::MulDiv {
+                op: MulDivOp::Div,
+                rd: 1,
+                rs1: 2,
+                rs2: 3
+            })
+        );
+    }
+
+    #[test]
+    fn decode_shift_immediates() {
+        let srai = encode::i_type(0x13, 1, 5, 2, 7 | 0x400);
+        assert_eq!(
+            decode(srai),
+            Some(Instr::OpImm {
+                op: AluOp::Sra,
+                rd: 1,
+                rs1: 2,
+                imm: 7
+            })
+        );
+    }
+
+    #[test]
+    fn decode_system() {
+        assert_eq!(decode(0x0000_0073), Some(Instr::Ecall));
+        assert_eq!(decode(0x0010_0073), Some(Instr::Ebreak));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(decode(0xffff_ffff), None);
+        assert_eq!(decode(0x0000_0000), None);
+    }
+
+    #[test]
+    fn expand_c_addi() {
+        // c.addi x8, -1 => 0x1 | (0<<13).. build: funct3=000 op=01,
+        // rd=8, imm=-1 (imm[5]=1 bits 6:2 = 0b11111)
+        let parcel: u16 = 0b000_1_01000_11111_01;
+        let word = expand_compressed(parcel).expect("legal");
+        assert_eq!(
+            decode(word),
+            Some(Instr::OpImm {
+                op: AluOp::Add,
+                rd: 8,
+                rs1: 8,
+                imm: -1
+            })
+        );
+    }
+
+    #[test]
+    fn expand_c_li_c_mv_c_add() {
+        // c.li x10, 17: funct3=010 op=01 rd=10 imm=17 (imm[5]=0,
+        // imm[4:0]=17)
+        let parcel: u16 = 0b010_0_01010_10001_01;
+        let word = expand_compressed(parcel).unwrap();
+        assert_eq!(
+            decode(word),
+            Some(Instr::OpImm {
+                op: AluOp::Add,
+                rd: 10,
+                rs1: 0,
+                imm: 17
+            })
+        );
+        // c.mv x3, x4: quadrant 2 funct3=100, bit12=0, rd=3, rs2=4.
+        let parcel: u16 = 0b100_0_00011_00100_10;
+        assert_eq!(
+            decode(expand_compressed(parcel).unwrap()),
+            Some(Instr::Op {
+                op: AluOp::Add,
+                rd: 3,
+                rs1: 0,
+                rs2: 4
+            })
+        );
+        // c.add x3, x4: bit12=1.
+        let parcel: u16 = 0b100_1_00011_00100_10;
+        assert_eq!(
+            decode(expand_compressed(parcel).unwrap()),
+            Some(Instr::Op {
+                op: AluOp::Add,
+                rd: 3,
+                rs1: 3,
+                rs2: 4
+            })
+        );
+    }
+
+    #[test]
+    fn expand_c_lw_c_sw() {
+        // c.lw x9, 4(x10): rd'=9 -> bits 4:2 = 001; rs1'=10 -> bits 9:7
+        // = 010; uimm=4 -> imm[2]=1 (bit 6), imm[6]=0 (bit 5), imm[5:3]=0.
+        let parcel: u16 = 0b010_000_010_1_0_001_00;
+        assert_eq!(
+            decode(expand_compressed(parcel).unwrap()),
+            Some(Instr::Load {
+                op: LoadOp::Lw,
+                rd: 9,
+                rs1: 10,
+                offset: 4
+            })
+        );
+        let parcel: u16 = 0b110_000_010_1_0_001_00;
+        assert_eq!(
+            decode(expand_compressed(parcel).unwrap()),
+            Some(Instr::Store {
+                op: StoreOp::Sw,
+                rs1: 10,
+                rs2: 9,
+                offset: 4
+            })
+        );
+    }
+
+    #[test]
+    fn expand_c_j_roundtrip() {
+        // c.j with offset 2: parcel bit 3 carries offset[1].
+        let parcel: u16 = (0b101 << 13) | (1 << 3) | 0b01;
+        let word = expand_compressed(parcel).unwrap();
+        match decode(word) {
+            Some(Instr::Jal { rd: 0, offset }) => assert_eq!(offset, 2),
+            other => panic!("bad expansion {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expand_c_ebreak() {
+        let parcel: u16 = 0b100_1_00000_00000_10;
+        assert_eq!(decode(expand_compressed(parcel).unwrap()), Some(Instr::Ebreak));
+    }
+
+    #[test]
+    fn expand_rejects_defined_illegal() {
+        assert_eq!(expand_compressed(0), None);
+        // c.addi4spn with zero immediate is reserved (nonzero rd').
+        assert_eq!(expand_compressed(0b000_00000000_001_00), None);
+    }
+
+    #[test]
+    fn expand_c_lwsp_swsp() {
+        // c.lwsp x7, 8(sp): funct3=010 op=10 rd=7 uimm=8 -> imm[4:2]
+        // bits 6:4 = 010.
+        let parcel: u16 = 0b010_0_00111_01000_10;
+        assert_eq!(
+            decode(expand_compressed(parcel).unwrap()),
+            Some(Instr::Load {
+                op: LoadOp::Lw,
+                rd: 7,
+                rs1: 2,
+                offset: 8
+            })
+        );
+        // c.swsp x7, 8(sp): funct3=110 op=10, uimm[5:2] at bits 12:9,
+        // uimm[7:6] at bits 8:7.
+        let parcel: u16 = 0b110_0010_00_00111_10;
+        assert_eq!(
+            decode(expand_compressed(parcel).unwrap()),
+            Some(Instr::Store {
+                op: StoreOp::Sw,
+                rs1: 2,
+                rs2: 7,
+                offset: 8
+            })
+        );
+    }
+}

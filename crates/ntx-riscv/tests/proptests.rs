@@ -1,0 +1,161 @@
+//! Property-based tests of the RV32IM core: random operands through
+//! assembled programs, checked against Rust's integer semantics.
+
+use ntx_riscv::{reg, Assembler, Cpu, Ram, Trap};
+use proptest::prelude::*;
+
+/// Assembles `build`, runs it, returns the CPU after `ebreak`.
+fn run(build: impl FnOnce(&mut Assembler)) -> Cpu {
+    let mut asm = Assembler::new(0);
+    build(&mut asm);
+    asm.ebreak();
+    let mut ram = Ram::new(1 << 16);
+    ram.load_words(0, &asm.assemble().expect("assembles"));
+    let mut cpu = Cpu::new(0);
+    let trap = cpu.run(&mut ram, 1_000_000);
+    assert_eq!(trap, Some(Trap::Ebreak));
+    cpu
+}
+
+proptest! {
+    /// li materialises any 32-bit constant exactly.
+    #[test]
+    fn li_materialises_any_constant(v in any::<i32>()) {
+        let cpu = run(|a| {
+            a.li(reg::A0, v);
+        });
+        prop_assert_eq!(cpu.reg(reg::A0), v as u32);
+    }
+
+    /// ALU register-register semantics match Rust's wrapping integer
+    /// operations.
+    #[test]
+    fn alu_matches_rust_semantics(x in any::<u32>(), y in any::<u32>()) {
+        let cpu = run(|a| {
+            a.li(reg::S0, x as i32);
+            a.li(reg::S1, y as i32);
+            a.add(reg::A0, reg::S0, reg::S1);
+            a.sub(reg::A1, reg::S0, reg::S1);
+            a.xor(reg::A2, reg::S0, reg::S1);
+            a.or(reg::A3, reg::S0, reg::S1);
+            a.and(reg::A4, reg::S0, reg::S1);
+            a.sltu(reg::A5, reg::S0, reg::S1);
+            a.slt(reg::A6, reg::S0, reg::S1);
+            a.sll(reg::A7, reg::S0, reg::S1);
+            a.srl(reg::T3, reg::S0, reg::S1);
+            a.sra(reg::T4, reg::S0, reg::S1);
+        });
+        prop_assert_eq!(cpu.reg(reg::A0), x.wrapping_add(y));
+        prop_assert_eq!(cpu.reg(reg::A1), x.wrapping_sub(y));
+        prop_assert_eq!(cpu.reg(reg::A2), x ^ y);
+        prop_assert_eq!(cpu.reg(reg::A3), x | y);
+        prop_assert_eq!(cpu.reg(reg::A4), x & y);
+        prop_assert_eq!(cpu.reg(reg::A5), u32::from(x < y));
+        prop_assert_eq!(cpu.reg(reg::A6), u32::from((x as i32) < (y as i32)));
+        prop_assert_eq!(cpu.reg(reg::A7), x.wrapping_shl(y & 31));
+        prop_assert_eq!(cpu.reg(reg::T3), x.wrapping_shr(y & 31));
+        prop_assert_eq!(cpu.reg(reg::T4), ((x as i32).wrapping_shr(y & 31)) as u32);
+    }
+
+    /// M-extension semantics incl. the division corner cases of the
+    /// RISC-V spec.
+    #[test]
+    fn muldiv_matches_spec(x in any::<u32>(), y in any::<u32>()) {
+        let cpu = run(|a| {
+            a.li(reg::S0, x as i32);
+            a.li(reg::S1, y as i32);
+            a.mul(reg::A0, reg::S0, reg::S1);
+            a.mulhu(reg::A1, reg::S0, reg::S1);
+            a.mulh(reg::A2, reg::S0, reg::S1);
+            a.div(reg::A3, reg::S0, reg::S1);
+            a.divu(reg::A4, reg::S0, reg::S1);
+            a.rem(reg::A5, reg::S0, reg::S1);
+            a.remu(reg::A6, reg::S0, reg::S1);
+        });
+        prop_assert_eq!(cpu.reg(reg::A0), x.wrapping_mul(y));
+        prop_assert_eq!(
+            cpu.reg(reg::A1),
+            ((u64::from(x) * u64::from(y)) >> 32) as u32
+        );
+        prop_assert_eq!(
+            cpu.reg(reg::A2),
+            ((i64::from(x as i32) * i64::from(y as i32)) >> 32) as u32
+        );
+        let (xs, ys) = (x as i32, y as i32);
+        let expected_div = if y == 0 {
+            u32::MAX
+        } else if xs == i32::MIN && ys == -1 {
+            x
+        } else {
+            xs.wrapping_div(ys) as u32
+        };
+        prop_assert_eq!(cpu.reg(reg::A3), expected_div);
+        prop_assert_eq!(cpu.reg(reg::A4), if y == 0 { u32::MAX } else { x / y });
+        let expected_rem = if y == 0 {
+            x
+        } else if xs == i32::MIN && ys == -1 {
+            0
+        } else {
+            xs.wrapping_rem(ys) as u32
+        };
+        prop_assert_eq!(cpu.reg(reg::A5), expected_rem);
+        prop_assert_eq!(cpu.reg(reg::A6), if y == 0 { x } else { x % y });
+    }
+
+    /// Memory roundtrip through lw/sw, lh/lhu, lb/lbu with sign
+    /// extension.
+    #[test]
+    fn load_store_roundtrip(v in any::<u32>(), offset in (0u32..1000).prop_map(|o| o * 4)) {
+        let base = 0x4000i32;
+        let cpu = run(|a| {
+            a.li(reg::S0, base + offset as i32);
+            a.li(reg::T1, v as i32);
+            a.sw(reg::T1, reg::S0, 0);
+            a.lw(reg::A0, reg::S0, 0);
+            a.lh(reg::A1, reg::S0, 0);
+            a.lhu(reg::A2, reg::S0, 0);
+            a.lb(reg::A3, reg::S0, 0);
+            a.lbu(reg::A4, reg::S0, 0);
+        });
+        prop_assert_eq!(cpu.reg(reg::A0), v);
+        prop_assert_eq!(cpu.reg(reg::A1), (v as u16) as i16 as i32 as u32);
+        prop_assert_eq!(cpu.reg(reg::A2), u32::from(v as u16));
+        prop_assert_eq!(cpu.reg(reg::A3), (v as u8) as i8 as i32 as u32);
+        prop_assert_eq!(cpu.reg(reg::A4), u32::from(v as u8));
+    }
+
+    /// A counted loop executes exactly n iterations (branch + jump
+    /// correctness for arbitrary trip counts).
+    #[test]
+    fn counted_loop_trip_count(n in 0u32..500) {
+        let cpu = run(|a| {
+            let head = a.new_label();
+            let done = a.new_label();
+            a.li(reg::T0, n as i32);
+            a.li(reg::A0, 0);
+            a.bind(head);
+            a.beqz(reg::T0, done);
+            a.addi(reg::A0, reg::A0, 1);
+            a.addi(reg::T0, reg::T0, -1);
+            a.jump(head);
+            a.bind(done);
+        });
+        prop_assert_eq!(cpu.reg(reg::A0), n);
+    }
+
+    /// Compressed expansion: every legal 16-bit parcel expands to a
+    /// decodable 32-bit instruction.
+    #[test]
+    fn compressed_expansion_is_decodable(parcel in any::<u16>()) {
+        if parcel & 3 == 3 {
+            // Not a compressed encoding.
+            return Ok(());
+        }
+        if let Some(word) = ntx_riscv::expand_compressed(parcel) {
+            prop_assert!(
+                ntx_riscv::decode(word).is_some(),
+                "expansion {word:#010x} of parcel {parcel:#06x} must decode"
+            );
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! The cluster's memory map as seen by the RISC-V control core.
+//!
+//! §II-E: the NTX configuration registers are mapped into the core's
+//! address space, with all co-processors additionally aliased at a
+//! broadcast address for efficient common-value configuration. The DMA
+//! is programmed through a small descriptor register block, and the L2
+//! region models the 1.25 MB memory outside the cluster that holds the
+//! RISC-V binary (§II-A).
+
+/// Address-map constants.
+pub mod map {
+    /// Base of the TCDM region.
+    pub const TCDM_BASE: u32 = 0x0000_0000;
+    /// Base of the NTX register windows; co-processor `i` lives at
+    /// `NTX_BASE + i * NTX_REGFILE_BYTES`.
+    pub const NTX_BASE: u32 = 0x1000_0000;
+    /// Broadcast alias: a write here reaches every NTX (§II-E).
+    pub const NTX_BROADCAST: u32 = 0x10ff_0000;
+    /// Base of the DMA descriptor registers.
+    pub const DMA_BASE: u32 = 0x2000_0000;
+    /// DMA: external address, low word.
+    pub const DMA_EXT_LO: u32 = 0x00;
+    /// DMA: external address, high word.
+    pub const DMA_EXT_HI: u32 = 0x04;
+    /// DMA: TCDM address.
+    pub const DMA_TCDM: u32 = 0x08;
+    /// DMA: bytes per row.
+    pub const DMA_ROW_BYTES: u32 = 0x0c;
+    /// DMA: number of rows.
+    pub const DMA_ROWS: u32 = 0x10;
+    /// DMA: external stride between rows.
+    pub const DMA_EXT_STRIDE: u32 = 0x14;
+    /// DMA: TCDM stride between rows.
+    pub const DMA_TCDM_STRIDE: u32 = 0x18;
+    /// DMA: writing starts the transfer; bit 0 selects the direction
+    /// (0 = external→TCDM, 1 = TCDM→external).
+    pub const DMA_START: u32 = 0x1c;
+    /// DMA: status register (number of descriptors in flight).
+    pub const DMA_STATUS: u32 = 0x20;
+    /// Size of the DMA register block.
+    pub const DMA_SIZE: u32 = 0x24;
+    /// Base of the L2 program/shared memory (1.25 MB in the paper).
+    pub const L2_BASE: u32 = 0x8000_0000;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::map;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        assert!(map::TCDM_BASE < map::NTX_BASE);
+        assert!(map::NTX_BASE < map::NTX_BROADCAST);
+        assert!(map::NTX_BROADCAST < map::DMA_BASE);
+        assert!(map::DMA_BASE + map::DMA_SIZE < map::L2_BASE);
+    }
+}

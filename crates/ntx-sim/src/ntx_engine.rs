@@ -1,0 +1,582 @@
+//! The execution engine of one NTX co-processor (Fig. 2).
+//!
+//! Couples the ISA-level descriptors (loops, AGUs, commands) to the FPU
+//! datapath and walks the offloaded loop nest at one innermost iteration
+//! per cycle. The engine interacts with the cluster through a
+//! two-phase-per-cycle protocol:
+//!
+//! 1. [`NtxEngine::desired_accesses`] lists the TCDM accesses of the
+//!    current iteration (operand reads, accumulator-init read, store
+//!    write);
+//! 2. the cluster arbitrates all masters and calls
+//!    [`NtxEngine::commit`] with the grant flags — all granted executes
+//!    the iteration, any denial is a banking-conflict stall.
+//!
+//! Command offloading uses the double-buffered register interface of
+//! §II-E: one command executes while the next is staged; a command
+//! write while the buffer is full reports
+//! [`EngineStatus::Backpressure`], which stalls the writing core.
+
+use ntx_fpu::FpuDatapath;
+use ntx_isa::{
+    AccuInit, Agu, Command, ConfigError, LoopCounters, NtxConfig, RegFile, RegOffset, StoreSource,
+    WriteEffect,
+};
+use ntx_mem::Tcdm;
+
+/// Outcome of a register write as seen by the offloading core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineStatus {
+    /// The write was accepted.
+    Accepted,
+    /// The command buffer is full; the core must retry (bus stall).
+    Backpressure,
+}
+
+#[derive(Debug, Clone)]
+struct Execution {
+    config: NtxConfig,
+    counters: LoopCounters,
+    agus: [Agu; 3],
+    /// Operand latches (the depth-2 FIFOs of Fig. 2): a granted read is
+    /// kept across stall cycles so only missing operands are re-
+    /// requested — this is what lets two same-bank streams make
+    /// progress at half rate instead of deadlocking.
+    latch_x: Option<f32>,
+    latch_y: Option<f32>,
+    latch_init: Option<f32>,
+}
+
+impl Execution {
+    fn new(config: NtxConfig) -> Self {
+        Self {
+            config,
+            counters: LoopCounters::new(config.loops),
+            agus: [
+                Agu::new(config.agus[0]),
+                Agu::new(config.agus[1]),
+                Agu::new(config.agus[2]),
+            ],
+            latch_x: None,
+            latch_y: None,
+            latch_init: None,
+        }
+    }
+
+    fn needs_x(&self) -> bool {
+        self.config.command.reads_per_element() >= 1 && self.latch_x.is_none()
+    }
+
+    fn needs_y(&self) -> bool {
+        self.config.command.reads_per_element() >= 2 && self.latch_y.is_none()
+    }
+
+    fn needs_init(&self) -> bool {
+        self.config.command.is_reduction()
+            && self.config.accu_init == AccuInit::Memory
+            && self.counters.at_init()
+            && self.latch_init.is_none()
+    }
+
+    fn needs_store(&self) -> bool {
+        self.counters.at_store()
+    }
+}
+
+/// One NTX co-processor: register interface, controller, loop/AGU state
+/// and FPU.
+#[derive(Debug, Clone)]
+pub struct NtxEngine {
+    regfile: RegFile,
+    current: Option<Execution>,
+    staged: Option<NtxConfig>,
+    fpu: FpuDatapath,
+    // Counters.
+    flops: u64,
+    active_cycles: u64,
+    stall_cycles: u64,
+    commands_completed: u64,
+}
+
+impl Default for NtxEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NtxEngine {
+    /// Creates an idle engine.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            regfile: RegFile::new(),
+            current: None,
+            staged: None,
+            fpu: FpuDatapath::new(),
+            flops: 0,
+            active_cycles: 0,
+            stall_cycles: 0,
+            commands_completed: 0,
+        }
+    }
+
+    /// True while a command is executing or staged.
+    #[must_use]
+    pub fn is_busy(&self) -> bool {
+        self.current.is_some() || self.staged.is_some()
+    }
+
+    /// Writes a configuration register (the §II-E offload path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] for bad offsets or an invalid committed
+    /// configuration.
+    pub fn write_reg(&mut self, offset: u32, value: u32) -> Result<EngineStatus, ConfigError> {
+        if offset == RegOffset::COMMAND && self.staged.is_some() && self.current.is_some() {
+            return Ok(EngineStatus::Backpressure);
+        }
+        match self.regfile.write(offset, value)? {
+            WriteEffect::Staged => Ok(EngineStatus::Accepted),
+            WriteEffect::Commit(cfg) => {
+                self.accept_command(*cfg);
+                Ok(EngineStatus::Accepted)
+            }
+        }
+    }
+
+    /// Reads a configuration register; the status register reflects the
+    /// live busy state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError::RegisterOffsetOutOfRange`].
+    pub fn read_reg(&self, offset: u32) -> Result<u32, ConfigError> {
+        self.regfile.read(offset, self.is_busy())
+    }
+
+    /// Offloads a full configuration through the driver path (bypasses
+    /// the register write sequence; the cluster accounts the cycles).
+    /// Returns `Backpressure` if both command slots are occupied.
+    pub fn offload(&mut self, config: &NtxConfig) -> EngineStatus {
+        if self.staged.is_some() && self.current.is_some() {
+            return EngineStatus::Backpressure;
+        }
+        self.regfile.load_config(config);
+        self.accept_command(*config);
+        EngineStatus::Accepted
+    }
+
+    fn accept_command(&mut self, config: NtxConfig) {
+        if self.current.is_none() {
+            self.fpu.set_register(config.register);
+            self.current = Some(Execution::new(config));
+        } else {
+            debug_assert!(self.staged.is_none(), "caller checked backpressure");
+            self.staged = Some(config);
+        }
+    }
+
+    /// TCDM accesses needed by the current iteration this cycle:
+    /// `(address, is_write)` pairs, in the fixed order *init read, x
+    /// read, y read, store write*. Already-latched operands are not
+    /// re-requested. Empty when idle.
+    #[must_use]
+    pub fn desired_accesses(&self) -> Vec<(u32, bool)> {
+        let Some(exec) = &self.current else {
+            return Vec::new();
+        };
+        let mut v = Vec::with_capacity(4);
+        if exec.needs_init() {
+            v.push((exec.agus[2].address(), false));
+        }
+        if exec.needs_x() {
+            v.push((exec.agus[0].address(), false));
+        }
+        if exec.needs_y() {
+            v.push((exec.agus[1].address(), false));
+        }
+        if exec.needs_store() {
+            v.push((exec.agus[2].address(), true));
+        }
+        v
+    }
+
+    /// Consumes this cycle's grants: granted reads are latched; when all
+    /// operands are present and the store grant (if needed) arrived, the
+    /// iteration executes. Anything missing is a conflict-stall cycle
+    /// and the missing accesses are retried next cycle.
+    /// `granted` must parallel [`Self::desired_accesses`].
+    pub fn commit(&mut self, granted: &[bool], tcdm: &mut Tcdm) {
+        let Some(exec) = &mut self.current else {
+            return;
+        };
+        let mut gi = 0;
+        let mut take = |flag: bool| {
+            if flag {
+                let g = granted.get(gi).copied().unwrap_or(false);
+                gi += 1;
+                g
+            } else {
+                false
+            }
+        };
+        // Latch granted reads (same order as desired_accesses).
+        let needs_init = exec.needs_init();
+        if take(needs_init) {
+            exec.latch_init = Some(tcdm.read_f32(exec.agus[2].address()));
+        }
+        let needs_x = exec.needs_x();
+        if take(needs_x) {
+            exec.latch_x = Some(tcdm.read_f32(exec.agus[0].address()));
+        }
+        let needs_y = exec.needs_y();
+        if take(needs_y) {
+            exec.latch_y = Some(tcdm.read_f32(exec.agus[1].address()));
+        }
+        let store_needed = exec.needs_store();
+        let store_granted = take(store_needed);
+        // Ready when nothing is missing any more.
+        let cmd = exec.config.command;
+        let reads = cmd.reads_per_element();
+        let init_pending = cmd.is_reduction()
+            && exec.config.accu_init == AccuInit::Memory
+            && exec.counters.at_init()
+            && exec.latch_init.is_none();
+        let reads_ready = !init_pending
+            && (reads < 1 || exec.latch_x.is_some())
+            && (reads < 2 || exec.latch_y.is_some());
+        if !reads_ready || (store_needed && !store_granted) {
+            self.stall_cycles += 1;
+            return;
+        }
+        // Accumulator (re-)initialisation at the init level.
+        if cmd.is_reduction() && exec.counters.at_init() {
+            let init = match exec.config.accu_init {
+                AccuInit::Zero => None,
+                AccuInit::Memory => exec.latch_init,
+            };
+            self.fpu.init_accumulator(init);
+        }
+        let x = exec.latch_x.take().unwrap_or(0.0);
+        let y = if reads >= 2 {
+            exec.latch_y.take().expect("checked by reads_ready")
+        } else {
+            self.fpu.register()
+        };
+        exec.latch_init = None;
+        // Execute.
+        let index = exec.counters.index_counter();
+        let out = self.fpu.execute(cmd.fpu_op(), x, y, index);
+        self.flops += cmd.flops_per_element();
+        self.active_cycles += 1;
+        // Write-back.
+        if exec.counters.at_store() {
+            let addr = exec.agus[2].address();
+            match cmd.store_source() {
+                StoreSource::Element => {
+                    tcdm.write_f32(addr, out.unwrap_or(0.0));
+                }
+                StoreSource::Accumulator => {
+                    tcdm.write_f32(addr, self.fpu.store_accumulator());
+                }
+                StoreSource::CompareValue => {
+                    let v = match cmd {
+                        Command::Min => self.fpu.store_min(),
+                        _ => self.fpu.store_max(),
+                    };
+                    tcdm.write_f32(addr, v);
+                }
+                StoreSource::CompareIndex => {
+                    let idx = match cmd {
+                        Command::ArgMin => self.fpu.argmin(),
+                        _ => self.fpu.argmax(),
+                    };
+                    tcdm.write_u32(addr, idx.unwrap_or(u32::MAX));
+                }
+            }
+        }
+        // Advance the cascade and the AGUs.
+        match exec.counters.advance() {
+            Some(level) => {
+                for agu in &mut exec.agus {
+                    agu.advance(level);
+                }
+            }
+            None => {
+                self.current = None;
+                self.commands_completed += 1;
+                if let Some(next) = self.staged.take() {
+                    self.fpu.set_register(next.register);
+                    self.current = Some(Execution::new(next));
+                }
+            }
+        }
+    }
+
+    /// Flops retired by this engine.
+    #[must_use]
+    pub fn flops(&self) -> u64 {
+        self.flops
+    }
+
+    /// Cycles in which an iteration executed.
+    #[must_use]
+    pub fn active_cycles(&self) -> u64 {
+        self.active_cycles
+    }
+
+    /// Cycles lost to banking-conflict stalls.
+    #[must_use]
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+
+    /// Commands retired.
+    #[must_use]
+    pub fn commands_completed(&self) -> u64 {
+        self.commands_completed
+    }
+
+    /// Read access to the FPU (precision experiments).
+    #[must_use]
+    pub fn fpu(&self) -> &FpuDatapath {
+        &self.fpu
+    }
+
+    /// Resets the performance counters (not the execution state).
+    pub fn reset_counters(&mut self) {
+        self.flops = 0;
+        self.active_cycles = 0;
+        self.stall_cycles = 0;
+        self.commands_completed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntx_isa::{AguConfig, LoopNest, OperandSelect};
+
+    fn mac() -> Command {
+        Command::Mac {
+            operand: OperandSelect::Memory,
+        }
+    }
+
+    fn run_engine(engine: &mut NtxEngine, tcdm: &mut Tcdm, max_cycles: u64) -> u64 {
+        let mut cycles = 0;
+        while engine.is_busy() {
+            let n = engine.desired_accesses().len();
+            engine.commit(&vec![true; n], tcdm);
+            cycles += 1;
+            assert!(cycles <= max_cycles, "engine did not finish");
+        }
+        cycles
+    }
+
+    #[test]
+    fn dot_product() {
+        let mut tcdm = Tcdm::default();
+        for i in 0..8u32 {
+            tcdm.write_f32(4 * i, (i + 1) as f32);
+            tcdm.write_f32(0x100 + 4 * i, 1.0);
+        }
+        let cfg = NtxConfig::builder()
+            .command(mac())
+            .loops(LoopNest::vector(8))
+            .agu(0, AguConfig::stream(0, 4))
+            .agu(1, AguConfig::stream(0x100, 4))
+            .agu(2, AguConfig::fixed(0x200))
+            .build()
+            .unwrap();
+        let mut engine = NtxEngine::new();
+        assert_eq!(engine.offload(&cfg), EngineStatus::Accepted);
+        let cycles = run_engine(&mut engine, &mut tcdm, 100);
+        assert_eq!(cycles, 8); // one iteration per cycle
+        assert_eq!(tcdm.read_f32(0x200), 36.0);
+        assert_eq!(engine.flops(), 16);
+        assert_eq!(engine.commands_completed(), 1);
+    }
+
+    #[test]
+    fn axpy_with_register_operand() {
+        // y = a*x + y via MacReg with memory accumulator init.
+        let mut tcdm = Tcdm::default();
+        for i in 0..4u32 {
+            tcdm.write_f32(4 * i, (i + 1) as f32); // x
+            tcdm.write_f32(0x100 + 4 * i, 10.0); // y
+        }
+        let cfg = NtxConfig::builder()
+            .command(Command::Mac {
+                operand: OperandSelect::Register,
+            })
+            .register(2.0)
+            .loops(LoopNest::nested(&[1, 4]).with_levels(1, 1))
+            .agu(0, AguConfig::stream(0, 4))
+            .agu(2, AguConfig::new(0x100, [0, 4, 0, 0, 0]))
+            .accu_init(ntx_isa::AccuInit::Memory)
+            .build()
+            .unwrap();
+        let mut engine = NtxEngine::new();
+        engine.offload(&cfg);
+        run_engine(&mut engine, &mut tcdm, 100);
+        for i in 0..4u32 {
+            assert_eq!(
+                tcdm.read_f32(0x100 + 4 * i),
+                10.0 + 2.0 * (i + 1) as f32,
+                "element {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn elementwise_relu() {
+        let mut tcdm = Tcdm::default();
+        let input = [-1.0f32, 2.0, -3.0, 4.0];
+        for (i, &v) in input.iter().enumerate() {
+            tcdm.write_f32(4 * i as u32, v);
+        }
+        let cfg = NtxConfig::builder()
+            .command(Command::Relu)
+            .loops(LoopNest::elementwise(4))
+            .agu(0, AguConfig::stream(0, 4))
+            .agu(2, AguConfig::stream(0x100, 4))
+            .build()
+            .unwrap();
+        let mut engine = NtxEngine::new();
+        engine.offload(&cfg);
+        run_engine(&mut engine, &mut tcdm, 100);
+        let got: Vec<f32> = (0..4).map(|i| tcdm.read_f32(0x100 + 4 * i)).collect();
+        assert_eq!(got, vec![0.0, 2.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn argmax_writes_index_bits() {
+        let mut tcdm = Tcdm::default();
+        for (i, &v) in [0.5f32, 9.0, 3.0].iter().enumerate() {
+            tcdm.write_f32(4 * i as u32, v);
+        }
+        let cfg = NtxConfig::builder()
+            .command(Command::ArgMax)
+            .loops(LoopNest::vector(3))
+            .agu(0, AguConfig::stream(0, 4))
+            .agu(2, AguConfig::fixed(0x80))
+            .build()
+            .unwrap();
+        let mut engine = NtxEngine::new();
+        engine.offload(&cfg);
+        run_engine(&mut engine, &mut tcdm, 100);
+        assert_eq!(tcdm.read_u32(0x80), 1);
+    }
+
+    #[test]
+    fn memset_via_set() {
+        let mut tcdm = Tcdm::default();
+        let cfg = NtxConfig::builder()
+            .command(Command::Set)
+            .register(7.5)
+            .loops(LoopNest::elementwise(5))
+            .agu(2, AguConfig::stream(0x40, 4))
+            .build()
+            .unwrap();
+        let mut engine = NtxEngine::new();
+        engine.offload(&cfg);
+        run_engine(&mut engine, &mut tcdm, 100);
+        for i in 0..5 {
+            assert_eq!(tcdm.read_f32(0x40 + 4 * i), 7.5);
+        }
+        assert_eq!(engine.flops(), 0);
+    }
+
+    #[test]
+    fn stall_on_denied_grant() {
+        let mut tcdm = Tcdm::default();
+        let cfg = NtxConfig::builder()
+            .command(mac())
+            .loops(LoopNest::vector(2))
+            .agu(0, AguConfig::stream(0, 4))
+            .agu(1, AguConfig::stream(0x100, 4))
+            .agu(2, AguConfig::fixed(0x200))
+            .build()
+            .unwrap();
+        let mut engine = NtxEngine::new();
+        engine.offload(&cfg);
+        // Deny the first cycle entirely.
+        let n = engine.desired_accesses().len();
+        engine.commit(&vec![false; n], &mut tcdm);
+        assert_eq!(engine.stall_cycles(), 1);
+        assert_eq!(engine.active_cycles(), 0);
+        // Partial grants also stall (all-or-nothing iteration issue).
+        let mut grants = vec![true; n];
+        grants[0] = false;
+        engine.commit(&grants, &mut tcdm);
+        assert_eq!(engine.stall_cycles(), 2);
+        run_engine(&mut engine, &mut tcdm, 100);
+        assert_eq!(engine.active_cycles(), 2);
+    }
+
+    #[test]
+    fn double_buffering_accepts_one_staged_command() {
+        let mut tcdm = Tcdm::default();
+        let cfg = NtxConfig::builder()
+            .command(mac())
+            .loops(LoopNest::vector(4))
+            .agu(0, AguConfig::stream(0, 4))
+            .agu(1, AguConfig::stream(0x100, 4))
+            .agu(2, AguConfig::fixed(0x200))
+            .build()
+            .unwrap();
+        let mut engine = NtxEngine::new();
+        assert_eq!(engine.offload(&cfg), EngineStatus::Accepted);
+        assert_eq!(engine.offload(&cfg), EngineStatus::Accepted); // staged
+        assert_eq!(engine.offload(&cfg), EngineStatus::Backpressure);
+        // Drain both commands.
+        let mut cycles = 0;
+        while engine.is_busy() {
+            let n = engine.desired_accesses().len();
+            engine.commit(&vec![true; n], &mut tcdm);
+            cycles += 1;
+            assert!(cycles < 100);
+        }
+        assert_eq!(engine.commands_completed(), 2);
+    }
+
+    #[test]
+    fn register_interface_offload_matches_driver() {
+        // Program the engine through raw register writes like the core.
+        let mut tcdm = Tcdm::default();
+        for i in 0..4u32 {
+            tcdm.write_f32(4 * i, 2.0);
+            tcdm.write_f32(0x100 + 4 * i, 3.0);
+        }
+        let cfg = NtxConfig::builder()
+            .command(mac())
+            .loops(LoopNest::vector(4))
+            .agu(0, AguConfig::stream(0, 4))
+            .agu(1, AguConfig::stream(0x100, 4))
+            .agu(2, AguConfig::fixed(0x200))
+            .build()
+            .unwrap();
+        let mut image = RegFile::new();
+        image.load_config(&cfg);
+        let mut engine = NtxEngine::new();
+        for off in (0..ntx_isa::NTX_REGFILE_BYTES).step_by(4) {
+            if off == RegOffset::COMMAND || off == RegOffset::STATUS {
+                continue;
+            }
+            let v = image.read(off, false).unwrap();
+            assert_eq!(
+                engine.write_reg(off, v).unwrap(),
+                EngineStatus::Accepted
+            );
+        }
+        assert_eq!(engine.read_reg(RegOffset::STATUS).unwrap(), 0);
+        engine
+            .write_reg(RegOffset::COMMAND, cfg.command.encode())
+            .unwrap();
+        assert_eq!(engine.read_reg(RegOffset::STATUS).unwrap(), 1);
+        run_engine(&mut engine, &mut tcdm, 100);
+        assert_eq!(tcdm.read_f32(0x200), 24.0);
+    }
+}

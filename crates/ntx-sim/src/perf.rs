@@ -1,0 +1,181 @@
+//! Performance counters of the cluster simulator.
+//!
+//! [`PerfSnapshot`] is the measurement record every evaluation
+//! experiment consumes: cycles, retired flops, TCDM conflict statistics,
+//! DMA traffic, and the derived figures (utilisation, Gflop/s at a given
+//! clock, conflict probability) that appear in §III of the paper.
+
+/// A point-in-time copy of all cluster counters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PerfSnapshot {
+    /// Simulated NTX clock cycles.
+    pub cycles: u64,
+    /// Floating-point operations retired by all NTX engines.
+    pub flops: u64,
+    /// Cycles in which at least one engine executed an iteration.
+    pub ntx_busy_cycles: u64,
+    /// Engine-cycles spent stalled on TCDM conflicts (summed over
+    /// engines).
+    pub ntx_stall_cycles: u64,
+    /// Engine-cycles spent executing iterations (summed over engines).
+    pub ntx_active_cycles: u64,
+    /// Commands completed by all engines.
+    pub commands_completed: u64,
+    /// TCDM requests seen by the interconnect.
+    pub tcdm_requests: u64,
+    /// TCDM requests denied due to a banking conflict.
+    pub tcdm_conflicts: u64,
+    /// Bytes moved by the DMA (both directions).
+    pub dma_bytes: u64,
+    /// Cycles in which the DMA moved at least one word.
+    pub dma_busy_cycles: u64,
+    /// Bytes read from external memory (DRAM traffic in).
+    pub ext_bytes_read: u64,
+    /// Bytes written to external memory (DRAM traffic out).
+    pub ext_bytes_written: u64,
+    /// TCDM read accesses performed (energy model input).
+    pub tcdm_reads: u64,
+    /// TCDM write accesses performed (energy model input).
+    pub tcdm_writes: u64,
+}
+
+impl PerfSnapshot {
+    /// Difference of two snapshots (`self` must be the later one),
+    /// isolating one measurement phase.
+    #[must_use]
+    pub fn since(&self, earlier: &PerfSnapshot) -> PerfSnapshot {
+        PerfSnapshot {
+            cycles: self.cycles - earlier.cycles,
+            flops: self.flops - earlier.flops,
+            ntx_busy_cycles: self.ntx_busy_cycles - earlier.ntx_busy_cycles,
+            ntx_stall_cycles: self.ntx_stall_cycles - earlier.ntx_stall_cycles,
+            ntx_active_cycles: self.ntx_active_cycles - earlier.ntx_active_cycles,
+            commands_completed: self.commands_completed - earlier.commands_completed,
+            tcdm_requests: self.tcdm_requests - earlier.tcdm_requests,
+            tcdm_conflicts: self.tcdm_conflicts - earlier.tcdm_conflicts,
+            dma_bytes: self.dma_bytes - earlier.dma_bytes,
+            dma_busy_cycles: self.dma_busy_cycles - earlier.dma_busy_cycles,
+            ext_bytes_read: self.ext_bytes_read - earlier.ext_bytes_read,
+            ext_bytes_written: self.ext_bytes_written - earlier.ext_bytes_written,
+            tcdm_reads: self.tcdm_reads - earlier.tcdm_reads,
+            tcdm_writes: self.tcdm_writes - earlier.tcdm_writes,
+        }
+    }
+
+    /// Average flops per cycle across the cluster (peak is 16 for the
+    /// 8-engine cluster: 8 × 2 flop FMAC).
+    #[must_use]
+    pub fn flops_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.cycles as f64
+        }
+    }
+
+    /// Achieved compute performance at NTX clock `freq_hz`, in flop/s.
+    #[must_use]
+    pub fn flops_per_second(&self, freq_hz: f64) -> f64 {
+        self.flops_per_cycle() * freq_hz
+    }
+
+    /// Banking-conflict probability seen at the interconnect (the
+    /// §III-C figure; ≈0.13 in the paper's gate-level trace).
+    #[must_use]
+    pub fn conflict_probability(&self) -> f64 {
+        if self.tcdm_requests == 0 {
+            0.0
+        } else {
+            self.tcdm_conflicts as f64 / self.tcdm_requests as f64
+        }
+    }
+
+    /// Fraction of engine-cycles lost to TCDM stalls.
+    #[must_use]
+    pub fn stall_fraction(&self) -> f64 {
+        let total = self.ntx_active_cycles + self.ntx_stall_cycles;
+        if total == 0 {
+            0.0
+        } else {
+            self.ntx_stall_cycles as f64 / total as f64
+        }
+    }
+
+    /// DMA bandwidth achieved over the measured window at clock
+    /// `freq_hz`, bytes/s.
+    #[must_use]
+    pub fn dma_bandwidth(&self, freq_hz: f64) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.dma_bytes as f64 / self.cycles as f64 * freq_hz
+        }
+    }
+
+    /// Operational intensity of the measured phase: flops per external-
+    /// memory byte (the x axis of the Fig. 5 roofline).
+    #[must_use]
+    pub fn operational_intensity(&self) -> f64 {
+        let bytes = self.ext_bytes_read + self.ext_bytes_written;
+        if bytes == 0 {
+            f64::INFINITY
+        } else {
+            self.flops as f64 / bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics_handle_zero() {
+        let p = PerfSnapshot::default();
+        assert_eq!(p.flops_per_cycle(), 0.0);
+        assert_eq!(p.conflict_probability(), 0.0);
+        assert_eq!(p.stall_fraction(), 0.0);
+        assert_eq!(p.dma_bandwidth(1.0e9), 0.0);
+        assert!(p.operational_intensity().is_infinite());
+    }
+
+    #[test]
+    fn since_subtracts_fields() {
+        let early = PerfSnapshot {
+            cycles: 100,
+            flops: 50,
+            ..Default::default()
+        };
+        let late = PerfSnapshot {
+            cycles: 300,
+            flops: 450,
+            ..Default::default()
+        };
+        let d = late.since(&early);
+        assert_eq!(d.cycles, 200);
+        assert_eq!(d.flops, 400);
+        assert_eq!(d.flops_per_cycle(), 2.0);
+    }
+
+    #[test]
+    fn performance_at_clock() {
+        let p = PerfSnapshot {
+            cycles: 1000,
+            flops: 16_000,
+            ..Default::default()
+        };
+        // 16 flop/cycle at 1.25 GHz = the 20 Gflop/s peak of Table I.
+        assert!((p.flops_per_second(1.25e9) - 20.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn operational_intensity_counts_both_directions() {
+        let p = PerfSnapshot {
+            flops: 100,
+            ext_bytes_read: 40,
+            ext_bytes_written: 10,
+            ..Default::default()
+        };
+        assert!((p.operational_intensity() - 2.0).abs() < 1e-12);
+    }
+}

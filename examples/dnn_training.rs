@@ -1,0 +1,48 @@
+//! The Table II study: training energy efficiency of the NTX system
+//! configurations on the six evaluated networks.
+//!
+//! Run with `cargo run --release --example dnn_training`.
+
+use ntx::dnn::{networks, TrainingModel};
+use ntx::model::scaling::TechNode;
+use ntx::model::system::SystemConfig;
+use ntx::model::table2::{evaluate_training, this_work_rows};
+
+fn main() {
+    // Per-network detail on one configuration.
+    let cfg = SystemConfig::ntx(64, TechNode::Nm14);
+    println!(
+        "{} in 14 nm: {} clusters @ {:.2} GHz ({:.2} V), peak {:.2} Top/s\n",
+        cfg.label,
+        cfg.clusters,
+        cfg.frequency / 1e9,
+        cfg.voltage(),
+        cfg.peak_flops() / 1e12
+    );
+    let tm = TrainingModel::default();
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>12}",
+        "network", "Gflop", "time [ms]", "power [W]", "Gop/sW"
+    );
+    for net in networks::all() {
+        let e = evaluate_training(&cfg, &net, &tm);
+        println!(
+            "{:<14} {:>10.1} {:>10.2} {:>10.1} {:>12.1}",
+            net.name,
+            e.flops / 1e9,
+            e.time_s * 1e3,
+            e.power_w,
+            e.gops_per_watt
+        );
+    }
+
+    // The full Table II sweep.
+    println!("\nGeometric-mean efficiency across all nine configurations:");
+    let paper = [22.5, 29.3, 36.7, 35.9, 47.5, 60.4, 70.6, 76.0, 78.7];
+    for (row, p) in this_work_rows(&tm).iter().zip(paper) {
+        println!(
+            "  {:<12} {} nm  {:>6.2} GHz  {:>6.3} Top/s  ->  {:>5.1} Gop/sW  (paper {:>4.1})",
+            row.label, row.logic_nm, row.freq_ghz, row.peak_tops, row.geomean, p
+        );
+    }
+}

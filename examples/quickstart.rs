@@ -1,0 +1,66 @@
+//! Quickstart: configure one NTX co-processor and run two commands.
+//!
+//! Shows the essentials of the programming model: place data in the
+//! TCDM, describe a loop nest + AGU walk, offload, and read back.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use ntx::isa::{AguConfig, Command, LoopNest, NtxConfig, OperandSelect};
+use ntx::sim::{Cluster, ClusterConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cluster = Cluster::new(ClusterConfig::default());
+
+    // A dot product: x · y over 64 elements on NTX 0.
+    let n = 64u32;
+    let x: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+    let y: Vec<f32> = (0..n).map(|i| (i as f32).cos()).collect();
+    cluster.write_tcdm_f32(0x0000, &x);
+    cluster.write_tcdm_f32(0x1000, &y);
+
+    let dot = NtxConfig::builder()
+        .command(Command::Mac {
+            operand: OperandSelect::Memory,
+        })
+        .loops(LoopNest::vector(n))
+        .agu(0, AguConfig::stream(0x0000, 4))
+        .agu(1, AguConfig::stream(0x1000, 4))
+        .agu(2, AguConfig::fixed(0x2000))
+        .build()?;
+    cluster.offload(0, &dot);
+
+    // Meanwhile NTX 1 finds the argmax of x — the commands overlap.
+    let argmax = NtxConfig::builder()
+        .command(Command::ArgMax)
+        .loops(LoopNest::vector(n))
+        .agu(0, AguConfig::stream(0x0000, 4))
+        .agu(2, AguConfig::fixed(0x2004))
+        .build()?;
+    cluster.offload(1, &argmax);
+
+    let cycles = cluster.run_to_completion();
+
+    let result = cluster.read_tcdm_f32(0x2000, 1)[0];
+    let reference: f64 = x
+        .iter()
+        .zip(&y)
+        .map(|(&a, &b)| f64::from(a) * f64::from(b))
+        .sum();
+    println!("dot(x, y)      = {result}  (f64 reference {reference:.6})");
+
+    let idx = cluster.read_tcdm_f32(0x2004, 1)[0].to_bits();
+    println!("argmax(x)      = index {idx} (x[{idx}] = {})", x[idx as usize]);
+
+    let perf = cluster.perf();
+    println!("cycles         = {cycles}");
+    println!(
+        "flops          = {} ({:.2} flop/cycle of the 16 peak)",
+        perf.flops,
+        perf.flops_per_cycle()
+    );
+    println!(
+        "TCDM conflicts = {:.1} %",
+        perf.conflict_probability() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! The §II-E offload path, end to end: an RV32IMC control program —
+//! written with the built-in assembler and executed by the interpreted
+//! core — programs an NTX register window over the cluster bus, starts
+//! a reduction, polls the status register, and stops.
+//!
+//! Run with `cargo run --example riscv_offload`.
+
+use ntx::isa::{AguConfig, Command, LoopNest, NtxConfig, OperandSelect, RegFile, RegOffset};
+use ntx::riscv::{reg, Assembler, Cpu, Trap};
+use ntx::sim::{map, Cluster, ClusterConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cluster = Cluster::new(ClusterConfig::default());
+
+    // Data: x = [1..32], y = all 0.5 -> dot product = 0.5 * 32*33/2.
+    let n = 32u32;
+    let x: Vec<f32> = (1..=n).map(|i| i as f32).collect();
+    let y = vec![0.5f32; n as usize];
+    cluster.write_tcdm_f32(0x0000, &x);
+    cluster.write_tcdm_f32(0x0800, &y);
+
+    // Describe the command, then let the driver-side register image
+    // tell us exactly which words the core must write.
+    let cfg = NtxConfig::builder()
+        .command(Command::Mac {
+            operand: OperandSelect::Memory,
+        })
+        .loops(LoopNest::vector(n))
+        .agu(0, AguConfig::stream(0x0000, 4))
+        .agu(1, AguConfig::stream(0x0800, 4))
+        .agu(2, AguConfig::fixed(0x0c00))
+        .build()?;
+    let mut image = RegFile::new();
+    image.load_config(&cfg);
+
+    // Control program: write every register of NTX 0's window (command
+    // last — writing it commits and starts, §II-E), then poll STATUS
+    // until idle, then ebreak.
+    let mut asm = Assembler::new(0);
+    asm.la(reg::T0, map::NTX_BASE);
+    for off in (0..ntx::isa::NTX_REGFILE_BYTES).step_by(4) {
+        if off == RegOffset::COMMAND || off == RegOffset::STATUS {
+            continue;
+        }
+        let value = image.read(off, false)?;
+        asm.li(reg::T1, value as i32);
+        asm.sw(reg::T1, reg::T0, off as i32);
+    }
+    asm.li(reg::T1, cfg.command.encode() as i32);
+    asm.sw(reg::T1, reg::T0, RegOffset::COMMAND as i32);
+    let poll = asm.new_label();
+    asm.bind(poll);
+    asm.lw(reg::T2, reg::T0, RegOffset::STATUS as i32);
+    asm.bnez(reg::T2, poll);
+    // Fetch the result into a0 for good measure.
+    asm.li(reg::T3, 0x0c00);
+    asm.lw(reg::A0, reg::T3, 0);
+    asm.ebreak();
+
+    let program = asm.assemble()?;
+    println!(
+        "control program: {} instructions ({} bytes)",
+        program.len(),
+        4 * program.len()
+    );
+    cluster.load_program(0, &program);
+
+    let mut cpu = Cpu::new(map::L2_BASE);
+    let trap = cluster.run_program(&mut cpu, 100_000);
+    assert_eq!(trap, Some(Trap::Ebreak), "program must finish cleanly");
+
+    let result = f32::from_bits(cpu.reg(reg::A0));
+    let expect = 0.5 * (n * (n + 1) / 2) as f32;
+    println!("core executed {} instructions", cpu.instret());
+    println!("dot product   = {result} (expected {expect})");
+    println!("cluster cycles = {}", cluster.cycle());
+    assert_eq!(result, expect);
+    Ok(())
+}

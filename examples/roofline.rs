@@ -1,0 +1,85 @@
+//! A small Fig. 5 roofline study: run three kernels of very different
+//! operational intensity on the simulated cluster and place them on the
+//! roofline (the full 15-point sweep lives in the `report-fig5`
+//! binary of `ntx-bench`).
+//!
+//! Run with `cargo run --release --example roofline`.
+
+use ntx::kernels::blas::{AxpyKernel, GemmKernel};
+use ntx::kernels::schedule::{axpy_tiles, run_tiles};
+use ntx::kernels::stencil::Laplace2dKernel;
+use ntx::model::roofline::Roofline;
+use ntx::sim::{Cluster, ClusterConfig};
+
+fn data(n: usize, mut seed: u32) -> Vec<f32> {
+    (0..n)
+        .map(|_| {
+            seed ^= seed << 13;
+            seed ^= seed >> 17;
+            seed ^= seed << 5;
+            (seed as f32 / u32::MAX as f32) - 0.5
+        })
+        .collect()
+}
+
+fn main() {
+    let roofline = Roofline::default();
+    println!(
+        "roofline: peak {:.0} Gflop/s, bandwidth {:.0} GB/s, ridge {:.1} flop/B",
+        roofline.peak_flops / 1e9,
+        roofline.peak_bandwidth / 1e9,
+        roofline.ridge()
+    );
+    println!(
+        "practical (13 % conflicts): {:.1} Gflop/s / {:.2} GB/s\n",
+        roofline.practical_peak() / 1e9,
+        roofline.practical_bandwidth() / 1e9
+    );
+
+    // 1. AXPY: memory bound, streamed through the DMA.
+    let n = 8192u32;
+    let mut cluster = Cluster::new(ClusterConfig::default());
+    cluster.ext_mem().write_f32_slice(0, &data(n as usize, 1));
+    cluster
+        .ext_mem()
+        .write_f32_slice(0x40_0000, &data(n as usize, 2));
+    let tiles = axpy_tiles(&cluster, n, 1.5, 0, 0x40_0000, 2048);
+    let perf = run_tiles(&mut cluster, &tiles);
+    let oi = AxpyKernel { n, a: 1.5 }.cost().operational_intensity();
+    report("AXPY 8192 (streaming)", oi, perf.flops_per_second(1.25e9), &roofline);
+
+    // 2. GEMM 48³: compute bound, in the TCDM.
+    let mut cluster = Cluster::new(ClusterConfig::default());
+    let g = GemmKernel { m: 48, k: 48, n: 48 };
+    let (_, perf) = g.run(
+        &mut cluster,
+        &data(48 * 48, 3),
+        &data(48 * 48, 4),
+    );
+    let perf_flops = perf.flops as f64 / perf.cycles as f64 * 1.25e9;
+    report("GEMM 48 (in TCDM)", g.cost().operational_intensity(), perf_flops, &roofline);
+
+    // 3. 2-D Laplacian: memory bound, star stencil decomposed into two
+    //    NTX instructions (§III-B3).
+    let mut cluster = Cluster::new(ClusterConfig::default());
+    let l = Laplace2dKernel {
+        height: 63,
+        width: 63,
+    };
+    let (_, perf) = l.run(&mut cluster, &data(63 * 63, 5));
+    let perf_flops = perf.flops as f64 / perf.cycles as f64 * 1.25e9;
+    report("LAP2D 63x63 (in TCDM)", l.cost().operational_intensity(), perf_flops, &roofline);
+}
+
+fn report(name: &str, oi: f64, achieved: f64, roofline: &Roofline) {
+    let bound = if roofline.is_compute_bound(oi) {
+        "compute-bound"
+    } else {
+        "memory-bound"
+    };
+    println!(
+        "{name:<24} OI {oi:>6.2} flop/B  {:>6.2} Gflop/s  ({bound}, roof {:.2} Gflop/s)",
+        achieved / 1e9,
+        roofline.performance(oi) / 1e9
+    );
+}

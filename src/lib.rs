@@ -1,0 +1,56 @@
+//! # NTX — streaming accelerator reproduction
+//!
+//! Facade crate re-exporting the whole NTX reproduction workspace:
+//! a cycle-approximate simulator and analytical evaluation models of the
+//! NTX floating-point streaming co-processor cluster (Schuiki et al.,
+//! DATE 2019).
+//!
+//! | Module | Contents |
+//! |--------|----------|
+//! | [`fpu`] | Wide (PCS/Kulisch) accumulator, comparator, FPU datapath |
+//! | [`isa`] | NTX command set, loop/AGU descriptors, register file |
+//! | [`mem`] | TCDM banks, logarithmic interconnect, DMA, external memory |
+//! | [`riscv`] | RV32IMC control-core interpreter and assembler |
+//! | [`sim`] | The processing-cluster cycle simulator |
+//! | [`kernels`] | BLAS / convolution / stencil kernels lowered to NTX |
+//! | [`dnn`] | DNN workload models (AlexNet … ResNet-152) |
+//! | [`model`] | Roofline, power/area/technology models, paper tables |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ntx::sim::{Cluster, ClusterConfig};
+//! use ntx::isa::{AguConfig, Command, LoopNest, NtxConfig, OperandSelect};
+//!
+//! // Build a cluster, place two vectors in the TCDM, and run a dot
+//! // product on NTX 0.
+//! let mut cluster = Cluster::new(ClusterConfig::default());
+//! let x = [1.0f32, 2.0, 3.0, 4.0];
+//! let y = [4.0f32, 3.0, 2.0, 1.0];
+//! cluster.write_tcdm_f32(0x000, &x);
+//! cluster.write_tcdm_f32(0x100, &y);
+//!
+//! let cfg = NtxConfig::builder()
+//!     .command(Command::Mac { operand: OperandSelect::Memory })
+//!     .loops(LoopNest::vector(x.len() as u32))
+//!     .agu(0, AguConfig::stream(0x000, 4))
+//!     .agu(1, AguConfig::stream(0x100, 4))
+//!     .agu(2, AguConfig::fixed(0x200))
+//!     .build()
+//!     .expect("valid NTX configuration");
+//! cluster.offload(0, &cfg);
+//! cluster.run_to_completion();
+//!
+//! assert_eq!(cluster.read_tcdm_f32(0x200, 1)[0], 20.0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use ntx_dnn as dnn;
+pub use ntx_fpu as fpu;
+pub use ntx_isa as isa;
+pub use ntx_kernels as kernels;
+pub use ntx_mem as mem;
+pub use ntx_model as model;
+pub use ntx_riscv as riscv;
+pub use ntx_sim as sim;

@@ -1,0 +1,283 @@
+//! Cross-crate integration tests: full pipelines spanning the ISA, the
+//! memory system, the cycle simulator, the kernel library and the
+//! models.
+
+use ntx::isa::{AguConfig, Command, LoopNest, NtxConfig, OperandSelect};
+use ntx::kernels::blas::{AxpyKernel, GemmKernel, GemvKernel};
+use ntx::kernels::conv::Conv2dKernel;
+use ntx::kernels::reference;
+use ntx::kernels::schedule::{axpy_tiles, conv_tiles, run_tiles, write_replicated_weights};
+use ntx::mem::{DmaDescriptor, DmaDirection};
+use ntx::sim::{Cluster, ClusterConfig};
+
+fn data(n: usize, mut seed: u32) -> Vec<f32> {
+    (0..n)
+        .map(|_| {
+            seed ^= seed << 13;
+            seed ^= seed >> 17;
+            seed ^= seed << 5;
+            (seed as f32 / u32::MAX as f32) - 0.5
+        })
+        .collect()
+}
+
+fn assert_close(got: &[f32], expect: &[f32], tol: f32) {
+    assert_eq!(got.len(), expect.len());
+    for (i, (g, e)) in got.iter().zip(expect).enumerate() {
+        assert!(
+            (g - e).abs() <= tol * e.abs().max(1.0),
+            "element {i}: {g} vs {e}"
+        );
+    }
+}
+
+#[test]
+fn streaming_conv_pipeline_end_to_end() {
+    // External image -> DMA -> TCDM -> 8 NTX -> DMA -> external output,
+    // with double buffering; verified against the f64 reference.
+    let mut cluster = Cluster::new(ClusterConfig::default());
+    let kernel = Conv2dKernel {
+        height: 30,
+        width: 21,
+        k: 3,
+        filters: 3,
+    };
+    let img = data((kernel.height * kernel.width) as usize, 11);
+    let w = data(9 * 3, 22);
+    cluster.ext_mem().write_f32_slice(0, &img);
+    write_replicated_weights(&mut cluster, 0, &w);
+    let tiles = conv_tiles(&cluster, &kernel, 0, 0, 0x20_0000, 7);
+    let perf = run_tiles(&mut cluster, &tiles);
+    let (oh, ow) = (kernel.out_height() as usize, kernel.out_width() as usize);
+    let got = cluster.ext_mem().read_f32_slice(0x20_0000, oh * ow * 3);
+    for f in 0..3usize {
+        let expect = reference::conv2d(&img, 30, 21, &w[f * 9..(f + 1) * 9], 3);
+        assert_close(&got[f * oh * ow..(f + 1) * oh * ow], &expect, 1e-4);
+    }
+    // The pipeline must overlap: dma busy cycles and compute cycles
+    // both well below the total.
+    assert!(perf.dma_busy_cycles < perf.cycles);
+    assert!(perf.flops > 0);
+}
+
+#[test]
+fn mixed_workload_all_engines_different_commands() {
+    // Every engine runs a different command family concurrently.
+    let mut cluster = Cluster::new(ClusterConfig::default());
+    let n = 40u32;
+    let xs = data(n as usize, 1);
+    cluster.write_tcdm_f32(0x0000, &xs);
+    let commands: Vec<NtxConfig> = vec![
+        // 0: dot product with itself.
+        NtxConfig::builder()
+            .command(Command::Mac {
+                operand: OperandSelect::Memory,
+            })
+            .loops(LoopNest::vector(n))
+            .agu(0, AguConfig::stream(0, 4))
+            .agu(1, AguConfig::stream(0, 4))
+            .agu(2, AguConfig::fixed(0x4000))
+            .build()
+            .unwrap(),
+        // 1: relu.
+        NtxConfig::builder()
+            .command(Command::Relu)
+            .loops(LoopNest::elementwise(n))
+            .agu(0, AguConfig::stream(0, 4))
+            .agu(2, AguConfig::stream(0x4100, 4))
+            .build()
+            .unwrap(),
+        // 2: scale by 2 (Mul with register).
+        NtxConfig::builder()
+            .command(Command::Mul {
+                operand: OperandSelect::Register,
+            })
+            .register(2.0)
+            .loops(LoopNest::elementwise(n))
+            .agu(0, AguConfig::stream(0, 4))
+            .agu(2, AguConfig::stream(0x4300, 4))
+            .build()
+            .unwrap(),
+        // 3: min reduction.
+        NtxConfig::builder()
+            .command(Command::Min)
+            .loops(LoopNest::vector(n))
+            .agu(0, AguConfig::stream(0, 4))
+            .agu(2, AguConfig::fixed(0x4500))
+            .build()
+            .unwrap(),
+        // 4: argmin.
+        NtxConfig::builder()
+            .command(Command::ArgMin)
+            .loops(LoopNest::vector(n))
+            .agu(0, AguConfig::stream(0, 4))
+            .agu(2, AguConfig::fixed(0x4504))
+            .build()
+            .unwrap(),
+        // 5: memset.
+        NtxConfig::builder()
+            .command(Command::Set)
+            .register(-1.25)
+            .loops(LoopNest::elementwise(n))
+            .agu(2, AguConfig::stream(0x4600, 4))
+            .build()
+            .unwrap(),
+        // 6: memcpy.
+        NtxConfig::builder()
+            .command(Command::Copy)
+            .loops(LoopNest::elementwise(n))
+            .agu(0, AguConfig::stream(0, 4))
+            .agu(2, AguConfig::stream(0x4800, 4))
+            .build()
+            .unwrap(),
+        // 7: threshold-mask: out = (x > 0) ? x : 0 (y stream = x).
+        NtxConfig::builder()
+            .command(Command::ThresholdMask)
+            .register(0.0)
+            .loops(LoopNest::elementwise(n))
+            .agu(0, AguConfig::stream(0, 4))
+            .agu(1, AguConfig::stream(0, 4))
+            .agu(2, AguConfig::stream(0x4a00, 4))
+            .build()
+            .unwrap(),
+    ];
+    for (i, cfg) in commands.iter().enumerate() {
+        cluster.offload_with_writes(i, cfg, 4);
+    }
+    cluster.run_to_completion();
+
+    // Verify every engine's result.
+    let dot: f64 = xs.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+    assert!((f64::from(cluster.read_tcdm_f32(0x4000, 1)[0]) - dot).abs() < 1e-3);
+    let relu = cluster.read_tcdm_f32(0x4100, n as usize);
+    for (r, &x) in relu.iter().zip(&xs) {
+        assert_eq!(*r, if x > 0.0 { x } else { 0.0 });
+    }
+    let scaled = cluster.read_tcdm_f32(0x4300, n as usize);
+    for (s, &x) in scaled.iter().zip(&xs) {
+        assert_eq!(*s, 2.0 * x);
+    }
+    let min = xs.iter().copied().fold(f32::INFINITY, f32::min);
+    assert_eq!(cluster.read_tcdm_f32(0x4500, 1)[0], min);
+    let argmin = xs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .unwrap()
+        .0 as u32;
+    assert_eq!(cluster.read_tcdm_f32(0x4504, 1)[0].to_bits(), argmin);
+    for v in cluster.read_tcdm_f32(0x4600, n as usize) {
+        assert_eq!(v, -1.25);
+    }
+    assert_eq!(cluster.read_tcdm_f32(0x4800, n as usize), xs);
+    let masked = cluster.read_tcdm_f32(0x4a00, n as usize);
+    for (m, &x) in masked.iter().zip(&xs) {
+        assert_eq!(*m, if x > 0.0 { x } else { 0.0 });
+    }
+}
+
+#[test]
+fn blas_kernels_against_references_on_one_cluster() {
+    let mut cluster = Cluster::new(ClusterConfig::default());
+    // Re-use one cluster across kernels (counters accumulate; results
+    // must stay correct regardless).
+    let x = data(200, 5);
+    let y = data(200, 6);
+    let (got, _) = AxpyKernel { n: 200, a: -0.75 }.run(&mut cluster, &x, &y);
+    let mut expect = y.clone();
+    reference::axpy(-0.75, &x, &mut expect);
+    assert_close(&got, &expect, 1e-5);
+
+    let a = data(24 * 36, 7);
+    let v = data(36, 8);
+    let (got, _) = GemvKernel { rows: 24, cols: 36 }.run(&mut cluster, &a, &v);
+    assert_close(&got, &reference::gemv(&a, &v, 24, 36), 1e-4);
+
+    let b = data(36 * 20, 9);
+    let a2 = data(28 * 36, 10);
+    let (got, _) = GemmKernel {
+        m: 28,
+        k: 36,
+        n: 20,
+    }
+    .run(&mut cluster, &a2, &b);
+    assert_close(&got, &reference::gemm(&a2, &b, 28, 36, 20), 1e-4);
+}
+
+#[test]
+fn dma_roundtrip_preserves_data_under_compute_load() {
+    // DMA in, compute on half the engines, DMA out — all concurrent.
+    let mut cluster = Cluster::new(ClusterConfig::default());
+    let payload = data(2048, 42);
+    cluster.ext_mem().write_f32_slice(0x8000, &payload);
+    cluster.dma_push(DmaDescriptor::linear(
+        0x8000,
+        0x6000,
+        4 * 2048,
+        DmaDirection::ExtToTcdm,
+    ));
+    // Busy-work on engines 0..4.
+    cluster.write_tcdm_f32(0, &data(256, 43));
+    for e in 0..4 {
+        let cfg = NtxConfig::builder()
+            .command(Command::Mac {
+                operand: OperandSelect::Memory,
+            })
+            .loops(LoopNest::vector(256))
+            .agu(0, AguConfig::stream(0, 4))
+            .agu(1, AguConfig::stream(0, 4))
+            .agu(2, AguConfig::fixed(0x400 + 4 * e as u32))
+            .build()
+            .unwrap();
+        cluster.offload_with_writes(e, &cfg, 2);
+    }
+    cluster.run_to_completion();
+    cluster.dma_push(DmaDescriptor::linear(
+        0x10_0000,
+        0x6000,
+        4 * 2048,
+        DmaDirection::TcdmToExt,
+    ));
+    cluster.run_to_completion();
+    assert_eq!(cluster.ext_mem().read_f32_slice(0x10_0000, 2048), payload);
+}
+
+#[test]
+fn axpy_streaming_is_bandwidth_bound() {
+    // The end-to-end streaming AXPY must land within 15 % of the
+    // practical (conflict-derated) bandwidth roof — the Fig. 5 claim
+    // for regular memory-bound kernels.
+    let n = 16_384u32;
+    let mut cluster = Cluster::new(ClusterConfig::default());
+    cluster.ext_mem().write_f32_slice(0, &data(n as usize, 1));
+    cluster
+        .ext_mem()
+        .write_f32_slice(0x100_0000, &data(n as usize, 2));
+    let tiles = axpy_tiles(&cluster, n, 3.0, 0, 0x100_0000, 2048);
+    let perf = run_tiles(&mut cluster, &tiles);
+    let achieved = perf.flops_per_second(1.25e9);
+    let oi = AxpyKernel { n, a: 3.0 }.cost().operational_intensity();
+    let roof = 5.0e9 * oi;
+    assert!(
+        achieved > 0.80 * roof,
+        "streaming AXPY at {:.2} Gflop/s, roof {:.2}",
+        achieved / 1e9,
+        roof / 1e9
+    );
+}
+
+#[test]
+fn perf_counters_are_consistent() {
+    let mut cluster = Cluster::new(ClusterConfig::default());
+    let x = data(512, 3);
+    let y = data(512, 4);
+    let (_, perf) = AxpyKernel { n: 512, a: 1.0 }.run(&mut cluster, &x, &y);
+    // Each element: 1 MAC = 2 flops.
+    assert_eq!(perf.flops, 1024);
+    // Reads: x + y-init; writes: y.
+    assert_eq!(perf.tcdm_reads, 1024);
+    assert_eq!(perf.tcdm_writes, 512);
+    // Conflicts only ever deny requests, never grant more than issued.
+    assert!(perf.tcdm_conflicts <= perf.tcdm_requests);
+    assert!(perf.ntx_active_cycles + perf.ntx_stall_cycles >= perf.ntx_active_cycles);
+}

@@ -1,0 +1,204 @@
+//! Integration tests of the §II-E software stack: RV32IMC control
+//! programs — assembled with the built-in assembler and interpreted by
+//! the core model — driving the NTX register windows and the DMA over
+//! the cluster bus.
+
+use ntx::isa::{AguConfig, Command, LoopNest, NtxConfig, OperandSelect, RegFile, RegOffset};
+use ntx::riscv::{reg, Assembler, Cpu, Trap};
+use ntx::sim::{map, Cluster, ClusterConfig};
+
+/// Emits the register writes that program `cfg` into the NTX window at
+/// `base` (command last), mirroring what a bare-metal driver does.
+fn emit_offload(asm: &mut Assembler, base: u32, cfg: &NtxConfig) {
+    let mut image = RegFile::new();
+    image.load_config(cfg);
+    asm.la(reg::T0, base);
+    for off in (0..ntx::isa::NTX_REGFILE_BYTES).step_by(4) {
+        if off == RegOffset::COMMAND || off == RegOffset::STATUS {
+            continue;
+        }
+        let v = image.read(off, false).expect("valid offset");
+        asm.li(reg::T1, v as i32);
+        asm.sw(reg::T1, reg::T0, off as i32);
+    }
+    asm.li(reg::T1, cfg.command.encode() as i32);
+    asm.sw(reg::T1, reg::T0, RegOffset::COMMAND as i32);
+}
+
+/// Emits a busy-wait on the NTX status register at `base`.
+fn emit_wait_idle(asm: &mut Assembler, base: u32) {
+    asm.la(reg::T0, base);
+    let poll = asm.new_label();
+    asm.bind(poll);
+    asm.lw(reg::T2, reg::T0, RegOffset::STATUS as i32);
+    asm.bnez(reg::T2, poll);
+}
+
+#[test]
+fn program_offloads_reduction_and_polls_status() {
+    let mut cluster = Cluster::new(ClusterConfig::default());
+    let n = 24u32;
+    let x: Vec<f32> = (0..n).map(|i| 0.25 * i as f32).collect();
+    cluster.write_tcdm_f32(0, &x);
+    let cfg = NtxConfig::builder()
+        .command(Command::Mac {
+            operand: OperandSelect::Memory,
+        })
+        .loops(LoopNest::vector(n))
+        .agu(0, AguConfig::stream(0, 4))
+        .agu(1, AguConfig::stream(0, 4))
+        .agu(2, AguConfig::fixed(0x1000))
+        .build()
+        .unwrap();
+    let mut asm = Assembler::new(map::L2_BASE);
+    emit_offload(&mut asm, map::NTX_BASE, &cfg);
+    emit_wait_idle(&mut asm, map::NTX_BASE);
+    asm.ebreak();
+    cluster.load_program(0, &asm.assemble().unwrap());
+    let mut cpu = Cpu::new(map::L2_BASE);
+    assert_eq!(cluster.run_program(&mut cpu, 100_000), Some(Trap::Ebreak));
+    let expect: f64 = x.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+    let got = f64::from(cluster.read_tcdm_f32(0x1000, 1)[0]);
+    assert!((got - expect).abs() < 1e-3, "{got} vs {expect}");
+}
+
+#[test]
+fn program_drives_dma_descriptor_block() {
+    // The program copies data from external memory into the TCDM via
+    // the DMA registers, waits on DMA_STATUS, then checks a word.
+    let mut cluster = Cluster::new(ClusterConfig::default());
+    cluster
+        .ext_mem()
+        .write_f32_slice(0x4000, &[1.5, 2.5, 3.5, 4.5]);
+    let mut asm = Assembler::new(map::L2_BASE);
+    asm.la(reg::T0, map::DMA_BASE);
+    let fields = [
+        (map::DMA_EXT_LO, 0x4000u32),
+        (map::DMA_EXT_HI, 0),
+        (map::DMA_TCDM, 0x2000),
+        (map::DMA_ROW_BYTES, 16),
+        (map::DMA_ROWS, 1),
+        (map::DMA_EXT_STRIDE, 16),
+        (map::DMA_TCDM_STRIDE, 16),
+    ];
+    for (off, v) in fields {
+        asm.li(reg::T1, v as i32);
+        asm.sw(reg::T1, reg::T0, off as i32);
+    }
+    asm.li(reg::T1, 0); // direction: ext -> TCDM, start
+    asm.sw(reg::T1, reg::T0, map::DMA_START as i32);
+    let poll = asm.new_label();
+    asm.bind(poll);
+    asm.lw(reg::T2, reg::T0, map::DMA_STATUS as i32);
+    asm.bnez(reg::T2, poll);
+    // Load the third word into a0.
+    asm.li(reg::T3, 0x2008);
+    asm.lw(reg::A0, reg::T3, 0);
+    asm.ebreak();
+    cluster.load_program(0, &asm.assemble().unwrap());
+    let mut cpu = Cpu::new(map::L2_BASE);
+    assert_eq!(cluster.run_program(&mut cpu, 100_000), Some(Trap::Ebreak));
+    assert_eq!(f32::from_bits(cpu.reg(reg::A0)), 3.5);
+    assert_eq!(
+        cluster.read_tcdm_f32(0x2000, 4),
+        vec![1.5, 2.5, 3.5, 4.5]
+    );
+}
+
+#[test]
+fn broadcast_alias_reaches_all_engines_from_software() {
+    // Writing the broadcast window once must start all 8 engines.
+    let mut cluster = Cluster::new(ClusterConfig::default());
+    cluster.write_tcdm_f32(0, &[2.0, 3.0]);
+    cluster.write_tcdm_f32(0x100, &[4.0, 5.0]);
+    let cfg = NtxConfig::builder()
+        .command(Command::Mac {
+            operand: OperandSelect::Memory,
+        })
+        .loops(LoopNest::vector(2))
+        .agu(0, AguConfig::stream(0, 4))
+        .agu(1, AguConfig::stream(0x100, 4))
+        .agu(2, AguConfig::fixed(0x200))
+        .build()
+        .unwrap();
+    let mut asm = Assembler::new(map::L2_BASE);
+    emit_offload(&mut asm, map::NTX_BROADCAST, &cfg);
+    emit_wait_idle(&mut asm, map::NTX_BASE); // engine 0 is representative
+    asm.ebreak();
+    cluster.load_program(0, &asm.assemble().unwrap());
+    let mut cpu = Cpu::new(map::L2_BASE);
+    assert_eq!(cluster.run_program(&mut cpu, 200_000), Some(Trap::Ebreak));
+    cluster.run_to_completion(); // drain the other engines
+    assert_eq!(cluster.read_tcdm_f32(0x200, 1)[0], 2.0 * 4.0 + 3.0 * 5.0);
+    assert_eq!(cluster.perf().commands_completed, 8);
+}
+
+#[test]
+fn double_buffered_offload_from_software() {
+    // Two back-to-back commands: the second is staged while the first
+    // runs (the §II-E double buffer); no status poll in between.
+    let mut cluster = Cluster::new(ClusterConfig::default());
+    let x: Vec<f32> = (1..=16).map(|i| i as f32).collect();
+    cluster.write_tcdm_f32(0, &x);
+    let make = |out: u32| {
+        NtxConfig::builder()
+            .command(Command::Mac {
+                operand: OperandSelect::Memory,
+            })
+            .loops(LoopNest::vector(16))
+            .agu(0, AguConfig::stream(0, 4))
+            .agu(1, AguConfig::stream(0, 4))
+            .agu(2, AguConfig::fixed(out))
+            .build()
+            .unwrap()
+    };
+    let mut asm = Assembler::new(map::L2_BASE);
+    emit_offload(&mut asm, map::NTX_BASE, &make(0x300));
+    emit_offload(&mut asm, map::NTX_BASE, &make(0x304)); // staged
+    emit_wait_idle(&mut asm, map::NTX_BASE);
+    asm.ebreak();
+    cluster.load_program(0, &asm.assemble().unwrap());
+    let mut cpu = Cpu::new(map::L2_BASE);
+    assert_eq!(cluster.run_program(&mut cpu, 200_000), Some(Trap::Ebreak));
+    let expect: f64 = x.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+    for addr in [0x300u32, 0x304] {
+        let got = f64::from(cluster.read_tcdm_f32(addr, 1)[0]);
+        assert!((got - expect).abs() < 1e-3);
+    }
+}
+
+#[test]
+fn core_and_engines_share_the_tcdm() {
+    // The core writes operands through the bus while an engine works,
+    // then reads the engine's result back through the bus.
+    let mut cluster = Cluster::new(ClusterConfig::default());
+    let mut asm = Assembler::new(map::L2_BASE);
+    // Store 3.0 and 4.0 (bit patterns via li) to TCDM 0x40/0x44.
+    asm.li(reg::T1, 3.0f32.to_bits() as i32);
+    asm.li(reg::T2, 0x40);
+    asm.sw(reg::T1, reg::T2, 0);
+    asm.li(reg::T1, 4.0f32.to_bits() as i32);
+    asm.sw(reg::T1, reg::T2, 4);
+    // Offload MUL elementwise (2 elements) producing 0x80.
+    let cfg = NtxConfig::builder()
+        .command(Command::Mul {
+            operand: OperandSelect::Memory,
+        })
+        .loops(LoopNest::elementwise(2))
+        .agu(0, AguConfig::stream(0x40, 4))
+        .agu(1, AguConfig::stream(0x40, 4))
+        .agu(2, AguConfig::stream(0x80, 4))
+        .build()
+        .unwrap();
+    emit_offload(&mut asm, map::NTX_BASE, &cfg);
+    emit_wait_idle(&mut asm, map::NTX_BASE);
+    asm.li(reg::T3, 0x80);
+    asm.lw(reg::A0, reg::T3, 0);
+    asm.lw(reg::A1, reg::T3, 4);
+    asm.ebreak();
+    cluster.load_program(0, &asm.assemble().unwrap());
+    let mut cpu = Cpu::new(map::L2_BASE);
+    assert_eq!(cluster.run_program(&mut cpu, 200_000), Some(Trap::Ebreak));
+    assert_eq!(f32::from_bits(cpu.reg(reg::A0)), 9.0);
+    assert_eq!(f32::from_bits(cpu.reg(reg::A1)), 16.0);
+}
