@@ -1,11 +1,11 @@
 //! Prints every reproduced table and figure in paper order.
 fn main() {
     let t1 = ntx_bench::table1_report();
-    print!("{}\n", ntx_bench::format::table1(&t1));
+    println!("{}", ntx_bench::format::table1(&t1));
     let rows = ntx_model::table2::this_work_rows(&ntx_dnn::TrainingModel::default());
     let paper = [22.5, 29.3, 36.7, 35.9, 47.5, 60.4, 70.6, 76.0, 78.7];
-    print!(
-        "{}\n",
+    println!(
+        "{}",
         ntx_bench::format::table2(
             &rows,
             &ntx_model::compare::accelerators(),
@@ -14,23 +14,30 @@ fn main() {
         )
     );
     let points = ntx_bench::fig5_points();
-    print!(
-        "{}\n",
+    println!(
+        "{}",
         ntx_bench::format::fig5(&points, &ntx_model::roofline::Roofline::default())
     );
-    print!(
-        "{}\n",
+    println!(
+        "{}",
         ntx_bench::format::fig6(&ntx_model::compare::figure6(
             &ntx_dnn::TrainingModel::default()
         ))
     );
-    print!("{}\n", ntx_bench::format::fig7(&ntx_model::compare::figure7()));
-    print!(
-        "{}\n",
+    println!(
+        "{}",
+        ntx_bench::format::fig7(&ntx_model::compare::figure7())
+    );
+    println!(
+        "{}",
         ntx_bench::format::precision(&ntx_bench::precision_experiment())
+    );
+    println!(
+        "{}",
+        ntx_bench::format::greenwave(&ntx_bench::greenwave_rows())
     );
     print!(
         "{}",
-        ntx_bench::format::greenwave(&ntx_bench::greenwave_rows())
+        ntx_bench::format::scaling(&ntx_bench::scaling_report())
     );
 }

@@ -240,12 +240,9 @@ pub fn fig5_points() -> Vec<RooflinePoint> {
         let w = test_data((ksz * ksz) as usize, 12);
         let (_, perf) = k.run(&mut cluster, &img, &w);
         // The figure plots the DNN-style multi-filter intensity.
-        let oi = Conv2dKernel {
-            filters: 4,
-            ..k
-        }
-        .cost()
-        .operational_intensity();
+        let oi = Conv2dKernel { filters: 4, ..k }
+            .cost()
+            .operational_intensity();
         points.push(RooflinePoint {
             label: format!("CONV {ksz}x{ksz}"),
             oi,
@@ -346,6 +343,110 @@ pub fn precision_experiment() -> PrecisionReport {
     }
 }
 
+// --------------------------------------------------- scale-out scaling
+
+/// One row of the strong-scaling experiment.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Cluster count of this run.
+    pub clusters: usize,
+    /// Makespan of the sharded workload, NTX cycles.
+    pub makespan_cycles: u64,
+    /// Aggregate achieved performance, flop/s.
+    pub flops_per_second: f64,
+    /// Throughput ratio vs the 1-cluster run.
+    pub speedup: f64,
+    /// Strong-scaling efficiency (speedup / clusters).
+    pub efficiency: f64,
+    /// Fraction of cluster-cycles with the DMA moving data.
+    pub dma_occupancy: f64,
+    /// Modelled system power, W.
+    pub power_w: f64,
+    /// Achieved energy efficiency, flop/s/W.
+    pub flops_per_watt: f64,
+}
+
+/// The scale-out experiment: a fixed conv3x3 workload sharded across
+/// 1/2/4/8 clusters.
+#[derive(Debug, Clone)]
+pub struct ScalingReport {
+    /// Workload description for the printout.
+    pub workload: String,
+    /// One row per cluster count, ascending.
+    pub points: Vec<ScalingPoint>,
+    /// True when every cluster count produced bit-identical output.
+    pub bit_identical: bool,
+}
+
+/// Runs the multi-filter 3x3 convolution of the Table I workload shape
+/// through `ntx_sched` at 1, 2, 4 and 8 clusters and reports
+/// strong-scaling throughput, efficiency and modelled power. Outputs
+/// are compared bitwise across cluster counts — the scheduler's
+/// sharding must not change a single result bit.
+#[must_use]
+pub fn scaling_report() -> ScalingReport {
+    use ntx_sched::{Job, JobKind};
+
+    let kernel = Conv2dKernel {
+        height: 194,
+        width: 63,
+        k: 3,
+        filters: 8,
+    };
+    let image = test_data((kernel.height * kernel.width) as usize, 0x5ca1_e0f1);
+    let weights = test_data((kernel.k * kernel.k * kernel.filters) as usize, 0x0123_4567);
+    let job = Job {
+        id: 0,
+        label: "conv3x3".into(),
+        kind: JobKind::Conv2d {
+            kernel,
+            image,
+            weights,
+        },
+    };
+    let model = EnergyModel::tapeout();
+    let mut points = Vec::new();
+    let mut baseline: Option<ntx_sched::ScaleOutReport> = None;
+    let mut reference_output: Option<Vec<f32>> = None;
+    let mut bit_identical = true;
+    for clusters in [1usize, 2, 4, 8] {
+        let result = ntx_sched::run_sharded(&job, clusters).expect("valid scaling workload");
+        match &reference_output {
+            None => reference_output = Some(result.output.clone()),
+            Some(expect) => {
+                bit_identical &= expect
+                    .iter()
+                    .zip(&result.output)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            }
+        }
+        let report = result.report;
+        let base = baseline.get_or_insert_with(|| report.clone());
+        let energy = report.energy(&model);
+        points.push(ScalingPoint {
+            clusters,
+            makespan_cycles: report.makespan_cycles,
+            flops_per_second: report.flops_per_second(),
+            speedup: report.speedup_vs(base),
+            efficiency: report.scaling_efficiency_vs(base),
+            dma_occupancy: report.dma_occupancy(),
+            power_w: energy.power_w,
+            flops_per_watt: energy.flops_per_watt,
+        });
+    }
+    ScalingReport {
+        workload: format!(
+            "conv 3x3, {}x{} image, {} filters ({} Mflop)",
+            kernel.height,
+            kernel.width,
+            kernel.filters,
+            kernel.cost().flops / 1_000_000
+        ),
+        points,
+        bit_identical,
+    }
+}
+
 // ------------------------------------------------------- §IV Green Wave
 
 /// The Green-Wave comparison rows (8th-order seismic Laplacian on a
@@ -370,7 +471,11 @@ mod tests {
         let r = table1_report();
         assert!((r.peak_flops - 20.0e9).abs() < 1.0);
         assert!(r.conflict_probability > 0.02 && r.conflict_probability < 0.35);
-        assert!(r.sustained_flops > 5.0e9, "{:.1} G", r.sustained_flops / 1e9);
+        assert!(
+            r.sustained_flops > 5.0e9,
+            "{:.1} G",
+            r.sustained_flops / 1e9
+        );
         assert!(
             r.power_w > 0.10 && r.power_w < 0.30,
             "{:.0} mW",
@@ -408,6 +513,25 @@ mod tests {
             r.improvement
         );
         assert!(r.ntx_rmse > 0.0);
+    }
+
+    #[test]
+    fn scaling_hits_six_x_at_eight_clusters() {
+        let r = scaling_report();
+        assert!(r.bit_identical, "sharded outputs must be bit-identical");
+        assert_eq!(r.points.len(), 4);
+        assert_eq!(r.points[0].speedup, 1.0);
+        let p8 = r.points.last().unwrap();
+        assert_eq!(p8.clusters, 8);
+        assert!(
+            p8.speedup >= 6.0,
+            "8-cluster speedup {:.2} should be >= 6x",
+            p8.speedup
+        );
+        assert!(p8.efficiency > 0.7 && p8.efficiency <= 1.02);
+        for w in r.points.windows(2) {
+            assert!(w[1].makespan_cycles < w[0].makespan_cycles);
+        }
     }
 
     #[test]

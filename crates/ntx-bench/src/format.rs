@@ -17,11 +17,7 @@ pub fn table1(r: &Table1Report) -> String {
     let rows = [
         ("peak performance [Gflop/s]", r.peak_flops / 1e9, 20.0),
         ("peak AXI bandwidth [GB/s]", r.peak_bandwidth / 1e9, 5.0),
-        (
-            "sustained conv3x3 [Gflop/s]",
-            r.sustained_flops / 1e9,
-            17.4,
-        ),
+        ("sustained conv3x3 [Gflop/s]", r.sustained_flops / 1e9, 17.4),
         (
             "banking-conflict prob. [%]",
             r.conflict_probability * 100.0,
@@ -135,7 +131,10 @@ pub fn fig6(f: &EfficiencyFigure) -> String {
     s.push_str("Figure 6 — training energy efficiency [Gop/sW]\n");
     for b in &f.bars {
         let bar = "#".repeat((b.value / 1.5).round() as usize);
-        s.push_str(&format!("  {:<10} {:>6.1} {:<10} {}\n", b.name, b.value, b.class, bar));
+        s.push_str(&format!(
+            "  {:<10} {:>6.1} {:<10} {}\n",
+            b.name, b.value, b.class, bar
+        ));
     }
     s.push_str(&format!(
         "  NTX 32 (22 nm) vs best 28 nm GPU: x{:.1}   (paper: x2.5)\n",
@@ -155,7 +154,10 @@ pub fn fig7(f: &AreaFigure) -> String {
     s.push_str("Figure 7 — compute per silicon area [Gop/s mm²]\n");
     for b in &f.bars {
         let bar = "#".repeat((b.value / 5.0).round() as usize);
-        s.push_str(&format!("  {:<10} {:>6.1} {:<10} {}\n", b.name, b.value, b.class, bar));
+        s.push_str(&format!(
+            "  {:<10} {:>6.1} {:<10} {}\n",
+            b.name, b.value, b.class, bar
+        ));
     }
     s.push_str(&format!(
         "  NTX 32 (22 nm) vs best 28 nm GPU: x{:.1}   (paper: x6.5)\n",
@@ -164,6 +166,36 @@ pub fn fig7(f: &AreaFigure) -> String {
     s.push_str(&format!(
         "  NTX 64 (14 nm) vs best 16 nm GPU: x{:.1}   (paper: x10.4)\n",
         f.ratio_14nm
+    ));
+    s
+}
+
+/// Formats the scale-out strong-scaling experiment.
+#[must_use]
+pub fn scaling(r: &crate::experiments::ScalingReport) -> String {
+    let mut s = String::new();
+    s.push_str("Scale-out — strong scaling of one sharded workload\n");
+    s.push_str(&format!("  workload: {}\n", r.workload));
+    s.push_str(&format!(
+        "  {:>8} {:>12} {:>12} {:>9} {:>11} {:>8} {:>9} {:>11}\n",
+        "clusters", "cycles", "Gflop/s", "speedup", "efficiency", "DMA occ", "power W", "Gflop/sW"
+    ));
+    for p in &r.points {
+        s.push_str(&format!(
+            "  {:>8} {:>12} {:>12.2} {:>8.2}x {:>10.0}% {:>7.0}% {:>9.3} {:>11.1}\n",
+            p.clusters,
+            p.makespan_cycles,
+            p.flops_per_second / 1e9,
+            p.speedup,
+            p.efficiency * 100.0,
+            p.dma_occupancy * 100.0,
+            p.power_w,
+            p.flops_per_watt / 1e9,
+        ));
+    }
+    s.push_str(&format!(
+        "  outputs bit-identical across cluster counts: {}\n",
+        if r.bit_identical { "yes" } else { "NO" }
     ));
     s
 }

@@ -56,7 +56,7 @@ pub fn googlenet() -> Network {
         k: 3,
         stride: 2,
     })); // 28
-    // Inception 3a/3b at 28×28.
+         // Inception 3a/3b at 28×28.
     let c = inception(&mut layers, 28, 192, 64, 96, 128, 16, 32, 32);
     let c = inception(&mut layers, 28, c, 128, 128, 192, 32, 96, 64);
     layers.push(Layer::Pool(PoolLayer {
@@ -66,7 +66,7 @@ pub fn googlenet() -> Network {
         k: 3,
         stride: 2,
     })); // 14
-    // Inception 4a–4e at 14×14.
+         // Inception 4a–4e at 14×14.
     let c = inception(&mut layers, 14, c, 192, 96, 208, 16, 48, 64);
     let c = inception(&mut layers, 14, c, 160, 112, 224, 24, 64, 64);
     let c = inception(&mut layers, 14, c, 128, 128, 256, 24, 64, 64);
@@ -79,7 +79,7 @@ pub fn googlenet() -> Network {
         k: 3,
         stride: 2,
     })); // 7
-    // Inception 5a/5b at 7×7.
+         // Inception 5a/5b at 7×7.
     let c = inception(&mut layers, 7, c, 256, 160, 320, 32, 128, 128);
     let c = inception(&mut layers, 7, c, 384, 192, 384, 48, 128, 128);
     // Global average pool + classifier.

@@ -120,7 +120,7 @@ pub fn inception_v3() -> Network {
         k: 3,
         stride: 2,
     })); // 36 ≈ 35
-    // 3× Inception-A.
+         // 3× Inception-A.
     let c = inception_a(&mut layers, 192, 32);
     let c = inception_a(&mut layers, c, 64);
     let c = inception_a(&mut layers, c, 64);

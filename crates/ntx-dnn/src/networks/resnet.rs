@@ -43,11 +43,7 @@ fn bottleneck_block(layers: &mut Vec<Layer>, s: u32, c_in: u32, width: u32, stri
     }
 }
 
-fn residual_network(
-    name: &'static str,
-    blocks: [u32; 4],
-    bottleneck: bool,
-) -> Network {
+fn residual_network(name: &'static str, blocks: [u32; 4], bottleneck: bool) -> Network {
     let mut layers = Vec::new();
     stem(&mut layers);
     let widths = [64u32, 128, 256, 512];

@@ -155,8 +155,7 @@ mod tests {
         let conv = Layer::Conv(ConvLayer::square(56, 56, 64, 64, 3, 1));
         let m = TrainingModel::default();
         assert!(
-            m.layer_cost(&fc).operational_intensity()
-                < m.layer_cost(&conv).operational_intensity()
+            m.layer_cost(&fc).operational_intensity() < m.layer_cost(&conv).operational_intensity()
         );
     }
 

@@ -6,7 +6,7 @@
 //! scalar register, and implements the per-cycle element operations of
 //! every NTX command.
 
-use crate::comparator::{CompareMode, Comparator};
+use crate::comparator::{Comparator, CompareMode};
 use crate::kulisch::WideAccumulator;
 
 /// Micro-operation classes the controller can issue, used both to drive

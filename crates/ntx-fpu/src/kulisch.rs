@@ -121,14 +121,17 @@ impl WideAccumulator {
                 self.note_special(AccuState::Nan);
                 return;
             }
-            (FloatClass::Infinite, FloatClass::Zero)
-            | (FloatClass::Zero, FloatClass::Infinite) => {
+            (FloatClass::Infinite, FloatClass::Zero) | (FloatClass::Zero, FloatClass::Infinite) => {
                 self.note_special(AccuState::Nan);
                 return;
             }
             (FloatClass::Infinite, _) | (_, FloatClass::Infinite) => {
                 let neg = a.is_sign_negative() ^ b.is_sign_negative();
-                self.note_special(if neg { AccuState::NegInf } else { AccuState::PosInf });
+                self.note_special(if neg {
+                    AccuState::NegInf
+                } else {
+                    AccuState::PosInf
+                });
                 return;
             }
             (FloatClass::Zero, _) | (_, FloatClass::Zero) => return,

@@ -41,7 +41,7 @@ mod float;
 mod kulisch;
 mod rmse;
 
-pub use comparator::{CompareMode, Comparator};
+pub use comparator::{Comparator, CompareMode};
 pub use datapath::{FpuDatapath, FpuOp};
 pub use float::{compose, decompose, ulp, Decomposed, FloatClass};
 pub use kulisch::{AccuState, WideAccumulator};

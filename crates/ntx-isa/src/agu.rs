@@ -53,7 +53,7 @@ impl AguConfig {
     ///
     /// Returns [`ConfigError::UnalignedBase`] / [`ConfigError::UnalignedStride`].
     pub fn validate(&self, agu_index: usize) -> Result<(), ConfigError> {
-        if self.base % 4 != 0 {
+        if !self.base.is_multiple_of(4) {
             return Err(ConfigError::UnalignedBase {
                 agu: agu_index,
                 base: self.base,

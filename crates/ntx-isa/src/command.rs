@@ -119,11 +119,7 @@ impl Command {
     pub fn is_reduction(self) -> bool {
         matches!(
             self,
-            Command::Mac { .. }
-                | Command::Min
-                | Command::Max
-                | Command::ArgMin
-                | Command::ArgMax
+            Command::Mac { .. } | Command::Min | Command::Max | Command::ArgMin | Command::ArgMax
         )
     }
 

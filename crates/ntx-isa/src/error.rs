@@ -81,10 +81,7 @@ impl fmt::Display for ConfigError {
                 which,
                 level,
                 outer,
-            } => write!(
-                f,
-                "{which} level {level} exceeds the outer level {outer}"
-            ),
+            } => write!(f, "{which} level {level} exceeds the outer level {outer}"),
             ConfigError::ReductionStoresEveryCycle => {
                 write!(f, "reduction commands require a store level of at least 1")
             }

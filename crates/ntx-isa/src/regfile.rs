@@ -114,7 +114,7 @@ impl RegFile {
     }
 
     fn check(offset: u32) -> Result<usize, ConfigError> {
-        if offset % 4 != 0 || offset >= NTX_REGFILE_BYTES {
+        if !offset.is_multiple_of(4) || offset >= NTX_REGFILE_BYTES {
             return Err(ConfigError::RegisterOffsetOutOfRange { offset });
         }
         Ok((offset / 4) as usize)

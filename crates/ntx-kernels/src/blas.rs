@@ -11,27 +11,9 @@
 //! the pure [`NtxConfig`] lowering, and an in-TCDM `run` used by the
 //! correctness tests and utilisation measurements.
 
-use crate::KernelCost;
+use crate::{split_work, KernelCost};
 use ntx_isa::{AccuInit, AguConfig, Command, ConfigError, LoopNest, NtxConfig, OperandSelect};
 use ntx_sim::{Cluster, PerfSnapshot};
-
-/// Splits `n` work items into at most `parts` contiguous chunks of
-/// near-equal size; returns `(start, len)` pairs (empty chunks omitted).
-fn split_work(n: u32, parts: u32) -> Vec<(u32, u32)> {
-    let parts = parts.min(n).max(1);
-    let base = n / parts;
-    let rem = n % parts;
-    let mut out = Vec::with_capacity(parts as usize);
-    let mut start = 0;
-    for p in 0..parts {
-        let len = base + u32::from(p < rem);
-        if len > 0 {
-            out.push((start, len));
-        }
-        start += len;
-    }
-    out
-}
 
 /// `y = a·x + y` over `n` elements.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -280,16 +262,11 @@ impl GemmKernel {
                     .command(Command::Mac {
                         operand: OperandSelect::Memory,
                     })
-                    .loops(
-                        LoopNest::nested(&[self.k, self.n, nrows]).with_levels(1, 1),
-                    )
+                    .loops(LoopNest::nested(&[self.k, self.n, nrows]).with_levels(1, 1))
                     // A row: walk k, rewind per column, advance per row.
                     .agu(
                         0,
-                        AguConfig::new(
-                            a_addr + 4 * row0 * self.k,
-                            [4, -4 * (k - 1), 4, 0, 0],
-                        ),
+                        AguConfig::new(a_addr + 4 * row0 * self.k, [4, -4 * (k - 1), 4, 0, 0]),
                     )
                     // B column: stride ldb words down, hop to the next
                     // column top, rewind fully (over the n logical
@@ -335,7 +312,11 @@ impl GemmKernel {
         cluster.write_tcdm_f32(a_addr, a);
         // Pad B's leading dimension to an odd element count so the
         // column walk cycles through all TCDM banks.
-        let ldb = if self.n % 2 == 0 { self.n + 1 } else { self.n };
+        let ldb = if self.n.is_multiple_of(2) {
+            self.n + 1
+        } else {
+            self.n
+        };
         for row in 0..self.k {
             cluster.write_tcdm_f32(
                 b_addr + 4 * row * ldb,
@@ -369,7 +350,9 @@ mod tests {
     }
 
     fn ramp(n: usize, scale: f32) -> Vec<f32> {
-        (0..n).map(|i| scale * (i as f32 - n as f32 / 3.0)).collect()
+        (0..n)
+            .map(|i| scale * (i as f32 - n as f32 / 3.0))
+            .collect()
     }
 
     #[test]
@@ -494,7 +477,12 @@ mod tests {
         .cost();
         assert!(gemv.operational_intensity() < 0.51);
         // GEMM intensity grows with size until the TCDM caps the block.
-        let small = GemmKernel { m: 16, k: 16, n: 16 }.cost();
+        let small = GemmKernel {
+            m: 16,
+            k: 16,
+            n: 16,
+        }
+        .cost();
         let large = GemmKernel {
             m: 1024,
             k: 1024,

@@ -129,16 +129,18 @@ impl Conv2dKernel {
                     AccuInit::Zero
                 })
                 // kx, ky, x, y — init and store around the k×k window.
-                .loops(LoopNest::nested(&[self.k, self.k, self.out_width(), rows]).with_levels(2, 2))
+                .loops(
+                    LoopNest::nested(&[self.k, self.k, self.out_width(), rows]).with_levels(2, 2),
+                )
                 // Input window walk (byte strides).
                 .agu(
                     0,
                     AguConfig::new(
                         in_addr + 4 * row0 * self.width,
                         [
-                            4,                              // kx: next column
-                            4 * (w - (k - 1)),              // ky: next window row
-                            4 * (1 - (k - 1) * w - (k - 1)), // x: window slides right
+                            4,                                // kx: next column
+                            4 * (w - (k - 1)),                // ky: next window row
+                            4 * (1 - (k - 1) * w - (k - 1)),  // x: window slides right
                             4 * ((2 - k) * w - (ow + k - 2)), // y: next output row
                             0,
                         ],
@@ -181,7 +183,11 @@ impl Conv2dKernel {
             self.height * self.width,
             "image size mismatch"
         );
-        assert_eq!(weights.len() as u32, self.k * self.k, "kernel size mismatch");
+        assert_eq!(
+            weights.len() as u32,
+            self.k * self.k,
+            "kernel size mismatch"
+        );
         let in_addr = 0u32;
         let w_addr = 4 * self.height * self.width;
         let out_addr = w_addr + 4 * self.k * self.k * cluster.num_engines() as u32;
@@ -211,10 +217,7 @@ impl Conv2dKernel {
         }
         cluster.run_to_completion();
         let perf = cluster.perf().since(&before);
-        (
-            cluster.read_tcdm_f32(out_addr, out_len as usize),
-            perf,
-        )
+        (cluster.read_tcdm_f32(out_addr, out_len as usize), perf)
     }
 
     /// Runs `filters` filters over the same input (weights laid out

@@ -50,6 +50,29 @@ impl KernelCost {
     }
 }
 
+/// Splits `n` work items into at most `parts` contiguous chunks of
+/// near-equal size; returns `(start, len)` pairs (empty chunks
+/// omitted). This is the one work-splitting rule every lowering in this
+/// crate uses — engines within a cluster and, in the scale-out
+/// scheduler, clusters within a system shard with the same geometry, so
+/// an N-way run touches exactly the same elements as a 1-way run.
+#[must_use]
+pub fn split_work(n: u32, parts: u32) -> Vec<(u32, u32)> {
+    let parts = parts.min(n).max(1);
+    let base = n / parts;
+    let rem = n % parts;
+    let mut out = Vec::with_capacity(parts as usize);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + u32::from(p < rem);
+        if len > 0 {
+            out.push((start, len));
+        }
+        start += len;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,11 +5,15 @@
 //! buffering scheme, allowing the NTX co-processors to operate on one
 //! buffer while the DMA operates on another."*
 //!
-//! [`run_tiles`] implements exactly that pipeline: while tile *i*
-//! computes, the loads of tile *i+1* stream in and the stores of tile
-//! *i−1* drain, hiding the memory latency whenever the kernel is
-//! compute-bound. Tile builders are responsible for alternating their
-//! TCDM buffer addresses (ping-pong).
+//! [`TilePipeline`] implements exactly that pipeline as a resumable
+//! state machine: while tile *i* computes, the loads of tile *i+1*
+//! stream in and the stores of tile *i−1* drain, hiding the memory
+//! latency whenever the kernel is compute-bound. [`run_tiles`] is the
+//! blocking convenience wrapper used by the in-crate kernels; the
+//! scale-out scheduler (`ntx-sched`) drives one pipeline per cluster
+//! step by step so N clusters interleave deterministically. Tile
+//! builders are responsible for alternating their TCDM buffer
+//! addresses (ping-pong).
 
 use ntx_isa::NtxConfig;
 use ntx_mem::{DmaDescriptor, DmaDirection};
@@ -45,38 +49,25 @@ impl TileTask {
     }
 }
 
-fn wait_dma(cluster: &mut Cluster) {
-    let mut guard = 0u64;
-    while !cluster.dma_idle() {
-        cluster.step();
-        guard += 1;
-        assert!(guard < 1_000_000_000, "DMA failed to drain");
-    }
+/// Register writes charged per offloaded command: a driver that reuses
+/// the staged configuration and only changes what differs, as §II-E
+/// recommends.
+const OFFLOAD_WRITES: u64 = 8;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    /// Waiting for the current tile's loads to retire.
+    LoadWait,
+    /// Engines are computing the current tile.
+    Compute,
+    /// All tiles issued; draining the final stores.
+    Drain,
+    /// Everything retired.
+    Done,
 }
 
-/// Waits until at least `count` DMA descriptors have retired since the
-/// engine was created (per-descriptor watermark, so compute can start
-/// as soon as *its* loads are in even while older stores still drain).
-fn wait_dma_watermark(cluster: &mut Cluster, count: u64) {
-    let mut guard = 0u64;
-    while cluster.dma_completed() < count {
-        cluster.step();
-        guard += 1;
-        assert!(guard < 1_000_000_000, "DMA failed to reach watermark");
-    }
-}
-
-fn wait_engines(cluster: &mut Cluster) {
-    let mut guard = 0u64;
-    while (0..cluster.num_engines()).any(|i| cluster.engine(i).is_busy()) {
-        cluster.step();
-        guard += 1;
-        assert!(guard < 1_000_000_000, "engines failed to drain");
-    }
-}
-
-/// Runs `tiles` through the double-buffered pipeline; returns the perf
-/// delta of the whole schedule.
+/// Resumable double-buffered execution of a tile schedule on one
+/// cluster.
 ///
 /// The schedule is: prefetch tile 0; then for each tile, wait for *its
 /// own* loads (per-descriptor watermark — older stores may still be
@@ -85,46 +76,138 @@ fn wait_engines(cluster: &mut Cluster) {
 /// descriptors execute in order, which makes the ping-pong buffering
 /// safe: the store of tile *i* is queued before the load of tile
 /// *i+2*, which is the next user of the same buffer half.
-pub fn run_tiles(cluster: &mut Cluster, tiles: &[TileTask]) -> PerfSnapshot {
-    let before = cluster.perf();
-    for t in tiles {
-        t.check();
-    }
-    if tiles.is_empty() {
-        return cluster.perf().since(&before);
-    }
-    let base = cluster.dma_completed();
-    let mut queued = 0u64;
-    // Prefetch tile 0.
-    for d in &tiles[0].loads {
-        cluster.dma_push(*d);
-    }
-    queued += tiles[0].loads.len() as u64;
-    let mut loads_done_marker = queued;
-    for (i, tile) in tiles.iter().enumerate() {
-        // Wait only for this tile's loads (and, transitively, anything
-        // queued before them).
-        wait_dma_watermark(cluster, base + loads_done_marker);
-        for (engine, cfg) in &tile.commands {
-            cluster.offload_with_writes(*engine, cfg, 8);
+#[derive(Debug)]
+pub struct TilePipeline {
+    tiles: Vec<TileTask>,
+    /// Index of the tile currently computing (or about to).
+    current: usize,
+    /// DMA-completion count at pipeline start.
+    base: u64,
+    /// Descriptors queued so far.
+    queued: u64,
+    /// Descriptor watermark the current tile's compute waits for.
+    watermark: u64,
+    stage: Stage,
+}
+
+impl TilePipeline {
+    /// Validates the schedule and prefetches tile 0's loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tile's DMA directions are inconsistent (see
+    /// [`TileTask::check`]).
+    #[must_use]
+    pub fn new(cluster: &mut Cluster, tiles: Vec<TileTask>) -> Self {
+        for t in &tiles {
+            t.check();
         }
-        // Overlap: prefetch the next tile while this one computes.
-        if let Some(next) = tiles.get(i + 1) {
-            for d in &next.loads {
+        let base = cluster.dma_completed();
+        let mut p = Self {
+            tiles,
+            current: 0,
+            base,
+            queued: 0,
+            watermark: 0,
+            stage: Stage::LoadWait,
+        };
+        if p.tiles.is_empty() {
+            p.stage = Stage::Done;
+        } else {
+            for d in &p.tiles[0].loads {
                 cluster.dma_push(*d);
             }
-            queued += next.loads.len() as u64;
-            loads_done_marker = queued;
+            p.queued += p.tiles[0].loads.len() as u64;
+            p.watermark = p.queued;
         }
-        wait_engines(cluster);
-        // Stores drain in the background, overlapped with the next
-        // tile's compute.
-        for d in &tile.stores {
-            cluster.dma_push(*d);
-        }
-        queued += tile.stores.len() as u64;
+        p
     }
-    wait_dma(cluster);
+
+    /// True until every command and store has retired.
+    #[must_use]
+    pub fn is_busy(&self) -> bool {
+        self.stage != Stage::Done
+    }
+
+    /// Advances the pipeline. Blocked phases step the cluster exactly
+    /// one cycle; phase transitions (offloads) may consume the cycles
+    /// the §II-E register interface charges. Returns `false` once the
+    /// pipeline has fully drained.
+    pub fn step(&mut self, cluster: &mut Cluster) -> bool {
+        match self.stage {
+            Stage::LoadWait => {
+                // Wait only for this tile's loads (and, transitively,
+                // anything queued before them).
+                if cluster.dma_completed() >= self.base + self.watermark {
+                    let tile = &self.tiles[self.current];
+                    for (engine, cfg) in &tile.commands {
+                        cluster.offload_with_writes(*engine, cfg, OFFLOAD_WRITES);
+                    }
+                    // Overlap: prefetch the next tile while computing.
+                    if let Some(next) = self.tiles.get(self.current + 1) {
+                        for d in &next.loads {
+                            cluster.dma_push(*d);
+                        }
+                        self.queued += next.loads.len() as u64;
+                        self.watermark = self.queued;
+                    }
+                    self.stage = Stage::Compute;
+                } else {
+                    cluster.step();
+                }
+            }
+            Stage::Compute => {
+                if cluster.engines_busy() {
+                    cluster.step();
+                } else {
+                    // Stores drain in the background, overlapped with
+                    // the next tile's compute.
+                    for d in &self.tiles[self.current].stores {
+                        cluster.dma_push(*d);
+                    }
+                    self.queued += self.tiles[self.current].stores.len() as u64;
+                    self.current += 1;
+                    self.stage = if self.current == self.tiles.len() {
+                        Stage::Drain
+                    } else {
+                        Stage::LoadWait
+                    };
+                }
+            }
+            Stage::Drain => {
+                if cluster.dma_idle() {
+                    self.stage = Stage::Done;
+                } else {
+                    cluster.step();
+                }
+            }
+            Stage::Done => {}
+        }
+        self.is_busy()
+    }
+
+    /// Drains the pipeline to completion; returns cycles consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 10^9 steps as a hang guard.
+    pub fn run_to_completion(&mut self, cluster: &mut Cluster) -> u64 {
+        let start = cluster.cycle();
+        let mut guard = 0u64;
+        while self.step(cluster) {
+            guard += 1;
+            assert!(guard < 1_000_000_000, "pipeline failed to drain");
+        }
+        cluster.cycle() - start
+    }
+}
+
+/// Runs `tiles` through the double-buffered pipeline to completion;
+/// returns the perf delta of the whole schedule. Blocking wrapper
+/// around [`TilePipeline`].
+pub fn run_tiles(cluster: &mut Cluster, tiles: &[TileTask]) -> PerfSnapshot {
+    let before = cluster.perf();
+    TilePipeline::new(cluster, tiles.to_vec()).run_to_completion(cluster);
     cluster.perf().since(&before)
 }
 
@@ -194,6 +277,26 @@ pub fn axpy_tiles(
     tiles
 }
 
+/// True when a `band_rows`-row streaming band of `kernel`, with the
+/// per-engine weight replicas resident at `weights_addr`, fits its two
+/// ping-pong buffers in a TCDM of `tcdm_bytes`. This is the one
+/// capacity rule of the [`conv_tiles`] layout; planners (the scale-out
+/// tiler) use it to size bands instead of re-deriving the formula.
+#[must_use]
+pub fn conv_band_fits(
+    kernel: &crate::conv::Conv2dKernel,
+    band_rows: u32,
+    weights_addr: u32,
+    engines: u32,
+    tcdm_bytes: u32,
+) -> bool {
+    let k = kernel.k;
+    let in_bytes = 4 * (band_rows + k - 1) * kernel.width;
+    let out_bytes = 4 * band_rows * kernel.out_width() * kernel.filters;
+    let base = weights_addr + 4 * k * k * kernel.filters * engines;
+    base + 2 * (in_bytes + out_bytes) <= tcdm_bytes
+}
+
 /// Builds the streaming tile schedule for a multi-filter 3×3-style
 /// convolution over an image in external memory: each tile is a band of
 /// output rows (plus halo) with all filters applied — the Table I
@@ -229,7 +332,13 @@ pub fn conv_tiles(
     // Weights (one replica per engine) sit below the ping-pong region.
     let base = weights_addr + 4 * k * k * kernel.filters * engines;
     assert!(
-        base + 2 * buf_bytes <= cluster.config().tcdm.bytes,
+        conv_band_fits(
+            kernel,
+            band_rows,
+            weights_addr,
+            engines,
+            cluster.config().tcdm.bytes
+        ),
         "two conv bands must fit the TCDM"
     );
     let mut tiles = Vec::new();
@@ -292,16 +401,28 @@ pub fn conv_tiles(
     tiles
 }
 
+/// Byte addresses of the per-engine weight replicas in the layout
+/// [`conv_tiles`] expects: one block of `weight_floats` `f32` values
+/// per engine, packed back to back from `weights_addr`. This is the
+/// canonical replica layout — planners that stage weights themselves
+/// (the scale-out tiler) use these offsets instead of re-deriving the
+/// spacing.
+#[must_use]
+pub fn weight_replica_addrs(weights_addr: u32, weight_floats: u32, engines: u32) -> Vec<u32> {
+    let block = 4 * weight_floats;
+    (0..engines).map(|e| weights_addr + e * block).collect()
+}
+
 /// Writes one copy of the filter-major weight block per engine, in the
 /// layout [`conv_tiles`] expects. Returns the first free byte address
 /// after the replicas.
 pub fn write_replicated_weights(cluster: &mut Cluster, weights_addr: u32, weights: &[f32]) -> u32 {
     let engines = cluster.num_engines() as u32;
-    let block = 4 * weights.len() as u32;
-    for e in 0..engines {
-        cluster.write_tcdm_f32(weights_addr + e * block, weights);
+    let addrs = weight_replica_addrs(weights_addr, weights.len() as u32, engines);
+    for a in &addrs {
+        cluster.write_tcdm_f32(*a, weights);
     }
-    weights_addr + engines * block
+    weights_addr + engines * 4 * weights.len() as u32
 }
 
 #[cfg(test)]

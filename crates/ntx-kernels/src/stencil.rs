@@ -103,10 +103,7 @@ impl StencilPass {
                 )
                 .agu(
                     1,
-                    AguConfig::new(
-                        self.coeff_base,
-                        [4, -4 * (taps - 1), -4 * (taps - 1), 0, 0],
-                    ),
+                    AguConfig::new(self.coeff_base, [4, -4 * (taps - 1), -4 * (taps - 1), 0, 0]),
                 )
                 .agu(
                     2,
@@ -115,8 +112,7 @@ impl StencilPass {
                         [
                             0,
                             self.inner_out_stride,
-                            self.outer_out_stride
-                                - (self.inner as i32 - 1) * self.inner_out_stride,
+                            self.outer_out_stride - (self.inner as i32 - 1) * self.inner_out_stride,
                             0,
                             0,
                         ],
@@ -274,10 +270,7 @@ impl Laplace2dKernel {
         }
         .run(cluster);
         let perf = cluster.perf().since(&before);
-        (
-            cluster.read_tcdm_f32(out_addr, (oh * ow) as usize),
-            perf,
-        )
+        (cluster.read_tcdm_f32(out_addr, (oh * ow) as usize), perf)
     }
 }
 
@@ -296,9 +289,8 @@ impl Laplace3dKernel {
     /// Analytic cost: 3×3 MACs per point, grid streamed once.
     #[must_use]
     pub fn cost(&self) -> KernelCost {
-        let out = u64::from(self.depth - 2)
-            * u64::from(self.height - 2)
-            * u64::from(self.width - 2);
+        let out =
+            u64::from(self.depth - 2) * u64::from(self.height - 2) * u64::from(self.width - 2);
         let cells = u64::from(self.depth) * u64::from(self.height) * u64::from(self.width);
         KernelCost {
             flops: 2 * 9 * out,
@@ -383,10 +375,7 @@ impl Laplace3dKernel {
             .run(cluster);
         }
         let perf = cluster.perf().since(&before);
-        (
-            cluster.read_tcdm_f32(out_addr, out_len as usize),
-            perf,
-        )
+        (cluster.read_tcdm_f32(out_addr, out_len as usize), perf)
     }
 }
 
@@ -406,9 +395,8 @@ impl DiffusionKernel {
     /// Analytic cost: 13 MACs per output point, grid streamed once.
     #[must_use]
     pub fn cost(&self) -> KernelCost {
-        let out = u64::from(self.depth - 4)
-            * u64::from(self.height - 2)
-            * u64::from(self.width - 2);
+        let out =
+            u64::from(self.depth - 4) * u64::from(self.height - 2) * u64::from(self.width - 2);
         let cells = u64::from(self.depth) * u64::from(self.height) * u64::from(self.width);
         KernelCost {
             flops: 2 * 13 * out,
@@ -504,10 +492,7 @@ impl DiffusionKernel {
             .run(cluster);
         }
         let perf = cluster.perf().since(&before);
-        (
-            cluster.read_tcdm_f32(out_addr, out_len as usize),
-            perf,
-        )
+        (cluster.read_tcdm_f32(out_addr, out_len as usize), perf)
     }
 }
 
@@ -556,7 +541,9 @@ mod tests {
     }
 
     fn field(n: usize) -> Vec<f32> {
-        (0..n).map(|i| ((i * 13 + 5) % 17) as f32 * 0.25 - 2.0).collect()
+        (0..n)
+            .map(|i| ((i * 13 + 5) % 17) as f32 * 0.25 - 2.0)
+            .collect()
     }
 
     fn assert_close(got: &[f32], expect: &[f32]) {

@@ -154,15 +154,15 @@ impl DmaEngine {
     pub fn push(&mut self, desc: DmaDescriptor) {
         assert!(desc.rows > 0, "descriptor needs at least one row");
         assert!(
-            desc.row_bytes > 0 && desc.row_bytes % 4 == 0,
+            desc.row_bytes > 0 && desc.row_bytes.is_multiple_of(4),
             "row bytes must be a positive multiple of 4"
         );
         assert!(
-            desc.ext_addr % 4 == 0 && desc.tcdm_addr % 4 == 0,
+            desc.ext_addr.is_multiple_of(4) && desc.tcdm_addr.is_multiple_of(4),
             "DMA addresses must be word aligned"
         );
         assert!(
-            desc.ext_stride % 4 == 0 && desc.tcdm_stride % 4 == 0,
+            desc.ext_stride.is_multiple_of(4) && desc.tcdm_stride.is_multiple_of(4),
             "DMA strides must be word aligned"
         );
         self.queue.push_back(desc);
@@ -288,7 +288,12 @@ mod tests {
         assert_eq!(tcdm.read_f32(0x100), 1.0);
         assert_eq!(tcdm.read_f32(0x108), 3.0);
         // And back out to a different location.
-        dma.push(DmaDescriptor::linear(0x40, 0x100, 12, DmaDirection::TcdmToExt));
+        dma.push(DmaDescriptor::linear(
+            0x40,
+            0x100,
+            12,
+            DmaDirection::TcdmToExt,
+        ));
         dma.run_to_completion(&mut tcdm, &mut ext);
         assert_eq!(ext.read_f32_slice(0x40, 3), vec![1.0, 2.0, 3.0]);
     }
@@ -305,12 +310,12 @@ mod tests {
             6.0, 7.0, 8.0, 9.0, 10.0,
         ]);
         dma.push(DmaDescriptor {
-            ext_addr: 4,          // start at column 1
+            ext_addr: 4, // start at column 1
             tcdm_addr: 0,
-            row_bytes: 12,        // 3 words
+            row_bytes: 12, // 3 words
             rows: 2,
-            ext_stride: 20,       // 5 words
-            tcdm_stride: 12,      // packed
+            ext_stride: 20,  // 5 words
+            tcdm_stride: 12, // packed
             dir: DmaDirection::ExtToTcdm,
         });
         dma.run_to_completion(&mut tcdm, &mut ext);

@@ -75,7 +75,7 @@ impl Tcdm {
     pub fn new(config: TcdmConfig) -> Self {
         assert!(config.banks > 0, "TCDM needs at least one bank");
         assert!(
-            config.bytes > 0 && config.bytes % (4 * config.banks) == 0,
+            config.bytes > 0 && config.bytes.is_multiple_of(4 * config.banks),
             "TCDM size must be a positive multiple of 4*banks"
         );
         Self {

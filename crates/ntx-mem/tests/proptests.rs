@@ -1,6 +1,8 @@
 //! Property-based tests of the memory system.
 
-use ntx_mem::{BankRequest, DmaDescriptor, DmaDirection, DmaEngine, ExtMemory, Interconnect, MasterId, Tcdm};
+use ntx_mem::{
+    BankRequest, DmaDescriptor, DmaDirection, DmaEngine, ExtMemory, Interconnect, MasterId, Tcdm,
+};
 use proptest::prelude::*;
 
 proptest! {

@@ -22,11 +22,26 @@ pub struct AreaComponent {
 #[must_use]
 pub fn cluster_breakdown() -> Vec<AreaComponent> {
     vec![
-        AreaComponent { name: "64 kB TCDM (32 banks)", mm2: 0.130 },
-        AreaComponent { name: "8x NTX coprocessors", mm2: 0.105 },
-        AreaComponent { name: "logarithmic interconnect", mm2: 0.025 },
-        AreaComponent { name: "RISC-V core + peripherals", mm2: 0.030 },
-        AreaComponent { name: "2 kB ICACHE", mm2: 0.010 },
+        AreaComponent {
+            name: "64 kB TCDM (32 banks)",
+            mm2: 0.130,
+        },
+        AreaComponent {
+            name: "8x NTX coprocessors",
+            mm2: 0.105,
+        },
+        AreaComponent {
+            name: "logarithmic interconnect",
+            mm2: 0.025,
+        },
+        AreaComponent {
+            name: "RISC-V core + peripherals",
+            mm2: 0.030,
+        },
+        AreaComponent {
+            name: "2 kB ICACHE",
+            mm2: 0.010,
+        },
     ]
 }
 
@@ -74,10 +89,7 @@ mod tests {
     #[test]
     fn tcdm_is_the_largest_component() {
         let parts = cluster_breakdown();
-        let max = parts
-            .iter()
-            .max_by(|a, b| a.mm2.total_cmp(&b.mm2))
-            .unwrap();
+        let max = parts.iter().max_by(|a, b| a.mm2.total_cmp(&b.mm2)).unwrap();
         assert_eq!(max.name, "64 kB TCDM (32 banks)");
     }
 

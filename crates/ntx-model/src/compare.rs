@@ -166,14 +166,7 @@ pub fn accelerators() -> Vec<PlatformRow> {
             freq_ghz: 0.6,
             peak_tops: 680.0,
             arithmetic: "(c)",
-            efficiency: [
-                Some(87.7),
-                Some(83.0),
-                None,
-                Some(139.2),
-                None,
-                None,
-            ],
+            efficiency: [Some(87.7), Some(83.0), None, Some(139.2), None, None],
             geomean: 100.8,
         },
     ]
@@ -273,8 +266,7 @@ pub struct AreaFigure {
 pub fn figure7() -> AreaFigure {
     let ntx32 = SystemConfig::ntx(32, TechNode::Fdx22);
     let ntx64 = SystemConfig::ntx(64, TechNode::Nm14);
-    let ntx_area_eff =
-        |cfg: &SystemConfig| cfg.peak_flops() / 1e9 / cfg.area_mm2();
+    let ntx_area_eff = |cfg: &SystemConfig| cfg.peak_flops() / 1e9 / cfg.area_mm2();
     let mut bars: Vec<Bar> = gpus()
         .iter()
         .map(|g| Bar {
@@ -339,8 +331,7 @@ pub struct StencilPlatform {
 #[must_use]
 pub fn evaluate_stencil(cfg: &SystemConfig, cost: &KernelCost) -> StencilPlatform {
     let m = crate::power::EnergyModel::for_node(cfg.tech, cfg.dram);
-    let v_scale =
-        (cfg.voltage() / crate::system::reference_voltage(cfg.tech)).powi(2);
+    let v_scale = (cfg.voltage() / crate::system::reference_voltage(cfg.tech)).powi(2);
     let peak = cfg.peak_flops() * CLUSTER_UTILIZATION;
     let flops = cost.flops as f64;
     let bytes = cost.min_ext_bytes as f64;

@@ -87,6 +87,57 @@ impl EnergyModel {
     pub fn picojoule_per_flop(&self, perf: &PerfSnapshot, freq_hz: f64, peak_flops: f64) -> f64 {
         self.cluster_power(perf, freq_hz) / peak_flops * 1.0e12
     }
+
+    /// Multi-cluster energy roll-up for a scale-out run (the companion
+    /// paper's HMC-vault sharding): dynamic energy is summed over the
+    /// per-cluster activity windows, while every cluster burns static
+    /// power for the whole makespan — an idle shard still leaks.
+    ///
+    /// `makespan_cycles` is the wall-clock of the slowest cluster;
+    /// each entry of `per_cluster` is that cluster's counter delta.
+    #[must_use]
+    pub fn scale_out(
+        &self,
+        per_cluster: &[PerfSnapshot],
+        makespan_cycles: u64,
+        freq_hz: f64,
+    ) -> ScaleOutEnergy {
+        let t = makespan_cycles as f64 / freq_hz;
+        let mut energy = per_cluster.len() as f64 * t * self.p_static;
+        let mut flops = 0u64;
+        for p in per_cluster {
+            energy += p.flops as f64 * self.e_flop
+                + (p.tcdm_reads + p.tcdm_writes) as f64 * self.e_tcdm_access
+                + p.dma_bytes as f64 * self.e_axi_byte;
+            flops += p.flops;
+        }
+        let power = if t == 0.0 {
+            per_cluster.len() as f64 * self.p_static
+        } else {
+            energy / t
+        };
+        ScaleOutEnergy {
+            energy_j: energy,
+            power_w: power,
+            flops_per_watt: if power == 0.0 {
+                0.0
+            } else {
+                flops as f64 / t.max(f64::MIN_POSITIVE) / power
+            },
+        }
+    }
+}
+
+/// Aggregate energy figures of a multi-cluster run (see
+/// [`EnergyModel::scale_out`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleOutEnergy {
+    /// Total energy of all clusters over the makespan, J.
+    pub energy_j: f64,
+    /// Average system power over the makespan, W.
+    pub power_w: f64,
+    /// Achieved (not peak-rate) efficiency, flop/s/W.
+    pub flops_per_watt: f64,
 }
 
 #[cfg(test)]

@@ -98,10 +98,7 @@ pub fn evaluate_training(
             * SYSTEM_ENERGY_OVERHEAD
             + bytes * (energy_model.e_dram_byte + energy_model.e_axi_byte);
     }
-    let p_static = f64::from(cfg.clusters)
-        * CLUSTER_LEAK_W
-        * cfg.tech.energy_scale()
-        * v_ratio
+    let p_static = f64::from(cfg.clusters) * CLUSTER_LEAK_W * cfg.tech.energy_scale() * v_ratio
         + LOB_STATIC_W
         + LINK_POWER_W;
     let energy = e_dynamic + time * p_static;
@@ -212,7 +209,10 @@ mod tests {
         // (more clusters at lower voltage) improves the geomean.
         let rows = this_work_rows(&TrainingModel::default());
         let geo22: Vec<f64> = rows[..3].iter().map(|r| r.geomean).collect();
-        assert!(geo22[0] < geo22[1] && geo22[1] < geo22[2], "22 nm: {geo22:?}");
+        assert!(
+            geo22[0] < geo22[1] && geo22[1] < geo22[2],
+            "22 nm: {geo22:?}"
+        );
         let geo14: Vec<f64> = rows[3..].iter().map(|r| r.geomean).collect();
         for w in geo14.windows(2) {
             assert!(w[0] < w[1], "14 nm column must be monotonic: {geo14:?}");

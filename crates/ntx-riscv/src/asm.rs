@@ -119,7 +119,8 @@ impl Assembler {
     /// Binds `label` to the current position.
     pub fn bind(&mut self, label: Label) {
         if self.labels[label.0].is_some() {
-            self.error.get_or_insert(AsmError::ReboundLabel { label: label.0 });
+            self.error
+                .get_or_insert(AsmError::ReboundLabel { label: label.0 });
             return;
         }
         self.labels[label.0] = Some(self.current_pc());

@@ -6,7 +6,9 @@
 //! to model its half-rate clock, §III-A).
 
 use crate::bus::{AccessSize, Bus, BusError};
-use crate::instr::{decode, expand_compressed, AluOp, BranchOp, CsrOp, Instr, LoadOp, MulDivOp, StoreOp};
+use crate::instr::{
+    decode, expand_compressed, AluOp, BranchOp, CsrOp, Instr, LoadOp, MulDivOp, StoreOp,
+};
 
 /// Reasons execution stopped or faulted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,10 +114,10 @@ impl Cpu {
 
     fn csr_read(&self, csr: u16) -> u32 {
         match csr {
-            0xc00 | 0xc01 => self.cycles as u32,          // cycle, time
-            0xc80 | 0xc81 => (self.cycles >> 32) as u32,  // cycleh, timeh
-            0xc02 => self.instret as u32,                 // instret
-            0xc82 => (self.instret >> 32) as u32,         // instreth
+            0xc00 | 0xc01 => self.cycles as u32,         // cycle, time
+            0xc80 | 0xc81 => (self.cycles >> 32) as u32, // cycleh, timeh
+            0xc02 => self.instret as u32,                // instret
+            0xc82 => (self.instret >> 32) as u32,        // instreth
             _ => 0,
         }
     }
@@ -516,10 +518,7 @@ mod tests {
         asm.lw(reg::A0, reg::T0, 0);
         ram.load_words(0, &asm.assemble().unwrap());
         let mut cpu = Cpu::new(0);
-        assert!(matches!(
-            cpu.run(&mut ram, 10),
-            Some(Trap::BusFault { .. })
-        ));
+        assert!(matches!(cpu.run(&mut ram, 10), Some(Trap::BusFault { .. })));
     }
 
     #[test]

@@ -845,7 +845,10 @@ mod tests {
     #[test]
     fn expand_c_ebreak() {
         let parcel: u16 = 0b100_1_00000_00000_10;
-        assert_eq!(decode(expand_compressed(parcel).unwrap()), Some(Instr::Ebreak));
+        assert_eq!(
+            decode(expand_compressed(parcel).unwrap()),
+            Some(Instr::Ebreak)
+        );
     }
 
     #[test]

@@ -1,0 +1,530 @@
+//! The deterministic multi-cluster executor.
+//!
+//! Owns N independent [`Cluster`] instances — the paper family's
+//! clusters-per-HMC-vault arrangement, where each cluster fronts its
+//! own slice of DRAM — and drives one [`TilePipeline`] per cluster.
+//! Two drain modes produce bit-identical results:
+//!
+//! * **round-robin** (default): one step of each busy pipeline per
+//!   turn, on the calling thread, fully deterministic;
+//! * **thread-parallel** (`parallel` feature): one OS thread per
+//!   cluster. Clusters share no state, so per-cluster simulations are
+//!   unaffected by the interleaving.
+
+use ntx_sim::{Cluster, ClusterConfig, PerfSnapshot};
+
+use crate::job::{Job, JobQueue};
+use crate::pipeline::TilePipeline;
+use crate::report::ScaleOutReport;
+use crate::tiler::{ClusterPlan, ReadbackSource, Tiler};
+use crate::SchedError;
+
+/// Static configuration of the scale-out system.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleOutConfig {
+    /// Number of clusters (the paper's companion work scales 1..128
+    /// per HMC; Table II goes to 512 across cubes).
+    pub clusters: usize,
+    /// Configuration of every cluster.
+    pub cluster: ClusterConfig,
+}
+
+impl Default for ScaleOutConfig {
+    fn default() -> Self {
+        Self {
+            clusters: 8,
+            cluster: ClusterConfig::default(),
+        }
+    }
+}
+
+impl ScaleOutConfig {
+    /// `clusters` default-configured clusters.
+    #[must_use]
+    pub fn with_clusters(clusters: usize) -> Self {
+        Self {
+            clusters,
+            ..Self::default()
+        }
+    }
+}
+
+/// Result of one job: the assembled output plus the measurement window.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Id the queue assigned at submission.
+    pub job_id: u64,
+    /// Submission label.
+    pub label: String,
+    /// The job's output, assembled from all cluster shards exactly as
+    /// a single cluster would have produced it.
+    pub output: Vec<f32>,
+    /// Counters of this job's window.
+    pub report: ScaleOutReport,
+}
+
+/// Result of draining a whole queue.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Per-job results in completion (= submission) order.
+    pub results: Vec<JobResult>,
+    /// All job windows merged.
+    pub report: ScaleOutReport,
+}
+
+/// The multi-cluster scheduler/executor.
+#[derive(Debug)]
+pub struct ScaleOutExecutor {
+    config: ScaleOutConfig,
+    tiler: Tiler,
+    clusters: Vec<Cluster>,
+}
+
+impl ScaleOutExecutor {
+    /// Builds `config.clusters` independent clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.clusters` is zero.
+    #[must_use]
+    pub fn new(config: ScaleOutConfig) -> Self {
+        assert!(config.clusters > 0, "need at least one cluster");
+        Self {
+            config,
+            tiler: Tiler::new(config.clusters),
+            clusters: (0..config.clusters)
+                .map(|_| Cluster::new(config.cluster))
+                .collect(),
+        }
+    }
+
+    /// Number of clusters.
+    #[must_use]
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// The static configuration.
+    #[must_use]
+    pub fn config(&self) -> &ScaleOutConfig {
+        &self.config
+    }
+
+    /// Read-only access to cluster `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn cluster(&self, index: usize) -> &Cluster {
+        &self.clusters[index]
+    }
+
+    /// Shards `job` across the clusters, runs it to completion, and
+    /// assembles the output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tiler errors; the clusters are left idle (but with
+    /// clobbered memories) on failure.
+    pub fn run_job(&mut self, job: &Job) -> Result<JobResult, SchedError> {
+        let plans = self.tiler.plan(job, &self.clusters[0])?;
+        Ok(self.run_planned(job, &plans))
+    }
+
+    /// Executes an already-planned job (see [`Tiler::plan`]).
+    fn run_planned(&mut self, job: &Job, plans: &[ClusterPlan]) -> JobResult {
+        // Stage inputs.
+        for (cluster, plan) in self.clusters.iter_mut().zip(plans) {
+            for (addr, values) in &plan.ext_writes {
+                cluster.ext_mem().write_f32_slice(*addr, values);
+            }
+            for (addr, values) in &plan.tcdm_writes {
+                cluster.write_tcdm_f32(*addr, values);
+            }
+        }
+        // Measure from here: staging is host work, not simulated time.
+        let before: Vec<PerfSnapshot> = self.clusters.iter().map(Cluster::perf).collect();
+        let cycle0: Vec<u64> = self.clusters.iter().map(Cluster::cycle).collect();
+
+        // Raw commands run on their one assigned cluster.
+        for (cluster, plan) in self.clusters.iter_mut().zip(plans) {
+            if let Some(raw) = &plan.raw {
+                cluster.offload(0, &raw.config);
+                cluster.run_to_completion();
+            }
+        }
+        // Tiled shards run as one double-buffered pipeline per cluster.
+        let mut pipelines: Vec<Option<TilePipeline>> = self
+            .clusters
+            .iter_mut()
+            .zip(plans)
+            .map(|(cluster, plan)| {
+                (!plan.tiles.is_empty()).then(|| TilePipeline::new(cluster, plan.tiles.clone()))
+            })
+            .collect();
+        self.drain(&mut pipelines);
+
+        // Assemble the output and the measurement window.
+        let mut report = ScaleOutReport::new(self.clusters.len(), self.config.cluster.ntx_freq_hz);
+        let mut output = vec![0f32; job.output_len()];
+        for (i, (cluster, plan)) in self.clusters.iter_mut().zip(plans).enumerate() {
+            report.per_cluster[i] = cluster.perf().since(&before[i]);
+            report.makespan_cycles = report.makespan_cycles.max(cluster.cycle() - cycle0[i]);
+            for rb in &plan.readbacks {
+                let values = match rb.source {
+                    ReadbackSource::Ext(addr) => {
+                        cluster.ext_mem().read_f32_slice(addr, rb.len as usize)
+                    }
+                    ReadbackSource::Tcdm(addr) => cluster.read_tcdm_f32(addr, rb.len as usize),
+                };
+                output[rb.dst..rb.dst + rb.len as usize].copy_from_slice(&values);
+            }
+        }
+        JobResult {
+            job_id: job.id,
+            label: job.label.clone(),
+            output,
+            report,
+        }
+    }
+
+    /// Drains the queue in FIFO order. Every job is planned (and so
+    /// shape/capacity-checked) up front, so a bad submission fails the
+    /// whole batch before any simulation time is spent and with the
+    /// queue intact; errors name the offending job.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::Job`] wrapping the first planning failure.
+    pub fn run_queue(&mut self, queue: &mut JobQueue) -> Result<BatchResult, SchedError> {
+        // Plan every job up front: a bad submission fails the whole
+        // batch before any simulation time is spent, with the queue
+        // intact, and the plans are reused for execution rather than
+        // re-materialized per job.
+        let mut planned = Vec::with_capacity(queue.len());
+        for job in queue.iter() {
+            let plans = self
+                .tiler
+                .plan(job, &self.clusters[0])
+                .map_err(|e| SchedError::Job {
+                    id: job.id,
+                    label: job.label.clone(),
+                    source: Box::new(e),
+                })?;
+            planned.push(plans);
+        }
+        let mut results = Vec::with_capacity(queue.len());
+        let mut report = ScaleOutReport::new(self.clusters.len(), self.config.cluster.ntx_freq_hz);
+        for plans in planned {
+            let job = queue.pop().expect("one queued job per plan");
+            let r = self.run_planned(&job, &plans);
+            report.merge(&r.report);
+            results.push(r);
+        }
+        Ok(BatchResult { results, report })
+    }
+
+    /// Round-robin drain: one pipeline step per busy cluster per turn.
+    #[cfg(not(feature = "parallel"))]
+    fn drain(&mut self, pipelines: &mut [Option<TilePipeline>]) {
+        let mut guard = 0u64;
+        loop {
+            let mut busy = false;
+            for (cluster, pipe) in self.clusters.iter_mut().zip(pipelines.iter_mut()) {
+                if let Some(p) = pipe {
+                    if p.step(cluster) {
+                        busy = true;
+                    } else {
+                        *pipe = None;
+                    }
+                }
+            }
+            if !busy {
+                return;
+            }
+            guard += 1;
+            assert!(guard < 10_000_000_000, "scale-out drain failed to finish");
+        }
+    }
+
+    /// Thread-parallel drain: each cluster's pipeline on its own OS
+    /// thread. Clusters are fully independent, so this is observably
+    /// identical to the round-robin drain.
+    #[cfg(feature = "parallel")]
+    fn drain(&mut self, pipelines: &mut [Option<TilePipeline>]) {
+        std::thread::scope(|scope| {
+            for (cluster, pipe) in self.clusters.iter_mut().zip(pipelines.iter_mut()) {
+                if let Some(p) = pipe {
+                    scope.spawn(move || p.run_to_completion(cluster));
+                }
+            }
+        });
+        for pipe in pipelines.iter_mut() {
+            *pipe = None;
+        }
+    }
+}
+
+/// Convenience entry point: runs one job on an `n`-cluster system and
+/// returns its result.
+///
+/// # Errors
+///
+/// Propagates [`SchedError`] from planning.
+pub fn run_sharded(job: &Job, clusters: usize) -> Result<JobResult, SchedError> {
+    ScaleOutExecutor::new(ScaleOutConfig::with_clusters(clusters)).run_job(job)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobKind;
+    use crate::job::RawJob;
+    use ntx_isa::{AguConfig, Command, LoopNest, NtxConfig, OperandSelect};
+    use ntx_kernels::blas::GemmKernel;
+    use ntx_kernels::conv::Conv2dKernel;
+    use ntx_kernels::reference;
+
+    fn data(n: usize, mut seed: u32) -> Vec<f32> {
+        (0..n)
+            .map(|_| {
+                seed ^= seed << 13;
+                seed ^= seed >> 17;
+                seed ^= seed << 5;
+                ((seed % 64) as f32 - 32.0) / 16.0
+            })
+            .collect()
+    }
+
+    fn job(kind: JobKind) -> Job {
+        Job {
+            id: 0,
+            label: "test".into(),
+            kind,
+        }
+    }
+
+    #[test]
+    fn axpy_sharded_matches_reference_and_single() {
+        let n = 3000usize;
+        let x = data(n, 7);
+        let y = data(n, 11);
+        let kind = JobKind::Axpy {
+            a: 1.5,
+            x: x.clone(),
+            y: y.clone(),
+        };
+        let single = run_sharded(&job(kind.clone()), 1).unwrap();
+        let wide = run_sharded(&job(kind), 4).unwrap();
+        let mut expect = y;
+        reference::axpy(1.5, &x, &mut expect);
+        assert_eq!(single.output, expect);
+        assert_eq!(wide.output, expect);
+        assert!(wide.report.makespan_cycles < single.report.makespan_cycles);
+    }
+
+    #[test]
+    fn gemm_sharded_matches_reference_and_single() {
+        let (m, k, n) = (24u32, 12u32, 9u32);
+        let a = data((m * k) as usize, 3);
+        let b = data((k * n) as usize, 5);
+        let kind = JobKind::Gemm {
+            dims: GemmKernel { m, k, n },
+            a: a.clone(),
+            b: b.clone(),
+        };
+        let single = run_sharded(&job(kind.clone()), 1).unwrap();
+        let wide = run_sharded(&job(kind), 3).unwrap();
+        let expect = reference::gemm(&a, &b, m as usize, k as usize, n as usize);
+        assert_eq!(single.output, expect);
+        assert_eq!(wide.output, expect);
+    }
+
+    #[test]
+    fn conv_sharded_matches_reference_and_single() {
+        let kernel = Conv2dKernel {
+            height: 34,
+            width: 21,
+            k: 3,
+            filters: 2,
+        };
+        let image = data((kernel.height * kernel.width) as usize, 13);
+        let weights = data((kernel.k * kernel.k * kernel.filters) as usize, 17);
+        let kind = JobKind::Conv2d {
+            kernel,
+            image: image.clone(),
+            weights: weights.clone(),
+        };
+        let single = run_sharded(&job(kind.clone()), 1).unwrap();
+        let wide = run_sharded(&job(kind), 4).unwrap();
+        let (oh, ow) = (kernel.out_height() as usize, kernel.out_width() as usize);
+        for f in 0..kernel.filters as usize {
+            let expect = reference::conv2d(
+                &image,
+                kernel.height as usize,
+                kernel.width as usize,
+                &weights[f * 9..(f + 1) * 9],
+                3,
+            );
+            assert_eq!(&single.output[f * oh * ow..(f + 1) * oh * ow], &expect[..]);
+            assert_eq!(&wide.output[f * oh * ow..(f + 1) * oh * ow], &expect[..]);
+        }
+        assert!(wide.report.makespan_cycles < single.report.makespan_cycles);
+    }
+
+    #[test]
+    fn raw_job_runs_on_one_cluster() {
+        let cfg = NtxConfig::builder()
+            .command(Command::Mac {
+                operand: OperandSelect::Memory,
+            })
+            .loops(LoopNest::vector(4))
+            .agu(0, AguConfig::stream(0x000, 4))
+            .agu(1, AguConfig::stream(0x100, 4))
+            .agu(2, AguConfig::fixed(0x200))
+            .build()
+            .unwrap();
+        let kind = JobKind::Raw(RawJob {
+            config: cfg,
+            tcdm: vec![
+                (0x000, vec![1.0, 2.0, 3.0, 4.0]),
+                (0x100, vec![4.0, 3.0, 2.0, 1.0]),
+            ],
+            result_addr: 0x200,
+            result_len: 1,
+        });
+        let r = run_sharded(&job(kind), 4).unwrap();
+        assert_eq!(r.output, vec![20.0]);
+        // Exactly one cluster did work.
+        let active = r.report.per_cluster.iter().filter(|p| p.flops > 0).count();
+        assert_eq!(active, 1);
+    }
+
+    #[test]
+    fn queue_runs_jobs_in_order_and_merges_reports() {
+        let mut exec = ScaleOutExecutor::new(ScaleOutConfig::with_clusters(2));
+        let mut q = JobQueue::new();
+        let x = data(500, 1);
+        let y = data(500, 2);
+        q.push(
+            "axpy",
+            JobKind::Axpy {
+                a: 2.0,
+                x: x.clone(),
+                y: y.clone(),
+            },
+        );
+        q.push(
+            "gemm",
+            JobKind::Gemm {
+                dims: GemmKernel { m: 8, k: 8, n: 8 },
+                a: data(64, 3),
+                b: data(64, 4),
+            },
+        );
+        let batch = exec.run_queue(&mut q).unwrap();
+        assert_eq!(batch.results.len(), 2);
+        assert_eq!(batch.results[0].label, "axpy");
+        assert_eq!(batch.results[1].label, "gemm");
+        assert_eq!(
+            batch.report.makespan_cycles,
+            batch.results[0].report.makespan_cycles + batch.results[1].report.makespan_cycles
+        );
+        assert!(batch.report.total_flops() > 0);
+        assert!(batch.report.dma_occupancy() > 0.0);
+    }
+
+    #[test]
+    fn bad_job_fails_batch_upfront_and_names_the_job() {
+        let mut exec = ScaleOutExecutor::new(ScaleOutConfig::with_clusters(2));
+        let mut q = JobQueue::new();
+        q.push(
+            "good",
+            JobKind::Axpy {
+                a: 1.0,
+                x: data(64, 1),
+                y: data(64, 2),
+            },
+        );
+        let bad_id = q.push(
+            "mismatched",
+            JobKind::Axpy {
+                a: 1.0,
+                x: data(64, 3),
+                y: data(32, 4),
+            },
+        );
+        let err = exec.run_queue(&mut q).unwrap_err();
+        match err {
+            SchedError::Job { id, label, source } => {
+                assert_eq!(id, bad_id);
+                assert_eq!(label, "mismatched");
+                assert!(matches!(*source, SchedError::Shape(_)));
+            }
+            other => panic!("expected SchedError::Job, got {other:?}"),
+        }
+        // Pre-validation failed before any job ran: the queue is intact.
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn raw_job_window_outside_tcdm_rejected() {
+        // TCDM addresses wrap at capacity, so an out-of-range result
+        // window must be rejected at planning time, not read aliased.
+        let cfg = NtxConfig::builder()
+            .command(Command::Mac {
+                operand: OperandSelect::Memory,
+            })
+            .loops(LoopNest::vector(2))
+            .agu(0, AguConfig::stream(0x000, 4))
+            .agu(1, AguConfig::stream(0x100, 4))
+            .agu(2, AguConfig::fixed(0x200))
+            .build()
+            .unwrap();
+        let kind = JobKind::Raw(RawJob {
+            config: cfg,
+            tcdm: vec![(0x000, vec![1.0, 2.0])],
+            result_addr: 0xfff0,
+            result_len: 8,
+        });
+        assert!(matches!(
+            run_sharded(&job(kind), 1),
+            Err(SchedError::Capacity(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_axpy_shard_rejected_not_corrupted() {
+        // A shard whose x operand would overrun the 16 MB region pitch
+        // must be a Capacity error, not silent aliasing.
+        let n = 5_000_000usize;
+        let kind = JobKind::Axpy {
+            a: 1.0,
+            x: vec![0.0; n],
+            y: vec![0.0; n],
+        };
+        assert!(matches!(
+            run_sharded(&job(kind), 1),
+            Err(SchedError::Capacity(_))
+        ));
+    }
+
+    #[test]
+    fn capacity_error_for_oversized_gemm_shard() {
+        let kind = JobKind::Gemm {
+            dims: GemmKernel {
+                m: 96,
+                k: 96,
+                n: 96,
+            },
+            a: data(96 * 96, 1),
+            b: data(96 * 96, 2),
+        };
+        // 1 cluster: A + padded B + C need ~90 kB, over the 64 kB TCDM.
+        assert!(matches!(
+            run_sharded(&job(kind), 1),
+            Err(SchedError::Capacity(_))
+        ));
+    }
+}

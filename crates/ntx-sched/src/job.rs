@@ -1,0 +1,281 @@
+//! Jobs and the job queue.
+//!
+//! A [`Job`] is one unit of work the scale-out runtime shards across
+//! clusters: a kernel descriptor from `ntx-kernels` (GEMM, 2-D
+//! convolution, AXPY) bundled with its input data, or a raw
+//! [`NtxConfig`] command for workloads the kernel library does not
+//! cover. Jobs are submitted through a [`JobQueue`] and executed in
+//! FIFO order by the [`ScaleOutExecutor`](crate::ScaleOutExecutor).
+
+use ntx_isa::NtxConfig;
+use ntx_kernels::blas::GemmKernel;
+use ntx_kernels::conv::Conv2dKernel;
+use std::collections::VecDeque;
+
+use crate::SchedError;
+
+/// A raw NTX command job: TCDM preloads, one configuration, one result
+/// window. Raw jobs are not tileable — the scheduler places each on one
+/// cluster (round-robin by job id) and lets tileable jobs absorb the
+/// remaining capacity.
+#[derive(Debug, Clone)]
+pub struct RawJob {
+    /// The command to offload (engine 0 of the chosen cluster).
+    pub config: NtxConfig,
+    /// `(byte address, values)` pairs preloaded into the TCDM.
+    pub tcdm: Vec<(u32, Vec<f32>)>,
+    /// TCDM byte address of the result window.
+    pub result_addr: u32,
+    /// Result length in `f32` elements.
+    pub result_len: u32,
+}
+
+/// What a job computes.
+#[derive(Debug, Clone)]
+pub enum JobKind {
+    /// `y = a*x + y`, sharded over contiguous element ranges.
+    Axpy {
+        /// The scalar `a`.
+        a: f32,
+        /// Input vector `x`.
+        x: Vec<f32>,
+        /// Input/output vector `y`.
+        y: Vec<f32>,
+    },
+    /// `C = A*B`, sharded over rows of `A`/`C`.
+    Gemm {
+        /// Matrix dimensions.
+        dims: GemmKernel,
+        /// Row-major `m x k` matrix.
+        a: Vec<f32>,
+        /// Row-major `k x n` matrix.
+        b: Vec<f32>,
+    },
+    /// Multi-filter 2-D convolution, sharded over output-row bands
+    /// (each cluster re-loads its `k-1` halo rows).
+    Conv2d {
+        /// Convolution geometry (including the filter count).
+        kernel: Conv2dKernel,
+        /// Row-major `height x width` image.
+        image: Vec<f32>,
+        /// Filter-major weights, `filters * k * k` values.
+        weights: Vec<f32>,
+    },
+    /// A raw NTX command (see [`RawJob`]).
+    Raw(RawJob),
+}
+
+/// One schedulable unit of work.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Queue-assigned identifier (stable across runs of the same
+    /// submission order).
+    pub id: u64,
+    /// Human-readable label for reports.
+    pub label: String,
+    /// The work itself.
+    pub kind: JobKind,
+}
+
+impl Job {
+    /// Number of `f32` elements in this job's output.
+    #[must_use]
+    pub fn output_len(&self) -> usize {
+        match &self.kind {
+            JobKind::Axpy { y, .. } => y.len(),
+            JobKind::Gemm { dims, .. } => (dims.m * dims.n) as usize,
+            JobKind::Conv2d { kernel, .. } => {
+                (kernel.out_height() * kernel.out_width() * kernel.filters) as usize
+            }
+            JobKind::Raw(raw) => raw.result_len as usize,
+        }
+    }
+
+    /// Validates shape consistency between descriptor and data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::Shape`] on any mismatch or degenerate
+    /// geometry.
+    pub fn validate(&self) -> Result<(), SchedError> {
+        let shape_err = |msg: String| Err(SchedError::Shape(msg));
+        match &self.kind {
+            JobKind::Axpy { x, y, .. } => {
+                if x.len() != y.len() {
+                    return shape_err(format!("axpy: |x| = {} but |y| = {}", x.len(), y.len()));
+                }
+                if x.is_empty() {
+                    return shape_err("axpy: empty vectors".into());
+                }
+            }
+            JobKind::Gemm { dims, a, b } => {
+                if dims.m == 0 || dims.k == 0 || dims.n == 0 {
+                    return shape_err(format!(
+                        "gemm: degenerate dims {}x{}x{}",
+                        dims.m, dims.k, dims.n
+                    ));
+                }
+                if a.len() as u32 != dims.m * dims.k {
+                    return shape_err(format!("gemm: |A| = {} != m*k", a.len()));
+                }
+                if b.len() as u32 != dims.k * dims.n {
+                    return shape_err(format!("gemm: |B| = {} != k*n", b.len()));
+                }
+            }
+            JobKind::Conv2d {
+                kernel,
+                image,
+                weights,
+            } => {
+                if kernel.k == 0 || kernel.filters == 0 {
+                    return shape_err("conv2d: degenerate kernel".into());
+                }
+                if kernel.height < kernel.k || kernel.width < kernel.k {
+                    return shape_err(format!(
+                        "conv2d: image {}x{} smaller than {}x{} kernel",
+                        kernel.height, kernel.width, kernel.k, kernel.k
+                    ));
+                }
+                if image.len() as u32 != kernel.height * kernel.width {
+                    return shape_err(format!("conv2d: |image| = {} != h*w", image.len()));
+                }
+                if weights.len() as u32 != kernel.k * kernel.k * kernel.filters {
+                    return shape_err(format!(
+                        "conv2d: |weights| = {} != k*k*filters",
+                        weights.len()
+                    ));
+                }
+            }
+            JobKind::Raw(raw) => {
+                if raw.result_len == 0 {
+                    return shape_err("raw: empty result window".into());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// FIFO queue of jobs with stable id assignment.
+#[derive(Debug, Default)]
+pub struct JobQueue {
+    next_id: u64,
+    jobs: VecDeque<Job>,
+}
+
+impl JobQueue {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a job; returns its id.
+    pub fn push(&mut self, label: impl Into<String>, kind: JobKind) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.jobs.push_back(Job {
+            id,
+            label: label.into(),
+            kind,
+        });
+        id
+    }
+
+    /// Dequeues the oldest job.
+    pub fn pop(&mut self) -> Option<Job> {
+        self.jobs.pop_front()
+    }
+
+    /// Number of queued jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when no jobs are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Read-only view of the queued jobs, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Job> {
+        self.jobs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_assigns_sequential_ids() {
+        let mut q = JobQueue::new();
+        let a = q.push(
+            "a",
+            JobKind::Axpy {
+                a: 1.0,
+                x: vec![1.0],
+                y: vec![2.0],
+            },
+        );
+        let b = q.push(
+            "b",
+            JobKind::Axpy {
+                a: 2.0,
+                x: vec![1.0],
+                y: vec![2.0],
+            },
+        );
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().label, "a");
+        assert_eq!(q.pop().unwrap().label, "b");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn validation_catches_mismatches() {
+        let bad = Job {
+            id: 0,
+            label: "bad".into(),
+            kind: JobKind::Axpy {
+                a: 1.0,
+                x: vec![1.0, 2.0],
+                y: vec![1.0],
+            },
+        };
+        assert!(bad.validate().is_err());
+        let bad = Job {
+            id: 0,
+            label: "bad".into(),
+            kind: JobKind::Gemm {
+                dims: GemmKernel { m: 2, k: 2, n: 2 },
+                a: vec![0.0; 3],
+                b: vec![0.0; 4],
+            },
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn output_lengths() {
+        let conv = Job {
+            id: 0,
+            label: "c".into(),
+            kind: JobKind::Conv2d {
+                kernel: Conv2dKernel {
+                    height: 6,
+                    width: 5,
+                    k: 3,
+                    filters: 2,
+                },
+                image: vec![0.0; 30],
+                weights: vec![0.0; 18],
+            },
+        };
+        assert!(conv.validate().is_ok());
+        assert_eq!(conv.output_len(), 4 * 3 * 2);
+    }
+}

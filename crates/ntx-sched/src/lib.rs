@@ -1,0 +1,108 @@
+//! Multi-cluster scale-out scheduler for the NTX reproduction.
+//!
+//! The DATE 2019 paper evaluates a single 8-engine cluster; its
+//! companion work ("A Scalable Near-Memory Architecture for Training
+//! Deep Neural Networks on Large In-Memory Datasets", Schuiki et al.,
+//! 2018) scales that cluster across the vaults of a Hybrid Memory
+//! Cube. This crate models that scale-out step as a job-scheduling
+//! runtime:
+//!
+//! * [`Job`]/[`JobQueue`] accept kernel descriptors from `ntx-kernels`
+//!   (GEMM, 2-D convolution, AXPY) plus raw [`ntx_isa::NtxConfig`]
+//!   commands;
+//! * the [`Tiler`] shards each job into per-cluster tiles sized to the
+//!   TCDM, reusing the engine-level `split_work` rule so every shard
+//!   computes exactly what the single-cluster lowering would;
+//! * a [`TilePipeline`] per cluster runs the §II-E double-buffered DMA
+//!   schedule as a resumable state machine, overlapping transfers with
+//!   compute;
+//! * the [`ScaleOutExecutor`] drains all cluster pipelines — a
+//!   deterministic round-robin interleave by default, one OS thread
+//!   per cluster behind the `parallel` feature — and assembles outputs
+//!   that are **bit-identical** to a single-cluster run (the NTX wide
+//!   accumulator rounds the exact sum once, so row/band sharding
+//!   cannot change any result bit);
+//! * [`ScaleOutReport`] aggregates cycles, stalls, DMA occupancy and —
+//!   through `ntx-model` — energy and Gflop/s/W, with strong-scaling
+//!   helpers for the `report-scaling` experiment in `ntx-bench`.
+//!
+//! # Example
+//!
+//! ```
+//! use ntx_kernels::blas::GemmKernel;
+//! use ntx_sched::{JobKind, JobQueue, ScaleOutConfig, ScaleOutExecutor};
+//!
+//! let mut queue = JobQueue::new();
+//! queue.push(
+//!     "gemm 16x16x16",
+//!     JobKind::Gemm {
+//!         dims: GemmKernel { m: 16, k: 16, n: 16 },
+//!         a: vec![1.0; 256],
+//!         b: vec![0.5; 256],
+//!     },
+//! );
+//! let mut exec = ScaleOutExecutor::new(ScaleOutConfig::with_clusters(4));
+//! let batch = exec.run_queue(&mut queue)?;
+//! assert_eq!(batch.results[0].output[0], 8.0); // 16 * 1.0 * 0.5
+//! assert!(batch.report.makespan_cycles > 0);
+//! # Ok::<(), ntx_sched::SchedError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod job;
+pub mod pipeline;
+pub mod report;
+pub mod tiler;
+
+pub use executor::{run_sharded, BatchResult, JobResult, ScaleOutConfig, ScaleOutExecutor};
+pub use job::{Job, JobKind, JobQueue, RawJob};
+pub use pipeline::TilePipeline;
+pub use report::ScaleOutReport;
+pub use tiler::{ClusterPlan, Readback, ReadbackSource, Tiler};
+
+use ntx_isa::ConfigError;
+
+/// Errors of the scheduling layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// Job data inconsistent with its descriptor.
+    Shape(String),
+    /// A shard cannot fit the TCDM even at the minimum tile size.
+    Capacity(String),
+    /// The kernel lowering rejected a configuration.
+    Lowering(ConfigError),
+    /// A job in a batch failed; identifies the submission so callers
+    /// know which job to fix.
+    Job {
+        /// Queue-assigned id of the failing job.
+        id: u64,
+        /// Submission label of the failing job.
+        label: String,
+        /// The underlying failure.
+        source: Box<SchedError>,
+    },
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::Shape(m) => write!(f, "shape error: {m}"),
+            SchedError::Capacity(m) => write!(f, "capacity error: {m}"),
+            SchedError::Lowering(e) => write!(f, "lowering error: {e:?}"),
+            SchedError::Job { id, label, source } => {
+                write!(f, "job {id} ({label}): {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+impl From<ConfigError> for SchedError {
+    fn from(e: ConfigError) -> Self {
+        SchedError::Lowering(e)
+    }
+}

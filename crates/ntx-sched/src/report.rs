@@ -1,0 +1,207 @@
+//! Aggregate measurement records of scale-out runs.
+
+use ntx_model::power::{EnergyModel, ScaleOutEnergy};
+use ntx_sim::PerfSnapshot;
+
+/// Field-wise accumulation of one counter delta into a running total.
+/// The exhaustive destructuring makes adding a `PerfSnapshot` field
+/// without summing it here a compile error, not a silent under-count.
+pub(crate) fn accumulate(total: &mut PerfSnapshot, delta: &PerfSnapshot) {
+    let PerfSnapshot {
+        cycles,
+        flops,
+        ntx_busy_cycles,
+        ntx_stall_cycles,
+        ntx_active_cycles,
+        commands_completed,
+        tcdm_requests,
+        tcdm_conflicts,
+        dma_bytes,
+        dma_busy_cycles,
+        ext_bytes_read,
+        ext_bytes_written,
+        tcdm_reads,
+        tcdm_writes,
+    } = *delta;
+    total.cycles += cycles;
+    total.flops += flops;
+    total.ntx_busy_cycles += ntx_busy_cycles;
+    total.ntx_stall_cycles += ntx_stall_cycles;
+    total.ntx_active_cycles += ntx_active_cycles;
+    total.commands_completed += commands_completed;
+    total.tcdm_requests += tcdm_requests;
+    total.tcdm_conflicts += tcdm_conflicts;
+    total.dma_bytes += dma_bytes;
+    total.dma_busy_cycles += dma_busy_cycles;
+    total.ext_bytes_read += ext_bytes_read;
+    total.ext_bytes_written += ext_bytes_written;
+    total.tcdm_reads += tcdm_reads;
+    total.tcdm_writes += tcdm_writes;
+}
+
+/// Counters of one scale-out window: per-cluster deltas plus the
+/// wall-clock (makespan) of the slowest cluster.
+#[derive(Debug, Clone)]
+pub struct ScaleOutReport {
+    /// Clusters in the system (idle ones included).
+    pub clusters: usize,
+    /// NTX clock, Hz.
+    pub freq_hz: f64,
+    /// Cycles of the slowest cluster over the window.
+    pub makespan_cycles: u64,
+    /// Per-cluster counter deltas (index = cluster id).
+    pub per_cluster: Vec<PerfSnapshot>,
+}
+
+impl ScaleOutReport {
+    /// An empty report for `clusters` clusters at `freq_hz`.
+    #[must_use]
+    pub fn new(clusters: usize, freq_hz: f64) -> Self {
+        Self {
+            clusters,
+            freq_hz,
+            makespan_cycles: 0,
+            per_cluster: vec![PerfSnapshot::default(); clusters],
+        }
+    }
+
+    /// Folds another window (e.g. the next job of a batch) into this
+    /// one: per-cluster counters add, makespans add (the executor runs
+    /// jobs back to back).
+    pub fn merge(&mut self, other: &ScaleOutReport) {
+        assert_eq!(self.clusters, other.clusters, "cluster count mismatch");
+        self.makespan_cycles += other.makespan_cycles;
+        for (t, d) in self.per_cluster.iter_mut().zip(&other.per_cluster) {
+            accumulate(t, d);
+        }
+    }
+
+    /// Total flops retired by all clusters.
+    #[must_use]
+    pub fn total_flops(&self) -> u64 {
+        self.per_cluster.iter().map(|p| p.flops).sum()
+    }
+
+    /// Aggregate achieved performance over the makespan, flop/s.
+    #[must_use]
+    pub fn flops_per_second(&self) -> f64 {
+        if self.makespan_cycles == 0 {
+            0.0
+        } else {
+            self.total_flops() as f64 / self.makespan_cycles as f64 * self.freq_hz
+        }
+    }
+
+    /// Mean DMA occupancy: fraction of cluster-cycles in which a DMA
+    /// moved data (the copy/compute-overlap figure of §II-E).
+    #[must_use]
+    pub fn dma_occupancy(&self) -> f64 {
+        let total = self.makespan_cycles.saturating_mul(self.clusters as u64);
+        if total == 0 {
+            0.0
+        } else {
+            self.per_cluster
+                .iter()
+                .map(|p| p.dma_busy_cycles)
+                .sum::<u64>() as f64
+                / total as f64
+        }
+    }
+
+    /// Engine-cycle fraction lost to TCDM banking stalls, over all
+    /// clusters.
+    #[must_use]
+    pub fn stall_fraction(&self) -> f64 {
+        let active: u64 = self.per_cluster.iter().map(|p| p.ntx_active_cycles).sum();
+        let stall: u64 = self.per_cluster.iter().map(|p| p.ntx_stall_cycles).sum();
+        if active + stall == 0 {
+            0.0
+        } else {
+            stall as f64 / (active + stall) as f64
+        }
+    }
+
+    /// Banking-conflict probability over all clusters.
+    #[must_use]
+    pub fn conflict_probability(&self) -> f64 {
+        let req: u64 = self.per_cluster.iter().map(|p| p.tcdm_requests).sum();
+        let conf: u64 = self.per_cluster.iter().map(|p| p.tcdm_conflicts).sum();
+        if req == 0 {
+            0.0
+        } else {
+            conf as f64 / req as f64
+        }
+    }
+
+    /// Energy/power roll-up through the calibrated model.
+    #[must_use]
+    pub fn energy(&self, model: &EnergyModel) -> ScaleOutEnergy {
+        model.scale_out(&self.per_cluster, self.makespan_cycles, self.freq_hz)
+    }
+
+    /// Throughput ratio versus a baseline window of the same total
+    /// work (strong-scaling speedup).
+    #[must_use]
+    pub fn speedup_vs(&self, baseline: &ScaleOutReport) -> f64 {
+        if self.makespan_cycles == 0 {
+            0.0
+        } else {
+            baseline.makespan_cycles as f64 / self.makespan_cycles as f64
+        }
+    }
+
+    /// Strong-scaling efficiency versus a baseline: speedup divided by
+    /// the cluster-count ratio (1.0 = perfectly linear).
+    #[must_use]
+    pub fn scaling_efficiency_vs(&self, baseline: &ScaleOutReport) -> f64 {
+        let ratio = self.clusters as f64 / baseline.clusters.max(1) as f64;
+        self.speedup_vs(baseline) / ratio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(flops: u64, dma_busy: u64) -> PerfSnapshot {
+        PerfSnapshot {
+            flops,
+            dma_busy_cycles: dma_busy,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn aggregates_across_clusters() {
+        let mut r = ScaleOutReport::new(2, 1.25e9);
+        r.makespan_cycles = 1000;
+        r.per_cluster = vec![snap(8000, 500), snap(8000, 500)];
+        assert_eq!(r.total_flops(), 16_000);
+        assert!((r.flops_per_second() - 16.0 * 1.25e9).abs() < 1.0);
+        assert!((r.dma_occupancy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_and_efficiency() {
+        let mut base = ScaleOutReport::new(1, 1.25e9);
+        base.makespan_cycles = 8000;
+        let mut wide = ScaleOutReport::new(4, 1.25e9);
+        wide.makespan_cycles = 2500;
+        assert!((wide.speedup_vs(&base) - 3.2).abs() < 1e-12);
+        assert!((wide.scaling_efficiency_vs(&base) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_windows() {
+        let mut a = ScaleOutReport::new(1, 1.25e9);
+        a.makespan_cycles = 10;
+        a.per_cluster = vec![snap(100, 1)];
+        let mut b = ScaleOutReport::new(1, 1.25e9);
+        b.makespan_cycles = 5;
+        b.per_cluster = vec![snap(50, 2)];
+        a.merge(&b);
+        assert_eq!(a.makespan_cycles, 15);
+        assert_eq!(a.per_cluster[0].flops, 150);
+        assert_eq!(a.per_cluster[0].dma_busy_cycles, 3);
+    }
+}

@@ -1,0 +1,132 @@
+//! Cross-cluster equivalence properties.
+//!
+//! For random tileable GEMM / convolution / AXPY shapes, the N-cluster
+//! `ntx-sched` result must be **bit-identical** to the single-cluster
+//! result and to the `ntx_kernels::reference` oracle.
+//!
+//! Inputs are drawn from a coarse dyadic grid (`q / 16` with small
+//! `|q|`) so every product and every partial sum is exactly
+//! representable both in the NTX wide accumulator and in the
+//! reference's `f64` accumulation. On that grid all three computations
+//! are exact, which turns value equality into genuine bitwise equality
+//! regardless of summation order — any sharding bug (wrong halo, wrong
+//! band offset, clobbered ping-pong buffer) shows up as a bit flip.
+
+use ntx_kernels::blas::GemmKernel;
+use ntx_kernels::conv::Conv2dKernel;
+use ntx_kernels::reference;
+use ntx_sched::{run_sharded, Job, JobKind};
+use proptest::prelude::*;
+
+/// Values `q / 16` with `q` in `[-64, 64]`: exactly representable, and
+/// products/sums of hundreds of them stay exact in both accumulators.
+fn grid_f32() -> impl Strategy<Value = f32> {
+    (-64i32..=64).prop_map(|q| q as f32 / 16.0)
+}
+
+fn grid_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(grid_f32(), len..=len)
+}
+
+fn job(kind: JobKind) -> Job {
+    Job {
+        id: 0,
+        label: "prop".into(),
+        kind,
+    }
+}
+
+fn assert_bits_eq(got: &[f32], expect: &[f32], what: &str) {
+    assert_eq!(got.len(), expect.len(), "{what}: length");
+    for (i, (g, e)) in got.iter().zip(expect).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            e.to_bits(),
+            "{what}: element {i} differs ({g} vs {e})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// N-cluster GEMM == 1-cluster GEMM == reference, bitwise.
+    #[test]
+    fn gemm_sharding_is_bit_identical(
+        (m, k, n, clusters, a, b) in (1u32..24, 1u32..16, 1u32..12, 2usize..6)
+            .prop_flat_map(|(m, k, n, clusters)| {
+                (
+                    Just(m), Just(k), Just(n), Just(clusters),
+                    grid_vec((m * k) as usize),
+                    grid_vec((k * n) as usize),
+                )
+            })
+    ) {
+        let dims = GemmKernel { m, k, n };
+        let kind = JobKind::Gemm { dims, a: a.clone(), b: b.clone() };
+        let single = run_sharded(&job(kind.clone()), 1).expect("single-cluster gemm");
+        let wide = run_sharded(&job(kind), clusters).expect("sharded gemm");
+        let expect = reference::gemm(&a, &b, m as usize, k as usize, n as usize);
+        assert_bits_eq(&single.output, &expect, "1-cluster vs reference");
+        assert_bits_eq(&wide.output, &single.output, "N-cluster vs 1-cluster");
+    }
+
+    /// N-cluster conv2d == 1-cluster conv2d == reference, bitwise,
+    /// for every filter plane.
+    #[test]
+    fn conv_sharding_is_bit_identical(
+        (h, w, k, filters, clusters, image, weights) in
+            (0u32..14, 0u32..12, prop_oneof![Just(3u32), Just(5u32)], 1u32..4, 2usize..6)
+                .prop_flat_map(|(dh, dw, k, filters, clusters)| {
+                    let (h, w) = (k + dh, k + dw);
+                    (
+                        Just(h), Just(w), Just(k), Just(filters), Just(clusters),
+                        grid_vec((h * w) as usize),
+                        grid_vec((k * k * filters) as usize),
+                    )
+                })
+    ) {
+        let kernel = Conv2dKernel { height: h, width: w, k, filters };
+        let kind = JobKind::Conv2d {
+            kernel,
+            image: image.clone(),
+            weights: weights.clone(),
+        };
+        let single = run_sharded(&job(kind.clone()), 1).expect("single-cluster conv");
+        let wide = run_sharded(&job(kind), clusters).expect("sharded conv");
+        let (oh, ow) = (kernel.out_height() as usize, kernel.out_width() as usize);
+        let k2 = (k * k) as usize;
+        for f in 0..filters as usize {
+            let expect = reference::conv2d(
+                &image,
+                h as usize,
+                w as usize,
+                &weights[f * k2..(f + 1) * k2],
+                k as usize,
+            );
+            assert_bits_eq(
+                &single.output[f * oh * ow..(f + 1) * oh * ow],
+                &expect,
+                "1-cluster vs reference",
+            );
+        }
+        assert_bits_eq(&wide.output, &single.output, "N-cluster vs 1-cluster");
+    }
+
+    /// N-cluster AXPY == 1-cluster AXPY == reference, bitwise.
+    #[test]
+    fn axpy_sharding_is_bit_identical(
+        (a_scalar, clusters, x, y) in (grid_f32(), 2usize..8, 1usize..600)
+            .prop_flat_map(|(a_scalar, clusters, n)| {
+                (Just(a_scalar), Just(clusters), grid_vec(n), grid_vec(n))
+            })
+    ) {
+        let kind = JobKind::Axpy { a: a_scalar, x: x.clone(), y: y.clone() };
+        let single = run_sharded(&job(kind.clone()), 1).expect("single-cluster axpy");
+        let wide = run_sharded(&job(kind), clusters).expect("sharded axpy");
+        let mut expect = y;
+        reference::axpy(a_scalar, &x, &mut expect);
+        assert_bits_eq(&single.output, &expect, "1-cluster vs reference");
+        assert_bits_eq(&wide.output, &single.output, "N-cluster vs 1-cluster");
+    }
+}

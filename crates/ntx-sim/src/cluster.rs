@@ -184,6 +184,15 @@ impl Cluster {
         self.dma.is_idle() && self.engines.iter().all(|e| !e.is_busy())
     }
 
+    /// True while any NTX engine still has work (command running or
+    /// staged), regardless of DMA state. The scale-out scheduler polls
+    /// this to decide when a tile's compute phase has drained while its
+    /// stores are still in flight.
+    #[must_use]
+    pub fn engines_busy(&self) -> bool {
+        self.engines.iter().any(NtxEngine::is_busy)
+    }
+
     /// Runs until idle; returns the number of cycles stepped.
     ///
     /// # Panics
@@ -674,7 +683,11 @@ mod tests {
             cluster.write(base + off, AccessSize::Word, v).unwrap();
         }
         cluster
-            .write(base + RegOffset::COMMAND, AccessSize::Word, cfg.command.encode())
+            .write(
+                base + RegOffset::COMMAND,
+                AccessSize::Word,
+                cfg.command.encode(),
+            )
             .unwrap();
         assert_eq!(
             cluster
@@ -691,14 +704,30 @@ mod tests {
         let mut cluster = Cluster::new(ClusterConfig::default());
         cluster.ext_mem().write_f32_slice(0x100, &[1.5, 2.5]);
         let b = map::DMA_BASE;
-        cluster.write(b + map::DMA_EXT_LO, AccessSize::Word, 0x100).unwrap();
-        cluster.write(b + map::DMA_EXT_HI, AccessSize::Word, 0).unwrap();
-        cluster.write(b + map::DMA_TCDM, AccessSize::Word, 0x300).unwrap();
-        cluster.write(b + map::DMA_ROW_BYTES, AccessSize::Word, 8).unwrap();
-        cluster.write(b + map::DMA_ROWS, AccessSize::Word, 1).unwrap();
-        cluster.write(b + map::DMA_EXT_STRIDE, AccessSize::Word, 8).unwrap();
-        cluster.write(b + map::DMA_TCDM_STRIDE, AccessSize::Word, 8).unwrap();
-        cluster.write(b + map::DMA_START, AccessSize::Word, 0).unwrap();
+        cluster
+            .write(b + map::DMA_EXT_LO, AccessSize::Word, 0x100)
+            .unwrap();
+        cluster
+            .write(b + map::DMA_EXT_HI, AccessSize::Word, 0)
+            .unwrap();
+        cluster
+            .write(b + map::DMA_TCDM, AccessSize::Word, 0x300)
+            .unwrap();
+        cluster
+            .write(b + map::DMA_ROW_BYTES, AccessSize::Word, 8)
+            .unwrap();
+        cluster
+            .write(b + map::DMA_ROWS, AccessSize::Word, 1)
+            .unwrap();
+        cluster
+            .write(b + map::DMA_EXT_STRIDE, AccessSize::Word, 8)
+            .unwrap();
+        cluster
+            .write(b + map::DMA_TCDM_STRIDE, AccessSize::Word, 8)
+            .unwrap();
+        cluster
+            .write(b + map::DMA_START, AccessSize::Word, 0)
+            .unwrap();
         assert_eq!(
             cluster.read(b + map::DMA_STATUS, AccessSize::Word).unwrap(),
             1
@@ -721,11 +750,7 @@ mod tests {
         }
         for e in 0..8 {
             let base = e as u32 * 0x1800;
-            cluster.offload_with_writes(
-                e,
-                &mac_cfg(base, base + 0x800, base + 0x17fc, n),
-                1,
-            );
+            cluster.offload_with_writes(e, &mac_cfg(base, base + 0x800, base + 0x17fc, n), 1);
         }
         cluster.run_to_completion();
         let p = cluster.perf().conflict_probability();

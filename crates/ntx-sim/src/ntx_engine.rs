@@ -566,10 +566,7 @@ mod tests {
                 continue;
             }
             let v = image.read(off, false).unwrap();
-            assert_eq!(
-                engine.write_reg(off, v).unwrap(),
-                EngineStatus::Accepted
-            );
+            assert_eq!(engine.write_reg(off, v).unwrap(), EngineStatus::Accepted);
         }
         assert_eq!(engine.read_reg(RegOffset::STATUS).unwrap(), 0);
         engine

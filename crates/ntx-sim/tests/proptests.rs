@@ -29,7 +29,11 @@ fn golden_execute(cfg: &NtxConfig, mem: &mut Vec<f32>) {
             }
         }
         let reads = cfg.command.reads_per_element();
-        let x = if reads >= 1 { rd(mem, agus[0].address()) } else { 0.0 };
+        let x = if reads >= 1 {
+            rd(mem, agus[0].address())
+        } else {
+            0.0
+        };
         let y = if reads >= 2 {
             rd(mem, agus[1].address())
         } else {
@@ -104,9 +108,8 @@ fn arb_case() -> impl Strategy<Value = (Command, LoopNest, [AguConfig; 3], f32, 
                 0
             };
             let nest = LoopNest::nested(&counts).with_levels(store.min(depth), store_level);
-            let agus = agu_raw.map(|(base, strides)| {
-                AguConfig::new(base * 4, strides.map(|s| s * 4))
-            });
+            let agus =
+                agu_raw.map(|(base, strides)| AguConfig::new(base * 4, strides.map(|s| s * 4)));
             (cmd, nest, agus, reg as f32 * 0.5, mem_init)
         })
 }

@@ -24,6 +24,9 @@ fn main() {
     acc.add_product(3.0e7, 3.0e7);
     acc.add_product(1.0, 1.0);
     acc.add_product(-3.0e7, 3.0e7);
+    // The repeated operand is the point: this is the textbook
+    // cancelling sum a conventional FPU gets wrong.
+    #[allow(clippy::eq_op)]
     let sequential = (3.0e7f32 * 3.0e7) + 1.0 - (3.0e7f32 * 3.0e7);
     println!("cancelling sum 9e14 + 1 - 9e14:");
     println!("  NTX wide accumulator : {}", acc.round());

@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("dot(x, y)      = {result}  (f64 reference {reference:.6})");
 
     let idx = cluster.read_tcdm_f32(0x2004, 1)[0].to_bits();
-    println!("argmax(x)      = index {idx} (x[{idx}] = {})", x[idx as usize]);
+    println!(
+        "argmax(x)      = index {idx} (x[{idx}] = {})",
+        x[idx as usize]
+    );
 
     let perf = cluster.perf();
     println!("cycles         = {cycles}");

@@ -46,18 +46,28 @@ fn main() {
     let tiles = axpy_tiles(&cluster, n, 1.5, 0, 0x40_0000, 2048);
     let perf = run_tiles(&mut cluster, &tiles);
     let oi = AxpyKernel { n, a: 1.5 }.cost().operational_intensity();
-    report("AXPY 8192 (streaming)", oi, perf.flops_per_second(1.25e9), &roofline);
+    report(
+        "AXPY 8192 (streaming)",
+        oi,
+        perf.flops_per_second(1.25e9),
+        &roofline,
+    );
 
     // 2. GEMM 48³: compute bound, in the TCDM.
     let mut cluster = Cluster::new(ClusterConfig::default());
-    let g = GemmKernel { m: 48, k: 48, n: 48 };
-    let (_, perf) = g.run(
-        &mut cluster,
-        &data(48 * 48, 3),
-        &data(48 * 48, 4),
-    );
+    let g = GemmKernel {
+        m: 48,
+        k: 48,
+        n: 48,
+    };
+    let (_, perf) = g.run(&mut cluster, &data(48 * 48, 3), &data(48 * 48, 4));
     let perf_flops = perf.flops as f64 / perf.cycles as f64 * 1.25e9;
-    report("GEMM 48 (in TCDM)", g.cost().operational_intensity(), perf_flops, &roofline);
+    report(
+        "GEMM 48 (in TCDM)",
+        g.cost().operational_intensity(),
+        perf_flops,
+        &roofline,
+    );
 
     // 3. 2-D Laplacian: memory bound, star stencil decomposed into two
     //    NTX instructions (§III-B3).
@@ -68,7 +78,12 @@ fn main() {
     };
     let (_, perf) = l.run(&mut cluster, &data(63 * 63, 5));
     let perf_flops = perf.flops as f64 / perf.cycles as f64 * 1.25e9;
-    report("LAP2D 63x63 (in TCDM)", l.cost().operational_intensity(), perf_flops, &roofline);
+    report(
+        "LAP2D 63x63 (in TCDM)",
+        l.cost().operational_intensity(),
+        perf_flops,
+        &roofline,
+    );
 }
 
 fn report(name: &str, oi: f64, achieved: f64, roofline: &Roofline) {

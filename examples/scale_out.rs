@@ -1,0 +1,99 @@
+//! Scale-out: shard a job queue across multiple NTX clusters.
+//!
+//! Demonstrates the `ntx-sched` runtime: a convolution and a GEMM are
+//! submitted to a job queue, tiled across four simulated clusters with
+//! double-buffered DMA, and executed with bit-identical results to a
+//! single-cluster run — at a fraction of the makespan.
+//!
+//! Run with `cargo run --release --example scale_out`.
+
+use ntx::kernels::blas::GemmKernel;
+use ntx::kernels::conv::Conv2dKernel;
+use ntx::model::power::EnergyModel;
+use ntx::sched::{JobKind, JobQueue, ScaleOutConfig, ScaleOutExecutor};
+
+fn data(n: usize, mut seed: u32) -> Vec<f32> {
+    (0..n)
+        .map(|_| {
+            seed ^= seed << 13;
+            seed ^= seed >> 17;
+            seed ^= seed << 5;
+            (seed as f32 / u32::MAX as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+fn build_queue() -> JobQueue {
+    let mut queue = JobQueue::new();
+    let kernel = Conv2dKernel {
+        height: 98,
+        width: 63,
+        k: 3,
+        filters: 4,
+    };
+    queue.push(
+        "conv3x3 96x61x4",
+        JobKind::Conv2d {
+            kernel,
+            image: data((kernel.height * kernel.width) as usize, 0xaa55),
+            weights: data((kernel.k * kernel.k * kernel.filters) as usize, 0x1234),
+        },
+    );
+    let dims = GemmKernel {
+        m: 48,
+        k: 32,
+        n: 24,
+    };
+    queue.push(
+        "gemm 48x32x24",
+        JobKind::Gemm {
+            dims,
+            a: data((dims.m * dims.k) as usize, 7),
+            b: data((dims.k * dims.n) as usize, 9),
+        },
+    );
+    queue
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Run the same queue on 1 and on 4 clusters.
+    let mut single = ScaleOutExecutor::new(ScaleOutConfig::with_clusters(1));
+    let base = single.run_queue(&mut build_queue())?;
+
+    let mut wide = ScaleOutExecutor::new(ScaleOutConfig::with_clusters(4));
+    let batch = wide.run_queue(&mut build_queue())?;
+
+    println!("scale-out demo: {} jobs on 4 clusters", batch.results.len());
+    for (r1, r4) in base.results.iter().zip(&batch.results) {
+        let identical = r1
+            .output
+            .iter()
+            .zip(&r4.output)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        println!(
+            "  {:<18} {:>9} -> {:>8} cycles ({:.2}x), outputs bit-identical: {}",
+            r4.label,
+            r1.report.makespan_cycles,
+            r4.report.makespan_cycles,
+            r4.report.speedup_vs(&r1.report),
+            identical
+        );
+        assert!(identical, "sharding must not change results");
+    }
+
+    let model = EnergyModel::tapeout();
+    let energy = batch.report.energy(&model);
+    println!(
+        "  batch: {:.2} Gflop/s aggregate, {:.0}% DMA occupancy, {:.3} W, {:.1} Gflop/sW",
+        batch.report.flops_per_second() / 1e9,
+        batch.report.dma_occupancy() * 100.0,
+        energy.power_w,
+        energy.flops_per_watt / 1e9,
+    );
+    println!(
+        "  strong scaling vs 1 cluster: {:.2}x speedup, {:.0}% efficiency",
+        batch.report.speedup_vs(&base.report),
+        batch.report.scaling_efficiency_vs(&base.report) * 100.0,
+    );
+    Ok(())
+}

@@ -15,6 +15,7 @@
 //! | [`kernels`] | BLAS / convolution / stencil kernels lowered to NTX |
 //! | [`dnn`] | DNN workload models (AlexNet … ResNet-152) |
 //! | [`model`] | Roofline, power/area/technology models, paper tables |
+//! | [`sched`] | Multi-cluster scale-out scheduler: job queue, tiler, double-buffered DMA pipelines |
 //!
 //! # Quickstart
 //!
@@ -53,4 +54,5 @@ pub use ntx_kernels as kernels;
 pub use ntx_mem as mem;
 pub use ntx_model as model;
 pub use ntx_riscv as riscv;
+pub use ntx_sched as sched;
 pub use ntx_sim as sim;

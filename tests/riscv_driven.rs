@@ -99,10 +99,7 @@ fn program_drives_dma_descriptor_block() {
     let mut cpu = Cpu::new(map::L2_BASE);
     assert_eq!(cluster.run_program(&mut cpu, 100_000), Some(Trap::Ebreak));
     assert_eq!(f32::from_bits(cpu.reg(reg::A0)), 3.5);
-    assert_eq!(
-        cluster.read_tcdm_f32(0x2000, 4),
-        vec![1.5, 2.5, 3.5, 4.5]
-    );
+    assert_eq!(cluster.read_tcdm_f32(0x2000, 4), vec![1.5, 2.5, 3.5, 4.5]);
 }
 
 #[test]

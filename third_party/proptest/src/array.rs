@@ -1,0 +1,37 @@
+//! `prop::array` — fixed-size arrays of one strategy.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Array strategy of compile-time length `N`.
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+    fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        let mut out = Vec::with_capacity(N);
+        for _ in 0..N {
+            out.push(self.element.sample(rng)?);
+        }
+        match out.try_into() {
+            Ok(arr) => Some(arr),
+            Err(_) => unreachable!("length is N by construction"),
+        }
+    }
+}
+
+macro_rules! uniform_fn {
+    ($($name:ident => $n:literal),*) => {$(
+        /// `[T; N]` drawn from one element strategy.
+        pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+            UniformArray { element }
+        }
+    )*};
+}
+
+uniform_fn!(
+    uniform1 => 1, uniform2 => 2, uniform3 => 3, uniform4 => 4,
+    uniform5 => 5, uniform6 => 6, uniform7 => 7, uniform8 => 8
+);

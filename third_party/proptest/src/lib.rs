@@ -1,0 +1,118 @@
+//! Offline stand-in for the [proptest](https://crates.io/crates/proptest)
+//! crate, implementing exactly the API surface this workspace uses.
+//!
+//! The container this repository builds in has no access to crates.io,
+//! so the property-test suites link against this shim instead. It keeps
+//! the same programming model — `Strategy` values composed with
+//! `prop_map`/`prop_flat_map`/`prop_filter_map`, the `proptest!` macro,
+//! `prop_oneof!`, `Just`, `any::<T>()` and the `prop::collection` /
+//! `prop::array` helpers — backed by a deterministic xorshift PRNG.
+//!
+//! Differences from the real crate: no shrinking (a failing case panics
+//! with the generated values unshrunk), no persistence of failing
+//! seeds, and a smaller default case count. Strategies are sampled, not
+//! explored, so the statistical coverage is comparable per case.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod array;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `prop::` path exposed by the real crate's prelude.
+pub mod prop {
+    pub use crate::array;
+    pub use crate::collection;
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Union::option($strat)),+
+        ])
+    };
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { .. }`
+/// becomes a `#[test]` that samples the strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..config.cases {
+                    let _ = __case;
+                    $(
+                        let $pat =
+                            $crate::strategy::sample_ok(&$strat, &mut rng);
+                    )+
+                    // Bodies may `return Ok(())` early like real proptest
+                    // closures, so run them inside a Result closure.
+                    #[allow(unreachable_code)]
+                    let __result: ::core::result::Result<(), ::std::string::String> =
+                        (move || {
+                            $body
+                            Ok(())
+                        })();
+                    if let Err(e) = __result {
+                        panic!("property returned Err: {e}");
+                    }
+                }
+            }
+        )*
+    };
+}
