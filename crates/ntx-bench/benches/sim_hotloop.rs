@@ -1,0 +1,61 @@
+//! Benchmarks the cycle simulator's hot loop: the Table I conv3x3
+//! streaming workload through the burst fast path vs the pure per-cycle
+//! path, plus the single-engine dot-product burst.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ntx_isa::{AguConfig, Command, LoopNest, NtxConfig, OperandSelect};
+use ntx_sim::{Cluster, ClusterConfig};
+
+fn dot_product(fast_path: bool) -> f32 {
+    let mut cluster = Cluster::new(ClusterConfig {
+        fast_path,
+        ..ClusterConfig::default()
+    });
+    let n = 4096u32;
+    let data = ntx_bench::experiments::test_data(n as usize, 0xfeed);
+    cluster.write_tcdm_f32(0, &data);
+    cluster.write_tcdm_f32(0x4004, &data);
+    let cfg = NtxConfig::builder()
+        .command(Command::Mac {
+            operand: OperandSelect::Memory,
+        })
+        .loops(LoopNest::vector(n))
+        .agu(0, AguConfig::stream(0, 4))
+        .agu(1, AguConfig::stream(0x4004, 4))
+        .agu(2, AguConfig::fixed(0x8000))
+        .build()
+        .expect("valid");
+    cluster.offload_with_writes(0, &cfg, 1);
+    cluster.run_to_completion();
+    cluster.read_tcdm_f32(0x8000, 1)[0]
+}
+
+fn bench(c: &mut Criterion) {
+    let report = ntx_bench::simperf_report(1);
+    eprintln!("{}", ntx_bench::format::simperf(&report));
+    c.bench_function("sim_hotloop/conv3x3_streaming_burst", |b| {
+        b.iter(|| black_box(ntx_bench::experiments::conv3x3_sim_run(true)))
+    });
+    c.bench_function("sim_hotloop/conv3x3_streaming_per_cycle", |b| {
+        b.iter(|| black_box(ntx_bench::experiments::conv3x3_sim_run(false)))
+    });
+    c.bench_function("sim_hotloop/conv3x3_single_ntx_burst", |b| {
+        b.iter(|| black_box(ntx_bench::experiments::conv3x3_single_ntx_run(true)))
+    });
+    c.bench_function("sim_hotloop/conv3x3_single_ntx_per_cycle", |b| {
+        b.iter(|| black_box(ntx_bench::experiments::conv3x3_single_ntx_run(false)))
+    });
+    c.bench_function("sim_hotloop/dot4096_single_engine_burst", |b| {
+        b.iter(|| black_box(dot_product(true)))
+    });
+    c.bench_function("sim_hotloop/dot4096_single_engine_per_cycle", |b| {
+        b.iter(|| black_box(dot_product(false)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

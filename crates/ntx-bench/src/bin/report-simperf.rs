@@ -1,0 +1,60 @@
+//! Measures the simulator's burst fast path against the pure per-cycle
+//! reference path on the Table I conv3x3 kernel — both the 8-NTX
+//! streaming configuration (bank-contended steady state) and the
+//! single-NTX sole-master regime — verifies the simulated outcomes are
+//! bit-identical, and records the perf trajectory as `BENCH_sim.json`.
+
+fn main() {
+    let reps = std::env::var("NTX_SIMPERF_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    // Profiling aid: NTX_SIMPERF_MODE=fast|per-cycle loops one mode only.
+    match std::env::var("NTX_SIMPERF_MODE").as_deref() {
+        Ok("fast") => {
+            for _ in 0..reps {
+                std::hint::black_box(ntx_bench::experiments::conv3x3_sim_run(true));
+            }
+            return;
+        }
+        Ok("per-cycle") => {
+            for _ in 0..reps {
+                std::hint::black_box(ntx_bench::experiments::conv3x3_sim_run(false));
+            }
+            return;
+        }
+        _ => {}
+    }
+    let r = ntx_bench::simperf_report(reps);
+    print!("{}", ntx_bench::format::simperf(&r));
+    let json = ntx_bench::format::simperf_json(&r);
+    let path = "BENCH_sim.json";
+    std::fs::write(path, &json).expect("write BENCH_sim.json");
+    println!("  wrote {path}");
+    for w in [&r.streaming, &r.single_ntx] {
+        if !w.bit_identical || !w.counters_identical {
+            eprintln!(
+                "ERROR: {} fast-path run diverged from the per-cycle reference",
+                w.workload
+            );
+            std::process::exit(1);
+        }
+    }
+    // Smoke floors well under the expected ratios, so machine noise in
+    // CI does not flake the job: the sole-master regime runs ~8x, the
+    // contended streaming regime ~2.5x.
+    if r.single_ntx.speedup < 5.0 {
+        eprintln!(
+            "ERROR: single-NTX burst speedup {:.2}x below the 5x floor",
+            r.single_ntx.speedup
+        );
+        std::process::exit(1);
+    }
+    if r.streaming.speedup < 1.5 {
+        eprintln!(
+            "ERROR: streaming fast-path speedup {:.2}x below the 1.5x floor",
+            r.streaming.speedup
+        );
+        std::process::exit(1);
+    }
+}

@@ -556,3 +556,167 @@ mod tests {
         }
     }
 }
+
+// ----------------------------------------------------- simulator speed
+
+/// One workload's measurement of the burst fast path against the pure
+/// per-cycle reference path: identical simulated results (verified
+/// bitwise, including cycle and stall counts), different wall-clock
+/// speed.
+#[derive(Debug, Clone)]
+pub struct SimPerfWorkload {
+    /// Workload label recorded in `BENCH_sim.json`.
+    pub workload: &'static str,
+    /// Simulated NTX cycles of one run (identical in both modes).
+    pub cycles: u64,
+    /// Simulated elements (engine iterations issued) of one run.
+    pub elements: u64,
+    /// Flops retired per run.
+    pub flops: u64,
+    /// Best wall-clock seconds per run, burst fast path enabled.
+    pub wall_fast_s: f64,
+    /// Best wall-clock seconds per run, pure per-cycle path.
+    pub wall_reference_s: f64,
+    /// Simulated elements per wall-clock second, fast path.
+    pub elements_per_sec_fast: f64,
+    /// Simulated elements per wall-clock second, per-cycle path.
+    pub elements_per_sec_reference: f64,
+    /// Wall-clock speedup of the fast path.
+    pub speedup: f64,
+    /// Output planes bitwise identical between the two modes.
+    pub bit_identical: bool,
+    /// Cycle counters and the full perf snapshot identical.
+    pub counters_identical: bool,
+}
+
+/// The `report-simperf` measurement: the Table I conv3x3 kernel driven
+/// through both execution regimes of the simulator.
+#[derive(Debug, Clone)]
+pub struct SimPerfReport {
+    /// The streaming Table I configuration: all 8 NTX co-processors
+    /// plus double-buffered DMA contending for the TCDM banks. The
+    /// contended steady state arbitrates every cycle by construction,
+    /// so this bounds the fast path at the cost of the exact
+    /// cycle-by-cycle model work.
+    pub streaming: SimPerfWorkload,
+    /// The same conv3x3 kernel executed by a single NTX co-processor —
+    /// the sole-master regime where the burst fast path executes whole
+    /// conflict-free spans per call.
+    pub single_ntx: SimPerfWorkload,
+}
+
+/// Runs the Table I conv3x3 streaming workload once with the given
+/// fast-path setting; returns the output planes and the perf delta.
+#[must_use]
+pub fn conv3x3_sim_run(fast_path: bool) -> (Vec<f32>, PerfSnapshot) {
+    let mut cluster = Cluster::new(ClusterConfig {
+        fast_path,
+        ..ClusterConfig::default()
+    });
+    let kernel = Conv2dKernel {
+        height: 66,
+        width: 63,
+        k: 3,
+        filters: 8,
+    };
+    let image = test_data((kernel.height * kernel.width) as usize, 0x1234_5678);
+    let weights = test_data((kernel.k * kernel.k * kernel.filters) as usize, 0x9abc_def0);
+    cluster.ext_mem().write_f32_slice(0, &image);
+    write_replicated_weights(&mut cluster, 0, &weights);
+    let tiles = conv_tiles(&cluster, &kernel, 0, 0, 0x10_0000, 8);
+    let perf = run_tiles(&mut cluster, &tiles);
+    let out_len = (kernel.out_height() * kernel.out_width() * kernel.filters) as usize;
+    let out = cluster.ext_mem().read_f32_slice(0x10_0000, out_len);
+    (out, perf)
+}
+
+/// Runs the Table I conv3x3 kernel (all 8 filters) on a single NTX
+/// co-processor in the TCDM — the sole-master burst regime.
+#[must_use]
+pub fn conv3x3_single_ntx_run(fast_path: bool) -> (Vec<f32>, PerfSnapshot) {
+    let mut cluster = Cluster::new(ClusterConfig {
+        fast_path,
+        ..ClusterConfig::default()
+    });
+    let kernel = Conv2dKernel {
+        height: 66,
+        width: 63,
+        k: 3,
+        filters: 8,
+    };
+    let image = test_data((kernel.height * kernel.width) as usize, 0x1234_5678);
+    let weights = test_data((kernel.k * kernel.k * kernel.filters) as usize, 0x9abc_def0);
+    let w_addr = 4 * kernel.height * kernel.width;
+    let out_addr = w_addr + 4 * 9 * kernel.filters;
+    let out_len = (kernel.out_height() * kernel.out_width()) as usize;
+    cluster.write_tcdm_f32(0, &image);
+    cluster.write_tcdm_f32(w_addr, &weights);
+    let before = cluster.perf();
+    let mut out = Vec::with_capacity(out_len * kernel.filters as usize);
+    for f in 0..kernel.filters {
+        let cfgs = kernel
+            .lower_replicated(0, w_addr + 4 * 9 * f, 0, out_addr, 1, false)
+            .expect("valid lowering");
+        for cfg in &cfgs {
+            cluster.offload_with_writes(0, cfg, 6);
+        }
+        cluster.run_to_completion();
+        out.extend(cluster.read_tcdm_f32(out_addr, out_len));
+    }
+    (out, cluster.perf().since(&before))
+}
+
+fn measure_workload(
+    label: &'static str,
+    reps: u32,
+    run: impl Fn(bool) -> (Vec<f32>, PerfSnapshot),
+) -> SimPerfWorkload {
+    use std::time::Instant;
+    let reps = reps.max(1);
+    let time_mode = |fast: bool| {
+        let mut best = f64::INFINITY;
+        let mut result = None;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let r = run(fast);
+            best = best.min(t0.elapsed().as_secs_f64());
+            result = Some(r);
+        }
+        let (out, perf) = result.expect("reps >= 1");
+        (best, out, perf)
+    };
+    let (wall_fast, out_fast, perf_fast) = time_mode(true);
+    let (wall_ref, out_ref, perf_ref) = time_mode(false);
+    let bit_identical = out_fast.len() == out_ref.len()
+        && out_fast
+            .iter()
+            .zip(&out_ref)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    let counters_identical = perf_fast == perf_ref;
+    let elements = perf_fast.ntx_active_cycles;
+    SimPerfWorkload {
+        workload: label,
+        cycles: perf_fast.cycles,
+        elements,
+        flops: perf_fast.flops,
+        wall_fast_s: wall_fast,
+        wall_reference_s: wall_ref,
+        elements_per_sec_fast: elements as f64 / wall_fast,
+        elements_per_sec_reference: elements as f64 / wall_ref,
+        speedup: wall_ref / wall_fast,
+        bit_identical,
+        counters_identical,
+    }
+}
+
+/// Times the Table I conv3x3 kernel in both execution regimes and both
+/// simulator modes (`reps` samples each, best sample kept), verifying
+/// that every simulated outcome is bit-identical — the `report-simperf`
+/// experiment.
+#[must_use]
+pub fn simperf_report(reps: u32) -> SimPerfReport {
+    SimPerfReport {
+        streaming: measure_workload("table1_conv3x3_streaming_8ntx", reps, conv3x3_sim_run),
+        single_ntx: measure_workload("table1_conv3x3_single_ntx", reps, conv3x3_single_ntx_run),
+    }
+}

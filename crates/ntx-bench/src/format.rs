@@ -231,6 +231,74 @@ pub fn greenwave(rows: &[StencilPlatform]) -> String {
     s
 }
 
+/// Formats the simulator fast-path measurement.
+#[must_use]
+pub fn simperf(r: &crate::experiments::SimPerfReport) -> String {
+    let mut s = String::new();
+    s.push_str("Simulator hot loop — burst fast path vs pure per-cycle path\n");
+    for w in [&r.streaming, &r.single_ntx] {
+        s.push_str(&format!(
+            "  {} ({} simulated cycles, {} elements)\n",
+            w.workload, w.cycles, w.elements
+        ));
+        s.push_str(&format!(
+            "    per-cycle {:>10.3} ms ({:.3e} el/s)   burst {:>10.3} ms ({:.3e} el/s)   speedup {:.2}x\n",
+            w.wall_reference_s * 1e3,
+            w.elements_per_sec_reference,
+            w.wall_fast_s * 1e3,
+            w.elements_per_sec_fast,
+            w.speedup
+        ));
+        s.push_str(&format!(
+            "    bit-identical outputs: {}; identical cycle/stall counters: {}\n",
+            w.bit_identical, w.counters_identical
+        ));
+    }
+    s
+}
+
+fn simperf_workload_json(w: &crate::experiments::SimPerfWorkload) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"workload\": \"{}\",\n",
+            "      \"simulated_cycles\": {},\n",
+            "      \"simulated_elements\": {},\n",
+            "      \"flops\": {},\n",
+            "      \"wall_seconds_fast\": {:.6},\n",
+            "      \"wall_seconds_per_cycle\": {:.6},\n",
+            "      \"elements_per_sec_fast\": {:.1},\n",
+            "      \"elements_per_sec_per_cycle\": {:.1},\n",
+            "      \"speedup\": {:.3},\n",
+            "      \"bit_identical\": {},\n",
+            "      \"counters_identical\": {}\n",
+            "    }}"
+        ),
+        w.workload,
+        w.cycles,
+        w.elements,
+        w.flops,
+        w.wall_fast_s,
+        w.wall_reference_s,
+        w.elements_per_sec_fast,
+        w.elements_per_sec_reference,
+        w.speedup,
+        w.bit_identical,
+        w.counters_identical
+    )
+}
+
+/// Serialises the simulator fast-path measurement as the
+/// `BENCH_sim.json` artifact (hand-rolled: no serde in the container).
+#[must_use]
+pub fn simperf_json(r: &crate::experiments::SimPerfReport) -> String {
+    format!(
+        "{{\n  \"workloads\": [\n{},\n{}\n  ]\n}}\n",
+        simperf_workload_json(&r.streaming),
+        simperf_workload_json(&r.single_ntx)
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

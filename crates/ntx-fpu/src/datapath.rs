@@ -101,6 +101,14 @@ impl FpuDatapath {
         }
     }
 
+    /// Swaps the wide accumulator for its pre-overhaul reference
+    /// implementation (bit-identical results, full-width carry ripple
+    /// and bit-serial rounding) — the FPU of the simulator's pure
+    /// per-cycle baseline. Clears the accumulator.
+    pub fn use_reference_accumulator(&mut self) {
+        self.accumulator = WideAccumulator::new_reference();
+    }
+
     /// Sets the ALU scalar register `R`.
     pub fn set_register(&mut self, r: f32) {
         self.alu_register = r;
@@ -108,6 +116,7 @@ impl FpuDatapath {
 
     /// Returns the ALU scalar register `R`.
     #[must_use]
+    #[inline]
     pub fn register(&self) -> f32 {
         self.alu_register
     }
@@ -115,6 +124,7 @@ impl FpuDatapath {
     /// Initialises the accumulator and comparators at the *init level* of
     /// the loop nest: `Some(v)` loads `v` (the `accu = *AGU2` option of
     /// Fig. 3a), `None` clears to zero.
+    #[inline]
     pub fn init_accumulator(&mut self, initial: Option<f32>) {
         self.accumulator.clear();
         self.min_cmp.clear();
@@ -132,6 +142,7 @@ impl FpuDatapath {
     ///
     /// `index` is the value of the innermost index counter, used by the
     /// argmin/argmax machinery.
+    #[inline]
     pub fn execute(&mut self, op: FpuOp, x: f32, y: f32, index: u32) -> Option<f32> {
         match op {
             FpuOp::Mac => {
@@ -156,10 +167,35 @@ impl FpuDatapath {
         }
     }
 
+    /// Feeds a batch of MAC element pairs straight into the wide
+    /// accumulator — the burst fast path of the simulator, equivalent to
+    /// one [`FpuDatapath::execute`] with [`FpuOp::Mac`] per pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn mac_slices(&mut self, xs: &[f32], ys: &[f32]) {
+        assert_eq!(xs.len(), ys.len(), "operand slices must match");
+        for (&x, &y) in xs.iter().zip(ys) {
+            self.accumulator.add_product(x, y);
+        }
+    }
+
+    /// Feeds a batch of MAC elements with the scalar register operand
+    /// (`accu += x * R` per element) — the burst fast path for
+    /// register-operand MAC commands.
+    pub fn mac_register_slice(&mut self, xs: &[f32]) {
+        let r = self.alu_register;
+        for &x in xs {
+            self.accumulator.add_product(x, r);
+        }
+    }
+
     /// Reads the reduction result at the *store level*: the rounded wide
     /// accumulator. The accumulator keeps its exact state so outer loop
     /// levels can continue accumulating.
     #[must_use]
+    #[inline]
     pub fn store_accumulator(&self) -> f32 {
         self.accumulator.round()
     }
@@ -268,6 +304,33 @@ mod tests {
         fpu.execute(FpuOp::Min, 1.0, 0.0, 0);
         assert_eq!(fpu.store_min(), -100.0);
         assert_eq!(fpu.argmin(), None); // extremum came from memory init
+    }
+
+    #[test]
+    fn mac_slices_match_per_element_execution() {
+        let xs = [1.5f32, -2.0, 3.25, 0.5];
+        let ys = [2.0f32, 4.0, -1.0, 8.0];
+        let mut batched = FpuDatapath::new();
+        batched.init_accumulator(None);
+        batched.mac_slices(&xs, &ys);
+        let mut stepped = FpuDatapath::new();
+        stepped.init_accumulator(None);
+        for (i, (&x, &y)) in xs.iter().zip(&ys).enumerate() {
+            stepped.execute(FpuOp::Mac, x, y, i as u32);
+        }
+        assert_eq!(batched.accumulator(), stepped.accumulator());
+        // Register-operand variant.
+        let mut reg = FpuDatapath::new();
+        reg.set_register(2.5);
+        reg.init_accumulator(None);
+        reg.mac_register_slice(&xs);
+        let mut reg_step = FpuDatapath::new();
+        reg_step.set_register(2.5);
+        reg_step.init_accumulator(None);
+        for &x in &xs {
+            reg_step.execute(FpuOp::Mac, x, 2.5, 0);
+        }
+        assert_eq!(reg.accumulator(), reg_step.accumulator());
     }
 
     #[test]

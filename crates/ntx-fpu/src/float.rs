@@ -33,6 +33,7 @@ pub struct Decomposed {
 
 /// Classifies a value the way the datapath does.
 #[must_use]
+#[inline]
 pub fn classify(x: f32) -> FloatClass {
     if x.is_nan() {
         FloatClass::Nan
@@ -54,6 +55,7 @@ pub fn classify(x: f32) -> FloatClass {
 ///
 /// Panics if `x` is NaN or infinite; the datapath filters those earlier.
 #[must_use]
+#[inline]
 pub fn decompose(x: f32) -> Decomposed {
     assert!(x.is_finite(), "decompose requires a finite value");
     let bits = x.to_bits();
@@ -153,8 +155,28 @@ pub fn compose(negative: bool, magnitude: u128, lsb_exp: i32, sticky: bool) -> f
         exp += over;
     }
     debug_assert!(mant < (1 << 24));
-    let value = mant as f64 * 2f64.powi(exp);
-    let out = value as f32; // exact: mant*2^exp representable or rounds identically
+    // Assemble the binary32 directly: a 24-bit significand with LSB
+    // weight 2^exp. `mant < 2^23` only happens on the subnormal grid
+    // (exp == -149, including exact zero); otherwise bit 23 is the
+    // implicit one and the biased exponent is exp + 23 + 127.
+    let mant = mant as u32;
+    let bits = if mant >> 23 == 0 {
+        debug_assert!(mant == 0 || exp == -149);
+        mant
+    } else {
+        let biased = exp + 23 + 127;
+        if biased >= 255 {
+            0x7f80_0000 // rounding carried past f32::MAX: infinity
+        } else {
+            ((biased as u32) << 23) | (mant & 0x7f_ffff)
+        }
+    };
+    let out = f32::from_bits(bits);
+    debug_assert_eq!(
+        out,
+        (mant as f64 * 2f64.powi(exp)) as f32,
+        "bit assembly must match the arithmetic composition"
+    );
     if negative {
         -out
     } else {

@@ -134,4 +134,175 @@ proptest! {
     fn ulp_positive(x in finite_f32()) {
         prop_assert!(ulp(x) > 0.0);
     }
+
+    /// The windowed accumulator matches a flat 640-bit reference
+    /// (carries always rippled across all limbs, as before the occupied-
+    /// limb window) on arbitrary signed product/value sequences.
+    #[test]
+    fn window_matches_flat_reference(ops in prop::collection::vec(
+        (finite_f32(), finite_f32(), any::<bool>()), 0..60,
+    )) {
+        let mut acc = WideAccumulator::new();
+        let mut flat = FlatAccumulator::new();
+        for &(a, b, value) in &ops {
+            if value {
+                acc.add_value(a);
+                flat.add_value(a);
+            } else {
+                acc.add_product(a, b);
+                flat.add_product(a, b);
+            }
+        }
+        let got = acc.round();
+        let expect = flat.round();
+        if expect.is_nan() {
+            prop_assert!(got.is_nan());
+        } else {
+            prop_assert_eq!(got.to_bits(), expect.to_bits());
+        }
+        prop_assert_eq!(acc.is_zero(), flat.is_zero());
+    }
+}
+
+/// The pre-window accumulator: a flat 640-bit two's-complement adder
+/// whose carries ripple across every limb. Serves as the semantic
+/// oracle for the occupied-limb window in `WideAccumulator`.
+struct FlatAccumulator {
+    limbs: [u64; 10],
+    nan: bool,
+}
+
+impl FlatAccumulator {
+    const LSB_EXP: i32 = -298;
+
+    fn new() -> Self {
+        Self {
+            limbs: [0; 10],
+            nan: false,
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        !self.nan && self.limbs.iter().all(|&l| l == 0)
+    }
+
+    fn add_value(&mut self, x: f32) {
+        if x.is_nan() {
+            self.nan = true;
+        } else if x.is_infinite() {
+            self.nan = true; // collapsed: the property only compares finite paths
+        } else if x != 0.0 {
+            let d = decompose(x);
+            if d.mantissa != 0 {
+                self.add_magnitude(
+                    u128::from(d.mantissa),
+                    (d.exp - Self::LSB_EXP) as u32,
+                    d.negative,
+                );
+            }
+        }
+    }
+
+    fn add_product(&mut self, a: f32, b: f32) {
+        if a.is_nan() || b.is_nan() || (a.is_infinite() || b.is_infinite()) {
+            self.nan = true;
+            return;
+        }
+        if a == 0.0 || b == 0.0 {
+            return;
+        }
+        let da = decompose(a);
+        let db = decompose(b);
+        let product = u128::from(da.mantissa) * u128::from(db.mantissa);
+        if product != 0 {
+            self.add_magnitude(
+                product,
+                (da.exp + db.exp - Self::LSB_EXP) as u32,
+                da.negative ^ db.negative,
+            );
+        }
+    }
+
+    fn add_magnitude(&mut self, magnitude: u128, bitpos: u32, negative: bool) {
+        let limb = (bitpos / 64) as usize;
+        let off = bitpos % 64;
+        let lo = magnitude << off;
+        let hi = if off == 0 {
+            0
+        } else {
+            (magnitude >> (64 - off)) >> 64
+        };
+        let words = [lo as u64, (lo >> 64) as u64, hi as u64];
+        if negative {
+            let mut borrow = 0u64;
+            for (i, &w) in words.iter().enumerate() {
+                if limb + i >= 10 {
+                    break;
+                }
+                let (r1, b1) = self.limbs[limb + i].overflowing_sub(w);
+                let (r2, b2) = r1.overflowing_sub(borrow);
+                self.limbs[limb + i] = r2;
+                borrow = u64::from(b1) + u64::from(b2);
+            }
+            let mut i = limb + 3;
+            while borrow != 0 && i < 10 {
+                let (r, b) = self.limbs[i].overflowing_sub(borrow);
+                self.limbs[i] = r;
+                borrow = u64::from(b);
+                i += 1;
+            }
+        } else {
+            let mut carry = 0u64;
+            for (i, &w) in words.iter().enumerate() {
+                if limb + i >= 10 {
+                    break;
+                }
+                let (r1, c1) = self.limbs[limb + i].overflowing_add(w);
+                let (r2, c2) = r1.overflowing_add(carry);
+                self.limbs[limb + i] = r2;
+                carry = u64::from(c1) + u64::from(c2);
+            }
+            let mut i = limb + 3;
+            while carry != 0 && i < 10 {
+                let (r, c) = self.limbs[i].overflowing_add(carry);
+                self.limbs[i] = r;
+                carry = u64::from(c);
+                i += 1;
+            }
+        }
+    }
+
+    fn round(&self) -> f32 {
+        if self.nan {
+            return f32::NAN;
+        }
+        let negative = self.limbs[9] >> 63 != 0;
+        let mut mag = self.limbs;
+        if negative {
+            let mut carry = 1u64;
+            for l in &mut mag {
+                let (r, c) = (!*l).overflowing_add(carry);
+                *l = r;
+                carry = u64::from(c);
+            }
+        }
+        let Some(top_limb) = mag.iter().rposition(|&l| l != 0) else {
+            return if negative { -0.0 } else { 0.0 };
+        };
+        let top_bit = 63 - mag[top_limb].leading_zeros() as usize;
+        let h = top_limb * 64 + top_bit;
+        let low = h.saturating_sub(95);
+        let mut window: u128 = 0;
+        for pos in (low..=h).rev() {
+            window = (window << 1) | u128::from((mag[pos / 64] >> (pos % 64)) & 1);
+        }
+        let mut sticky = false;
+        for pos in 0..low {
+            if (mag[pos / 64] >> (pos % 64)) & 1 == 1 {
+                sticky = true;
+                break;
+            }
+        }
+        compose(negative, window, low as i32 + Self::LSB_EXP, sticky)
+    }
 }

@@ -95,12 +95,28 @@ impl Agu {
         self.address
     }
 
+    /// The configured stride of loop `level` in bytes.
+    #[must_use]
+    pub fn stride(&self, level: usize) -> i32 {
+        self.config.strides[level]
+    }
+
     /// Advances the pointer for a cycle in which loop `level` was the
     /// outermost loop to increment (wrapping 32-bit arithmetic, like the
     /// hardware adder).
     pub fn advance(&mut self, level: usize) {
         let stride = self.config.strides[level];
         self.address = self.address.wrapping_add(stride as u32);
+    }
+
+    /// Advances the pointer by `n` iterations that all select loop
+    /// `level` — exactly `n` calls to [`Agu::advance`] folded into one
+    /// wrapping multiply-add (the simulator's burst fast path).
+    pub fn advance_by(&mut self, level: usize, n: u32) {
+        let stride = self.config.strides[level];
+        self.address = self
+            .address
+            .wrapping_add(stride.wrapping_mul(n as i32) as u32);
     }
 
     /// Restarts the pointer at the base address (new command).
@@ -177,6 +193,20 @@ mod tests {
             }
         }
         assert_eq!(addrs, vec![0, 4, 8, 20, 24, 28]);
+    }
+
+    #[test]
+    fn bulk_advance_matches_stepped_advance() {
+        let cfg = AguConfig::new(0xffff_ff00, [12, -8, 0, 0, 0]);
+        let mut stepped = Agu::new(cfg);
+        let mut bulk = Agu::new(cfg);
+        for _ in 0..100 {
+            stepped.advance(0); // wraps through 0 on the way
+        }
+        bulk.advance_by(0, 100);
+        assert_eq!(bulk.address(), stepped.address());
+        assert_eq!(bulk.stride(0), 12);
+        assert_eq!(bulk.stride(1), -8);
     }
 
     #[test]

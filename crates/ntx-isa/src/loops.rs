@@ -256,6 +256,47 @@ impl LoopCounters {
             .all(|(&c, &b)| c + 1 == b)
     }
 
+    /// Number of upcoming iterations (including the current one) that
+    /// are guaranteed to advance at loop level 0 without triggering an
+    /// init or store event — the window the simulator's burst fast path
+    /// may execute in one go. Each such iteration is equivalent to one
+    /// [`LoopCounters::advance`] returning `Some(0)` with
+    /// [`LoopCounters::at_init`] and [`LoopCounters::at_store`] false
+    /// throughout.
+    #[must_use]
+    pub fn level0_run_len(&self) -> u32 {
+        if self.done
+            || self.nest.init_level == 0
+            || self.nest.store_level == 0
+            || self.at_init()
+            || self.at_store()
+        {
+            return 0;
+        }
+        // Iterations at counters[0] in [c, bounds[0]-2] advance at level
+        // 0; the one at bounds[0]-1 wraps (and may store), ending the
+        // run. `at_init` is monotonically false once counters[0] > 0.
+        self.nest.bounds[0] - 1 - self.counters[0]
+    }
+
+    /// Bulk-advances `n` innermost iterations that all stay within the
+    /// innermost loop — exactly `n` calls to [`LoopCounters::advance`]
+    /// each returning `Some(0)`. Callers must stay within
+    /// [`LoopCounters::level0_run_len`].
+    pub fn advance_level0_by(&mut self, n: u32) {
+        debug_assert!(!self.done, "bulk advance on a finished nest");
+        debug_assert!(
+            self.counters[0] + n < self.nest.bounds[0],
+            "bulk advance must not wrap the innermost loop"
+        );
+        debug_assert!(
+            self.nest.init_level > 0,
+            "level-0 bulk advance would cross the init level"
+        );
+        self.counters[0] += n;
+        self.index_counter = self.index_counter.wrapping_add(n);
+    }
+
     /// Completes the current innermost iteration and advances the
     /// cascade. Returns the outermost loop level that incremented (the
     /// AGU stride selector), or `None` when the nest finished.
@@ -421,6 +462,41 @@ mod tests {
             assert!(c.at_store());
             c.advance();
         }
+    }
+
+    #[test]
+    fn level0_run_matches_stepped_advance() {
+        // For every state of a mixed nest, the advertised run length
+        // must be exactly the number of upcoming Some(0) advances with
+        // no init/store events, and bulk-advancing must land in the
+        // same state as stepping.
+        let nest = LoopNest::nested(&[5, 2, 3]).with_levels(2, 1);
+        let mut c = LoopCounters::new(nest);
+        loop {
+            let run = c.level0_run_len();
+            let mut probe = c.clone();
+            for _ in 0..run {
+                assert!(!probe.at_init(), "init inside run");
+                assert!(!probe.at_store(), "store inside run");
+                assert_eq!(probe.advance(), Some(0), "non-level-0 advance inside run");
+            }
+            if run > 0 {
+                let mut bulk = c.clone();
+                bulk.advance_level0_by(run);
+                assert_eq!(bulk, probe);
+            }
+            if c.advance().is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn level0_run_is_zero_for_elementwise_stores() {
+        let mut c = LoopCounters::new(LoopNest::elementwise(8));
+        assert_eq!(c.level0_run_len(), 0); // stores every cycle
+        c.advance();
+        assert_eq!(c.level0_run_len(), 0);
     }
 
     #[test]

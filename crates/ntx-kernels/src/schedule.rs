@@ -129,10 +129,14 @@ impl TilePipeline {
         self.stage != Stage::Done
     }
 
-    /// Advances the pipeline. Blocked phases step the cluster exactly
-    /// one cycle; phase transitions (offloads) may consume the cycles
-    /// the §II-E register interface charges. Returns `false` once the
-    /// pipeline has fully drained.
+    /// Advances the pipeline. Blocked phases drain the cluster through
+    /// the burst API ([`Cluster::run_burst`]), which stops exactly at
+    /// the observable events the pipeline polls (descriptor
+    /// completions, engines going idle) — so the schedule, cycle counts
+    /// and counters are identical to per-cycle stepping while the
+    /// steady state executes in bursts. Phase transitions (offloads)
+    /// may consume the cycles the §II-E register interface charges.
+    /// Returns `false` once the pipeline has fully drained.
     pub fn step(&mut self, cluster: &mut Cluster) -> bool {
         match self.stage {
             Stage::LoadWait => {
@@ -153,12 +157,12 @@ impl TilePipeline {
                     }
                     self.stage = Stage::Compute;
                 } else {
-                    cluster.step();
+                    cluster.run_burst(u64::MAX);
                 }
             }
             Stage::Compute => {
                 if cluster.engines_busy() {
-                    cluster.step();
+                    cluster.run_burst(u64::MAX);
                 } else {
                     // Stores drain in the background, overlapped with
                     // the next tile's compute.
@@ -178,7 +182,7 @@ impl TilePipeline {
                 if cluster.dma_idle() {
                     self.stage = Stage::Done;
                 } else {
-                    cluster.step();
+                    cluster.run_burst(u64::MAX);
                 }
             }
             Stage::Done => {}

@@ -13,6 +13,7 @@
 //! port width (2 for the 128-bit, 4 for the 256-bit variant of §III-C).
 
 use crate::ext_mem::ExtMemory;
+use crate::interconnect::{Interconnect, MasterId};
 use crate::tcdm::Tcdm;
 use std::collections::VecDeque;
 
@@ -117,6 +118,15 @@ pub struct DmaEngine {
     bytes_moved: u64,
     busy_cycles: u64,
     completed: u64,
+    /// Reusable word buffer for the burst fast path's row batches.
+    scratch: Vec<u32>,
+    /// Incremental cursor over the head descriptor (external address,
+    /// TCDM address, column of `current_word`), so the per-cycle hot
+    /// loop advances by additions instead of re-deriving row/column
+    /// with 64-bit divisions.
+    cur_ea: u64,
+    cur_ta: u32,
+    cur_col: u64,
 }
 
 impl DmaEngine {
@@ -136,6 +146,10 @@ impl DmaEngine {
             bytes_moved: 0,
             busy_cycles: 0,
             completed: 0,
+            scratch: Vec::new(),
+            cur_ea: 0,
+            cur_ta: 0,
+            cur_col: 0,
         }
     }
 
@@ -166,6 +180,21 @@ impl DmaEngine {
             "DMA strides must be word aligned"
         );
         self.queue.push_back(desc);
+        if self.queue.len() == 1 {
+            self.sync_cursor();
+        }
+    }
+
+    /// Re-derives the incremental cursor from `current_word` (after a
+    /// descriptor change or a bulk advance).
+    fn sync_cursor(&mut self) {
+        if let Some(desc) = self.queue.front() {
+            let wpr = u64::from(desc.row_bytes / 4);
+            self.cur_col = self.current_word % wpr;
+            let (ea, ta) = desc.word_addrs(self.current_word);
+            self.cur_ea = ea;
+            self.cur_ta = ta;
+        }
     }
 
     /// True when no descriptor is pending or in flight.
@@ -185,14 +214,29 @@ impl DmaEngine {
     /// do not overlap within a cycle, matching the RTL's serialisation).
     #[must_use]
     pub fn desired_accesses(&self) -> Vec<u32> {
+        let mut v = Vec::new();
+        self.desired_accesses_into(&mut v);
+        v
+    }
+
+    /// Allocation-free variant of [`DmaEngine::desired_accesses`]: the
+    /// addresses are appended to a cleared caller buffer, which the hot
+    /// loop reuses across cycles.
+    pub fn desired_accesses_into(&self, out: &mut Vec<u32>) {
+        out.clear();
         let Some(desc) = self.queue.front() else {
-            return Vec::new();
+            return;
         };
         let remaining = desc.total_words() - self.current_word;
         let n = u64::from(self.words_per_cycle).min(remaining);
-        (0..n)
-            .map(|i| desc.word_addrs(self.current_word + i).1)
-            .collect()
+        debug_assert_eq!(self.cur_ta, desc.word_addrs(self.current_word).1);
+        for i in 0..n {
+            out.push(if i == 0 {
+                self.cur_ta
+            } else {
+                desc.word_addrs(self.current_word + i).1
+            });
+        }
     }
 
     /// Performs the granted transfers for this cycle. `granted[i]`
@@ -204,11 +248,13 @@ impl DmaEngine {
             return 0;
         };
         let mut moved = 0u32;
+        let wpr = u64::from(desc.row_bytes / 4);
         for &g in granted {
             if !g {
                 break; // in-order: a stalled beat blocks the rest
             }
-            let (ea, ta) = desc.word_addrs(self.current_word);
+            let (ea, ta) = (self.cur_ea, self.cur_ta);
+            debug_assert_eq!((ea, ta), desc.word_addrs(self.current_word));
             match desc.dir {
                 DmaDirection::ExtToTcdm => {
                     let w = ext.read_u32(ea);
@@ -220,6 +266,24 @@ impl DmaEngine {
                 }
             }
             self.current_word += 1;
+            self.cur_col += 1;
+            if self.cur_col == wpr {
+                // Next row start.
+                self.cur_col = 0;
+                self.cur_ea = self
+                    .cur_ea
+                    .wrapping_add(desc.ext_stride)
+                    .wrapping_sub(u64::from(desc.row_bytes))
+                    .wrapping_add(4);
+                self.cur_ta = self
+                    .cur_ta
+                    .wrapping_add(desc.tcdm_stride)
+                    .wrapping_sub(desc.row_bytes)
+                    .wrapping_add(4);
+            } else {
+                self.cur_ea = self.cur_ea.wrapping_add(4);
+                self.cur_ta = self.cur_ta.wrapping_add(4);
+            }
             moved += 1;
         }
         if moved > 0 {
@@ -230,8 +294,86 @@ impl DmaEngine {
             self.queue.pop_front();
             self.current_word = 0;
             self.completed += 1;
+            self.sync_cursor();
         }
         moved
+    }
+
+    /// Drains the head descriptor as the *sole* TCDM master for up to
+    /// `max_cycles` cycles, stopping at the descriptor boundary so
+    /// completion-watermark pollers observe the same transition points
+    /// as with per-cycle stepping. Returns the cycles consumed (0 when
+    /// idle).
+    ///
+    /// Bit-exact with the per-cycle `desired_accesses`/`arbitrate`/
+    /// `commit` protocol: with a single master every access is granted
+    /// (one word per bank per cycle), so rows are moved as whole batched
+    /// slices, with all counters — TCDM/external traffic, interconnect
+    /// requests/grants and round-robin state, DMA busy cycles and bytes
+    /// — advanced by exactly what the cycle-accurate path would produce.
+    pub fn burst_sole(
+        &mut self,
+        tcdm: &mut Tcdm,
+        ext: &mut ExtMemory,
+        interconnect: &mut Interconnect,
+        max_cycles: u64,
+    ) -> u64 {
+        let Some(desc) = self.queue.front().copied() else {
+            return 0;
+        };
+        let total = desc.total_words();
+        let wpr = u64::from(desc.row_bytes / 4);
+        let mut cycles = 0u64;
+        if self.words_per_cycle == 1 {
+            // One word per cycle: a row run of L words is exactly L
+            // conflict-free cycles — move it as one slice.
+            while self.current_word < total && cycles < max_cycles {
+                let col = self.current_word % wpr;
+                let run = (wpr - col)
+                    .min(total - self.current_word)
+                    .min(max_cycles - cycles) as usize;
+                let (ea, ta) = desc.word_addrs(self.current_word);
+                let mut scratch = std::mem::take(&mut self.scratch);
+                scratch.resize(run, 0);
+                match desc.dir {
+                    DmaDirection::ExtToTcdm => {
+                        ext.read_words_into(ea, &mut scratch[..run]);
+                        tcdm.write_words_from(ta, &scratch[..run]);
+                    }
+                    DmaDirection::TcdmToExt => {
+                        tcdm.read_words_into(ta, &mut scratch[..run]);
+                        ext.write_words_from(ea, &scratch[..run]);
+                    }
+                }
+                self.scratch = scratch;
+                interconnect.grant_stream(MasterId::Dma, ta, 4, run as u32);
+                self.current_word += run as u64;
+                cycles += run as u64;
+                self.busy_cycles += run as u64;
+                self.bytes_moved += 4 * run as u64;
+            }
+            if self.current_word == total {
+                self.queue.pop_front();
+                self.current_word = 0;
+                self.completed += 1;
+            }
+            self.sync_cursor();
+        } else {
+            // Wider ports can straddle a row boundary within one cycle
+            // (two non-consecutive words may share a bank); run the
+            // cycle-accurate protocol with reused buffers instead.
+            let before = self.completed;
+            let mut addrs: Vec<u32> = Vec::with_capacity(self.words_per_cycle as usize);
+            let mut grants: Vec<bool> = vec![false; self.words_per_cycle as usize];
+            while self.completed == before && cycles < max_cycles {
+                self.desired_accesses_into(&mut addrs);
+                interconnect.arbitrate_sole(MasterId::Dma, &addrs, &mut grants[..addrs.len()]);
+                let n = addrs.len();
+                self.commit(&grants[..n], tcdm, ext);
+                cycles += 1;
+            }
+        }
+        cycles
     }
 
     /// Drains the whole queue assuming every TCDM access is granted.
@@ -380,6 +522,83 @@ mod tests {
         assert_eq!(dma.completed(), 2);
         assert_eq!(tcdm.read_f32(0x10), 1.0);
         assert_eq!(tcdm.read_f32(0x20), 2.0);
+    }
+
+    #[test]
+    fn burst_matches_per_cycle_protocol() {
+        for wpc in [1u32, 2] {
+            // Reference: the cycle-accurate desired/arbitrate/commit loop.
+            let mut dma_ref = DmaEngine::new(wpc);
+            let mut tcdm_ref = Tcdm::default();
+            let mut ext_ref = ExtMemory::new();
+            let mut ic_ref = Interconnect::new(32);
+            // Burst path.
+            let mut dma = DmaEngine::new(wpc);
+            let mut tcdm = Tcdm::default();
+            let mut ext = ExtMemory::new();
+            let mut ic = Interconnect::new(32);
+            let image: Vec<f32> = (0..64).map(|i| i as f32).collect();
+            for e in [&mut ext_ref, &mut ext] {
+                e.write_f32_slice(0, &image);
+                e.reset_counters();
+            }
+            let descs = [
+                DmaDescriptor {
+                    ext_addr: 4,
+                    tcdm_addr: 0x100,
+                    row_bytes: 20,
+                    rows: 3,
+                    ext_stride: 28,
+                    tcdm_stride: 20,
+                    dir: DmaDirection::ExtToTcdm,
+                },
+                DmaDescriptor::linear(0x400, 0x100, 40, DmaDirection::TcdmToExt),
+            ];
+            for d in descs {
+                dma_ref.push(d);
+                dma.push(d);
+            }
+            let mut ref_cycles = 0u64;
+            while !dma_ref.is_idle() {
+                let addrs = dma_ref.desired_accesses();
+                let reqs: Vec<crate::BankRequest> = addrs
+                    .iter()
+                    .map(|&addr| crate::BankRequest {
+                        master: MasterId::Dma,
+                        addr,
+                    })
+                    .collect();
+                let grants = ic_ref.arbitrate(&reqs);
+                dma_ref.commit(&grants, &mut tcdm_ref, &mut ext_ref);
+                ref_cycles += 1;
+            }
+            let mut cycles = 0u64;
+            while !dma.is_idle() {
+                let c = dma.burst_sole(&mut tcdm, &mut ext, &mut ic, u64::MAX);
+                assert!(c > 0, "burst must make progress");
+                cycles += c;
+            }
+            assert_eq!(cycles, ref_cycles, "wpc {wpc}");
+            assert_eq!(dma.bytes_moved(), dma_ref.bytes_moved());
+            assert_eq!(dma.busy_cycles(), dma_ref.busy_cycles());
+            assert_eq!(dma.completed(), dma_ref.completed());
+            assert_eq!(ic.requests(), ic_ref.requests());
+            assert_eq!(ic.grants(), ic_ref.grants());
+            assert_eq!(ic.conflicts(), ic_ref.conflicts());
+            assert_eq!(
+                (tcdm.reads(), tcdm.writes()),
+                (tcdm_ref.reads(), tcdm_ref.writes())
+            );
+            assert_eq!(ext.bytes_read(), ext_ref.bytes_read());
+            assert_eq!(ext.bytes_written(), ext_ref.bytes_written());
+            for a in (0..0x200u32).step_by(4) {
+                assert_eq!(tcdm.peek_u32(a), tcdm_ref.peek_u32(a), "tcdm @{a:#x}");
+            }
+            assert_eq!(
+                ext.read_f32_slice(0x400, 10),
+                ext_ref.read_f32_slice(0x400, 10)
+            );
+        }
     }
 
     #[test]

@@ -84,6 +84,33 @@ impl ExtMemory {
         self.write_u32(addr, value.to_bits());
     }
 
+    /// Batched, counted read of `out.len()` consecutive words — the DMA
+    /// burst path's row fetch; the traffic counter advances by the byte
+    /// count, exactly as per-word reads would.
+    pub fn read_words_into(&mut self, addr: u64, out: &mut [u32]) {
+        self.ensure(addr + 4 * out.len() as u64);
+        let a = addr as usize;
+        let src = &self.data[a..a + 4 * out.len()];
+        for (o, w) in out.iter_mut().zip(src.chunks_exact(4)) {
+            *o = u32::from_le_bytes([w[0], w[1], w[2], w[3]]);
+        }
+        self.bytes_read += 4 * out.len() as u64;
+    }
+
+    /// Batched, counted write of consecutive words (see
+    /// [`ExtMemory::read_words_into`]).
+    pub fn write_words_from(&mut self, addr: u64, values: &[u32]) {
+        self.ensure(addr + 4 * values.len() as u64);
+        let a = addr as usize;
+        for (w, v) in self.data[a..a + 4 * values.len()]
+            .chunks_exact_mut(4)
+            .zip(values)
+        {
+            w.copy_from_slice(&v.to_le_bytes());
+        }
+        self.bytes_written += 4 * values.len() as u64;
+    }
+
     /// Writes a whole `f32` slice starting at `addr` (test preloading).
     pub fn write_f32_slice(&mut self, addr: u64, values: &[f32]) {
         for (i, &v) in values.iter().enumerate() {
@@ -94,6 +121,18 @@ impl ExtMemory {
     /// Reads `n` consecutive `f32` values starting at `addr`.
     pub fn read_f32_slice(&mut self, addr: u64, n: usize) -> Vec<f32> {
         (0..n).map(|i| self.read_f32(addr + 4 * i as u64)).collect()
+    }
+
+    /// Reads consecutive `f32` values into a caller buffer (counted),
+    /// avoiding the per-call `Vec` of [`ExtMemory::read_f32_slice`].
+    pub fn read_f32_into(&mut self, addr: u64, out: &mut [f32]) {
+        self.ensure(addr + 4 * out.len() as u64);
+        let a = addr as usize;
+        let src = &self.data[a..a + 4 * out.len()];
+        for (o, w) in out.iter_mut().zip(src.chunks_exact(4)) {
+            *o = f32::from_le_bytes([w[0], w[1], w[2], w[3]]);
+        }
+        self.bytes_read += 4 * out.len() as u64;
     }
 
     /// Total bytes read since the last counter reset (DRAM traffic).

@@ -25,6 +25,7 @@ pub enum MasterId {
 impl MasterId {
     /// Dense index used for round-robin bookkeeping.
     #[must_use]
+    #[inline]
     fn dense(self) -> usize {
         match self {
             MasterId::Core => 0,
@@ -62,11 +63,22 @@ pub struct BankRequest {
 #[derive(Debug, Clone)]
 pub struct Interconnect {
     banks: u32,
+    /// `banks - 1` when the bank count is a power of two, letting the
+    /// hot-loop bank decode be a shift-and-mask instead of a division;
+    /// 0 otherwise.
+    bank_mask: u32,
     /// Per-bank round-robin pointer over dense master indices.
     rr: Vec<usize>,
     requests: u64,
     grants: u64,
     conflicts: u64,
+    /// Reusable per-bank provisional-winner indices for
+    /// [`Interconnect::arbitrate_into`] (`usize::MAX` = no requester
+    /// yet), reset lazily via `scratch_touched`.
+    scratch_head: Vec<usize>,
+    /// Round-robin key of each bank's provisional winner.
+    scratch_tail: Vec<usize>,
+    scratch_touched: Vec<usize>,
 }
 
 impl Interconnect {
@@ -80,10 +92,56 @@ impl Interconnect {
         assert!(banks > 0, "interconnect needs at least one bank");
         Self {
             banks,
+            bank_mask: if banks.is_power_of_two() {
+                banks - 1
+            } else {
+                0
+            },
             rr: vec![0; banks as usize],
             requests: 0,
             grants: 0,
             conflicts: 0,
+            scratch_head: vec![usize::MAX; banks as usize],
+            scratch_tail: vec![usize::MAX; banks as usize],
+            scratch_touched: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn bank_of(&self, addr: u32) -> usize {
+        if self.bank_mask != 0 {
+            ((addr >> 2) & self.bank_mask) as usize
+        } else {
+            ((addr / 4) % self.banks) as usize
+        }
+    }
+
+    /// Accounts one granted, uncontended access: the round-robin
+    /// pointer of the addressed bank moves to `master`, exactly as an
+    /// [`Interconnect::arbitrate`] grant would. The caller is
+    /// responsible for having proven the cycle conflict-free and for
+    /// bulk-advancing the request/grant statistics via
+    /// [`Interconnect::record_uncontended`].
+    #[inline]
+    pub fn note_grant(&mut self, addr: u32, master: MasterId) {
+        let bank = self.bank_of(addr);
+        self.rr[bank] = master.dense();
+    }
+
+    /// Bulk-advances the statistics for `n` granted, uncontended
+    /// requests (companion of [`Interconnect::note_grant`]).
+    #[inline]
+    pub fn record_uncontended(&mut self, n: u64) {
+        self.requests += n;
+        self.grants += n;
+    }
+
+    /// Round-robin distance of dense index `d` after pointer `ptr`.
+    fn rr_key(d: usize, ptr: usize) -> usize {
+        if d > ptr {
+            d - ptr
+        } else {
+            d + 1024 - ptr
         }
     }
 
@@ -91,6 +149,13 @@ impl Interconnect {
     /// request (same order). Each bank grants exactly one request; among
     /// contenders the one whose dense master index follows the bank's
     /// round-robin pointer wins, and the pointer moves past the winner.
+    ///
+    /// This is the *reference* arbiter: it allocates its bucket lists
+    /// per call and defines the semantics the allocation-free fast-path
+    /// variants ([`Interconnect::arbitrate_into`],
+    /// [`Interconnect::arbitrate_sole`], [`Interconnect::grant_stream`])
+    /// must reproduce bit-exactly (grants, statistics and round-robin
+    /// state alike; see the equivalence proptests).
     pub fn arbitrate(&mut self, requests: &[BankRequest]) -> Vec<bool> {
         let mut granted = vec![false; requests.len()];
         // Group request indices by bank. Banks are few; a simple bucket
@@ -110,14 +175,7 @@ impl Interconnect {
             let ptr = self.rr[bank];
             let winner = *contenders
                 .iter()
-                .min_by_key(|&&i| {
-                    let d = requests[i].master.dense();
-                    if d > ptr {
-                        d - ptr
-                    } else {
-                        d + 1024 - ptr
-                    }
-                })
+                .min_by_key(|&&i| Self::rr_key(requests[i].master.dense(), ptr))
                 .expect("non-empty contenders");
             granted[winner] = true;
             self.grants += 1;
@@ -125,6 +183,143 @@ impl Interconnect {
             self.rr[bank] = requests[winner].master.dense();
         }
         granted
+    }
+
+    /// Allocation-free equivalent of [`Interconnect::arbitrate`]: writes
+    /// the grant flags into `granted` (cleared and resized) using
+    /// internal scratch buffers. A conflict-free cycle is detected with
+    /// a single bank-mask pass and granted wholesale; contended cycles
+    /// run the same bucket walk as the reference arbiter.
+    #[inline]
+    pub fn arbitrate_into(&mut self, requests: &[BankRequest], granted: &mut Vec<bool>) {
+        granted.clear();
+        granted.resize(requests.len(), false);
+        if requests.is_empty() {
+            return;
+        }
+        // Fast pre-pass: banks fit a u64 occupancy mask on realistic
+        // geometries; no duplicate bank means every request is granted.
+        if self.banks <= 64 {
+            let mut mask = 0u64;
+            let mut dup = false;
+            for req in requests {
+                let bit = 1u64 << self.bank_of(req.addr);
+                if mask & bit != 0 {
+                    dup = true;
+                    break;
+                }
+                mask |= bit;
+            }
+            if !dup {
+                self.requests += requests.len() as u64;
+                self.grants += requests.len() as u64;
+                for (g, req) in granted.iter_mut().zip(requests) {
+                    *g = true;
+                    let bank = self.bank_of(req.addr);
+                    self.rr[bank] = req.master.dense();
+                }
+                return;
+            }
+        }
+        // Contended cycle: one pass tracking the provisional winner per
+        // bank (`scratch_head` holds its request index, `scratch_next`
+        // its round-robin key, both reset lazily via the touched list).
+        // A later contender with a strictly smaller key displaces the
+        // provisional winner — the same outcome as the reference
+        // `min_by_key` with its first-minimum tie-breaking.
+        while let Some(bank) = self.scratch_touched.pop() {
+            self.scratch_head[bank] = usize::MAX;
+        }
+        self.requests += requests.len() as u64;
+        let mut granted_count = 0u64;
+        for (i, req) in requests.iter().enumerate() {
+            let bank = self.bank_of(req.addr);
+            let key = Self::rr_key(req.master.dense(), self.rr[bank]);
+            let head = self.scratch_head[bank];
+            if head == usize::MAX {
+                self.scratch_head[bank] = i;
+                self.scratch_next_key_set(bank, key);
+                self.scratch_touched.push(bank);
+                granted[i] = true;
+                granted_count += 1;
+            } else if key < self.scratch_next_key(bank) {
+                granted[head] = false;
+                granted[i] = true;
+                self.scratch_head[bank] = i;
+                self.scratch_next_key_set(bank, key);
+            }
+        }
+        self.grants += granted_count;
+        self.conflicts += requests.len() as u64 - granted_count;
+        for t in 0..self.scratch_touched.len() {
+            let bank = self.scratch_touched[t];
+            self.rr[bank] = requests[self.scratch_head[bank]].master.dense();
+        }
+    }
+
+    /// Per-bank round-robin key of the provisional winner (reuses the
+    /// `scratch_tail` slot allocation).
+    #[inline]
+    fn scratch_next_key(&self, bank: usize) -> usize {
+        self.scratch_tail[bank]
+    }
+
+    #[inline]
+    fn scratch_next_key_set(&mut self, bank: usize, key: usize) {
+        self.scratch_tail[bank] = key;
+    }
+
+    /// Arbitrates one cycle in which `master` is the only requester,
+    /// writing grants for `addrs` into `granted` (same length). With a
+    /// single master the outcome is deterministic: the first request per
+    /// bank wins, later same-bank requests are denied. Counters and
+    /// round-robin state advance exactly as under
+    /// [`Interconnect::arbitrate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granted` is shorter than `addrs`.
+    #[inline]
+    pub fn arbitrate_sole(&mut self, master: MasterId, addrs: &[u32], granted: &mut [bool]) {
+        let dense = master.dense();
+        self.requests += addrs.len() as u64;
+        let mut denied = 0u64;
+        for (i, &addr) in addrs.iter().enumerate() {
+            let bank = self.bank_of(addr);
+            let dup = addrs[..i].iter().any(|&a| self.bank_of(a) == bank);
+            if dup {
+                granted[i] = false;
+                denied += 1;
+            } else {
+                granted[i] = true;
+                self.grants += 1;
+                self.rr[bank] = dense;
+            }
+        }
+        self.conflicts += denied;
+    }
+
+    /// Accounts `n` single-request cycles of a strided access stream of
+    /// `master` (one access per cycle at `base + t*stride_bytes`), all
+    /// granted — the burst fast path's bulk update. Equivalent to `n`
+    /// calls to [`Interconnect::arbitrate`] with one uncontended request
+    /// each: `requests`/`grants` advance by `n` and every touched bank's
+    /// round-robin pointer ends on `master`.
+    pub fn grant_stream(&mut self, master: MasterId, base: u32, stride_bytes: i32, n: u32) {
+        if n == 0 {
+            return;
+        }
+        self.requests += u64::from(n);
+        self.grants += u64::from(n);
+        let dense = master.dense();
+        // The stream's bank orbit repeats after at most `banks` steps.
+        let steps = n.min(self.banks);
+        let mut addr = base;
+        for _ in 0..steps {
+            let bank = self.bank_of(addr);
+            self.rr[bank] = dense;
+            addr = addr.wrapping_add(stride_bytes as u32);
+        }
     }
 
     /// Total requests observed.
@@ -245,5 +440,77 @@ mod tests {
         let grants = ic.arbitrate(&[]);
         assert!(grants.is_empty());
         assert_eq!(ic.requests(), 0);
+        let mut buf = Vec::new();
+        ic.arbitrate_into(&[], &mut buf);
+        assert!(buf.is_empty());
+        assert_eq!(ic.requests(), 0);
+    }
+
+    fn assert_same_state(a: &Interconnect, b: &Interconnect) {
+        assert_eq!(a.requests(), b.requests());
+        assert_eq!(a.grants(), b.grants());
+        assert_eq!(a.conflicts(), b.conflicts());
+        assert_eq!(a.rr, b.rr);
+    }
+
+    #[test]
+    fn arbitrate_into_matches_reference_over_contended_sequence() {
+        // Drive both arbiters through identical cycles with heavy
+        // same-bank contention; grants, statistics and round-robin
+        // state must stay bitwise identical throughout.
+        let mut reference = Interconnect::new(4);
+        let mut fast = Interconnect::new(4);
+        let mut buf = Vec::new();
+        for cycle in 0..40u32 {
+            let reqs: Vec<BankRequest> = (0..6)
+                .map(|n| {
+                    req(
+                        MasterId::Ntx(n),
+                        (cycle.wrapping_mul(12) + n as u32 * 4) % 64,
+                    )
+                })
+                .chain([req(MasterId::Dma, cycle % 16)])
+                .collect();
+            let expect = reference.arbitrate(&reqs);
+            fast.arbitrate_into(&reqs, &mut buf);
+            assert_eq!(buf, expect, "cycle {cycle}");
+            assert_same_state(&reference, &fast);
+        }
+    }
+
+    #[test]
+    fn arbitrate_sole_matches_reference() {
+        let mut reference = Interconnect::new(32);
+        let mut fast = Interconnect::new(32);
+        // x and y hit the same bank; store hits another: the first
+        // same-bank request wins, the duplicate is denied.
+        let addrs = [0x00u32, 0x80, 0x04, 0x84];
+        let reqs: Vec<BankRequest> = addrs.iter().map(|&a| req(MasterId::Ntx(3), a)).collect();
+        let expect = reference.arbitrate(&reqs);
+        let mut granted = [false; 4];
+        fast.arbitrate_sole(MasterId::Ntx(3), &addrs, &mut granted);
+        assert_eq!(granted.to_vec(), expect);
+        assert_same_state(&reference, &fast);
+    }
+
+    #[test]
+    fn grant_stream_matches_cycle_by_cycle_grants() {
+        let mut reference = Interconnect::new(32);
+        let mut fast = Interconnect::new(32);
+        let (base, stride, n) = (0x40u32, 12i32, 100u32);
+        let mut addr = base;
+        for _ in 0..n {
+            let g = reference.arbitrate(&[req(MasterId::Ntx(5), addr)]);
+            assert_eq!(g, vec![true]);
+            addr = addr.wrapping_add(stride as u32);
+        }
+        fast.grant_stream(MasterId::Ntx(5), base, stride, n);
+        assert_same_state(&reference, &fast);
+        // Short streams touch fewer banks than the orbit period.
+        let mut reference = Interconnect::new(32);
+        let mut fast = Interconnect::new(32);
+        reference.arbitrate(&[req(MasterId::Dma, 8)]);
+        fast.grant_stream(MasterId::Dma, 8, -4, 1);
+        assert_same_state(&reference, &fast);
     }
 }

@@ -54,6 +54,10 @@ impl TcdmConfig {
 pub struct Tcdm {
     config: TcdmConfig,
     data: Vec<u8>,
+    /// `bytes - 1` when the capacity is a power of two (the common
+    /// geometries), letting the hot-loop address wrap be a mask instead
+    /// of a division; 0 otherwise.
+    wrap_mask: u32,
     reads: u64,
     writes: u64,
 }
@@ -81,6 +85,11 @@ impl Tcdm {
         Self {
             config,
             data: vec![0; config.bytes as usize],
+            wrap_mask: if config.bytes.is_power_of_two() {
+                config.bytes - 1
+            } else {
+                0
+            },
             reads: 0,
             writes: 0,
         }
@@ -92,17 +101,29 @@ impl Tcdm {
         self.config
     }
 
+    #[inline]
+    fn wrap(&self, addr: u32) -> u32 {
+        if self.wrap_mask != 0 {
+            addr & self.wrap_mask
+        } else {
+            addr % self.config.bytes
+        }
+    }
+
+    #[inline]
     fn index(&self, addr: u32) -> usize {
-        (addr % self.config.bytes) as usize
+        self.wrap(addr) as usize
     }
 
     /// Reads the 32-bit word at `addr` (little endian, counter-visible).
+    #[inline]
     pub fn read_u32(&mut self, addr: u32) -> u32 {
         self.reads += 1;
         self.peek_u32(addr)
     }
 
     /// Writes the 32-bit word at `addr`.
+    #[inline]
     pub fn write_u32(&mut self, addr: u32, value: u32) {
         self.writes += 1;
         let i = self.index(addr & !3);
@@ -110,11 +131,13 @@ impl Tcdm {
     }
 
     /// Reads an `f32` at `addr`.
+    #[inline]
     pub fn read_f32(&mut self, addr: u32) -> f32 {
         f32::from_bits(self.read_u32(addr))
     }
 
     /// Writes an `f32` at `addr`.
+    #[inline]
     pub fn write_f32(&mut self, addr: u32, value: f32) {
         self.write_u32(addr, value.to_bits());
     }
@@ -132,8 +155,79 @@ impl Tcdm {
         self.data[i] = value;
     }
 
+    /// Copies `out.len()` consecutive values starting at `addr` out of
+    /// the memory, wrapping at capacity — the shared body of every
+    /// batched read accessor (`dec` decodes one little-endian word).
+    fn copy_out<T>(&self, addr: u32, out: &mut [T], dec: impl Fn([u8; 4]) -> T) {
+        let bytes = self.config.bytes;
+        let mut a = self.wrap(addr & !3);
+        let mut i = 0;
+        while i < out.len() {
+            let run = (((bytes - a) / 4) as usize).min(out.len() - i);
+            let src = &self.data[a as usize..a as usize + 4 * run];
+            for (o, w) in out[i..i + run].iter_mut().zip(src.chunks_exact(4)) {
+                *o = dec([w[0], w[1], w[2], w[3]]);
+            }
+            i += run;
+            a = 0;
+        }
+    }
+
+    /// Copies `values` as consecutive words starting at `addr` into the
+    /// memory, wrapping at capacity (`enc` encodes one value).
+    fn copy_in<T: Copy>(&mut self, addr: u32, values: &[T], enc: impl Fn(T) -> [u8; 4]) {
+        let bytes = self.config.bytes;
+        let mut a = self.wrap(addr & !3);
+        let mut i = 0;
+        while i < values.len() {
+            let run = (((bytes - a) / 4) as usize).min(values.len() - i);
+            let dst = &mut self.data[a as usize..a as usize + 4 * run];
+            for (w, &v) in dst.chunks_exact_mut(4).zip(&values[i..i + run]) {
+                w.copy_from_slice(&enc(v));
+            }
+            i += run;
+            a = 0;
+        }
+    }
+
+    /// Batched, counted read of `out.len()` consecutive words — one
+    /// slice copy instead of per-word [`Tcdm::read_u32`] calls; the
+    /// access counters advance by the word count, exactly as the
+    /// per-word path would.
+    pub fn read_words_into(&mut self, addr: u32, out: &mut [u32]) {
+        self.reads += out.len() as u64;
+        self.copy_out(addr, out, u32::from_le_bytes);
+    }
+
+    /// Batched, counted write of consecutive words (see
+    /// [`Tcdm::read_words_into`]).
+    pub fn write_words_from(&mut self, addr: u32, values: &[u32]) {
+        self.writes += values.len() as u64;
+        self.copy_in(addr, values, u32::to_le_bytes);
+    }
+
+    /// Batched, counted read of consecutive `f32` values — the burst
+    /// fast path's operand fetch.
+    pub fn read_f32_into(&mut self, addr: u32, out: &mut [f32]) {
+        self.reads += out.len() as u64;
+        self.copy_out(addr, out, f32::from_le_bytes);
+    }
+
+    /// Non-counting batched read of consecutive `f32` values (host/test
+    /// access, like [`Tcdm::peek_u32`]).
+    pub fn peek_f32_into(&self, addr: u32, out: &mut [f32]) {
+        self.copy_out(addr, out, f32::from_le_bytes);
+    }
+
+    /// Non-counting batched write of consecutive `f32` values (host/test
+    /// preloading, like [`Tcdm::poke_u32`]).
+    pub fn poke_f32_from(&mut self, addr: u32, values: &[f32]) {
+        self.copy_in(addr, values, f32::to_le_bytes);
+    }
+
     /// Non-counting debug read of a word (test harnesses, tracing).
     #[must_use]
+    #[inline]
     pub fn peek_u32(&self, addr: u32) -> u32 {
         let i = self.index(addr & !3);
         u32::from_le_bytes([
@@ -229,6 +323,36 @@ mod tests {
         assert_eq!(t.writes(), 1);
         t.reset_counters();
         assert_eq!(t.reads(), 0);
+    }
+
+    #[test]
+    fn batched_accessors_match_per_word_path() {
+        let mut t = Tcdm::default();
+        let values: Vec<f32> = (0..100).map(|i| i as f32 * 0.5 - 10.0).collect();
+        // Counted batch write == per-word writes, including wrap-around.
+        let base = 65_536 - 40; // wraps after 10 words
+        t.write_words_from(
+            base,
+            &values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+        assert_eq!(t.writes(), 100);
+        let mut out = vec![0f32; 100];
+        t.read_f32_into(base, &mut out);
+        assert_eq!(out, values);
+        assert_eq!(t.reads(), 100);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(t.peek_u32(base.wrapping_add(4 * i as u32)), v.to_bits());
+        }
+        let mut words = vec![0u32; 100];
+        t.read_words_into(base, &mut words);
+        assert_eq!(words[3], values[3].to_bits());
+        // Non-counting peek/poke round-trip.
+        let before = (t.reads(), t.writes());
+        t.poke_f32_from(0x100, &values[..8]);
+        let mut peeked = [0f32; 8];
+        t.peek_f32_into(0x100, &mut peeked);
+        assert_eq!(&peeked, &values[..8]);
+        assert_eq!((t.reads(), t.writes()), before);
     }
 
     #[test]

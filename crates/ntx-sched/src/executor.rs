@@ -172,13 +172,11 @@ impl ScaleOutExecutor {
             report.per_cluster[i] = cluster.perf().since(&before[i]);
             report.makespan_cycles = report.makespan_cycles.max(cluster.cycle() - cycle0[i]);
             for rb in &plan.readbacks {
-                let values = match rb.source {
-                    ReadbackSource::Ext(addr) => {
-                        cluster.ext_mem().read_f32_slice(addr, rb.len as usize)
-                    }
-                    ReadbackSource::Tcdm(addr) => cluster.read_tcdm_f32(addr, rb.len as usize),
-                };
-                output[rb.dst..rb.dst + rb.len as usize].copy_from_slice(&values);
+                let dst = &mut output[rb.dst..rb.dst + rb.len as usize];
+                match rb.source {
+                    ReadbackSource::Ext(addr) => cluster.ext_mem().read_f32_into(addr, dst),
+                    ReadbackSource::Tcdm(addr) => cluster.read_tcdm_into(addr, dst),
+                }
             }
         }
         JobResult {

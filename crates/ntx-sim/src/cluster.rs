@@ -1,7 +1,7 @@
 //! The NTX processing cluster: core + 8 NTX + TCDM + DMA (§II-A).
 
 use crate::mmio::map;
-use crate::ntx_engine::{EngineStatus, NtxEngine};
+use crate::ntx_engine::{CyclePlan, EngineStatus, NtxEngine};
 use crate::perf::PerfSnapshot;
 use ntx_isa::{NtxConfig, NTX_REGFILE_BYTES};
 use ntx_mem::{
@@ -30,6 +30,12 @@ pub struct ClusterConfig {
     /// NTX cycles consumed per configuration-register write issued by
     /// the driver offload path (one core store at half clock = 2).
     pub offload_write_cycles: u64,
+    /// Enables the burst fast path in [`Cluster::run_burst`] (and the
+    /// run helpers built on it). Results, cycle counts and every
+    /// performance counter are bit-identical either way — the flag
+    /// exists so differential tests and benchmarks can pin the pure
+    /// per-cycle path.
+    pub fast_path: bool,
 }
 
 impl Default for ClusterConfig {
@@ -42,6 +48,7 @@ impl Default for ClusterConfig {
             core_clock_divider: 2,
             l2_bytes: 0x0014_0000,
             offload_write_cycles: 2,
+            fast_path: true,
         }
     }
 }
@@ -80,6 +87,18 @@ pub struct Cluster {
     busy_cycles: u64,
     offload_writes: u64,
     dma_stage: DmaStage,
+    /// Reusable hot-loop buffers (the fast path's replacement for the
+    /// per-cycle `Vec`s of the reference [`Cluster::step`]).
+    req_buf: Vec<BankRequest>,
+    grant_buf: Vec<bool>,
+    span_buf: Vec<(usize, usize)>,
+    plan_buf: Vec<CyclePlan>,
+    dma_buf: Vec<u32>,
+    /// Grant slice that is always `true` (the all-granted common case).
+    true_buf: Vec<bool>,
+    /// `banks - 1` when the bank count fits a u64 occupancy mask
+    /// (power of two, ≤ 64); `None` disables the fused conflict check.
+    fast_bank_mask: Option<u32>,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -109,12 +128,32 @@ impl Cluster {
             interconnect: Interconnect::new(config.tcdm.banks),
             dma: DmaEngine::new(config.dma_words_per_cycle),
             ext: ExtMemory::new(),
-            engines: (0..config.num_ntx).map(|_| NtxEngine::new()).collect(),
+            engines: (0..config.num_ntx)
+                .map(|_| {
+                    let mut e = NtxEngine::new();
+                    // With the fast path disabled the cluster is the
+                    // pure per-cycle baseline end to end, including the
+                    // pre-overhaul FPU internals (results stay
+                    // bit-identical either way).
+                    if !config.fast_path {
+                        e.use_reference_fpu();
+                    }
+                    e
+                })
+                .collect(),
             l2: vec![0; config.l2_bytes as usize],
             cycle: 0,
             busy_cycles: 0,
             offload_writes: 0,
             dma_stage: DmaStage::default(),
+            req_buf: Vec::new(),
+            grant_buf: Vec::new(),
+            span_buf: Vec::new(),
+            plan_buf: Vec::new(),
+            dma_buf: Vec::new(),
+            true_buf: Vec::new(),
+            fast_bank_mask: (config.tcdm.banks.is_power_of_two() && config.tcdm.banks <= 64)
+                .then(|| config.tcdm.banks - 1),
         }
     }
 
@@ -133,13 +172,18 @@ impl Cluster {
     /// Advances the cluster by one NTX clock cycle: all engines and the
     /// DMA present their TCDM accesses, the interconnect arbitrates,
     /// winners proceed.
+    ///
+    /// This is the *reference* per-cycle path (it allocates its request
+    /// and grant lists each call, and runs the reference arbiter). The
+    /// burst fast path of [`Cluster::run_burst`] must stay bit-identical
+    /// to stepping this — enforced by the differential proptests.
     pub fn step(&mut self) {
         let mut requests: Vec<BankRequest> = Vec::with_capacity(self.engines.len() * 3 + 4);
         let mut spans: Vec<(usize, usize)> = Vec::with_capacity(self.engines.len());
         let mut any_active = false;
         for (i, engine) in self.engines.iter().enumerate() {
             let start = requests.len();
-            for (addr, _write) in engine.desired_accesses() {
+            for (addr, _write) in engine.desired_accesses().iter() {
                 requests.push(BankRequest {
                     master: MasterId::Ntx(i),
                     addr,
@@ -171,10 +215,201 @@ impl Cluster {
         self.cycle += 1;
     }
 
-    /// Steps the cluster `n` cycles.
-    pub fn run_for(&mut self, n: u64) {
-        for _ in 0..n {
+    /// One allocation-free simulation cycle: the multi-master leg of the
+    /// burst fast path. Identical semantics to [`Cluster::step`], but
+    /// the request/grant/span lists live in reused buffers and the
+    /// arbiter runs its allocation-free variant with a conflict-free
+    /// bank-mask pre-pass.
+    fn fast_cycle(&mut self) {
+        // Pass 1: plan every engine once and probe a u64 bank-occupancy
+        // mask; without a duplicate bank the whole cycle is granted and
+        // no request list or arbiter run is needed at all.
+        self.plan_buf.clear();
+        self.dma.desired_accesses_into(&mut self.dma_buf);
+        if let Some(bmask) = self.fast_bank_mask {
+            let mut n_req = 0u64;
+            let mut occupancy = 0u64;
+            let mut dup = false;
+            for engine in &self.engines {
+                let plan = engine.plan_cycle();
+                for &addr in plan.accesses().addrs() {
+                    let bit = 1u64 << ((addr >> 2) & bmask);
+                    dup |= occupancy & bit != 0;
+                    occupancy |= bit;
+                }
+                n_req += plan.accesses().len() as u64;
+                self.plan_buf.push(plan);
+            }
+            for &addr in &self.dma_buf {
+                let bit = 1u64 << ((addr >> 2) & bmask);
+                dup |= occupancy & bit != 0;
+                occupancy |= bit;
+            }
+            if !dup {
+                let dma_words = self.dma_buf.len();
+                self.interconnect
+                    .record_uncontended(n_req + dma_words as u64);
+                for (i, engine) in self.engines.iter_mut().enumerate() {
+                    let plan = &self.plan_buf[i];
+                    if plan.accesses().is_empty() && !engine.is_busy() {
+                        continue;
+                    }
+                    for &addr in plan.accesses().addrs() {
+                        self.interconnect.note_grant(addr, MasterId::Ntx(i));
+                    }
+                    engine.commit_all_granted(plan, &mut self.tcdm);
+                }
+                if dma_words > 0 {
+                    for &addr in &self.dma_buf {
+                        self.interconnect.note_grant(addr, MasterId::Dma);
+                    }
+                    if self.true_buf.len() < dma_words {
+                        self.true_buf.resize(dma_words, true);
+                    }
+                    self.dma
+                        .commit(&self.true_buf[..dma_words], &mut self.tcdm, &mut self.ext);
+                }
+                if n_req > 0 || dma_words > 0 {
+                    self.busy_cycles += 1;
+                }
+                self.cycle += 1;
+                return;
+            }
+        } else {
+            for engine in &self.engines {
+                self.plan_buf.push(engine.plan_cycle());
+            }
+        }
+        // Contended (or unmaskable geometry): build the request list
+        // from the plans and run the allocation-free arbiter.
+        self.req_buf.clear();
+        self.span_buf.clear();
+        for (i, plan) in self.plan_buf.iter().enumerate() {
+            let start = self.req_buf.len();
+            for &addr in plan.accesses().addrs() {
+                self.req_buf.push(BankRequest {
+                    master: MasterId::Ntx(i),
+                    addr,
+                });
+            }
+            self.span_buf.push((start, self.req_buf.len()));
+        }
+        let dma_start = self.req_buf.len();
+        for &addr in &self.dma_buf {
+            self.req_buf.push(BankRequest {
+                master: MasterId::Dma,
+                addr,
+            });
+        }
+        let any_active = !self.req_buf.is_empty();
+        self.interconnect
+            .arbitrate_into(&self.req_buf, &mut self.grant_buf);
+        for (i, engine) in self.engines.iter_mut().enumerate() {
+            let (a, b) = self.span_buf[i];
+            engine.commit_planned(&self.plan_buf[i], &self.grant_buf[a..b], &mut self.tcdm);
+        }
+        self.dma
+            .commit(&self.grant_buf[dma_start..], &mut self.tcdm, &mut self.ext);
+        if any_active {
+            self.busy_cycles += 1;
+        }
+        self.cycle += 1;
+    }
+
+    /// Advances the cluster by up to `max_cycles` cycles through the
+    /// burst fast path, returning the cycles actually advanced (at
+    /// least 1 unless `max_cycles` is 0).
+    ///
+    /// The burst stops early at *observable events* — an engine
+    /// retiring its last command, a DMA descriptor completing, the DMA
+    /// queue draining — so pollers (the tile pipeline's watermarks,
+    /// [`Cluster::run_to_completion`]) observe exactly the same state
+    /// transitions as with per-cycle stepping. Between events the work
+    /// is dispatched to the cheapest exact path:
+    ///
+    /// * all idle → the cycle counter jumps in one step;
+    /// * one engine, DMA idle → [`NtxEngine::burst_sole`] (batched
+    ///   conflict-free MAC streaks, per-cycle fallback otherwise);
+    /// * DMA only → [`ntx_mem::DmaEngine::burst_sole`] (whole-row
+    ///   slices);
+    /// * multiple masters → allocation-free per-cycle stepping.
+    ///
+    /// With [`ClusterConfig::fast_path`] disabled this is exactly one
+    /// reference [`Cluster::step`]. Results and counters are
+    /// bit-identical in all modes.
+    pub fn run_burst(&mut self, max_cycles: u64) -> u64 {
+        if max_cycles == 0 {
+            return 0;
+        }
+        if !self.config.fast_path {
             self.step();
+            return 1;
+        }
+        let busy: usize = self.engines.iter().filter(|e| e.is_busy()).count();
+        let dma_active = !self.dma.is_idle();
+        match (busy, dma_active) {
+            (0, false) => {
+                // Idle cycles carry no state changes; skip them in bulk.
+                self.cycle = self.cycle.saturating_add(max_cycles);
+                max_cycles
+            }
+            (1, false) => {
+                let i = self
+                    .engines
+                    .iter()
+                    .position(|e| e.is_busy())
+                    .expect("one engine is busy");
+                let engine = &mut self.engines[i];
+                let out = engine.burst_sole(
+                    &mut self.tcdm,
+                    &mut self.interconnect,
+                    MasterId::Ntx(i),
+                    max_cycles,
+                );
+                self.cycle += out.cycles;
+                self.busy_cycles += out.accessed_cycles;
+                out.cycles
+            }
+            (0, true) => {
+                let cycles = self.dma.burst_sole(
+                    &mut self.tcdm,
+                    &mut self.ext,
+                    &mut self.interconnect,
+                    max_cycles,
+                );
+                self.cycle += cycles;
+                self.busy_cycles += cycles;
+                cycles
+            }
+            _ => {
+                // Contended regime: cycle-accurate stepping without
+                // allocations, chunked until the master set changes or
+                // a descriptor retires.
+                let dma_done0 = self.dma.completed();
+                let mut cycles = 0;
+                while cycles < max_cycles {
+                    self.fast_cycle();
+                    cycles += 1;
+                    let busy_now = self.engines.iter().filter(|e| e.is_busy()).count();
+                    if busy_now != busy
+                        || self.dma.completed() != dma_done0
+                        || self.dma.is_idle() == dma_active
+                    {
+                        break;
+                    }
+                }
+                cycles
+            }
+        }
+    }
+
+    /// Steps the cluster `n` cycles (burst-accelerated when
+    /// [`ClusterConfig::fast_path`] is enabled; identical outcome
+    /// either way).
+    pub fn run_for(&mut self, n: u64) {
+        let mut left = n;
+        while left > 0 {
+            left -= self.run_burst(left);
         }
     }
 
@@ -201,7 +436,7 @@ impl Cluster {
     pub fn run_to_completion(&mut self) -> u64 {
         let start = self.cycle;
         while !self.is_idle() {
-            self.step();
+            self.run_burst(u64::MAX);
             assert!(
                 self.cycle - start < 1_000_000_000,
                 "cluster failed to drain within 1e9 cycles"
@@ -236,9 +471,10 @@ impl Cluster {
         assert!(index < self.engines.len(), "engine index out of range");
         self.run_for(writes * self.config.offload_write_cycles);
         self.offload_writes += writes;
-        // Retry while the double buffer is full.
+        // Retry while the double buffer is full (one exact cycle per
+        // retry; `run_burst(1)` dispatches it through the fast path).
         while self.engines[index].offload(config) == EngineStatus::Backpressure {
-            self.step();
+            self.run_burst(1);
         }
     }
 
@@ -249,7 +485,7 @@ impl Cluster {
         self.offload_writes += 29;
         for i in 0..self.engines.len() {
             while self.engines[i].offload(config) == EngineStatus::Backpressure {
-                self.step();
+                self.run_burst(1);
             }
         }
     }
@@ -294,17 +530,22 @@ impl Cluster {
 
     /// Preloads `values` into the TCDM at byte address `addr`.
     pub fn write_tcdm_f32(&mut self, addr: u32, values: &[f32]) {
-        for (i, &v) in values.iter().enumerate() {
-            self.tcdm.poke_u32(addr + 4 * i as u32, v.to_bits());
-        }
+        self.tcdm.poke_f32_from(addr, values);
+    }
+
+    /// Reads `out.len()` floats from the TCDM at byte address `addr`
+    /// into a caller buffer — the allocation-free readback used by the
+    /// scale-out executor's result assembly.
+    pub fn read_tcdm_into(&self, addr: u32, out: &mut [f32]) {
+        self.tcdm.peek_f32_into(addr, out);
     }
 
     /// Reads `n` floats from the TCDM at byte address `addr`.
     #[must_use]
     pub fn read_tcdm_f32(&self, addr: u32, n: usize) -> Vec<f32> {
-        (0..n)
-            .map(|i| f32::from_bits(self.tcdm.peek_u32(addr + 4 * i as u32)))
-            .collect()
+        let mut out = vec![0f32; n];
+        self.read_tcdm_into(addr, &mut out);
+        out
     }
 
     /// Mutable access to the external memory (preloading kernels' input

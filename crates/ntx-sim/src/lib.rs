@@ -48,5 +48,5 @@ mod perf;
 
 pub use cluster::{Cluster, ClusterConfig};
 pub use mmio::map;
-pub use ntx_engine::{EngineStatus, NtxEngine};
+pub use ntx_engine::{AccessList, BurstOutcome, EngineStatus, NtxEngine};
 pub use perf::PerfSnapshot;

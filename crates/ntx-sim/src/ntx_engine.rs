@@ -17,12 +17,12 @@
 //! write while the buffer is full reports
 //! [`EngineStatus::Backpressure`], which stalls the writing core.
 
-use ntx_fpu::FpuDatapath;
+use ntx_fpu::{FpuDatapath, FpuOp};
 use ntx_isa::{
     AccuInit, Agu, Command, ConfigError, LoopCounters, NtxConfig, RegFile, RegOffset, StoreSource,
     WriteEffect,
 };
-use ntx_mem::Tcdm;
+use ntx_mem::{Interconnect, MasterId, Tcdm};
 
 /// Outcome of a register write as seen by the offloading core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +32,87 @@ pub enum EngineStatus {
     /// The command buffer is full; the core must retry (bus stall).
     Backpressure,
 }
+
+/// The TCDM accesses of one engine cycle — a fixed-capacity inline list
+/// (at most init read, x read, y read, store write), replacing the
+/// per-cycle `Vec` the hot loop used to allocate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AccessList {
+    addrs: [u32; 4],
+    write_mask: u8,
+    len: u8,
+}
+
+impl AccessList {
+    fn push(&mut self, addr: u32, write: bool) {
+        self.addrs[self.len as usize] = addr;
+        self.write_mask |= u8::from(write) << self.len;
+        self.len += 1;
+    }
+
+    /// Number of accesses this cycle.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when the engine requests nothing this cycle.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The requested byte addresses, in the fixed order *init read, x
+    /// read, y read, store write*.
+    #[must_use]
+    pub fn addrs(&self) -> &[u32] {
+        &self.addrs[..self.len as usize]
+    }
+
+    /// Iterates `(address, is_write)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, bool)> + '_ {
+        (0..self.len as usize).map(|i| (self.addrs[i], self.write_mask & (1 << i) != 0))
+    }
+}
+
+/// One engine cycle planned once: the access list plus the event flags
+/// both arbitration and commit need, so the hot loop derives them a
+/// single time per cycle instead of re-walking the loop-counter state
+/// in `desired_accesses` *and* `commit`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CyclePlan {
+    list: AccessList,
+    needs_init: bool,
+    needs_x: bool,
+    needs_y: bool,
+    /// `counters.at_store()` — store fires after this iteration.
+    at_store: bool,
+    /// Reduction accumulator (re-)initialisation fires this iteration.
+    reduction_init: bool,
+}
+
+impl CyclePlan {
+    /// The TCDM accesses of the planned cycle.
+    #[must_use]
+    pub fn accesses(&self) -> &AccessList {
+        &self.list
+    }
+}
+
+/// Outcome of an engine burst (see [`NtxEngine::burst_sole`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BurstOutcome {
+    /// Cycles the burst advanced.
+    pub cycles: u64,
+    /// Cycles in which the engine issued at least one TCDM request
+    /// (what the cluster's busy counter observes).
+    pub accessed_cycles: u64,
+}
+
+/// Minimum pure-MAC run length worth entering the batched streak loop.
+const MIN_STREAK: u32 = 2;
+/// Elements per batched streak chunk (stack buffers).
+const STREAK_CHUNK: usize = 64;
 
 #[derive(Debug, Clone)]
 struct Execution {
@@ -45,10 +126,25 @@ struct Execution {
     latch_x: Option<f32>,
     latch_y: Option<f32>,
     latch_init: Option<f32>,
+    /// Init/store events are periodic in the flat iteration index (the
+    /// loop counters are a mixed-radix encoding of it): `at_init` fires
+    /// every `prod(bounds[..init_level])` iterations, `at_store` on the
+    /// last iteration of every `prod(bounds[..store_level])`-long
+    /// period. These countdowns make the per-cycle event checks O(1)
+    /// instead of re-scanning the counter cascade.
+    init_countdown: u64,
+    init_period: u64,
+    store_countdown: u64,
+    store_period: u64,
 }
 
 impl Execution {
     fn new(config: NtxConfig) -> Self {
+        let bounds = config.loops.bounds();
+        let period =
+            |level: usize| -> u64 { bounds[..level].iter().map(|&b| u64::from(b)).product() };
+        let init_period = period(config.loops.init_level());
+        let store_period = period(config.loops.store_level());
         Self {
             config,
             counters: LoopCounters::new(config.loops),
@@ -60,26 +156,38 @@ impl Execution {
             latch_x: None,
             latch_y: None,
             latch_init: None,
+            init_countdown: 0,
+            init_period,
+            store_countdown: store_period - 1,
+            store_period,
         }
     }
 
-    fn needs_x(&self) -> bool {
-        self.config.command.reads_per_element() >= 1 && self.latch_x.is_none()
+    /// `counters.at_init()`, tracked incrementally.
+    #[inline]
+    fn at_init(&self) -> bool {
+        self.init_countdown == 0
     }
 
-    fn needs_y(&self) -> bool {
-        self.config.command.reads_per_element() >= 2 && self.latch_y.is_none()
+    /// `counters.at_store()`, tracked incrementally.
+    #[inline]
+    fn at_store(&self) -> bool {
+        self.store_countdown == 0
     }
 
-    fn needs_init(&self) -> bool {
-        self.config.command.is_reduction()
-            && self.config.accu_init == AccuInit::Memory
-            && self.counters.at_init()
-            && self.latch_init.is_none()
-    }
-
-    fn needs_store(&self) -> bool {
-        self.counters.at_store()
+    /// Advances the event countdowns by one executed iteration.
+    #[inline]
+    fn tick_events(&mut self) {
+        self.init_countdown = match self.init_countdown {
+            0 => self.init_period - 1,
+            n => n - 1,
+        };
+        self.store_countdown = match self.store_countdown {
+            0 => self.store_period - 1,
+            n => n - 1,
+        };
+        debug_assert_eq!(self.at_init(), self.counters.at_init());
+        debug_assert_eq!(self.at_store(), self.counters.at_store());
     }
 }
 
@@ -118,6 +226,14 @@ impl NtxEngine {
             stall_cycles: 0,
             commands_completed: 0,
         }
+    }
+
+    /// Switches this engine's FPU to the pre-overhaul reference
+    /// accumulator (see [`FpuDatapath::use_reference_accumulator`]);
+    /// used by clusters with the fast path disabled so the baseline is
+    /// the seed implementation end to end.
+    pub fn use_reference_fpu(&mut self) {
+        self.fpu.use_reference_accumulator();
     }
 
     /// True while a command is executing or staged.
@@ -177,40 +293,84 @@ impl NtxEngine {
         }
     }
 
-    /// TCDM accesses needed by the current iteration this cycle:
-    /// `(address, is_write)` pairs, in the fixed order *init read, x
-    /// read, y read, store write*. Already-latched operands are not
-    /// re-requested. Empty when idle.
+    /// Plans the current iteration: accesses plus the event flags the
+    /// commit path needs, derived in one pass over the loop state.
     #[must_use]
-    pub fn desired_accesses(&self) -> Vec<(u32, bool)> {
+    pub fn plan_cycle(&self) -> CyclePlan {
+        let mut plan = CyclePlan::default();
         let Some(exec) = &self.current else {
-            return Vec::new();
+            return plan;
         };
-        let mut v = Vec::with_capacity(4);
-        if exec.needs_init() {
-            v.push((exec.agus[2].address(), false));
+        let cmd = exec.config.command;
+        plan.reduction_init = cmd.is_reduction() && exec.at_init();
+        plan.at_store = exec.at_store();
+        plan.needs_init = plan.reduction_init
+            && exec.config.accu_init == AccuInit::Memory
+            && exec.latch_init.is_none();
+        let reads = cmd.reads_per_element();
+        plan.needs_x = reads >= 1 && exec.latch_x.is_none();
+        plan.needs_y = reads >= 2 && exec.latch_y.is_none();
+        if plan.needs_init {
+            plan.list.push(exec.agus[2].address(), false);
         }
-        if exec.needs_x() {
-            v.push((exec.agus[0].address(), false));
+        if plan.needs_x {
+            plan.list.push(exec.agus[0].address(), false);
         }
-        if exec.needs_y() {
-            v.push((exec.agus[1].address(), false));
+        if plan.needs_y {
+            plan.list.push(exec.agus[1].address(), false);
         }
-        if exec.needs_store() {
-            v.push((exec.agus[2].address(), true));
+        if plan.at_store {
+            plan.list.push(exec.agus[2].address(), true);
         }
-        v
+        plan
+    }
+
+    /// TCDM accesses needed by the current iteration this cycle, in the
+    /// fixed order *init read, x read, y read, store write*.
+    /// Already-latched operands are not re-requested. Empty when idle.
+    #[must_use]
+    pub fn desired_accesses(&self) -> AccessList {
+        self.plan_cycle().list
     }
 
     /// Consumes this cycle's grants: granted reads are latched; when all
     /// operands are present and the store grant (if needed) arrived, the
     /// iteration executes. Anything missing is a conflict-stall cycle
     /// and the missing accesses are retried next cycle.
-    /// `granted` must parallel [`Self::desired_accesses`].
+    /// `granted` must parallel [`Self::desired_accesses`] — a
+    /// mismatched length is a caller bug and trips a debug assertion.
+    ///
+    /// This is the *reference* commit: it re-derives every event flag
+    /// from the loop-counter cascade and always runs the operand-latch
+    /// protocol, exactly as the pre-burst simulator did. The burst fast
+    /// path uses [`NtxEngine::commit_planned`], whose outcome must be —
+    /// and is, by the differential proptests — bit-identical.
     pub fn commit(&mut self, granted: &[bool], tcdm: &mut Tcdm) {
         let Some(exec) = &mut self.current else {
+            debug_assert!(
+                granted.is_empty(),
+                "grants offered to an idle engine (got {})",
+                granted.len()
+            );
             return;
         };
+        let cmd = exec.config.command;
+        let reads = cmd.reads_per_element();
+        let needs_init = cmd.is_reduction()
+            && exec.config.accu_init == AccuInit::Memory
+            && exec.counters.at_init()
+            && exec.latch_init.is_none();
+        let needs_x = reads >= 1 && exec.latch_x.is_none();
+        let needs_y = reads >= 2 && exec.latch_y.is_none();
+        let store_needed = exec.counters.at_store();
+        debug_assert_eq!(
+            granted.len(),
+            usize::from(needs_init)
+                + usize::from(needs_x)
+                + usize::from(needs_y)
+                + usize::from(store_needed),
+            "grant slice must parallel desired_accesses"
+        );
         let mut gi = 0;
         let mut take = |flag: bool| {
             if flag {
@@ -222,23 +382,17 @@ impl NtxEngine {
             }
         };
         // Latch granted reads (same order as desired_accesses).
-        let needs_init = exec.needs_init();
         if take(needs_init) {
             exec.latch_init = Some(tcdm.read_f32(exec.agus[2].address()));
         }
-        let needs_x = exec.needs_x();
         if take(needs_x) {
             exec.latch_x = Some(tcdm.read_f32(exec.agus[0].address()));
         }
-        let needs_y = exec.needs_y();
         if take(needs_y) {
             exec.latch_y = Some(tcdm.read_f32(exec.agus[1].address()));
         }
-        let store_needed = exec.needs_store();
         let store_granted = take(store_needed);
         // Ready when nothing is missing any more.
-        let cmd = exec.config.command;
-        let reads = cmd.reads_per_element();
         let init_pending = cmd.is_reduction()
             && exec.config.accu_init == AccuInit::Memory
             && exec.counters.at_init()
@@ -271,7 +425,7 @@ impl NtxEngine {
         self.flops += cmd.flops_per_element();
         self.active_cycles += 1;
         // Write-back.
-        if exec.counters.at_store() {
+        if store_needed {
             let addr = exec.agus[2].address();
             match cmd.store_source() {
                 StoreSource::Element => {
@@ -302,6 +456,7 @@ impl NtxEngine {
                 for agu in &mut exec.agus {
                     agu.advance(level);
                 }
+                exec.tick_events();
             }
             None => {
                 self.current = None;
@@ -312,6 +467,320 @@ impl NtxEngine {
                 }
             }
         }
+    }
+
+    /// [`NtxEngine::commit`] with the cycle plan supplied by the caller
+    /// (the hot loop plans once for arbitration and reuses it here).
+    /// `plan` must be this cycle's [`NtxEngine::plan_cycle`].
+    pub fn commit_planned(&mut self, plan: &CyclePlan, granted: &[bool], tcdm: &mut Tcdm) {
+        if self.current.is_none() {
+            debug_assert!(
+                granted.is_empty(),
+                "grants offered to an idle engine (got {})",
+                granted.len()
+            );
+            return;
+        }
+        debug_assert_eq!(
+            granted.len(),
+            plan.list.len(),
+            "grant slice must parallel desired_accesses"
+        );
+        if granted.iter().all(|&g| g) {
+            self.commit_all_granted(plan, tcdm);
+            return;
+        }
+        // Partial grants: latch what was granted, retry the rest.
+        let exec = self.current.as_mut().expect("checked above");
+        let cmd = exec.config.command;
+        let reads = cmd.reads_per_element();
+        let mut gi = 0;
+        let mut take = |flag: bool| {
+            if flag {
+                let g = granted.get(gi).copied().unwrap_or(false);
+                gi += 1;
+                g
+            } else {
+                false
+            }
+        };
+        if take(plan.needs_init) {
+            exec.latch_init = Some(tcdm.read_f32(exec.agus[2].address()));
+        }
+        if take(plan.needs_x) {
+            exec.latch_x = Some(tcdm.read_f32(exec.agus[0].address()));
+        }
+        if take(plan.needs_y) {
+            exec.latch_y = Some(tcdm.read_f32(exec.agus[1].address()));
+        }
+        let store_granted = take(plan.at_store);
+        // Ready when nothing is missing any more.
+        let init_pending = cmd.is_reduction()
+            && exec.config.accu_init == AccuInit::Memory
+            && exec.at_init()
+            && exec.latch_init.is_none();
+        let reads_ready = !init_pending
+            && (reads < 1 || exec.latch_x.is_some())
+            && (reads < 2 || exec.latch_y.is_some());
+        if !reads_ready || (plan.at_store && !store_granted) {
+            self.stall_cycles += 1;
+            return;
+        }
+        // Accumulator (re-)initialisation at the init level.
+        if plan.reduction_init {
+            let init = match exec.config.accu_init {
+                AccuInit::Zero => None,
+                AccuInit::Memory => exec.latch_init,
+            };
+            self.fpu.init_accumulator(init);
+        }
+        let x = exec.latch_x.take().unwrap_or(0.0);
+        let y = if reads >= 2 {
+            exec.latch_y.take().expect("checked by reads_ready")
+        } else {
+            self.fpu.register()
+        };
+        exec.latch_init = None;
+        self.finish_iteration(x, y, plan.at_store, tcdm);
+    }
+
+    /// The iteration when every requested access was granted — the
+    /// burst fast path's common case: operands stream straight from the
+    /// TCDM into the datapath, skipping the latch protocol and the
+    /// grant-slice walk entirely.
+    #[inline]
+    pub fn commit_all_granted(&mut self, plan: &CyclePlan, tcdm: &mut Tcdm) {
+        let Some(exec) = &mut self.current else {
+            return;
+        };
+        let cmd = exec.config.command;
+        let reads = cmd.reads_per_element();
+        if plan.reduction_init {
+            let init = match exec.config.accu_init {
+                AccuInit::Zero => None,
+                AccuInit::Memory => Some(match exec.latch_init {
+                    Some(v) => v,
+                    None => tcdm.read_f32(exec.agus[2].address()),
+                }),
+            };
+            self.fpu.init_accumulator(init);
+        }
+        let exec = self.current.as_mut().expect("checked above");
+        let x = match exec.latch_x.take() {
+            Some(v) => v,
+            None if reads >= 1 => tcdm.read_f32(exec.agus[0].address()),
+            None => 0.0,
+        };
+        let y = if reads >= 2 {
+            match exec.latch_y.take() {
+                Some(v) => v,
+                None => tcdm.read_f32(exec.agus[1].address()),
+            }
+        } else {
+            self.fpu.register()
+        };
+        exec.latch_init = None;
+        self.finish_iteration(x, y, plan.at_store, tcdm);
+    }
+
+    /// Executes the ready iteration and advances the machine — shared
+    /// tail of the planned commit paths.
+    #[inline]
+    fn finish_iteration(&mut self, x: f32, y: f32, at_store: bool, tcdm: &mut Tcdm) {
+        let exec = self.current.as_mut().expect("iteration in flight");
+        let cmd = exec.config.command;
+        let index = exec.counters.index_counter();
+        let out = self.fpu.execute(cmd.fpu_op(), x, y, index);
+        self.flops += cmd.flops_per_element();
+        self.active_cycles += 1;
+        if at_store {
+            let addr = exec.agus[2].address();
+            match cmd.store_source() {
+                StoreSource::Element => {
+                    tcdm.write_f32(addr, out.unwrap_or(0.0));
+                }
+                StoreSource::Accumulator => {
+                    tcdm.write_f32(addr, self.fpu.store_accumulator());
+                }
+                StoreSource::CompareValue => {
+                    let v = match cmd {
+                        Command::Min => self.fpu.store_min(),
+                        _ => self.fpu.store_max(),
+                    };
+                    tcdm.write_f32(addr, v);
+                }
+                StoreSource::CompareIndex => {
+                    let idx = match cmd {
+                        Command::ArgMin => self.fpu.argmin(),
+                        _ => self.fpu.argmax(),
+                    };
+                    tcdm.write_u32(addr, idx.unwrap_or(u32::MAX));
+                }
+            }
+        }
+        match exec.counters.advance() {
+            Some(level) => {
+                for agu in &mut exec.agus {
+                    agu.advance(level);
+                }
+                exec.tick_events();
+            }
+            None => {
+                self.current = None;
+                self.commands_completed += 1;
+                if let Some(next) = self.staged.take() {
+                    self.fpu.set_register(next.register);
+                    self.current = Some(Execution::new(next));
+                }
+            }
+        }
+    }
+
+    /// Runs this engine as the *sole* TCDM master for up to
+    /// `max_cycles` cycles — the burst fast path of the cluster
+    /// simulator. Returns the cycles advanced and how many of them
+    /// issued TCDM requests; the burst ends early when the engine
+    /// retires its last command (current and staged).
+    ///
+    /// Bit-exact with the per-cycle `desired_accesses`/`arbitrate`/
+    /// `commit` protocol: with a single master, arbitration is
+    /// deterministic (the first same-bank request wins), so steady-state
+    /// MAC streams whose remaining iterations are provably conflict-free
+    /// — precomputed from the level-0 AGU strides and the bank count —
+    /// are executed as batched TCDM slices fed straight into the FPU,
+    /// while loop boundaries, init/store events, latched operands and
+    /// potential same-bank conflicts fall back to the cycle-accurate
+    /// path. All counters (engine, TCDM, interconnect, round-robin
+    /// state) advance by exactly what per-cycle stepping would produce.
+    pub fn burst_sole(
+        &mut self,
+        tcdm: &mut Tcdm,
+        interconnect: &mut Interconnect,
+        master: MasterId,
+        max_cycles: u64,
+    ) -> BurstOutcome {
+        let mut out = BurstOutcome::default();
+        while out.cycles < max_cycles && self.current.is_some() {
+            let streak = self.streak_len(tcdm, max_cycles - out.cycles);
+            if streak >= MIN_STREAK {
+                self.run_streak(tcdm, interconnect, master, streak);
+                out.cycles += u64::from(streak);
+                out.accessed_cycles += u64::from(streak);
+                continue;
+            }
+            // Cycle-accurate fallback (events, conflicts, odd commands).
+            let plan = self.plan_cycle();
+            let list = plan.accesses();
+            let mut granted = [false; 4];
+            interconnect.arbitrate_sole(master, list.addrs(), &mut granted[..list.len()]);
+            let accessed = !list.is_empty();
+            self.commit_planned(&plan, &granted[..plan.accesses().len()], tcdm);
+            out.cycles += 1;
+            out.accessed_cycles += u64::from(accessed);
+        }
+        out
+    }
+
+    /// Length of the provably conflict-free pure-MAC run the burst may
+    /// execute in one batch: steady-state (no latches, no init/store
+    /// events, level-0 advances only) with either a register operand
+    /// (single stream, never self-conflicting) or two memory streams
+    /// whose bank distance is invariant (equal level-0 bank rotation)
+    /// and non-zero.
+    fn streak_len(&self, tcdm: &Tcdm, cap: u64) -> u32 {
+        let Some(exec) = &self.current else {
+            return 0;
+        };
+        let op = exec.config.command.fpu_op();
+        if op != FpuOp::Mac
+            || exec.latch_x.is_some()
+            || exec.latch_y.is_some()
+            || exec.latch_init.is_some()
+        {
+            return 0;
+        }
+        let run = exec.counters.level0_run_len();
+        if run < MIN_STREAK {
+            return 0;
+        }
+        let reads = exec.config.command.reads_per_element();
+        if reads == 2 {
+            let banks = tcdm.config().banks;
+            let sx = exec.agus[0].stride(0);
+            let sy = exec.agus[1].stride(0);
+            let period = 4 * banks as i64;
+            if (i64::from(sx) - i64::from(sy)).rem_euclid(period) != 0 {
+                return 0; // bank distance varies: conflicts not precomputable
+            }
+            let cfg = tcdm.config();
+            if cfg.bank_of(exec.agus[0].address()) == cfg.bank_of(exec.agus[1].address()) {
+                return 0; // would self-conflict every cycle
+            }
+        }
+        run.min(cap.min(u64::from(u32::MAX)) as u32)
+    }
+
+    /// Executes a precomputed conflict-free MAC streak of `n`
+    /// iterations as batched slice reads feeding the FPU directly.
+    fn run_streak(
+        &mut self,
+        tcdm: &mut Tcdm,
+        interconnect: &mut Interconnect,
+        master: MasterId,
+        n: u32,
+    ) {
+        let exec = self.current.as_mut().expect("checked by streak_len");
+        let reads = exec.config.command.reads_per_element();
+        let x0 = exec.agus[0].address();
+        let sx = exec.agus[0].stride(0);
+        let mut xs = [0f32; STREAK_CHUNK];
+        let mut ys = [0f32; STREAK_CHUNK];
+        let mut done = 0u32;
+        if reads == 2 {
+            let y0 = exec.agus[1].address();
+            let sy = exec.agus[1].stride(0);
+            while done < n {
+                let m = ((n - done) as usize).min(STREAK_CHUNK);
+                fetch_stream(
+                    tcdm,
+                    x0.wrapping_add(sx.wrapping_mul(done as i32) as u32),
+                    sx,
+                    &mut xs[..m],
+                );
+                fetch_stream(
+                    tcdm,
+                    y0.wrapping_add(sy.wrapping_mul(done as i32) as u32),
+                    sy,
+                    &mut ys[..m],
+                );
+                self.fpu.mac_slices(&xs[..m], &ys[..m]);
+                done += m as u32;
+            }
+            interconnect.grant_stream(master, y0, sy, n);
+        } else {
+            while done < n {
+                let m = ((n - done) as usize).min(STREAK_CHUNK);
+                fetch_stream(
+                    tcdm,
+                    x0.wrapping_add(sx.wrapping_mul(done as i32) as u32),
+                    sx,
+                    &mut xs[..m],
+                );
+                self.fpu.mac_register_slice(&xs[..m]);
+                done += m as u32;
+            }
+        }
+        interconnect.grant_stream(master, x0, sx, n);
+        // Advance the nest and all three AGUs by n level-0 iterations.
+        exec.counters.advance_level0_by(n);
+        debug_assert!(exec.init_countdown >= u64::from(n) && exec.store_countdown >= u64::from(n));
+        exec.init_countdown -= u64::from(n);
+        exec.store_countdown -= u64::from(n);
+        for agu in &mut exec.agus {
+            agu.advance_by(0, n);
+        }
+        self.flops += u64::from(n) * exec.config.command.flops_per_element();
+        self.active_cycles += u64::from(n);
     }
 
     /// Flops retired by this engine.
@@ -350,6 +819,20 @@ impl NtxEngine {
         self.active_cycles = 0;
         self.stall_cycles = 0;
         self.commands_completed = 0;
+    }
+}
+
+/// Reads `out.len()` elements of a strided stream (counted), using the
+/// batched slice accessor for the contiguous stride-4 common case.
+fn fetch_stream(tcdm: &mut Tcdm, base: u32, stride: i32, out: &mut [f32]) {
+    if stride == 4 {
+        tcdm.read_f32_into(base, out);
+    } else {
+        let mut a = base;
+        for o in out.iter_mut() {
+            *o = tcdm.read_f32(a);
+            a = a.wrapping_add(stride as u32);
+        }
     }
 }
 
@@ -540,6 +1023,118 @@ mod tests {
             assert!(cycles < 100);
         }
         assert_eq!(engine.commands_completed(), 2);
+    }
+
+    #[test]
+    fn burst_sole_matches_per_cycle_protocol() {
+        use ntx_mem::{BankRequest, Interconnect};
+        let configs = [
+            // Conflict-free streak: dot product over distinct banks.
+            NtxConfig::builder()
+                .command(mac())
+                .loops(LoopNest::vector(100))
+                .agu(0, AguConfig::stream(0, 4))
+                .agu(1, AguConfig::stream(0x804, 4))
+                .agu(2, AguConfig::fixed(0x200))
+                .build()
+                .unwrap(),
+            // Same-bank x/y: self-conflicts every cycle (no streak).
+            NtxConfig::builder()
+                .command(mac())
+                .loops(LoopNest::vector(20))
+                .agu(0, AguConfig::stream(0, 4))
+                .agu(1, AguConfig::stream(0x800, 4))
+                .agu(2, AguConfig::fixed(0x200))
+                .build()
+                .unwrap(),
+            // Register-operand MAC with memory accumulator init.
+            NtxConfig::builder()
+                .command(Command::Mac {
+                    operand: OperandSelect::Register,
+                })
+                .register(1.5)
+                .loops(LoopNest::nested(&[16, 4]).with_levels(1, 1))
+                .agu(0, AguConfig::stream(0x40, 4))
+                .agu(2, AguConfig::new(0x900, [0, 4, 0, 0, 0]))
+                .accu_init(AccuInit::Memory)
+                .build()
+                .unwrap(),
+            // Elementwise store cadence (no streak, store every cycle).
+            NtxConfig::builder()
+                .command(Command::Relu)
+                .loops(LoopNest::elementwise(30))
+                .agu(0, AguConfig::stream(0, 4))
+                .agu(2, AguConfig::stream(0xc00, 4))
+                .build()
+                .unwrap(),
+            // Strided walk with unequal rotations (streak rejected).
+            NtxConfig::builder()
+                .command(mac())
+                .loops(LoopNest::nested(&[9, 5]).with_levels(2, 2))
+                .agu(0, AguConfig::new(0, [12, 4, 0, 0, 0]))
+                .agu(1, AguConfig::new(0x600, [4, -32, 0, 0, 0]))
+                .agu(2, AguConfig::new(0xa00, [0, 0, 4, 0, 0]))
+                .build()
+                .unwrap(),
+        ];
+        let image: Vec<f32> = (0..2048).map(|i| ((i * 13 % 31) as f32) - 15.0).collect();
+        let mut ref_tcdm = Tcdm::default();
+        let mut fast_tcdm = Tcdm::default();
+        ref_tcdm.poke_f32_from(0, &image);
+        fast_tcdm.poke_f32_from(0, &image);
+        let mut ref_ic = Interconnect::new(32);
+        let mut fast_ic = Interconnect::new(32);
+        let mut reference = NtxEngine::new();
+        let mut fast = NtxEngine::new();
+        let me = MasterId::Ntx(0);
+        for cfg in &configs {
+            reference.offload(cfg);
+            fast.offload(cfg);
+            // Reference: full desired/arbitrate/commit cycles.
+            let mut ref_cycles = 0u64;
+            while reference.is_busy() {
+                let list = reference.desired_accesses();
+                let reqs: Vec<BankRequest> = list
+                    .addrs()
+                    .iter()
+                    .map(|&addr| BankRequest { master: me, addr })
+                    .collect();
+                let grants = ref_ic.arbitrate(&reqs);
+                reference.commit(&grants, &mut ref_tcdm);
+                ref_cycles += 1;
+                assert!(ref_cycles < 10_000);
+            }
+            // Fast path: burst with a small cap to exercise resumption.
+            let mut cycles = 0u64;
+            while fast.is_busy() {
+                let out = fast.burst_sole(&mut fast_tcdm, &mut fast_ic, me, 37);
+                assert!(out.cycles > 0);
+                cycles += out.cycles;
+                assert!(cycles < 10_000);
+            }
+            assert_eq!(cycles, ref_cycles, "cycles for {:?}", cfg.command);
+            assert_eq!(fast.flops(), reference.flops());
+            assert_eq!(fast.active_cycles(), reference.active_cycles());
+            assert_eq!(fast.stall_cycles(), reference.stall_cycles());
+            assert_eq!(fast.commands_completed(), reference.commands_completed());
+            assert_eq!(fast_ic.requests(), ref_ic.requests());
+            assert_eq!(fast_ic.grants(), ref_ic.grants());
+            assert_eq!(fast_ic.conflicts(), ref_ic.conflicts());
+            assert_eq!(
+                (fast_tcdm.reads(), fast_tcdm.writes()),
+                (ref_tcdm.reads(), ref_tcdm.writes()),
+                "tcdm counters for {:?}",
+                cfg.command
+            );
+            for a in (0..8192u32).step_by(4) {
+                assert_eq!(
+                    fast_tcdm.peek_u32(a),
+                    ref_tcdm.peek_u32(a),
+                    "tcdm word {a:#x} after {:?}",
+                    cfg.command
+                );
+            }
+        }
     }
 
     #[test]

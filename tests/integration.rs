@@ -149,11 +149,14 @@ fn mixed_workload_all_engines_different_commands() {
     // Verify every engine's result.
     let dot: f64 = xs.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
     assert!((f64::from(cluster.read_tcdm_f32(0x4000, 1)[0]) - dot).abs() < 1e-3);
-    let relu = cluster.read_tcdm_f32(0x4100, n as usize);
+    // Bulk readbacks go through the slice API (no per-call Vec).
+    let mut relu = vec![0f32; n as usize];
+    cluster.read_tcdm_into(0x4100, &mut relu);
     for (r, &x) in relu.iter().zip(&xs) {
         assert_eq!(*r, if x > 0.0 { x } else { 0.0 });
     }
-    let scaled = cluster.read_tcdm_f32(0x4300, n as usize);
+    let mut scaled = vec![0f32; n as usize];
+    cluster.read_tcdm_into(0x4300, &mut scaled);
     for (s, &x) in scaled.iter().zip(&xs) {
         assert_eq!(*s, 2.0 * x);
     }
