@@ -1,0 +1,41 @@
+//! Exercises the layered `ntx-sched` serving stack end to end — the
+//! pipelined cluster farm against the barriered reference executor
+//! (bit-identical per job, faster in total), the analytical estimate
+//! backend (zero simulator cycles), and the async multi-client server
+//! — and records the measurement as `BENCH_serving.json`.
+
+fn main() {
+    let r = ntx_bench::serving_report();
+    print!("{}", ntx_bench::format::serving(&r));
+    let json = ntx_bench::format::serving_json(&r);
+    let path = "BENCH_serving.json";
+    std::fs::write(path, &json).expect("write BENCH_serving.json");
+    println!("  wrote {path}");
+    if !r.bit_identical || !r.snapshots_identical {
+        eprintln!("ERROR: pipelined farm diverged from the barriered or full-width reference");
+        std::process::exit(1);
+    }
+    // The overlap win on this heterogeneous queue is well above the
+    // floor; 1.05x guards against a regression to barriered behaviour
+    // without flaking on workload tweaks. The independently-executed
+    // full-width baseline must be beaten too.
+    if r.pipelined_speedup < 1.05 || r.fullwidth_speedup < 1.0 {
+        eprintln!(
+            "ERROR: pipelined speedup {:.3}x (vs barriered) / {:.3}x (vs full-width) \
+             below the 1.05x / 1.0x floors",
+            r.pipelined_speedup, r.fullwidth_speedup
+        );
+        std::process::exit(1);
+    }
+    if r.estimate_sim_cycles != 0 {
+        eprintln!(
+            "ERROR: analytical backend spent {} simulator cycles",
+            r.estimate_sim_cycles
+        );
+        std::process::exit(1);
+    }
+    if r.served_jobs != r.jobs as u64 || r.deadline_misses != 0 {
+        eprintln!("ERROR: async server dropped jobs or missed generous deadlines");
+        std::process::exit(1);
+    }
+}

@@ -395,15 +395,15 @@ pub fn scaling_report() -> ScalingReport {
     };
     let image = test_data((kernel.height * kernel.width) as usize, 0x5ca1_e0f1);
     let weights = test_data((kernel.k * kernel.k * kernel.filters) as usize, 0x0123_4567);
-    let job = Job {
-        id: 0,
-        label: "conv3x3".into(),
-        kind: JobKind::Conv2d {
+    let job = Job::new(
+        0,
+        "conv3x3",
+        JobKind::Conv2d {
             kernel,
             image,
             weights,
         },
-    };
+    );
     let model = EnergyModel::tapeout();
     let mut points = Vec::new();
     let mut baseline: Option<ntx_sched::ScaleOutReport> = None;
@@ -444,6 +444,234 @@ pub fn scaling_report() -> ScalingReport {
         ),
         points,
         bit_identical,
+    }
+}
+
+// ----------------------------------------------------- serving stack
+
+/// The `report-serving` measurement: the layered `ntx-sched` serving
+/// stack exercised end to end — pipelined farm vs barriered reference,
+/// analytical estimates, and the async front-end under multi-client
+/// load.
+#[derive(Debug, Clone)]
+pub struct ServingBenchReport {
+    /// Clusters in the farm.
+    pub clusters: usize,
+    /// Jobs in the mixed queue.
+    pub jobs: usize,
+    /// Batch makespan of the same-placement barriered reference,
+    /// cycles.
+    pub barriered_makespan_cycles: u64,
+    /// Batch makespan of the full-width barriered executor (the
+    /// pre-farm semantics: every job across all clusters, back to
+    /// back) — an independent execution with different tile schedules.
+    pub fullwidth_makespan_cycles: u64,
+    /// Batch makespan of the pipelined farm, cycles.
+    pub pipelined_makespan_cycles: u64,
+    /// `barriered / pipelined` (the inter-job overlap win).
+    pub pipelined_speedup: f64,
+    /// `fullwidth / pipelined` (overlap + space sharing vs the old
+    /// executor).
+    pub fullwidth_speedup: f64,
+    /// Per-job outputs bitwise identical across all three runs
+    /// (pipelined vs same-placement barriered vs full-width).
+    pub bit_identical: bool,
+    /// Per-job `PerfSnapshot`s and makespans identical between the
+    /// same-placement modes.
+    pub snapshots_identical: bool,
+    /// Estimated total cycles the analytical backend predicts for the
+    /// same queue.
+    pub estimated_cycles_total: u64,
+    /// Simulator cycles spent while answering the estimates (must be
+    /// zero — estimates never touch the farm).
+    pub estimate_sim_cycles: u64,
+    /// Jobs completed by the async server run.
+    pub served_jobs: u64,
+    /// Server throughput, jobs per wall-clock second.
+    pub jobs_per_second: f64,
+    /// Mean per-job wall-clock latency, seconds.
+    pub mean_latency_s: f64,
+    /// Largest per-job wall-clock latency, seconds.
+    pub max_latency_s: f64,
+    /// Cluster occupancy inside the served makespan.
+    pub occupancy: f64,
+    /// Deadline misses reported by the server.
+    pub deadline_misses: u64,
+}
+
+/// The mixed workload queue of the serving experiment: four job
+/// families at assorted sizes, so the space-sharing placement and the
+/// inter-job pipeline both have something to chew on.
+fn serving_jobs() -> Vec<(String, ntx_sched::JobKind)> {
+    use ntx_sched::JobKind;
+    let conv = |h: u32, w: u32, f: u32, seed: u32| {
+        let kernel = Conv2dKernel {
+            height: h,
+            width: w,
+            k: 3,
+            filters: f,
+        };
+        JobKind::Conv2d {
+            kernel,
+            image: test_data((h * w) as usize, seed),
+            weights: test_data((9 * f) as usize, seed ^ 0xffff),
+        }
+    };
+    let gemm = |m: u32, k: u32, n: u32, seed: u32| JobKind::Gemm {
+        dims: GemmKernel { m, k, n },
+        a: test_data((m * k) as usize, seed),
+        b: test_data((k * n) as usize, seed ^ 0xaaaa),
+    };
+    let axpy = |n: usize, seed: u32| JobKind::Axpy {
+        a: 1.25,
+        x: test_data(n, seed),
+        y: test_data(n, seed ^ 0x5555),
+    };
+    let stencil = |h: u32, w: u32, seed: u32| JobKind::Stencil2d {
+        height: h,
+        width: w,
+        grid: test_data((h * w) as usize, seed),
+    };
+    // A serving-shaped mix: a couple of farm-wide jobs plus a tail of
+    // small requests — the "many users" regime where space sharing
+    // pays (a small job on one cluster spends 2-3x fewer
+    // cluster-cycles than the same job sharded eight ways).
+    vec![
+        ("conv3x3 98x63x4".into(), conv(98, 63, 4, 0x1111)),
+        ("gemm 24x16x12 a".into(), gemm(24, 16, 12, 0x2222)),
+        ("stencil 40x23 a".into(), stencil(40, 23, 0x3333)),
+        ("gemm 32x16x16".into(), gemm(32, 16, 16, 0x4444)),
+        ("conv3x3 30x23x2".into(), conv(30, 23, 2, 0x5555)),
+        ("axpy 6000".into(), axpy(6000, 0x6666)),
+        ("stencil 30x17".into(), stencil(30, 17, 0x7777)),
+        ("gemm 16x16x16".into(), gemm(16, 16, 16, 0x8888)),
+        ("conv3x3 24x17x1".into(), conv(24, 17, 1, 0x9999)),
+        ("gemm 24x16x12 b".into(), gemm(24, 16, 12, 0xaaab)),
+        ("stencil 24x15".into(), stencil(24, 15, 0xbbbb)),
+        ("axpy 800".into(), axpy(800, 0xcccc)),
+        ("gemm 20x12x12".into(), gemm(20, 12, 12, 0xdddd)),
+        ("stencil 40x23 b".into(), stencil(40, 23, 0xeeee)),
+        ("conv3x3 30x23x1".into(), conv(30, 23, 1, 0xffff)),
+        ("axpy 500".into(), axpy(500, 0x1235)),
+    ]
+}
+
+/// Runs the serving experiment (see [`ServingBenchReport`]).
+///
+/// # Panics
+///
+/// Panics when a deterministic workload fails admission or the server
+/// drops a job — both indicate scheduler bugs.
+#[must_use]
+pub fn serving_report() -> ServingBenchReport {
+    use ntx_sched::{JobOpts, JobQueue, ScaleOutConfig, ScaleOutExecutor, Server, ServerConfig};
+    let clusters = 8usize;
+    let jobs = serving_jobs();
+
+    // Pipelined farm vs barriered reference, same queue.
+    let fill = |queue: &mut JobQueue| {
+        for (label, kind) in &jobs {
+            queue.push(label.clone(), kind.clone());
+        }
+    };
+    let mut pipelined = ScaleOutExecutor::new(ScaleOutConfig::with_clusters(clusters));
+    let mut queue = JobQueue::new();
+    fill(&mut queue);
+    let p = pipelined.run_queue(&mut queue).expect("pipelined batch");
+    let mut barriered = ScaleOutExecutor::new(ScaleOutConfig::with_clusters(clusters).barriered());
+    let mut queue = JobQueue::new();
+    fill(&mut queue);
+    let b = barriered.run_queue(&mut queue).expect("barriered batch");
+    // Independent oracle: the pre-farm full-width executor shards
+    // every job across all clusters (different schedules, different
+    // DMA traffic) — outputs must still match bit for bit.
+    let mut full_width = ScaleOutExecutor::new(ScaleOutConfig {
+        space_share: false,
+        ..ScaleOutConfig::with_clusters(clusters).barriered()
+    });
+    let mut queue = JobQueue::new();
+    fill(&mut queue);
+    let f = full_width.run_queue(&mut queue).expect("full-width batch");
+    let outputs_match = |x: &ntx_sched::BatchResult, y: &ntx_sched::BatchResult| {
+        x.results.iter().zip(&y.results).all(|(rx, ry)| {
+            rx.output.len() == ry.output.len()
+                && rx
+                    .output
+                    .iter()
+                    .zip(&ry.output)
+                    .all(|(a, c)| a.to_bits() == c.to_bits())
+        })
+    };
+    let bit_identical = outputs_match(&p, &b) && outputs_match(&p, &f);
+    let snapshots_identical = p.results.iter().zip(&b.results).all(|(rp, rb)| {
+        rp.report.per_cluster == rb.report.per_cluster
+            && rp.report.makespan_cycles == rb.report.makespan_cycles
+    });
+
+    // The same queue answered by the analytical backend: instant, and
+    // not a single simulator cycle anywhere.
+    let mut model = ScaleOutExecutor::new(ScaleOutConfig::with_clusters(clusters));
+    let mut queue = JobQueue::new();
+    for (label, kind) in &jobs {
+        queue.push_with(label.clone(), kind.clone(), JobOpts::estimate());
+    }
+    let est = model.run_queue(&mut queue).expect("estimated batch");
+    let estimated_cycles_total = est
+        .results
+        .iter()
+        .map(|r| r.estimate.expect("estimate per job").cycles)
+        .sum();
+    let estimate_sim_cycles = (0..clusters).map(|c| model.cluster(c).cycle()).sum();
+
+    // The async front-end under multi-client load: four clients
+    // submit four jobs each, with assorted priorities and generous
+    // deadlines.
+    let server = Server::start(ServerConfig::with_clusters(clusters));
+    let mut clients = Vec::new();
+    for (client, chunk) in jobs.chunks(4).enumerate() {
+        let handle = server.handle();
+        let chunk: Vec<_> = chunk.to_vec();
+        clients.push(std::thread::spawn(move || {
+            let mut handles = Vec::new();
+            for (i, (label, kind)) in chunk.into_iter().enumerate() {
+                let opts = JobOpts::default()
+                    .with_priority((client + i) as u8 % 3)
+                    .with_deadline(std::time::Duration::from_secs(600));
+                handles.push(
+                    handle
+                        .submit_with(label, kind, opts)
+                        .expect("server running"),
+                );
+            }
+            for h in handles {
+                let c = h.wait().expect("job served");
+                assert!(c.result.is_ok(), "serving failed: {:?}", c.result);
+            }
+        }));
+    }
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    let serving = server.shutdown();
+
+    ServingBenchReport {
+        clusters,
+        jobs: jobs.len(),
+        barriered_makespan_cycles: b.report.makespan_cycles,
+        fullwidth_makespan_cycles: f.report.makespan_cycles,
+        pipelined_makespan_cycles: p.report.makespan_cycles,
+        pipelined_speedup: b.report.makespan_cycles as f64 / p.report.makespan_cycles as f64,
+        fullwidth_speedup: f.report.makespan_cycles as f64 / p.report.makespan_cycles as f64,
+        bit_identical,
+        snapshots_identical,
+        estimated_cycles_total,
+        estimate_sim_cycles,
+        served_jobs: serving.jobs,
+        jobs_per_second: serving.jobs_per_second(),
+        mean_latency_s: serving.mean_latency().as_secs_f64(),
+        max_latency_s: serving.max_latency.as_secs_f64(),
+        occupancy: serving.occupancy(),
+        deadline_misses: serving.deadline_misses,
     }
 }
 
@@ -532,6 +760,35 @@ mod tests {
         for w in r.points.windows(2) {
             assert!(w[1].makespan_cycles < w[0].makespan_cycles);
         }
+    }
+
+    #[test]
+    fn serving_stack_beats_the_barrier_and_estimates_for_free() {
+        let r = serving_report();
+        assert!(r.bit_identical, "pipelined outputs must be bit-identical");
+        assert!(
+            r.snapshots_identical,
+            "per-job PerfSnapshots must be bit-identical"
+        );
+        assert!(
+            r.pipelined_speedup > 1.0,
+            "pipelined farm must beat the barriered executor ({:.3}x)",
+            r.pipelined_speedup
+        );
+        assert!(
+            r.fullwidth_speedup >= 1.0,
+            "pipelined farm must not lose to the full-width executor ({:.3}x)",
+            r.fullwidth_speedup
+        );
+        assert_eq!(
+            r.estimate_sim_cycles, 0,
+            "estimates must spend no simulator cycles"
+        );
+        assert!(r.estimated_cycles_total > 0);
+        assert_eq!(r.served_jobs, r.jobs as u64);
+        assert_eq!(r.deadline_misses, 0);
+        assert!(r.jobs_per_second > 0.0);
+        assert!(r.occupancy > 0.0 && r.occupancy <= 1.0);
     }
 
     #[test]

@@ -257,6 +257,91 @@ pub fn simperf(r: &crate::experiments::SimPerfReport) -> String {
     s
 }
 
+/// Formats the serving-stack measurement.
+#[must_use]
+pub fn serving(r: &crate::experiments::ServingBenchReport) -> String {
+    let mut s = String::new();
+    s.push_str("Serving stack — pipelined farm, analytical backend, async front-end\n");
+    s.push_str(&format!(
+        "  mixed queue: {} jobs on {} clusters\n",
+        r.jobs, r.clusters
+    ));
+    s.push_str(&format!(
+        "  barriered executor : {:>12} cycles (same placement; {:>8} full-width)\n  \
+         pipelined farm     : {:>12} cycles  ({:.2}x vs barriered, {:.2}x vs full-width, \
+         outputs bit-identical: {}, per-job counters identical: {})\n",
+        r.barriered_makespan_cycles,
+        r.fullwidth_makespan_cycles,
+        r.pipelined_makespan_cycles,
+        r.pipelined_speedup,
+        r.fullwidth_speedup,
+        if r.bit_identical { "yes" } else { "NO" },
+        if r.snapshots_identical { "yes" } else { "NO" },
+    ));
+    s.push_str(&format!(
+        "  analytical backend : {:>12} cycles estimated, {} simulator cycles spent\n",
+        r.estimated_cycles_total, r.estimate_sim_cycles
+    ));
+    s.push_str(&format!(
+        "  async server       : {} jobs, {:.1} jobs/s, latency mean {:.1} ms / max {:.1} ms, \
+         occupancy {:.0}%, {} deadline misses\n",
+        r.served_jobs,
+        r.jobs_per_second,
+        r.mean_latency_s * 1e3,
+        r.max_latency_s * 1e3,
+        r.occupancy * 100.0,
+        r.deadline_misses
+    ));
+    s
+}
+
+/// Serialises the serving-stack measurement as the
+/// `BENCH_serving.json` artifact (hand-rolled: no serde in the
+/// container).
+#[must_use]
+pub fn serving_json(r: &crate::experiments::ServingBenchReport) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"clusters\": {},\n",
+            "  \"jobs\": {},\n",
+            "  \"barriered_makespan_cycles\": {},\n",
+            "  \"fullwidth_makespan_cycles\": {},\n",
+            "  \"pipelined_makespan_cycles\": {},\n",
+            "  \"pipelined_speedup\": {:.3},\n",
+            "  \"fullwidth_speedup\": {:.3},\n",
+            "  \"bit_identical\": {},\n",
+            "  \"snapshots_identical\": {},\n",
+            "  \"estimated_cycles_total\": {},\n",
+            "  \"estimate_sim_cycles\": {},\n",
+            "  \"served_jobs\": {},\n",
+            "  \"jobs_per_second\": {:.2},\n",
+            "  \"mean_latency_seconds\": {:.6},\n",
+            "  \"max_latency_seconds\": {:.6},\n",
+            "  \"occupancy\": {:.4},\n",
+            "  \"deadline_misses\": {}\n",
+            "}}\n"
+        ),
+        r.clusters,
+        r.jobs,
+        r.barriered_makespan_cycles,
+        r.fullwidth_makespan_cycles,
+        r.pipelined_makespan_cycles,
+        r.pipelined_speedup,
+        r.fullwidth_speedup,
+        r.bit_identical,
+        r.snapshots_identical,
+        r.estimated_cycles_total,
+        r.estimate_sim_cycles,
+        r.served_jobs,
+        r.jobs_per_second,
+        r.mean_latency_s,
+        r.max_latency_s,
+        r.occupancy,
+        r.deadline_misses
+    )
+}
+
 fn simperf_workload_json(w: &crate::experiments::SimPerfWorkload) -> String {
     format!(
         concat!(

@@ -15,6 +15,7 @@
 //! builders are responsible for alternating their TCDM buffer
 //! addresses (ping-pong).
 
+use crate::stencil::StencilPass;
 use ntx_isa::NtxConfig;
 use ntx_mem::{DmaDescriptor, DmaDirection};
 use ntx_sim::{Cluster, PerfSnapshot};
@@ -405,6 +406,142 @@ pub fn conv_tiles(
     tiles
 }
 
+/// True when a `band_rows`-row streaming band of a 2-D Laplace stencil
+/// over a `width`-wide grid, with the per-engine coefficient replicas
+/// resident at `coeff_addr`, fits its two ping-pong buffers in a TCDM
+/// of `tcdm_bytes`. The one capacity rule of the [`laplace2d_tiles`]
+/// layout, shared with the scale-out planner.
+#[must_use]
+pub fn laplace2d_band_fits(
+    width: u32,
+    band_rows: u32,
+    coeff_addr: u32,
+    engines: u32,
+    tcdm_bytes: u32,
+) -> bool {
+    let in_bytes = 4 * (band_rows + 2) * width;
+    let out_bytes = 4 * band_rows * (width - 2);
+    let base = coeff_addr + 4 * 3 * engines;
+    base + 2 * (in_bytes + out_bytes) <= tcdm_bytes
+}
+
+/// Builds the streaming tile schedule for the 2-D discrete Laplace
+/// operator (§III-B3) over a grid in external memory: each band of
+/// output rows (plus its one-row halo above and below) streams through
+/// two ping-pong TCDM buffers, and every band runs the paper's
+/// dimension decomposition as **two** tile tasks — an x pass, then an
+/// accumulating y pass. The split into two tasks is load-bearing: the
+/// y pass reads back the x pass's output through the
+/// memory-initialised accumulator, so it must not be offloaded until
+/// every x-pass engine has retired.
+///
+/// The caller must have written one `[1, -2, 1]` coefficient replica
+/// per engine at [`weight_replica_addrs`]`(coeff_addr, 3, engines)`;
+/// per-engine replicas avoid the structural bank conflict of all
+/// engines fetching the same coefficient word each tap.
+///
+/// # Panics
+///
+/// Panics on grids smaller than 3×3, a zero `band_rows`, or a band
+/// geometry that cannot fit two buffers in the TCDM.
+pub fn laplace2d_tiles(
+    cluster: &Cluster,
+    height: u32,
+    width: u32,
+    grid_ext: u64,
+    coeff_addr: u32,
+    out_ext: u64,
+    band_rows: u32,
+) -> Vec<TileTask> {
+    assert!(height >= 3 && width >= 3, "grid too small");
+    assert!(band_rows > 0, "band must contain rows");
+    let engines = cluster.num_engines() as u32;
+    let (oh, ow) = (height - 2, width - 2);
+    let tcdm_bytes = cluster.config().tcdm.bytes;
+    assert!(
+        laplace2d_band_fits(width, band_rows, coeff_addr, engines, tcdm_bytes),
+        "two laplace2d bands must fit the TCDM"
+    );
+    let in_bytes = 4 * (band_rows + 2) * width;
+    let out_bytes = 4 * band_rows * ow;
+    let buf_bytes = in_bytes + out_bytes;
+    // Coefficient replicas (12 B per engine) sit below the ping-pong
+    // region.
+    let base = coeff_addr + 4 * 3 * engines;
+    let mut tiles = Vec::new();
+    let mut row0 = 0u32;
+    let mut half = 0u32;
+    while row0 < oh {
+        let rows = band_rows.min(oh - row0);
+        let in_addr = base + half * buf_bytes;
+        let out_addr = in_addr + in_bytes;
+        // x pass: rows outer, columns inner, overwrite.
+        let x_pass = StencilPass {
+            taps: 3,
+            sample_stride: 4,
+            inner: ow,
+            inner_in_stride: 4,
+            inner_out_stride: 4,
+            outer: rows,
+            outer_in_stride: 4 * width as i32,
+            outer_out_stride: 4 * ow as i32,
+            in_base: in_addr + 4 * width, // band row 1, column 0
+            coeff_base: coeff_addr,
+            out_base: out_addr,
+            accumulate: false,
+        };
+        // y pass: columns outer, rows inner, accumulate into the x
+        // pass's output.
+        let y_pass = StencilPass {
+            taps: 3,
+            sample_stride: 4 * width as i32,
+            inner: rows,
+            inner_in_stride: 4 * width as i32,
+            inner_out_stride: 4 * ow as i32,
+            outer: ow,
+            outer_in_stride: 4,
+            outer_out_stride: 4,
+            in_base: in_addr + 4, // band row 0, column 1
+            coeff_base: coeff_addr,
+            out_base: out_addr,
+            accumulate: true,
+        };
+        tiles.push(TileTask {
+            loads: vec![DmaDescriptor::linear(
+                grid_ext + 4 * u64::from(row0 * width),
+                in_addr,
+                4 * (rows + 2) * width,
+                DmaDirection::ExtToTcdm,
+            )],
+            commands: x_pass
+                .lower_replicated(engines, 12)
+                .expect("valid laplace2d x pass")
+                .into_iter()
+                .enumerate()
+                .collect(),
+            stores: Vec::new(),
+        });
+        tiles.push(TileTask {
+            loads: Vec::new(),
+            commands: y_pass
+                .lower_replicated(engines, 12)
+                .expect("valid laplace2d y pass")
+                .into_iter()
+                .enumerate()
+                .collect(),
+            stores: vec![DmaDescriptor::linear(
+                out_ext + 4 * u64::from(row0 * ow),
+                out_addr,
+                4 * rows * ow,
+                DmaDirection::TcdmToExt,
+            )],
+        });
+        row0 += rows;
+        half ^= 1;
+    }
+    tiles
+}
+
 /// Byte addresses of the per-engine weight replicas in the layout
 /// [`conv_tiles`] expects: one block of `weight_floats` `f32` values
 /// per engine, packed back to back from `weights_addr`. This is the
@@ -496,6 +633,33 @@ mod tests {
                     "filter {f} element {i}: {g} vs {e}"
                 );
             }
+        }
+        assert!(perf.flops > 0);
+        assert!(perf.dma_bytes > 0);
+    }
+
+    #[test]
+    fn streaming_laplace2d_matches_reference() {
+        let (h, w) = (22u32, 17u32);
+        let grid: Vec<f32> = (0..h * w).map(|i| ((i % 11) as f32) * 0.5 - 2.0).collect();
+        let mut cluster = Cluster::new(ClusterConfig::default());
+        let (grid_ext, out_ext) = (0u64, 0x20_0000u64);
+        cluster.ext_mem().write_f32_slice(grid_ext, &grid);
+        for addr in weight_replica_addrs(0, 3, cluster.num_engines() as u32) {
+            cluster.write_tcdm_f32(addr, &[1.0, -2.0, 1.0]);
+        }
+        let tiles = laplace2d_tiles(&cluster, h, w, grid_ext, 0, out_ext, 5);
+        // Two tile tasks (x pass, y pass) per band.
+        assert_eq!(tiles.len(), 2 * 4); // ceil(20 / 5) bands
+        let perf = run_tiles(&mut cluster, &tiles);
+        let (oh, ow) = ((h - 2) as usize, (w - 2) as usize);
+        let got = cluster.ext_mem().read_f32_slice(out_ext, oh * ow);
+        let expect = reference::laplace2d(&grid, h as usize, w as usize);
+        for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+            assert!(
+                (g - e).abs() <= 1e-3 * e.abs().max(1.0),
+                "element {i}: {g} vs {e}"
+            );
         }
         assert!(perf.flops > 0);
         assert!(perf.dma_bytes > 0);

@@ -59,6 +59,24 @@ impl StencilPass {
     ///
     /// Propagates [`ConfigError`].
     pub fn lower(&self, engines: u32) -> Result<Vec<NtxConfig>, ConfigError> {
+        self.lower_replicated(engines, 0)
+    }
+
+    /// Like [`StencilPass::lower`], but engine `e` reads its
+    /// coefficients from `coeff_base + e * coeff_stride` (bytes).
+    /// Per-engine coefficient replicas avoid the structural bank
+    /// conflict of all engines fetching the same coefficient word each
+    /// tap — the same trick the convolution lowering plays with its
+    /// weight replicas. A stride of zero shares one copy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`].
+    pub fn lower_replicated(
+        &self,
+        engines: u32,
+        coeff_stride: u32,
+    ) -> Result<Vec<NtxConfig>, ConfigError> {
         let taps = self.taps as i32;
         let engines = engines.min(self.outer).max(1);
         let base = self.outer / engines;
@@ -76,6 +94,9 @@ impl StencilPass {
             let out_start = self
                 .out_base
                 .wrapping_add((o0 as i32).wrapping_mul(self.outer_out_stride) as u32);
+            // Replica index = the engine slot this config is offloaded
+            // to (callers enumerate the returned configs).
+            let coeff_start = self.coeff_base + configs.len() as u32 * coeff_stride;
             let cfg = NtxConfig::builder()
                 .command(Command::Mac {
                     operand: OperandSelect::Memory,
@@ -103,7 +124,7 @@ impl StencilPass {
                 )
                 .agu(
                     1,
-                    AguConfig::new(self.coeff_base, [4, -4 * (taps - 1), -4 * (taps - 1), 0, 0]),
+                    AguConfig::new(coeff_start, [4, -4 * (taps - 1), -4 * (taps - 1), 0, 0]),
                 )
                 .agu(
                     2,

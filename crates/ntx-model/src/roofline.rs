@@ -79,6 +79,32 @@ impl Roofline {
         oi >= self.ridge()
     }
 
+    /// Analytical execution-time estimate of a kernel that performs
+    /// `flops` floating-point operations while streaming `bytes` of
+    /// compulsory external-memory traffic: the larger of the practical
+    /// compute time and the practical transfer time (both ceilings
+    /// conflict-derated, assuming §II-E double buffering overlaps the
+    /// two). This is the "estimate now" path of the scheduler's
+    /// analytical backend — no simulation involved.
+    #[must_use]
+    pub fn estimated_seconds(&self, flops: u64, bytes: u64) -> f64 {
+        let t_compute = flops as f64 / self.practical_peak();
+        let t_memory = bytes as f64 / self.practical_bandwidth();
+        t_compute.max(t_memory)
+    }
+
+    /// [`Roofline::estimated_seconds`] converted to NTX cycles at clock
+    /// `freq_hz`, rounded up (a job never takes zero cycles).
+    #[must_use]
+    pub fn estimated_cycles(&self, flops: u64, bytes: u64, freq_hz: f64) -> u64 {
+        let cycles = (self.estimated_seconds(flops, bytes) * freq_hz).ceil();
+        if cycles < 1.0 {
+            1
+        } else {
+            cycles as u64
+        }
+    }
+
     /// Extrapolates kernel performance the way §III-C does: the ideal
     /// roofline value at `oi`, scaled by a utilisation factor measured
     /// in a representative cycle simulation (the gate-level 3×3-conv
@@ -153,6 +179,21 @@ mod tests {
         assert_eq!(r.extrapolate(100.0, 2.0), 20.0e9);
         assert_eq!(r.extrapolate(100.0, 0.5), 10.0e9);
         assert_eq!(r.extrapolate(100.0, -1.0), 0.0);
+    }
+
+    #[test]
+    fn estimates_pick_the_binding_ceiling() {
+        let r = Roofline::default();
+        // Compute bound: 17.4 Gflop at the 17.4 Gflop/s practical peak
+        // is one second.
+        let flops = 17_400_000_000u64;
+        assert!((r.estimated_seconds(flops, 0) - 1.0).abs() < 1e-9);
+        // Memory bound: 4.35 GB at 4.35 GB/s is one second.
+        let bytes = 4_350_000_000u64;
+        assert!((r.estimated_seconds(0, bytes) - 1.0).abs() < 1e-9);
+        // Cycles round up and never hit zero.
+        assert_eq!(r.estimated_cycles(0, 0, 1.25e9), 1);
+        assert_eq!(r.estimated_cycles(flops, bytes, 1.25e9), 1_250_000_000);
     }
 
     #[test]

@@ -1,0 +1,451 @@
+//! Execution backends: one job queue, several ways to answer it.
+//!
+//! A [`Backend`] owns the three steps of the serving path — **plan
+//! admission** (validate a job and shard it, before any resources are
+//! committed), **launch** (run an admitted batch), and **readback**
+//! (assemble per-job results) — behind one trait, so the same
+//! [`JobQueue`](crate::JobQueue) serves both "simulate exactly" and
+//! "estimate now" requests, selected per job via
+//! [`JobOpts::backend`](crate::JobOpts):
+//!
+//! * [`SimulatorBackend`] — the bit-accurate path: jobs are tiled by
+//!   the [`Tiler`], placed onto cluster subsets, and executed by the
+//!   [`ClusterFarm`] through the cycle simulator's burst API.
+//! * [`AnalyticalBackend`] — the instant path: jobs are answered from
+//!   `ntx-model`'s roofline estimates without spending a single
+//!   simulator cycle, useful for admission control and capacity
+//!   planning in front of the farm.
+
+use ntx_model::roofline::Roofline;
+use ntx_sim::ClusterConfig;
+
+use crate::executor::{BatchResult, JobResult, ScaleOutConfig};
+use crate::farm::{ClusterFarm, JobMeta, PlacedJob};
+use crate::job::Job;
+use crate::report::ScaleOutReport;
+use crate::tiler::{ClusterPlan, Tiler};
+use crate::SchedError;
+
+/// Which backend executes a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Bit-accurate execution in the cycle simulator (the default).
+    #[default]
+    Simulate,
+    /// Instant analytical estimate from the roofline model; no
+    /// simulator cycles are spent and no output data is produced.
+    Estimate,
+}
+
+/// An analytical answer: what the roofline model predicts for a job
+/// sharded `shards` ways.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobEstimate {
+    /// Total floating-point operations of the job.
+    pub flops: u64,
+    /// Compulsory external-memory traffic, bytes.
+    pub ext_bytes: u64,
+    /// Shard count the estimate assumes.
+    pub shards: usize,
+    /// Estimated makespan in NTX cycles (per shard, shards run
+    /// concurrently).
+    pub cycles: u64,
+    /// Estimated makespan in seconds at the cluster clock.
+    pub seconds: f64,
+    /// True when the practical compute ceiling binds (vs. bandwidth).
+    pub compute_bound: bool,
+}
+
+/// A job's work after admission, in backend-specific form.
+#[derive(Debug)]
+pub enum AdmittedWork {
+    /// Sharded tile plans for the simulator farm, plus the analytical
+    /// per-shard cycle estimate the placement heuristic packs with.
+    Tiled {
+        /// One plan per shard (possibly empty for trailing clusters).
+        plans: Vec<ClusterPlan>,
+        /// Estimated cycles per shard, for least-loaded placement.
+        shard_cycles_hint: u64,
+    },
+    /// An analytical estimate; nothing to execute.
+    Estimated(JobEstimate),
+}
+
+/// A job that passed admission, paired with its planned work.
+#[derive(Debug)]
+pub struct AdmittedJob {
+    /// The job (owned; its data has already been captured into the
+    /// plans where the backend needs it).
+    pub job: Job,
+    /// The backend-specific plan.
+    pub work: AdmittedWork,
+}
+
+/// One execution backend: plan admission, launch, readback.
+pub trait Backend {
+    /// Validates `job` and plans its execution without committing any
+    /// resources — a failed admission leaves the backend untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::Shape`] for inconsistent jobs,
+    /// [`SchedError::Capacity`] when no feasible sharding exists.
+    fn admit(&mut self, job: &Job) -> Result<AdmittedWork, SchedError>;
+
+    /// Launches a batch of admitted jobs and reads their results back,
+    /// in batch order.
+    fn run_batch(&mut self, batch: Vec<AdmittedJob>) -> BatchResult;
+}
+
+/// Roofline estimate for `job` sharded `shards` ways.
+fn estimate_for(job: &Job, shards: usize, roofline: &Roofline, freq_hz: f64) -> JobEstimate {
+    let cost = job.cost();
+    let s = shards.max(1) as u64;
+    let flops_per = cost.flops.div_ceil(s);
+    let bytes_per = cost.min_ext_bytes.div_ceil(s);
+    JobEstimate {
+        flops: cost.flops,
+        ext_bytes: cost.min_ext_bytes,
+        shards: shards.max(1),
+        cycles: roofline.estimated_cycles(flops_per, bytes_per, freq_hz),
+        seconds: roofline.estimated_seconds(flops_per, bytes_per),
+        compute_bound: flops_per as f64 / roofline.practical_peak()
+            >= bytes_per as f64 / roofline.practical_bandwidth(),
+    }
+}
+
+/// Roofline instance matching a cluster configuration (peaks from the
+/// hardware parameters, conflict derating from the paper's §III-C
+/// measurement).
+fn roofline_for(cluster: &ClusterConfig) -> Roofline {
+    Roofline {
+        peak_flops: cluster.peak_flops(),
+        peak_bandwidth: cluster.peak_bandwidth(),
+        ..Roofline::default()
+    }
+}
+
+/// The one space-sharing sizing rule, shared by both backends so the
+/// analytical estimates always assume the sharding the simulator
+/// actually places: enough shards that each carries roughly
+/// `target_shard_cycles` of estimated work, capped at the farm width.
+/// With `space_share` disabled every job spans all clusters.
+fn heuristic_shards(
+    job: &Job,
+    config: &ScaleOutConfig,
+    roofline: &Roofline,
+    freq_hz: f64,
+) -> usize {
+    if !config.space_share {
+        return config.clusters;
+    }
+    let est1 = estimate_for(job, 1, roofline, freq_hz);
+    let shards = est1
+        .cycles
+        .div_ceil(config.target_shard_cycles.max(1))
+        .clamp(1, config.clusters as u64) as usize;
+    // Snap to one cluster or the whole farm. Mid-size subsets (3 of 8
+    // clusters) look attractive per job but pack badly across a batch
+    // — the analytical estimate is only accurate to tens of percent,
+    // so coarse multi-cluster shards lump onto a critical cluster and
+    // the batch loses to plain full-width sharding. Tiny jobs on one
+    // cluster fill the slack of full-width jobs instead.
+    if shards > 1 {
+        config.clusters
+    } else {
+        1
+    }
+}
+
+/// The bit-accurate backend: tiler + placement + cluster farm.
+#[derive(Debug)]
+pub struct SimulatorBackend {
+    config: ScaleOutConfig,
+    farm: ClusterFarm,
+    roofline: Roofline,
+}
+
+impl SimulatorBackend {
+    /// Builds the farm for `config`.
+    #[must_use]
+    pub fn new(config: ScaleOutConfig) -> Self {
+        Self {
+            config,
+            farm: ClusterFarm::new(config.clusters, config.cluster),
+            roofline: roofline_for(&config.cluster),
+        }
+    }
+
+    /// Read-only access to cluster `index` (test/report introspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn cluster(&self, index: usize) -> &ntx_sim::Cluster {
+        self.farm.cluster(index)
+    }
+
+    /// Plans `job` across **all** clusters, ignoring the space-sharing
+    /// heuristic — the single-job strong-scaling path
+    /// ([`ScaleOutExecutor::run_job`](crate::ScaleOutExecutor::run_job)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tiler errors.
+    pub fn admit_full_width(&self, job: &Job) -> Result<Vec<ClusterPlan>, SchedError> {
+        Tiler::new(self.config.clusters).plan(job, self.farm.cluster(0))
+    }
+
+    /// Runs one admitted job, sharded plan `i` on cluster `i` (the
+    /// full-width identity placement).
+    #[must_use]
+    pub fn run_single(&mut self, meta: JobMeta, plans: Vec<ClusterPlan>) -> JobResult {
+        let shards = plans
+            .into_iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_empty())
+            .collect();
+        let mut batch = self
+            .farm
+            .run_batch(vec![PlacedJob { meta, shards }], self.config.pipelined);
+        batch.results.pop().expect("one result per placed job")
+    }
+
+    /// Chooses the shard count for `job`: enough shards that each
+    /// carries roughly `target_shard_cycles` of estimated work (so
+    /// small jobs leave clusters free for space sharing), grown until
+    /// the shards fit the TCDM, capped at the cluster count. With
+    /// `space_share` disabled every job spans all clusters.
+    fn admit_tiled(&self, job: &Job) -> Result<AdmittedWork, SchedError> {
+        let n = self.config.clusters;
+        let freq = self.config.cluster.ntx_freq_hz;
+        let mut shards = heuristic_shards(job, &self.config, &self.roofline, freq);
+        loop {
+            match Tiler::new(shards).plan(job, self.farm.cluster(0)) {
+                Ok(plans) => {
+                    let est = estimate_for(job, shards, &self.roofline, freq);
+                    return Ok(AdmittedWork::Tiled {
+                        plans,
+                        shard_cycles_hint: est.cycles,
+                    });
+                }
+                // A shard that cannot fit the TCDM may fit when split
+                // finer; retry wider until the farm width is exhausted.
+                Err(SchedError::Capacity(_)) if shards < n => shards += 1,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Backend for SimulatorBackend {
+    fn admit(&mut self, job: &Job) -> Result<AdmittedWork, SchedError> {
+        self.admit_tiled(job)
+    }
+
+    /// Places each job's shards on the least-loaded clusters by the
+    /// admission estimate, assigning in LPT order (heaviest shards
+    /// first, ties by submission) so the greedy packing stays balanced
+    /// — execution and results keep submission order. Placement is a
+    /// pure, deterministic function of the batch, so the pipelined run
+    /// and the barriered oracle place identically and stay
+    /// bit-comparable per job.
+    fn run_batch(&mut self, batch: Vec<AdmittedJob>) -> BatchResult {
+        let n = self.config.clusters;
+        struct Item {
+            meta: JobMeta,
+            shards: Vec<ClusterPlan>,
+            hint: u64,
+        }
+        let items: Vec<Item> = batch
+            .into_iter()
+            .filter_map(|AdmittedJob { job, work }| {
+                let AdmittedWork::Tiled {
+                    plans,
+                    shard_cycles_hint,
+                } = work
+                else {
+                    debug_assert!(false, "estimate admitted to the simulator backend");
+                    return None;
+                };
+                Some(Item {
+                    meta: JobMeta {
+                        id: job.id,
+                        label: job.label.clone(),
+                        output_len: job.output_len(),
+                    },
+                    shards: plans.into_iter().filter(|p| !p.is_empty()).collect(),
+                    hint: shard_cycles_hint,
+                })
+            })
+            .collect();
+        let mut by_weight: Vec<usize> = (0..items.len()).collect();
+        by_weight.sort_by_key(|&i| (std::cmp::Reverse(items[i].hint), i));
+        let mut load = vec![0u64; n];
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        let mut chosen_for: Vec<Vec<usize>> = vec![Vec::new(); items.len()];
+        for &i in &by_weight {
+            order.clear();
+            order.extend(0..n);
+            order.sort_by_key(|&c| (load[c], c));
+            let mut chosen: Vec<usize> = order[..items[i].shards.len()].to_vec();
+            chosen.sort_unstable();
+            for &c in &chosen {
+                load[c] += items[i].hint;
+            }
+            chosen_for[i] = chosen;
+        }
+        let placed = items
+            .into_iter()
+            .zip(chosen_for)
+            .map(|(item, chosen)| PlacedJob {
+                meta: item.meta,
+                shards: chosen.into_iter().zip(item.shards).collect(),
+            })
+            .collect();
+        self.farm.run_batch(placed, self.config.pipelined)
+    }
+}
+
+/// The instant backend: answers from the roofline model.
+#[derive(Debug)]
+pub struct AnalyticalBackend {
+    config: ScaleOutConfig,
+    clusters: usize,
+    freq_hz: f64,
+    roofline: Roofline,
+}
+
+impl AnalyticalBackend {
+    /// A model of the same system `config` describes.
+    #[must_use]
+    pub fn new(config: &ScaleOutConfig) -> Self {
+        Self {
+            config: *config,
+            clusters: config.clusters,
+            freq_hz: config.cluster.ntx_freq_hz,
+            roofline: roofline_for(&config.cluster),
+        }
+    }
+
+    fn shards_for(&self, job: &Job) -> usize {
+        heuristic_shards(job, &self.config, &self.roofline, self.freq_hz)
+    }
+}
+
+impl Backend for AnalyticalBackend {
+    fn admit(&mut self, job: &Job) -> Result<AdmittedWork, SchedError> {
+        job.validate()?;
+        let shards = self.shards_for(job);
+        Ok(AdmittedWork::Estimated(estimate_for(
+            job,
+            shards,
+            &self.roofline,
+            self.freq_hz,
+        )))
+    }
+
+    fn run_batch(&mut self, batch: Vec<AdmittedJob>) -> BatchResult {
+        let results: Vec<JobResult> = batch
+            .into_iter()
+            .map(|AdmittedJob { job, work }| {
+                let est = match work {
+                    AdmittedWork::Estimated(e) => e,
+                    AdmittedWork::Tiled { .. } => {
+                        debug_assert!(false, "tiled plan admitted to the analytical backend");
+                        estimate_for(&job, 1, &self.roofline, self.freq_hz)
+                    }
+                };
+                let mut report = ScaleOutReport::new(self.clusters, self.freq_hz);
+                report.makespan_cycles = est.cycles;
+                JobResult {
+                    job_id: job.id,
+                    label: job.label,
+                    output: Vec::new(),
+                    report,
+                    start_cycle: 0,
+                    finish_cycle: est.cycles,
+                    estimate: Some(est),
+                }
+            })
+            .collect();
+        // Estimates spend no simulated time: the batch window is empty.
+        BatchResult {
+            results,
+            report: ScaleOutReport::new(self.clusters, self.freq_hz),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobKind;
+
+    fn axpy_job(n: usize) -> Job {
+        Job::new(
+            0,
+            "axpy",
+            JobKind::Axpy {
+                a: 2.0,
+                x: vec![1.0; n],
+                y: vec![2.0; n],
+            },
+        )
+    }
+
+    #[test]
+    fn estimates_are_roofline_consistent() {
+        let config = ScaleOutConfig::with_clusters(4);
+        let mut model = AnalyticalBackend::new(&config);
+        let job = axpy_job(4096);
+        let work = model.admit(&job).expect("valid job");
+        let AdmittedWork::Estimated(est) = work else {
+            panic!("analytical admission must estimate");
+        };
+        // AXPY is memory bound: 12 B and 2 flops per element.
+        assert!(!est.compute_bound);
+        assert_eq!(est.flops, 2 * 4096);
+        assert_eq!(est.ext_bytes, 12 * 4096);
+        assert!(est.cycles > 0);
+    }
+
+    #[test]
+    fn small_jobs_get_few_shards_large_jobs_get_many() {
+        let config = ScaleOutConfig::with_clusters(8);
+        let model = AnalyticalBackend::new(&config);
+        assert_eq!(model.shards_for(&axpy_job(64)), 1);
+        assert_eq!(model.shards_for(&axpy_job(1 << 20)), 8);
+    }
+
+    #[test]
+    fn simulator_admission_retries_capacity_wider() {
+        // A GEMM whose single-cluster shard overflows the TCDM must be
+        // admitted at a wider sharding instead of rejected.
+        let config = ScaleOutConfig {
+            target_shard_cycles: u64::MAX, // heuristic says 1 shard
+            ..ScaleOutConfig::with_clusters(4)
+        };
+        let mut sim = SimulatorBackend::new(config);
+        let dims = ntx_kernels::blas::GemmKernel {
+            m: 96,
+            k: 96,
+            n: 96,
+        };
+        let job = Job::new(
+            0,
+            "gemm",
+            JobKind::Gemm {
+                dims,
+                a: vec![0.5; 96 * 96],
+                b: vec![0.25; 96 * 96],
+            },
+        );
+        let work = sim.admit(&job).expect("should fit when split");
+        let AdmittedWork::Tiled { plans, .. } = work else {
+            panic!("simulator admission must tile");
+        };
+        assert!(plans.iter().filter(|p| !p.is_empty()).count() > 1);
+    }
+}

@@ -1,0 +1,316 @@
+//! The pipelined cluster farm: event-driven shard execution across N
+//! independent clusters.
+//!
+//! The farm replaces the old executor's per-job barrier. Each cluster
+//! owns a FIFO of *shards* (one per job that placed work on it) and
+//! runs them back to back: the moment its pipeline for job *i* drains —
+//! an observable [`Cluster::run_burst`] event — the cluster stages job
+//! *i+1* and queues its input DMA, so in system (makespan) time the
+//! store-drain of job *i* on one cluster overlaps the input DMA of job
+//! *i+1* on every cluster that finished earlier, and small jobs placed
+//! on disjoint cluster subsets run concurrently (cluster-level space
+//! sharing).
+//!
+//! Two accountings of the same per-shard simulations:
+//!
+//! * **pipelined** (default): cluster `c` starts its next shard the
+//!   cycle its previous one retires; the batch makespan is
+//!   `max_c Σ_j shard(c, j)`.
+//! * **barriered** (`pipelined: false`): every job waits for the
+//!   slowest cluster of its predecessor; the batch makespan is
+//!   `Σ_j max_c shard(c, j)` — the differential oracle, mirroring the
+//!   simulator's `fast_path: false` pattern.
+//!
+//! Each shard executes in an isolated idle-to-idle measurement window
+//! on its cluster (staging is host work; clusters advance their local
+//! clocks only while working), so per-job outputs **and** per-job
+//! [`PerfSnapshot`] deltas are bit-identical between the two modes —
+//! only the overlap accounting differs. This is also why the farm does
+//! not chain one job's tiles into the next job's pipeline within a
+//! cluster: the TCDM ping-pong region and the external-memory operand
+//! regions are reused across jobs, and cross-job contention inside one
+//! window would make the per-job counters diverge from the barriered
+//! reference.
+
+use ntx_sim::{Cluster, ClusterConfig, PerfSnapshot};
+
+use crate::executor::{BatchResult, JobResult};
+use crate::pipeline::TilePipeline;
+use crate::report::ScaleOutReport;
+use crate::tiler::{ClusterPlan, ReadbackSource};
+
+/// The identity of a job inside the farm: everything execution needs
+/// once the tiler has captured the job's data into its plans.
+#[derive(Debug, Clone)]
+pub struct JobMeta {
+    /// Queue-assigned id.
+    pub id: u64,
+    /// Submission label.
+    pub label: String,
+    /// Output length in `f32` elements.
+    pub output_len: usize,
+}
+
+/// One job, placed: which cluster runs which shard plan.
+#[derive(Debug)]
+pub struct PlacedJob {
+    /// Job identity.
+    pub meta: JobMeta,
+    /// `(cluster index, plan)` pairs, one per non-empty shard.
+    pub shards: Vec<(usize, ClusterPlan)>,
+}
+
+/// One entry of a cluster's shard FIFO.
+#[derive(Debug)]
+struct ShardTask {
+    job_idx: usize,
+    plan: ClusterPlan,
+}
+
+/// Per-shard measurement: which job, its counter delta, its duration.
+type ShardRecord = (usize, PerfSnapshot, u64);
+
+/// The farm: N independent clusters plus their shard FIFOs.
+#[derive(Debug)]
+pub struct ClusterFarm {
+    clusters: Vec<Cluster>,
+    freq_hz: f64,
+}
+
+/// Stages a shard's inputs and runs it to completion in an isolated
+/// idle-to-idle window; returns the counter delta and cycle count.
+fn run_shard(cluster: &mut Cluster, plan: &mut ClusterPlan) -> (PerfSnapshot, u64) {
+    for (addr, values) in &plan.ext_writes {
+        cluster.ext_mem().write_f32_slice(*addr, values);
+    }
+    for (addr, values) in &plan.tcdm_writes {
+        cluster.write_tcdm_f32(*addr, values);
+    }
+    // Measure from here: staging is host work, not simulated time.
+    let before = cluster.perf();
+    let cycle0 = cluster.cycle();
+    if let Some(raw) = &plan.raw {
+        cluster.offload(0, &raw.config);
+        cluster.run_to_completion();
+    }
+    if !plan.tiles.is_empty() {
+        // The tiles move into the pipeline — plans are executed once,
+        // so there is nothing to clone.
+        let tiles = std::mem::take(&mut plan.tiles);
+        TilePipeline::new(cluster, tiles).run_to_completion(cluster);
+    }
+    (cluster.perf().since(&before), cluster.cycle() - cycle0)
+}
+
+/// Gathers a shard's result slices into the job's output vector.
+fn read_shard(cluster: &mut Cluster, plan: &ClusterPlan, out: &mut [f32]) {
+    for rb in &plan.readbacks {
+        let dst = &mut out[rb.dst..rb.dst + rb.len as usize];
+        match rb.source {
+            ReadbackSource::Ext(addr) => cluster.ext_mem().read_f32_into(addr, dst),
+            ReadbackSource::Tcdm(addr) => cluster.read_tcdm_into(addr, dst),
+        }
+    }
+}
+
+impl ClusterFarm {
+    /// Builds `clusters` independent clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `clusters` is zero.
+    #[must_use]
+    pub fn new(clusters: usize, config: ClusterConfig) -> Self {
+        assert!(clusters > 0, "need at least one cluster");
+        Self {
+            clusters: (0..clusters).map(|_| Cluster::new(config)).collect(),
+            freq_hz: config.ntx_freq_hz,
+        }
+    }
+
+    /// Number of clusters.
+    #[must_use]
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Read-only access to cluster `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn cluster(&self, index: usize) -> &Cluster {
+        &self.clusters[index]
+    }
+
+    /// Executes a batch of placed jobs and assembles per-job results
+    /// plus the batch window under the chosen accounting (see the
+    /// module docs). Results come back in `placed` order.
+    #[must_use]
+    pub fn run_batch(&mut self, placed: Vec<PlacedJob>, pipelined: bool) -> BatchResult {
+        let n = self.clusters.len();
+        let mut metas = Vec::with_capacity(placed.len());
+        let mut outputs: Vec<Vec<f32>> = Vec::with_capacity(placed.len());
+        let mut queues: Vec<Vec<ShardTask>> = (0..n).map(|_| Vec::new()).collect();
+        for (job_idx, p) in placed.into_iter().enumerate() {
+            outputs.push(vec![0f32; p.meta.output_len]);
+            metas.push(p.meta);
+            for (c, plan) in p.shards {
+                queues[c].push(ShardTask { job_idx, plan });
+            }
+        }
+
+        let records = self.drive(&mut queues, &mut outputs);
+
+        // Per-job windows: per-cluster deltas, shard-local makespan.
+        let jobs = metas.len();
+        let mut reports: Vec<ScaleOutReport> = (0..jobs)
+            .map(|_| ScaleOutReport::new(n, self.freq_hz))
+            .collect();
+        let mut batch = ScaleOutReport::new(n, self.freq_hz);
+        for (c, recs) in records.iter().enumerate() {
+            for (j, perf, cycles) in recs {
+                reports[*j].per_cluster[c] = *perf;
+                reports[*j].makespan_cycles = reports[*j].makespan_cycles.max(*cycles);
+                batch.per_cluster[c].accumulate(perf);
+            }
+        }
+
+        // Virtual farm time: when each job starts and retires.
+        let mut start = vec![0u64; jobs];
+        let mut finish = vec![0u64; jobs];
+        if pipelined {
+            start.fill(u64::MAX);
+            for recs in &records {
+                let mut t = 0u64;
+                for (j, _, cycles) in recs {
+                    start[*j] = start[*j].min(t);
+                    t += cycles;
+                    finish[*j] = finish[*j].max(t);
+                }
+                batch.makespan_cycles = batch.makespan_cycles.max(t);
+            }
+            for s in &mut start {
+                if *s == u64::MAX {
+                    *s = 0;
+                }
+            }
+        } else {
+            let mut t = 0u64;
+            for j in 0..jobs {
+                start[j] = t;
+                t += reports[j].makespan_cycles;
+                finish[j] = t;
+            }
+            batch.makespan_cycles = t;
+        }
+
+        let results = metas
+            .into_iter()
+            .zip(outputs)
+            .zip(reports)
+            .enumerate()
+            .map(|(j, ((meta, output), report))| JobResult {
+                job_id: meta.id,
+                label: meta.label,
+                output,
+                report,
+                start_cycle: start[j],
+                finish_cycle: finish[j],
+                estimate: None,
+            })
+            .collect();
+        BatchResult {
+            results,
+            report: batch,
+        }
+    }
+
+    /// Serial drive: clusters are fully independent simulations, so
+    /// each runs its whole shard FIFO in turn; readbacks scatter
+    /// straight into the job outputs with no intermediate allocation.
+    #[cfg(not(feature = "parallel"))]
+    fn drive(
+        &mut self,
+        queues: &mut [Vec<ShardTask>],
+        outputs: &mut [Vec<f32>],
+    ) -> Vec<Vec<ShardRecord>> {
+        let mut records: Vec<Vec<ShardRecord>> = Vec::with_capacity(queues.len());
+        for (cluster, queue) in self.clusters.iter_mut().zip(queues.iter_mut()) {
+            let mut recs = Vec::with_capacity(queue.len());
+            for shard in queue.iter_mut() {
+                let (perf, cycles) = run_shard(cluster, &mut shard.plan);
+                read_shard(cluster, &shard.plan, &mut outputs[shard.job_idx]);
+                recs.push((shard.job_idx, perf, cycles));
+            }
+            records.push(recs);
+        }
+        records
+    }
+
+    /// Thread-parallel drive: one OS thread per cluster. Clusters
+    /// share no state, so this is observably identical to the serial
+    /// drive; each thread gathers its readbacks locally and the main
+    /// thread scatters them afterwards.
+    #[cfg(feature = "parallel")]
+    fn drive(
+        &mut self,
+        queues: &mut [Vec<ShardTask>],
+        outputs: &mut [Vec<f32>],
+    ) -> Vec<Vec<ShardRecord>> {
+        let per_cluster: Vec<(Vec<ShardRecord>, Vec<Vec<f32>>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .clusters
+                .iter_mut()
+                .zip(queues.iter_mut())
+                .map(|(cluster, queue)| {
+                    scope.spawn(move || {
+                        let mut recs = Vec::with_capacity(queue.len());
+                        let mut reads = Vec::with_capacity(queue.len());
+                        for shard in queue.iter_mut() {
+                            let (perf, cycles) = run_shard(cluster, &mut shard.plan);
+                            let total: usize =
+                                shard.plan.readbacks.iter().map(|r| r.len as usize).sum();
+                            let mut buf = vec![0f32; total];
+                            let mut off = 0usize;
+                            for rb in &shard.plan.readbacks {
+                                let seg = &mut buf[off..off + rb.len as usize];
+                                match rb.source {
+                                    ReadbackSource::Ext(addr) => {
+                                        cluster.ext_mem().read_f32_into(addr, seg);
+                                    }
+                                    ReadbackSource::Tcdm(addr) => {
+                                        cluster.read_tcdm_into(addr, seg);
+                                    }
+                                }
+                                off += rb.len as usize;
+                            }
+                            recs.push((shard.job_idx, perf, cycles));
+                            reads.push(buf);
+                        }
+                        (recs, reads)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("cluster thread panicked"))
+                .collect()
+        });
+        let mut records = Vec::with_capacity(per_cluster.len());
+        for (queue, (recs, reads)) in queues.iter().zip(per_cluster) {
+            for (shard, buf) in queue.iter().zip(&reads) {
+                let mut off = 0usize;
+                let out = &mut outputs[shard.job_idx];
+                for rb in &shard.plan.readbacks {
+                    out[rb.dst..rb.dst + rb.len as usize]
+                        .copy_from_slice(&buf[off..off + rb.len as usize]);
+                    off += rb.len as usize;
+                }
+            }
+            records.push(recs);
+        }
+        records
+    }
+}

@@ -1,23 +1,30 @@
-//! Jobs and the job queue.
+//! Jobs, per-job serving options, and the job queue.
 //!
 //! A [`Job`] is one unit of work the scale-out runtime shards across
 //! clusters: a kernel descriptor from `ntx-kernels` (GEMM, 2-D
-//! convolution, AXPY) bundled with its input data, or a raw
-//! [`NtxConfig`] command for workloads the kernel library does not
-//! cover. Jobs are submitted through a [`JobQueue`] and executed in
-//! FIFO order by the [`ScaleOutExecutor`](crate::ScaleOutExecutor).
+//! convolution, AXPY, 2-D Laplace stencil) bundled with its input
+//! data, or a raw [`NtxConfig`] command for workloads the kernel
+//! library does not cover. Each job carries [`JobOpts`] — which
+//! [`Backend`](crate::Backend) executes it, its serving priority and
+//! optional deadline — and is submitted through a [`JobQueue`]
+//! (executed FIFO by [`ScaleOutExecutor`](crate::ScaleOutExecutor)) or
+//! through the async [`Server`](crate::Server) front-end (executed in
+//! priority order).
 
 use ntx_isa::NtxConfig;
-use ntx_kernels::blas::GemmKernel;
+use ntx_kernels::blas::{AxpyKernel, GemmKernel};
 use ntx_kernels::conv::Conv2dKernel;
+use ntx_kernels::stencil::Laplace2dKernel;
+use ntx_kernels::KernelCost;
 use std::collections::VecDeque;
+use std::time::Duration;
 
+use crate::backend::BackendKind;
 use crate::SchedError;
 
 /// A raw NTX command job: TCDM preloads, one configuration, one result
 /// window. Raw jobs are not tileable — the scheduler places each on one
-/// cluster (round-robin by job id) and lets tileable jobs absorb the
-/// remaining capacity.
+/// cluster and lets tileable jobs absorb the remaining capacity.
 #[derive(Debug, Clone)]
 pub struct RawJob {
     /// The command to offload (engine 0 of the chosen cluster).
@@ -61,8 +68,62 @@ pub enum JobKind {
         /// Filter-major weights, `filters * k * k` values.
         weights: Vec<f32>,
     },
+    /// The 2-D discrete Laplace stencil (§III-B3 dimension
+    /// decomposition: an x pass plus an accumulating y pass), sharded
+    /// over output-row bands with a one-row halo — the conv-style
+    /// halo-band decomposition applied to the stencil family.
+    Stencil2d {
+        /// Grid height (output has `height - 2` rows).
+        height: u32,
+        /// Grid width (output has `width - 2` columns).
+        width: u32,
+        /// Row-major `height x width` grid.
+        grid: Vec<f32>,
+    },
     /// A raw NTX command (see [`RawJob`]).
     Raw(RawJob),
+}
+
+/// Per-job serving options: backend selection, priority, deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobOpts {
+    /// Which backend executes the job (bit-accurate simulation by
+    /// default; [`BackendKind::Estimate`] answers instantly from the
+    /// analytical model).
+    pub backend: BackendKind,
+    /// Serving priority; higher runs earlier. The [`JobQueue`] itself
+    /// stays FIFO — priorities order waves in the
+    /// [`Server`](crate::Server) front-end.
+    pub priority: u8,
+    /// Optional wall-clock completion deadline, measured from
+    /// submission; the server reports misses per job and in its
+    /// [`ServingReport`](crate::ServingReport).
+    pub deadline: Option<Duration>,
+}
+
+impl JobOpts {
+    /// Options selecting the analytical estimate backend.
+    #[must_use]
+    pub fn estimate() -> Self {
+        Self {
+            backend: BackendKind::Estimate,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the priority (builder style).
+    #[must_use]
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the deadline (builder style).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
 }
 
 /// One schedulable unit of work.
@@ -75,9 +136,22 @@ pub struct Job {
     pub label: String,
     /// The work itself.
     pub kind: JobKind,
+    /// Serving options (backend, priority, deadline).
+    pub opts: JobOpts,
 }
 
 impl Job {
+    /// A job with default options.
+    #[must_use]
+    pub fn new(id: u64, label: impl Into<String>, kind: JobKind) -> Self {
+        Self {
+            id,
+            label: label.into(),
+            kind,
+            opts: JobOpts::default(),
+        }
+    }
+
     /// Number of `f32` elements in this job's output.
     #[must_use]
     pub fn output_len(&self) -> usize {
@@ -87,7 +161,35 @@ impl Job {
             JobKind::Conv2d { kernel, .. } => {
                 (kernel.out_height() * kernel.out_width() * kernel.filters) as usize
             }
+            JobKind::Stencil2d { height, width, .. } => ((height - 2) * (width - 2)) as usize,
             JobKind::Raw(raw) => raw.result_len as usize,
+        }
+    }
+
+    /// Analytic cost of the whole job (flops plus compulsory external
+    /// traffic), from the kernel library's cost models. This is what
+    /// the analytical backend serves and what the placement heuristic
+    /// sizes shards with; raw commands count their loop iterations as
+    /// MACs with no external traffic (they run in the TCDM).
+    #[must_use]
+    pub fn cost(&self) -> KernelCost {
+        match &self.kind {
+            JobKind::Axpy { a, x, .. } => AxpyKernel {
+                n: x.len() as u32,
+                a: *a,
+            }
+            .cost(),
+            JobKind::Gemm { dims, .. } => dims.cost(),
+            JobKind::Conv2d { kernel, .. } => kernel.cost(),
+            JobKind::Stencil2d { height, width, .. } => Laplace2dKernel {
+                height: *height,
+                width: *width,
+            }
+            .cost(),
+            JobKind::Raw(raw) => KernelCost {
+                flops: 2 * raw.config.loops.total_iterations(),
+                min_ext_bytes: 0,
+            },
         }
     }
 
@@ -146,6 +248,20 @@ impl Job {
                     ));
                 }
             }
+            JobKind::Stencil2d {
+                height,
+                width,
+                grid,
+            } => {
+                if *height < 3 || *width < 3 {
+                    return shape_err(format!(
+                        "stencil2d: {height}x{width} grid smaller than the 3x3 star"
+                    ));
+                }
+                if grid.len() as u32 != height * width {
+                    return shape_err(format!("stencil2d: |grid| = {} != h*w", grid.len()));
+                }
+            }
             JobKind::Raw(raw) => {
                 if raw.result_len == 0 {
                     return shape_err("raw: empty result window".into());
@@ -156,7 +272,9 @@ impl Job {
     }
 }
 
-/// FIFO queue of jobs with stable id assignment.
+/// FIFO queue of jobs with stable id assignment. Backed by a
+/// `VecDeque`, so both submission and the executor's pop are
+/// allocation-free once the ring has grown to the working set.
 #[derive(Debug, Default)]
 pub struct JobQueue {
     next_id: u64,
@@ -170,15 +288,31 @@ impl JobQueue {
         Self::default()
     }
 
-    /// Enqueues a job; returns its id.
+    /// Enqueues a job with default options; returns its id.
     pub fn push(&mut self, label: impl Into<String>, kind: JobKind) -> u64 {
+        self.push_with(label, kind, JobOpts::default())
+    }
+
+    /// Enqueues a job with explicit serving options; returns its id.
+    pub fn push_with(&mut self, label: impl Into<String>, kind: JobKind, opts: JobOpts) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
         self.jobs.push_back(Job {
             id,
             label: label.into(),
             kind,
+            opts,
         });
+        id
+    }
+
+    /// Enqueues an already-identified job, keeping its id (the server
+    /// front-end routes completions by submission id). Later default
+    /// [`JobQueue::push`] calls continue above the highest id seen.
+    pub fn push_job(&mut self, job: Job) -> u64 {
+        let id = job.id;
+        self.next_id = self.next_id.max(id + 1);
+        self.jobs.push_back(job);
         id
     }
 
@@ -237,34 +371,44 @@ mod tests {
 
     #[test]
     fn validation_catches_mismatches() {
-        let bad = Job {
-            id: 0,
-            label: "bad".into(),
-            kind: JobKind::Axpy {
+        let bad = Job::new(
+            0,
+            "bad",
+            JobKind::Axpy {
                 a: 1.0,
                 x: vec![1.0, 2.0],
                 y: vec![1.0],
             },
-        };
+        );
         assert!(bad.validate().is_err());
-        let bad = Job {
-            id: 0,
-            label: "bad".into(),
-            kind: JobKind::Gemm {
+        let bad = Job::new(
+            0,
+            "bad",
+            JobKind::Gemm {
                 dims: GemmKernel { m: 2, k: 2, n: 2 },
                 a: vec![0.0; 3],
                 b: vec![0.0; 4],
             },
-        };
+        );
+        assert!(bad.validate().is_err());
+        let bad = Job::new(
+            0,
+            "bad",
+            JobKind::Stencil2d {
+                height: 4,
+                width: 4,
+                grid: vec![0.0; 15],
+            },
+        );
         assert!(bad.validate().is_err());
     }
 
     #[test]
     fn output_lengths() {
-        let conv = Job {
-            id: 0,
-            label: "c".into(),
-            kind: JobKind::Conv2d {
+        let conv = Job::new(
+            0,
+            "c",
+            JobKind::Conv2d {
                 kernel: Conv2dKernel {
                     height: 6,
                     width: 5,
@@ -274,8 +418,45 @@ mod tests {
                 image: vec![0.0; 30],
                 weights: vec![0.0; 18],
             },
-        };
+        );
         assert!(conv.validate().is_ok());
         assert_eq!(conv.output_len(), 4 * 3 * 2);
+        let stencil = Job::new(
+            0,
+            "s",
+            JobKind::Stencil2d {
+                height: 6,
+                width: 5,
+                grid: vec![0.0; 30],
+            },
+        );
+        assert!(stencil.validate().is_ok());
+        assert_eq!(stencil.output_len(), 4 * 3);
+    }
+
+    #[test]
+    fn costs_cover_every_kind() {
+        let stencil = Job::new(
+            0,
+            "s",
+            JobKind::Stencil2d {
+                height: 10,
+                width: 10,
+                grid: vec![0.0; 100],
+            },
+        );
+        let c = stencil.cost();
+        assert_eq!(c.flops, 2 * 6 * 64);
+        assert!(c.min_ext_bytes > 0);
+        let axpy = Job::new(
+            0,
+            "a",
+            JobKind::Axpy {
+                a: 2.0,
+                x: vec![0.0; 32],
+                y: vec![0.0; 32],
+            },
+        );
+        assert_eq!(axpy.cost().flops, 64);
     }
 }

@@ -1,36 +1,47 @@
-//! Multi-cluster scale-out scheduler for the NTX reproduction.
+//! Multi-cluster scale-out scheduler and serving stack for the NTX
+//! reproduction.
 //!
 //! The DATE 2019 paper evaluates a single 8-engine cluster; its
 //! companion work ("A Scalable Near-Memory Architecture for Training
 //! Deep Neural Networks on Large In-Memory Datasets", Schuiki et al.,
 //! 2018) scales that cluster across the vaults of a Hybrid Memory
-//! Cube. This crate models that scale-out step as a job-scheduling
+//! Cube. This crate models that scale-out step as a layered serving
 //! runtime:
 //!
-//! * [`Job`]/[`JobQueue`] accept kernel descriptors from `ntx-kernels`
-//!   (GEMM, 2-D convolution, AXPY) plus raw [`ntx_isa::NtxConfig`]
-//!   commands;
-//! * the [`Tiler`] shards each job into per-cluster tiles sized to the
-//!   TCDM, reusing the engine-level `split_work` rule so every shard
-//!   computes exactly what the single-cluster lowering would;
-//! * a [`TilePipeline`] per cluster runs the §II-E double-buffered DMA
-//!   schedule as a resumable state machine, overlapping transfers with
-//!   compute;
-//! * the [`ScaleOutExecutor`] drains all cluster pipelines — a
-//!   deterministic round-robin interleave by default, one OS thread
-//!   per cluster behind the `parallel` feature — and assembles outputs
-//!   that are **bit-identical** to a single-cluster run (the NTX wide
-//!   accumulator rounds the exact sum once, so row/band sharding
-//!   cannot change any result bit);
-//! * [`ScaleOutReport`] aggregates cycles, stalls, DMA occupancy and —
-//!   through `ntx-model` — energy and Gflop/s/W, with strong-scaling
-//!   helpers for the `report-scaling` experiment in `ntx-bench`.
+//! * **Jobs** — [`Job`]/[`JobQueue`] accept kernel descriptors from
+//!   `ntx-kernels` (GEMM, 2-D convolution, AXPY, 2-D Laplace stencil)
+//!   plus raw [`ntx_isa::NtxConfig`] commands, each with [`JobOpts`]
+//!   (backend selection, priority, deadline);
+//! * **Backends** — the [`Backend`] trait covers plan admission, tile
+//!   launch and readback; [`SimulatorBackend`] executes bit-accurately
+//!   through the cycle simulator's burst API while
+//!   [`AnalyticalBackend`] answers instantly from `ntx-model`'s
+//!   roofline estimates, selectable per job;
+//! * **Farm** — the [`ClusterFarm`] drives N independent clusters by
+//!   burst events with no per-job barrier: each cluster starts its
+//!   next shard the cycle its previous one retires, and small jobs
+//!   space-share disjoint cluster subsets. Per-job outputs and
+//!   [`ntx_sim::PerfSnapshot`]s stay **bit-identical** to the
+//!   barriered reference (`pipelined: false`), which is kept as the
+//!   differential oracle;
+//! * **Tiling** — the [`Tiler`] shards each job into per-cluster tiles
+//!   sized to the TCDM, reusing the engine-level `split_work` rule so
+//!   every shard computes exactly what the single-cluster lowering
+//!   would, and a [`TilePipeline`] per cluster runs the §II-E
+//!   double-buffered DMA schedule;
+//! * **Serving** — the [`Server`] front-end accepts mpsc submissions
+//!   from many client threads, orders waves by priority, tracks
+//!   per-job deadlines, delivers completions through handles or
+//!   callbacks, and aggregates a [`ServingReport`] (throughput,
+//!   latency, occupancy);
+//! * **Reports** — [`ScaleOutReport`] aggregates cycles, stalls, DMA
+//!   occupancy and — through `ntx-model` — energy and Gflop/s/W.
 //!
 //! # Example
 //!
 //! ```
 //! use ntx_kernels::blas::GemmKernel;
-//! use ntx_sched::{JobKind, JobQueue, ScaleOutConfig, ScaleOutExecutor};
+//! use ntx_sched::{JobKind, JobOpts, JobQueue, ScaleOutConfig, ScaleOutExecutor};
 //!
 //! let mut queue = JobQueue::new();
 //! queue.push(
@@ -41,9 +52,20 @@
 //!         b: vec![0.5; 256],
 //!     },
 //! );
+//! // The same queue also serves instant analytical estimates.
+//! queue.push_with(
+//!     "gemm estimate",
+//!     JobKind::Gemm {
+//!         dims: GemmKernel { m: 512, k: 512, n: 512 },
+//!         a: vec![1.0; 512 * 512],
+//!         b: vec![0.5; 512 * 512],
+//!     },
+//!     JobOpts::estimate(),
+//! );
 //! let mut exec = ScaleOutExecutor::new(ScaleOutConfig::with_clusters(4));
 //! let batch = exec.run_queue(&mut queue)?;
 //! assert_eq!(batch.results[0].output[0], 8.0); // 16 * 1.0 * 0.5
+//! assert!(batch.results[1].estimate.unwrap().cycles > 0);
 //! assert!(batch.report.makespan_cycles > 0);
 //! # Ok::<(), ntx_sched::SchedError>(())
 //! ```
@@ -51,16 +73,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod executor;
+pub mod farm;
 pub mod job;
 pub mod pipeline;
 pub mod report;
+pub mod server;
 pub mod tiler;
 
+pub use backend::{
+    AdmittedJob, AdmittedWork, AnalyticalBackend, Backend, BackendKind, JobEstimate,
+    SimulatorBackend,
+};
 pub use executor::{run_sharded, BatchResult, JobResult, ScaleOutConfig, ScaleOutExecutor};
-pub use job::{Job, JobKind, JobQueue, RawJob};
+pub use farm::{ClusterFarm, JobMeta, PlacedJob};
+pub use job::{Job, JobKind, JobOpts, JobQueue, RawJob};
 pub use pipeline::TilePipeline;
 pub use report::ScaleOutReport;
+pub use server::{Completion, JobHandle, Server, ServerConfig, ServerHandle, ServingReport};
 pub use tiler::{ClusterPlan, Readback, ReadbackSource, Tiler};
 
 use ntx_isa::ConfigError;
@@ -84,6 +115,9 @@ pub enum SchedError {
         /// The underlying failure.
         source: Box<SchedError>,
     },
+    /// The serving front-end has shut down (submission rejected or a
+    /// completion channel closed).
+    Shutdown,
 }
 
 impl std::fmt::Display for SchedError {
@@ -95,6 +129,7 @@ impl std::fmt::Display for SchedError {
             SchedError::Job { id, label, source } => {
                 write!(f, "job {id} ({label}): {source}")
             }
+            SchedError::Shutdown => write!(f, "serving front-end has shut down"),
         }
     }
 }

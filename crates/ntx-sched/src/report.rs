@@ -3,42 +3,6 @@
 use ntx_model::power::{EnergyModel, ScaleOutEnergy};
 use ntx_sim::PerfSnapshot;
 
-/// Field-wise accumulation of one counter delta into a running total.
-/// The exhaustive destructuring makes adding a `PerfSnapshot` field
-/// without summing it here a compile error, not a silent under-count.
-pub(crate) fn accumulate(total: &mut PerfSnapshot, delta: &PerfSnapshot) {
-    let PerfSnapshot {
-        cycles,
-        flops,
-        ntx_busy_cycles,
-        ntx_stall_cycles,
-        ntx_active_cycles,
-        commands_completed,
-        tcdm_requests,
-        tcdm_conflicts,
-        dma_bytes,
-        dma_busy_cycles,
-        ext_bytes_read,
-        ext_bytes_written,
-        tcdm_reads,
-        tcdm_writes,
-    } = *delta;
-    total.cycles += cycles;
-    total.flops += flops;
-    total.ntx_busy_cycles += ntx_busy_cycles;
-    total.ntx_stall_cycles += ntx_stall_cycles;
-    total.ntx_active_cycles += ntx_active_cycles;
-    total.commands_completed += commands_completed;
-    total.tcdm_requests += tcdm_requests;
-    total.tcdm_conflicts += tcdm_conflicts;
-    total.dma_bytes += dma_bytes;
-    total.dma_busy_cycles += dma_busy_cycles;
-    total.ext_bytes_read += ext_bytes_read;
-    total.ext_bytes_written += ext_bytes_written;
-    total.tcdm_reads += tcdm_reads;
-    total.tcdm_writes += tcdm_writes;
-}
-
 /// Counters of one scale-out window: per-cluster deltas plus the
 /// wall-clock (makespan) of the slowest cluster.
 #[derive(Debug, Clone)]
@@ -65,14 +29,16 @@ impl ScaleOutReport {
         }
     }
 
-    /// Folds another window (e.g. the next job of a batch) into this
-    /// one: per-cluster counters add, makespans add (the executor runs
-    /// jobs back to back).
+    /// Folds another window (e.g. the next job of a barriered batch)
+    /// into this one: per-cluster counters add (through
+    /// [`PerfSnapshot::accumulate`]), makespans add — the accounting of
+    /// an executor that runs jobs back to back. The pipelined farm
+    /// computes its own overlapped makespan instead of merging.
     pub fn merge(&mut self, other: &ScaleOutReport) {
         assert_eq!(self.clusters, other.clusters, "cluster count mismatch");
         self.makespan_cycles += other.makespan_cycles;
         for (t, d) in self.per_cluster.iter_mut().zip(&other.per_cluster) {
-            accumulate(t, d);
+            t.accumulate(d);
         }
     }
 

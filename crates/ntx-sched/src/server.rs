@@ -1,0 +1,676 @@
+//! The async job-serving front-end.
+//!
+//! [`Server`] owns a worker thread running a
+//! [`ScaleOutExecutor`](crate::ScaleOutExecutor); any number of client
+//! threads submit jobs through cloned [`ServerHandle`]s over an mpsc
+//! channel. The worker gathers pending submissions into *waves*,
+//! orders each wave by priority (then submission order), runs it
+//! through the pipelined farm — so one wave's jobs overlap across the
+//! clusters — and delivers a [`Completion`] per job, either through
+//! the [`JobHandle`] returned at submission or through a callback.
+//! Per-job wall-clock deadlines are checked at completion and reported
+//! both per job and in the final [`ServingReport`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::executor::{JobResult, ScaleOutConfig, ScaleOutExecutor};
+use crate::job::{Job, JobKind, JobOpts, JobQueue};
+use crate::SchedError;
+
+/// Configuration of the serving front-end.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// The executor the worker runs.
+    pub scale_out: ScaleOutConfig,
+    /// Maximum submissions gathered into one scheduling wave.
+    pub max_wave: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            scale_out: ScaleOutConfig::default(),
+            max_wave: 64,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A server over `clusters` default-configured clusters.
+    #[must_use]
+    pub fn with_clusters(clusters: usize) -> Self {
+        Self {
+            scale_out: ScaleOutConfig::with_clusters(clusters),
+            ..Self::default()
+        }
+    }
+}
+
+/// What a client gets back for one submission.
+#[derive(Debug)]
+pub struct Completion {
+    /// Submission id (matches [`JobHandle::id`]).
+    pub id: u64,
+    /// The job's result, or why it was rejected.
+    pub result: Result<JobResult, SchedError>,
+    /// Wall-clock time from submission to completion (includes wave
+    /// batching and any simulation ahead of this job).
+    pub latency: Duration,
+    /// True when the job carried a deadline and `latency` overran it.
+    pub deadline_missed: bool,
+}
+
+/// How a completion travels back to the client.
+enum Reply {
+    Handle(Sender<Completion>),
+    Callback(Box<dyn FnOnce(Completion) + Send + 'static>),
+}
+
+/// One submission in flight.
+struct Submission {
+    id: u64,
+    label: String,
+    kind: JobKind,
+    opts: JobOpts,
+    submitted: Instant,
+    reply: Reply,
+}
+
+/// Channel protocol between handles and the worker. The explicit
+/// shutdown sentinel lets [`Server::shutdown`] stop the worker even
+/// while cloned [`ServerHandle`]s keep the channel alive.
+enum Msg {
+    Submit(Box<Submission>),
+    Shutdown,
+}
+
+/// Client-side handle to one submitted job.
+#[derive(Debug)]
+pub struct JobHandle {
+    /// Submission id (also the `job_id` of the eventual result).
+    pub id: u64,
+    rx: Receiver<Completion>,
+}
+
+impl JobHandle {
+    /// Blocks until the job completes.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::Shutdown`] when the server dropped the job (it was
+    /// shut down before the wave ran).
+    pub fn wait(self) -> Result<Completion, SchedError> {
+        self.rx.recv().map_err(|_| SchedError::Shutdown)
+    }
+
+    /// Non-blocking poll; `Ok(None)` while the job is still in flight.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::Shutdown`] when the server dropped the job — a
+    /// poller must stop then, the completion will never arrive.
+    pub fn try_wait(&mut self) -> Result<Option<Completion>, SchedError> {
+        match self.rx.try_recv() {
+            Ok(c) => Ok(Some(c)),
+            Err(std::sync::mpsc::TryRecvError::Empty) => Ok(None),
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => Err(SchedError::Shutdown),
+        }
+    }
+}
+
+/// Cloneable submission endpoint; safe to share across client threads.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    tx: Sender<Msg>,
+    seq: Arc<AtomicU64>,
+}
+
+impl ServerHandle {
+    /// Submits a job with default options; returns its handle.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::Shutdown`] when the server is no longer running.
+    pub fn submit(&self, label: impl Into<String>, kind: JobKind) -> Result<JobHandle, SchedError> {
+        self.submit_with(label, kind, JobOpts::default())
+    }
+
+    /// Submits a job with explicit options; returns its handle.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::Shutdown`] when the server is no longer running.
+    pub fn submit_with(
+        &self,
+        label: impl Into<String>,
+        kind: JobKind,
+        opts: JobOpts,
+    ) -> Result<JobHandle, SchedError> {
+        let (tx, rx) = channel();
+        let id = self.send(label.into(), kind, opts, Reply::Handle(tx))?;
+        Ok(JobHandle { id, rx })
+    }
+
+    /// Submits a job whose completion is delivered to `callback` on the
+    /// worker thread instead of a handle; returns the submission id.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::Shutdown`] when the server is no longer running.
+    pub fn submit_callback(
+        &self,
+        label: impl Into<String>,
+        kind: JobKind,
+        opts: JobOpts,
+        callback: impl FnOnce(Completion) + Send + 'static,
+    ) -> Result<u64, SchedError> {
+        self.send(
+            label.into(),
+            kind,
+            opts,
+            Reply::Callback(Box::new(callback)),
+        )
+    }
+
+    fn send(
+        &self,
+        label: String,
+        kind: JobKind,
+        opts: JobOpts,
+        reply: Reply,
+    ) -> Result<u64, SchedError> {
+        let id = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.tx
+            .send(Msg::Submit(Box::new(Submission {
+                id,
+                label,
+                kind,
+                opts,
+                submitted: Instant::now(),
+                reply,
+            })))
+            .map(|()| id)
+            .map_err(|_| SchedError::Shutdown)
+    }
+}
+
+/// Aggregate serving statistics, returned by [`Server::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// Clusters in the farm.
+    pub clusters: usize,
+    /// Jobs completed (including failures).
+    pub jobs: u64,
+    /// Jobs executed bit-accurately on the farm.
+    pub simulated: u64,
+    /// Jobs answered by the analytical backend.
+    pub estimated: u64,
+    /// Jobs rejected at admission.
+    pub failed: u64,
+    /// Scheduling waves executed.
+    pub waves: u64,
+    /// Jobs whose wall-clock deadline was missed.
+    pub deadline_misses: u64,
+    /// Wall-clock seconds from server start to shutdown.
+    pub wall_seconds: f64,
+    /// Sum of per-job wall-clock latencies.
+    pub total_latency: Duration,
+    /// Largest per-job wall-clock latency.
+    pub max_latency: Duration,
+    /// Simulated makespan cycles over all waves (pipelined accounting).
+    pub makespan_cycles: u64,
+    /// Cluster-cycles actually spent executing shards.
+    pub busy_cluster_cycles: u64,
+}
+
+impl ServingReport {
+    fn new(clusters: usize) -> Self {
+        Self {
+            clusters,
+            jobs: 0,
+            simulated: 0,
+            estimated: 0,
+            failed: 0,
+            waves: 0,
+            deadline_misses: 0,
+            wall_seconds: 0.0,
+            total_latency: Duration::ZERO,
+            max_latency: Duration::ZERO,
+            makespan_cycles: 0,
+            busy_cluster_cycles: 0,
+        }
+    }
+
+    /// Completed jobs per wall-clock second.
+    #[must_use]
+    pub fn jobs_per_second(&self) -> f64 {
+        if self.wall_seconds == 0.0 {
+            0.0
+        } else {
+            self.jobs as f64 / self.wall_seconds
+        }
+    }
+
+    /// Mean per-job wall-clock latency.
+    #[must_use]
+    pub fn mean_latency(&self) -> Duration {
+        if self.jobs == 0 {
+            Duration::ZERO
+        } else {
+            self.total_latency / u32::try_from(self.jobs).unwrap_or(u32::MAX)
+        }
+    }
+
+    /// Fraction of cluster-cycles inside the serving makespan that
+    /// executed shard work (1.0 = every cluster busy the whole time).
+    #[must_use]
+    pub fn occupancy(&self) -> f64 {
+        let total = self.makespan_cycles.saturating_mul(self.clusters as u64);
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_cluster_cycles as f64 / total as f64
+        }
+    }
+}
+
+/// The serving front-end: an executor on a worker thread behind an
+/// mpsc submission channel.
+#[derive(Debug)]
+pub struct Server {
+    handle: ServerHandle,
+    worker: Option<JoinHandle<ServingReport>>,
+}
+
+impl Server {
+    /// Starts the worker thread.
+    #[must_use]
+    pub fn start(config: ServerConfig) -> Self {
+        let (tx, rx) = channel();
+        let worker = std::thread::spawn(move || worker_loop(&rx, config));
+        Self {
+            handle: ServerHandle {
+                tx,
+                seq: Arc::new(AtomicU64::new(0)),
+            },
+            worker: Some(worker),
+        }
+    }
+
+    /// A cloneable submission endpoint for client threads.
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        self.handle.clone()
+    }
+
+    /// Submits from the owning thread (see [`ServerHandle::submit`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::Shutdown`] when the worker has exited.
+    pub fn submit(&self, label: impl Into<String>, kind: JobKind) -> Result<JobHandle, SchedError> {
+        self.handle.submit(label, kind)
+    }
+
+    /// Submits with options (see [`ServerHandle::submit_with`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::Shutdown`] when the worker has exited.
+    pub fn submit_with(
+        &self,
+        label: impl Into<String>,
+        kind: JobKind,
+        opts: JobOpts,
+    ) -> Result<JobHandle, SchedError> {
+        self.handle.submit_with(label, kind, opts)
+    }
+
+    /// Stops the worker after every submission enqueued before this
+    /// call has been served, and returns the aggregate serving
+    /// statistics. Cloned handles outliving the server see
+    /// [`SchedError::Shutdown`] on their next submission; handles of
+    /// jobs the worker never reached disconnect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker thread itself panicked.
+    #[must_use]
+    pub fn shutdown(mut self) -> ServingReport {
+        // Ignore the send error: a worker that already exited (it only
+        // does so on this sentinel or a panic) needs no nudge.
+        drop(self.handle.tx.send(Msg::Shutdown));
+        self.worker
+            .take()
+            .expect("worker joined once")
+            .join()
+            .expect("serving worker panicked")
+    }
+}
+
+/// Delivers one completion and folds it into the running statistics.
+fn deliver(
+    stats: &mut ServingReport,
+    submitted: Instant,
+    deadline: Option<Duration>,
+    reply: Reply,
+    id: u64,
+    result: Result<JobResult, SchedError>,
+) {
+    let latency = submitted.elapsed();
+    let deadline_missed = deadline.is_some_and(|d| latency > d);
+    stats.jobs += 1;
+    match &result {
+        Ok(r) if r.estimate.is_some() => stats.estimated += 1,
+        Ok(_) => stats.simulated += 1,
+        Err(_) => stats.failed += 1,
+    }
+    if deadline_missed {
+        stats.deadline_misses += 1;
+    }
+    stats.total_latency += latency;
+    stats.max_latency = stats.max_latency.max(latency);
+    let completion = Completion {
+        id,
+        result,
+        latency,
+        deadline_missed,
+    };
+    match reply {
+        // A client that dropped its handle just doesn't hear back.
+        Reply::Handle(tx) => drop(tx.send(completion)),
+        // One misbehaving callback must not take down the worker (and
+        // with it every other client's in-flight jobs); the panic is
+        // contained to this delivery.
+        Reply::Callback(cb) => {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cb(completion)));
+        }
+    }
+}
+
+/// One pending wave entry: everything needed to route the completion.
+struct Pending {
+    submitted: Instant,
+    deadline: Option<Duration>,
+    reply: Reply,
+}
+
+fn worker_loop(rx: &Receiver<Msg>, config: ServerConfig) -> ServingReport {
+    let mut exec = ScaleOutExecutor::new(config.scale_out);
+    let mut stats = ServingReport::new(config.scale_out.clusters);
+    let t0 = Instant::now();
+    let mut done = false;
+    while !done {
+        let first = match rx.recv() {
+            Ok(Msg::Submit(s)) => *s,
+            Ok(Msg::Shutdown) | Err(_) => break,
+        };
+        // Gather a wave: everything already queued, up to the cap.
+        let mut wave = vec![first];
+        while wave.len() < config.max_wave.max(1) {
+            match rx.try_recv() {
+                Ok(Msg::Submit(s)) => wave.push(*s),
+                Ok(Msg::Shutdown) => {
+                    done = true;
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        // Priority order; submission order breaks ties.
+        wave.sort_by_key(|s| (std::cmp::Reverse(s.opts.priority), s.id));
+        stats.waves += 1;
+
+        let mut queue = JobQueue::new();
+        let mut pending: Vec<(u64, Pending)> = Vec::with_capacity(wave.len());
+        for s in wave {
+            let job = Job {
+                id: s.id,
+                label: s.label,
+                kind: s.kind,
+                opts: s.opts,
+            };
+            let p = Pending {
+                submitted: s.submitted,
+                deadline: s.opts.deadline,
+                reply: s.reply,
+            };
+            // Reject malformed submissions before the wave runs:
+            // admitting them through run_queue would re-plan the whole
+            // remaining wave once per bad job.
+            if let Err(e) = job.validate() {
+                deliver(&mut stats, p.submitted, p.deadline, p.reply, job.id, Err(e));
+                continue;
+            }
+            queue.push_job(job);
+            pending.push((s.id, p));
+        }
+        let take = |pending: &mut Vec<(u64, Pending)>, id: u64| -> Option<Pending> {
+            pending
+                .iter()
+                .position(|(pid, _)| *pid == id)
+                .map(|i| pending.remove(i).1)
+        };
+        // Run the wave; a job rejected at admission (e.g. no feasible
+        // sharding) fails alone — its completion says why — and the
+        // rest of the wave is retried without it.
+        loop {
+            if queue.is_empty() {
+                break;
+            }
+            match exec.run_queue(&mut queue) {
+                Ok(batch) => {
+                    for r in batch.results {
+                        if let Some(p) = take(&mut pending, r.job_id) {
+                            deliver(
+                                &mut stats,
+                                p.submitted,
+                                p.deadline,
+                                p.reply,
+                                r.job_id,
+                                Ok(r),
+                            );
+                        }
+                    }
+                    stats.makespan_cycles += batch.report.makespan_cycles;
+                    stats.busy_cluster_cycles += batch
+                        .report
+                        .per_cluster
+                        .iter()
+                        .map(|p| p.cycles)
+                        .sum::<u64>();
+                    break;
+                }
+                Err(SchedError::Job { id, source, .. }) => {
+                    if let Some(p) = take(&mut pending, id) {
+                        deliver(
+                            &mut stats,
+                            p.submitted,
+                            p.deadline,
+                            p.reply,
+                            id,
+                            Err(*source),
+                        );
+                    }
+                    // run_queue leaves the queue intact on admission
+                    // failure; rebuild it without the rejected job.
+                    let mut rest = JobQueue::new();
+                    while let Some(job) = queue.pop() {
+                        if job.id != id {
+                            rest.push_job(job);
+                        }
+                    }
+                    queue = rest;
+                }
+                Err(e) => {
+                    // Executor-level failure: fail the remaining wave.
+                    while let Some(job) = queue.pop() {
+                        if let Some(p) = take(&mut pending, job.id) {
+                            deliver(
+                                &mut stats,
+                                p.submitted,
+                                p.deadline,
+                                p.reply,
+                                job.id,
+                                Err(e.clone()),
+                            );
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    stats.wall_seconds = t0.elapsed().as_secs_f64();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BackendKind;
+
+    fn axpy(n: usize, seed: u32) -> JobKind {
+        let data = |mut s: u32| -> Vec<f32> {
+            (0..n)
+                .map(|_| {
+                    s ^= s << 13;
+                    s ^= s >> 17;
+                    s ^= s << 5;
+                    ((s % 64) as f32 - 32.0) / 16.0
+                })
+                .collect()
+        };
+        JobKind::Axpy {
+            a: 2.0,
+            x: data(seed),
+            y: data(seed.wrapping_add(1)),
+        }
+    }
+
+    #[test]
+    fn serves_multiple_clients_and_reports() {
+        let server = Server::start(ServerConfig::with_clusters(2));
+        let mut handles = Vec::new();
+        let mut threads = Vec::new();
+        for t in 0..3u32 {
+            let h = server.handle();
+            threads.push(std::thread::spawn(move || {
+                h.submit(format!("client-{t}"), axpy(300 + t as usize * 100, t + 1))
+                    .expect("server running")
+            }));
+        }
+        for t in threads {
+            handles.push(t.join().expect("client thread"));
+        }
+        for h in handles {
+            let c = h.wait().expect("job served");
+            let r = c.result.expect("valid job");
+            assert!(!r.output.is_empty());
+            assert!(!c.deadline_missed);
+        }
+        let report = server.shutdown();
+        assert_eq!(report.jobs, 3);
+        assert_eq!(report.simulated, 3);
+        assert_eq!(report.failed, 0);
+        assert!(report.jobs_per_second() > 0.0);
+        assert!(report.makespan_cycles > 0);
+        assert!(report.occupancy() > 0.0);
+    }
+
+    #[test]
+    fn bad_job_fails_alone_and_estimates_flow_through() {
+        let server = Server::start(ServerConfig::with_clusters(2));
+        let good = server.submit("good", axpy(256, 7)).unwrap();
+        let bad = server
+            .submit(
+                "bad",
+                JobKind::Axpy {
+                    a: 1.0,
+                    x: vec![1.0; 4],
+                    y: vec![1.0; 3],
+                },
+            )
+            .unwrap();
+        let est = server
+            .submit_with(
+                "estimate",
+                axpy(4096, 9),
+                JobOpts {
+                    backend: BackendKind::Estimate,
+                    ..JobOpts::default()
+                },
+            )
+            .unwrap();
+        let g = good.wait().unwrap();
+        assert!(g.result.is_ok());
+        let b = bad.wait().unwrap();
+        assert!(matches!(b.result, Err(SchedError::Shape(_))));
+        let e = e_unwrap(est.wait().unwrap());
+        assert!(e.estimate.is_some());
+        let report = server.shutdown();
+        assert_eq!(report.jobs, 3);
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.estimated, 1);
+    }
+
+    fn e_unwrap(c: Completion) -> JobResult {
+        c.result.expect("estimate served")
+    }
+
+    #[test]
+    fn callbacks_and_deadlines() {
+        let server = Server::start(ServerConfig::with_clusters(1));
+        let (tx, rx) = channel();
+        server
+            .handle()
+            .submit_callback(
+                "cb",
+                axpy(200, 3),
+                JobOpts::default().with_deadline(Duration::from_secs(3600)),
+                move |c| {
+                    let _ = tx.send((c.id, c.deadline_missed, c.result.is_ok()));
+                },
+            )
+            .expect("server running");
+        let (_, missed, ok) = rx.recv().expect("callback fired");
+        assert!(ok);
+        assert!(!missed);
+        // An already-expired deadline is reported as missed.
+        let h = server
+            .submit_with(
+                "late",
+                axpy(200, 5),
+                JobOpts::default().with_deadline(Duration::ZERO),
+            )
+            .unwrap();
+        let c = h.wait().unwrap();
+        assert!(c.deadline_missed);
+        let report = server.shutdown();
+        assert_eq!(report.deadline_misses, 1);
+        // Submission after shutdown is a clean error — the handle's
+        // channel is gone.
+        // (The server itself is consumed by shutdown, so clients see
+        // Shutdown through their cloned handles.)
+    }
+
+    #[test]
+    fn handles_survive_shutdown_ordering() {
+        let server = Server::start(ServerConfig::with_clusters(1));
+        let handle = server.handle();
+        let h = server.submit("pre", axpy(128, 11)).unwrap();
+        let report = server.shutdown();
+        assert_eq!(report.jobs, 1);
+        // The in-flight job was drained before shutdown returned.
+        assert!(h.wait().is_ok());
+        // New submissions are rejected.
+        assert!(matches!(
+            handle.submit("post", axpy(16, 1)),
+            Err(SchedError::Shutdown)
+        ));
+    }
+}

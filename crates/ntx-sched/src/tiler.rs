@@ -12,6 +12,10 @@
 //! * **Conv2d** shards bands of output rows; each cluster re-loads its
 //!   `k-1` input halo rows, then streams its band through the
 //!   double-buffered `conv_tiles` schedule.
+//! * **Stencil2d** shards bands of output rows exactly like conv (one
+//!   halo row above and below), each band running the §III-B3
+//!   dimension decomposition as an x pass plus an accumulating y pass
+//!   through the `laplace2d_tiles` schedule.
 //! * **Raw** commands are not tileable and are placed on one cluster.
 //!
 //! Within each cluster the shard is further tiled to the TCDM by the
@@ -20,7 +24,8 @@
 
 use ntx_kernels::conv::Conv2dKernel;
 use ntx_kernels::schedule::{
-    axpy_tiles, conv_band_fits, conv_tiles, weight_replica_addrs, TileTask,
+    axpy_tiles, conv_band_fits, conv_tiles, laplace2d_band_fits, laplace2d_tiles,
+    weight_replica_addrs, TileTask,
 };
 use ntx_kernels::split_work;
 use ntx_mem::{DmaDescriptor, DmaDirection};
@@ -141,6 +146,11 @@ impl Tiler {
                 image,
                 weights,
             } => self.plan_conv(&mut plans, cluster, *kernel, image, weights)?,
+            JobKind::Stencil2d {
+                height,
+                width,
+                grid,
+            } => self.plan_stencil(&mut plans, cluster, *height, *width, grid)?,
             JobKind::Raw(raw) => {
                 // TCDM addresses wrap at capacity in the simulator, so
                 // an out-of-range window would silently alias instead
@@ -270,6 +280,60 @@ impl Tiler {
                 source: ReadbackSource::Ext(EXT_OUT),
                 len: rows * n,
                 dst: (row0 * n) as usize,
+            });
+        }
+        Ok(())
+    }
+
+    fn plan_stencil(
+        &self,
+        plans: &mut [ClusterPlan],
+        cluster: &Cluster,
+        height: u32,
+        width: u32,
+        grid: &[f32],
+    ) -> Result<(), SchedError> {
+        let engines = cluster.num_engines() as u32;
+        let tcdm_bytes = cluster.config().tcdm.bytes;
+        let (oh, ow) = (height - 2, width - 2);
+        for (plan, (row0, rows)) in plans.iter_mut().zip(split_work(oh, self.clusters as u32)) {
+            // This cluster's input band: its output rows plus one halo
+            // row above and one below.
+            let in_rows = rows + 2;
+            check_ext_region(
+                "stencil grid band",
+                4 * u64::from(in_rows) * u64::from(width),
+            )?;
+            check_ext_region("stencil output band", 4 * u64::from(rows) * u64::from(ow))?;
+            // Largest streaming band (in output rows) whose two
+            // ping-pong buffers fit above the resident coefficient
+            // replicas — the capacity rule `laplace2d_tiles` enforces.
+            let fits =
+                |band_rows: u32| laplace2d_band_fits(width, band_rows, 0, engines, tcdm_bytes);
+            let mut band_rows = rows.min(8);
+            while band_rows > 1 && !fits(band_rows) {
+                band_rows -= 1;
+            }
+            if !fits(band_rows) {
+                return Err(SchedError::Capacity(format!(
+                    "stencil band of width {width} cannot fit two single-row \
+                     buffers in a {tcdm_bytes} B TCDM"
+                )));
+            }
+            // One [1, -2, 1] replica per engine, in the canonical
+            // replica layout.
+            for addr in weight_replica_addrs(0, 3, engines) {
+                plan.tcdm_writes.push((addr, vec![1.0, -2.0, 1.0]));
+            }
+            plan.ext_writes.push((
+                EXT_IN0,
+                grid[(row0 * width) as usize..((row0 + in_rows) * width) as usize].to_vec(),
+            ));
+            plan.tiles = laplace2d_tiles(cluster, in_rows, width, EXT_IN0, 0, EXT_OUT, band_rows);
+            plan.readbacks.push(Readback {
+                source: ReadbackSource::Ext(EXT_OUT),
+                len: rows * ow,
+                dst: (row0 * ow) as usize,
             });
         }
         Ok(())

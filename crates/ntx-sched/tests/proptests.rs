@@ -1,21 +1,32 @@
-//! Cross-cluster equivalence properties.
+//! Cross-cluster and cross-mode equivalence properties.
 //!
-//! For random tileable GEMM / convolution / AXPY shapes, the N-cluster
-//! `ntx-sched` result must be **bit-identical** to the single-cluster
-//! result and to the `ntx_kernels::reference` oracle.
+//! Two families of properties protect the serving stack:
+//!
+//! 1. **Sharding invariance** — for random tileable GEMM / convolution
+//!    / AXPY / stencil shapes, the N-cluster `ntx-sched` result must be
+//!    **bit-identical** to the single-cluster result and to the
+//!    `ntx_kernels::reference` oracle.
+//! 2. **Pipelining invariance** — for random multi-job mixes, the
+//!    pipelined, space-shared [`ClusterFarm`](ntx_sched::ClusterFarm)
+//!    must produce per-job outputs, per-job `PerfSnapshot`s and
+//!    per-job makespans **bit-identical** to the barriered reference
+//!    executor (`pipelined: false`, same placement), while its batch
+//!    makespan never exceeds the barriered sum — overlap may only
+//!    change accounting, never a simulated bit.
 //!
 //! Inputs are drawn from a coarse dyadic grid (`q / 16` with small
 //! `|q|`) so every product and every partial sum is exactly
 //! representable both in the NTX wide accumulator and in the
-//! reference's `f64` accumulation. On that grid all three computations
-//! are exact, which turns value equality into genuine bitwise equality
+//! reference's `f64` accumulation. On that grid all computations are
+//! exact, which turns value equality into genuine bitwise equality
 //! regardless of summation order — any sharding bug (wrong halo, wrong
-//! band offset, clobbered ping-pong buffer) shows up as a bit flip.
+//! band offset, clobbered ping-pong buffer, cross-job contention) shows
+//! up as a bit flip.
 
 use ntx_kernels::blas::GemmKernel;
 use ntx_kernels::conv::Conv2dKernel;
 use ntx_kernels::reference;
-use ntx_sched::{run_sharded, Job, JobKind};
+use ntx_sched::{run_sharded, Job, JobKind, JobQueue, ScaleOutConfig, ScaleOutExecutor};
 use proptest::prelude::*;
 
 /// Values `q / 16` with `q` in `[-64, 64]`: exactly representable, and
@@ -29,11 +40,7 @@ fn grid_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
 }
 
 fn job(kind: JobKind) -> Job {
-    Job {
-        id: 0,
-        label: "prop".into(),
-        kind,
-    }
+    Job::new(0, "prop", kind)
 }
 
 fn assert_bits_eq(got: &[f32], expect: &[f32], what: &str) {
@@ -45,6 +52,50 @@ fn assert_bits_eq(got: &[f32], expect: &[f32], what: &str) {
             "{what}: element {i} differs ({g} vs {e})"
         );
     }
+}
+
+/// A random job of any tileable family, sized to fit one cluster.
+fn arb_kind() -> impl Strategy<Value = JobKind> {
+    prop_oneof![
+        (grid_f32(), 1usize..400)
+            .prop_flat_map(|(a, n)| (Just(a), grid_vec(n), grid_vec(n)))
+            .prop_map(|(a, x, y)| JobKind::Axpy { a, x, y }),
+        (1u32..16, 1u32..12, 1u32..10)
+            .prop_flat_map(|(m, k, n)| {
+                (
+                    Just(GemmKernel { m, k, n }),
+                    grid_vec((m * k) as usize),
+                    grid_vec((k * n) as usize),
+                )
+            })
+            .prop_map(|(dims, a, b)| JobKind::Gemm { dims, a, b }),
+        (0u32..10, 0u32..8, 1u32..3)
+            .prop_flat_map(|(dh, dw, filters)| {
+                let (h, w) = (3 + dh, 3 + dw);
+                (
+                    Just(Conv2dKernel {
+                        height: h,
+                        width: w,
+                        k: 3,
+                        filters,
+                    }),
+                    grid_vec((h * w) as usize),
+                    grid_vec((9 * filters) as usize),
+                )
+            })
+            .prop_map(|(kernel, image, weights)| JobKind::Conv2d {
+                kernel,
+                image,
+                weights,
+            }),
+        (3u32..16, 3u32..12)
+            .prop_flat_map(|(h, w)| (Just((h, w)), grid_vec((h * w) as usize)))
+            .prop_map(|((height, width), grid)| JobKind::Stencil2d {
+                height,
+                width,
+                grid,
+            }),
+    ]
 }
 
 proptest! {
@@ -128,5 +179,110 @@ proptest! {
         reference::axpy(a_scalar, &x, &mut expect);
         assert_bits_eq(&single.output, &expect, "1-cluster vs reference");
         assert_bits_eq(&wide.output, &single.output, "N-cluster vs 1-cluster");
+    }
+
+    /// N-cluster 2-D Laplace stencil == 1-cluster == reference,
+    /// bitwise. The dimension-decomposed stencil rounds twice per
+    /// element (x pass, then the accumulating y pass), but on the
+    /// dyadic grid both roundings are exact, so halo-band sharding
+    /// must not change a bit.
+    #[test]
+    fn stencil_sharding_is_bit_identical(
+        (h, w, clusters, grid) in (3u32..24, 3u32..16, 2usize..6)
+            .prop_flat_map(|(h, w, clusters)| {
+                (Just(h), Just(w), Just(clusters), grid_vec((h * w) as usize))
+            })
+    ) {
+        let kind = JobKind::Stencil2d { height: h, width: w, grid: grid.clone() };
+        let single = run_sharded(&job(kind.clone()), 1).expect("single-cluster stencil");
+        let wide = run_sharded(&job(kind), clusters).expect("sharded stencil");
+        let expect = reference::laplace2d(&grid, h as usize, w as usize);
+        assert_bits_eq(&single.output, &expect, "1-cluster vs reference");
+        assert_bits_eq(&wide.output, &single.output, "N-cluster vs 1-cluster");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The pipelined, space-shared farm against two oracles, on random
+    /// multi-job mixes across 1..8 clusters:
+    ///
+    /// * the **same-placement barriered** run (`pipelined: false`)
+    ///   shares the per-shard simulations by construction — comparing
+    ///   it guards the accounting split (and would catch any future
+    ///   overlap change that leaks into the simulations): per-job
+    ///   outputs, per-cluster `PerfSnapshot` deltas and per-job
+    ///   makespans must be bit-identical, and the batch window may
+    ///   only shrink;
+    /// * the **full-width barriered** executor (`space_share: false`,
+    ///   the pre-farm semantics) is an *independent execution* — every
+    ///   job sharded across all clusters instead of the heuristic
+    ///   subset, so different tile schedules and different DMA traffic
+    ///   — whose per-job outputs must still match bitwise. A placement
+    ///   bug (wrong cluster subset, cross-job TCDM or external-region
+    ///   clobber) shows up here as a bit flip.
+    #[test]
+    fn pipelined_farm_matches_barriered_references(
+        (kinds, clusters) in (prop::collection::vec(arb_kind(), 1..5), 1usize..8)
+    ) {
+        let mut pipelined =
+            ScaleOutExecutor::new(ScaleOutConfig::with_clusters(clusters));
+        let mut barriered =
+            ScaleOutExecutor::new(ScaleOutConfig::with_clusters(clusters).barriered());
+        let mut full_width = ScaleOutExecutor::new(ScaleOutConfig {
+            space_share: false,
+            ..ScaleOutConfig::with_clusters(clusters).barriered()
+        });
+        let mut qp = JobQueue::new();
+        let mut qb = JobQueue::new();
+        let mut qf = JobQueue::new();
+        for (i, kind) in kinds.iter().enumerate() {
+            qp.push(format!("job-{i}"), kind.clone());
+            qb.push(format!("job-{i}"), kind.clone());
+            qf.push(format!("job-{i}"), kind.clone());
+        }
+        let p = pipelined.run_queue(&mut qp).expect("pipelined batch");
+        let b = barriered.run_queue(&mut qb).expect("barriered batch");
+        let f = full_width.run_queue(&mut qf).expect("full-width batch");
+        assert_eq!(p.results.len(), b.results.len());
+        for (rp, rb) in p.results.iter().zip(&b.results) {
+            assert_bits_eq(&rp.output, &rb.output, "pipelined vs barriered output");
+            assert_eq!(
+                rp.report.per_cluster, rb.report.per_cluster,
+                "per-job PerfSnapshots must be bit-identical across modes"
+            );
+            assert_eq!(rp.report.makespan_cycles, rb.report.makespan_cycles);
+        }
+        // Independent oracle: a different sharding must still compute
+        // exactly the same bits.
+        for (rp, rf) in p.results.iter().zip(&f.results) {
+            assert_bits_eq(&rp.output, &rf.output, "space-shared vs full-width output");
+        }
+        // Barriered accounting is the back-to-back sum; pipelining may
+        // only shrink the batch window, never grow it.
+        let sum: u64 = b.results.iter().map(|r| r.report.makespan_cycles).sum();
+        assert_eq!(b.report.makespan_cycles, sum);
+        assert!(p.report.makespan_cycles <= b.report.makespan_cycles);
+        // Virtual farm time is consistent in both accountings: each
+        // job's window covers at least its slowest shard, barriered
+        // jobs run strictly back to back, and the batch window ends
+        // when the last job retires.
+        let mut prev_finish = 0u64;
+        for rb in &b.results {
+            assert_eq!(rb.start_cycle, prev_finish);
+            assert_eq!(rb.finish_cycle - rb.start_cycle, rb.report.makespan_cycles);
+            prev_finish = rb.finish_cycle;
+        }
+        for rp in &p.results {
+            assert!(rp.finish_cycle - rp.start_cycle >= rp.report.makespan_cycles);
+            assert!(rp.finish_cycle <= p.report.makespan_cycles);
+        }
+        assert_eq!(
+            p.report.makespan_cycles,
+            p.results.iter().map(|r| r.finish_cycle).max().unwrap_or(0)
+        );
+        // And the farm never invents or loses simulated work.
+        assert_eq!(p.report.total_flops(), b.report.total_flops());
     }
 }

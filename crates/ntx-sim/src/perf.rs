@@ -79,6 +79,44 @@ impl PerfSnapshot {
         self.flops_per_cycle() * freq_hz
     }
 
+    /// Field-wise accumulation of a counter delta into this running
+    /// total. The exhaustive destructuring makes adding a field
+    /// without summing it here a compile error, not a silent
+    /// under-count — aggregators (the scale-out reports, the serving
+    /// front-end) share this one definition.
+    pub fn accumulate(&mut self, delta: &PerfSnapshot) {
+        let PerfSnapshot {
+            cycles,
+            flops,
+            ntx_busy_cycles,
+            ntx_stall_cycles,
+            ntx_active_cycles,
+            commands_completed,
+            tcdm_requests,
+            tcdm_conflicts,
+            dma_bytes,
+            dma_busy_cycles,
+            ext_bytes_read,
+            ext_bytes_written,
+            tcdm_reads,
+            tcdm_writes,
+        } = *delta;
+        self.cycles += cycles;
+        self.flops += flops;
+        self.ntx_busy_cycles += ntx_busy_cycles;
+        self.ntx_stall_cycles += ntx_stall_cycles;
+        self.ntx_active_cycles += ntx_active_cycles;
+        self.commands_completed += commands_completed;
+        self.tcdm_requests += tcdm_requests;
+        self.tcdm_conflicts += tcdm_conflicts;
+        self.dma_bytes += dma_bytes;
+        self.dma_busy_cycles += dma_busy_cycles;
+        self.ext_bytes_read += ext_bytes_read;
+        self.ext_bytes_written += ext_bytes_written;
+        self.tcdm_reads += tcdm_reads;
+        self.tcdm_writes += tcdm_writes;
+    }
+
     /// Banking-conflict probability seen at the interconnect (the
     /// §III-C figure; ≈0.13 in the paper's gate-level trace).
     #[must_use]

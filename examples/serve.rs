@@ -1,0 +1,176 @@
+//! Serve: many clients, one cluster farm.
+//!
+//! Demonstrates the `ntx-sched` serving stack: three client threads
+//! submit a mix of GEMM / convolution / AXPY / stencil jobs (plus an
+//! instant analytical estimate) to the async [`ntx::sched::Server`];
+//! the worker batches them into priority-ordered waves, overlaps them
+//! across four simulated clusters with the pipelined farm, and
+//! delivers completions through handles and callbacks.
+//!
+//! Run with `cargo run --release --example serve`.
+
+use ntx::kernels::blas::GemmKernel;
+use ntx::kernels::conv::Conv2dKernel;
+use ntx::sched::{JobKind, JobOpts, Server, ServerConfig};
+use std::time::Duration;
+
+fn data(n: usize, mut seed: u32) -> Vec<f32> {
+    (0..n)
+        .map(|_| {
+            seed ^= seed << 13;
+            seed ^= seed >> 17;
+            seed ^= seed << 5;
+            (seed as f32 / u32::MAX as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+fn client_jobs(client: u32) -> Vec<(String, JobKind, JobOpts)> {
+    let deadline = JobOpts::default().with_deadline(Duration::from_secs(60));
+    match client {
+        0 => vec![
+            (
+                "conv3x3 66x63x4".into(),
+                JobKind::Conv2d {
+                    kernel: Conv2dKernel {
+                        height: 66,
+                        width: 63,
+                        k: 3,
+                        filters: 4,
+                    },
+                    image: data(66 * 63, 0xa1),
+                    weights: data(9 * 4, 0xa2),
+                },
+                deadline.with_priority(2),
+            ),
+            (
+                "axpy 4096".into(),
+                {
+                    JobKind::Axpy {
+                        a: 2.0,
+                        x: data(4096, 0xa3),
+                        y: data(4096, 0xa4),
+                    }
+                },
+                deadline,
+            ),
+        ],
+        1 => vec![
+            (
+                "gemm 48x32x24".into(),
+                JobKind::Gemm {
+                    dims: GemmKernel {
+                        m: 48,
+                        k: 32,
+                        n: 24,
+                    },
+                    a: data(48 * 32, 0xb1),
+                    b: data(32 * 24, 0xb2),
+                },
+                deadline.with_priority(1),
+            ),
+            (
+                "stencil 60x33".into(),
+                JobKind::Stencil2d {
+                    height: 60,
+                    width: 33,
+                    grid: data(60 * 33, 0xb3),
+                },
+                deadline,
+            ),
+        ],
+        _ => vec![(
+            "gemm 512x512x512 (estimate)".into(),
+            JobKind::Gemm {
+                dims: GemmKernel {
+                    m: 512,
+                    k: 512,
+                    n: 512,
+                },
+                a: data(512 * 512, 0xc1),
+                b: data(512 * 512, 0xc2),
+            },
+            JobOpts::estimate().with_priority(3),
+        )],
+    }
+}
+
+fn main() {
+    let server = Server::start(ServerConfig::with_clusters(4));
+
+    // A callback completion: fired on the worker thread.
+    let (cb_tx, cb_rx) = std::sync::mpsc::channel();
+    server
+        .handle()
+        .submit_callback(
+            "axpy 1000 (callback)",
+            JobKind::Axpy {
+                a: 0.5,
+                x: data(1000, 0xd1),
+                y: data(1000, 0xd2),
+            },
+            JobOpts::default(),
+            move |completion| drop(cb_tx.send(completion)),
+        )
+        .expect("server running");
+
+    // Three clients submit concurrently through cloned handles.
+    let mut clients = Vec::new();
+    for c in 0..3u32 {
+        let handle = server.handle();
+        clients.push(std::thread::spawn(move || {
+            let mut waits = Vec::new();
+            for (label, kind, opts) in client_jobs(c) {
+                waits.push(handle.submit_with(label, kind, opts).expect("running"));
+            }
+            waits
+                .into_iter()
+                .map(|h| h.wait().expect("served"))
+                .collect::<Vec<_>>()
+        }));
+    }
+
+    println!("serve demo: 3 clients + 1 callback on a 4-cluster farm");
+    for (c, t) in clients.into_iter().enumerate() {
+        for done in t.join().expect("client thread") {
+            let r = done.result.expect("valid job");
+            match r.estimate {
+                Some(e) => println!(
+                    "  client {c}: {:<28} estimated {:>9} cycles ({}-bound, {} shards) in {:?}",
+                    r.label,
+                    e.cycles,
+                    if e.compute_bound { "compute" } else { "memory" },
+                    e.shards,
+                    done.latency,
+                ),
+                None => println!(
+                    "  client {c}: {:<28} {:>9} cycles on the farm, {:>6} outputs, in {:?}",
+                    r.label,
+                    r.report.makespan_cycles,
+                    r.output.len(),
+                    done.latency,
+                ),
+            }
+            assert!(!done.deadline_missed);
+        }
+    }
+    let cb = cb_rx.recv().expect("callback fired");
+    println!(
+        "  callback : {:<28} {:>9} cycles, delivered on the worker thread",
+        "axpy 1000 (callback)",
+        cb.result.expect("valid job").report.makespan_cycles
+    );
+
+    let report = server.shutdown();
+    println!(
+        "  served {} jobs ({} simulated, {} estimated) in {:.2} s — {:.1} jobs/s, \
+         occupancy {:.0}%, {} deadline misses",
+        report.jobs,
+        report.simulated,
+        report.estimated,
+        report.wall_seconds,
+        report.jobs_per_second(),
+        report.occupancy() * 100.0,
+        report.deadline_misses
+    );
+}

@@ -15,7 +15,7 @@
 //! | [`kernels`] | BLAS / convolution / stencil kernels lowered to NTX |
 //! | [`dnn`] | DNN workload models (AlexNet … ResNet-152) |
 //! | [`model`] | Roofline, power/area/technology models, paper tables |
-//! | [`sched`] | Multi-cluster scale-out scheduler: job queue, tiler, double-buffered DMA pipelines |
+//! | [`sched`] | Scale-out serving stack: job queue, backends (simulate/estimate), pipelined cluster farm, async server |
 //!
 //! # Quickstart
 //!

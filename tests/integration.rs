@@ -284,3 +284,54 @@ fn perf_counters_are_consistent() {
     assert!(perf.tcdm_conflicts <= perf.tcdm_requests);
     assert!(perf.ntx_active_cycles + perf.ntx_stall_cycles >= perf.ntx_active_cycles);
 }
+
+#[test]
+fn serving_stack_end_to_end_through_the_facade() {
+    // Submit a simulated job and an analytical estimate through the
+    // async server, from a second client thread, and verify both
+    // deliveries plus the final serving report.
+    use ntx::sched::{JobKind, JobOpts, Server, ServerConfig};
+    let server = Server::start(ServerConfig::with_clusters(2));
+    let handle = server.handle();
+    let client = std::thread::spawn(move || {
+        handle
+            .submit(
+                "gemm",
+                JobKind::Gemm {
+                    dims: GemmKernel {
+                        m: 16,
+                        k: 16,
+                        n: 16,
+                    },
+                    a: vec![1.0; 256],
+                    b: vec![0.5; 256],
+                },
+            )
+            .expect("server running")
+    });
+    let estimate = server
+        .submit_with(
+            "axpy estimate",
+            JobKind::Axpy {
+                a: 2.0,
+                x: data(65536, 5),
+                y: data(65536, 6),
+            },
+            JobOpts::estimate(),
+        )
+        .expect("server running");
+    let gemm = client
+        .join()
+        .expect("client thread")
+        .wait()
+        .expect("served");
+    let r = gemm.result.expect("valid gemm");
+    assert_eq!(r.output[0], 8.0); // 16 * 1.0 * 0.5
+    let e = estimate.wait().expect("served").result.expect("valid job");
+    let est = e.estimate.expect("estimate attached");
+    assert!(est.cycles > 0 && !est.compute_bound);
+    let report = server.shutdown();
+    assert_eq!(report.jobs, 2);
+    assert_eq!(report.simulated, 1);
+    assert_eq!(report.estimated, 1);
+}
