@@ -1,7 +1,9 @@
 //! Exercises the layered `ntx-sched` serving stack end to end — the
 //! pipelined cluster farm against the barriered reference executor
-//! (bit-identical per job, faster in total), the analytical estimate
-//! backend (zero simulator cycles), and the async multi-client server
+//! (bit-identical per job, faster in total), continuous admission
+//! against its barriered same-placement oracle and against the
+//! wave-batched server baseline (lower mean latency, throughput no
+//! worse), and the analytical estimate backend (zero simulator cycles)
 //! — and records the measurement as `BENCH_serving.json`.
 
 fn main() {
@@ -13,6 +15,10 @@ fn main() {
     println!("  wrote {path}");
     if !r.bit_identical || !r.snapshots_identical {
         eprintln!("ERROR: pipelined farm diverged from the barriered or full-width reference");
+        std::process::exit(1);
+    }
+    if !r.continuous_bit_identical {
+        eprintln!("ERROR: continuous admission diverged from the barriered same-placement oracle");
         std::process::exit(1);
     }
     // The overlap win on this heterogeneous queue is well above the
@@ -34,8 +40,43 @@ fn main() {
         );
         std::process::exit(1);
     }
-    if r.served_jobs != r.jobs as u64 || r.deadline_misses != 0 {
-        eprintln!("ERROR: async server dropped jobs or missed generous deadlines");
+    for (mode, st) in [("continuous", &r.continuous), ("wave", &r.wave)] {
+        if st.served_jobs != r.jobs as u64 || st.deadline_misses != 0 {
+            eprintln!("ERROR: {mode} server dropped jobs or missed generous deadlines");
+            std::process::exit(1);
+        }
+    }
+    // Continuous admission delivers each completion the moment its
+    // last shard retires instead of at the wave boundary: its mean
+    // latency must beat wave batching outright.
+    if r.latency_win < 1.0 {
+        eprintln!(
+            "ERROR: continuous-admission mean latency lost to wave batching \
+             ({:.3}x win, need >= 1.0)",
+            r.latency_win
+        );
+        std::process::exit(1);
+    }
+    // Throughput gates. The deterministic one is simulated farm time:
+    // graded placement may trade a few percent of batch makespan for
+    // per-job latency, capped at 10% drift versus the wave-batched
+    // pipelined makespan. Wall-clock jobs/s covers the same total
+    // simulation either way and is noise-dominated between runs, so
+    // its floor only catches gross regressions.
+    if r.continuous_makespan_cycles as f64 > 1.10 * r.pipelined_makespan_cycles as f64 {
+        eprintln!(
+            "ERROR: continuous farm makespan {} drifted more than 10% past the \
+             wave-batched pipelined makespan {}",
+            r.continuous_makespan_cycles, r.pipelined_makespan_cycles
+        );
+        std::process::exit(1);
+    }
+    if r.throughput_ratio < 0.90 {
+        eprintln!(
+            "ERROR: continuous-admission throughput fell below wave batching \
+             ({:.3}x, need >= 0.90)",
+            r.throughput_ratio
+        );
         std::process::exit(1);
     }
 }

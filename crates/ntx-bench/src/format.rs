@@ -279,20 +279,58 @@ pub fn serving(r: &crate::experiments::ServingBenchReport) -> String {
         if r.snapshots_identical { "yes" } else { "NO" },
     ));
     s.push_str(&format!(
+        "  continuous farm    : {:>12} cycles  (graded placement, outputs vs barriered \
+         same-placement oracle bit-identical: {})\n",
+        r.continuous_makespan_cycles,
+        if r.continuous_bit_identical {
+            "yes"
+        } else {
+            "NO"
+        },
+    ));
+    s.push_str(&format!(
         "  analytical backend : {:>12} cycles estimated, {} simulator cycles spent\n",
         r.estimated_cycles_total, r.estimate_sim_cycles
     ));
+    for (mode, st) in [("continuous", &r.continuous), ("wave      ", &r.wave)] {
+        s.push_str(&format!(
+            "  server ({mode}): {} jobs, {:.1} jobs/s, latency mean {:.1} ms / max {:.1} ms, \
+             occupancy {:.0}%, {} deadline misses\n",
+            st.served_jobs,
+            st.jobs_per_second,
+            st.mean_latency_s * 1e3,
+            st.max_latency_s * 1e3,
+            st.occupancy * 100.0,
+            st.deadline_misses
+        ));
+    }
     s.push_str(&format!(
-        "  async server       : {} jobs, {:.1} jobs/s, latency mean {:.1} ms / max {:.1} ms, \
-         occupancy {:.0}%, {} deadline misses\n",
-        r.served_jobs,
-        r.jobs_per_second,
-        r.mean_latency_s * 1e3,
-        r.max_latency_s * 1e3,
-        r.occupancy * 100.0,
-        r.deadline_misses
+        "  continuous vs wave : {:.2}x mean-latency win, {:.2}x throughput\n",
+        r.latency_win, r.throughput_ratio
     ));
     s
+}
+
+/// One server-run block of the `BENCH_serving.json` artifact.
+fn server_run_json(st: &crate::experiments::ServerRunStats) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "    \"served_jobs\": {},\n",
+            "    \"jobs_per_second\": {:.2},\n",
+            "    \"mean_latency_seconds\": {:.6},\n",
+            "    \"max_latency_seconds\": {:.6},\n",
+            "    \"occupancy\": {:.4},\n",
+            "    \"deadline_misses\": {}\n",
+            "  }}"
+        ),
+        st.served_jobs,
+        st.jobs_per_second,
+        st.mean_latency_s,
+        st.max_latency_s,
+        st.occupancy,
+        st.deadline_misses
+    )
 }
 
 /// Serialises the serving-stack measurement as the
@@ -312,14 +350,14 @@ pub fn serving_json(r: &crate::experiments::ServingBenchReport) -> String {
             "  \"fullwidth_speedup\": {:.3},\n",
             "  \"bit_identical\": {},\n",
             "  \"snapshots_identical\": {},\n",
+            "  \"continuous_makespan_cycles\": {},\n",
+            "  \"continuous_bit_identical\": {},\n",
             "  \"estimated_cycles_total\": {},\n",
             "  \"estimate_sim_cycles\": {},\n",
-            "  \"served_jobs\": {},\n",
-            "  \"jobs_per_second\": {:.2},\n",
-            "  \"mean_latency_seconds\": {:.6},\n",
-            "  \"max_latency_seconds\": {:.6},\n",
-            "  \"occupancy\": {:.4},\n",
-            "  \"deadline_misses\": {}\n",
+            "  \"server_continuous\": {},\n",
+            "  \"server_wave\": {},\n",
+            "  \"latency_win\": {:.3},\n",
+            "  \"throughput_ratio\": {:.3}\n",
             "}}\n"
         ),
         r.clusters,
@@ -331,14 +369,14 @@ pub fn serving_json(r: &crate::experiments::ServingBenchReport) -> String {
         r.fullwidth_speedup,
         r.bit_identical,
         r.snapshots_identical,
+        r.continuous_makespan_cycles,
+        r.continuous_bit_identical,
         r.estimated_cycles_total,
         r.estimate_sim_cycles,
-        r.served_jobs,
-        r.jobs_per_second,
-        r.mean_latency_s,
-        r.max_latency_s,
-        r.occupancy,
-        r.deadline_misses
+        server_run_json(&r.continuous),
+        server_run_json(&r.wave),
+        r.latency_win,
+        r.throughput_ratio
     )
 }
 

@@ -20,8 +20,8 @@ use ntx_model::roofline::Roofline;
 use ntx_sim::ClusterConfig;
 
 use crate::executor::{BatchResult, JobResult, ScaleOutConfig};
-use crate::farm::{ClusterFarm, JobMeta, PlacedJob};
-use crate::job::Job;
+use crate::farm::{ClusterFarm, JobMeta, PlacedJob, ShardRetire};
+use crate::job::{Job, JobClass};
 use crate::report::ScaleOutReport;
 use crate::tiler::{ClusterPlan, Tiler};
 use crate::SchedError;
@@ -157,6 +157,138 @@ fn heuristic_shards(
     }
 }
 
+/// Per-[`JobClass`] EWMA of measured versus estimated shard cycles —
+/// the measured-duration feedback that graduates placement from
+/// snap-to-{1, farm} to graded cluster subsets. The roofline estimate
+/// under-predicts real shard durations by tens of percent (it ignores
+/// banking conflicts, DMA ramp-up and tile-boundary overheads), and by
+/// different amounts per job family; each retired shard contributes
+/// its observed `measured / estimated` ratio, so after a handful of
+/// jobs per class the corrected estimates are accurate enough to pack
+/// mid-size cluster subsets without lumping onto a critical cluster.
+/// Seeded at 1.0 — i.e. pure roofline — so a cold table behaves
+/// exactly like the estimate-only heuristic.
+#[derive(Debug, Clone)]
+pub struct DurationTable {
+    ratio: [f64; JobClass::COUNT],
+    samples: [u64; JobClass::COUNT],
+}
+
+/// EWMA smoothing factor: new observations move the correction a
+/// quarter of the way, so one outlier shard cannot wreck placement but
+/// a real drift is absorbed within a few jobs.
+const EWMA_ALPHA: f64 = 0.25;
+
+impl Default for DurationTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DurationTable {
+    /// A cold table: every class at correction 1.0 (trust the
+    /// roofline).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            ratio: [1.0; JobClass::COUNT],
+            samples: [0; JobClass::COUNT],
+        }
+    }
+
+    /// The current `measured / estimated` correction for `class`.
+    #[must_use]
+    pub fn correction(&self, class: JobClass) -> f64 {
+        self.ratio[class.index()]
+    }
+
+    /// Observations folded in for `class`.
+    #[must_use]
+    pub fn samples(&self, class: JobClass) -> u64 {
+        self.samples[class.index()]
+    }
+
+    /// `estimated` cycles corrected by the learned class ratio, never
+    /// below one cycle.
+    #[must_use]
+    pub fn corrected_cycles(&self, class: JobClass, estimated: u64) -> u64 {
+        let c = (estimated as f64 * self.correction(class)).round() as u64;
+        c.max(1)
+    }
+
+    /// Folds one retired shard into the EWMA. The first observation of
+    /// a class replaces the seed outright — a real measurement beats a
+    /// guess — and later ones blend in with [`EWMA_ALPHA`].
+    pub fn observe(&mut self, class: JobClass, estimated: u64, measured: u64) {
+        if estimated == 0 {
+            return;
+        }
+        let r = measured as f64 / estimated as f64;
+        let i = class.index();
+        if self.samples[i] == 0 {
+            self.ratio[i] = r;
+        } else {
+            self.ratio[i] = (1.0 - EWMA_ALPHA) * self.ratio[i] + EWMA_ALPHA * r;
+        }
+        self.samples[i] += 1;
+    }
+}
+
+/// Where a continuous admission landed: enough to replay the exact
+/// same placement into a barriered [`ClusterFarm::run_batch`] (the
+/// differential oracle) — the tiler shard count reproduces the plans,
+/// the cluster list reproduces the assignment.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Shard count the tiler planned with (≥ the number of non-empty
+    /// shards).
+    pub planned_shards: usize,
+    /// Clusters the non-empty shards were assigned to, ascending;
+    /// plan `i` runs on `clusters[i]`.
+    pub clusters: Vec<usize>,
+    /// Corrected estimated cycles per shard (the placement load unit).
+    pub shard_cycles: u64,
+}
+
+impl Placement {
+    /// Rebuilds the [`PlacedJob`] this placement describes, for a
+    /// barriered replay of the continuous run: re-tiles `job` at the
+    /// recorded shard count against `reference` (any cluster of the
+    /// same configuration) and zips the non-empty plans onto the
+    /// recorded cluster list — the single definition of the
+    /// same-placement oracle shared by the proptest suite and the
+    /// `report-serving` gate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tiler errors (impossible for a job that was already
+    /// admitted once against the same configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics when re-tiling yields a different non-empty shard count
+    /// than was recorded — the replay would no longer be the same
+    /// placement.
+    pub fn replay(&self, job: &Job, reference: &ntx_sim::Cluster) -> Result<PlacedJob, SchedError> {
+        let plans = Tiler::new(self.planned_shards).plan(job, reference)?;
+        let nonempty: Vec<ClusterPlan> = plans.into_iter().filter(|p| !p.is_empty()).collect();
+        assert_eq!(
+            nonempty.len(),
+            self.clusters.len(),
+            "replay must reproduce the recorded shard count"
+        );
+        Ok(PlacedJob {
+            meta: JobMeta {
+                id: job.id,
+                label: job.label.clone(),
+                output_len: job.output_len(),
+                class: job.kind.class(),
+            },
+            shards: self.clusters.iter().copied().zip(nonempty).collect(),
+        })
+    }
+}
+
 /// The bit-accurate backend: tiler + placement + cluster farm.
 #[derive(Debug)]
 pub struct SimulatorBackend {
@@ -212,30 +344,120 @@ impl SimulatorBackend {
         batch.results.pop().expect("one result per placed job")
     }
 
-    /// Chooses the shard count for `job`: enough shards that each
-    /// carries roughly `target_shard_cycles` of estimated work (so
-    /// small jobs leave clusters free for space sharing), grown until
-    /// the shards fit the TCDM, capped at the cluster count. With
-    /// `space_share` disabled every job spans all clusters.
-    fn admit_tiled(&self, job: &Job) -> Result<AdmittedWork, SchedError> {
+    /// Tiles `job` at `shards` shards, retrying wider on TCDM capacity
+    /// failures until the farm width is exhausted; returns the plans
+    /// and the shard count that fit.
+    fn tile_with_retry(
+        &self,
+        job: &Job,
+        mut shards: usize,
+    ) -> Result<(Vec<ClusterPlan>, usize), SchedError> {
         let n = self.config.clusters;
-        let freq = self.config.cluster.ntx_freq_hz;
-        let mut shards = heuristic_shards(job, &self.config, &self.roofline, freq);
         loop {
             match Tiler::new(shards).plan(job, self.farm.cluster(0)) {
-                Ok(plans) => {
-                    let est = estimate_for(job, shards, &self.roofline, freq);
-                    return Ok(AdmittedWork::Tiled {
-                        plans,
-                        shard_cycles_hint: est.cycles,
-                    });
-                }
+                Ok(plans) => return Ok((plans, shards)),
                 // A shard that cannot fit the TCDM may fit when split
                 // finer; retry wider until the farm width is exhausted.
                 Err(SchedError::Capacity(_)) if shards < n => shards += 1,
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    /// Chooses the shard count for `job`: enough shards that each
+    /// carries roughly `target_shard_cycles` of estimated work (so
+    /// small jobs leave clusters free for space sharing), grown until
+    /// the shards fit the TCDM, capped at the cluster count. With
+    /// `space_share` disabled every job spans all clusters.
+    fn admit_tiled(&self, job: &Job) -> Result<AdmittedWork, SchedError> {
+        let freq = self.config.cluster.ntx_freq_hz;
+        let want = heuristic_shards(job, &self.config, &self.roofline, freq);
+        let (plans, shards) = self.tile_with_retry(job, want)?;
+        let est = estimate_for(job, shards, &self.roofline, freq);
+        Ok(AdmittedWork::Tiled {
+            plans,
+            shard_cycles_hint: est.cycles,
+        })
+    }
+
+    /// Admits `job` into the *running* farm (continuous mode): plans a
+    /// **graded** shard count from the measured-duration table —
+    /// `corrected cycles / target_shard_cycles`, any value in
+    /// `1..=clusters`, not snap-to-{1, farm} — and assigns the shards
+    /// to the least-loaded clusters right now. The job starts the
+    /// moment those clusters free up; no wave boundary is involved.
+    /// Returns the placement so callers can log it or replay it into
+    /// the barriered oracle.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::Shape`] for inconsistent jobs,
+    /// [`SchedError::Capacity`] when no feasible sharding exists.
+    pub fn admit_continuous(
+        &mut self,
+        job: &Job,
+        table: &DurationTable,
+    ) -> Result<Placement, SchedError> {
+        job.validate()?;
+        let n = self.config.clusters;
+        let freq = self.config.cluster.ntx_freq_hz;
+        let class = job.kind.class();
+        let want = if self.config.space_share {
+            let est1 = estimate_for(job, 1, &self.roofline, freq);
+            let corrected = table.corrected_cycles(class, est1.cycles);
+            corrected
+                .div_ceil(self.config.target_shard_cycles.max(1))
+                .clamp(1, n as u64) as usize
+        } else {
+            n
+        };
+        let (plans, planned_shards) = self.tile_with_retry(job, want)?;
+        let per_shard = estimate_for(job, planned_shards, &self.roofline, freq).cycles;
+        let hint = table.corrected_cycles(class, per_shard);
+        let nonempty: Vec<ClusterPlan> = plans.into_iter().filter(|p| !p.is_empty()).collect();
+        // Least-loaded clusters take the shards; ascending-index ties
+        // keep placement deterministic.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&c| (self.farm.load(c), c));
+        let mut chosen: Vec<usize> = order[..nonempty.len()].to_vec();
+        chosen.sort_unstable();
+        let meta = JobMeta {
+            id: job.id,
+            label: job.label.clone(),
+            output_len: job.output_len(),
+            class,
+        };
+        self.farm.admit(
+            PlacedJob {
+                meta,
+                shards: chosen.iter().copied().zip(nonempty).collect(),
+            },
+            hint,
+            per_shard,
+        );
+        Ok(Placement {
+            planned_shards,
+            clusters: chosen,
+            shard_cycles: hint,
+        })
+    }
+
+    /// Retires the next shard of the continuously-admitted farm (see
+    /// [`ClusterFarm::step`]); `None` when the farm is idle.
+    pub fn step_farm(&mut self) -> Option<ShardRetire> {
+        self.farm.step()
+    }
+
+    /// True when continuously-admitted shards are still queued.
+    #[must_use]
+    pub fn has_farm_work(&self) -> bool {
+        self.farm.has_pending()
+    }
+
+    /// Virtual makespan of the continuous farm (latest cluster clock).
+    #[must_use]
+    pub fn farm_makespan(&self) -> u64 {
+        self.farm.makespan()
     }
 }
 
@@ -274,6 +496,7 @@ impl Backend for SimulatorBackend {
                         id: job.id,
                         label: job.label.clone(),
                         output_len: job.output_len(),
+                        class: job.kind.class(),
                     },
                     shards: plans.into_iter().filter(|p| !p.is_empty()).collect(),
                     hint: shard_cycles_hint,
@@ -417,6 +640,37 @@ mod tests {
         let model = AnalyticalBackend::new(&config);
         assert_eq!(model.shards_for(&axpy_job(64)), 1);
         assert_eq!(model.shards_for(&axpy_job(1 << 20)), 8);
+    }
+
+    #[test]
+    fn continuous_feedback_observes_raw_estimates_not_corrected_hints() {
+        // The EWMA's denominator must be the raw roofline estimate:
+        // feeding the corrected placement hint back in would converge
+        // the learned ratio to sqrt(true ratio) instead of the ratio.
+        let mut table = DurationTable::new();
+        for _ in 0..50 {
+            table.observe(JobClass::Gemm, 1000, 1400);
+        }
+        assert!(
+            (table.correction(JobClass::Gemm) - 1.4).abs() < 1e-9,
+            "stable observations must converge to the true ratio, got {}",
+            table.correction(JobClass::Gemm)
+        );
+
+        // And the farm reports exactly the raw estimate at retire,
+        // while the placement hint carries the correction.
+        let mut sim = SimulatorBackend::new(ScaleOutConfig::with_clusters(2));
+        let mut table = DurationTable::new();
+        table.observe(JobClass::Axpy, 1000, 2000); // correction 2.0
+        let placement = sim.admit_continuous(&axpy_job(512), &table).expect("admit");
+        let retire = sim.step_farm().expect("one shard queued");
+        assert_eq!(
+            placement.shard_cycles,
+            table.corrected_cycles(JobClass::Axpy, retire.est_cycles),
+            "hint must be the corrected form of the reported raw estimate"
+        );
+        assert!(retire.est_cycles < placement.shard_cycles);
+        while sim.step_farm().is_some() {}
     }
 
     #[test]

@@ -175,6 +175,7 @@ impl ScaleOutExecutor {
             id: job.id,
             label: job.label.clone(),
             output_len: job.output_len(),
+            class: job.kind.class(),
         };
         Ok(self.sim.run_single(meta, plans))
     }
@@ -264,7 +265,6 @@ pub fn run_sharded(job: &Job, clusters: usize) -> Result<JobResult, SchedError> 
 mod tests {
     use super::*;
     use crate::job::JobKind;
-    use crate::job::JobOpts;
     use crate::job::RawJob;
     use ntx_isa::{AguConfig, Command, LoopNest, NtxConfig, OperandSelect};
     use ntx_kernels::blas::GemmKernel;
@@ -408,17 +408,10 @@ mod tests {
 
     fn two_job_queue() -> JobQueue {
         let mut q = JobQueue::new();
-        let x = data(500, 1);
-        let y = data(500, 2);
-        q.push("axpy", JobKind::Axpy { a: 2.0, x, y });
-        q.push(
-            "gemm",
-            JobKind::Gemm {
-                dims: GemmKernel { m: 8, k: 8, n: 8 },
-                a: data(64, 3),
-                b: data(64, 4),
-            },
-        );
+        q.job("axpy").axpy(2.0, data(500, 1), data(500, 2)).submit();
+        q.job("gemm")
+            .gemm(GemmKernel { m: 8, k: 8, n: 8 }, data(64, 3), data(64, 4))
+            .submit();
         q
     }
 
@@ -462,23 +455,13 @@ mod tests {
     fn estimate_backend_answers_without_simulating() {
         let mut exec = ScaleOutExecutor::new(ScaleOutConfig::with_clusters(2));
         let mut q = JobQueue::new();
-        q.push_with(
-            "axpy-estimate",
-            JobKind::Axpy {
-                a: 2.0,
-                x: data(4096, 5),
-                y: data(4096, 6),
-            },
-            JobOpts::estimate(),
-        );
-        q.push(
-            "axpy-simulated",
-            JobKind::Axpy {
-                a: 2.0,
-                x: data(256, 7),
-                y: data(256, 8),
-            },
-        );
+        q.job("axpy-estimate")
+            .axpy(2.0, data(4096, 5), data(4096, 6))
+            .estimate()
+            .submit();
+        q.job("axpy-simulated")
+            .axpy(2.0, data(256, 7), data(256, 8))
+            .submit();
         let batch = exec.run_queue(&mut q).unwrap();
         let est = &batch.results[0];
         assert!(est.output.is_empty());
@@ -501,22 +484,11 @@ mod tests {
     fn bad_job_fails_batch_upfront_and_names_the_job() {
         let mut exec = ScaleOutExecutor::new(ScaleOutConfig::with_clusters(2));
         let mut q = JobQueue::new();
-        q.push(
-            "good",
-            JobKind::Axpy {
-                a: 1.0,
-                x: data(64, 1),
-                y: data(64, 2),
-            },
-        );
-        let bad_id = q.push(
-            "mismatched",
-            JobKind::Axpy {
-                a: 1.0,
-                x: data(64, 3),
-                y: data(32, 4),
-            },
-        );
+        q.job("good").axpy(1.0, data(64, 1), data(64, 2)).submit();
+        let bad_id = q
+            .job("mismatched")
+            .axpy(1.0, data(64, 3), data(32, 4))
+            .submit();
         let err = exec.run_queue(&mut q).unwrap_err();
         match err {
             SchedError::Job { id, label, source } => {

@@ -33,8 +33,10 @@
 //! reference.
 
 use ntx_sim::{Cluster, ClusterConfig, PerfSnapshot};
+use std::collections::VecDeque;
 
 use crate::executor::{BatchResult, JobResult};
+use crate::job::JobClass;
 use crate::pipeline::TilePipeline;
 use crate::report::ScaleOutReport;
 use crate::tiler::{ClusterPlan, ReadbackSource};
@@ -49,6 +51,8 @@ pub struct JobMeta {
     pub label: String,
     /// Output length in `f32` elements.
     pub output_len: usize,
+    /// Duration-table class of the job's kind.
+    pub class: JobClass,
 }
 
 /// One job, placed: which cluster runs which shard plan.
@@ -70,11 +74,74 @@ struct ShardTask {
 /// Per-shard measurement: which job, its counter delta, its duration.
 type ShardRecord = (usize, PerfSnapshot, u64);
 
-/// The farm: N independent clusters plus their shard FIFOs.
+/// One retired shard of the continuously-admitted farm: everything the
+/// serving layer needs to update its measured-duration table and
+/// deliver completions.
+#[derive(Debug)]
+pub struct ShardRetire {
+    /// Id of the job the shard belongs to.
+    pub job_id: u64,
+    /// Duration-table class of that job.
+    pub class: JobClass,
+    /// Cluster the shard ran on.
+    pub cluster: usize,
+    /// Measured shard duration, cluster cycles.
+    pub cycles: u64,
+    /// The *raw* roofline estimate for this shard — the denominator of
+    /// the measured-duration feedback (`cycles / est_cycles` is the
+    /// observed roofline correction). Deliberately not the corrected
+    /// placement hint: feeding the corrected value back into the EWMA
+    /// would make the learned ratio converge to the square root of the
+    /// true correction instead of the correction itself.
+    pub est_cycles: u64,
+    /// The cluster's virtual clock after this shard retired.
+    pub clock: u64,
+    /// The finished job, when this was its last outstanding shard.
+    pub result: Option<JobResult>,
+}
+
+/// One job in flight through the continuous farm.
+#[derive(Debug)]
+struct ActiveJob {
+    meta: JobMeta,
+    output: Vec<f32>,
+    report: ScaleOutReport,
+    remaining: usize,
+    start_clock: u64,
+    finish_clock: u64,
+}
+
+/// One queued shard of the continuous farm.
+#[derive(Debug)]
+struct QueuedShard {
+    slot: usize,
+    plan: ClusterPlan,
+    /// Corrected estimated cycles (the placement load unit).
+    hint: u64,
+    /// Raw roofline estimate (the measured-duration feedback input).
+    est: u64,
+}
+
+/// The farm: N independent clusters plus their shard FIFOs. Batch mode
+/// ([`run_batch`](ClusterFarm::run_batch)) executes a pre-placed wave;
+/// continuous mode ([`admit`](ClusterFarm::admit) /
+/// [`step`](ClusterFarm::step) / [`drain`](ClusterFarm::drain)) feeds
+/// jobs into the *running* farm and retires shards one observable
+/// event at a time.
 #[derive(Debug)]
 pub struct ClusterFarm {
     clusters: Vec<Cluster>,
     freq_hz: f64,
+    /// Per-cluster FIFOs of shards admitted but not yet run
+    /// (continuous mode only; `run_batch` keeps its own local queues).
+    pending: Vec<VecDeque<QueuedShard>>,
+    /// In-flight jobs, slab-indexed by `QueuedShard::slot`.
+    active: Vec<Option<ActiveJob>>,
+    free_slots: Vec<usize>,
+    /// Per-cluster virtual clock: cycles of shard work retired so far.
+    clock: Vec<u64>,
+    /// Per-cluster estimated cycles still queued (placement load).
+    queued_hint: Vec<u64>,
 }
 
 /// Stages a shard's inputs and runs it to completion in an isolated
@@ -125,6 +192,11 @@ impl ClusterFarm {
         Self {
             clusters: (0..clusters).map(|_| Cluster::new(config)).collect(),
             freq_hz: config.ntx_freq_hz,
+            pending: (0..clusters).map(|_| VecDeque::new()).collect(),
+            active: Vec::new(),
+            free_slots: Vec::new(),
+            clock: vec![0; clusters],
+            queued_hint: vec![0; clusters],
         }
     }
 
@@ -225,6 +297,133 @@ impl ClusterFarm {
             results,
             report: batch,
         }
+    }
+
+    /// Admits one placed job into the running farm (continuous mode):
+    /// its shards join the tail of their clusters' FIFOs and will run
+    /// as those clusters free up — no wave boundary, no barrier.
+    /// `shard_cycles_hint` is the *corrected* estimated duration of
+    /// one shard (the placement load unit); `shard_cycles_est` is the
+    /// raw roofline estimate (reported back at retire as the
+    /// measured-duration feedback denominator).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the job has no shards (admission guarantees at
+    /// least one non-empty plan for every valid job).
+    pub fn admit(&mut self, placed: PlacedJob, shard_cycles_hint: u64, shard_cycles_est: u64) {
+        assert!(!placed.shards.is_empty(), "job admitted with no shards");
+        let n = self.clusters.len();
+        let job = ActiveJob {
+            output: vec![0f32; placed.meta.output_len],
+            report: ScaleOutReport::new(n, self.freq_hz),
+            remaining: placed.shards.len(),
+            start_clock: u64::MAX,
+            finish_clock: 0,
+            meta: placed.meta,
+        };
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.active[s] = Some(job);
+                s
+            }
+            None => {
+                self.active.push(Some(job));
+                self.active.len() - 1
+            }
+        };
+        for (c, plan) in placed.shards {
+            self.queued_hint[c] += shard_cycles_hint;
+            self.pending[c].push_back(QueuedShard {
+                slot,
+                plan,
+                hint: shard_cycles_hint,
+                est: shard_cycles_est,
+            });
+        }
+    }
+
+    /// Retires the next shard event of the continuous farm: the
+    /// cluster whose virtual clock is earliest (ties to the lowest
+    /// index) runs the shard at the head of its FIFO to completion in
+    /// an isolated idle-to-idle window. Returns `None` when no shards
+    /// are queued. Per-cluster shard order is admission order, so
+    /// per-job outputs and [`PerfSnapshot`]s are bit-identical to a
+    /// barriered [`run_batch`](ClusterFarm::run_batch) of the same
+    /// placement — only the admission timing differs.
+    pub fn step(&mut self) -> Option<ShardRetire> {
+        let c = (0..self.clusters.len())
+            .filter(|&c| !self.pending[c].is_empty())
+            .min_by_key(|&c| (self.clock[c], c))?;
+        let mut task = self.pending[c].pop_front().expect("non-empty FIFO");
+        self.queued_hint[c] -= task.hint;
+        let (perf, cycles) = run_shard(&mut self.clusters[c], &mut task.plan);
+        let job = self.active[task.slot]
+            .as_mut()
+            .expect("queued shard has an active job");
+        read_shard(&mut self.clusters[c], &task.plan, &mut job.output);
+        let start = self.clock[c];
+        self.clock[c] = start + cycles;
+        job.report.per_cluster[c].accumulate(&perf);
+        job.report.makespan_cycles = job.report.makespan_cycles.max(cycles);
+        job.start_clock = job.start_clock.min(start);
+        job.finish_clock = job.finish_clock.max(self.clock[c]);
+        job.remaining -= 1;
+        let (job_id, class) = (job.meta.id, job.meta.class);
+        let result = if job.remaining == 0 {
+            let done = self.active[task.slot].take().expect("job still active");
+            self.free_slots.push(task.slot);
+            Some(JobResult {
+                job_id: done.meta.id,
+                label: done.meta.label,
+                output: done.output,
+                report: done.report,
+                start_cycle: done.start_clock,
+                finish_cycle: done.finish_clock,
+                estimate: None,
+            })
+        } else {
+            None
+        };
+        Some(ShardRetire {
+            job_id,
+            class,
+            cluster: c,
+            cycles,
+            est_cycles: task.est,
+            clock: self.clock[c],
+            result,
+        })
+    }
+
+    /// Runs the continuous farm dry: steps until every queued shard has
+    /// retired and returns the events in retire order.
+    pub fn drain(&mut self) -> Vec<ShardRetire> {
+        let mut events = Vec::new();
+        while let Some(e) = self.step() {
+            events.push(e);
+        }
+        events
+    }
+
+    /// True when the continuous farm still has queued shards.
+    #[must_use]
+    pub fn has_pending(&self) -> bool {
+        self.pending.iter().any(|q| !q.is_empty())
+    }
+
+    /// Placement load of cluster `index`: its virtual clock plus the
+    /// estimated cycles of everything queued on it.
+    #[must_use]
+    pub fn load(&self, index: usize) -> u64 {
+        self.clock[index] + self.queued_hint[index]
+    }
+
+    /// Virtual makespan of the continuous farm: the latest cluster
+    /// clock.
+    #[must_use]
+    pub fn makespan(&self) -> u64 {
+        self.clock.iter().copied().max().unwrap_or(0)
     }
 
     /// Serial drive: clusters are fully independent simulations, so

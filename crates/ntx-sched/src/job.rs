@@ -6,10 +6,11 @@
 //! data, or a raw [`NtxConfig`] command for workloads the kernel
 //! library does not cover. Each job carries [`JobOpts`] — which
 //! [`Backend`](crate::Backend) executes it, its serving priority and
-//! optional deadline — and is submitted through a [`JobQueue`]
-//! (executed FIFO by [`ScaleOutExecutor`](crate::ScaleOutExecutor)) or
-//! through the async [`Server`](crate::Server) front-end (executed in
-//! priority order).
+//! optional deadline — and is submitted through the fluent
+//! [`JobBuilder`](crate::JobBuilder): into a [`JobQueue`] (executed
+//! FIFO by [`ScaleOutExecutor`](crate::ScaleOutExecutor)) or into a
+//! persistent [`Session`](crate::Session) on the always-on
+//! [`Server`](crate::Server).
 
 use ntx_isa::NtxConfig;
 use ntx_kernels::blas::{AxpyKernel, GemmKernel};
@@ -82,6 +83,69 @@ pub enum JobKind {
     },
     /// A raw NTX command (see [`RawJob`]).
     Raw(RawJob),
+}
+
+/// The coarse family of a job — the key of the measured-duration
+/// feedback table ([`DurationTable`](crate::DurationTable)). All jobs
+/// of one class share a roofline-correction factor: the analytical
+/// estimate under-predicts conv shards and GEMM shards by different
+/// (but per-family stable) amounts, so the placement heuristic learns
+/// one EWMA per class instead of one global fudge factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobClass {
+    /// `y = a*x + y` streaming jobs.
+    Axpy,
+    /// Dense matrix multiplies.
+    Gemm,
+    /// Multi-filter 2-D convolutions.
+    Conv2d,
+    /// 2-D Laplace stencils.
+    Stencil2d,
+    /// Raw NTX commands.
+    Raw,
+}
+
+impl JobClass {
+    /// Number of classes (the size of the duration table).
+    pub const COUNT: usize = 5;
+
+    /// Dense index of this class, in `0..COUNT`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            JobClass::Axpy => 0,
+            JobClass::Gemm => 1,
+            JobClass::Conv2d => 2,
+            JobClass::Stencil2d => 3,
+            JobClass::Raw => 4,
+        }
+    }
+
+    /// Human-readable class name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            JobClass::Axpy => "axpy",
+            JobClass::Gemm => "gemm",
+            JobClass::Conv2d => "conv2d",
+            JobClass::Stencil2d => "stencil2d",
+            JobClass::Raw => "raw",
+        }
+    }
+}
+
+impl JobKind {
+    /// The duration-table class of this kind.
+    #[must_use]
+    pub fn class(&self) -> JobClass {
+        match self {
+            JobKind::Axpy { .. } => JobClass::Axpy,
+            JobKind::Gemm { .. } => JobClass::Gemm,
+            JobKind::Conv2d { .. } => JobClass::Conv2d,
+            JobKind::Stencil2d { .. } => JobClass::Stencil2d,
+            JobKind::Raw(_) => JobClass::Raw,
+        }
+    }
 }
 
 /// Per-job serving options: backend selection, priority, deadline.
@@ -289,17 +353,31 @@ impl JobQueue {
     }
 
     /// Enqueues a job with default options; returns its id.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the fluent builder: `queue.job(label).kind(kind).submit()`"
+    )]
     pub fn push(&mut self, label: impl Into<String>, kind: JobKind) -> u64 {
-        self.push_with(label, kind, JobOpts::default())
+        self.enqueue(label.into(), kind, JobOpts::default())
     }
 
     /// Enqueues a job with explicit serving options; returns its id.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the fluent builder: `queue.job(label).kind(kind).priority(p).submit()`"
+    )]
     pub fn push_with(&mut self, label: impl Into<String>, kind: JobKind, opts: JobOpts) -> u64 {
+        self.enqueue(label.into(), kind, opts)
+    }
+
+    /// The one enqueue primitive behind both the fluent
+    /// [`JobQueue::job`] builder and the deprecated `push*` shims.
+    pub(crate) fn enqueue(&mut self, label: String, kind: JobKind, opts: JobOpts) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
         self.jobs.push_back(Job {
             id,
-            label: label.into(),
+            label,
             kind,
             opts,
         });
@@ -346,6 +424,19 @@ mod tests {
     #[test]
     fn queue_assigns_sequential_ids() {
         let mut q = JobQueue::new();
+        let a = q.job("a").axpy(1.0, vec![1.0], vec![2.0]).submit();
+        let b = q.job("b").axpy(2.0, vec![1.0], vec![2.0]).submit();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().label, "a");
+        assert_eq!(q.pop().unwrap().label, "b");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_push_shims_still_enqueue() {
+        let mut q = JobQueue::new();
         let a = q.push(
             "a",
             JobKind::Axpy {
@@ -354,19 +445,46 @@ mod tests {
                 y: vec![2.0],
             },
         );
-        let b = q.push(
+        let b = q.push_with(
             "b",
             JobKind::Axpy {
                 a: 2.0,
                 x: vec![1.0],
                 y: vec![2.0],
             },
+            JobOpts::estimate(),
         );
         assert_eq!((a, b), (0, 1));
-        assert_eq!(q.len(), 2);
         assert_eq!(q.pop().unwrap().label, "a");
-        assert_eq!(q.pop().unwrap().label, "b");
-        assert!(q.is_empty());
+        let b = q.pop().unwrap();
+        assert_eq!(b.opts.backend, BackendKind::Estimate);
+    }
+
+    #[test]
+    fn every_kind_has_a_class() {
+        let kinds = [
+            (
+                JobKind::Axpy {
+                    a: 1.0,
+                    x: vec![1.0],
+                    y: vec![1.0],
+                },
+                JobClass::Axpy,
+            ),
+            (
+                JobKind::Stencil2d {
+                    height: 3,
+                    width: 3,
+                    grid: vec![0.0; 9],
+                },
+                JobClass::Stencil2d,
+            ),
+        ];
+        for (kind, class) in kinds {
+            assert_eq!(kind.class(), class);
+            assert!(class.index() < JobClass::COUNT);
+            assert!(!class.name().is_empty());
+        }
     }
 
     #[test]

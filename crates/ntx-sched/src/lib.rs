@@ -29,46 +29,58 @@
 //!   every shard computes exactly what the single-cluster lowering
 //!   would, and a [`TilePipeline`] per cluster runs the §II-E
 //!   double-buffered DMA schedule;
-//! * **Serving** — the [`Server`] front-end accepts mpsc submissions
-//!   from many client threads, orders waves by priority, tracks
-//!   per-job deadlines, delivers completions through handles or
-//!   callbacks, and aggregates a [`ServingReport`] (throughput,
-//!   latency, occupancy);
+//! * **Serving** — the [`Server`] runs the farm as a persistent
+//!   service: clients hold cloneable [`Session`]s and submit through
+//!   the fluent [`JobBuilder`]; with continuous admission (the
+//!   default) every job is validated, planned and placed onto the
+//!   least-loaded clusters the moment it arrives — sized to graded
+//!   cluster subsets by a measured-duration [`DurationTable`] (EWMA of
+//!   actual cluster-cycles, seeded by roofline estimates) — and its
+//!   completion is delivered the shard event its last shard retires.
+//!   Wave batching is kept behind
+//!   [`AdmissionMode::Wave`](server::AdmissionMode) as the
+//!   differential baseline, and the barriered farm remains the
+//!   bit-exact oracle;
 //! * **Reports** — [`ScaleOutReport`] aggregates cycles, stalls, DMA
-//!   occupancy and — through `ntx-model` — energy and Gflop/s/W.
+//!   occupancy and — through `ntx-model` — energy and Gflop/s/W;
+//!   [`ServingReport`] rolls up a server run (jobs/s, latency,
+//!   occupancy).
 //!
 //! # Example
 //!
 //! ```
 //! use ntx_kernels::blas::GemmKernel;
-//! use ntx_sched::{JobKind, JobOpts, JobQueue, ScaleOutConfig, ScaleOutExecutor};
+//! use ntx_sched::{BackendKind, Server, ServerConfig};
+//! use std::time::Duration;
 //!
-//! let mut queue = JobQueue::new();
-//! queue.push(
-//!     "gemm 16x16x16",
-//!     JobKind::Gemm {
-//!         dims: GemmKernel { m: 16, k: 16, n: 16 },
-//!         a: vec![1.0; 256],
-//!         b: vec![0.5; 256],
-//!     },
-//! );
-//! // The same queue also serves instant analytical estimates.
-//! queue.push_with(
-//!     "gemm estimate",
-//!     JobKind::Gemm {
-//!         dims: GemmKernel { m: 512, k: 512, n: 512 },
-//!         a: vec![1.0; 512 * 512],
-//!         b: vec![0.5; 512 * 512],
-//!     },
-//!     JobOpts::estimate(),
-//! );
-//! let mut exec = ScaleOutExecutor::new(ScaleOutConfig::with_clusters(4));
-//! let batch = exec.run_queue(&mut queue)?;
-//! assert_eq!(batch.results[0].output[0], 8.0); // 16 * 1.0 * 0.5
-//! assert!(batch.results[1].estimate.unwrap().cycles > 0);
-//! assert!(batch.report.makespan_cycles > 0);
+//! let server = Server::start(ServerConfig::with_clusters(4));
+//! let session = server.session();
+//! // Bit-accurate simulation on the farm, with serving options.
+//! let gemm = session
+//!     .job("gemm 16x16x16")
+//!     .gemm(GemmKernel { m: 16, k: 16, n: 16 }, vec![1.0; 256], vec![0.5; 256])
+//!     .priority(2)
+//!     .deadline(Duration::from_secs(60))
+//!     .submit()?;
+//! // The same session serves instant analytical estimates.
+//! let estimate = session
+//!     .job("gemm estimate")
+//!     .gemm(
+//!         GemmKernel { m: 512, k: 512, n: 512 },
+//!         vec![1.0; 512 * 512],
+//!         vec![0.5; 512 * 512],
+//!     )
+//!     .backend(BackendKind::Estimate)
+//!     .submit()?;
+//! assert_eq!(gemm.wait()?.result.unwrap().output[0], 8.0); // 16 * 1.0 * 0.5
+//! assert!(estimate.wait()?.result.unwrap().estimate.unwrap().cycles > 0);
+//! let report = server.shutdown();
+//! assert_eq!(report.jobs, 2);
 //! # Ok::<(), ntx_sched::SchedError>(())
 //! ```
+//!
+//! The same builder enqueues into a [`JobQueue`] for the synchronous
+//! [`ScaleOutExecutor`]: `queue.job("axpy").axpy(a, x, y).submit()`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -80,18 +92,20 @@ pub mod job;
 pub mod pipeline;
 pub mod report;
 pub mod server;
+pub mod session;
 pub mod tiler;
 
 pub use backend::{
-    AdmittedJob, AdmittedWork, AnalyticalBackend, Backend, BackendKind, JobEstimate,
-    SimulatorBackend,
+    AdmittedJob, AdmittedWork, AnalyticalBackend, Backend, BackendKind, DurationTable, JobEstimate,
+    Placement, SimulatorBackend,
 };
 pub use executor::{run_sharded, BatchResult, JobResult, ScaleOutConfig, ScaleOutExecutor};
-pub use farm::{ClusterFarm, JobMeta, PlacedJob};
-pub use job::{Job, JobKind, JobOpts, JobQueue, RawJob};
+pub use farm::{ClusterFarm, JobMeta, PlacedJob, ShardRetire};
+pub use job::{Job, JobClass, JobKind, JobOpts, JobQueue, RawJob};
 pub use pipeline::TilePipeline;
-pub use report::ScaleOutReport;
-pub use server::{Completion, JobHandle, Server, ServerConfig, ServerHandle, ServingReport};
+pub use report::{ScaleOutReport, ServingReport};
+pub use server::{AdmissionMode, Completion, JobHandle, Server, ServerConfig, ServerHandle};
+pub use session::{JobBuilder, JobSink, ReadyJob, Session};
 pub use tiler::{ClusterPlan, Readback, ReadbackSource, Tiler};
 
 use ntx_isa::ConfigError;

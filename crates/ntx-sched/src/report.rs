@@ -1,7 +1,9 @@
-//! Aggregate measurement records of scale-out runs.
+//! Aggregate measurement records of scale-out runs and serving
+//! sessions.
 
 use ntx_model::power::{EnergyModel, ScaleOutEnergy};
 use ntx_sim::PerfSnapshot;
+use std::time::Duration;
 
 /// Counters of one scale-out window: per-cluster deltas plus the
 /// wall-clock (makespan) of the slowest cluster.
@@ -125,6 +127,95 @@ impl ScaleOutReport {
     }
 }
 
+/// Aggregate serving statistics of one [`Server`](crate::Server) run,
+/// returned by [`Server::shutdown`](crate::Server::shutdown).
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// Clusters in the farm.
+    pub clusters: usize,
+    /// Jobs completed (including failures).
+    pub jobs: u64,
+    /// Jobs executed bit-accurately on the farm.
+    pub simulated: u64,
+    /// Jobs answered by the analytical backend.
+    pub estimated: u64,
+    /// Jobs rejected at admission.
+    pub failed: u64,
+    /// Scheduling rounds executed: waves in wave mode, non-empty
+    /// admission groups in continuous mode.
+    pub waves: u64,
+    /// Jobs whose wall-clock deadline was missed.
+    pub deadline_misses: u64,
+    /// Wall-clock seconds from server start to shutdown.
+    pub wall_seconds: f64,
+    /// Sum of per-job wall-clock latencies.
+    pub total_latency: Duration,
+    /// Largest per-job wall-clock latency.
+    pub max_latency: Duration,
+    /// Simulated makespan cycles of the run: summed wave windows in
+    /// wave mode, the latest cluster clock in continuous mode.
+    pub makespan_cycles: u64,
+    /// Cluster-cycles actually spent executing shards.
+    pub busy_cluster_cycles: u64,
+}
+
+impl ServingReport {
+    /// An empty report for a `clusters`-wide farm.
+    pub(crate) fn new(clusters: usize) -> Self {
+        Self {
+            clusters,
+            jobs: 0,
+            simulated: 0,
+            estimated: 0,
+            failed: 0,
+            waves: 0,
+            deadline_misses: 0,
+            wall_seconds: 0.0,
+            total_latency: Duration::ZERO,
+            max_latency: Duration::ZERO,
+            makespan_cycles: 0,
+            busy_cluster_cycles: 0,
+        }
+    }
+
+    /// Completed jobs per wall-clock second. A run too short for the
+    /// clock to advance (or one that served nothing) reports 0 rather
+    /// than dividing by zero.
+    #[must_use]
+    pub fn jobs_per_second(&self) -> f64 {
+        if self.wall_seconds <= 0.0 || self.jobs == 0 {
+            0.0
+        } else {
+            self.jobs as f64 / self.wall_seconds
+        }
+    }
+
+    /// Mean per-job wall-clock latency ([`Duration::ZERO`] when no
+    /// jobs were served).
+    #[must_use]
+    pub fn mean_latency(&self) -> Duration {
+        if self.jobs == 0 {
+            Duration::ZERO
+        } else {
+            self.total_latency / u32::try_from(self.jobs).unwrap_or(u32::MAX)
+        }
+    }
+
+    /// Fraction of cluster-cycles inside the serving makespan that
+    /// executed shard work (1.0 = every cluster busy the whole time;
+    /// 0.0 for a zero-duration run — the guard against an empty or
+    /// estimate-only session).
+    #[must_use]
+    pub fn occupancy(&self) -> f64 {
+        let total = self.makespan_cycles.saturating_mul(self.clusters as u64);
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_cluster_cycles as f64 / total as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +246,37 @@ mod tests {
         wide.makespan_cycles = 2500;
         assert!((wide.speedup_vs(&base) - 3.2).abs() < 1e-12);
         assert!((wide.scaling_efficiency_vs(&base) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serving_rates_guard_zero_duration_runs() {
+        // A server shut down before the wall clock advanced (or one
+        // that only served estimates, which spend no farm cycles) must
+        // report clean zeros, not NaN or a divide panic.
+        let r = ServingReport::new(4);
+        assert_eq!(r.jobs_per_second(), 0.0);
+        assert_eq!(r.occupancy(), 0.0);
+        assert_eq!(r.mean_latency(), Duration::ZERO);
+
+        // Jobs served but zero wall time (sub-resolution run).
+        let mut r = ServingReport::new(4);
+        r.jobs = 3;
+        r.wall_seconds = 0.0;
+        assert_eq!(r.jobs_per_second(), 0.0);
+        assert!(r.jobs_per_second().is_finite());
+
+        // Estimate-only session: jobs counted, no makespan cycles.
+        r.makespan_cycles = 0;
+        r.busy_cluster_cycles = 0;
+        assert_eq!(r.occupancy(), 0.0);
+        assert!(r.occupancy().is_finite());
+
+        // And a normal run still computes real rates.
+        r.wall_seconds = 2.0;
+        r.makespan_cycles = 100;
+        r.busy_cluster_cycles = 200;
+        assert!((r.jobs_per_second() - 1.5).abs() < 1e-12);
+        assert!((r.occupancy() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -1,33 +1,70 @@
-//! The async job-serving front-end.
+//! The always-on job-serving front-end.
 //!
-//! [`Server`] owns a worker thread running a
-//! [`ScaleOutExecutor`](crate::ScaleOutExecutor); any number of client
-//! threads submit jobs through cloned [`ServerHandle`]s over an mpsc
-//! channel. The worker gathers pending submissions into *waves*,
-//! orders each wave by priority (then submission order), runs it
-//! through the pipelined farm — so one wave's jobs overlap across the
-//! clusters — and delivers a [`Completion`] per job, either through
-//! the [`JobHandle`] returned at submission or through a callback.
+//! [`Server`] owns a worker thread driving the scale-out backends; any
+//! number of client threads submit jobs through cloned [`Session`]s
+//! (see [`Server::session`]) over an mpsc channel. Two admission
+//! modes, selected by [`ServerConfig::admission`]:
+//!
+//! * [`AdmissionMode::Continuous`] (the **default**) — the farm runs
+//!   as a persistent service. Every submission is validated, planned
+//!   and placed onto the least-loaded clusters the moment it arrives
+//!   (graded cluster subsets sized by the measured-duration
+//!   [`DurationTable`]); the worker interleaves admission with
+//!   per-shard farm events ([`ClusterFarm::step`]) and delivers each
+//!   [`Completion`] the event its last shard retires. A late-arriving
+//!   small job lands on whichever cluster frees up first instead of
+//!   waiting for an entire wave to retire.
+//! * [`AdmissionMode::Wave`] — the PR 3 batching reference: pending
+//!   submissions are gathered into priority-ordered waves and each
+//!   wave runs to completion before its completions are delivered.
+//!   Kept as the differential baseline the benchmarks compare
+//!   continuous admission against.
+//!
 //! Per-job wall-clock deadlines are checked at completion and reported
 //! both per job and in the final [`ServingReport`].
+//!
+//! [`ClusterFarm::step`]: crate::ClusterFarm::step
+//! [`DurationTable`]: crate::DurationTable
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::backend::{
+    AdmittedJob, AnalyticalBackend, Backend, BackendKind, DurationTable, SimulatorBackend,
+};
 use crate::executor::{JobResult, ScaleOutConfig, ScaleOutExecutor};
 use crate::job::{Job, JobKind, JobOpts, JobQueue};
+use crate::report::ServingReport;
+use crate::session::Session;
 use crate::SchedError;
+
+/// How the worker admits submissions into the farm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionMode {
+    /// Feed each job into the running farm the moment it arrives and
+    /// deliver its completion the event its last shard retires (the
+    /// default).
+    #[default]
+    Continuous,
+    /// Gather pending submissions into priority-ordered waves and run
+    /// each wave to completion before delivering (the PR 3 reference
+    /// behaviour).
+    Wave,
+}
 
 /// Configuration of the serving front-end.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// The executor the worker runs.
+    /// The scale-out system the worker runs.
     pub scale_out: ScaleOutConfig,
-    /// Maximum submissions gathered into one scheduling wave.
+    /// Maximum submissions gathered into one scheduling round (a wave
+    /// in wave mode; an admission group in continuous mode).
     pub max_wave: usize,
+    /// Admission mode (continuous by default).
+    pub admission: AdmissionMode,
 }
 
 impl Default for ServerConfig {
@@ -35,6 +72,7 @@ impl Default for ServerConfig {
         Self {
             scale_out: ScaleOutConfig::default(),
             max_wave: 64,
+            admission: AdmissionMode::default(),
         }
     }
 }
@@ -48,6 +86,13 @@ impl ServerConfig {
             ..Self::default()
         }
     }
+
+    /// Selects wave-batched admission (the differential baseline).
+    #[must_use]
+    pub fn wave_batched(mut self) -> Self {
+        self.admission = AdmissionMode::Wave;
+        self
+    }
 }
 
 /// What a client gets back for one submission.
@@ -57,8 +102,8 @@ pub struct Completion {
     pub id: u64,
     /// The job's result, or why it was rejected.
     pub result: Result<JobResult, SchedError>,
-    /// Wall-clock time from submission to completion (includes wave
-    /// batching and any simulation ahead of this job).
+    /// Wall-clock time from submission to completion (includes any
+    /// simulation ahead of this job).
     pub latency: Duration,
     /// True when the job carried a deadline and `latency` overran it.
     pub deadline_missed: bool,
@@ -80,9 +125,9 @@ struct Submission {
     reply: Reply,
 }
 
-/// Channel protocol between handles and the worker. The explicit
+/// Channel protocol between sessions and the worker. The explicit
 /// shutdown sentinel lets [`Server::shutdown`] stop the worker even
-/// while cloned [`ServerHandle`]s keep the channel alive.
+/// while cloned [`Session`]s keep the channel alive.
 enum Msg {
     Submit(Box<Submission>),
     Shutdown,
@@ -102,9 +147,25 @@ impl JobHandle {
     /// # Errors
     ///
     /// [`SchedError::Shutdown`] when the server dropped the job (it was
-    /// shut down before the wave ran).
+    /// shut down before the job ran).
     pub fn wait(self) -> Result<Completion, SchedError> {
         self.rx.recv().map_err(|_| SchedError::Shutdown)
+    }
+
+    /// Blocks until the job completes or `timeout` elapses; `Ok(None)`
+    /// on timeout, so callers can keep the handle and try again (or
+    /// give up without losing the submission id).
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::Shutdown`] when the server dropped the job — the
+    /// completion will never arrive.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Result<Option<Completion>, SchedError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(c) => Ok(Some(c)),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => Ok(None),
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Err(SchedError::Shutdown),
+        }
     }
 
     /// Non-blocking poll; `Ok(None)` while the job is still in flight.
@@ -116,13 +177,15 @@ impl JobHandle {
     pub fn try_wait(&mut self) -> Result<Option<Completion>, SchedError> {
         match self.rx.try_recv() {
             Ok(c) => Ok(Some(c)),
-            Err(std::sync::mpsc::TryRecvError::Empty) => Ok(None),
-            Err(std::sync::mpsc::TryRecvError::Disconnected) => Err(SchedError::Shutdown),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(SchedError::Shutdown),
         }
     }
 }
 
 /// Cloneable submission endpoint; safe to share across client threads.
+/// Prefer the fluent [`Session`] view ([`ServerHandle::session`]) —
+/// the `submit*` methods here are deprecated shims.
 #[derive(Debug, Clone)]
 pub struct ServerHandle {
     tx: Sender<Msg>,
@@ -130,13 +193,25 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
+    /// A fluent [`Session`] over this handle.
+    #[must_use]
+    pub fn session(&self) -> Session {
+        Session {
+            handle: self.clone(),
+        }
+    }
+
     /// Submits a job with default options; returns its handle.
     ///
     /// # Errors
     ///
     /// [`SchedError::Shutdown`] when the server is no longer running.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the session builder: `handle.session().job(label).kind(kind).submit()`"
+    )]
     pub fn submit(&self, label: impl Into<String>, kind: JobKind) -> Result<JobHandle, SchedError> {
-        self.submit_with(label, kind, JobOpts::default())
+        self.send_handle(label.into(), kind, JobOpts::default())
     }
 
     /// Submits a job with explicit options; returns its handle.
@@ -144,15 +219,17 @@ impl ServerHandle {
     /// # Errors
     ///
     /// [`SchedError::Shutdown`] when the server is no longer running.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the session builder: `handle.session().job(label).kind(kind).priority(p).submit()`"
+    )]
     pub fn submit_with(
         &self,
         label: impl Into<String>,
         kind: JobKind,
         opts: JobOpts,
     ) -> Result<JobHandle, SchedError> {
-        let (tx, rx) = channel();
-        let id = self.send(label.into(), kind, opts, Reply::Handle(tx))?;
-        Ok(JobHandle { id, rx })
+        self.send_handle(label.into(), kind, opts)
     }
 
     /// Submits a job whose completion is delivered to `callback` on the
@@ -161,6 +238,11 @@ impl ServerHandle {
     /// # Errors
     ///
     /// [`SchedError::Shutdown`] when the server is no longer running.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the session builder: \
+                `handle.session().job(label).kind(kind).submit_callback(cb)`"
+    )]
     pub fn submit_callback(
         &self,
         label: impl Into<String>,
@@ -168,12 +250,30 @@ impl ServerHandle {
         opts: JobOpts,
         callback: impl FnOnce(Completion) + Send + 'static,
     ) -> Result<u64, SchedError> {
-        self.send(
-            label.into(),
-            kind,
-            opts,
-            Reply::Callback(Box::new(callback)),
-        )
+        self.send_callback(label.into(), kind, opts, callback)
+    }
+
+    /// Handle-reply submission primitive (the [`Session`] sink).
+    pub(crate) fn send_handle(
+        &self,
+        label: String,
+        kind: JobKind,
+        opts: JobOpts,
+    ) -> Result<JobHandle, SchedError> {
+        let (tx, rx) = channel();
+        let id = self.send(label, kind, opts, Reply::Handle(tx))?;
+        Ok(JobHandle { id, rx })
+    }
+
+    /// Callback-reply submission primitive (the [`Session`] sink).
+    pub(crate) fn send_callback(
+        &self,
+        label: String,
+        kind: JobKind,
+        opts: JobOpts,
+        callback: impl FnOnce(Completion) + Send + 'static,
+    ) -> Result<u64, SchedError> {
+        self.send(label, kind, opts, Reply::Callback(Box::new(callback)))
     }
 
     fn send(
@@ -198,88 +298,8 @@ impl ServerHandle {
     }
 }
 
-/// Aggregate serving statistics, returned by [`Server::shutdown`].
-#[derive(Debug, Clone)]
-pub struct ServingReport {
-    /// Clusters in the farm.
-    pub clusters: usize,
-    /// Jobs completed (including failures).
-    pub jobs: u64,
-    /// Jobs executed bit-accurately on the farm.
-    pub simulated: u64,
-    /// Jobs answered by the analytical backend.
-    pub estimated: u64,
-    /// Jobs rejected at admission.
-    pub failed: u64,
-    /// Scheduling waves executed.
-    pub waves: u64,
-    /// Jobs whose wall-clock deadline was missed.
-    pub deadline_misses: u64,
-    /// Wall-clock seconds from server start to shutdown.
-    pub wall_seconds: f64,
-    /// Sum of per-job wall-clock latencies.
-    pub total_latency: Duration,
-    /// Largest per-job wall-clock latency.
-    pub max_latency: Duration,
-    /// Simulated makespan cycles over all waves (pipelined accounting).
-    pub makespan_cycles: u64,
-    /// Cluster-cycles actually spent executing shards.
-    pub busy_cluster_cycles: u64,
-}
-
-impl ServingReport {
-    fn new(clusters: usize) -> Self {
-        Self {
-            clusters,
-            jobs: 0,
-            simulated: 0,
-            estimated: 0,
-            failed: 0,
-            waves: 0,
-            deadline_misses: 0,
-            wall_seconds: 0.0,
-            total_latency: Duration::ZERO,
-            max_latency: Duration::ZERO,
-            makespan_cycles: 0,
-            busy_cluster_cycles: 0,
-        }
-    }
-
-    /// Completed jobs per wall-clock second.
-    #[must_use]
-    pub fn jobs_per_second(&self) -> f64 {
-        if self.wall_seconds == 0.0 {
-            0.0
-        } else {
-            self.jobs as f64 / self.wall_seconds
-        }
-    }
-
-    /// Mean per-job wall-clock latency.
-    #[must_use]
-    pub fn mean_latency(&self) -> Duration {
-        if self.jobs == 0 {
-            Duration::ZERO
-        } else {
-            self.total_latency / u32::try_from(self.jobs).unwrap_or(u32::MAX)
-        }
-    }
-
-    /// Fraction of cluster-cycles inside the serving makespan that
-    /// executed shard work (1.0 = every cluster busy the whole time).
-    #[must_use]
-    pub fn occupancy(&self) -> f64 {
-        let total = self.makespan_cycles.saturating_mul(self.clusters as u64);
-        if total == 0 {
-            0.0
-        } else {
-            self.busy_cluster_cycles as f64 / total as f64
-        }
-    }
-}
-
-/// The serving front-end: an executor on a worker thread behind an
-/// mpsc submission channel.
+/// The serving front-end: a persistent farm on a worker thread behind
+/// an mpsc submission channel.
 #[derive(Debug)]
 pub struct Server {
     handle: ServerHandle,
@@ -291,7 +311,10 @@ impl Server {
     #[must_use]
     pub fn start(config: ServerConfig) -> Self {
         let (tx, rx) = channel();
-        let worker = std::thread::spawn(move || worker_loop(&rx, config));
+        let worker = std::thread::spawn(move || match config.admission {
+            AdmissionMode::Continuous => continuous_loop(&rx, config),
+            AdmissionMode::Wave => wave_loop(&rx, config),
+        });
         Self {
             handle: ServerHandle {
                 tx,
@@ -301,38 +324,54 @@ impl Server {
         }
     }
 
+    /// A fluent, cloneable [`Session`] for submitting jobs — the
+    /// primary client API.
+    #[must_use]
+    pub fn session(&self) -> Session {
+        self.handle.session()
+    }
+
     /// A cloneable submission endpoint for client threads.
     #[must_use]
     pub fn handle(&self) -> ServerHandle {
         self.handle.clone()
     }
 
-    /// Submits from the owning thread (see [`ServerHandle::submit`]).
+    /// Submits from the owning thread with default options.
     ///
     /// # Errors
     ///
     /// [`SchedError::Shutdown`] when the worker has exited.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the session builder: `server.session().job(label).kind(kind).submit()`"
+    )]
     pub fn submit(&self, label: impl Into<String>, kind: JobKind) -> Result<JobHandle, SchedError> {
-        self.handle.submit(label, kind)
+        self.handle
+            .send_handle(label.into(), kind, JobOpts::default())
     }
 
-    /// Submits with options (see [`ServerHandle::submit_with`]).
+    /// Submits from the owning thread with explicit options.
     ///
     /// # Errors
     ///
     /// [`SchedError::Shutdown`] when the worker has exited.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the session builder: `server.session().job(label).kind(kind).priority(p).submit()`"
+    )]
     pub fn submit_with(
         &self,
         label: impl Into<String>,
         kind: JobKind,
         opts: JobOpts,
     ) -> Result<JobHandle, SchedError> {
-        self.handle.submit_with(label, kind, opts)
+        self.handle.send_handle(label.into(), kind, opts)
     }
 
     /// Stops the worker after every submission enqueued before this
     /// call has been served, and returns the aggregate serving
-    /// statistics. Cloned handles outliving the server see
+    /// statistics. Cloned sessions outliving the server see
     /// [`SchedError::Shutdown`] on their next submission; handles of
     /// jobs the worker never reached disconnect.
     ///
@@ -392,14 +431,125 @@ fn deliver(
     }
 }
 
-/// One pending wave entry: everything needed to route the completion.
+/// One pending submission: everything needed to route the completion.
 struct Pending {
     submitted: Instant,
     deadline: Option<Duration>,
     reply: Reply,
 }
 
-fn worker_loop(rx: &Receiver<Msg>, config: ServerConfig) -> ServingReport {
+/// Removes the pending entry of `id`, if the client is still waiting.
+fn take(pending: &mut Vec<(u64, Pending)>, id: u64) -> Option<Pending> {
+    pending
+        .iter()
+        .position(|(pid, _)| *pid == id)
+        .map(|i| pending.remove(i).1)
+}
+
+/// The continuous-admission worker: the farm never stops between jobs.
+///
+/// Each trip around the loop (1) pulls every submission currently on
+/// the channel — blocking only when the farm is idle — and admits the
+/// group in priority order, each job placed on the least-loaded
+/// clusters at that instant; (2) retires exactly one farm shard event,
+/// folds its measured duration into the [`DurationTable`], and
+/// delivers the completion if that job just finished. Admission is
+/// therefore interleaved with execution at shard granularity: a job
+/// that arrives mid-run waits at most one shard before it is placed,
+/// and its completion never waits for unrelated jobs.
+fn continuous_loop(rx: &Receiver<Msg>, config: ServerConfig) -> ServingReport {
+    let mut sim = SimulatorBackend::new(config.scale_out);
+    let mut model = AnalyticalBackend::new(&config.scale_out);
+    let mut table = DurationTable::new();
+    let mut stats = ServingReport::new(config.scale_out.clusters);
+    let mut pending: Vec<(u64, Pending)> = Vec::new();
+    let mut group: Vec<Submission> = Vec::new();
+    let t0 = Instant::now();
+    let mut open = true;
+    loop {
+        // Gather the submissions that have arrived. Block only when
+        // the farm has nothing to do; otherwise take what is there and
+        // get back to retiring shards.
+        group.clear();
+        if open {
+            if !sim.has_farm_work() {
+                match rx.recv() {
+                    Ok(Msg::Submit(s)) => group.push(*s),
+                    Ok(Msg::Shutdown) | Err(_) => open = false,
+                }
+            }
+            while open && group.len() < config.max_wave.max(1) {
+                match rx.try_recv() {
+                    Ok(Msg::Submit(s)) => group.push(*s),
+                    Ok(Msg::Shutdown) => open = false,
+                    Err(_) => break,
+                }
+            }
+        }
+        // Admit the group: priority first, submission order on ties.
+        if !group.is_empty() {
+            stats.waves += 1;
+        }
+        group.sort_by_key(|s| (std::cmp::Reverse(s.opts.priority), s.id));
+        for s in group.drain(..) {
+            let job = Job {
+                id: s.id,
+                label: s.label,
+                kind: s.kind,
+                opts: s.opts,
+            };
+            let p = Pending {
+                submitted: s.submitted,
+                deadline: s.opts.deadline,
+                reply: s.reply,
+            };
+            if let Err(e) = job.validate() {
+                deliver(&mut stats, p.submitted, p.deadline, p.reply, job.id, Err(e));
+                continue;
+            }
+            match job.opts.backend {
+                // Estimates never touch the farm: answer immediately.
+                BackendKind::Estimate => {
+                    let id = job.id;
+                    let result = match model.admit(&job) {
+                        Ok(work) => {
+                            let mut batch = model.run_batch(vec![AdmittedJob { job, work }]);
+                            Ok(batch.results.pop().expect("one result per admitted job"))
+                        }
+                        Err(e) => Err(e),
+                    };
+                    deliver(&mut stats, p.submitted, p.deadline, p.reply, id, result);
+                }
+                BackendKind::Simulate => match sim.admit_continuous(&job, &table) {
+                    Ok(_) => pending.push((job.id, p)),
+                    Err(e) => {
+                        deliver(&mut stats, p.submitted, p.deadline, p.reply, job.id, Err(e));
+                    }
+                },
+            }
+        }
+        // Retire one shard event and deliver any finished job.
+        if let Some(retire) = sim.step_farm() {
+            table.observe(retire.class, retire.est_cycles, retire.cycles);
+            stats.busy_cluster_cycles += retire.cycles;
+            if let Some(result) = retire.result {
+                if let Some(p) = take(&mut pending, result.job_id) {
+                    let id = result.job_id;
+                    deliver(&mut stats, p.submitted, p.deadline, p.reply, id, Ok(result));
+                }
+            }
+        } else if !open {
+            break;
+        }
+    }
+    stats.makespan_cycles = sim.farm_makespan();
+    stats.wall_seconds = t0.elapsed().as_secs_f64();
+    stats
+}
+
+/// The wave-batched worker (the PR 3 baseline, kept behind
+/// [`AdmissionMode::Wave`] as the differential reference).
+fn wave_loop(rx: &Receiver<Msg>, config: ServerConfig) -> ServingReport {
     let mut exec = ScaleOutExecutor::new(config.scale_out);
     let mut stats = ServingReport::new(config.scale_out.clusters);
     let t0 = Instant::now();
@@ -449,12 +599,6 @@ fn worker_loop(rx: &Receiver<Msg>, config: ServerConfig) -> ServingReport {
             queue.push_job(job);
             pending.push((s.id, p));
         }
-        let take = |pending: &mut Vec<(u64, Pending)>, id: u64| -> Option<Pending> {
-            pending
-                .iter()
-                .position(|(pid, _)| *pid == id)
-                .map(|i| pending.remove(i).1)
-        };
         // Run the wave; a job rejected at admission (e.g. no feasible
         // sharding) fails alone — its completion says why — and the
         // rest of the wave is retried without it.
@@ -532,7 +676,6 @@ fn worker_loop(rx: &Receiver<Msg>, config: ServerConfig) -> ServingReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::backend::BackendKind;
 
     fn axpy(n: usize, seed: u32) -> JobKind {
         let data = |mut s: u32| -> Vec<f32> {
@@ -552,15 +695,17 @@ mod tests {
         }
     }
 
-    #[test]
-    fn serves_multiple_clients_and_reports() {
-        let server = Server::start(ServerConfig::with_clusters(2));
+    fn serves_multiple_clients(config: ServerConfig) {
+        let server = Server::start(config);
         let mut handles = Vec::new();
         let mut threads = Vec::new();
         for t in 0..3u32 {
-            let h = server.handle();
+            let session = server.session();
             threads.push(std::thread::spawn(move || {
-                h.submit(format!("client-{t}"), axpy(300 + t as usize * 100, t + 1))
+                session
+                    .job(format!("client-{t}"))
+                    .kind(axpy(300 + t as usize * 100, t + 1))
+                    .submit()
                     .expect("server running")
             }));
         }
@@ -583,34 +728,36 @@ mod tests {
     }
 
     #[test]
+    fn serves_multiple_clients_continuously_and_reports() {
+        serves_multiple_clients(ServerConfig::with_clusters(2));
+    }
+
+    #[test]
+    fn serves_multiple_clients_in_waves_and_reports() {
+        serves_multiple_clients(ServerConfig::with_clusters(2).wave_batched());
+    }
+
+    #[test]
     fn bad_job_fails_alone_and_estimates_flow_through() {
         let server = Server::start(ServerConfig::with_clusters(2));
-        let good = server.submit("good", axpy(256, 7)).unwrap();
-        let bad = server
-            .submit(
-                "bad",
-                JobKind::Axpy {
-                    a: 1.0,
-                    x: vec![1.0; 4],
-                    y: vec![1.0; 3],
-                },
-            )
+        let session = server.session();
+        let good = session.job("good").kind(axpy(256, 7)).submit().unwrap();
+        let bad = session
+            .job("bad")
+            .axpy(1.0, vec![1.0; 4], vec![1.0; 3])
+            .submit()
             .unwrap();
-        let est = server
-            .submit_with(
-                "estimate",
-                axpy(4096, 9),
-                JobOpts {
-                    backend: BackendKind::Estimate,
-                    ..JobOpts::default()
-                },
-            )
+        let est = session
+            .job("estimate")
+            .kind(axpy(4096, 9))
+            .estimate()
+            .submit()
             .unwrap();
         let g = good.wait().unwrap();
         assert!(g.result.is_ok());
         let b = bad.wait().unwrap();
         assert!(matches!(b.result, Err(SchedError::Shape(_))));
-        let e = e_unwrap(est.wait().unwrap());
+        let e = est.wait().unwrap().result.expect("estimate served");
         assert!(e.estimate.is_some());
         let report = server.shutdown();
         assert_eq!(report.jobs, 3);
@@ -618,59 +765,124 @@ mod tests {
         assert_eq!(report.estimated, 1);
     }
 
-    fn e_unwrap(c: Completion) -> JobResult {
-        c.result.expect("estimate served")
-    }
-
     #[test]
-    fn callbacks_and_deadlines() {
+    fn callbacks_deadlines_and_wait_timeout() {
         let server = Server::start(ServerConfig::with_clusters(1));
+        let session = server.session();
         let (tx, rx) = channel();
-        server
-            .handle()
-            .submit_callback(
-                "cb",
-                axpy(200, 3),
-                JobOpts::default().with_deadline(Duration::from_secs(3600)),
-                move |c| {
-                    let _ = tx.send((c.id, c.deadline_missed, c.result.is_ok()));
-                },
-            )
+        session
+            .job("cb")
+            .kind(axpy(200, 3))
+            .deadline(Duration::from_secs(3600))
+            .submit_callback(move |c| {
+                let _ = tx.send((c.id, c.deadline_missed, c.result.is_ok()));
+            })
             .expect("server running");
         let (_, missed, ok) = rx.recv().expect("callback fired");
         assert!(ok);
         assert!(!missed);
         // An already-expired deadline is reported as missed.
-        let h = server
-            .submit_with(
-                "late",
-                axpy(200, 5),
-                JobOpts::default().with_deadline(Duration::ZERO),
-            )
+        let mut h = session
+            .job("late")
+            .kind(axpy(200, 5))
+            .deadline(Duration::ZERO)
+            .submit()
             .unwrap();
-        let c = h.wait().unwrap();
+        // wait_timeout keeps the handle on timeout and hands the
+        // completion over once it arrives.
+        let c = loop {
+            match h.wait_timeout(Duration::from_millis(50)) {
+                Ok(Some(c)) => break c,
+                Ok(None) => continue,
+                Err(e) => panic!("server dropped the job: {e}"),
+            }
+        };
         assert!(c.deadline_missed);
         let report = server.shutdown();
         assert_eq!(report.deadline_misses, 1);
-        // Submission after shutdown is a clean error — the handle's
-        // channel is gone.
-        // (The server itself is consumed by shutdown, so clients see
-        // Shutdown through their cloned handles.)
     }
 
     #[test]
     fn handles_survive_shutdown_ordering() {
         let server = Server::start(ServerConfig::with_clusters(1));
-        let handle = server.handle();
-        let h = server.submit("pre", axpy(128, 11)).unwrap();
+        let session = server.session();
+        let h = session.job("pre").kind(axpy(128, 11)).submit().unwrap();
         let report = server.shutdown();
         assert_eq!(report.jobs, 1);
         // The in-flight job was drained before shutdown returned.
         assert!(h.wait().is_ok());
         // New submissions are rejected.
         assert!(matches!(
-            handle.submit("post", axpy(16, 1)),
+            session.job("post").kind(axpy(16, 1)).submit(),
             Err(SchedError::Shutdown)
         ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_submit_shims_still_serve() {
+        let server = Server::start(ServerConfig::with_clusters(1));
+        let h = server.submit("direct", axpy(64, 3)).unwrap();
+        let hw = server
+            .submit_with(
+                "with-opts",
+                axpy(64, 5),
+                JobOpts::default().with_priority(1),
+            )
+            .unwrap();
+        let (tx, rx) = channel();
+        server
+            .handle()
+            .submit_callback("cb", axpy(64, 7), JobOpts::default(), move |c| {
+                let _ = tx.send(c.result.is_ok());
+            })
+            .unwrap();
+        assert!(h.wait().unwrap().result.is_ok());
+        assert!(hw.wait().unwrap().result.is_ok());
+        assert!(rx.recv().unwrap());
+        let report = server.shutdown();
+        assert_eq!(report.jobs, 3);
+    }
+
+    #[test]
+    fn continuous_mode_streams_completions_mid_run() {
+        // Continuous admission delivers each completion the shard
+        // event its job retires: with several substantial jobs in the
+        // farm, the first delivery happens well before the last —
+        // unlike a wave, which holds every completion until the whole
+        // batch has retired (the report-serving benchmark measures
+        // that contrast; the deterministic virtual-time overtake is
+        // asserted in the proptest suite). Exact delivery interleaving
+        // depends on how submissions group, so this asserts the
+        // streaming property rather than a specific order.
+        let server = Server::start(ServerConfig::with_clusters(4));
+        let session = server.session();
+        let latencies = Arc::new(std::sync::Mutex::new(Vec::new()));
+        for (label, n, seed) in [
+            ("warmup", 30_000, 7u32),
+            ("big", 59_998, 11),
+            ("medium", 2000, 13),
+            ("small", 64, 19),
+        ] {
+            let latencies = Arc::clone(&latencies);
+            session
+                .job(label)
+                .kind(axpy(n, seed))
+                .submit_callback(move |c| {
+                    assert!(c.result.is_ok());
+                    latencies.lock().unwrap().push(c.latency);
+                })
+                .expect("server running");
+        }
+        let report = server.shutdown();
+        assert_eq!(report.jobs, 4);
+        let latencies = latencies.lock().unwrap();
+        let first = *latencies.iter().min().expect("deliveries");
+        let last = *latencies.iter().max().expect("deliveries");
+        assert!(
+            first.as_secs_f64() < 0.9 * last.as_secs_f64(),
+            "completions should stream out as jobs retire, not bunch at the end: \
+             first {first:?} vs last {last:?}"
+        );
     }
 }

@@ -1,0 +1,281 @@
+//! The client-facing submission API: persistent sessions and the
+//! fluent job builder.
+//!
+//! A [`Session`] is a cheap, cloneable connection to a running
+//! [`Server`](crate::Server) — the always-on farm of the companion
+//! paper's HMC substrate. All submission surfaces funnel through one
+//! fluent [`JobBuilder`]:
+//!
+//! ```
+//! use ntx_kernels::blas::GemmKernel;
+//! use ntx_sched::{Server, ServerConfig};
+//! use std::time::Duration;
+//!
+//! let server = Server::start(ServerConfig::with_clusters(2));
+//! let session = server.session();
+//! let handle = session
+//!     .job("gemm 16")
+//!     .gemm(GemmKernel { m: 16, k: 16, n: 16 }, vec![1.0; 256], vec![0.5; 256])
+//!     .priority(2)
+//!     .deadline(Duration::from_secs(60))
+//!     .submit()?;
+//! let done = handle.wait()?;
+//! assert_eq!(done.result.unwrap().output[0], 8.0);
+//! let report = server.shutdown();
+//! assert_eq!(report.jobs, 1);
+//! # Ok::<(), ntx_sched::SchedError>(())
+//! ```
+//!
+//! The same builder submits into a plain [`JobQueue`] for the
+//! synchronous executor — the builder is generic over its [`JobSink`],
+//! so `queue.job("axpy").axpy(a, x, y).submit()` and
+//! `session.job("axpy").axpy(a, x, y).submit()` read identically; only
+//! the receipt differs (a queue id vs a waitable
+//! [`JobHandle`](crate::JobHandle)). The builder is type-state-safe: a
+//! job's payload must be chosen (`gemm` / `conv2d` / `axpy` /
+//! `stencil2d` / `raw` / `kind`) before serving options and `submit`
+//! become available, so "submitted an empty job" is unrepresentable.
+
+use ntx_kernels::blas::GemmKernel;
+use ntx_kernels::conv::Conv2dKernel;
+use std::time::Duration;
+
+use crate::backend::BackendKind;
+use crate::job::{JobKind, JobOpts, JobQueue, RawJob};
+use crate::server::{Completion, JobHandle, ServerHandle};
+use crate::SchedError;
+
+/// Where a [`JobBuilder`] delivers its finished job. Implemented by
+/// `&Session` (submission to the running farm, receipt =
+/// `Result<JobHandle>`) and `&mut JobQueue` (enqueue for the
+/// synchronous executor, receipt = the job id).
+pub trait JobSink {
+    /// What the sink hands back at submission.
+    type Receipt;
+    /// Accepts one fully-specified job.
+    fn accept(self, label: String, kind: JobKind, opts: JobOpts) -> Self::Receipt;
+}
+
+impl JobSink for &mut JobQueue {
+    type Receipt = u64;
+    fn accept(self, label: String, kind: JobKind, opts: JobOpts) -> u64 {
+        self.enqueue(label, kind, opts)
+    }
+}
+
+impl JobSink for &Session {
+    type Receipt = Result<JobHandle, SchedError>;
+    fn accept(self, label: String, kind: JobKind, opts: JobOpts) -> Self::Receipt {
+        self.handle.send_handle(label, kind, opts)
+    }
+}
+
+/// A persistent client connection to a running [`Server`](crate::Server):
+/// the entry point of the fluent submission API. Clone it freely — all
+/// clones feed the same continuously-admitting farm, and each
+/// [`JobBuilder::submit`](ReadyJob::submit) is admitted the moment a
+/// cluster can take it, not at the next batch boundary.
+#[derive(Debug, Clone)]
+pub struct Session {
+    pub(crate) handle: ServerHandle,
+}
+
+impl Session {
+    /// Starts building a job with the given report label.
+    pub fn job(&self, label: impl Into<String>) -> JobBuilder<&Session> {
+        JobBuilder {
+            sink: self,
+            label: label.into(),
+        }
+    }
+}
+
+impl JobQueue {
+    /// Starts building a job to enqueue; [`ReadyJob::submit`] returns
+    /// the queue-assigned id.
+    pub fn job(&mut self, label: impl Into<String>) -> JobBuilder<&mut JobQueue> {
+        JobBuilder {
+            sink: self,
+            label: label.into(),
+        }
+    }
+}
+
+/// A job under construction: has a label and a sink, still needs its
+/// payload. Every payload method moves to [`ReadyJob`], where serving
+/// options and submission live.
+#[derive(Debug)]
+pub struct JobBuilder<S: JobSink> {
+    sink: S,
+    label: String,
+}
+
+impl<S: JobSink> JobBuilder<S> {
+    /// An explicit, pre-built [`JobKind`] payload.
+    pub fn kind(self, kind: JobKind) -> ReadyJob<S> {
+        ReadyJob {
+            sink: self.sink,
+            label: self.label,
+            kind,
+            opts: JobOpts::default(),
+        }
+    }
+
+    /// `C = A*B` with row-major `a` (`m x k`) and `b` (`k x n`).
+    pub fn gemm(self, dims: GemmKernel, a: Vec<f32>, b: Vec<f32>) -> ReadyJob<S> {
+        self.kind(JobKind::Gemm { dims, a, b })
+    }
+
+    /// Multi-filter 2-D convolution of `image` with `weights`.
+    pub fn conv2d(self, kernel: Conv2dKernel, image: Vec<f32>, weights: Vec<f32>) -> ReadyJob<S> {
+        self.kind(JobKind::Conv2d {
+            kernel,
+            image,
+            weights,
+        })
+    }
+
+    /// `y = a*x + y`.
+    pub fn axpy(self, a: f32, x: Vec<f32>, y: Vec<f32>) -> ReadyJob<S> {
+        self.kind(JobKind::Axpy { a, x, y })
+    }
+
+    /// The 2-D discrete Laplace stencil over a `height x width` grid.
+    pub fn stencil2d(self, height: u32, width: u32, grid: Vec<f32>) -> ReadyJob<S> {
+        self.kind(JobKind::Stencil2d {
+            height,
+            width,
+            grid,
+        })
+    }
+
+    /// A raw NTX command (see [`RawJob`]).
+    pub fn raw(self, raw: RawJob) -> ReadyJob<S> {
+        self.kind(JobKind::Raw(raw))
+    }
+}
+
+/// A fully-specified job: payload chosen, serving options adjustable,
+/// ready to [`submit`](ReadyJob::submit).
+#[derive(Debug)]
+pub struct ReadyJob<S: JobSink> {
+    sink: S,
+    label: String,
+    kind: JobKind,
+    opts: JobOpts,
+}
+
+impl<S: JobSink> ReadyJob<S> {
+    /// Sets the serving priority (higher runs earlier when several
+    /// submissions are pending at once).
+    #[must_use]
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.opts.priority = priority;
+        self
+    }
+
+    /// Sets a wall-clock completion deadline, measured from submission.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.opts.deadline = Some(deadline);
+        self
+    }
+
+    /// Selects the executing backend.
+    #[must_use]
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.opts.backend = backend;
+        self
+    }
+
+    /// Shorthand for [`backend`](Self::backend)`(BackendKind::Estimate)`:
+    /// answer instantly from the roofline model, no simulation.
+    #[must_use]
+    pub fn estimate(self) -> Self {
+        self.backend(BackendKind::Estimate)
+    }
+
+    /// Replaces all serving options at once (migration aid for callers
+    /// that already hold a [`JobOpts`]).
+    #[must_use]
+    pub fn opts(mut self, opts: JobOpts) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Submits the job to the sink and returns its receipt: a
+    /// [`JobHandle`](crate::JobHandle) from a [`Session`], the job id
+    /// from a [`JobQueue`].
+    pub fn submit(self) -> S::Receipt {
+        self.sink.accept(self.label, self.kind, self.opts)
+    }
+}
+
+impl ReadyJob<&Session> {
+    /// Submits the job with completion delivered to `callback` on the
+    /// server's worker thread instead of a handle; returns the
+    /// submission id.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::Shutdown`] when the server is no longer running.
+    pub fn submit_callback(
+        self,
+        callback: impl FnOnce(Completion) + Send + 'static,
+    ) -> Result<u64, SchedError> {
+        self.sink
+            .handle
+            .send_callback(self.label, self.kind, self.opts, callback)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_builder_enqueues_with_options() {
+        let mut q = JobQueue::new();
+        let id = q
+            .job("axpy")
+            .axpy(2.0, vec![1.0; 8], vec![0.0; 8])
+            .priority(3)
+            .deadline(Duration::from_secs(5))
+            .estimate()
+            .submit();
+        assert_eq!(id, 0);
+        let job = q.pop().unwrap();
+        assert_eq!(job.label, "axpy");
+        assert_eq!(job.opts.priority, 3);
+        assert_eq!(job.opts.deadline, Some(Duration::from_secs(5)));
+        assert_eq!(job.opts.backend, BackendKind::Estimate);
+    }
+
+    #[test]
+    fn builder_covers_every_kind() {
+        let mut q = JobQueue::new();
+        q.job("gemm")
+            .gemm(GemmKernel { m: 2, k: 2, n: 2 }, vec![0.0; 4], vec![0.0; 4])
+            .submit();
+        q.job("conv")
+            .conv2d(
+                Conv2dKernel {
+                    height: 3,
+                    width: 3,
+                    k: 3,
+                    filters: 1,
+                },
+                vec![0.0; 9],
+                vec![0.0; 9],
+            )
+            .submit();
+        q.job("stencil").stencil2d(3, 3, vec![0.0; 9]).submit();
+        assert_eq!(q.len(), 3);
+        let classes: Vec<_> = q.iter().map(|j| j.kind.class()).collect();
+        use crate::job::JobClass;
+        assert_eq!(
+            classes,
+            vec![JobClass::Gemm, JobClass::Conv2d, JobClass::Stencil2d]
+        );
+    }
+}

@@ -26,7 +26,10 @@
 use ntx_kernels::blas::GemmKernel;
 use ntx_kernels::conv::Conv2dKernel;
 use ntx_kernels::reference;
-use ntx_sched::{run_sharded, Job, JobKind, JobQueue, ScaleOutConfig, ScaleOutExecutor};
+use ntx_sched::{
+    run_sharded, ClusterFarm, DurationTable, Job, JobKind, JobQueue, JobResult, Placement,
+    ScaleOutConfig, ScaleOutExecutor, ShardRetire, SimulatorBackend,
+};
 use proptest::prelude::*;
 
 /// Values `q / 16` with `q` in `[-64, 64]`: exactly representable, and
@@ -238,9 +241,9 @@ proptest! {
         let mut qb = JobQueue::new();
         let mut qf = JobQueue::new();
         for (i, kind) in kinds.iter().enumerate() {
-            qp.push(format!("job-{i}"), kind.clone());
-            qb.push(format!("job-{i}"), kind.clone());
-            qf.push(format!("job-{i}"), kind.clone());
+            qp.job(format!("job-{i}")).kind(kind.clone()).submit();
+            qb.job(format!("job-{i}")).kind(kind.clone()).submit();
+            qf.job(format!("job-{i}")).kind(kind.clone()).submit();
         }
         let p = pipelined.run_queue(&mut qp).expect("pipelined batch");
         let b = barriered.run_queue(&mut qb).expect("barriered batch");
@@ -285,4 +288,181 @@ proptest! {
         // And the farm never invents or loses simulated work.
         assert_eq!(p.report.total_flops(), b.report.total_flops());
     }
+}
+
+/// Drives the continuous-admission engine over `kinds`, interleaving
+/// `steps_between` shard events after each admission (jobs arrive
+/// while earlier ones are mid-flight, as in the live server), and
+/// returns each job's result plus the placement it landed on.
+fn run_continuous(
+    kinds: &[JobKind],
+    clusters: usize,
+    steps_between: usize,
+) -> (Vec<JobResult>, Vec<Placement>) {
+    let mut sim = SimulatorBackend::new(ScaleOutConfig::with_clusters(clusters));
+    let mut table = DurationTable::new();
+    let mut placements = Vec::new();
+    let mut results: Vec<Option<JobResult>> = kinds.iter().map(|_| None).collect();
+    let settle = |r: ShardRetire, results: &mut Vec<Option<JobResult>>| {
+        if let Some(res) = r.result {
+            let slot = res.job_id as usize;
+            results[slot] = Some(res);
+        }
+    };
+    for (i, kind) in kinds.iter().enumerate() {
+        let job = Job::new(i as u64, format!("job-{i}"), kind.clone());
+        let placement = sim
+            .admit_continuous(&job, &table)
+            .expect("continuous admission");
+        placements.push(placement);
+        for _ in 0..steps_between {
+            if let Some(r) = sim.step_farm() {
+                table.observe(r.class, r.est_cycles, r.cycles);
+                settle(r, &mut results);
+            }
+        }
+    }
+    while let Some(r) = sim.step_farm() {
+        table.observe(r.class, r.est_cycles, r.cycles);
+        settle(r, &mut results);
+    }
+    let results = results
+        .into_iter()
+        .map(|r| r.expect("every admitted job retires"))
+        .collect();
+    (results, placements)
+}
+
+/// Replays recorded continuous placements into a fresh **barriered**
+/// farm ([`Placement::replay`] rebuilds each placed job bit for bit) —
+/// the same-placement oracle.
+fn replay_barriered(
+    kinds: &[JobKind],
+    placements: &[Placement],
+    clusters: usize,
+) -> Vec<JobResult> {
+    let config = ScaleOutConfig::with_clusters(clusters);
+    let mut farm = ClusterFarm::new(clusters, config.cluster);
+    let placed = kinds
+        .iter()
+        .enumerate()
+        .map(|(i, kind)| {
+            let job = Job::new(i as u64, format!("job-{i}"), kind.clone());
+            placements[i]
+                .replay(&job, farm.cluster(0))
+                .expect("replayed plan")
+        })
+        .collect();
+    farm.run_batch(placed, false).results
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Continuous admission against the barriered same-placement
+    /// oracle, on random multi-job mixes across 1..8 clusters:
+    /// admitting jobs into the *running* farm — interleaved with shard
+    /// retirements, placed by the measured-duration table onto graded
+    /// cluster subsets — must not change a simulated bit. Per-job
+    /// outputs, per-cluster `PerfSnapshot` deltas and per-job
+    /// makespans are compared bitwise against a fresh barriered farm
+    /// replaying the exact placement continuous admission chose
+    /// (shards execute in admission order per cluster in both).
+    #[test]
+    fn continuous_admission_matches_barriered_oracle(
+        (kinds, clusters, steps_between) in
+            (prop::collection::vec(arb_kind(), 1..6), 1usize..8, 0usize..4)
+    ) {
+        let (continuous, placements) = run_continuous(&kinds, clusters, steps_between);
+        let oracle = replay_barriered(&kinds, &placements, clusters);
+        assert_eq!(continuous.len(), oracle.len());
+        for (c, o) in continuous.iter().zip(&oracle) {
+            assert_bits_eq(&c.output, &o.output, "continuous vs barriered output");
+            assert_eq!(
+                c.report.per_cluster, o.report.per_cluster,
+                "per-job PerfSnapshots must be bit-identical across admission modes"
+            );
+            assert_eq!(c.report.makespan_cycles, o.report.makespan_cycles);
+        }
+        // Graded placement stays within the farm and each job's
+        // cluster list is disjoint and ascending.
+        for p in &placements {
+            assert!(!p.clusters.is_empty() && p.clusters.len() <= clusters);
+            assert!(p.clusters.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}
+
+#[test]
+fn late_small_job_overtakes_inflight_wave() {
+    // A "wave" of three 2000-element AXPYs is admitted together and
+    // allowed to start (one shard event retires); then a tiny job
+    // arrives LATE. Continuous admission places it on the
+    // least-loaded cluster of the running farm, where it retires
+    // (virtual farm time) before the wave completes — while the
+    // barriered reference of the very same placement parks it behind
+    // every wave job.
+    let clusters = 4usize;
+    let mediums = 3usize;
+    let kinds: Vec<JobKind> = (0..mediums)
+        .map(|i| {
+            let n = 2000 + i * 8;
+            JobKind::Axpy {
+                a: 1.5,
+                x: (0..n).map(|j| (j % 32) as f32 / 16.0).collect(),
+                y: vec![1.0; n],
+            }
+        })
+        .chain(std::iter::once(JobKind::Axpy {
+            a: 2.0,
+            x: vec![0.5; 64],
+            y: vec![0.25; 64],
+        }))
+        .collect();
+    let small = kinds.len() - 1;
+    let mut sim = SimulatorBackend::new(ScaleOutConfig::with_clusters(clusters));
+    let table = DurationTable::new();
+    let mut placements = Vec::new();
+    let mut results: Vec<Option<JobResult>> = kinds.iter().map(|_| None).collect();
+    // The wave goes in first, as one admission group.
+    for (i, kind) in kinds[..mediums].iter().enumerate() {
+        let job = Job::new(i as u64, format!("job-{i}"), kind.clone());
+        placements.push(sim.admit_continuous(&job, &table).expect("admit medium"));
+    }
+    // One shard retires: the wave is now genuinely in flight.
+    let first = sim.step_farm().expect("wave has work");
+    assert!(first.result.is_none(), "no wave job may be finished yet");
+    // The small job arrives late, into the running farm.
+    let job = Job::new(small as u64, format!("job-{small}"), kinds[small].clone());
+    placements.push(sim.admit_continuous(&job, &table).expect("admit small"));
+    while let Some(r) = sim.step_farm() {
+        if let Some(res) = r.result {
+            let slot = res.job_id as usize;
+            results[slot] = Some(res);
+        }
+    }
+    let finish: Vec<u64> = results
+        .iter()
+        .map(|r| r.as_ref().expect("job retired").finish_cycle)
+        .collect();
+    let wave_finish = finish[..mediums].iter().copied().max().unwrap();
+    assert!(
+        finish[small] < wave_finish,
+        "late small job (finish {}) must overtake the in-flight wave (finish {})",
+        finish[small],
+        wave_finish,
+    );
+    // Same placement, barriered accounting: the late job waits for the
+    // whole wave instead, finishing last — continuous admission is
+    // what buys the overtake.
+    let oracle = replay_barriered(&kinds, &placements, clusters);
+    let barriered_finish: Vec<u64> = oracle.iter().map(|r| r.finish_cycle).collect();
+    assert!(
+        (0..mediums).all(|m| barriered_finish[small] > barriered_finish[m]),
+        "barriered reference should park the late job behind the wave: {barriered_finish:?}"
+    );
+    assert!(
+        finish[small] < barriered_finish[small],
+        "continuous admission must complete the late job earlier than the barrier"
+    );
 }

@@ -11,7 +11,7 @@
 use ntx::kernels::blas::GemmKernel;
 use ntx::kernels::conv::Conv2dKernel;
 use ntx::model::power::EnergyModel;
-use ntx::sched::{JobKind, JobQueue, ScaleOutConfig, ScaleOutExecutor};
+use ntx::sched::{JobQueue, ScaleOutConfig, ScaleOutExecutor};
 
 fn data(n: usize, mut seed: u32) -> Vec<f32> {
     (0..n)
@@ -32,45 +32,37 @@ fn build_queue() -> JobQueue {
         k: 3,
         filters: 4,
     };
-    queue.push(
-        "conv3x3 96x61x4",
-        JobKind::Conv2d {
+    queue
+        .job("conv3x3 96x61x4")
+        .conv2d(
             kernel,
-            image: data((kernel.height * kernel.width) as usize, 0xaa55),
-            weights: data((kernel.k * kernel.k * kernel.filters) as usize, 0x1234),
-        },
-    );
+            data((kernel.height * kernel.width) as usize, 0xaa55),
+            data((kernel.k * kernel.k * kernel.filters) as usize, 0x1234),
+        )
+        .submit();
     let dims = GemmKernel {
         m: 48,
         k: 32,
         n: 24,
     };
-    queue.push(
-        "gemm 48x32x24",
-        JobKind::Gemm {
+    queue
+        .job("gemm 48x32x24")
+        .gemm(
             dims,
-            a: data((dims.m * dims.k) as usize, 7),
-            b: data((dims.k * dims.n) as usize, 9),
-        },
-    );
+            data((dims.m * dims.k) as usize, 7),
+            data((dims.k * dims.n) as usize, 9),
+        )
+        .submit();
     // Two small jobs: the space-sharing placement packs these onto the
     // clusters the bigger jobs leave idle, so they run concurrently.
-    queue.push(
-        "axpy 1000",
-        JobKind::Axpy {
-            a: 1.5,
-            x: data(1000, 0x11),
-            y: data(1000, 0x22),
-        },
-    );
-    queue.push(
-        "stencil 40x23",
-        JobKind::Stencil2d {
-            height: 40,
-            width: 23,
-            grid: data(40 * 23, 0x33),
-        },
-    );
+    queue
+        .job("axpy 1000")
+        .axpy(1.5, data(1000, 0x11), data(1000, 0x22))
+        .submit();
+    queue
+        .job("stencil 40x23")
+        .stencil2d(40, 23, data(40 * 23, 0x33))
+        .submit();
     queue
 }
 

@@ -1,17 +1,20 @@
-//! Serve: many clients, one cluster farm.
+//! Serve: many clients, one always-on cluster farm.
 //!
 //! Demonstrates the `ntx-sched` serving stack: three client threads
-//! submit a mix of GEMM / convolution / AXPY / stencil jobs (plus an
-//! instant analytical estimate) to the async [`ntx::sched::Server`];
-//! the worker batches them into priority-ordered waves, overlaps them
-//! across four simulated clusters with the pipelined farm, and
-//! delivers completions through handles and callbacks.
+//! hold cloned [`ntx::sched::Session`]s on the async server and build
+//! a mix of GEMM / convolution / AXPY / stencil jobs (plus an instant
+//! analytical estimate) with the fluent `JobBuilder`; the worker
+//! admits each job into the *running* four-cluster farm the moment it
+//! arrives (continuous admission — no wave batching), places it on the
+//! least-loaded clusters using measured-duration feedback, and
+//! delivers completions through handles and callbacks as each job's
+//! last shard retires.
 //!
 //! Run with `cargo run --release --example serve`.
 
 use ntx::kernels::blas::GemmKernel;
 use ntx::kernels::conv::Conv2dKernel;
-use ntx::sched::{JobKind, JobOpts, Server, ServerConfig};
+use ntx::sched::{Server, ServerConfig, Session};
 use std::time::Duration;
 
 fn data(n: usize, mut seed: u32) -> Vec<f32> {
@@ -25,73 +28,72 @@ fn data(n: usize, mut seed: u32) -> Vec<f32> {
         .collect()
 }
 
-fn client_jobs(client: u32) -> Vec<(String, JobKind, JobOpts)> {
-    let deadline = JobOpts::default().with_deadline(Duration::from_secs(60));
+/// Each client builds and submits its jobs through its own session.
+fn run_client(session: &Session, client: u32) -> Vec<ntx::sched::JobHandle> {
+    let deadline = Duration::from_secs(60);
     match client {
         0 => vec![
-            (
-                "conv3x3 66x63x4".into(),
-                JobKind::Conv2d {
-                    kernel: Conv2dKernel {
+            session
+                .job("conv3x3 66x63x4")
+                .conv2d(
+                    Conv2dKernel {
                         height: 66,
                         width: 63,
                         k: 3,
                         filters: 4,
                     },
-                    image: data(66 * 63, 0xa1),
-                    weights: data(9 * 4, 0xa2),
-                },
-                deadline.with_priority(2),
-            ),
-            (
-                "axpy 4096".into(),
-                {
-                    JobKind::Axpy {
-                        a: 2.0,
-                        x: data(4096, 0xa3),
-                        y: data(4096, 0xa4),
-                    }
-                },
-                deadline,
-            ),
+                    data(66 * 63, 0xa1),
+                    data(9 * 4, 0xa2),
+                )
+                .priority(2)
+                .deadline(deadline)
+                .submit()
+                .expect("server running"),
+            session
+                .job("axpy 4096")
+                .axpy(2.0, data(4096, 0xa3), data(4096, 0xa4))
+                .deadline(deadline)
+                .submit()
+                .expect("server running"),
         ],
         1 => vec![
-            (
-                "gemm 48x32x24".into(),
-                JobKind::Gemm {
-                    dims: GemmKernel {
+            session
+                .job("gemm 48x32x24")
+                .gemm(
+                    GemmKernel {
                         m: 48,
                         k: 32,
                         n: 24,
                     },
-                    a: data(48 * 32, 0xb1),
-                    b: data(32 * 24, 0xb2),
-                },
-                deadline.with_priority(1),
-            ),
-            (
-                "stencil 60x33".into(),
-                JobKind::Stencil2d {
-                    height: 60,
-                    width: 33,
-                    grid: data(60 * 33, 0xb3),
-                },
-                deadline,
-            ),
+                    data(48 * 32, 0xb1),
+                    data(32 * 24, 0xb2),
+                )
+                .priority(1)
+                .deadline(deadline)
+                .submit()
+                .expect("server running"),
+            session
+                .job("stencil 60x33")
+                .stencil2d(60, 33, data(60 * 33, 0xb3))
+                .deadline(deadline)
+                .submit()
+                .expect("server running"),
         ],
-        _ => vec![(
-            "gemm 512x512x512 (estimate)".into(),
-            JobKind::Gemm {
-                dims: GemmKernel {
+        _ => vec![session
+            .job("gemm 512x512x512 (estimate)")
+            .gemm(
+                GemmKernel {
                     m: 512,
                     k: 512,
                     n: 512,
                 },
-                a: data(512 * 512, 0xc1),
-                b: data(512 * 512, 0xc2),
-            },
-            JobOpts::estimate().with_priority(3),
-        )],
+                data(512 * 512, 0xc1),
+                data(512 * 512, 0xc2),
+            )
+            .estimate()
+            .priority(3)
+            .submit()
+            .expect("server running")],
     }
 }
 
@@ -101,36 +103,25 @@ fn main() {
     // A callback completion: fired on the worker thread.
     let (cb_tx, cb_rx) = std::sync::mpsc::channel();
     server
-        .handle()
-        .submit_callback(
-            "axpy 1000 (callback)",
-            JobKind::Axpy {
-                a: 0.5,
-                x: data(1000, 0xd1),
-                y: data(1000, 0xd2),
-            },
-            JobOpts::default(),
-            move |completion| drop(cb_tx.send(completion)),
-        )
+        .session()
+        .job("axpy 1000 (callback)")
+        .axpy(0.5, data(1000, 0xd1), data(1000, 0xd2))
+        .submit_callback(move |completion| drop(cb_tx.send(completion)))
         .expect("server running");
 
-    // Three clients submit concurrently through cloned handles.
+    // Three clients submit concurrently through cloned sessions.
     let mut clients = Vec::new();
     for c in 0..3u32 {
-        let handle = server.handle();
+        let session = server.session();
         clients.push(std::thread::spawn(move || {
-            let mut waits = Vec::new();
-            for (label, kind, opts) in client_jobs(c) {
-                waits.push(handle.submit_with(label, kind, opts).expect("running"));
-            }
-            waits
+            run_client(&session, c)
                 .into_iter()
                 .map(|h| h.wait().expect("served"))
                 .collect::<Vec<_>>()
         }));
     }
 
-    println!("serve demo: 3 clients + 1 callback on a 4-cluster farm");
+    println!("serve demo: 3 clients + 1 callback on a 4-cluster continuous farm");
     for (c, t) in clients.into_iter().enumerate() {
         for done in t.join().expect("client thread") {
             let r = done.result.expect("valid job");

@@ -290,35 +290,30 @@ fn serving_stack_end_to_end_through_the_facade() {
     // Submit a simulated job and an analytical estimate through the
     // async server, from a second client thread, and verify both
     // deliveries plus the final serving report.
-    use ntx::sched::{JobKind, JobOpts, Server, ServerConfig};
+    use ntx::sched::{Server, ServerConfig};
     let server = Server::start(ServerConfig::with_clusters(2));
-    let handle = server.handle();
+    let session = server.session();
     let client = std::thread::spawn(move || {
-        handle
-            .submit(
-                "gemm",
-                JobKind::Gemm {
-                    dims: GemmKernel {
-                        m: 16,
-                        k: 16,
-                        n: 16,
-                    },
-                    a: vec![1.0; 256],
-                    b: vec![0.5; 256],
+        session
+            .job("gemm")
+            .gemm(
+                GemmKernel {
+                    m: 16,
+                    k: 16,
+                    n: 16,
                 },
+                vec![1.0; 256],
+                vec![0.5; 256],
             )
+            .submit()
             .expect("server running")
     });
     let estimate = server
-        .submit_with(
-            "axpy estimate",
-            JobKind::Axpy {
-                a: 2.0,
-                x: data(65536, 5),
-                y: data(65536, 6),
-            },
-            JobOpts::estimate(),
-        )
+        .session()
+        .job("axpy estimate")
+        .axpy(2.0, data(65536, 5), data(65536, 6))
+        .estimate()
+        .submit()
         .expect("server running");
     let gemm = client
         .join()
