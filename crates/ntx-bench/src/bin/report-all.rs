@@ -36,8 +36,9 @@ fn main() {
         "{}",
         ntx_bench::format::greenwave(&ntx_bench::greenwave_rows())
     );
-    print!(
+    println!(
         "{}",
         ntx_bench::format::scaling(&ntx_bench::scaling_report())
     );
+    print!("{}", ntx_bench::format::hmc(&ntx_bench::hmc_report()));
 }

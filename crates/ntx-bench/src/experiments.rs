@@ -669,7 +669,7 @@ fn continuous_vs_barriered_oracle(
 
     // The oracle: identical placement, barriered accounting
     // (Placement::replay asserts the rebuilt shard count matches).
-    let mut farm = ClusterFarm::new(clusters, config.cluster);
+    let mut farm = ClusterFarm::with_memory(clusters, config.cluster, config.memory);
     let placed = jobs
         .iter()
         .enumerate()
@@ -806,6 +806,203 @@ pub fn serving_report() -> ServingBenchReport {
     }
 }
 
+// --------------------------------------------- shared-HMC saturation
+
+/// One cluster count of the shared-HMC saturation sweep.
+#[derive(Debug, Clone)]
+pub struct HmcScalingPoint {
+    /// Clusters attached to the cube (one streaming job each).
+    pub clusters: usize,
+    /// Batch makespan with ideal private memories, cycles.
+    pub ideal_makespan_cycles: u64,
+    /// Batch makespan drawing from the shared vault/LoB budget,
+    /// cycles.
+    pub contended_makespan_cycles: u64,
+    /// `contended / ideal` (≥ 1 by construction).
+    pub slowdown: f64,
+    /// Weak-scaling efficiency vs linear: `ideal / contended` (1.0
+    /// while the shared budget covers every port, dropping towards
+    /// `budget / (clusters × port)` past saturation).
+    pub efficiency: f64,
+    /// Aggregate external-memory traffic over the contended makespan,
+    /// bytes/s.
+    pub achieved_ext_bandwidth: f64,
+    /// Fraction of contended cluster-cycles the DMA sat waiting for an
+    /// external-memory slot.
+    pub ext_wait_fraction: f64,
+    /// Per-job outputs bitwise identical between the two memory
+    /// models.
+    pub bit_identical: bool,
+}
+
+/// The saturation curve of one streaming workload.
+#[derive(Debug, Clone)]
+pub struct HmcWorkloadCurve {
+    /// Workload label.
+    pub workload: String,
+    /// One point per cluster count, ascending.
+    pub points: Vec<HmcScalingPoint>,
+}
+
+/// The `report-hmc` measurement: weak-scaling streaming workloads on
+/// 1..64+ clusters, ideal private memories against the shared-HMC
+/// bandwidth model.
+#[derive(Debug, Clone)]
+pub struct HmcReport {
+    /// Shared vault/LoB bandwidth of the cube, bytes/s.
+    pub shared_bandwidth: f64,
+    /// The same budget in DMA words per NTX cycle.
+    pub shared_words_per_cycle: f64,
+    /// Streaming 3×3 convolution curve.
+    pub conv: HmcWorkloadCurve,
+    /// Streaming low-intensity GEMM curve.
+    pub gemm: HmcWorkloadCurve,
+    /// Every point of every curve bit-identical across memory models.
+    pub bit_identical: bool,
+}
+
+/// Runs `clusters` copies of `kind` — one single-shard job per cluster
+/// — through a farm under `memory` and returns the batch makespan,
+/// the aggregate perf counters and each job's output.
+fn hmc_weak_scaling_run(
+    kind: &ntx_sched::JobKind,
+    clusters: usize,
+    memory: ntx_sched::MemoryModel,
+) -> (u64, PerfSnapshot, Vec<Vec<f32>>) {
+    use ntx_sched::{ClusterFarm, Job, JobMeta, PlacedJob, Tiler};
+    let mut farm = ClusterFarm::with_memory(clusters, ClusterConfig::default(), memory);
+    let placed: Vec<PlacedJob> = (0..clusters)
+        .map(|c| {
+            let job = Job::new(c as u64, format!("job-{c}"), kind.clone());
+            let mut plans = Tiler::new(1)
+                .plan(&job, farm.cluster(0))
+                .expect("single-shard streaming job");
+            let plan = plans.pop().expect("one plan per shard");
+            PlacedJob {
+                meta: JobMeta {
+                    id: job.id,
+                    label: job.label.clone(),
+                    output_len: job.output_len(),
+                    class: job.kind.class(),
+                },
+                shards: vec![(c, plan)],
+            }
+        })
+        .collect();
+    let batch = farm.run_batch(placed, true);
+    let mut perf = PerfSnapshot::default();
+    for p in &batch.report.per_cluster {
+        perf.accumulate(p);
+    }
+    let outputs = batch.results.into_iter().map(|r| r.output).collect();
+    (batch.report.makespan_cycles, perf, outputs)
+}
+
+/// Sweeps one workload over `counts` clusters in both memory models.
+fn hmc_curve(
+    label: &str,
+    kind: &ntx_sched::JobKind,
+    counts: &[usize],
+    hmc: ntx_sched::HmcConfig,
+    freq_hz: f64,
+) -> HmcWorkloadCurve {
+    use ntx_sched::MemoryModel;
+    let points = counts
+        .iter()
+        .map(|&n| {
+            let (ideal, _, out_i) = hmc_weak_scaling_run(kind, n, MemoryModel::Ideal);
+            let (contended, perf, out_c) =
+                hmc_weak_scaling_run(kind, n, MemoryModel::SharedHmc(hmc));
+            let bit_identical = out_i.len() == out_c.len()
+                && out_i.iter().zip(&out_c).all(|(a, b)| {
+                    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+                });
+            let seconds = contended as f64 / freq_hz;
+            HmcScalingPoint {
+                clusters: n,
+                ideal_makespan_cycles: ideal,
+                contended_makespan_cycles: contended,
+                slowdown: contended as f64 / ideal as f64,
+                efficiency: ideal as f64 / contended as f64,
+                achieved_ext_bandwidth: (perf.ext_bytes_read + perf.ext_bytes_written) as f64
+                    / seconds,
+                ext_wait_fraction: if perf.cycles == 0 {
+                    0.0
+                } else {
+                    perf.ext_wait_cycles as f64 / perf.cycles as f64
+                },
+                bit_identical,
+            }
+        })
+        .collect();
+    HmcWorkloadCurve {
+        workload: label.into(),
+        points,
+    }
+}
+
+/// Runs the shared-HMC saturation experiment (see [`HmcReport`]): the
+/// Fig. 1 cube (32 GB/s LoB, 6.4 DMA words per NTX cycle) under
+/// 1..64 clusters each streaming its own copy of a conv3x3 / GEMM
+/// job. With ideal memories weak scaling is exactly linear; the
+/// shared budget covers ~6 ports, so efficiency holds near 1.0
+/// through the PR 1 regime (≤ 8 clusters at most 20 % down) and
+/// collapses towards `6.4 / clusters` beyond — the paper family's
+/// memory-bound saturation. Data outputs are bit-identical in both
+/// models at every point.
+#[must_use]
+pub fn hmc_report() -> HmcReport {
+    hmc_report_sweep(&[1, 2, 4, 8, 16, 32, 64])
+}
+
+/// [`hmc_report`] over an explicit cluster-count sweep (the unit tests
+/// run a reduced sweep; the `report-hmc` binary runs the full one).
+#[must_use]
+pub fn hmc_report_sweep(counts: &[usize]) -> HmcReport {
+    use ntx_sched::JobKind;
+    let hmc = ntx_sched::HmcConfig::default();
+    let freq = ClusterConfig::default().ntx_freq_hz;
+    // Streaming conv3x3: the Table I shape at two filters, image in
+    // external memory — compute overlaps the stream, so the curve
+    // shows how much slack the double buffering hides.
+    let conv_kernel = Conv2dKernel {
+        height: 66,
+        width: 63,
+        k: 3,
+        filters: 2,
+    };
+    let conv = JobKind::Conv2d {
+        kernel: conv_kernel,
+        image: test_data(
+            (conv_kernel.height * conv_kernel.width) as usize,
+            0x0d15_ea5e,
+        ),
+        weights: test_data((9 * conv_kernel.filters) as usize, 0x600d_cafe),
+    };
+    // Streaming low-intensity GEMM: a thin K makes the A/B/C streams
+    // dominate the MACs — the memory-bound end of the sweep.
+    let dims = GemmKernel { m: 48, k: 8, n: 24 };
+    let gemm = JobKind::Gemm {
+        dims,
+        a: test_data((dims.m * dims.k) as usize, 0xbead_5eed),
+        b: test_data((dims.k * dims.n) as usize, 0xface_b00c),
+    };
+    let conv = hmc_curve("conv3x3 66x63x2 streaming", &conv, counts, hmc, freq);
+    let gemm = hmc_curve("gemm 48x8x24 streaming", &gemm, counts, hmc, freq);
+    let bit_identical = conv
+        .points
+        .iter()
+        .chain(&gemm.points)
+        .all(|p| p.bit_identical);
+    HmcReport {
+        shared_bandwidth: hmc.shared_bandwidth(),
+        shared_words_per_cycle: hmc.shared_bandwidth() / (4.0 * freq),
+        conv,
+        gemm,
+        bit_identical,
+    }
+}
+
 // ------------------------------------------------------- §IV Green Wave
 
 /// The Green-Wave comparison rows (8th-order seismic Laplacian on a
@@ -939,6 +1136,41 @@ mod tests {
             "continuous mean latency fell far behind wave batching: {:.3}",
             r.latency_win
         );
+    }
+
+    #[test]
+    fn shared_hmc_sweep_saturates_without_touching_data() {
+        // Reduced sweep (the release binary gates the full 1..64 run):
+        // 1 cluster sits under the 6.4-word budget, 16 is clearly
+        // oversubscribed.
+        let r = hmc_report_sweep(&[1, 16]);
+        assert!(r.bit_identical, "contention must never touch data");
+        assert!((r.shared_words_per_cycle - 6.4).abs() < 1e-6);
+        for curve in [&r.conv, &r.gemm] {
+            let p1 = &curve.points[0];
+            assert_eq!(p1.clusters, 1);
+            assert_eq!(
+                p1.ideal_makespan_cycles, p1.contended_makespan_cycles,
+                "{}: one cluster fits under the budget",
+                curve.workload
+            );
+            assert_eq!(p1.ext_wait_fraction, 0.0);
+            let p16 = &curve.points[1];
+            assert_eq!(p16.clusters, 16);
+            assert_eq!(
+                p16.ideal_makespan_cycles, p1.ideal_makespan_cycles,
+                "{}: ideal weak scaling is exactly linear",
+                curve.workload
+            );
+            assert!(
+                p16.efficiency < 0.70,
+                "{}: 16 oversubscribed clusters should saturate, got {:.0}%",
+                curve.workload,
+                p16.efficiency * 100.0
+            );
+            assert!(p16.ext_wait_fraction > 0.2);
+            assert!(p16.achieved_ext_bandwidth <= 1.02 * r.shared_bandwidth);
+        }
     }
 
     #[test]

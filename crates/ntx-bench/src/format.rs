@@ -231,6 +231,112 @@ pub fn greenwave(rows: &[StencilPlatform]) -> String {
     s
 }
 
+/// Formats one curve of the shared-HMC saturation sweep.
+fn hmc_curve_text(c: &crate::experiments::HmcWorkloadCurve) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("  workload: {}\n", c.workload));
+    s.push_str(&format!(
+        "  {:>8} {:>13} {:>13} {:>9} {:>11} {:>11} {:>9} {:>5}\n",
+        "clusters",
+        "ideal cyc",
+        "shared cyc",
+        "slowdown",
+        "efficiency",
+        "ext GB/s",
+        "DMA wait",
+        "bits"
+    ));
+    for p in &c.points {
+        s.push_str(&format!(
+            "  {:>8} {:>13} {:>13} {:>8.2}x {:>10.0}% {:>11.2} {:>8.0}% {:>5}\n",
+            p.clusters,
+            p.ideal_makespan_cycles,
+            p.contended_makespan_cycles,
+            p.slowdown,
+            p.efficiency * 100.0,
+            p.achieved_ext_bandwidth / 1e9,
+            p.ext_wait_fraction * 100.0,
+            if p.bit_identical { "ok" } else { "DIFF" },
+        ));
+    }
+    s
+}
+
+/// Formats the shared-HMC saturation measurement.
+#[must_use]
+pub fn hmc(r: &crate::experiments::HmcReport) -> String {
+    let mut s = String::new();
+    s.push_str("Shared HMC — weak-scaling saturation under the vault/LoB budget\n");
+    s.push_str(&format!(
+        "  shared bandwidth: {:.1} GB/s = {:.2} DMA words per NTX cycle\n",
+        r.shared_bandwidth / 1e9,
+        r.shared_words_per_cycle
+    ));
+    s.push_str(&hmc_curve_text(&r.conv));
+    s.push_str(&hmc_curve_text(&r.gemm));
+    s.push_str(&format!(
+        "  outputs bit-identical across memory models: {}\n",
+        if r.bit_identical { "yes" } else { "NO" }
+    ));
+    s
+}
+
+fn hmc_point_json(p: &crate::experiments::HmcScalingPoint) -> String {
+    format!(
+        concat!(
+            "      {{\n",
+            "        \"clusters\": {},\n",
+            "        \"ideal_makespan_cycles\": {},\n",
+            "        \"contended_makespan_cycles\": {},\n",
+            "        \"slowdown\": {:.4},\n",
+            "        \"efficiency\": {:.4},\n",
+            "        \"achieved_ext_bandwidth\": {:.1},\n",
+            "        \"ext_wait_fraction\": {:.4},\n",
+            "        \"bit_identical\": {}\n",
+            "      }}"
+        ),
+        p.clusters,
+        p.ideal_makespan_cycles,
+        p.contended_makespan_cycles,
+        p.slowdown,
+        p.efficiency,
+        p.achieved_ext_bandwidth,
+        p.ext_wait_fraction,
+        p.bit_identical
+    )
+}
+
+fn hmc_curve_json(c: &crate::experiments::HmcWorkloadCurve) -> String {
+    let points: Vec<String> = c.points.iter().map(hmc_point_json).collect();
+    format!(
+        "{{\n    \"workload\": \"{}\",\n    \"points\": [\n{}\n    ]\n  }}",
+        c.workload,
+        points.join(",\n")
+    )
+}
+
+/// Serialises the shared-HMC saturation measurement as the
+/// `BENCH_hmc.json` artifact (hand-rolled: no serde in the container).
+#[must_use]
+pub fn hmc_json(r: &crate::experiments::HmcReport) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"shared_bandwidth\": {:.1},\n",
+            "  \"shared_words_per_cycle\": {:.4},\n",
+            "  \"conv\": {},\n",
+            "  \"gemm\": {},\n",
+            "  \"bit_identical\": {}\n",
+            "}}\n"
+        ),
+        r.shared_bandwidth,
+        r.shared_words_per_cycle,
+        hmc_curve_json(&r.conv),
+        hmc_curve_json(&r.gemm),
+        r.bit_identical
+    )
+}
+
 /// Formats the simulator fast-path measurement.
 #[must_use]
 pub fn simperf(r: &crate::experiments::SimPerfReport) -> String {

@@ -14,8 +14,11 @@
 //!   half the NTX clock (5 GB/s peak, §II-A/§III-C);
 //! * [`ExtMemory`] — the byte-addressed memory behind the AXI port (the
 //!   HMC's DRAM vaults in the paper) with traffic counters;
-//! * [`hmc`] — Hybrid Memory Cube organisation parameters used by the
-//!   system-level models.
+//! * [`hmc`] — the shared Hybrid Memory Cube subsystem: organisation
+//!   parameters for the system-level models, plus the
+//!   [`HmcSubsystem`]/[`HmcPort`] per-cycle bandwidth arbiter that
+//!   multi-cluster simulations draw their external-memory slots from
+//!   (selected via [`MemoryModel`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,7 +29,8 @@ pub mod hmc;
 mod interconnect;
 mod tcdm;
 
-pub use dma::{DmaDescriptor, DmaDirection, DmaEngine};
+pub use dma::{DmaDescriptor, DmaDirection, DmaEngine, ThrottledBurst};
 pub use ext_mem::ExtMemory;
+pub use hmc::{HmcConfig, HmcPort, HmcSubsystem, MemoryModel};
 pub use interconnect::{BankRequest, Interconnect, MasterId};
 pub use tcdm::{Tcdm, TcdmConfig};

@@ -39,6 +39,20 @@ impl Roofline {
         }
     }
 
+    /// Caps the memory roof at this cluster's fair share of a shared
+    /// external-memory subsystem: `shared_bandwidth` (the HMC's
+    /// vault/LoB ceiling, see `ntx_mem::HmcConfig::shared_bandwidth`)
+    /// split across `clusters`, never above the cluster's own AXI
+    /// port. Past the saturation point the ridge moves right and
+    /// streaming kernels turn memory bound — the analytical mirror of
+    /// the cycle-level `HmcSubsystem` arbitration.
+    #[must_use]
+    pub fn with_shared_bandwidth(mut self, shared_bandwidth: f64, clusters: usize) -> Self {
+        let share = shared_bandwidth / clusters.max(1) as f64;
+        self.peak_bandwidth = self.peak_bandwidth.min(share);
+        self
+    }
+
     /// Theoretical performance at operational intensity `oi` (flop/B).
     #[must_use]
     pub fn performance(&self, oi: f64) -> f64 {
@@ -171,6 +185,30 @@ mod tests {
         assert_eq!(r4.peak_bandwidth, 20.0e9);
         assert_eq!(r2.ridge(), 2.0);
         assert_eq!(r4.ridge(), 1.0);
+    }
+
+    #[test]
+    fn shared_bandwidth_caps_the_memory_roof_past_saturation() {
+        // 32 GB/s shared across 4 clusters leaves 8 GB/s each — above
+        // the 5 GB/s port, so nothing changes.
+        let r4 = Roofline::default().with_shared_bandwidth(32.0e9, 4);
+        assert_eq!(r4.peak_bandwidth, 5.0e9);
+        // Across 64 clusters the share is 0.5 GB/s: the ridge moves
+        // from 4 to 40 flop/B and streaming estimates stretch 10x.
+        let r64 = Roofline::default().with_shared_bandwidth(32.0e9, 64);
+        assert_eq!(r64.peak_bandwidth, 0.5e9);
+        assert_eq!(r64.ridge(), 40.0);
+        let bytes = 1_000_000u64;
+        let t4 = r4.estimated_seconds(0, bytes);
+        let t64 = r64.estimated_seconds(0, bytes);
+        assert!((t64 / t4 - 10.0).abs() < 1e-9);
+        // Degenerate cluster counts clamp instead of dividing by zero.
+        assert_eq!(
+            Roofline::default()
+                .with_shared_bandwidth(32.0e9, 0)
+                .peak_bandwidth,
+            5.0e9
+        );
     }
 
     #[test]

@@ -16,8 +16,8 @@
 //!   simulator cycle, useful for admission control and capacity
 //!   planning in front of the farm.
 
+use ntx_mem::MemoryModel;
 use ntx_model::roofline::Roofline;
-use ntx_sim::ClusterConfig;
 
 use crate::executor::{BatchResult, JobResult, ScaleOutConfig};
 use crate::farm::{ClusterFarm, JobMeta, PlacedJob, ShardRetire};
@@ -114,14 +114,24 @@ fn estimate_for(job: &Job, shards: usize, roofline: &Roofline, freq_hz: f64) -> 
     }
 }
 
-/// Roofline instance matching a cluster configuration (peaks from the
-/// hardware parameters, conflict derating from the paper's §III-C
-/// measurement).
-fn roofline_for(cluster: &ClusterConfig) -> Roofline {
-    Roofline {
-        peak_flops: cluster.peak_flops(),
-        peak_bandwidth: cluster.peak_bandwidth(),
+/// Roofline instance matching a scale-out configuration: peaks from
+/// the cluster hardware parameters, conflict derating from the
+/// paper's §III-C measurement, and — under [`MemoryModel::SharedHmc`]
+/// — the memory roof capped at this cluster's fair share of the
+/// cube's vault/LoB bandwidth, so admission estimates and the
+/// analytical backend see the same saturation ceiling the cycle-level
+/// arbiter enforces.
+fn roofline_for(config: &ScaleOutConfig) -> Roofline {
+    let r = Roofline {
+        peak_flops: config.cluster.peak_flops(),
+        peak_bandwidth: config.cluster.peak_bandwidth(),
         ..Roofline::default()
+    };
+    match config.memory {
+        MemoryModel::Ideal => r,
+        MemoryModel::SharedHmc(hmc) => {
+            r.with_shared_bandwidth(hmc.shared_bandwidth(), config.clusters)
+        }
     }
 }
 
@@ -303,8 +313,8 @@ impl SimulatorBackend {
     pub fn new(config: ScaleOutConfig) -> Self {
         Self {
             config,
-            farm: ClusterFarm::new(config.clusters, config.cluster),
-            roofline: roofline_for(&config.cluster),
+            farm: ClusterFarm::with_memory(config.clusters, config.cluster, config.memory),
+            roofline: roofline_for(&config),
         }
     }
 
@@ -548,7 +558,7 @@ impl AnalyticalBackend {
             config: *config,
             clusters: config.clusters,
             freq_hz: config.cluster.ntx_freq_hz,
-            roofline: roofline_for(&config.cluster),
+            roofline: roofline_for(config),
         }
     }
 

@@ -10,6 +10,7 @@
 //! [`Server`](crate::Server); the executor itself is the synchronous
 //! core both paths share.
 
+use ntx_mem::{HmcConfig, MemoryModel};
 use ntx_sim::{Cluster, ClusterConfig};
 
 use crate::backend::{
@@ -38,6 +39,11 @@ pub struct ScaleOutConfig {
     /// Estimated cycles of work one shard should carry before the
     /// space-sharing heuristic adds another cluster to a job.
     pub target_shard_cycles: u64,
+    /// External-memory model: ideal private memories (the default) or
+    /// one shared HMC whose vault/LoB bandwidth every cluster's DMA
+    /// draws from ([`MemoryModel::SharedHmc`]). Data outputs are
+    /// bit-identical either way; only timing changes.
+    pub memory: MemoryModel,
 }
 
 impl Default for ScaleOutConfig {
@@ -48,6 +54,7 @@ impl Default for ScaleOutConfig {
             pipelined: true,
             space_share: true,
             target_shard_cycles: 4096,
+            memory: MemoryModel::Ideal,
         }
     }
 }
@@ -67,6 +74,15 @@ impl ScaleOutConfig {
     #[must_use]
     pub fn barriered(mut self) -> Self {
         self.pipelined = false;
+        self
+    }
+
+    /// Runs every cluster against one shared HMC: DMA ext transfers
+    /// draw from the cube's vault/LoB bandwidth instead of ideal
+    /// private memories.
+    #[must_use]
+    pub fn with_shared_hmc(mut self, hmc: HmcConfig) -> Self {
+        self.memory = MemoryModel::SharedHmc(hmc);
         self
     }
 }

@@ -32,6 +32,7 @@
 //! window would make the per-job counters diverge from the barriered
 //! reference.
 
+use ntx_mem::{HmcSubsystem, MemoryModel};
 use ntx_sim::{Cluster, ClusterConfig, PerfSnapshot};
 use std::collections::VecDeque;
 
@@ -181,16 +182,57 @@ fn read_shard(cluster: &mut Cluster, plan: &ClusterPlan, out: &mut [f32]) {
 }
 
 impl ClusterFarm {
-    /// Builds `clusters` independent clusters.
+    /// Builds `clusters` independent clusters with ideal private
+    /// external memories.
     ///
     /// # Panics
     ///
     /// Panics when `clusters` is zero.
     #[must_use]
     pub fn new(clusters: usize, config: ClusterConfig) -> Self {
+        Self::with_memory(clusters, config, MemoryModel::Ideal)
+    }
+
+    /// Builds the farm under an explicit external-memory model. With
+    /// [`MemoryModel::SharedHmc`] one [`HmcSubsystem`] hands every
+    /// cluster its backing store and a port of the shared vault/LoB
+    /// bandwidth schedule, so concurrent DMA streams contend for
+    /// external-memory slots instead of each owning an ideal pipe —
+    /// the farm's clusters stay independent simulations (grants are a
+    /// pure function of the cycle), so both drive modes and the
+    /// `parallel` feature keep working unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `clusters` is zero.
+    #[must_use]
+    pub fn with_memory(clusters: usize, config: ClusterConfig, memory: MemoryModel) -> Self {
         assert!(clusters > 0, "need at least one cluster");
+        let built: Vec<Cluster> = match memory {
+            MemoryModel::Ideal => (0..clusters).map(|_| Cluster::new(config)).collect(),
+            MemoryModel::SharedHmc(hmc) => {
+                let mut sub = HmcSubsystem::new(
+                    hmc,
+                    u32::try_from(clusters).expect("cluster count fits u32"),
+                    config.ntx_freq_hz,
+                    config.dma_words_per_cycle,
+                );
+                sub.take_memories()
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, mem)| {
+                        let mut c = Cluster::new(ClusterConfig {
+                            ext_port: Some(sub.port(i as u32)),
+                            ..config
+                        });
+                        c.install_ext(mem);
+                        c
+                    })
+                    .collect()
+            }
+        };
         Self {
-            clusters: (0..clusters).map(|_| Cluster::new(config)).collect(),
+            clusters: built,
             freq_hz: config.ntx_freq_hz,
             pending: (0..clusters).map(|_| VecDeque::new()).collect(),
             active: Vec::new(),

@@ -24,6 +24,13 @@
 //!   [`ntx_sim::PerfSnapshot`]s stay **bit-identical** to the
 //!   barriered reference (`pipelined: false`), which is kept as the
 //!   differential oracle;
+//! * **Memory** — [`ScaleOutConfig::memory`] selects the
+//!   external-memory model: ideal private memories, or one shared HMC
+//!   ([`MemoryModel::SharedHmc`]) whose vault/LoB bandwidth every
+//!   cluster's DMA draws from through a deterministic per-cycle slot
+//!   schedule — scale-out then shows the companion paper's
+//!   memory-bound saturation, while data outputs stay bit-identical
+//!   to the ideal runs;
 //! * **Tiling** — the [`Tiler`] shards each job into per-cluster tiles
 //!   sized to the TCDM, reusing the engine-level `split_work` rule so
 //!   every shard computes exactly what the single-cluster lowering
@@ -102,6 +109,7 @@ pub use backend::{
 pub use executor::{run_sharded, BatchResult, JobResult, ScaleOutConfig, ScaleOutExecutor};
 pub use farm::{ClusterFarm, JobMeta, PlacedJob, ShardRetire};
 pub use job::{Job, JobClass, JobKind, JobOpts, JobQueue, RawJob};
+pub use ntx_mem::{HmcConfig, HmcSubsystem, MemoryModel};
 pub use pipeline::TilePipeline;
 pub use report::{ScaleOutReport, ServingReport};
 pub use server::{AdmissionMode, Completion, JobHandle, Server, ServerConfig, ServerHandle};

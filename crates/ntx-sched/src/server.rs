@@ -93,6 +93,15 @@ impl ServerConfig {
         self.admission = AdmissionMode::Wave;
         self
     }
+
+    /// Serves against one shared HMC instead of ideal private
+    /// memories (see
+    /// [`ScaleOutConfig::with_shared_hmc`](crate::ScaleOutConfig::with_shared_hmc)).
+    #[must_use]
+    pub fn with_shared_hmc(mut self, hmc: ntx_mem::HmcConfig) -> Self {
+        self.scale_out = self.scale_out.with_shared_hmc(hmc);
+        self
+    }
 }
 
 /// What a client gets back for one submission.

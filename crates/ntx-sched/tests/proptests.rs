@@ -27,8 +27,8 @@ use ntx_kernels::blas::GemmKernel;
 use ntx_kernels::conv::Conv2dKernel;
 use ntx_kernels::reference;
 use ntx_sched::{
-    run_sharded, ClusterFarm, DurationTable, Job, JobKind, JobQueue, JobResult, Placement,
-    ScaleOutConfig, ScaleOutExecutor, ShardRetire, SimulatorBackend,
+    run_sharded, ClusterFarm, DurationTable, HmcConfig, Job, JobKind, JobQueue, JobResult,
+    Placement, ScaleOutConfig, ScaleOutExecutor, ShardRetire, SimulatorBackend,
 };
 use proptest::prelude::*;
 
@@ -288,6 +288,78 @@ proptest! {
         // And the farm never invents or loses simulated work.
         assert_eq!(p.report.total_flops(), b.report.total_flops());
     }
+
+    /// Shared-HMC contention against the ideal-memory oracle, on
+    /// random multi-job mixes: drawing every DMA ext beat from a
+    /// tightly shared vault/LoB budget may only *stretch* timing —
+    /// per-job outputs stay bit-identical, external traffic volumes
+    /// stay equal, cycles never shrink, and the contended farm's
+    /// pipelined/barriered differential continues to hold (the
+    /// throttled burst fast path is exercised inside `run_batch`).
+    #[test]
+    fn shared_hmc_contention_changes_timing_not_data(
+        (kinds, clusters) in (prop::collection::vec(arb_kind(), 1..5), 2usize..6)
+    ) {
+        // 8 GB/s of shared LoB bandwidth: 1.6 words/cycle split across
+        // the clusters — a hard throttle against their 1-word ports.
+        let hmc = HmcConfig::default().with_interconnect_bits(64);
+        let fill = |kinds: &[JobKind]| {
+            let mut q = JobQueue::new();
+            for (i, kind) in kinds.iter().enumerate() {
+                q.job(format!("job-{i}")).kind(kind.clone()).submit();
+            }
+            q
+        };
+        // Identical full-width placement in both memory models, so the
+        // timing comparison is apples to apples.
+        let base = ScaleOutConfig {
+            space_share: false,
+            ..ScaleOutConfig::with_clusters(clusters).barriered()
+        };
+        let mut ideal = ScaleOutExecutor::new(base);
+        let mut contended = ScaleOutExecutor::new(base.with_shared_hmc(hmc));
+        let ri = ideal.run_queue(&mut fill(&kinds)).expect("ideal batch");
+        let rc = contended.run_queue(&mut fill(&kinds)).expect("contended batch");
+        let traffic = |r: &ntx_sched::BatchResult| -> (u64, u64, u64) {
+            r.results
+                .iter()
+                .flat_map(|j| &j.report.per_cluster)
+                .fold((0, 0, 0), |(d, rd, wr), p| {
+                    (d + p.dma_bytes, rd + p.ext_bytes_read, wr + p.ext_bytes_written)
+                })
+        };
+        for (i, c) in ri.results.iter().zip(&rc.results) {
+            assert_bits_eq(&i.output, &c.output, "contended vs ideal output");
+            assert!(
+                c.report.makespan_cycles >= i.report.makespan_cycles,
+                "contention must never shrink a job window"
+            );
+        }
+        assert_eq!(traffic(&ri), traffic(&rc), "traffic volume must not change");
+        assert!(rc.report.makespan_cycles >= ri.report.makespan_cycles);
+        // The contended farm keeps its own differential: pipelined,
+        // space-shared execution vs the barriered same-placement
+        // reference, both under the shared HMC.
+        let shared = ScaleOutConfig::with_clusters(clusters).with_shared_hmc(hmc);
+        let mut pipelined = ScaleOutExecutor::new(shared);
+        let mut barriered = ScaleOutExecutor::new(shared.barriered());
+        let p = pipelined.run_queue(&mut fill(&kinds)).expect("pipelined contended");
+        let b = barriered.run_queue(&mut fill(&kinds)).expect("barriered contended");
+        for (rp, rb) in p.results.iter().zip(&b.results) {
+            assert_bits_eq(&rp.output, &rb.output, "contended pipelined vs barriered");
+            assert_eq!(
+                rp.report.per_cluster, rb.report.per_cluster,
+                "per-job PerfSnapshots must stay bit-identical under contention"
+            );
+            assert_eq!(rp.report.makespan_cycles, rb.report.makespan_cycles);
+        }
+        assert!(p.report.makespan_cycles <= b.report.makespan_cycles);
+        // And the space-shared contended outputs still match the
+        // ideal full-width execution bit for bit.
+        for (rp, rideal) in p.results.iter().zip(&ri.results) {
+            assert_bits_eq(&rp.output, &rideal.output, "contended space-shared vs ideal");
+        }
+    }
 }
 
 /// Drives the continuous-admission engine over `kinds`, interleaving
@@ -342,7 +414,7 @@ fn replay_barriered(
     clusters: usize,
 ) -> Vec<JobResult> {
     let config = ScaleOutConfig::with_clusters(clusters);
-    let mut farm = ClusterFarm::new(clusters, config.cluster);
+    let mut farm = ClusterFarm::with_memory(clusters, config.cluster, config.memory);
     let placed = kinds
         .iter()
         .enumerate()

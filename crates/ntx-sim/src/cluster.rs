@@ -5,8 +5,8 @@ use crate::ntx_engine::{CyclePlan, EngineStatus, NtxEngine};
 use crate::perf::PerfSnapshot;
 use ntx_isa::{NtxConfig, NTX_REGFILE_BYTES};
 use ntx_mem::{
-    BankRequest, DmaDescriptor, DmaDirection, DmaEngine, ExtMemory, Interconnect, MasterId, Tcdm,
-    TcdmConfig,
+    BankRequest, DmaDescriptor, DmaDirection, DmaEngine, ExtMemory, HmcPort, Interconnect,
+    MasterId, Tcdm, TcdmConfig,
 };
 use ntx_riscv::{AccessSize, Bus, BusError, Cpu, Trap};
 
@@ -36,6 +36,12 @@ pub struct ClusterConfig {
     /// exists so differential tests and benchmarks can pin the pure
     /// per-cycle path.
     pub fast_path: bool,
+    /// Shared external-memory bandwidth schedule (a port of an
+    /// [`ntx_mem::HmcSubsystem`]). `None` models the ideal private
+    /// memory of the stand-alone cluster; `Some` clips every DMA
+    /// ext-transfer beat at the slots the shared HMC grants this
+    /// cluster in that cycle — timing changes, data never does.
+    pub ext_port: Option<HmcPort>,
 }
 
 impl Default for ClusterConfig {
@@ -49,6 +55,7 @@ impl Default for ClusterConfig {
             l2_bytes: 0x0014_0000,
             offload_write_cycles: 2,
             fast_path: true,
+            ext_port: None,
         }
     }
 }
@@ -86,6 +93,9 @@ pub struct Cluster {
     cycle: u64,
     busy_cycles: u64,
     offload_writes: u64,
+    /// Cycles the DMA had beats pending but the shared HMC granted
+    /// zero external-memory slots (always zero without an `ext_port`).
+    ext_wait_cycles: u64,
     dma_stage: DmaStage,
     /// Reusable hot-loop buffers (the fast path's replacement for the
     /// per-cycle `Vec`s of the reference [`Cluster::step`]).
@@ -145,6 +155,7 @@ impl Cluster {
             cycle: 0,
             busy_cycles: 0,
             offload_writes: 0,
+            ext_wait_cycles: 0,
             dma_stage: DmaStage::default(),
             req_buf: Vec::new(),
             grant_buf: Vec::new(),
@@ -167,6 +178,32 @@ impl Cluster {
     #[must_use]
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// External-memory words the shared HMC grants the DMA *this*
+    /// cycle (the full port width with an ideal private memory).
+    #[inline]
+    fn ext_allowance(&self) -> u32 {
+        match self.config.ext_port {
+            Some(p) => p.granted(self.cycle).min(self.config.dma_words_per_cycle),
+            None => self.config.dma_words_per_cycle,
+        }
+    }
+
+    /// Clips the DMA's desired accesses for this cycle at the granted
+    /// external-memory slots and accounts a wait cycle when the grant
+    /// is zero while beats are pending. Shared by the reference
+    /// [`Cluster::step`] and the fast path so the two stay bit-exact.
+    #[inline]
+    fn clip_dma_desired(&mut self, desired: &mut Vec<u32>) {
+        if desired.is_empty() {
+            return;
+        }
+        let allow = self.ext_allowance() as usize;
+        if allow == 0 {
+            self.ext_wait_cycles += 1;
+        }
+        desired.truncate(allow);
     }
 
     /// Advances the cluster by one NTX clock cycle: all engines and the
@@ -195,7 +232,9 @@ impl Cluster {
             spans.push((start, requests.len()));
         }
         let dma_start = requests.len();
-        for addr in self.dma.desired_accesses() {
+        let mut dma_desired = self.dma.desired_accesses();
+        self.clip_dma_desired(&mut dma_desired);
+        for addr in dma_desired {
             requests.push(BankRequest {
                 master: MasterId::Dma,
                 addr,
@@ -225,7 +264,10 @@ impl Cluster {
         // mask; without a duplicate bank the whole cycle is granted and
         // no request list or arbiter run is needed at all.
         self.plan_buf.clear();
-        self.dma.desired_accesses_into(&mut self.dma_buf);
+        let mut dma_buf = std::mem::take(&mut self.dma_buf);
+        self.dma.desired_accesses_into(&mut dma_buf);
+        self.clip_dma_desired(&mut dma_buf);
+        self.dma_buf = dma_buf;
         if let Some(bmask) = self.fast_bank_mask {
             let mut n_req = 0u64;
             let mut occupancy = 0u64;
@@ -371,15 +413,38 @@ impl Cluster {
                 out.cycles
             }
             (0, true) => {
-                let cycles = self.dma.burst_sole(
-                    &mut self.tcdm,
-                    &mut self.ext,
-                    &mut self.interconnect,
-                    max_cycles,
-                );
-                self.cycle += cycles;
-                self.busy_cycles += cycles;
-                cycles
+                // A shared-HMC port that can actually bind routes to
+                // the contended-aware burst (whole-row slices clipped
+                // at granted slot runs); otherwise the schedule is
+                // indistinguishable from the ideal memory and the
+                // plain burst applies.
+                let throttled = self.config.ext_port.filter(|p| {
+                    p.throttles() || p.words_per_cycle() < self.config.dma_words_per_cycle
+                });
+                if let Some(port) = throttled {
+                    let b = self.dma.burst_sole_throttled(
+                        &mut self.tcdm,
+                        &mut self.ext,
+                        &mut self.interconnect,
+                        port,
+                        self.cycle,
+                        max_cycles,
+                    );
+                    self.cycle += b.cycles;
+                    self.busy_cycles += b.active_cycles;
+                    self.ext_wait_cycles += b.cycles - b.active_cycles;
+                    b.cycles
+                } else {
+                    let cycles = self.dma.burst_sole(
+                        &mut self.tcdm,
+                        &mut self.ext,
+                        &mut self.interconnect,
+                        max_cycles,
+                    );
+                    self.cycle += cycles;
+                    self.busy_cycles += cycles;
+                    cycles
+                }
             }
             _ => {
                 // Contended regime: cycle-accurate stepping without
@@ -554,6 +619,13 @@ impl Cluster {
         &mut self.ext
     }
 
+    /// Replaces the external memory behind the AXI port — how a
+    /// cluster farm installs the backing store its shared
+    /// [`ntx_mem::HmcSubsystem`] owns for this cluster's port.
+    pub fn install_ext(&mut self, mem: ExtMemory) {
+        self.ext = mem;
+    }
+
     // --- measurement ---
 
     /// Snapshots every performance counter.
@@ -568,6 +640,7 @@ impl Cluster {
             dma_busy_cycles: self.dma.busy_cycles(),
             ext_bytes_read: self.ext.bytes_read(),
             ext_bytes_written: self.ext.bytes_written(),
+            ext_wait_cycles: self.ext_wait_cycles,
             tcdm_reads: self.tcdm.reads(),
             tcdm_writes: self.tcdm.writes(),
             ..Default::default()
@@ -591,6 +664,7 @@ impl Cluster {
     pub fn reset_counters(&mut self) {
         self.busy_cycles = 0;
         self.offload_writes = 0;
+        self.ext_wait_cycles = 0;
         self.interconnect.reset_counters();
         self.dma.reset_counters();
         self.ext.reset_counters();
@@ -975,6 +1049,54 @@ mod tests {
         );
         cluster.run_to_completion();
         assert_eq!(cluster.read_tcdm_f32(0x300, 2), vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn shared_hmc_port_stretches_timing_but_not_data() {
+        use ntx_mem::hmc::{HmcConfig, HmcSubsystem};
+        // 8 GB/s LoB split 16 ways = 0.1 words/cycle per port: a hard
+        // throttle against the 1-word AXI port.
+        let sub = HmcSubsystem::new(
+            HmcConfig::default().with_interconnect_bits(64),
+            16,
+            1.25e9,
+            1,
+        );
+        let run = |ext_port| {
+            let mut cluster = Cluster::new(ClusterConfig {
+                ext_port,
+                ..ClusterConfig::default()
+            });
+            cluster.write_tcdm_f32(0, &[1.0; 32]);
+            cluster.write_tcdm_f32(0x100, &[3.0; 32]);
+            cluster.ext_mem().write_f32_slice(0x8000, &[9.0; 256]);
+            cluster.dma_push(DmaDescriptor::linear(
+                0x8000,
+                0x4000,
+                1024,
+                DmaDirection::ExtToTcdm,
+            ));
+            cluster.offload_with_writes(0, &mac_cfg(0, 0x100, 0x200, 32), 1);
+            cluster.run_to_completion();
+            let data = (
+                cluster.read_tcdm_f32(0x200, 1)[0],
+                cluster.read_tcdm_f32(0x4000, 256),
+            );
+            (data, cluster.cycle(), cluster.perf())
+        };
+        let (ideal_data, ideal_cycles, ideal_perf) = run(None);
+        let (contended_data, contended_cycles, contended_perf) = run(Some(sub.port(3)));
+        assert_eq!(ideal_data, contended_data, "contention must not touch data");
+        assert!(
+            contended_cycles > 2 * ideal_cycles,
+            "0.1 words/cycle must stretch the DMA-bound run ({contended_cycles} vs {ideal_cycles})"
+        );
+        assert_eq!(ideal_perf.ext_wait_cycles, 0);
+        assert!(contended_perf.ext_wait_cycles > 0);
+        // Traffic is identical either way — only its timing moved.
+        assert_eq!(ideal_perf.dma_bytes, contended_perf.dma_bytes);
+        assert_eq!(ideal_perf.ext_bytes_read, contended_perf.ext_bytes_read);
+        assert_eq!(ideal_perf.flops, contended_perf.flops);
     }
 
     #[test]

@@ -33,6 +33,10 @@ pub struct PerfSnapshot {
     pub ext_bytes_read: u64,
     /// Bytes written to external memory (DRAM traffic out).
     pub ext_bytes_written: u64,
+    /// Cycles the DMA had transfer beats pending but the shared HMC
+    /// subsystem granted zero external-memory slots (always zero with
+    /// the ideal private memory).
+    pub ext_wait_cycles: u64,
     /// TCDM read accesses performed (energy model input).
     pub tcdm_reads: u64,
     /// TCDM write accesses performed (energy model input).
@@ -57,6 +61,7 @@ impl PerfSnapshot {
             dma_busy_cycles: self.dma_busy_cycles - earlier.dma_busy_cycles,
             ext_bytes_read: self.ext_bytes_read - earlier.ext_bytes_read,
             ext_bytes_written: self.ext_bytes_written - earlier.ext_bytes_written,
+            ext_wait_cycles: self.ext_wait_cycles - earlier.ext_wait_cycles,
             tcdm_reads: self.tcdm_reads - earlier.tcdm_reads,
             tcdm_writes: self.tcdm_writes - earlier.tcdm_writes,
         }
@@ -98,6 +103,7 @@ impl PerfSnapshot {
             dma_busy_cycles,
             ext_bytes_read,
             ext_bytes_written,
+            ext_wait_cycles,
             tcdm_reads,
             tcdm_writes,
         } = *delta;
@@ -113,6 +119,7 @@ impl PerfSnapshot {
         self.dma_busy_cycles += dma_busy_cycles;
         self.ext_bytes_read += ext_bytes_read;
         self.ext_bytes_written += ext_bytes_written;
+        self.ext_wait_cycles += ext_wait_cycles;
         self.tcdm_reads += tcdm_reads;
         self.tcdm_writes += tcdm_writes;
     }
