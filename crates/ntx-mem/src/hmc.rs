@@ -27,10 +27,20 @@
 //! saturation study measures. Because grants are state-free, clusters
 //! can still be simulated independently (and in parallel) without
 //! lock-stepping the farm, and a run is bit-reproducible by
-//! construction. The deliberate simplification: slots a port leaves
-//! unused are *not* redistributed to the others within the same cycle,
-//! so a lone active cluster is throttled to its fair share rather than
-//! the full pipe.
+//! construction.
+//!
+//! The schedule is *work-conserving with respect to a declared demand
+//! vector*: [`HmcSubsystem::port_among`] divides every cycle's slots
+//! across only the ports named active, so slots an idle port would
+//! have wasted are redistributed within the same cycle and a lone
+//! active cluster receives the full pipe (capped at its own AXI
+//! width) instead of its 1/N fair share. Grants remain a pure
+//! function of `(cycle, port, demand vector, budget)` — nothing is
+//! negotiated at run time, so independent per-cluster simulation is
+//! preserved. Declaring every port active ([`HmcSubsystem::port`])
+//! reproduces the saturated schedule bit for bit; that saturated
+//! demand vector is what the cluster farm assumes, since its drive
+//! modes must observe identical grants without lock-stepping.
 //!
 //! Only *timing* flows through the arbiter. Data ordering is untouched
 //! (a denied slot delays the in-order DMA stream, it never reorders
@@ -310,6 +320,45 @@ impl HmcSubsystem {
         }
     }
 
+    /// The work-conserving grant schedule of port `index` when only
+    /// the ports in `active` are streaming: every cycle's slots are
+    /// divided across the active set alone, so an idle port's share is
+    /// redistributed within the same cycle instead of wasted. With
+    /// every port active this is exactly [`HmcSubsystem::port`]; with a
+    /// single active port it receives the full shared pipe, capped at
+    /// its own AXI width.
+    ///
+    /// The demand vector is an explicit *static* input — grants stay a
+    /// pure function of `(cycle, port, active, budget)`, so clusters
+    /// that agree on the active set up front still simulate
+    /// independently without negotiating at run time.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `active` is strictly increasing, within range, and
+    /// contains `index`.
+    #[must_use]
+    pub fn port_among(&self, index: u32, active: &[u32]) -> HmcPort {
+        assert!(!active.is_empty(), "active set must name at least one port");
+        assert!(
+            active.windows(2).all(|w| w[0] < w[1]),
+            "active set must be strictly increasing"
+        );
+        assert!(
+            *active.last().unwrap() < self.ports,
+            "active port index out of range"
+        );
+        let rank = active
+            .binary_search(&index)
+            .expect("index must be in the active set") as u32;
+        HmcPort {
+            index: rank,
+            ports: active.len() as u32,
+            port_words_per_cycle: self.port_words_per_cycle,
+            budget_q16: self.budget_q16,
+        }
+    }
+
     /// Mutable access to the backing store of port `index`.
     ///
     /// # Panics
@@ -450,6 +499,86 @@ mod tests {
         for t in 0..1000 {
             assert_eq!(p.granted(t), 1);
         }
+    }
+
+    #[test]
+    fn lone_active_port_receives_full_pipe() {
+        // 64 attached ports, but only one is streaming: the
+        // work-conserving schedule must hand it every issued slot
+        // (capped at its AXI width) instead of the 1/64 fair share the
+        // saturated schedule would give it.
+        let sub = HmcSubsystem::new(HmcConfig::default(), 64, 1.25e9, 8);
+        let lone = sub.port_among(17, &[17]);
+        let window = 1000u64;
+        let mut granted = 0u64;
+        let mut issued = 0u64;
+        for t in 0..window {
+            issued += lone.total_slots(t);
+            granted += u64::from(lone.granted(t));
+        }
+        assert_eq!(granted, issued, "lone port must drain the full budget");
+        assert!((granted as f64 / window as f64 - 6.4).abs() < 1e-2);
+        // The saturated schedule throttles the same port to ~0.1 w/c.
+        let shared: u64 = (0..window)
+            .map(|t| u64::from(sub.port(17).granted(t)))
+            .sum();
+        assert!(
+            shared < granted / 32,
+            "fair share is far below the full pipe"
+        );
+        // The port's own AXI width still caps the grant: a 1-word port
+        // cannot sink more than 1 word/cycle even when alone.
+        let narrow = HmcSubsystem::new(HmcConfig::default(), 64, 1.25e9, 1);
+        let lone = narrow.port_among(5, &[5]);
+        for t in 0..window {
+            assert_eq!(lone.granted(t), 1);
+        }
+        assert!(!lone.throttles(), "a lone 1-word port is uncontended");
+    }
+
+    #[test]
+    fn all_active_demand_reproduces_saturated_schedule() {
+        // Declaring every port active is bitwise the PR 5 saturated
+        // schedule — the farm relies on this to keep its default
+        // demand vector backwards-compatible.
+        let sub = HmcSubsystem::new(HmcConfig::default(), 8, 1.25e9, 2);
+        let all: Vec<u32> = (0..8).collect();
+        for i in 0..8 {
+            assert_eq!(sub.port_among(i, &all), sub.port(i));
+        }
+    }
+
+    #[test]
+    fn subset_demand_is_work_conserving_and_fair() {
+        // Three of 64 ports active: every issued slot must land on one
+        // of them, split fairly, regardless of which indices they are.
+        let sub = HmcSubsystem::new(HmcConfig::default(), 64, 1.25e9, 8);
+        let active = [3u32, 9, 31];
+        let window = 3 * 500u64;
+        let mut per_port = vec![0u64; active.len()];
+        let mut issued = 0u64;
+        for t in 0..window {
+            issued += sub.port(0).total_slots(t);
+            for (w, &i) in per_port.iter_mut().zip(&active) {
+                *w += u64::from(sub.port_among(i, &active).granted(t));
+            }
+        }
+        let granted: u64 = per_port.iter().sum();
+        assert_eq!(granted, issued, "no slot is wasted on idle ports");
+        let fair = issued as f64 / active.len() as f64;
+        for (&i, &w) in active.iter().zip(&per_port) {
+            assert!(
+                (w as f64 - fair).abs() <= 1.0,
+                "port {i} got {w} of fair {fair:.1}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "active set")]
+    fn port_among_rejects_unsorted_demand() {
+        let sub = HmcSubsystem::new(HmcConfig::default(), 8, 1.25e9, 1);
+        let _ = sub.port_among(3, &[3, 1]);
     }
 
     #[test]
