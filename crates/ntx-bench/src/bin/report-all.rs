@@ -41,4 +41,5 @@ fn main() {
         ntx_bench::format::scaling(&ntx_bench::scaling_report())
     );
     print!("{}", ntx_bench::format::hmc(&ntx_bench::hmc_report()));
+    print!("{}", ntx_bench::format::mesh(&ntx_bench::mesh_report()));
 }

@@ -884,6 +884,7 @@ fn hmc_weak_scaling_run(
                     label: job.label.clone(),
                     output_len: job.output_len(),
                     class: job.kind.class(),
+                    home_cube: None,
                 },
                 shards: vec![(c, plan)],
             }
@@ -997,6 +998,222 @@ pub fn hmc_report_sweep(counts: &[usize]) -> HmcReport {
     HmcReport {
         shared_bandwidth: hmc.shared_bandwidth(),
         shared_words_per_cycle: hmc.shared_bandwidth() / (4.0 * freq),
+        conv,
+        gemm,
+        bit_identical,
+    }
+}
+
+// --------------------------------------------------- multi-cube HMC mesh
+
+/// One `(clusters, cubes)` point of the mesh weak-scaling sweep.
+#[derive(Debug, Clone)]
+pub struct MeshScalingPoint {
+    /// Clusters in the farm (one streaming job each).
+    pub clusters: usize,
+    /// Cubes in the mesh; clusters are block-partitioned over them.
+    pub cubes: u32,
+    /// Batch makespan with ideal private memories, cycles.
+    pub ideal_makespan_cycles: u64,
+    /// Makespan with every job homed at its own cluster's cube
+    /// (data-affine placement: all traffic cube-local), cycles.
+    pub affine_makespan_cycles: u64,
+    /// Makespan with the same homes but every job placed one cube
+    /// over (placement ignoring affinity: all traffic crosses a
+    /// serial link when the mesh has more than one cube), cycles.
+    pub naive_makespan_cycles: u64,
+    /// Weak-scaling efficiency of the affine run vs linear:
+    /// `ideal / affine`.
+    pub affine_efficiency: f64,
+    /// Weak-scaling efficiency of the naive run: `ideal / naive`.
+    pub naive_efficiency: f64,
+    /// Serial-link bytes of the affine run (0 under perfect affinity).
+    pub affine_remote_bytes: u64,
+    /// Serial-link bytes of the naive run.
+    pub naive_remote_bytes: u64,
+    /// Fraction of naive cluster-cycles attributed to remote access
+    /// (hop latency plus zero-grant waits at the link clip).
+    pub naive_remote_wait_fraction: f64,
+    /// Outputs bitwise identical across all three runs.
+    pub bit_identical: bool,
+}
+
+/// The mesh weak-scaling curve of one streaming workload.
+#[derive(Debug, Clone)]
+pub struct MeshWorkloadCurve {
+    /// Workload label.
+    pub workload: String,
+    /// One point per `(clusters, cubes)` pair, ascending.
+    pub points: Vec<MeshScalingPoint>,
+}
+
+/// The `report-mesh` measurement: weak scaling over a growing HMC
+/// mesh, data-affine placement against the placement-blind control.
+#[derive(Debug, Clone)]
+pub struct MeshReport {
+    /// Vault/LoB bandwidth of one cube, bytes/s.
+    pub cube_bandwidth: f64,
+    /// One serial link's budget in DMA words per NTX cycle.
+    pub link_words_per_cycle: f64,
+    /// Hop latency charged per remote shard, cycles.
+    pub link_latency_cycles: u32,
+    /// Streaming 3×3 convolution curve.
+    pub conv: MeshWorkloadCurve,
+    /// Streaming low-intensity GEMM curve.
+    pub gemm: MeshWorkloadCurve,
+    /// Every point of every curve bit-identical across the three runs.
+    pub bit_identical: bool,
+}
+
+/// Runs `clusters` single-shard copies of `kind` under `memory`, with
+/// job `i` placed by `place(i) = (cluster, home cube)`, and returns
+/// the batch makespan, the farm's counter totals (including the
+/// remote-traffic attribution) and each job's output.
+fn mesh_scaling_run(
+    kind: &ntx_sched::JobKind,
+    clusters: usize,
+    memory: ntx_sched::MemoryModel,
+    place: impl Fn(usize) -> (usize, Option<u32>),
+) -> (u64, PerfSnapshot, Vec<Vec<f32>>) {
+    use ntx_sched::{ClusterFarm, Job, JobMeta, PlacedJob, Tiler};
+    let mut farm = ClusterFarm::with_memory(clusters, ClusterConfig::default(), memory);
+    let placed: Vec<PlacedJob> = (0..clusters)
+        .map(|i| {
+            let job = Job::new(i as u64, format!("job-{i}"), kind.clone());
+            let mut plans = Tiler::new(1)
+                .plan(&job, farm.cluster(0))
+                .expect("single-shard streaming job");
+            let plan = plans.pop().expect("one plan per shard");
+            let (cluster, home_cube) = place(i);
+            PlacedJob {
+                meta: JobMeta {
+                    id: job.id,
+                    label: job.label.clone(),
+                    output_len: job.output_len(),
+                    class: job.kind.class(),
+                    home_cube,
+                },
+                shards: vec![(cluster, plan)],
+            }
+        })
+        .collect();
+    let batch = farm.run_batch(placed, true);
+    let outputs = batch.results.into_iter().map(|r| r.output).collect();
+    (batch.report.makespan_cycles, farm.perf_totals(), outputs)
+}
+
+/// Sweeps one workload over the `(clusters, cubes)` points.
+fn mesh_curve(
+    label: &str,
+    kind: &ntx_sched::JobKind,
+    points: &[(usize, u32)],
+    mesh_of: impl Fn(u32) -> ntx_sched::MeshConfig,
+) -> MeshWorkloadCurve {
+    use ntx_sched::MemoryModel;
+    let points = points
+        .iter()
+        .map(|&(n, cubes)| {
+            // The block partition the mesh itself uses: the home of
+            // cluster i's slice of the data set.
+            let cube_of = |i: usize| ((i as u64 * u64::from(cubes)) / n as u64) as u32;
+            let (ideal, _, out_i) = mesh_scaling_run(kind, n, MemoryModel::Ideal, |i| (i, None));
+            // Affine: every job homed where its cluster is attached.
+            let (affine, perf_a, out_a) =
+                mesh_scaling_run(kind, n, MemoryModel::HmcMesh(mesh_of(cubes)), |i| {
+                    (i, Some(cube_of(i)))
+                });
+            // Naive: same homes, but placement shifts every job one
+            // cube over — the traffic pattern of a scheduler that
+            // balances load while ignoring where the data lives.
+            let shift = n / cubes as usize;
+            let (naive, perf_n, out_n) =
+                mesh_scaling_run(kind, n, MemoryModel::HmcMesh(mesh_of(cubes)), |i| {
+                    ((i + shift) % n, Some(cube_of(i)))
+                });
+            let eq = |a: &Vec<Vec<f32>>, b: &Vec<Vec<f32>>| {
+                a.len() == b.len()
+                    && a.iter().zip(b).all(|(x, y)| {
+                        x.len() == y.len()
+                            && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
+                    })
+            };
+            MeshScalingPoint {
+                clusters: n,
+                cubes,
+                ideal_makespan_cycles: ideal,
+                affine_makespan_cycles: affine,
+                naive_makespan_cycles: naive,
+                affine_efficiency: ideal as f64 / affine as f64,
+                naive_efficiency: ideal as f64 / naive as f64,
+                affine_remote_bytes: perf_a.ext_remote_bytes,
+                naive_remote_bytes: perf_n.ext_remote_bytes,
+                naive_remote_wait_fraction: if perf_n.cycles == 0 {
+                    0.0
+                } else {
+                    perf_n.ext_remote_wait_cycles as f64 / perf_n.cycles as f64
+                },
+                bit_identical: eq(&out_i, &out_a) && eq(&out_i, &out_n),
+            }
+        })
+        .collect();
+    MeshWorkloadCurve {
+        workload: label.into(),
+        points,
+    }
+}
+
+/// Runs the multi-cube mesh experiment (see [`MeshReport`]): weak
+/// scaling from 1 cluster on 1 cube to 64 clusters on 8 cubes, the
+/// same streaming workloads as [`hmc_report`]. Under data-affine
+/// placement every cube serves only its attached clusters, so the
+/// 64-cluster farm runs in the 8-per-cube regime of the PR 5 curve
+/// (near-linear) instead of collapsing at `budget / 64`; the naive
+/// control pushes every stream over a serial link and pays the
+/// bandwidth clip plus the hop latency.
+#[must_use]
+pub fn mesh_report() -> MeshReport {
+    mesh_report_sweep(&[(1, 1), (2, 2), (4, 4), (8, 8), (16, 8), (32, 8), (64, 8)])
+}
+
+/// [`mesh_report`] over an explicit `(clusters, cubes)` sweep (the
+/// unit tests run a reduced sweep; `report-mesh` runs the full one).
+#[must_use]
+pub fn mesh_report_sweep(points: &[(usize, u32)]) -> MeshReport {
+    use ntx_sched::JobKind;
+    let mesh_of = |cubes: u32| ntx_sched::MeshConfig::default().with_cubes(cubes);
+    let probe = mesh_of(1);
+    let freq = ClusterConfig::default().ntx_freq_hz;
+    let conv_kernel = Conv2dKernel {
+        height: 66,
+        width: 63,
+        k: 3,
+        filters: 2,
+    };
+    let conv = JobKind::Conv2d {
+        kernel: conv_kernel,
+        image: test_data(
+            (conv_kernel.height * conv_kernel.width) as usize,
+            0x0d15_ea5e,
+        ),
+        weights: test_data((9 * conv_kernel.filters) as usize, 0x600d_cafe),
+    };
+    let dims = GemmKernel { m: 48, k: 8, n: 24 };
+    let gemm = JobKind::Gemm {
+        dims,
+        a: test_data((dims.m * dims.k) as usize, 0xbead_5eed),
+        b: test_data((dims.k * dims.n) as usize, 0xface_b00c),
+    };
+    let conv = mesh_curve("conv3x3 66x63x2 streaming", &conv, points, mesh_of);
+    let gemm = mesh_curve("gemm 48x8x24 streaming", &gemm, points, mesh_of);
+    let bit_identical = conv
+        .points
+        .iter()
+        .chain(&gemm.points)
+        .all(|p| p.bit_identical);
+    MeshReport {
+        cube_bandwidth: probe.cube.shared_bandwidth(),
+        link_words_per_cycle: probe.cube.link_bandwidth / (4.0 * freq),
+        link_latency_cycles: probe.link_latency_cycles,
         conv,
         gemm,
         bit_identical,
@@ -1170,6 +1387,43 @@ mod tests {
             );
             assert!(p16.ext_wait_fraction > 0.2);
             assert!(p16.achieved_ext_bandwidth <= 1.02 * r.shared_bandwidth);
+        }
+    }
+
+    #[test]
+    fn mesh_sweep_keeps_affinity_gap_without_touching_data() {
+        // Reduced sweep (the release binary gates the full run): two
+        // lone-port cubes, then 16 clusters split over 2 cubes — each
+        // cube in its oversubscribed 8-port regime, so affinity
+        // matters while the run stays fast.
+        let r = mesh_report_sweep(&[(2, 2), (16, 2)]);
+        assert!(r.bit_identical, "topology/placement must never touch data");
+        for curve in [&r.conv, &r.gemm] {
+            let p2 = &curve.points[0];
+            assert_eq!((p2.clusters, p2.cubes), (2, 2));
+            assert_eq!(
+                p2.ideal_makespan_cycles, p2.affine_makespan_cycles,
+                "{}: a lone port per cube gets the full pipe",
+                curve.workload
+            );
+            assert!(
+                p2.naive_makespan_cycles > p2.affine_makespan_cycles,
+                "{}: the remote hop must cost cycles",
+                curve.workload
+            );
+            assert_eq!(p2.affine_remote_bytes, 0);
+            assert!(p2.naive_remote_bytes > 0);
+            let p16 = &curve.points[1];
+            assert_eq!((p16.clusters, p16.cubes), (16, 2));
+            assert!(
+                p16.naive_efficiency < p16.affine_efficiency,
+                "{}: placement-blind scheduling must lose efficiency \
+                 ({:.0}% vs {:.0}%)",
+                curve.workload,
+                p16.naive_efficiency * 100.0,
+                p16.affine_efficiency * 100.0
+            );
+            assert!(p16.naive_remote_wait_fraction > 0.0);
         }
     }
 

@@ -337,6 +337,125 @@ pub fn hmc_json(r: &crate::experiments::HmcReport) -> String {
     )
 }
 
+/// Formats one curve of the mesh weak-scaling sweep.
+fn mesh_curve_text(c: &crate::experiments::MeshWorkloadCurve) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("  workload: {}\n", c.workload));
+    s.push_str(&format!(
+        "  {:>8} {:>5} {:>12} {:>12} {:>12} {:>8} {:>8} {:>11} {:>9} {:>5}\n",
+        "clusters",
+        "cubes",
+        "ideal cyc",
+        "affine cyc",
+        "naive cyc",
+        "aff eff",
+        "nai eff",
+        "remote MB",
+        "rem wait",
+        "bits"
+    ));
+    for p in &c.points {
+        s.push_str(&format!(
+            "  {:>8} {:>5} {:>12} {:>12} {:>12} {:>7.0}% {:>7.0}% {:>11.2} {:>8.0}% {:>5}\n",
+            p.clusters,
+            p.cubes,
+            p.ideal_makespan_cycles,
+            p.affine_makespan_cycles,
+            p.naive_makespan_cycles,
+            p.affine_efficiency * 100.0,
+            p.naive_efficiency * 100.0,
+            p.naive_remote_bytes as f64 / 1e6,
+            p.naive_remote_wait_fraction * 100.0,
+            if p.bit_identical { "ok" } else { "DIFF" },
+        ));
+    }
+    s
+}
+
+/// Formats the multi-cube mesh measurement.
+#[must_use]
+pub fn mesh(r: &crate::experiments::MeshReport) -> String {
+    let mut s = String::new();
+    s.push_str("HMC mesh — weak scaling over cubes, data-affine vs naive placement\n");
+    s.push_str(&format!(
+        "  per-cube bandwidth: {:.1} GB/s; serial link: {:.2} words/cycle, {} cycles latency\n",
+        r.cube_bandwidth / 1e9,
+        r.link_words_per_cycle,
+        r.link_latency_cycles
+    ));
+    s.push_str(&mesh_curve_text(&r.conv));
+    s.push_str(&mesh_curve_text(&r.gemm));
+    s.push_str(&format!(
+        "  outputs bit-identical across memory models and placements: {}\n",
+        if r.bit_identical { "yes" } else { "NO" }
+    ));
+    s
+}
+
+fn mesh_point_json(p: &crate::experiments::MeshScalingPoint) -> String {
+    format!(
+        concat!(
+            "      {{\n",
+            "        \"clusters\": {},\n",
+            "        \"cubes\": {},\n",
+            "        \"ideal_makespan_cycles\": {},\n",
+            "        \"affine_makespan_cycles\": {},\n",
+            "        \"naive_makespan_cycles\": {},\n",
+            "        \"affine_efficiency\": {:.4},\n",
+            "        \"naive_efficiency\": {:.4},\n",
+            "        \"affine_remote_bytes\": {},\n",
+            "        \"naive_remote_bytes\": {},\n",
+            "        \"naive_remote_wait_fraction\": {:.4},\n",
+            "        \"bit_identical\": {}\n",
+            "      }}"
+        ),
+        p.clusters,
+        p.cubes,
+        p.ideal_makespan_cycles,
+        p.affine_makespan_cycles,
+        p.naive_makespan_cycles,
+        p.affine_efficiency,
+        p.naive_efficiency,
+        p.affine_remote_bytes,
+        p.naive_remote_bytes,
+        p.naive_remote_wait_fraction,
+        p.bit_identical
+    )
+}
+
+fn mesh_curve_json(c: &crate::experiments::MeshWorkloadCurve) -> String {
+    let points: Vec<String> = c.points.iter().map(mesh_point_json).collect();
+    format!(
+        "{{\n    \"workload\": \"{}\",\n    \"points\": [\n{}\n    ]\n  }}",
+        c.workload,
+        points.join(",\n")
+    )
+}
+
+/// Serialises the mesh measurement as the `BENCH_mesh.json` artifact
+/// (hand-rolled: no serde in the container).
+#[must_use]
+pub fn mesh_json(r: &crate::experiments::MeshReport) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"cube_bandwidth\": {:.1},\n",
+            "  \"link_words_per_cycle\": {:.4},\n",
+            "  \"link_latency_cycles\": {},\n",
+            "  \"conv\": {},\n",
+            "  \"gemm\": {},\n",
+            "  \"bit_identical\": {}\n",
+            "}}\n"
+        ),
+        r.cube_bandwidth,
+        r.link_words_per_cycle,
+        r.link_latency_cycles,
+        mesh_curve_json(&r.conv),
+        mesh_curve_json(&r.gemm),
+        r.bit_identical
+    )
+}
+
 /// Formats the simulator fast-path measurement.
 #[must_use]
 pub fn simperf(r: &crate::experiments::SimPerfReport) -> String {

@@ -150,22 +150,31 @@ pub enum MemoryModel {
     /// vault/LoB bandwidth of one [`HmcSubsystem`]; data outputs stay
     /// bit-identical to [`MemoryModel::Ideal`], only timing changes.
     SharedHmc(HmcConfig),
+    /// Clusters are block-partitioned over the cubes of an
+    /// [`HmcMesh`](crate::mesh::HmcMesh): each cube arbitrates only
+    /// its attached clusters, and off-home-cube traffic pays the
+    /// serial-link clip and hop latency. Data outputs stay
+    /// bit-identical to [`MemoryModel::Ideal`], only timing changes.
+    HmcMesh(crate::mesh::MeshConfig),
 }
 
 /// Fixed-point fraction bits of the slot schedule (Q16: budgets are
 /// exact to 1/65536 word per cycle).
-const SLOT_FP_BITS: u32 = 16;
+pub(crate) const SLOT_FP_BITS: u32 = 16;
 
 /// One cluster's view of the shared subsystem: a stateless, `Copy`
 /// grant schedule. [`HmcPort::granted`] is a pure function of the
 /// cycle index, so attached clusters never need to synchronise — see
-/// the module docs for the fairness construction.
+/// the module docs for the fairness construction. The mesh module
+/// reuses the same schedule for its remote ports: a private
+/// (1-contender) port whose budget is pre-clipped to the minimum of
+/// the home cube's LoB share and the serial-link share.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HmcPort {
-    index: u32,
-    ports: u32,
-    port_words_per_cycle: u32,
-    budget_q16: u64,
+    pub(crate) index: u32,
+    pub(crate) ports: u32,
+    pub(crate) port_words_per_cycle: u32,
+    pub(crate) budget_q16: u64,
 }
 
 impl HmcPort {
@@ -250,9 +259,9 @@ impl HmcPort {
 #[derive(Debug)]
 pub struct HmcSubsystem {
     config: HmcConfig,
-    ports: u32,
-    port_words_per_cycle: u32,
-    budget_q16: u64,
+    pub(crate) ports: u32,
+    pub(crate) port_words_per_cycle: u32,
+    pub(crate) budget_q16: u64,
     mems: Vec<ExtMemory>,
 }
 

@@ -18,7 +18,10 @@
 //!   parameters for the system-level models, plus the
 //!   [`HmcSubsystem`]/[`HmcPort`] per-cycle bandwidth arbiter that
 //!   multi-cluster simulations draw their external-memory slots from
-//!   (selected via [`MemoryModel`]).
+//!   (selected via [`MemoryModel`]);
+//! * [`mesh`] — the multi-cube scale-out substrate: an [`HmcMesh`] of
+//!   per-cube subsystems with home-cube data placement and a
+//!   serial-link hop model for remote traffic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,10 +30,12 @@ mod dma;
 mod ext_mem;
 pub mod hmc;
 mod interconnect;
+pub mod mesh;
 mod tcdm;
 
 pub use dma::{DmaDescriptor, DmaDirection, DmaEngine, ThrottledBurst};
 pub use ext_mem::ExtMemory;
 pub use hmc::{HmcConfig, HmcPort, HmcSubsystem, MemoryModel};
 pub use interconnect::{BankRequest, Interconnect, MasterId};
+pub use mesh::{HmcMesh, MeshConfig};
 pub use tcdm::{Tcdm, TcdmConfig};

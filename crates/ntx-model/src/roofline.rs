@@ -53,6 +53,19 @@ impl Roofline {
         self
     }
 
+    /// Caps the memory roof for a farm spread over a `cubes`-cube HMC
+    /// mesh with data-affine placement: each cube's vault/LoB ceiling
+    /// (`cube_bandwidth`) is shared only by the clusters attached to
+    /// that cube, so the per-cluster share is `cube_bandwidth` over the
+    /// largest per-cube attachment count — remote traffic is the
+    /// placement fallback, not the sizing assumption. With one cube
+    /// this is exactly [`with_shared_bandwidth`](Self::with_shared_bandwidth).
+    #[must_use]
+    pub fn with_mesh_bandwidth(self, cube_bandwidth: f64, clusters: usize, cubes: usize) -> Self {
+        let per_cube = clusters.div_ceil(cubes.max(1));
+        self.with_shared_bandwidth(cube_bandwidth, per_cube)
+    }
+
     /// Theoretical performance at operational intensity `oi` (flop/B).
     #[must_use]
     pub fn performance(&self, oi: f64) -> f64 {

@@ -132,6 +132,11 @@ fn roofline_for(config: &ScaleOutConfig) -> Roofline {
         MemoryModel::SharedHmc(hmc) => {
             r.with_shared_bandwidth(hmc.shared_bandwidth(), config.clusters)
         }
+        MemoryModel::HmcMesh(mesh) => r.with_mesh_bandwidth(
+            mesh.cube.shared_bandwidth(),
+            config.clusters,
+            mesh.cubes as usize,
+        ),
     }
 }
 
@@ -293,6 +298,7 @@ impl Placement {
                 label: job.label.clone(),
                 output_len: job.output_len(),
                 class: job.kind.class(),
+                home_cube: job.opts.home_cube,
             },
             shards: self.clusters.iter().copied().zip(nonempty).collect(),
         })
@@ -426,9 +432,23 @@ impl SimulatorBackend {
         let hint = table.corrected_cycles(class, per_shard);
         let nonempty: Vec<ClusterPlan> = plans.into_iter().filter(|p| !p.is_empty()).collect();
         // Least-loaded clusters take the shards; ascending-index ties
-        // keep placement deterministic.
+        // keep placement deterministic. On a mesh with affinity enabled
+        // the primary key is data locality: clusters attached to the
+        // job's home cube win over less-loaded remote ones, so shards
+        // cross a serial link only when the home cube has no ports
+        // left to give.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by_key(|&c| (self.farm.load(c), c));
+        if self.config.affinity {
+            order.sort_by_key(|&c| {
+                (
+                    self.farm.remote_penalty(c, job.id, job.opts.home_cube),
+                    self.farm.load(c),
+                    c,
+                )
+            });
+        } else {
+            order.sort_by_key(|&c| (self.farm.load(c), c));
+        }
         let mut chosen: Vec<usize> = order[..nonempty.len()].to_vec();
         chosen.sort_unstable();
         let meta = JobMeta {
@@ -436,6 +456,7 @@ impl SimulatorBackend {
             label: job.label.clone(),
             output_len: job.output_len(),
             class,
+            home_cube: job.opts.home_cube,
         };
         self.farm.admit(
             PlacedJob {
@@ -468,6 +489,14 @@ impl SimulatorBackend {
     #[must_use]
     pub fn farm_makespan(&self) -> u64 {
         self.farm.makespan()
+    }
+
+    /// Farm-lifetime counter totals over every retired shard (see
+    /// [`ClusterFarm::perf_totals`]) — the serving layer reads the
+    /// external-memory wait and remote-traffic figures from here.
+    #[must_use]
+    pub fn perf_totals(&self) -> ntx_sim::PerfSnapshot {
+        self.farm.perf_totals()
     }
 }
 
@@ -507,6 +536,7 @@ impl Backend for SimulatorBackend {
                         label: job.label.clone(),
                         output_len: job.output_len(),
                         class: job.kind.class(),
+                        home_cube: job.opts.home_cube,
                     },
                     shards: plans.into_iter().filter(|p| !p.is_empty()).collect(),
                     hint: shard_cycles_hint,
@@ -521,7 +551,12 @@ impl Backend for SimulatorBackend {
         for &i in &by_weight {
             order.clear();
             order.extend(0..n);
-            order.sort_by_key(|&c| (load[c], c));
+            if self.config.affinity {
+                let (id, home) = (items[i].meta.id, items[i].meta.home_cube);
+                order.sort_by_key(|&c| (self.farm.remote_penalty(c, id, home), load[c], c));
+            } else {
+                order.sort_by_key(|&c| (load[c], c));
+            }
             let mut chosen: Vec<usize> = order[..items[i].shards.len()].to_vec();
             chosen.sort_unstable();
             for &c in &chosen {

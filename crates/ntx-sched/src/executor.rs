@@ -10,7 +10,7 @@
 //! [`Server`](crate::Server); the executor itself is the synchronous
 //! core both paths share.
 
-use ntx_mem::{HmcConfig, MemoryModel};
+use ntx_mem::{HmcConfig, MemoryModel, MeshConfig};
 use ntx_sim::{Cluster, ClusterConfig};
 
 use crate::backend::{
@@ -39,11 +39,19 @@ pub struct ScaleOutConfig {
     /// Estimated cycles of work one shard should carry before the
     /// space-sharing heuristic adds another cluster to a job.
     pub target_shard_cycles: u64,
-    /// External-memory model: ideal private memories (the default) or
+    /// External-memory model: ideal private memories (the default),
     /// one shared HMC whose vault/LoB bandwidth every cluster's DMA
-    /// draws from ([`MemoryModel::SharedHmc`]). Data outputs are
-    /// bit-identical either way; only timing changes.
+    /// draws from ([`MemoryModel::SharedHmc`]), or a multi-cube mesh
+    /// with per-cube subsystems and serial-link hop costs
+    /// ([`MemoryModel::HmcMesh`]). Data outputs are bit-identical
+    /// either way; only timing changes.
     pub memory: MemoryModel,
+    /// On a mesh, prefer clusters attached to a job's home cube over
+    /// less-loaded remote ones (data-affine placement, the default).
+    /// With `false` placement is purely load-ordered — the control
+    /// arm of the affinity experiment. Meaningless without
+    /// [`MemoryModel::HmcMesh`].
+    pub affinity: bool,
 }
 
 impl Default for ScaleOutConfig {
@@ -55,6 +63,7 @@ impl Default for ScaleOutConfig {
             space_share: true,
             target_shard_cycles: 4096,
             memory: MemoryModel::Ideal,
+            affinity: true,
         }
     }
 }
@@ -83,6 +92,24 @@ impl ScaleOutConfig {
     #[must_use]
     pub fn with_shared_hmc(mut self, hmc: HmcConfig) -> Self {
         self.memory = MemoryModel::SharedHmc(hmc);
+        self
+    }
+
+    /// Runs the farm on a multi-cube HMC mesh: clusters are block-
+    /// partitioned over the cubes, jobs carry a home cube, and remote
+    /// shards pay serial-link bandwidth and hop latency.
+    #[must_use]
+    pub fn with_hmc_mesh(mut self, mesh: MeshConfig) -> Self {
+        self.memory = MemoryModel::HmcMesh(mesh);
+        self
+    }
+
+    /// Disables data-affine placement (mesh farms only): clusters are
+    /// picked purely by load, so shards land remote whenever the home
+    /// cube's ports happen to be busier.
+    #[must_use]
+    pub fn without_affinity(mut self) -> Self {
+        self.affinity = false;
         self
     }
 }
@@ -192,6 +219,7 @@ impl ScaleOutExecutor {
             label: job.label.clone(),
             output_len: job.output_len(),
             class: job.kind.class(),
+            home_cube: job.opts.home_cube,
         };
         Ok(self.sim.run_single(meta, plans))
     }

@@ -32,7 +32,7 @@
 //! window would make the per-job counters diverge from the barriered
 //! reference.
 
-use ntx_mem::{HmcSubsystem, MemoryModel};
+use ntx_mem::{HmcMesh, HmcPort, HmcSubsystem, MemoryModel};
 use ntx_sim::{Cluster, ClusterConfig, PerfSnapshot};
 use std::collections::VecDeque;
 
@@ -54,6 +54,10 @@ pub struct JobMeta {
     pub output_len: usize,
     /// Duration-table class of the job's kind.
     pub class: JobClass,
+    /// Requested home cube for the job's operand region (mesh memory
+    /// only). `None` falls back to round-robin over the cubes by job
+    /// id; out-of-range requests wrap.
+    pub home_cube: Option<u32>,
 }
 
 /// One job, placed: which cluster runs which shard plan.
@@ -65,11 +69,24 @@ pub struct PlacedJob {
     pub shards: Vec<(usize, ClusterPlan)>,
 }
 
+/// How a shard's AXI port is wired for its run: the grant schedule of
+/// the job's home cube as seen from the executing cluster, plus the
+/// hop cost when that cube is remote. Pure data computed from the
+/// static mesh geometry, so both drive modes (and the `parallel`
+/// feature) wire shards identically.
+#[derive(Debug, Clone, Copy)]
+struct ShardWiring {
+    port: HmcPort,
+    remote: bool,
+    latency: u64,
+}
+
 /// One entry of a cluster's shard FIFO.
 #[derive(Debug)]
 struct ShardTask {
     job_idx: usize,
     plan: ClusterPlan,
+    wiring: Option<ShardWiring>,
 }
 
 /// Per-shard measurement: which job, its counter delta, its duration.
@@ -121,6 +138,7 @@ struct QueuedShard {
     hint: u64,
     /// Raw roofline estimate (the measured-duration feedback input).
     est: u64,
+    wiring: Option<ShardWiring>,
 }
 
 /// The farm: N independent clusters plus their shard FIFOs. Batch mode
@@ -143,11 +161,31 @@ pub struct ClusterFarm {
     clock: Vec<u64>,
     /// Per-cluster estimated cycles still queued (placement load).
     queued_hint: Vec<u64>,
+    /// The mesh geometry when the farm runs on [`MemoryModel::HmcMesh`]
+    /// (its backing stores are moved into the clusters; what remains
+    /// computes ports, homes, and hop costs).
+    mesh: Option<HmcMesh>,
+    /// Farm-lifetime accumulation of every retired shard's counter
+    /// delta (both batch and continuous mode) — the serving layer's
+    /// source for memory-stall attribution.
+    totals: PerfSnapshot,
 }
 
 /// Stages a shard's inputs and runs it to completion in an isolated
 /// idle-to-idle window; returns the counter delta and cycle count.
-fn run_shard(cluster: &mut Cluster, plan: &mut ClusterPlan) -> (PerfSnapshot, u64) {
+///
+/// With mesh wiring the cluster's AXI port is first pointed at the
+/// shard's home cube; a remote shard additionally pays the one-way hop
+/// latency inside the measured window and has its traffic and stall
+/// time attributed to the remote counters.
+fn run_shard(
+    cluster: &mut Cluster,
+    plan: &mut ClusterPlan,
+    wiring: Option<ShardWiring>,
+) -> (PerfSnapshot, u64) {
+    if let Some(w) = wiring {
+        cluster.set_ext_port(Some(w.port));
+    }
     for (addr, values) in &plan.ext_writes {
         cluster.ext_mem().write_f32_slice(*addr, values);
     }
@@ -157,6 +195,10 @@ fn run_shard(cluster: &mut Cluster, plan: &mut ClusterPlan) -> (PerfSnapshot, u6
     // Measure from here: staging is host work, not simulated time.
     let before = cluster.perf();
     let cycle0 = cluster.cycle();
+    let remote = wiring.filter(|w| w.remote);
+    if let Some(w) = remote {
+        cluster.advance_cycles(w.latency);
+    }
     if let Some(raw) = &plan.raw {
         cluster.offload(0, &raw.config);
         cluster.run_to_completion();
@@ -166,6 +208,13 @@ fn run_shard(cluster: &mut Cluster, plan: &mut ClusterPlan) -> (PerfSnapshot, u6
         // so there is nothing to clone.
         let tiles = std::mem::take(&mut plan.tiles);
         TilePipeline::new(cluster, tiles).run_to_completion(cluster);
+    }
+    if let Some(w) = remote {
+        let mid = cluster.perf().since(&before);
+        cluster.attribute_remote(
+            mid.ext_bytes_read + mid.ext_bytes_written,
+            w.latency + mid.ext_wait_cycles,
+        );
     }
     (cluster.perf().since(&before), cluster.cycle() - cycle0)
 }
@@ -208,6 +257,7 @@ impl ClusterFarm {
     #[must_use]
     pub fn with_memory(clusters: usize, config: ClusterConfig, memory: MemoryModel) -> Self {
         assert!(clusters > 0, "need at least one cluster");
+        let mut mesh = None;
         let built: Vec<Cluster> = match memory {
             MemoryModel::Ideal => (0..clusters).map(|_| Cluster::new(config)).collect(),
             MemoryModel::SharedHmc(hmc) => {
@@ -230,6 +280,31 @@ impl ClusterFarm {
                     })
                     .collect()
             }
+            MemoryModel::HmcMesh(mc) => {
+                let mut m = HmcMesh::new(
+                    mc,
+                    u32::try_from(clusters).expect("cluster count fits u32"),
+                    config.ntx_freq_hz,
+                    config.dma_words_per_cycle,
+                );
+                // Ports are wired per shard (they depend on the job's
+                // home cube), so clusters start with no schedule; every
+                // `run_shard` installs the right one before staging.
+                let built = m
+                    .take_memories()
+                    .into_iter()
+                    .map(|mem| {
+                        let mut c = Cluster::new(ClusterConfig {
+                            ext_port: None,
+                            ..config
+                        });
+                        c.install_ext(mem);
+                        c
+                    })
+                    .collect();
+                mesh = Some(m);
+                built
+            }
         };
         Self {
             clusters: built,
@@ -239,7 +314,56 @@ impl ClusterFarm {
             free_slots: Vec::new(),
             clock: vec![0; clusters],
             queued_hint: vec![0; clusters],
+            mesh,
+            totals: PerfSnapshot::default(),
         }
+    }
+
+    /// The resolved home cube of a job under this farm's mesh (`None`
+    /// without a mesh memory model).
+    #[must_use]
+    pub fn home_cube(&self, job_id: u64, requested: Option<u32>) -> Option<u32> {
+        self.mesh.as_ref().map(|m| m.home_of(job_id, requested))
+    }
+
+    /// Placement penalty of running a shard of job `job_id` on
+    /// `cluster`: 0 when the cluster is attached to the job's home
+    /// cube (or the farm has no mesh), 1 when its traffic would cross
+    /// a serial link. The admission path sorts candidate clusters by
+    /// this before load.
+    #[must_use]
+    pub fn remote_penalty(&self, cluster: usize, job_id: u64, requested: Option<u32>) -> u64 {
+        match &self.mesh {
+            Some(m) => {
+                let home = m.home_of(job_id, requested);
+                u64::from(!m.is_local(cluster as u32, home))
+            }
+            None => 0,
+        }
+    }
+
+    /// Farm-lifetime accumulation of every retired shard's counters.
+    #[must_use]
+    pub fn perf_totals(&self) -> PerfSnapshot {
+        self.totals
+    }
+
+    /// The wiring a shard of `meta` needs on `cluster` (`None` without
+    /// a mesh: the construction-time port stays in place).
+    fn wiring_for(&self, cluster: usize, meta: &JobMeta) -> Option<ShardWiring> {
+        let mesh = self.mesh.as_ref()?;
+        let c = cluster as u32;
+        let home = mesh.home_of(meta.id, meta.home_cube);
+        let remote = !mesh.is_local(c, home);
+        Some(ShardWiring {
+            port: mesh.port(c, home),
+            remote,
+            latency: if remote {
+                u64::from(mesh.link_latency_cycles())
+            } else {
+                0
+            },
+        })
     }
 
     /// Number of clusters.
@@ -269,13 +393,23 @@ impl ClusterFarm {
         let mut queues: Vec<Vec<ShardTask>> = (0..n).map(|_| Vec::new()).collect();
         for (job_idx, p) in placed.into_iter().enumerate() {
             outputs.push(vec![0f32; p.meta.output_len]);
-            metas.push(p.meta);
             for (c, plan) in p.shards {
-                queues[c].push(ShardTask { job_idx, plan });
+                let wiring = self.wiring_for(c, &p.meta);
+                queues[c].push(ShardTask {
+                    job_idx,
+                    plan,
+                    wiring,
+                });
             }
+            metas.push(p.meta);
         }
 
         let records = self.drive(&mut queues, &mut outputs);
+        for recs in &records {
+            for (_, perf, _) in recs {
+                self.totals.accumulate(perf);
+            }
+        }
 
         // Per-job windows: per-cluster deltas, shard-local makespan.
         let jobs = metas.len();
@@ -376,11 +510,14 @@ impl ClusterFarm {
         };
         for (c, plan) in placed.shards {
             self.queued_hint[c] += shard_cycles_hint;
+            let meta = &self.active[slot].as_ref().expect("job just stored").meta;
+            let wiring = self.wiring_for(c, meta);
             self.pending[c].push_back(QueuedShard {
                 slot,
                 plan,
                 hint: shard_cycles_hint,
                 est: shard_cycles_est,
+                wiring,
             });
         }
     }
@@ -399,7 +536,8 @@ impl ClusterFarm {
             .min_by_key(|&c| (self.clock[c], c))?;
         let mut task = self.pending[c].pop_front().expect("non-empty FIFO");
         self.queued_hint[c] -= task.hint;
-        let (perf, cycles) = run_shard(&mut self.clusters[c], &mut task.plan);
+        let (perf, cycles) = run_shard(&mut self.clusters[c], &mut task.plan, task.wiring);
+        self.totals.accumulate(&perf);
         let job = self.active[task.slot]
             .as_mut()
             .expect("queued shard has an active job");
@@ -481,7 +619,7 @@ impl ClusterFarm {
         for (cluster, queue) in self.clusters.iter_mut().zip(queues.iter_mut()) {
             let mut recs = Vec::with_capacity(queue.len());
             for shard in queue.iter_mut() {
-                let (perf, cycles) = run_shard(cluster, &mut shard.plan);
+                let (perf, cycles) = run_shard(cluster, &mut shard.plan, shard.wiring);
                 read_shard(cluster, &shard.plan, &mut outputs[shard.job_idx]);
                 recs.push((shard.job_idx, perf, cycles));
             }
@@ -510,7 +648,7 @@ impl ClusterFarm {
                         let mut recs = Vec::with_capacity(queue.len());
                         let mut reads = Vec::with_capacity(queue.len());
                         for shard in queue.iter_mut() {
-                            let (perf, cycles) = run_shard(cluster, &mut shard.plan);
+                            let (perf, cycles) = run_shard(cluster, &mut shard.plan, shard.wiring);
                             let total: usize =
                                 shard.plan.readbacks.iter().map(|r| r.len as usize).sum();
                             let mut buf = vec![0f32; total];

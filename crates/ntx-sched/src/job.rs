@@ -163,6 +163,11 @@ pub struct JobOpts {
     /// submission; the server reports misses per job and in its
     /// [`ServingReport`](crate::ServingReport).
     pub deadline: Option<Duration>,
+    /// The HMC-mesh cube holding this job's data (`None` → assigned
+    /// round-robin by job id; out-of-range indices wrap). Ignored
+    /// outside [`MemoryModel::HmcMesh`](ntx_mem::MemoryModel::HmcMesh)
+    /// farms, where there is only one memory.
+    pub home_cube: Option<u32>,
 }
 
 impl JobOpts {
@@ -186,6 +191,13 @@ impl JobOpts {
     #[must_use]
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Pins the job's data to a mesh cube (builder style).
+    #[must_use]
+    pub fn with_home_cube(mut self, cube: u32) -> Self {
+        self.home_cube = Some(cube);
         self
     }
 }

@@ -109,7 +109,7 @@ pub use backend::{
 pub use executor::{run_sharded, BatchResult, JobResult, ScaleOutConfig, ScaleOutExecutor};
 pub use farm::{ClusterFarm, JobMeta, PlacedJob, ShardRetire};
 pub use job::{Job, JobClass, JobKind, JobOpts, JobQueue, RawJob};
-pub use ntx_mem::{HmcConfig, HmcSubsystem, MemoryModel};
+pub use ntx_mem::{HmcConfig, HmcMesh, HmcSubsystem, MemoryModel, MeshConfig};
 pub use pipeline::TilePipeline;
 pub use report::{ScaleOutReport, ServingReport};
 pub use server::{AdmissionMode, Completion, JobHandle, Server, ServerConfig, ServerHandle};

@@ -157,6 +157,16 @@ pub struct ServingReport {
     pub makespan_cycles: u64,
     /// Cluster-cycles actually spent executing shards.
     pub busy_cluster_cycles: u64,
+    /// Cycles DMAs sat on pending beats while the shared-memory
+    /// arbiter granted zero slots, summed over all simulated shards
+    /// (zero under ideal private memories).
+    pub ext_wait_cycles: u64,
+    /// External-memory bytes that crossed a serial link to a remote
+    /// mesh cube (zero off-mesh and under perfect data affinity).
+    pub ext_remote_bytes: u64,
+    /// Cycles attributable to remote-cube access: hop latencies plus
+    /// the zero-grant waits of remote shards.
+    pub ext_remote_wait_cycles: u64,
 }
 
 impl ServingReport {
@@ -175,6 +185,9 @@ impl ServingReport {
             max_latency: Duration::ZERO,
             makespan_cycles: 0,
             busy_cluster_cycles: 0,
+            ext_wait_cycles: 0,
+            ext_remote_bytes: 0,
+            ext_remote_wait_cycles: 0,
         }
     }
 

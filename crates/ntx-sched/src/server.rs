@@ -102,6 +102,15 @@ impl ServerConfig {
         self.scale_out = self.scale_out.with_shared_hmc(hmc);
         self
     }
+
+    /// Serves against a multi-cube HMC mesh with home-cube data
+    /// placement (see
+    /// [`ScaleOutConfig::with_hmc_mesh`](crate::ScaleOutConfig::with_hmc_mesh)).
+    #[must_use]
+    pub fn with_hmc_mesh(mut self, mesh: ntx_mem::MeshConfig) -> Self {
+        self.scale_out = self.scale_out.with_hmc_mesh(mesh);
+        self
+    }
 }
 
 /// What a client gets back for one submission.
@@ -552,6 +561,10 @@ fn continuous_loop(rx: &Receiver<Msg>, config: ServerConfig) -> ServingReport {
         }
     }
     stats.makespan_cycles = sim.farm_makespan();
+    let totals = sim.perf_totals();
+    stats.ext_wait_cycles = totals.ext_wait_cycles;
+    stats.ext_remote_bytes = totals.ext_remote_bytes;
+    stats.ext_remote_wait_cycles = totals.ext_remote_wait_cycles;
     stats.wall_seconds = t0.elapsed().as_secs_f64();
     stats
 }
@@ -630,12 +643,12 @@ fn wave_loop(rx: &Receiver<Msg>, config: ServerConfig) -> ServingReport {
                         }
                     }
                     stats.makespan_cycles += batch.report.makespan_cycles;
-                    stats.busy_cluster_cycles += batch
-                        .report
-                        .per_cluster
-                        .iter()
-                        .map(|p| p.cycles)
-                        .sum::<u64>();
+                    for p in &batch.report.per_cluster {
+                        stats.busy_cluster_cycles += p.cycles;
+                        stats.ext_wait_cycles += p.ext_wait_cycles;
+                        stats.ext_remote_bytes += p.ext_remote_bytes;
+                        stats.ext_remote_wait_cycles += p.ext_remote_wait_cycles;
+                    }
                     break;
                 }
                 Err(SchedError::Job { id, source, .. }) => {

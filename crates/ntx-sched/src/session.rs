@@ -188,6 +188,16 @@ impl<S: JobSink> ReadyJob<S> {
         self
     }
 
+    /// Pins the job's data to mesh cube `cube` (farms running on
+    /// [`MemoryModel::HmcMesh`](ntx_mem::MemoryModel::HmcMesh) only;
+    /// out-of-range indices wrap, non-mesh farms ignore it). Without
+    /// this, jobs spread round-robin over the cubes by id.
+    #[must_use]
+    pub fn home_cube(mut self, cube: u32) -> Self {
+        self.opts.home_cube = Some(cube);
+        self
+    }
+
     /// Shorthand for [`backend`](Self::backend)`(BackendKind::Estimate)`:
     /// answer instantly from the roofline model, no simulation.
     #[must_use]
@@ -241,6 +251,7 @@ mod tests {
             .axpy(2.0, vec![1.0; 8], vec![0.0; 8])
             .priority(3)
             .deadline(Duration::from_secs(5))
+            .home_cube(2)
             .estimate()
             .submit();
         assert_eq!(id, 0);
@@ -248,7 +259,43 @@ mod tests {
         assert_eq!(job.label, "axpy");
         assert_eq!(job.opts.priority, 3);
         assert_eq!(job.opts.deadline, Some(Duration::from_secs(5)));
+        assert_eq!(job.opts.home_cube, Some(2));
         assert_eq!(job.opts.backend, BackendKind::Estimate);
+    }
+
+    #[test]
+    fn mesh_homes_round_robin_by_default() {
+        use crate::ClusterFarm;
+        use ntx_mem::{MemoryModel, MeshConfig};
+        use ntx_sim::ClusterConfig;
+        let farm = ClusterFarm::with_memory(
+            4,
+            ClusterConfig::default(),
+            MemoryModel::HmcMesh(MeshConfig::default().with_cubes(2)),
+        );
+        let mut q = JobQueue::new();
+        for i in 0..4 {
+            q.job(format!("j{i}"))
+                .axpy(1.0, vec![1.0; 4], vec![0.0; 4])
+                .submit();
+        }
+        // An explicit out-of-range cube wraps instead of panicking.
+        q.job("pinned")
+            .axpy(1.0, vec![1.0; 4], vec![0.0; 4])
+            .home_cube(5)
+            .submit();
+        let homes: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|job| {
+                farm.home_cube(job.id, job.opts.home_cube)
+                    .expect("mesh farm resolves a home for every job")
+            })
+            .collect();
+        // Unpinned jobs round-robin over the cubes by id; the pinned
+        // one (id 4, cube 5) wraps to 5 % 2 = 1.
+        assert_eq!(homes, vec![0, 1, 0, 1, 1]);
+        // Off-mesh farms have no homes at all.
+        let flat = ClusterFarm::with_memory(2, ClusterConfig::default(), MemoryModel::Ideal);
+        assert_eq!(flat.home_cube(0, Some(1)), None);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use ntx_kernels::conv::Conv2dKernel;
 use ntx_kernels::reference;
 use ntx_sched::{
     run_sharded, ClusterFarm, DurationTable, HmcConfig, Job, JobKind, JobQueue, JobResult,
-    Placement, ScaleOutConfig, ScaleOutExecutor, ShardRetire, SimulatorBackend,
+    MeshConfig, Placement, ScaleOutConfig, ScaleOutExecutor, ShardRetire, SimulatorBackend,
 };
 use proptest::prelude::*;
 
@@ -537,4 +537,89 @@ fn late_small_job_overtakes_inflight_wave() {
         finish[small] < barriered_finish[small],
         "continuous admission must complete the late job earlier than the barrier"
     );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Mesh degeneracy: a 1-cube [`MeshConfig`] is the *same machine*
+    /// as the PR 5 shared-HMC subsystem — every cluster is local to the
+    /// only cube, so ports, grants, outputs, per-job `PerfSnapshot`s
+    /// (including the new remote counters, which must stay zero) and
+    /// makespans are bit-identical, not merely close. Run under a
+    /// tight 64-bit LoB so the schedule actually throttles.
+    #[test]
+    fn one_cube_mesh_degenerates_to_shared_hmc(
+        (kinds, clusters) in (prop::collection::vec(arb_kind(), 1..5), 2usize..6)
+    ) {
+        let hmc = HmcConfig::default().with_interconnect_bits(64);
+        let mesh = MeshConfig::default().with_cubes(1).with_cube(hmc);
+        let fill = |kinds: &[JobKind]| {
+            let mut q = JobQueue::new();
+            for (i, kind) in kinds.iter().enumerate() {
+                q.job(format!("job-{i}")).kind(kind.clone()).submit();
+            }
+            q
+        };
+        let base = ScaleOutConfig::with_clusters(clusters);
+        let mut shared = ScaleOutExecutor::new(base.with_shared_hmc(hmc));
+        let mut meshed = ScaleOutExecutor::new(base.with_hmc_mesh(mesh));
+        let rs = shared.run_queue(&mut fill(&kinds)).expect("shared batch");
+        let rm = meshed.run_queue(&mut fill(&kinds)).expect("mesh batch");
+        for (s, m) in rs.results.iter().zip(&rm.results) {
+            assert_bits_eq(&s.output, &m.output, "1-cube mesh vs shared HMC output");
+            assert_eq!(
+                s.report.per_cluster, m.report.per_cluster,
+                "per-job PerfSnapshots must be bit-identical on a 1-cube mesh"
+            );
+            assert_eq!(s.report.makespan_cycles, m.report.makespan_cycles);
+            assert_eq!((s.start_cycle, s.finish_cycle), (m.start_cycle, m.finish_cycle));
+            for p in m.report.per_cluster.iter() {
+                assert_eq!(p.ext_remote_bytes, 0, "no remote traffic on one cube");
+                assert_eq!(p.ext_remote_wait_cycles, 0);
+            }
+        }
+        assert_eq!(rs.report.makespan_cycles, rm.report.makespan_cycles);
+    }
+
+    /// Placement is a timing policy, not a data policy: running the
+    /// same mix on the same mesh with data-affine placement versus
+    /// pure load-ordered (affinity off) may move shards across cubes
+    /// and stretch cycles, but per-job outputs and traffic volumes
+    /// stay bit-identical.
+    #[test]
+    fn placement_affinity_changes_timing_not_data(
+        kinds in prop::collection::vec(arb_kind(), 1..5)
+    ) {
+        let mesh = MeshConfig::default()
+            .with_cubes(2)
+            .with_cube(HmcConfig::default().with_interconnect_bits(64));
+        let fill = |kinds: &[JobKind]| {
+            let mut q = JobQueue::new();
+            for (i, kind) in kinds.iter().enumerate() {
+                // Odd jobs pinned to cube 1, even jobs default
+                // round-robin — exercises both home paths.
+                let b = q.job(format!("job-{i}")).kind(kind.clone());
+                if i % 2 == 1 { b.home_cube(1).submit(); } else { b.submit(); }
+            }
+            q
+        };
+        let base = ScaleOutConfig::with_clusters(4).with_hmc_mesh(mesh);
+        let mut affine = ScaleOutExecutor::new(base);
+        let mut naive = ScaleOutExecutor::new(base.without_affinity());
+        let ra = affine.run_queue(&mut fill(&kinds)).expect("affine batch");
+        let rn = naive.run_queue(&mut fill(&kinds)).expect("naive batch");
+        let traffic = |r: &ntx_sched::BatchResult| -> (u64, u64, u64) {
+            r.results
+                .iter()
+                .flat_map(|j| &j.report.per_cluster)
+                .fold((0, 0, 0), |(d, rd, wr), p| {
+                    (d + p.dma_bytes, rd + p.ext_bytes_read, wr + p.ext_bytes_written)
+                })
+        };
+        for (a, n) in ra.results.iter().zip(&rn.results) {
+            assert_bits_eq(&a.output, &n.output, "affine vs naive placement output");
+        }
+        assert_eq!(traffic(&ra), traffic(&rn), "placement must not change traffic volume");
+    }
 }

@@ -96,6 +96,11 @@ pub struct Cluster {
     /// Cycles the DMA had beats pending but the shared HMC granted
     /// zero external-memory slots (always zero without an `ext_port`).
     ext_wait_cycles: u64,
+    /// External-memory bytes attributed to remote (off-home-cube) mesh
+    /// traffic by [`Cluster::attribute_remote`].
+    ext_remote_bytes: u64,
+    /// Cycles attributed to remote mesh traffic (hop latency + waits).
+    ext_remote_wait_cycles: u64,
     dma_stage: DmaStage,
     /// Reusable hot-loop buffers (the fast path's replacement for the
     /// per-cycle `Vec`s of the reference [`Cluster::step`]).
@@ -156,6 +161,8 @@ impl Cluster {
             busy_cycles: 0,
             offload_writes: 0,
             ext_wait_cycles: 0,
+            ext_remote_bytes: 0,
+            ext_remote_wait_cycles: 0,
             dma_stage: DmaStage::default(),
             req_buf: Vec::new(),
             grant_buf: Vec::new(),
@@ -178,6 +185,40 @@ impl Cluster {
     #[must_use]
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// Replaces the external-memory grant schedule — how a mesh farm
+    /// rewires a cluster per shard, pointing its AXI port at the
+    /// shard's home cube (local or remote). `None` restores the ideal
+    /// private memory. Must only be called while the cluster is idle:
+    /// a schedule swap mid-burst would retime in-flight beats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DMA still has beats in flight.
+    pub fn set_ext_port(&mut self, port: Option<HmcPort>) {
+        assert!(
+            self.dma.is_idle(),
+            "cannot swap the ext-port schedule under an active DMA"
+        );
+        self.config.ext_port = port;
+    }
+
+    /// Advances the cycle counter by `n` without simulating anything —
+    /// dead time in which no master does work, e.g. the serial-link
+    /// hop latency a mesh charges before a remote shard's first beat.
+    pub fn advance_cycles(&mut self, n: u64) {
+        self.cycle = self.cycle.saturating_add(n);
+    }
+
+    /// Attributes traffic and stall time measured over a remote shard
+    /// to the mesh remote-traffic counters
+    /// ([`PerfSnapshot::ext_remote_bytes`] /
+    /// [`PerfSnapshot::ext_remote_wait_cycles`]). The farm calls this
+    /// after draining a shard whose operands lived on another cube.
+    pub fn attribute_remote(&mut self, bytes: u64, wait_cycles: u64) {
+        self.ext_remote_bytes += bytes;
+        self.ext_remote_wait_cycles += wait_cycles;
     }
 
     /// External-memory words the shared HMC grants the DMA *this*
@@ -641,6 +682,8 @@ impl Cluster {
             ext_bytes_read: self.ext.bytes_read(),
             ext_bytes_written: self.ext.bytes_written(),
             ext_wait_cycles: self.ext_wait_cycles,
+            ext_remote_bytes: self.ext_remote_bytes,
+            ext_remote_wait_cycles: self.ext_remote_wait_cycles,
             tcdm_reads: self.tcdm.reads(),
             tcdm_writes: self.tcdm.writes(),
             ..Default::default()
@@ -665,6 +708,8 @@ impl Cluster {
         self.busy_cycles = 0;
         self.offload_writes = 0;
         self.ext_wait_cycles = 0;
+        self.ext_remote_bytes = 0;
+        self.ext_remote_wait_cycles = 0;
         self.interconnect.reset_counters();
         self.dma.reset_counters();
         self.ext.reset_counters();

@@ -37,6 +37,15 @@ pub struct PerfSnapshot {
     /// subsystem granted zero external-memory slots (always zero with
     /// the ideal private memory).
     pub ext_wait_cycles: u64,
+    /// External-memory bytes that crossed a serial link to a remote
+    /// cube of an HMC mesh (subset of `ext_bytes_read` +
+    /// `ext_bytes_written`; zero for local or single-cube traffic).
+    pub ext_remote_bytes: u64,
+    /// Cycles attributable to remote-cube access: the per-shard hop
+    /// latency plus the zero-grant waits incurred while running
+    /// against a remote link (subset of overall stall time; zero for
+    /// local traffic).
+    pub ext_remote_wait_cycles: u64,
     /// TCDM read accesses performed (energy model input).
     pub tcdm_reads: u64,
     /// TCDM write accesses performed (energy model input).
@@ -62,6 +71,8 @@ impl PerfSnapshot {
             ext_bytes_read: self.ext_bytes_read - earlier.ext_bytes_read,
             ext_bytes_written: self.ext_bytes_written - earlier.ext_bytes_written,
             ext_wait_cycles: self.ext_wait_cycles - earlier.ext_wait_cycles,
+            ext_remote_bytes: self.ext_remote_bytes - earlier.ext_remote_bytes,
+            ext_remote_wait_cycles: self.ext_remote_wait_cycles - earlier.ext_remote_wait_cycles,
             tcdm_reads: self.tcdm_reads - earlier.tcdm_reads,
             tcdm_writes: self.tcdm_writes - earlier.tcdm_writes,
         }
@@ -104,6 +115,8 @@ impl PerfSnapshot {
             ext_bytes_read,
             ext_bytes_written,
             ext_wait_cycles,
+            ext_remote_bytes,
+            ext_remote_wait_cycles,
             tcdm_reads,
             tcdm_writes,
         } = *delta;
@@ -120,6 +133,8 @@ impl PerfSnapshot {
         self.ext_bytes_read += ext_bytes_read;
         self.ext_bytes_written += ext_bytes_written;
         self.ext_wait_cycles += ext_wait_cycles;
+        self.ext_remote_bytes += ext_remote_bytes;
+        self.ext_remote_wait_cycles += ext_remote_wait_cycles;
         self.tcdm_reads += tcdm_reads;
         self.tcdm_writes += tcdm_writes;
     }
