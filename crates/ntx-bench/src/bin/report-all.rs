@@ -42,4 +42,5 @@ fn main() {
     );
     print!("{}", ntx_bench::format::hmc(&ntx_bench::hmc_report()));
     print!("{}", ntx_bench::format::mesh(&ntx_bench::mesh_report()));
+    print!("{}", ntx_bench::format::chaos(&ntx_bench::chaos_report()));
 }

@@ -1613,3 +1613,562 @@ pub fn simperf_report(reps: u32) -> SimPerfReport {
         single_ntx: measure_workload("table1_conv3x3_single_ntx", reps, conv3x3_single_ntx_run),
     }
 }
+
+// ---------------------------------------------------------------------------
+// Chaos serving: fault injection, recovery and overload control
+// ---------------------------------------------------------------------------
+
+/// 64-bit xorshift — the arrival/size generator of the chaos workload
+/// (the 32-bit [`test_data`] generator stays dedicated to tensor
+/// payloads).
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// One open-loop serving run's latency/shedding statistics.
+#[derive(Debug, Clone)]
+pub struct ChaosRunStats {
+    /// Jobs offered by the load generator.
+    pub offered: u64,
+    /// Jobs that completed on the farm.
+    pub completed: u64,
+    /// Jobs shed at admission (deadline provably unmeetable).
+    pub shed: u64,
+    /// Completed jobs whose virtual latency overran the budget.
+    pub deadline_misses: u64,
+    /// p50 virtual latency of completed jobs, cycles from arrival.
+    pub p50_cycles: u64,
+    /// p99 virtual latency of completed jobs.
+    pub p99_cycles: u64,
+    /// p99.9 virtual latency of completed jobs.
+    pub p999_cycles: u64,
+    /// Virtual makespan of the run.
+    pub makespan_cycles: u64,
+}
+
+impl ChaosRunStats {
+    /// Deadline misses over completed jobs (0.0 when nothing ran).
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.completed as f64
+        }
+    }
+}
+
+/// The `report-chaos` measurement: the serving stack under a seeded
+/// chaos schedule and open-loop overload — cluster kill recovery
+/// (zero lost jobs, bit-identical outputs, proportional degradation),
+/// deadline-aware shedding under 2x saturation, serial-link
+/// degradation on the mesh, and the async front-end with a bounded
+/// admission queue.
+#[derive(Debug, Clone)]
+pub struct ChaosBenchReport {
+    /// Clusters in the farm.
+    pub clusters: usize,
+    /// Jobs in the generated trace (per run).
+    pub jobs: usize,
+    /// Closed-loop makespan of the trace (the capacity calibration).
+    pub calib_makespan_cycles: u64,
+    /// Virtual-cycle deadline budget handed to every job of the
+    /// overload runs (twice the unsaturated p99).
+    pub budget_cycles: u64,
+    /// Fault-free open-loop makespan (the recovery baseline).
+    pub baseline_makespan_cycles: u64,
+    /// Open-loop makespan with 1 of `clusters` killed mid-run plus
+    /// transient stalls.
+    pub faulted_makespan_cycles: u64,
+    /// `faulted / baseline` (must stay within `degradation_bound`).
+    pub makespan_ratio: f64,
+    /// The proportional-degradation gate: `1.5 * N/(N-1)`.
+    pub degradation_bound: f64,
+    /// Jobs lost to the injected faults (must be zero).
+    pub jobs_lost: u64,
+    /// Faulted outputs bitwise identical to the fault-free run.
+    pub recovery_bit_identical: bool,
+    /// Fault events that fired during the faulted run.
+    pub faults_injected: u64,
+    /// Shards re-placed onto survivors after the kill.
+    pub shards_retried: u64,
+    /// Dead cycles injected by transient stalls.
+    pub fault_stall_cycles: u64,
+    /// Open-loop run at 0.5x the calibrated capacity (no shedding —
+    /// the latency reference).
+    pub unsaturated: ChaosRunStats,
+    /// Open-loop run at 2x capacity with deadline shedding armed.
+    pub saturated: ChaosRunStats,
+    /// `saturated p99 / unsaturated p99` over *accepted* jobs (must
+    /// stay within `p99_bound` — shedding keeps the served latency
+    /// bounded while the offered load doubles).
+    pub p99_ratio: f64,
+    /// The shedding gate on `p99_ratio`.
+    pub p99_bound: f64,
+    /// Remote-access wait cycles of the mesh mix on healthy links.
+    pub link_wait_base_cycles: u64,
+    /// Remote-access wait cycles with the serial link clipped to 1/4
+    /// bandwidth for a window mid-run.
+    pub link_wait_faulted_cycles: u64,
+    /// Mesh outputs bitwise identical with and without the link fault.
+    pub link_bit_identical: bool,
+    /// Async smoke: submissions offered to the bounded-queue server.
+    pub async_submitted: u64,
+    /// Async smoke: completions received (success or explicit error).
+    pub async_completed: u64,
+    /// Async smoke: submissions rejected with explicit backpressure.
+    pub async_backpressure: u64,
+    /// Every async submission got an explicit outcome (a completion,
+    /// a shed/backpressure error — never a silent drop).
+    pub async_all_explicit: bool,
+}
+
+/// The heavy-tailed chaos workload: `count` jobs across all five
+/// [`ntx_sched::JobKind`] families, ~70% small / 25% medium / 5%
+/// large, deterministically drawn from `seed`.
+fn chaos_jobs(seed: u64, count: usize) -> Vec<(String, ntx_sched::JobKind)> {
+    use ntx_isa::{AguConfig, Command, LoopNest, NtxConfig, OperandSelect};
+    use ntx_sched::JobKind;
+    let mut rng = seed | 1;
+    let mut jobs = Vec::with_capacity(count);
+    for i in 0..count {
+        let draw = xorshift64(&mut rng);
+        // Heavy-tailed size class: 0 = small, 1 = medium, 2 = large.
+        let class = match draw % 100 {
+            0..=69 => 0,
+            70..=94 => 1,
+            _ => 2,
+        };
+        let family = (draw >> 8) % 5;
+        let dseed = (draw >> 16) as u32 | 1;
+        let kind = match family {
+            0 => {
+                let n = [300, 2400, 14_000][class];
+                JobKind::Axpy {
+                    a: 1.25,
+                    x: test_data(n, dseed),
+                    y: test_data(n, dseed ^ 0x5555),
+                }
+            }
+            1 => {
+                let (m, k, n) = [(8, 8, 8), (20, 12, 12), (32, 16, 16)][class];
+                JobKind::Gemm {
+                    dims: GemmKernel { m, k, n },
+                    a: test_data((m * k) as usize, dseed),
+                    b: test_data((k * n) as usize, dseed ^ 0xaaaa),
+                }
+            }
+            2 => {
+                let (h, w, f) = [(12, 9, 1), (30, 23, 2), (64, 48, 4)][class];
+                let kernel = Conv2dKernel {
+                    height: h,
+                    width: w,
+                    k: 3,
+                    filters: f,
+                };
+                JobKind::Conv2d {
+                    kernel,
+                    image: test_data((h * w) as usize, dseed),
+                    weights: test_data((9 * f) as usize, dseed ^ 0xffff),
+                }
+            }
+            3 => {
+                let (h, w) = [(12, 9), (30, 17), (64, 40)][class];
+                JobKind::Stencil2d {
+                    height: h,
+                    width: w,
+                    grid: test_data((h * w) as usize, dseed),
+                }
+            }
+            _ => {
+                // Raw dot product of n elements: not tileable, lands
+                // whole on one cluster — the odd-one-out the placement
+                // has to route around.
+                let n = 16 + (draw >> 24) % 48;
+                let cfg = NtxConfig::builder()
+                    .command(Command::Mac {
+                        operand: OperandSelect::Memory,
+                    })
+                    .loops(LoopNest::vector(n as u32))
+                    .agu(0, AguConfig::stream(0x000, 4))
+                    .agu(1, AguConfig::stream(4 * n as u32, 4))
+                    .agu(2, AguConfig::fixed(8 * n as u32))
+                    .build()
+                    .expect("valid raw dot product");
+                JobKind::Raw(ntx_sched::RawJob {
+                    config: cfg,
+                    tcdm: vec![
+                        (0x000, test_data(n as usize, dseed)),
+                        (4 * n as u32, test_data(n as usize, dseed ^ 0x3333)),
+                    ],
+                    result_addr: 8 * n as u32,
+                    result_len: 1,
+                })
+            }
+        };
+        jobs.push((format!("chaos-{i}"), kind));
+    }
+    jobs
+}
+
+/// Open-loop arrival schedule: exponential-ish inter-arrival gaps of
+/// mean `mean_gap` cycles, with a burst of 4 back-to-back arrivals
+/// every 16th job — Poisson-flavored background plus bursts, all from
+/// `seed`.
+fn chaos_arrivals(seed: u64, count: usize, mean_gap: u64) -> Vec<u64> {
+    let mut rng = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut at = 0u64;
+    let mut arrivals = Vec::with_capacity(count);
+    for i in 0..count {
+        if i > 0 && i % 16 != 0 {
+            // Sum of two uniform draws in [0, mean_gap): triangular
+            // around the mean, zero-capable — close enough to
+            // exponential for an open-loop driver, with no floats to
+            // vary across platforms.
+            let gap = if mean_gap == 0 {
+                0
+            } else {
+                (xorshift64(&mut rng) % mean_gap + xorshift64(&mut rng) % mean_gap) / 2 * 2
+            };
+            at += gap;
+        }
+        arrivals.push(at);
+    }
+    arrivals
+}
+
+/// Everything one open-loop chaos run produces.
+struct ChaosRunOutcome {
+    stats: ChaosRunStats,
+    /// Per-job output bits (`None` when the job was shed).
+    outputs: Vec<Option<Vec<f32>>>,
+    faults: ntx_sched::FaultStats,
+    fault_stall_cycles: u64,
+}
+
+/// Drives the continuous-admission engine open-loop: jobs are admitted
+/// when the farm's virtual clock crosses their arrival cycle (the
+/// generator never waits for completions), each with `budget` cycles
+/// of virtual deadline from its admission instant. Latency is
+/// `finish - admission clock` in farm cycles — queueing plus service
+/// in virtual time (an idle farm's clock does not chase wall-clock
+/// arrival gaps, so arrival-anchored latency would read zero at low
+/// load). `table` carries measured-duration state across runs, as the
+/// live server's table would.
+fn run_chaos_open_loop(
+    jobs: &[(String, ntx_sched::JobKind)],
+    arrivals: &[u64],
+    clusters: usize,
+    faults: ntx_sched::FaultPlan,
+    budget: Option<u64>,
+    table: &mut ntx_sched::DurationTable,
+) -> ChaosRunOutcome {
+    use ntx_sched::{Job, ScaleOutConfig, SchedError, SimulatorBackend};
+    let config = ScaleOutConfig::with_clusters(clusters).with_faults(faults);
+    let mut sim = SimulatorBackend::new(config);
+    let mut outputs: Vec<Option<Vec<f32>>> = (0..jobs.len()).map(|_| None).collect();
+    let mut finish: Vec<Option<u64>> = (0..jobs.len()).map(|_| None).collect();
+    let mut admitted_at: Vec<u64> = vec![0; jobs.len()];
+    let mut shed = 0u64;
+    let mut next = 0usize;
+    loop {
+        // Admit everything that has arrived by virtual now; when the
+        // farm is idle, virtual time jumps to the next arrival.
+        while next < jobs.len() && (arrivals[next] <= sim.virtual_now() || !sim.has_farm_work()) {
+            let (label, kind) = &jobs[next];
+            let job = Job::new(next as u64, label.clone(), kind.clone());
+            admitted_at[next] = sim.virtual_now();
+            match sim.admit_continuous_within(&job, table, budget) {
+                Ok(_) => {}
+                Err(SchedError::DeadlineUnmeetable { .. }) => shed += 1,
+                Err(e) => panic!("chaos admission failed: {e}"),
+            }
+            next += 1;
+        }
+        match sim.step_farm() {
+            Some(r) => {
+                table.observe(r.class, r.est_cycles, r.cycles);
+                if let Some(res) = r.result {
+                    let slot = res.job_id as usize;
+                    finish[slot] = Some(res.finish_cycle);
+                    outputs[slot] = Some(res.output);
+                }
+            }
+            None => {
+                if next >= jobs.len() {
+                    break;
+                }
+            }
+        }
+    }
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut misses = 0u64;
+    for (i, f) in finish.iter().enumerate() {
+        if let Some(f) = f {
+            let lat = f.saturating_sub(admitted_at[i]);
+            if budget.is_some_and(|b| lat > b) {
+                misses += 1;
+            }
+            latencies.push(lat);
+        }
+    }
+    latencies.sort_unstable();
+    let pct = |q: f64| -> u64 {
+        if latencies.is_empty() {
+            0
+        } else {
+            let rank = ((q * latencies.len() as f64).ceil() as usize).max(1);
+            latencies[rank.min(latencies.len()) - 1]
+        }
+    };
+    let totals = sim.perf_totals();
+    ChaosRunOutcome {
+        stats: ChaosRunStats {
+            offered: jobs.len() as u64,
+            completed: latencies.len() as u64,
+            shed,
+            deadline_misses: misses,
+            p50_cycles: pct(0.50),
+            p99_cycles: pct(0.99),
+            p999_cycles: pct(0.999),
+            makespan_cycles: sim.farm_makespan(),
+        },
+        outputs,
+        faults: sim.fault_stats(),
+        fault_stall_cycles: totals.fault_stall_cycles,
+    }
+}
+
+/// Bitwise comparison of two per-job output sets; `None` entries
+/// (shed jobs) only match `None`.
+fn chaos_outputs_identical(a: &[Option<Vec<f32>>], b: &[Option<Vec<f32>>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| match (x, y) {
+            (None, None) => true,
+            (Some(x), Some(y)) => {
+                x.len() == y.len() && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
+            }
+            _ => false,
+        })
+}
+
+/// The mesh mix under a clipped serial link: same jobs admitted
+/// continuously (the only path fault plans flow through), healthy vs
+/// degraded link, returns `(healthy wait, degraded wait, bit_identical)`.
+fn chaos_link_fault() -> (u64, u64, bool) {
+    use ntx_sched::{
+        DurationTable, FaultPlan, HmcConfig, Job, MeshConfig, ScaleOutConfig, SimulatorBackend,
+    };
+    let mesh = MeshConfig::default()
+        .with_cubes(2)
+        .with_cube(HmcConfig::default().with_interconnect_bits(64));
+    // Affinity off: load-ordered placement routinely lands shards on
+    // the remote cube, so the serial link carries traffic to clip.
+    let base = ScaleOutConfig::with_clusters(4)
+        .with_hmc_mesh(mesh)
+        .without_affinity();
+    let run = |plan: FaultPlan| -> (u64, Vec<Option<Vec<f32>>>) {
+        let mut sim = SimulatorBackend::new(base.with_faults(plan));
+        let table = DurationTable::new();
+        let jobs = serving_jobs();
+        let mut outputs: Vec<Option<Vec<f32>>> = (0..jobs.len()).map(|_| None).collect();
+        for (i, (label, kind)) in jobs.into_iter().enumerate() {
+            let job = Job::new(i as u64, label, kind);
+            sim.admit_continuous(&job, &table).expect("mesh admission");
+        }
+        while let Some(r) = sim.step_farm() {
+            if let Some(res) = r.result {
+                let slot = res.job_id as usize;
+                outputs[slot] = Some(res.output);
+            }
+        }
+        (sim.perf_totals().ext_remote_wait_cycles, outputs)
+    };
+    // Clip the link to 1/4 bandwidth for (effectively) the whole run.
+    let (base_wait, base_out) = run(FaultPlan::NONE);
+    let (faulted_wait, faulted_out) = run(FaultPlan::NONE.with_link_fault(1 << 14, 0, 1 << 40));
+    (
+        base_wait,
+        faulted_wait,
+        chaos_outputs_identical(&base_out, &faulted_out),
+    )
+}
+
+/// The async smoke: a bounded-queue, fault-injected [`ntx_sched::Server`]
+/// under concurrent clients mixing fail-fast and blocking submission.
+/// Returns `(submitted, completed, backpressure, all_explicit)`.
+fn chaos_async_smoke() -> (u64, u64, u64, bool) {
+    use ntx_sched::{FaultPlan, Server, ServerConfig};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    let faults = FaultPlan::NONE.with_seed(11).with_kill(1, 400);
+    let server = Server::start(
+        ServerConfig::with_clusters(4)
+            .with_queue_limit(6)
+            .with_faults(faults),
+    );
+    let submitted = Arc::new(AtomicU64::new(0));
+    let completed = Arc::new(AtomicU64::new(0));
+    let backpressure = Arc::new(AtomicU64::new(0));
+    let silent = Arc::new(AtomicU64::new(0));
+    let mut clients = Vec::new();
+    for t in 0..3u64 {
+        let session = server.session();
+        let jobs = chaos_jobs(0xc0ffee ^ t, 8);
+        let (submitted, completed, backpressure, silent) = (
+            Arc::clone(&submitted),
+            Arc::clone(&completed),
+            Arc::clone(&backpressure),
+            Arc::clone(&silent),
+        );
+        clients.push(std::thread::spawn(move || {
+            let mut handles = Vec::new();
+            for (i, (label, kind)) in jobs.into_iter().enumerate() {
+                submitted.fetch_add(1, Ordering::Relaxed);
+                let ready = session.job(label).kind(kind);
+                // Alternate fail-fast and blocking submission.
+                let outcome = if i % 2 == 0 {
+                    ready.submit()
+                } else {
+                    ready.submit_wait()
+                };
+                match outcome {
+                    Ok(h) => handles.push(h),
+                    Err(ntx_sched::SchedError::Backpressure { .. }) => {
+                        backpressure.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        silent.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            for h in handles {
+                match h.wait() {
+                    Ok(_) => {
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        silent.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }));
+    }
+    for c in clients {
+        c.join().expect("chaos client thread");
+    }
+    drop(server.shutdown());
+    let sub = submitted.load(Ordering::Relaxed);
+    let comp = completed.load(Ordering::Relaxed);
+    let bp = backpressure.load(Ordering::Relaxed);
+    let all_explicit = silent.load(Ordering::Relaxed) == 0 && comp + bp == sub;
+    (sub, comp, bp, all_explicit)
+}
+
+/// Runs the chaos experiment (see [`ChaosBenchReport`]).
+///
+/// # Panics
+///
+/// Panics when the deterministic workload fails admission for any
+/// reason other than deadline shedding — that indicates a scheduler
+/// bug, not overload.
+#[must_use]
+pub fn chaos_report() -> ChaosBenchReport {
+    use ntx_sched::FaultPlan;
+    let clusters = 8usize;
+    let count = 64usize;
+    let seed = 0x5eed_c4a0_5u64;
+    let jobs = chaos_jobs(seed, count);
+
+    // Capacity calibration: the whole trace offered at cycle 0. The
+    // calibrated duration table seeds every later run, as the live
+    // server's measured-duration EWMA would.
+    let closed = vec![0u64; count];
+    let mut calib_table = ntx_sched::DurationTable::new();
+    let calib = run_chaos_open_loop(
+        &jobs,
+        &closed,
+        clusters,
+        FaultPlan::NONE,
+        None,
+        &mut calib_table,
+    );
+    let calib_makespan = calib.stats.makespan_cycles;
+    let mean_service_gap = (calib_makespan / count as u64).max(1);
+
+    // Recovery: 0.5x load, fault-free baseline vs kill + stalls, both
+    // starting from the identical calibrated table.
+    let arrivals = chaos_arrivals(seed, count, 2 * mean_service_gap);
+    let baseline = run_chaos_open_loop(
+        &jobs,
+        &arrivals,
+        clusters,
+        FaultPlan::NONE,
+        None,
+        &mut calib_table.clone(),
+    );
+    let plan = FaultPlan::NONE
+        .with_seed(seed)
+        .with_kill(3, calib_makespan / 4)
+        .with_stalls(256, 1 << 13, 64);
+    let faulted = run_chaos_open_loop(
+        &jobs,
+        &arrivals,
+        clusters,
+        plan,
+        None,
+        &mut calib_table.clone(),
+    );
+    let jobs_lost = faulted.stats.offered - faulted.stats.completed;
+    let makespan_ratio =
+        faulted.stats.makespan_cycles as f64 / baseline.stats.makespan_cycles.max(1) as f64;
+
+    // Overload: deadline budget from the unsaturated p99, then 2x
+    // saturation with shedding armed.
+    let budget = 2 * baseline.stats.p99_cycles.max(1);
+    let sat_arrivals = chaos_arrivals(seed ^ 0xb0b, count, mean_service_gap / 4);
+    let saturated = run_chaos_open_loop(
+        &jobs,
+        &sat_arrivals,
+        clusters,
+        FaultPlan::NONE,
+        Some(budget),
+        &mut calib_table.clone(),
+    );
+    let p99_ratio = saturated.stats.p99_cycles as f64 / baseline.stats.p99_cycles.max(1) as f64;
+
+    let (link_base, link_faulted, link_identical) = chaos_link_fault();
+    let (async_sub, async_comp, async_bp, async_explicit) = chaos_async_smoke();
+
+    ChaosBenchReport {
+        clusters,
+        jobs: count,
+        calib_makespan_cycles: calib_makespan,
+        budget_cycles: budget,
+        baseline_makespan_cycles: baseline.stats.makespan_cycles,
+        faulted_makespan_cycles: faulted.stats.makespan_cycles,
+        makespan_ratio,
+        degradation_bound: 1.5 * clusters as f64 / (clusters - 1) as f64,
+        jobs_lost,
+        recovery_bit_identical: chaos_outputs_identical(&faulted.outputs, &baseline.outputs),
+        faults_injected: faulted.faults.faults_injected,
+        shards_retried: faulted.faults.shards_retried,
+        fault_stall_cycles: faulted.fault_stall_cycles,
+        unsaturated: baseline.stats,
+        saturated: saturated.stats,
+        p99_ratio,
+        p99_bound: 2.0,
+        link_wait_base_cycles: link_base,
+        link_wait_faulted_cycles: link_faulted,
+        link_bit_identical: link_identical,
+        async_submitted: async_sub,
+        async_completed: async_comp,
+        async_backpressure: async_bp,
+        async_all_explicit: async_explicit,
+    }
+}

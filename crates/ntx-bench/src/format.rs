@@ -647,6 +647,156 @@ pub fn simperf_json(r: &crate::experiments::SimPerfReport) -> String {
     )
 }
 
+/// Renders the chaos / robustness measurement for the terminal.
+#[must_use]
+pub fn chaos(r: &crate::experiments::ChaosBenchReport) -> String {
+    let mut s = String::new();
+    s.push_str("Chaos serving — fault injection, recovery, overload control\n");
+    s.push_str(&format!(
+        "  trace: {} jobs on {} clusters, closed-loop calibration {} cycles\n",
+        r.jobs, r.clusters, r.calib_makespan_cycles
+    ));
+    s.push_str(&format!(
+        "  recovery (kill 1/{} + stalls): {} -> {} cycles ({:.3}x, bound {:.3}x), \
+         {} jobs lost, outputs bit-identical: {}\n",
+        r.clusters,
+        r.baseline_makespan_cycles,
+        r.faulted_makespan_cycles,
+        r.makespan_ratio,
+        r.degradation_bound,
+        r.jobs_lost,
+        if r.recovery_bit_identical {
+            "yes"
+        } else {
+            "NO"
+        },
+    ));
+    s.push_str(&format!(
+        "    {} faults injected, {} shards re-placed, {} stall cycles absorbed\n",
+        r.faults_injected, r.shards_retried, r.fault_stall_cycles
+    ));
+    for (mode, st) in [("0.5x load", &r.unsaturated), ("2.0x load", &r.saturated)] {
+        s.push_str(&format!(
+            "  {mode}: {}/{} completed, {} shed, latency p50/p99/p999 = {}/{}/{} cycles, \
+             miss rate {:.1}%\n",
+            st.completed,
+            st.offered,
+            st.shed,
+            st.p50_cycles,
+            st.p99_cycles,
+            st.p999_cycles,
+            st.miss_rate() * 100.0,
+        ));
+    }
+    s.push_str(&format!(
+        "  shedding: accepted-job p99 ratio {:.3}x (bound {:.1}x), budget {} cycles\n",
+        r.p99_ratio, r.p99_bound, r.budget_cycles
+    ));
+    s.push_str(&format!(
+        "  link fault (1/4 bandwidth): remote wait {} -> {} cycles, outputs bit-identical: {}\n",
+        r.link_wait_base_cycles,
+        r.link_wait_faulted_cycles,
+        if r.link_bit_identical { "yes" } else { "NO" },
+    ));
+    s.push_str(&format!(
+        "  async front-end: {} submitted, {} completed, {} backpressure, \
+         every outcome explicit: {}\n",
+        r.async_submitted,
+        r.async_completed,
+        r.async_backpressure,
+        if r.async_all_explicit { "yes" } else { "NO" },
+    ));
+    s
+}
+
+/// One open-loop run block of the `BENCH_chaos.json` artifact.
+fn chaos_run_json(st: &crate::experiments::ChaosRunStats) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "    \"offered\": {},\n",
+            "    \"completed\": {},\n",
+            "    \"shed\": {},\n",
+            "    \"deadline_misses\": {},\n",
+            "    \"miss_rate\": {:.4},\n",
+            "    \"p50_cycles\": {},\n",
+            "    \"p99_cycles\": {},\n",
+            "    \"p999_cycles\": {},\n",
+            "    \"makespan_cycles\": {}\n",
+            "  }}"
+        ),
+        st.offered,
+        st.completed,
+        st.shed,
+        st.deadline_misses,
+        st.miss_rate(),
+        st.p50_cycles,
+        st.p99_cycles,
+        st.p999_cycles,
+        st.makespan_cycles
+    )
+}
+
+/// Serialises the chaos measurement as the `BENCH_chaos.json`
+/// artifact (hand-rolled: no serde in the container).
+#[must_use]
+pub fn chaos_json(r: &crate::experiments::ChaosBenchReport) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"clusters\": {},\n",
+            "  \"jobs\": {},\n",
+            "  \"calib_makespan_cycles\": {},\n",
+            "  \"budget_cycles\": {},\n",
+            "  \"baseline_makespan_cycles\": {},\n",
+            "  \"faulted_makespan_cycles\": {},\n",
+            "  \"makespan_ratio\": {:.4},\n",
+            "  \"degradation_bound\": {:.4},\n",
+            "  \"jobs_lost\": {},\n",
+            "  \"recovery_bit_identical\": {},\n",
+            "  \"faults_injected\": {},\n",
+            "  \"shards_retried\": {},\n",
+            "  \"fault_stall_cycles\": {},\n",
+            "  \"unsaturated\": {},\n",
+            "  \"saturated\": {},\n",
+            "  \"p99_ratio\": {:.4},\n",
+            "  \"p99_bound\": {:.1},\n",
+            "  \"link_wait_base_cycles\": {},\n",
+            "  \"link_wait_faulted_cycles\": {},\n",
+            "  \"link_bit_identical\": {},\n",
+            "  \"async_submitted\": {},\n",
+            "  \"async_completed\": {},\n",
+            "  \"async_backpressure\": {},\n",
+            "  \"async_all_explicit\": {}\n",
+            "}}\n"
+        ),
+        r.clusters,
+        r.jobs,
+        r.calib_makespan_cycles,
+        r.budget_cycles,
+        r.baseline_makespan_cycles,
+        r.faulted_makespan_cycles,
+        r.makespan_ratio,
+        r.degradation_bound,
+        r.jobs_lost,
+        r.recovery_bit_identical,
+        r.faults_injected,
+        r.shards_retried,
+        r.fault_stall_cycles,
+        chaos_run_json(&r.unsaturated),
+        chaos_run_json(&r.saturated),
+        r.p99_ratio,
+        r.p99_bound,
+        r.link_wait_base_cycles,
+        r.link_wait_faulted_cycles,
+        r.link_bit_identical,
+        r.async_submitted,
+        r.async_completed,
+        r.async_backpressure,
+        r.async_all_explicit
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

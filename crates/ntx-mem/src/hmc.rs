@@ -175,16 +175,38 @@ pub struct HmcPort {
     pub(crate) ports: u32,
     pub(crate) port_words_per_cycle: u32,
     pub(crate) budget_q16: u64,
+    /// Optional fault window `(clip_q16, from, until)`: within
+    /// `from..until` the slot budget is multiplied by
+    /// `clip_q16 / 2^16`, modelling a degraded serial link. Outside
+    /// the window the schedule is untouched.
+    pub(crate) degrade: Option<(u32, u64, u64)>,
 }
 
 impl HmcPort {
+    /// The Q16 slot budget effective at `cycle` — the nominal budget,
+    /// clipped inside an armed degradation window.
+    fn effective_budget_q16(self, cycle: u64) -> u64 {
+        match self.degrade {
+            Some((clip, from, until)) if cycle >= from && cycle < until => {
+                // Clip what the link can *deliver*, not the raw shared
+                // budget — a budget far above the AXI cap would
+                // otherwise hide the degradation entirely.
+                let cap =
+                    (u64::from(self.ports) * u64::from(self.port_words_per_cycle)) << SLOT_FP_BITS;
+                let deliverable = self.budget_q16.min(cap);
+                ((u128::from(deliverable) * u128::from(clip)) >> SLOT_FP_BITS) as u64
+            }
+            _ => self.budget_q16,
+        }
+    }
+
     /// Word slots the whole subsystem issues during `cycle`: the Q16
     /// budget accumulated over the cycle boundary, so a fractional
     /// budget of e.g. 6.4 words/cycle yields the exact 6/7 slot
     /// pattern over time.
     #[must_use]
     pub fn total_slots(self, cycle: u64) -> u64 {
-        let q = u128::from(self.budget_q16);
+        let q = u128::from(self.effective_budget_q16(cycle));
         let hi = ((u128::from(cycle) + 1) * q) >> SLOT_FP_BITS;
         let lo = (u128::from(cycle) * q) >> SLOT_FP_BITS;
         (hi - lo) as u64
@@ -211,7 +233,28 @@ impl HmcPort {
     #[must_use]
     pub fn throttles(self) -> bool {
         let full = u64::from(self.ports) * u64::from(self.port_words_per_cycle);
-        self.budget_q16 < full << SLOT_FP_BITS
+        if self.budget_q16 < full << SLOT_FP_BITS {
+            return true;
+        }
+        // A degradation window binds even when the nominal budget
+        // does not; the burst paths must keep the slot bookkeeping on.
+        matches!(self.degrade, Some((clip, from, until))
+            if from < until && u64::from(clip) < 1 << SLOT_FP_BITS)
+    }
+
+    /// Returns the schedule with a fault window armed: for cycles in
+    /// `from..until` the slot budget is clipped to `clip_q16 / 2^16`
+    /// of nominal (degraded serial link). Grants stay a pure function
+    /// of the cycle index, so the port remains stateless and `Copy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty window.
+    #[must_use]
+    pub fn degraded(mut self, clip_q16: u32, from: u64, until: u64) -> HmcPort {
+        assert!(from < until, "degradation window must be non-empty");
+        self.degrade = Some((clip_q16, from, until));
+        self
     }
 
     /// Index of this port within the subsystem.
@@ -326,6 +369,7 @@ impl HmcSubsystem {
             ports: self.ports,
             port_words_per_cycle: self.port_words_per_cycle,
             budget_q16: self.budget_q16,
+            degrade: None,
         }
     }
 
@@ -365,6 +409,7 @@ impl HmcSubsystem {
             ports: active.len() as u32,
             port_words_per_cycle: self.port_words_per_cycle,
             budget_q16: self.budget_q16,
+            degrade: None,
         }
     }
 
@@ -588,6 +633,35 @@ mod tests {
     fn port_among_rejects_unsorted_demand() {
         let sub = HmcSubsystem::new(HmcConfig::default(), 8, 1.25e9, 1);
         let _ = sub.port_among(3, &[3, 1]);
+    }
+
+    #[test]
+    fn degraded_window_clips_grants_then_recovers() {
+        // A lone uncontended port: full width outside the window,
+        // half the slots inside a 50% clip window.
+        let sub = HmcSubsystem::new(HmcConfig::default(), 1, 1.25e9, 2);
+        let nominal = sub.port(0);
+        let faulty = nominal.degraded(0x8000, 100, 300);
+        assert!(faulty.throttles(), "a clipped window must bind");
+        let sum = |p: super::HmcPort, lo: u64, hi: u64| -> u64 {
+            (lo..hi).map(|t| u64::from(p.granted(t))).sum()
+        };
+        // Identical outside the window...
+        assert_eq!(sum(faulty, 0, 100), sum(nominal, 0, 100));
+        assert_eq!(sum(faulty, 300, 400), sum(nominal, 300, 400));
+        // ...and at most half the nominal slots inside it.
+        let inside = sum(faulty, 100, 300);
+        let nominal_inside = sum(nominal, 100, 300);
+        assert!(
+            inside * 2 <= nominal_inside + 2,
+            "clipped window granted {inside} of {nominal_inside}"
+        );
+        assert!(inside > 0, "a 50% clip must not starve the port");
+        // Same plan, same schedule: grants are a pure cycle function.
+        let again = nominal.degraded(0x8000, 100, 300);
+        for t in 0..400 {
+            assert_eq!(faulty.granted(t), again.granted(t));
+        }
     }
 
     #[test]

@@ -292,6 +292,7 @@ impl HmcMesh {
             ports: 1,
             port_words_per_cycle: home.port_words_per_cycle,
             budget_q16,
+            degrade: None,
         }
     }
 

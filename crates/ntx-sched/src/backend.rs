@@ -305,6 +305,19 @@ impl Placement {
     }
 }
 
+/// A planned-but-uncommitted continuous admission: the tiled shard
+/// plans, their target clusters, and the placement estimates. Internal
+/// split of plan/commit that lets deadline shedding reject a job
+/// before it touches the farm.
+#[derive(Debug)]
+struct ContinuousPlan {
+    nonempty: Vec<ClusterPlan>,
+    chosen: Vec<usize>,
+    hint: u64,
+    per_shard: u64,
+    planned_shards: usize,
+}
+
 /// The bit-accurate backend: tiler + placement + cluster farm.
 #[derive(Debug)]
 pub struct SimulatorBackend {
@@ -317,9 +330,11 @@ impl SimulatorBackend {
     /// Builds the farm for `config`.
     #[must_use]
     pub fn new(config: ScaleOutConfig) -> Self {
+        let mut farm = ClusterFarm::with_memory(config.clusters, config.cluster, config.memory);
+        farm.set_fault_plan(config.faults);
         Self {
             config,
-            farm: ClusterFarm::with_memory(config.clusters, config.cluster, config.memory),
+            farm,
             roofline: roofline_for(&config),
         }
     }
@@ -414,18 +429,89 @@ impl SimulatorBackend {
         job: &Job,
         table: &DurationTable,
     ) -> Result<Placement, SchedError> {
+        let plan = self.plan_continuous(job, table)?;
+        Ok(self.commit_continuous(job, plan))
+    }
+
+    /// [`admit_continuous`](Self::admit_continuous) with deadline
+    /// shedding: the job is **rejected without touching the farm**
+    /// when its estimated completion — the load of the busiest chosen
+    /// cluster plus the shard estimate, measured from the farm's
+    /// [`virtual_now`](ClusterFarm::virtual_now) — already proves a
+    /// virtual-cycle deadline unmeetable. `None` admits
+    /// unconditionally.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::DeadlineUnmeetable`] for shed jobs, plus every
+    /// [`admit_continuous`](Self::admit_continuous) error.
+    pub fn admit_continuous_within(
+        &mut self,
+        job: &Job,
+        table: &DurationTable,
+        deadline_cycles: Option<u64>,
+    ) -> Result<Placement, SchedError> {
+        let plan = self.plan_continuous(job, table)?;
+        if let Some(deadline) = deadline_cycles {
+            let now = self.farm.virtual_now();
+            // Per chosen cluster the job's shards append to the queue:
+            // its k-th shard there retires at load + k * hint.
+            let mut finish = now;
+            let mut backlog: Vec<(usize, u64)> = Vec::new();
+            for &c in &plan.chosen {
+                let entry = match backlog.iter_mut().find(|(b, _)| *b == c) {
+                    Some(e) => {
+                        e.1 += plan.hint;
+                        e.1
+                    }
+                    None => {
+                        let f = self.farm.load(c) + plan.hint;
+                        backlog.push((c, f));
+                        f
+                    }
+                };
+                finish = finish.max(entry);
+            }
+            let estimated_cycles = finish - now;
+            if estimated_cycles > deadline {
+                return Err(SchedError::DeadlineUnmeetable {
+                    estimated_cycles,
+                    deadline_cycles: deadline,
+                });
+            }
+        }
+        Ok(self.commit_continuous(job, plan))
+    }
+
+    /// Plans `job` for continuous admission without committing it:
+    /// chooses the graded shard count, tiles, and picks the target
+    /// clusters. Read-only on the farm, so a rejected plan (deadline
+    /// shedding) leaves no trace.
+    fn plan_continuous(
+        &self,
+        job: &Job,
+        table: &DurationTable,
+    ) -> Result<ContinuousPlan, SchedError> {
         job.validate()?;
-        let n = self.config.clusters;
         let freq = self.config.cluster.ntx_freq_hz;
         let class = job.kind.class();
+        // Dead clusters take no new work: plan against the survivors.
+        let alive: Vec<usize> = (0..self.config.clusters)
+            .filter(|&c| self.farm.is_alive(c))
+            .collect();
+        if alive.is_empty() {
+            return Err(SchedError::Capacity(
+                "no live clusters remain in the farm".into(),
+            ));
+        }
         let want = if self.config.space_share {
             let est1 = estimate_for(job, 1, &self.roofline, freq);
             let corrected = table.corrected_cycles(class, est1.cycles);
             corrected
                 .div_ceil(self.config.target_shard_cycles.max(1))
-                .clamp(1, n as u64) as usize
+                .clamp(1, alive.len() as u64) as usize
         } else {
-            n
+            alive.len()
         };
         let (plans, planned_shards) = self.tile_with_retry(job, want)?;
         let per_shard = estimate_for(job, planned_shards, &self.roofline, freq).cycles;
@@ -436,8 +522,11 @@ impl SimulatorBackend {
         // the primary key is data locality: clusters attached to the
         // job's home cube win over less-loaded remote ones, so shards
         // cross a serial link only when the home cube has no ports
-        // left to give.
-        let mut order: Vec<usize> = (0..n).collect();
+        // left to give. When a capacity retry produced more shards
+        // than live clusters (possible only after a kill), the
+        // assignment wraps — several shards of one job then queue on
+        // the same surviving cluster.
+        let mut order = alive;
         if self.config.affinity {
             order.sort_by_key(|&c| {
                 (
@@ -449,28 +538,42 @@ impl SimulatorBackend {
         } else {
             order.sort_by_key(|&c| (self.farm.load(c), c));
         }
-        let mut chosen: Vec<usize> = order[..nonempty.len()].to_vec();
+        let mut chosen: Vec<usize> = (0..nonempty.len())
+            .map(|i| order[i % order.len()])
+            .collect();
         chosen.sort_unstable();
+        Ok(ContinuousPlan {
+            nonempty,
+            chosen,
+            hint,
+            per_shard,
+            planned_shards,
+        })
+    }
+
+    /// Commits a [`plan_continuous`](Self::plan_continuous) result
+    /// into the running farm.
+    fn commit_continuous(&mut self, job: &Job, plan: ContinuousPlan) -> Placement {
         let meta = JobMeta {
             id: job.id,
             label: job.label.clone(),
             output_len: job.output_len(),
-            class,
+            class: job.kind.class(),
             home_cube: job.opts.home_cube,
         };
         self.farm.admit(
             PlacedJob {
                 meta,
-                shards: chosen.iter().copied().zip(nonempty).collect(),
+                shards: plan.chosen.iter().copied().zip(plan.nonempty).collect(),
             },
-            hint,
-            per_shard,
+            plan.hint,
+            plan.per_shard,
         );
-        Ok(Placement {
-            planned_shards,
-            clusters: chosen,
-            shard_cycles: hint,
-        })
+        Placement {
+            planned_shards: plan.planned_shards,
+            clusters: plan.chosen,
+            shard_cycles: plan.hint,
+        }
     }
 
     /// Retires the next shard of the continuously-admitted farm (see
@@ -497,6 +600,27 @@ impl SimulatorBackend {
     #[must_use]
     pub fn perf_totals(&self) -> ntx_sim::PerfSnapshot {
         self.farm.perf_totals()
+    }
+
+    /// The farm's virtual "now" (earliest live-cluster clock; see
+    /// [`ClusterFarm::virtual_now`]) — the reference point of
+    /// virtual-cycle deadlines.
+    #[must_use]
+    pub fn virtual_now(&self) -> u64 {
+        self.farm.virtual_now()
+    }
+
+    /// Fault-recovery counters of the farm (see
+    /// [`ClusterFarm::fault_stats`]).
+    #[must_use]
+    pub fn fault_stats(&self) -> crate::farm::FaultStats {
+        self.farm.fault_stats()
+    }
+
+    /// Number of live clusters (see [`ClusterFarm::num_alive`]).
+    #[must_use]
+    pub fn num_alive(&self) -> usize {
+        self.farm.num_alive()
     }
 }
 

@@ -52,6 +52,11 @@ pub struct ScaleOutConfig {
     /// arm of the affinity experiment. Meaningless without
     /// [`MemoryModel::HmcMesh`].
     pub affinity: bool,
+    /// Deterministic chaos schedule injected into continuous-mode
+    /// farms: cluster kills, transient stalls, serial-link
+    /// degradation. The empty plan (the default) injects nothing;
+    /// batch (oracle) runs always ignore it.
+    pub faults: ntx_sim::FaultPlan,
 }
 
 impl Default for ScaleOutConfig {
@@ -64,6 +69,7 @@ impl Default for ScaleOutConfig {
             target_shard_cycles: 4096,
             memory: MemoryModel::Ideal,
             affinity: true,
+            faults: ntx_sim::FaultPlan::NONE,
         }
     }
 }
@@ -110,6 +116,14 @@ impl ScaleOutConfig {
     #[must_use]
     pub fn without_affinity(mut self) -> Self {
         self.affinity = false;
+        self
+    }
+
+    /// Arms a deterministic chaos schedule (continuous-mode farms
+    /// only; the batch oracle stays fault-free).
+    #[must_use]
+    pub fn with_faults(mut self, faults: ntx_sim::FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }

@@ -33,7 +33,7 @@
 //! reference.
 
 use ntx_mem::{HmcMesh, HmcPort, HmcSubsystem, MemoryModel};
-use ntx_sim::{Cluster, ClusterConfig, PerfSnapshot};
+use ntx_sim::{Cluster, ClusterConfig, FaultPlan, PerfSnapshot};
 use std::collections::VecDeque;
 
 use crate::executor::{BatchResult, JobResult};
@@ -91,6 +91,17 @@ struct ShardTask {
 
 /// Per-shard measurement: which job, its counter delta, its duration.
 type ShardRecord = (usize, PerfSnapshot, u64);
+
+/// Fault-recovery counters of one farm run (continuous mode; the
+/// batch oracle never injects faults).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Fault events that fired: cluster kills plus transient stalls.
+    pub faults_injected: u64,
+    /// Shards evacuated from a failed cluster and re-admitted on a
+    /// surviving one (queued shards plus the aborted in-flight shard).
+    pub shards_retried: u64,
+}
 
 /// One retired shard of the continuously-admitted farm: everything the
 /// serving layer needs to update its measured-duration table and
@@ -169,6 +180,15 @@ pub struct ClusterFarm {
     /// delta (both batch and continuous mode) — the serving layer's
     /// source for memory-stall attribution.
     totals: PerfSnapshot,
+    /// The chaos schedule (continuous mode only; defaults to no
+    /// faults). Consulted, never mutated — every injected event is a
+    /// pure function of (seed, cycle, cluster).
+    faults: FaultPlan,
+    /// Clusters detected as failed: excluded from stepping and
+    /// placement, their clocks frozen at the kill cycle.
+    dead: Vec<bool>,
+    /// Recovery counters of this run.
+    fault_stats: FaultStats,
 }
 
 /// Stages a shard's inputs and runs it to completion in an isolated
@@ -316,6 +336,100 @@ impl ClusterFarm {
             queued_hint: vec![0; clusters],
             mesh,
             totals: PerfSnapshot::default(),
+            faults: FaultPlan::NONE,
+            dead: vec![false; clusters],
+            fault_stats: FaultStats::default(),
+        }
+    }
+
+    /// Arms a chaos schedule for this farm's continuous mode. Batch
+    /// runs ([`run_batch`](ClusterFarm::run_batch)) ignore it — they
+    /// are the fault-free differential oracle.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// The armed chaos schedule (the empty plan by default).
+    #[must_use]
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.faults
+    }
+
+    /// Recovery counters of this run (kills fired, shards re-placed).
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// True when cluster `index` can still accept and run work: not
+    /// yet detected dead, and not past an armed kill cycle.
+    #[must_use]
+    pub fn is_alive(&self, index: usize) -> bool {
+        !self.dead[index] && !self.crossed_kill(index)
+    }
+
+    /// Number of live clusters.
+    #[must_use]
+    pub fn num_alive(&self) -> usize {
+        (0..self.clusters.len())
+            .filter(|&c| self.is_alive(c))
+            .count()
+    }
+
+    /// The farm's virtual "now": the earliest live-cluster clock — the
+    /// time at which the next admitted shard could start at all. Used
+    /// by the serving layer's deadline shedding. Falls back over all
+    /// clusters when none are alive.
+    #[must_use]
+    pub fn virtual_now(&self) -> u64 {
+        let alive = (0..self.clusters.len())
+            .filter(|&c| self.is_alive(c))
+            .map(|c| self.clock[c])
+            .min();
+        alive.unwrap_or_else(|| self.clock.iter().copied().min().unwrap_or(0))
+    }
+
+    /// True when `index` has an armed kill whose cycle its clock has
+    /// reached (kill pending detection).
+    fn crossed_kill(&self, index: usize) -> bool {
+        self.faults
+            .kill_cycle(index as u32)
+            .is_some_and(|at| self.clock[index] >= at)
+    }
+
+    /// Marks `index` dead and re-admits everything still queued on it
+    /// onto the least-loaded surviving clusters (FIFO order, ties to
+    /// the lowest index — deterministic). `extra` carries the aborted
+    /// in-flight shard of a mid-shard kill, evacuated first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no cluster survives to take the work.
+    fn fail_cluster(&mut self, index: usize, extra: Option<QueuedShard>) {
+        self.dead[index] = true;
+        if let Some(at) = self.faults.kill_cycle(index as u32) {
+            // Freeze the dead cluster's virtual clock at the kill
+            // cycle: work past it never observably happened.
+            self.clock[index] = self.clock[index].min(at);
+        }
+        self.fault_stats.faults_injected += 1;
+        let mut orphans: Vec<QueuedShard> = extra.into_iter().collect();
+        orphans.extend(std::mem::take(&mut self.pending[index]));
+        self.queued_hint[index] = 0;
+        for mut task in orphans {
+            let target = (0..self.clusters.len())
+                .filter(|&c| self.is_alive(c))
+                .min_by_key(|&c| (self.load(c), c))
+                .expect("a surviving cluster must exist to re-admit orphaned shards");
+            let meta = self.active[task.slot]
+                .as_ref()
+                .expect("orphaned shard has an active job")
+                .meta
+                .clone();
+            task.wiring = self.wiring_for(target, &meta);
+            self.queued_hint[target] += task.hint;
+            self.pending[target].push_back(task);
+            self.fault_stats.shards_retried += 1;
         }
     }
 
@@ -355,8 +469,16 @@ impl ClusterFarm {
         let c = cluster as u32;
         let home = mesh.home_of(meta.id, meta.home_cube);
         let remote = !mesh.is_local(c, home);
+        let mut port = mesh.port(c, home);
+        if remote {
+            // An armed link fault degrades *serial-link* traffic only:
+            // local (same-cube) ports keep their nominal schedule.
+            if let Some(lf) = self.faults.link_fault {
+                port = port.degraded(lf.clip_q16, lf.from, lf.until);
+            }
+        }
         Some(ShardWiring {
-            port: mesh.port(c, home),
+            port,
             remote,
             latency: if remote {
                 u64::from(mesh.link_latency_cycles())
@@ -509,6 +631,11 @@ impl ClusterFarm {
             }
         };
         for (c, plan) in placed.shards {
+            debug_assert!(
+                self.is_alive(c),
+                "placement targeted dead cluster {c} — the admission path must \
+                 filter by `is_alive`"
+            );
             self.queued_hint[c] += shard_cycles_hint;
             let meta = &self.active[slot].as_ref().expect("job just stored").meta;
             let wiring = self.wiring_for(c, meta);
@@ -531,19 +658,56 @@ impl ClusterFarm {
     /// barriered [`run_batch`](ClusterFarm::run_batch) of the same
     /// placement — only the admission timing differs.
     pub fn step(&mut self) -> Option<ShardRetire> {
+        // Detect kills whose cycle was crossed since the last event:
+        // the dead cluster's queue is evacuated before anything else
+        // is scheduled, so no shard is ever lost.
+        for c in 0..self.clusters.len() {
+            if !self.dead[c] && self.crossed_kill(c) {
+                self.fail_cluster(c, None);
+            }
+        }
         let c = (0..self.clusters.len())
-            .filter(|&c| !self.pending[c].is_empty())
+            .filter(|&c| !self.dead[c] && !self.pending[c].is_empty())
             .min_by_key(|&c| (self.clock[c], c))?;
         let mut task = self.pending[c].pop_front().expect("non-empty FIFO");
         self.queued_hint[c] -= task.hint;
+        // With a kill armed on this cluster the shard might straddle
+        // the kill cycle; keep a copy so the aborted work can be
+        // re-placed bit-identically (`run_shard` consumes the tiles).
+        let kill_at = self.faults.kill_cycle(c as u32);
+        let backup = kill_at.map(|_| task.plan.clone());
         let (perf, cycles) = run_shard(&mut self.clusters[c], &mut task.plan, task.wiring);
+        let start = self.clock[c];
+        if let Some(at) = kill_at {
+            if start + cycles > at {
+                // The cluster died mid-shard: discard the run — no
+                // readback, no counter accumulation, clock frozen at
+                // the kill cycle — and re-admit the shard (plus the
+                // rest of the queue) on the survivors. The dead
+                // cluster's memory state no longer matters.
+                self.clock[c] = at;
+                task.plan = backup.expect("kill armed implies a plan backup");
+                self.fail_cluster(c, Some(task));
+                return self.step();
+            }
+        }
         self.totals.accumulate(&perf);
         let job = self.active[task.slot]
             .as_mut()
             .expect("queued shard has an active job");
         read_shard(&mut self.clusters[c], &task.plan, &mut job.output);
-        let start = self.clock[c];
         self.clock[c] = start + cycles;
+        // Transient stalls: windows whose boundary the shard crossed
+        // freeze the cluster afterwards. Dead time is attributed to
+        // the fault counter, not to the shard (per-job outputs and
+        // counters stay bit-identical to the fault-free run).
+        let stall = self.faults.stall_between(c as u32, start, self.clock[c]);
+        if stall > 0 {
+            self.clusters[c].attribute_fault_stall(stall);
+            self.clock[c] += stall;
+            self.totals.fault_stall_cycles += stall;
+            self.fault_stats.faults_injected += 1;
+        }
         job.report.per_cluster[c].accumulate(&perf);
         job.report.makespan_cycles = job.report.makespan_cycles.max(cycles);
         job.start_clock = job.start_clock.min(start);

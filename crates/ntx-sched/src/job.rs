@@ -168,6 +168,12 @@ pub struct JobOpts {
     /// outside [`MemoryModel::HmcMesh`](ntx_mem::MemoryModel::HmcMesh)
     /// farms, where there is only one memory.
     pub home_cube: Option<u32>,
+    /// Optional completion deadline in *virtual farm cycles*, measured
+    /// from admission. Unlike the wall-clock `deadline` (reporting
+    /// only), this one is enforced: continuous admission **sheds** the
+    /// job with [`SchedError::DeadlineUnmeetable`](crate::SchedError)
+    /// when the placement estimate already proves it unmeetable.
+    pub deadline_cycles: Option<u64>,
 }
 
 impl JobOpts {
@@ -198,6 +204,13 @@ impl JobOpts {
     #[must_use]
     pub fn with_home_cube(mut self, cube: u32) -> Self {
         self.home_cube = Some(cube);
+        self
+    }
+
+    /// Sets the enforced virtual-cycle deadline (builder style).
+    #[must_use]
+    pub fn with_deadline_cycles(mut self, cycles: u64) -> Self {
+        self.deadline_cycles = Some(cycles);
         self
     }
 }

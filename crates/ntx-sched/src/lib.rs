@@ -107,9 +107,10 @@ pub use backend::{
     Placement, SimulatorBackend,
 };
 pub use executor::{run_sharded, BatchResult, JobResult, ScaleOutConfig, ScaleOutExecutor};
-pub use farm::{ClusterFarm, JobMeta, PlacedJob, ShardRetire};
+pub use farm::{ClusterFarm, FaultStats, JobMeta, PlacedJob, ShardRetire};
 pub use job::{Job, JobClass, JobKind, JobOpts, JobQueue, RawJob};
 pub use ntx_mem::{HmcConfig, HmcMesh, HmcSubsystem, MemoryModel, MeshConfig};
+pub use ntx_sim::{ClusterKill, FaultPlan, LinkFault, StallSpec};
 pub use pipeline::TilePipeline;
 pub use report::{ScaleOutReport, ServingReport};
 pub use server::{AdmissionMode, Completion, JobHandle, Server, ServerConfig, ServerHandle};
@@ -140,6 +141,24 @@ pub enum SchedError {
     /// The serving front-end has shut down (submission rejected or a
     /// completion channel closed).
     Shutdown,
+    /// The server's bounded admission queue is full: the submission
+    /// was rejected instead of growing the backlog without bound.
+    /// Retry later, or use the blocking
+    /// [`submit_wait`](session::ReadyJob::submit_wait) variant.
+    Backpressure {
+        /// The configured admission-queue capacity that was hit.
+        limit: usize,
+    },
+    /// Deadline-aware shedding rejected the job at admission: the
+    /// placement estimate already proves its virtual-cycle deadline
+    /// cannot be met, so simulating it would only burn farm time that
+    /// meetable jobs need.
+    DeadlineUnmeetable {
+        /// Estimated completion, cycles from the farm's virtual now.
+        estimated_cycles: u64,
+        /// The deadline it would miss.
+        deadline_cycles: u64,
+    },
 }
 
 impl std::fmt::Display for SchedError {
@@ -152,6 +171,17 @@ impl std::fmt::Display for SchedError {
                 write!(f, "job {id} ({label}): {source}")
             }
             SchedError::Shutdown => write!(f, "serving front-end has shut down"),
+            SchedError::Backpressure { limit } => {
+                write!(f, "admission queue full ({limit} submissions pending)")
+            }
+            SchedError::DeadlineUnmeetable {
+                estimated_cycles,
+                deadline_cycles,
+            } => write!(
+                f,
+                "deadline unmeetable: estimated {estimated_cycles} cycles to completion, \
+                 deadline in {deadline_cycles}"
+            ),
         }
     }
 }

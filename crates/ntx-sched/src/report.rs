@@ -167,6 +167,23 @@ pub struct ServingReport {
     /// Cycles attributable to remote-cube access: hop latencies plus
     /// the zero-grant waits of remote shards.
     pub ext_remote_wait_cycles: u64,
+    /// Jobs rejected at admission by deadline-aware shedding (the
+    /// placement estimate proved their virtual-cycle deadline
+    /// unmeetable). Also counted in `failed`.
+    pub shed_jobs: u64,
+    /// Submissions rejected client-side because the bounded admission
+    /// queue was full ([`SchedError::Backpressure`](crate::SchedError));
+    /// these never reached the worker and are *not* counted in `jobs`.
+    pub backpressure_rejected: u64,
+    /// Fault events the chaos plan injected into the farm (cluster
+    /// kills and transient stalls that actually fired).
+    pub faults_injected: u64,
+    /// Shards re-admitted onto surviving clusters after their cluster
+    /// was killed.
+    pub shards_retried: u64,
+    /// Dead cycles injected by transient cluster stalls, summed over
+    /// all clusters.
+    pub fault_stall_cycles: u64,
 }
 
 impl ServingReport {
@@ -188,6 +205,11 @@ impl ServingReport {
             ext_wait_cycles: 0,
             ext_remote_bytes: 0,
             ext_remote_wait_cycles: 0,
+            shed_jobs: 0,
+            backpressure_rejected: 0,
+            faults_injected: 0,
+            shards_retried: 0,
+            fault_stall_cycles: 0,
         }
     }
 

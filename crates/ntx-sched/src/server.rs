@@ -28,7 +28,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -65,6 +65,13 @@ pub struct ServerConfig {
     pub max_wave: usize,
     /// Admission mode (continuous by default).
     pub admission: AdmissionMode,
+    /// Bound on submissions in flight (accepted but not yet
+    /// completed). When full, `submit` returns
+    /// [`SchedError::Backpressure`] immediately and
+    /// [`submit_wait`](crate::session::ReadyJob::submit_wait) blocks
+    /// for a slot. `0` (the default) means unbounded — the
+    /// pre-overload-control behaviour.
+    pub queue_limit: usize,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +80,7 @@ impl Default for ServerConfig {
             scale_out: ScaleOutConfig::default(),
             max_wave: 64,
             admission: AdmissionMode::default(),
+            queue_limit: 0,
         }
     }
 }
@@ -110,6 +118,96 @@ impl ServerConfig {
     pub fn with_hmc_mesh(mut self, mesh: ntx_mem::MeshConfig) -> Self {
         self.scale_out = self.scale_out.with_hmc_mesh(mesh);
         self
+    }
+
+    /// Bounds the number of submissions in flight (overload control):
+    /// when `limit` are pending, non-blocking submission returns
+    /// [`SchedError::Backpressure`] instead of growing the backlog.
+    #[must_use]
+    pub fn with_queue_limit(mut self, limit: usize) -> Self {
+        self.queue_limit = limit;
+        self
+    }
+
+    /// Arms a deterministic chaos schedule on the served farm (see
+    /// [`ScaleOutConfig::with_faults`](crate::ScaleOutConfig::with_faults)).
+    #[must_use]
+    pub fn with_faults(mut self, faults: crate::FaultPlan) -> Self {
+        self.scale_out = self.scale_out.with_faults(faults);
+        self
+    }
+}
+
+/// The shared admission gauge: how many submissions are in flight
+/// (from `submit` until their completion is delivered), bounded by
+/// [`ServerConfig::queue_limit`]. Clients acquire a slot before
+/// sending; the worker releases it at delivery. A closed gauge (worker
+/// exited) fails all acquisition so blocked submitters wake up.
+#[derive(Debug)]
+struct AdmissionGauge {
+    limit: usize,
+    state: Mutex<GaugeState>,
+    cv: Condvar,
+    rejected: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct GaugeState {
+    in_flight: usize,
+    closed: bool,
+}
+
+impl AdmissionGauge {
+    fn new(limit: usize) -> Self {
+        Self {
+            limit,
+            state: Mutex::new(GaugeState::default()),
+            cv: Condvar::new(),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Claims a slot or fails fast: [`SchedError::Backpressure`] when
+    /// the bound is hit, [`SchedError::Shutdown`] when the worker is
+    /// gone.
+    fn try_acquire(&self) -> Result<(), SchedError> {
+        let mut s = self.state.lock().expect("gauge poisoned");
+        if s.closed {
+            return Err(SchedError::Shutdown);
+        }
+        if self.limit > 0 && s.in_flight >= self.limit {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SchedError::Backpressure { limit: self.limit });
+        }
+        s.in_flight += 1;
+        Ok(())
+    }
+
+    /// Claims a slot, blocking while the queue is full.
+    fn acquire_blocking(&self) -> Result<(), SchedError> {
+        let mut s = self.state.lock().expect("gauge poisoned");
+        while !s.closed && self.limit > 0 && s.in_flight >= self.limit {
+            s = self.cv.wait(s).expect("gauge poisoned");
+        }
+        if s.closed {
+            return Err(SchedError::Shutdown);
+        }
+        s.in_flight += 1;
+        Ok(())
+    }
+
+    /// Returns a slot (a completion was delivered, or a send failed).
+    fn release(&self) {
+        let mut s = self.state.lock().expect("gauge poisoned");
+        s.in_flight = s.in_flight.saturating_sub(1);
+        drop(s);
+        self.cv.notify_one();
+    }
+
+    /// Marks the worker gone and wakes every blocked submitter.
+    fn close(&self) {
+        self.state.lock().expect("gauge poisoned").closed = true;
+        self.cv.notify_all();
     }
 }
 
@@ -177,7 +275,10 @@ impl JobHandle {
     /// # Errors
     ///
     /// [`SchedError::Shutdown`] when the server dropped the job — the
-    /// completion will never arrive.
+    /// completion will never arrive. This covers the worker thread
+    /// going away mid-wait (shutdown racing the job, or a dropped
+    /// [`Server`]): the wait returns this clean error instead of
+    /// timing out forever.
     pub fn wait_timeout(&mut self, timeout: Duration) -> Result<Option<Completion>, SchedError> {
         match self.rx.recv_timeout(timeout) {
             Ok(c) => Ok(Some(c)),
@@ -208,6 +309,7 @@ impl JobHandle {
 pub struct ServerHandle {
     tx: Sender<Msg>,
     seq: Arc<AtomicU64>,
+    gauge: Arc<AdmissionGauge>,
 }
 
 impl ServerHandle {
@@ -294,7 +396,35 @@ impl ServerHandle {
         self.send(label, kind, opts, Reply::Callback(Box::new(callback)))
     }
 
+    /// Blocking handle-reply submission: waits for an admission slot
+    /// instead of returning [`SchedError::Backpressure`] (the
+    /// [`submit_wait`](crate::session::ReadyJob::submit_wait) sink).
+    pub(crate) fn send_handle_wait(
+        &self,
+        label: String,
+        kind: JobKind,
+        opts: JobOpts,
+    ) -> Result<JobHandle, SchedError> {
+        self.gauge.acquire_blocking()?;
+        let (tx, rx) = channel();
+        let id = self.send_acquired(label, kind, opts, Reply::Handle(tx))?;
+        Ok(JobHandle { id, rx })
+    }
+
     fn send(
+        &self,
+        label: String,
+        kind: JobKind,
+        opts: JobOpts,
+        reply: Reply,
+    ) -> Result<u64, SchedError> {
+        self.gauge.try_acquire()?;
+        self.send_acquired(label, kind, opts, reply)
+    }
+
+    /// Sends a submission whose admission slot is already claimed; the
+    /// slot is returned on a failed send (worker gone).
+    fn send_acquired(
         &self,
         label: String,
         kind: JobKind,
@@ -312,7 +442,10 @@ impl ServerHandle {
                 reply,
             })))
             .map(|()| id)
-            .map_err(|_| SchedError::Shutdown)
+            .map_err(|_| {
+                self.gauge.release();
+                SchedError::Shutdown
+            })
     }
 }
 
@@ -329,14 +462,23 @@ impl Server {
     #[must_use]
     pub fn start(config: ServerConfig) -> Self {
         let (tx, rx) = channel();
-        let worker = std::thread::spawn(move || match config.admission {
-            AdmissionMode::Continuous => continuous_loop(&rx, config),
-            AdmissionMode::Wave => wave_loop(&rx, config),
+        let gauge = Arc::new(AdmissionGauge::new(config.queue_limit));
+        let worker_gauge = Arc::clone(&gauge);
+        let worker = std::thread::spawn(move || {
+            let report = match config.admission {
+                AdmissionMode::Continuous => continuous_loop(&rx, config, &worker_gauge),
+                AdmissionMode::Wave => wave_loop(&rx, config, &worker_gauge),
+            };
+            // Wake any submitter still blocked on a slot: the
+            // completion that would free one is never coming.
+            worker_gauge.close();
+            report
         });
         Self {
             handle: ServerHandle {
                 tx,
                 seq: Arc::new(AtomicU64::new(0)),
+                gauge,
             },
             worker: Some(worker),
         }
@@ -409,15 +551,19 @@ impl Server {
     }
 }
 
-/// Delivers one completion and folds it into the running statistics.
+/// Delivers one completion, folds it into the running statistics, and
+/// returns the submission's admission slot to the gauge.
+#[allow(clippy::too_many_arguments)]
 fn deliver(
     stats: &mut ServingReport,
+    gauge: &AdmissionGauge,
     submitted: Instant,
     deadline: Option<Duration>,
     reply: Reply,
     id: u64,
     result: Result<JobResult, SchedError>,
 ) {
+    gauge.release();
     let latency = submitted.elapsed();
     let deadline_missed = deadline.is_some_and(|d| latency > d);
     stats.jobs += 1;
@@ -475,7 +621,18 @@ fn take(pending: &mut Vec<(u64, Pending)>, id: u64) -> Option<Pending> {
 /// therefore interleaved with execution at shard granularity: a job
 /// that arrives mid-run waits at most one shard before it is placed,
 /// and its completion never waits for unrelated jobs.
-fn continuous_loop(rx: &Receiver<Msg>, config: ServerConfig) -> ServingReport {
+///
+/// Robustness hooks live here: jobs carrying a virtual-cycle deadline
+/// are shed at admission when the placement estimate proves it
+/// unmeetable ([`SchedError::DeadlineUnmeetable`]), and the farm's
+/// fault counters (injected faults, retried shards) are folded into
+/// the final report. Wave mode keeps the PR 3 semantics and skips
+/// both.
+fn continuous_loop(
+    rx: &Receiver<Msg>,
+    config: ServerConfig,
+    gauge: &AdmissionGauge,
+) -> ServingReport {
     let mut sim = SimulatorBackend::new(config.scale_out);
     let mut model = AnalyticalBackend::new(&config.scale_out);
     let mut table = DurationTable::new();
@@ -522,7 +679,15 @@ fn continuous_loop(rx: &Receiver<Msg>, config: ServerConfig) -> ServingReport {
                 reply: s.reply,
             };
             if let Err(e) = job.validate() {
-                deliver(&mut stats, p.submitted, p.deadline, p.reply, job.id, Err(e));
+                deliver(
+                    &mut stats,
+                    gauge,
+                    p.submitted,
+                    p.deadline,
+                    p.reply,
+                    job.id,
+                    Err(e),
+                );
                 continue;
             }
             match job.opts.backend {
@@ -536,14 +701,35 @@ fn continuous_loop(rx: &Receiver<Msg>, config: ServerConfig) -> ServingReport {
                         }
                         Err(e) => Err(e),
                     };
-                    deliver(&mut stats, p.submitted, p.deadline, p.reply, id, result);
+                    deliver(
+                        &mut stats,
+                        gauge,
+                        p.submitted,
+                        p.deadline,
+                        p.reply,
+                        id,
+                        result,
+                    );
                 }
-                BackendKind::Simulate => match sim.admit_continuous(&job, &table) {
-                    Ok(_) => pending.push((job.id, p)),
-                    Err(e) => {
-                        deliver(&mut stats, p.submitted, p.deadline, p.reply, job.id, Err(e));
+                BackendKind::Simulate => {
+                    match sim.admit_continuous_within(&job, &table, job.opts.deadline_cycles) {
+                        Ok(_) => pending.push((job.id, p)),
+                        Err(e) => {
+                            if matches!(e, SchedError::DeadlineUnmeetable { .. }) {
+                                stats.shed_jobs += 1;
+                            }
+                            deliver(
+                                &mut stats,
+                                gauge,
+                                p.submitted,
+                                p.deadline,
+                                p.reply,
+                                job.id,
+                                Err(e),
+                            );
+                        }
                     }
-                },
+                }
             }
         }
         // Retire one shard event and deliver any finished job.
@@ -553,7 +739,15 @@ fn continuous_loop(rx: &Receiver<Msg>, config: ServerConfig) -> ServingReport {
             if let Some(result) = retire.result {
                 if let Some(p) = take(&mut pending, result.job_id) {
                     let id = result.job_id;
-                    deliver(&mut stats, p.submitted, p.deadline, p.reply, id, Ok(result));
+                    deliver(
+                        &mut stats,
+                        gauge,
+                        p.submitted,
+                        p.deadline,
+                        p.reply,
+                        id,
+                        Ok(result),
+                    );
                 }
             }
         } else if !open {
@@ -565,13 +759,19 @@ fn continuous_loop(rx: &Receiver<Msg>, config: ServerConfig) -> ServingReport {
     stats.ext_wait_cycles = totals.ext_wait_cycles;
     stats.ext_remote_bytes = totals.ext_remote_bytes;
     stats.ext_remote_wait_cycles = totals.ext_remote_wait_cycles;
+    stats.fault_stall_cycles = totals.fault_stall_cycles;
+    let faults = sim.fault_stats();
+    stats.faults_injected = faults.faults_injected;
+    stats.shards_retried = faults.shards_retried;
+    stats.backpressure_rejected = gauge.rejected.load(Ordering::Relaxed);
     stats.wall_seconds = t0.elapsed().as_secs_f64();
     stats
 }
 
 /// The wave-batched worker (the PR 3 baseline, kept behind
-/// [`AdmissionMode::Wave`] as the differential reference).
-fn wave_loop(rx: &Receiver<Msg>, config: ServerConfig) -> ServingReport {
+/// [`AdmissionMode::Wave`] as the differential reference). Honors the
+/// bounded admission queue but not deadline shedding or fault plans.
+fn wave_loop(rx: &Receiver<Msg>, config: ServerConfig, gauge: &AdmissionGauge) -> ServingReport {
     let mut exec = ScaleOutExecutor::new(config.scale_out);
     let mut stats = ServingReport::new(config.scale_out.clusters);
     let t0 = Instant::now();
@@ -615,7 +815,15 @@ fn wave_loop(rx: &Receiver<Msg>, config: ServerConfig) -> ServingReport {
             // admitting them through run_queue would re-plan the whole
             // remaining wave once per bad job.
             if let Err(e) = job.validate() {
-                deliver(&mut stats, p.submitted, p.deadline, p.reply, job.id, Err(e));
+                deliver(
+                    &mut stats,
+                    gauge,
+                    p.submitted,
+                    p.deadline,
+                    p.reply,
+                    job.id,
+                    Err(e),
+                );
                 continue;
             }
             queue.push_job(job);
@@ -634,6 +842,7 @@ fn wave_loop(rx: &Receiver<Msg>, config: ServerConfig) -> ServingReport {
                         if let Some(p) = take(&mut pending, r.job_id) {
                             deliver(
                                 &mut stats,
+                                gauge,
                                 p.submitted,
                                 p.deadline,
                                 p.reply,
@@ -655,6 +864,7 @@ fn wave_loop(rx: &Receiver<Msg>, config: ServerConfig) -> ServingReport {
                     if let Some(p) = take(&mut pending, id) {
                         deliver(
                             &mut stats,
+                            gauge,
                             p.submitted,
                             p.deadline,
                             p.reply,
@@ -678,6 +888,7 @@ fn wave_loop(rx: &Receiver<Msg>, config: ServerConfig) -> ServingReport {
                         if let Some(p) = take(&mut pending, job.id) {
                             deliver(
                                 &mut stats,
+                                gauge,
                                 p.submitted,
                                 p.deadline,
                                 p.reply,
@@ -691,6 +902,7 @@ fn wave_loop(rx: &Receiver<Msg>, config: ServerConfig) -> ServingReport {
             }
         }
     }
+    stats.backpressure_rejected = gauge.rejected.load(Ordering::Relaxed);
     stats.wall_seconds = t0.elapsed().as_secs_f64();
     stats
 }
@@ -864,6 +1076,158 @@ mod tests {
         assert!(rx.recv().unwrap());
         let report = server.shutdown();
         assert_eq!(report.jobs, 3);
+    }
+
+    #[test]
+    fn backpressure_rejects_when_queue_full() {
+        // Two sizable jobs fill the two in-flight slots; the third
+        // submission is rejected client-side with an explicit error
+        // instead of queueing without bound.
+        let server = Server::start(ServerConfig::with_clusters(1).with_queue_limit(2));
+        let session = server.session();
+        let a = session.job("a").kind(axpy(60_000, 3)).submit().unwrap();
+        let b = session.job("b").kind(axpy(60_000, 5)).submit().unwrap();
+        let rejected = session.job("c").kind(axpy(64, 7)).submit();
+        assert!(
+            matches!(rejected, Err(SchedError::Backpressure { limit: 2 })),
+            "third submission should hit the bound: {rejected:?}"
+        );
+        assert!(a.wait().unwrap().result.is_ok());
+        assert!(b.wait().unwrap().result.is_ok());
+        let report = server.shutdown();
+        assert_eq!(report.jobs, 2);
+        assert_eq!(report.backpressure_rejected, 1);
+    }
+
+    #[test]
+    fn submit_wait_blocks_until_a_slot_frees() {
+        let server = Server::start(ServerConfig::with_clusters(1).with_queue_limit(1));
+        let session = server.session();
+        let a = session.job("a").kind(axpy(60_000, 9)).submit().unwrap();
+        // The slot is taken; the blocking variant waits for `a` to
+        // retire instead of erroring.
+        let waiter = {
+            let session = server.session();
+            std::thread::spawn(move || {
+                session
+                    .job("b")
+                    .kind(axpy(128, 11))
+                    .submit_wait()
+                    .expect("slot frees when a completes")
+            })
+        };
+        assert!(a.wait().unwrap().result.is_ok());
+        let b = waiter.join().expect("waiter thread");
+        assert!(b.wait().unwrap().result.is_ok());
+        let report = server.shutdown();
+        assert_eq!(report.jobs, 2);
+        assert_eq!(report.failed, 0);
+    }
+
+    #[test]
+    fn sheds_jobs_with_unmeetable_cycle_deadlines() {
+        let server = Server::start(ServerConfig::with_clusters(1));
+        let session = server.session();
+        // One cycle from now is unmeetable for any real job, whatever
+        // the backlog; a generous budget is always meetable.
+        let doomed = session
+            .job("doomed")
+            .kind(axpy(30_000, 3))
+            .deadline_cycles(1)
+            .submit()
+            .unwrap();
+        let fine = session
+            .job("fine")
+            .kind(axpy(30_000, 5))
+            .deadline_cycles(u64::MAX)
+            .submit()
+            .unwrap();
+        let d = doomed.wait().unwrap();
+        match d.result {
+            Err(SchedError::DeadlineUnmeetable {
+                estimated_cycles,
+                deadline_cycles,
+            }) => {
+                assert!(estimated_cycles > deadline_cycles);
+                assert_eq!(deadline_cycles, 1);
+            }
+            other => panic!("expected a shed job, got {other:?}"),
+        }
+        assert!(fine.wait().unwrap().result.is_ok());
+        let report = server.shutdown();
+        assert_eq!(report.jobs, 2);
+        assert_eq!(report.shed_jobs, 1);
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.simulated, 1);
+    }
+
+    #[test]
+    fn fault_plan_kill_loses_no_jobs() {
+        // A cluster dies mid-run; its shards are re-placed and every
+        // submission still completes successfully.
+        let faults = crate::FaultPlan::NONE.with_seed(7).with_kill(1, 500);
+        let server = Server::start(ServerConfig::with_clusters(4).with_faults(faults));
+        let session = server.session();
+        let handles: Vec<_> = (0..8u32)
+            .map(|i| {
+                session
+                    .job(format!("job-{i}"))
+                    .kind(axpy(20_000 + 64 * i as usize, i + 1))
+                    .submit()
+                    .unwrap()
+            })
+            .collect();
+        for h in handles {
+            let c = h.wait().expect("job served");
+            assert!(!c.result.expect("job survives the kill").output.is_empty());
+        }
+        let report = server.shutdown();
+        assert_eq!(report.jobs, 8);
+        assert_eq!(report.failed, 0);
+        assert!(report.faults_injected >= 1, "the kill should have fired");
+        assert!(report.shards_retried >= 1, "in-flight work was re-placed");
+    }
+
+    #[test]
+    fn wait_timeout_reports_shutdown_when_worker_is_gone() {
+        // Regression: a handle whose completion channel died (worker
+        // thread dropped mid-wait) must surface Err(Shutdown), not
+        // hang or time out forever.
+        let (tx, rx) = channel::<Completion>();
+        drop(tx);
+        let mut h = JobHandle { id: 0, rx };
+        assert!(matches!(
+            h.wait_timeout(Duration::from_secs(60)),
+            Err(SchedError::Shutdown)
+        ));
+        assert!(matches!(h.try_wait(), Err(SchedError::Shutdown)));
+
+        // End to end: dropping the server (and every session) without
+        // shutdown drains in-flight jobs, so a bounded wait loop
+        // terminates with either the completion or a clean error.
+        let server = Server::start(ServerConfig::with_clusters(1));
+        let mut h = {
+            let session = server.session();
+            session.job("orphan").kind(axpy(256, 13)).submit().unwrap()
+        };
+        drop(server.handle);
+        drop(server.worker);
+        let mut outcome = None;
+        for _ in 0..600 {
+            match h.wait_timeout(Duration::from_millis(100)) {
+                Ok(Some(c)) => {
+                    outcome = Some(c.result.is_ok());
+                    break;
+                }
+                Ok(None) => continue,
+                Err(SchedError::Shutdown) => {
+                    outcome = Some(false);
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(outcome.is_some(), "wait_timeout loop never resolved");
     }
 
     #[test]

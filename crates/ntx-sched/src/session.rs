@@ -175,9 +175,23 @@ impl<S: JobSink> ReadyJob<S> {
     }
 
     /// Sets a wall-clock completion deadline, measured from submission.
+    /// Reporting only — misses are counted, never enforced; see
+    /// [`deadline_cycles`](Self::deadline_cycles) for the enforced
+    /// variant.
     #[must_use]
     pub fn deadline(mut self, deadline: Duration) -> Self {
         self.opts.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets an **enforced** completion deadline in virtual farm
+    /// cycles, measured from admission: continuous admission sheds the
+    /// job with [`SchedError::DeadlineUnmeetable`] when the placement
+    /// estimate already proves the deadline unmeetable, instead of
+    /// burning farm time on a guaranteed miss.
+    #[must_use]
+    pub fn deadline_cycles(mut self, cycles: u64) -> Self {
+        self.opts.deadline_cycles = Some(cycles);
         self
     }
 
@@ -228,7 +242,9 @@ impl ReadyJob<&Session> {
     ///
     /// # Errors
     ///
-    /// [`SchedError::Shutdown`] when the server is no longer running.
+    /// [`SchedError::Shutdown`] when the server is no longer running,
+    /// [`SchedError::Backpressure`] when its bounded admission queue
+    /// is full.
     pub fn submit_callback(
         self,
         callback: impl FnOnce(Completion) + Send + 'static,
@@ -236,6 +252,20 @@ impl ReadyJob<&Session> {
         self.sink
             .handle
             .send_callback(self.label, self.kind, self.opts, callback)
+    }
+
+    /// Blocking variant of [`submit`](Self::submit): when the server's
+    /// bounded admission queue is full, waits for a slot instead of
+    /// returning [`SchedError::Backpressure`] — the closed-loop
+    /// client's natural submission call.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::Shutdown`] when the server is no longer running.
+    pub fn submit_wait(self) -> Result<crate::JobHandle, SchedError> {
+        self.sink
+            .handle
+            .send_handle_wait(self.label, self.kind, self.opts)
     }
 }
 

@@ -465,6 +465,112 @@ proptest! {
     }
 }
 
+/// One full chaos run: drives continuous admission under `plan`,
+/// returning per-job results, the exact shard retire trace
+/// `(job_id, cluster, clock, cycles)`, and the farm's fault counters.
+fn run_with_faults(
+    kinds: &[JobKind],
+    clusters: usize,
+    steps_between: usize,
+    plan: ntx_sched::FaultPlan,
+) -> (
+    Vec<JobResult>,
+    Vec<(u64, usize, u64, u64)>,
+    ntx_sched::FaultStats,
+) {
+    let mut sim = SimulatorBackend::new(ScaleOutConfig::with_clusters(clusters).with_faults(plan));
+    let mut table = DurationTable::new();
+    let mut trace = Vec::new();
+    let mut results: Vec<Option<JobResult>> = kinds.iter().map(|_| None).collect();
+    let mut settle = |r: ShardRetire, results: &mut Vec<Option<JobResult>>| {
+        trace.push((r.job_id, r.cluster, r.clock, r.cycles));
+        if let Some(res) = r.result {
+            let slot = res.job_id as usize;
+            results[slot] = Some(res);
+        }
+    };
+    for (i, kind) in kinds.iter().enumerate() {
+        let job = Job::new(i as u64, format!("job-{i}"), kind.clone());
+        sim.admit_continuous(&job, &table)
+            .expect("continuous admission under faults");
+        for _ in 0..steps_between {
+            if let Some(r) = sim.step_farm() {
+                table.observe(r.class, r.est_cycles, r.cycles);
+                settle(r, &mut results);
+            }
+        }
+    }
+    while let Some(r) = sim.step_farm() {
+        table.observe(r.class, r.est_cycles, r.cycles);
+        settle(r, &mut results);
+    }
+    let results = results
+        .into_iter()
+        .map(|r| r.expect("no job may be lost to an injected fault"))
+        .collect();
+    (results, trace, sim.fault_stats())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The chaos layer against two oracles, on random multi-job mixes:
+    ///
+    /// * **determinism** — two runs under the *same* [`FaultPlan`]
+    ///   (same seed, same kill, same stall schedule) must agree on
+    ///   every observable: per-job output bits, per-job windows, the
+    ///   exact shard retire trace and the fault counters. A fault
+    ///   layer that consulted ambient randomness or wall time would
+    ///   diverge here;
+    /// * **bit-identity under recovery** — killing a cluster mid-run
+    ///   and re-placing its in-flight and queued shards may change
+    ///   timing and placement, but every job still completes with
+    ///   outputs **bit-identical** to the fault-free run of the same
+    ///   mix: faults perturb scheduling, never data. Transient stalls
+    ///   must not even move a shard, so windows match the fault-free
+    ///   run exactly modulo the injected dead time.
+    #[test]
+    fn fault_injection_is_deterministic_and_preserves_bits(
+        (kinds, clusters, steps_between, seed, kill_cluster, kill_cycle) in (
+            prop::collection::vec(arb_kind(), 1..6),
+            2usize..8,
+            0usize..4,
+            0u64..1000,
+            0u32..8,
+            1u64..4000,
+        )
+    ) {
+        let plan = ntx_sched::FaultPlan::NONE
+            .with_seed(seed)
+            .with_kill(kill_cluster % clusters as u32, kill_cycle)
+            .with_stalls(64, 1 << 14, 32);
+        let (r1, t1, s1) = run_with_faults(&kinds, clusters, steps_between, plan);
+        let (r2, t2, s2) = run_with_faults(&kinds, clusters, steps_between, plan);
+        assert_eq!(t1, t2, "same plan, same retire trace");
+        assert_eq!(s1, s2, "same plan, same fault counters");
+        for (a, b) in r1.iter().zip(&r2) {
+            assert_bits_eq(&a.output, &b.output, "same plan, same output bits");
+            assert_eq!(
+                (a.start_cycle, a.finish_cycle),
+                (b.start_cycle, b.finish_cycle),
+                "same plan, same job windows"
+            );
+        }
+        // Against the fault-free oracle: zero lost jobs, identical bits.
+        let (oracle, _) = run_continuous(&kinds, clusters, steps_between);
+        assert_eq!(r1.len(), oracle.len(), "every submitted job completes");
+        for (f, o) in r1.iter().zip(&oracle) {
+            assert_bits_eq(&f.output, &o.output, "faulted vs fault-free output");
+        }
+        // A different seed keeps the data but may move the timing.
+        let reseeded = plan.with_seed(seed.wrapping_add(1));
+        let (r3, _, _) = run_with_faults(&kinds, clusters, steps_between, reseeded);
+        for (a, b) in r1.iter().zip(&r3) {
+            assert_bits_eq(&a.output, &b.output, "reseeded chaos still exact");
+        }
+    }
+}
+
 #[test]
 fn late_small_job_overtakes_inflight_wave() {
     // A "wave" of three 2000-element AXPYs is admitted together and

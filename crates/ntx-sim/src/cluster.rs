@@ -101,6 +101,9 @@ pub struct Cluster {
     ext_remote_bytes: u64,
     /// Cycles attributed to remote mesh traffic (hop latency + waits).
     ext_remote_wait_cycles: u64,
+    /// Cycles spent frozen by injected transient faults
+    /// ([`Cluster::attribute_fault_stall`]).
+    fault_stall_cycles: u64,
     dma_stage: DmaStage,
     /// Reusable hot-loop buffers (the fast path's replacement for the
     /// per-cycle `Vec`s of the reference [`Cluster::step`]).
@@ -163,6 +166,7 @@ impl Cluster {
             ext_wait_cycles: 0,
             ext_remote_bytes: 0,
             ext_remote_wait_cycles: 0,
+            fault_stall_cycles: 0,
             dma_stage: DmaStage::default(),
             req_buf: Vec::new(),
             grant_buf: Vec::new(),
@@ -219,6 +223,16 @@ impl Cluster {
     pub fn attribute_remote(&mut self, bytes: u64, wait_cycles: u64) {
         self.ext_remote_bytes += bytes;
         self.ext_remote_wait_cycles += wait_cycles;
+    }
+
+    /// Freezes the cluster for `n` cycles of injected transient fault:
+    /// the clock advances with no master doing work, and the dead time
+    /// is attributed to [`PerfSnapshot::fault_stall_cycles`]. The farm
+    /// calls this at stall-window boundaries of an armed
+    /// [`crate::FaultPlan`].
+    pub fn attribute_fault_stall(&mut self, n: u64) {
+        self.cycle = self.cycle.saturating_add(n);
+        self.fault_stall_cycles += n;
     }
 
     /// External-memory words the shared HMC grants the DMA *this*
@@ -684,6 +698,7 @@ impl Cluster {
             ext_wait_cycles: self.ext_wait_cycles,
             ext_remote_bytes: self.ext_remote_bytes,
             ext_remote_wait_cycles: self.ext_remote_wait_cycles,
+            fault_stall_cycles: self.fault_stall_cycles,
             tcdm_reads: self.tcdm.reads(),
             tcdm_writes: self.tcdm.writes(),
             ..Default::default()
@@ -710,6 +725,7 @@ impl Cluster {
         self.ext_wait_cycles = 0;
         self.ext_remote_bytes = 0;
         self.ext_remote_wait_cycles = 0;
+        self.fault_stall_cycles = 0;
         self.interconnect.reset_counters();
         self.dma.reset_counters();
         self.ext.reset_counters();

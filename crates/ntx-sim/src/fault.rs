@@ -1,0 +1,277 @@
+//! Deterministic fault injection for scale-out robustness testing.
+//!
+//! A [`FaultPlan`] describes the chaos a farm run must survive:
+//! a hard cluster failure at a given cycle ([`ClusterKill`]), seeded
+//! transient cluster stalls ([`StallSpec`]), and mesh serial-link
+//! degradation over a cycle window ([`LinkFault`]). Every injected
+//! event is a **pure function of (seed, cycle, cluster)** — no global
+//! RNG, no cross-cluster state — so the farm's clusters remain
+//! independent simulations and two runs with the same plan replay the
+//! same faults cycle for cycle. Faults perturb *timing and placement*
+//! only; the executing kernels stay bit-exact, which is what lets the
+//! scheduler's differential oracles prove recovery lossless.
+
+/// Permanent loss of one cluster at a virtual cycle.
+///
+/// The cluster executes normally until its local clock reaches
+/// `at_cycle`; from then on it accepts no work and any shard that
+/// would straddle the kill boundary is discarded (its effects rolled
+/// back by the farm) and re-placed on a surviving cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterKill {
+    /// Index of the cluster that fails.
+    pub cluster: u32,
+    /// Local virtual cycle at which it fails.
+    pub at_cycle: u64,
+}
+
+/// Seeded transient stalls: a cluster freezes for a bounded number of
+/// cycles at pseudo-random window boundaries.
+///
+/// Time is divided into windows of `period` cycles. Whether a given
+/// `(cluster, window)` stalls — and for how long — is derived by
+/// hashing `(seed, cluster, window)`, so occurrences are spread
+/// pseudo-randomly yet reproducibly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallSpec {
+    /// Window length in cycles (must be > 0).
+    pub period: u64,
+    /// Stall probability per window, in Q16 fixed point
+    /// (`0x1_0000` = always).
+    pub prob_q16: u32,
+    /// Longest possible stall; actual durations are uniform in
+    /// `1..=max_cycles`.
+    pub max_cycles: u64,
+}
+
+/// Degradation of the mesh serial links: remote-cube bandwidth is
+/// clipped to `clip_q16 / 2^16` of nominal for cycles in
+/// `from..until`. Local traffic is unaffected, matching a marginal
+/// cable/SerDes rather than a failed vault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkFault {
+    /// Bandwidth multiplier in Q16 fixed point (`0x8000` = half).
+    pub clip_q16: u32,
+    /// First degraded cycle.
+    pub from: u64,
+    /// First cycle past the degradation window.
+    pub until: u64,
+}
+
+/// A deterministic, seeded chaos schedule for one farm run.
+///
+/// Plans are plain `Copy` data: they travel inside
+/// `ScaleOutConfig`/`ServerConfig` and are consulted — never mutated —
+/// by the farm. The default plan injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Seed for the stall hash; plans with different seeds stall at
+    /// different windows.
+    pub seed: u64,
+    /// Optional hard cluster failure.
+    pub kill: Option<ClusterKill>,
+    /// Optional transient stall schedule.
+    pub stall: Option<StallSpec>,
+    /// Optional serial-link degradation window.
+    pub link_fault: Option<LinkFault>,
+}
+
+/// SplitMix64 finalizer: the avalanche permutation used to hash
+/// `(seed, cluster, window)` into an independent 64-bit draw.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing); identical to `default()` but
+    /// usable in `const` position.
+    pub const NONE: FaultPlan = FaultPlan {
+        seed: 0,
+        kill: None,
+        stall: None,
+        link_fault: None,
+    };
+
+    /// Builder: seeds the stall hash.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: kills `cluster` once its clock reaches `at_cycle`.
+    #[must_use]
+    pub fn with_kill(mut self, cluster: u32, at_cycle: u64) -> Self {
+        self.kill = Some(ClusterKill { cluster, at_cycle });
+        self
+    }
+
+    /// Builder: stalls each cluster with probability
+    /// `prob_q16 / 2^16` per `period`-cycle window, for up to
+    /// `max_cycles` cycles.
+    #[must_use]
+    pub fn with_stalls(mut self, period: u64, prob_q16: u32, max_cycles: u64) -> Self {
+        assert!(period > 0, "stall period must be positive");
+        assert!(max_cycles > 0, "stall duration must be positive");
+        self.stall = Some(StallSpec {
+            period,
+            prob_q16,
+            max_cycles,
+        });
+        self
+    }
+
+    /// Builder: clips remote serial-link bandwidth to
+    /// `clip_q16 / 2^16` of nominal for cycles `from..until`.
+    #[must_use]
+    pub fn with_link_fault(mut self, clip_q16: u32, from: u64, until: u64) -> Self {
+        assert!(from < until, "degradation window must be non-empty");
+        self.link_fault = Some(LinkFault {
+            clip_q16,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// True when the plan injects at least one kind of fault.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.kill.is_some() || self.stall.is_some() || self.link_fault.is_some()
+    }
+
+    /// The kill cycle armed for `cluster`, if any.
+    #[must_use]
+    pub fn kill_cycle(&self, cluster: u32) -> Option<u64> {
+        match self.kill {
+            Some(k) if k.cluster == cluster => Some(k.at_cycle),
+            _ => None,
+        }
+    }
+
+    /// Stall duration (cycles) injected at the start of stall window
+    /// `window` on `cluster`, or 0 when that window does not stall.
+    /// Pure in `(self.seed, cluster, window)`.
+    #[must_use]
+    pub fn stall_in_window(&self, cluster: u32, window: u64) -> u64 {
+        let Some(s) = self.stall else { return 0 };
+        let h = mix64(
+            self.seed
+                ^ mix64(u64::from(cluster).wrapping_add(0x636c_7573_7465_72))
+                ^ mix64(window.wrapping_add(0x7769_6e64_6f77)),
+        );
+        // Low 16 bits decide occurrence against the Q16 probability
+        // (`0x1_0000` = always); the upper bits pick a duration in
+        // `1..=max_cycles`.
+        if u32::from((h & 0xffff) as u16) >= s.prob_q16 {
+            return 0;
+        }
+        1 + (h >> 16) % s.max_cycles
+    }
+
+    /// Total stall cycles injected on `cluster` for stall windows
+    /// whose boundary `w * period` (w ≥ 1; clusters start live) falls
+    /// in `(from_cycle, to_cycle]`. The farm calls this when a
+    /// cluster's clock jumps across one or more window boundaries
+    /// (shard retirement advances clocks in bursts).
+    #[must_use]
+    pub fn stall_between(&self, cluster: u32, from_cycle: u64, to_cycle: u64) -> u64 {
+        let Some(s) = self.stall else { return 0 };
+        if from_cycle >= to_cycle {
+            return 0;
+        }
+        let first = from_cycle / s.period + 1;
+        let last = to_cycle / s.period + 1;
+        (first..last)
+            .map(|w| self.stall_in_window(cluster, w))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let p = FaultPlan::NONE;
+        assert!(!p.is_active());
+        assert_eq!(p.kill_cycle(0), None);
+        assert_eq!(p.stall_between(3, 0, 1_000_000), 0);
+        assert_eq!(p, FaultPlan::default());
+    }
+
+    #[test]
+    fn kill_targets_one_cluster() {
+        let p = FaultPlan::default().with_kill(2, 5_000);
+        assert!(p.is_active());
+        assert_eq!(p.kill_cycle(2), Some(5_000));
+        assert_eq!(p.kill_cycle(1), None);
+    }
+
+    #[test]
+    fn stalls_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::default()
+            .with_seed(7)
+            .with_stalls(256, 0x8000, 64);
+        let b = FaultPlan::default()
+            .with_seed(7)
+            .with_stalls(256, 0x8000, 64);
+        let c = FaultPlan::default()
+            .with_seed(8)
+            .with_stalls(256, 0x8000, 64);
+        let run =
+            |p: &FaultPlan| -> Vec<u64> { (0..64).map(|w| p.stall_in_window(1, w)).collect() };
+        assert_eq!(run(&a), run(&b));
+        assert_ne!(run(&a), run(&c));
+        // ~50% of windows stall, each within 1..=64 cycles.
+        let hits = run(&a).iter().filter(|&&d| d > 0).count();
+        assert!((16..=48).contains(&hits), "hit count {hits} implausible");
+        assert!(run(&a).iter().all(|&d| d <= 64));
+    }
+
+    #[test]
+    fn stall_probability_extremes() {
+        let never = FaultPlan::default().with_stalls(100, 0, 10);
+        let always = FaultPlan::default().with_stalls(100, 0x1_0000, 10);
+        assert_eq!(never.stall_between(0, 0, 10_000), 0);
+        for w in 0..32 {
+            let d = always.stall_in_window(0, w);
+            assert!((1..=10).contains(&d));
+        }
+    }
+
+    #[test]
+    fn stall_between_sums_crossed_windows_exactly_once() {
+        let p = FaultPlan::default()
+            .with_seed(3)
+            .with_stalls(100, 0x2_0000, 5);
+        // Sweeping in arbitrary chunks covers each boundary once.
+        let whole = p.stall_between(4, 0, 1_000);
+        let mut chunked = 0;
+        let cuts = [0, 37, 100, 101, 350, 612, 899, 1_000];
+        for pair in cuts.windows(2) {
+            chunked += p.stall_between(4, pair[0], pair[1]);
+        }
+        assert_eq!(whole, chunked);
+        // Empty sweeps contribute nothing.
+        assert_eq!(p.stall_between(4, 300, 300), 0);
+        // Cycle 0 is not a boundary (clusters start live) and the
+        // first boundary at `period` is excluded until reached.
+        assert_eq!(p.stall_between(4, 0, 99), 0);
+        assert_eq!(p.stall_between(4, 0, 100), p.stall_in_window(4, 1));
+    }
+
+    #[test]
+    fn clusters_stall_independently() {
+        let p = FaultPlan::default()
+            .with_seed(11)
+            .with_stalls(64, 0x8000, 32);
+        let a: Vec<u64> = (0..64).map(|w| p.stall_in_window(0, w)).collect();
+        let b: Vec<u64> = (0..64).map(|w| p.stall_in_window(1, w)).collect();
+        assert_ne!(a, b, "clusters must draw independent stall schedules");
+    }
+}

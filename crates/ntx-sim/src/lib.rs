@@ -42,11 +42,13 @@
 #![warn(missing_docs)]
 
 mod cluster;
+pub mod fault;
 mod mmio;
 mod ntx_engine;
 mod perf;
 
 pub use cluster::{Cluster, ClusterConfig};
+pub use fault::{ClusterKill, FaultPlan, LinkFault, StallSpec};
 pub use mmio::map;
 pub use ntx_engine::{AccessList, BurstOutcome, EngineStatus, NtxEngine};
 pub use perf::PerfSnapshot;

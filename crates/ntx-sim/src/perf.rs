@@ -50,6 +50,9 @@ pub struct PerfSnapshot {
     pub tcdm_reads: u64,
     /// TCDM write accesses performed (energy model input).
     pub tcdm_writes: u64,
+    /// Cycles spent frozen by injected transient faults (subset of
+    /// `cycles`; zero without a [`crate::FaultPlan`]).
+    pub fault_stall_cycles: u64,
 }
 
 impl PerfSnapshot {
@@ -75,6 +78,7 @@ impl PerfSnapshot {
             ext_remote_wait_cycles: self.ext_remote_wait_cycles - earlier.ext_remote_wait_cycles,
             tcdm_reads: self.tcdm_reads - earlier.tcdm_reads,
             tcdm_writes: self.tcdm_writes - earlier.tcdm_writes,
+            fault_stall_cycles: self.fault_stall_cycles - earlier.fault_stall_cycles,
         }
     }
 
@@ -119,6 +123,7 @@ impl PerfSnapshot {
             ext_remote_wait_cycles,
             tcdm_reads,
             tcdm_writes,
+            fault_stall_cycles,
         } = *delta;
         self.cycles += cycles;
         self.flops += flops;
@@ -137,6 +142,7 @@ impl PerfSnapshot {
         self.ext_remote_wait_cycles += ext_remote_wait_cycles;
         self.tcdm_reads += tcdm_reads;
         self.tcdm_writes += tcdm_writes;
+        self.fault_stall_cycles += fault_stall_cycles;
     }
 
     /// Banking-conflict probability seen at the interconnect (the

@@ -1,0 +1,117 @@
+//! Chaos: fault injection, backpressure, and load shedding.
+//!
+//! Demonstrates the robustness layer of the `ntx-sched` serving
+//! stack: the server runs a four-cluster farm under a seeded
+//! [`ntx::sched::FaultPlan`] that kills one cluster mid-run and
+//! injects transient stalls, while clients push against a bounded
+//! admission queue. Overload surfaces explicitly — `submit` returns
+//! `Backpressure` when the queue is full (clients fall back to the
+//! blocking `submit_wait`), and a job whose cycle deadline cannot be
+//! met is shed up front with `DeadlineUnmeetable` instead of
+//! occupying the farm. Every submitted job gets an explicit outcome;
+//! the kill loses none of them, and the shutdown report tallies
+//! faults injected, shards re-placed, stall cycles, backpressure
+//! rejections, and shed jobs.
+//!
+//! Run with `cargo run --release --example chaos`.
+
+use ntx::sched::{FaultPlan, SchedError, Server, ServerConfig};
+
+fn data(n: usize, mut seed: u32) -> Vec<f32> {
+    (0..n)
+        .map(|_| {
+            seed ^= seed << 13;
+            seed ^= seed >> 17;
+            seed ^= seed << 5;
+            (seed as f32 / u32::MAX as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+fn main() {
+    // Kill cluster 1 at cycle 400 and stall survivors now and then —
+    // deterministically, from the seed alone.
+    let faults = FaultPlan::NONE
+        .with_seed(7)
+        .with_kill(1, 400)
+        .with_stalls(256, 1 << 13, 48);
+    let server = Server::start(
+        ServerConfig::with_clusters(4)
+            .with_queue_limit(3)
+            .with_faults(faults),
+    );
+    let session = server.session();
+
+    // Push 8 jobs through a 3-slot queue: `submit` either takes the
+    // slot or reports Backpressure, and the client falls back to the
+    // blocking `submit_wait`.
+    let mut handles = Vec::new();
+    let mut backpressured = 0u32;
+    for i in 0..8u32 {
+        let build = |label: &str| {
+            session
+                .job(label)
+                .axpy(1.5, data(20_000, i + 1), data(20_000, i + 101))
+        };
+        let handle = match build(&format!("axpy[{i}]")).submit() {
+            Ok(h) => h,
+            Err(SchedError::Backpressure { .. }) => {
+                backpressured += 1;
+                build(&format!("axpy[{i}] (waited)"))
+                    .submit_wait()
+                    .expect("server running")
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        };
+        handles.push(handle);
+    }
+
+    // An impossible cycle budget is shed on admission, before it can
+    // occupy the degraded farm (submit_wait: the queue is still full).
+    let shed = session
+        .job("axpy (1-cycle budget)")
+        .axpy(2.0, data(4096, 0xd1), data(4096, 0xd2))
+        .deadline_cycles(1)
+        .submit_wait()
+        .and_then(|h| h.wait())
+        .map(|done| done.result.map(|_| ()));
+    println!("chaos demo: 8 jobs + 1 doomed deadline on a 4-cluster farm, kill at cycle 400");
+    match shed {
+        Ok(Err(SchedError::DeadlineUnmeetable {
+            estimated_cycles,
+            deadline_cycles,
+        })) => println!(
+            "  shed up front: estimated {estimated_cycles} cycles > {deadline_cycles}-cycle budget"
+        ),
+        other => panic!("expected DeadlineUnmeetable, got {other:?}"),
+    }
+
+    // Despite the kill, every job completes with valid output bits.
+    for h in handles {
+        let done = h.wait().expect("served");
+        let r = done.result.expect("valid job");
+        assert_eq!(r.output.len(), 20_000);
+        println!(
+            "  {:<20} {:>7} cycles on the farm ({} outputs)",
+            r.label,
+            r.report.makespan_cycles,
+            r.output.len()
+        );
+    }
+
+    let report = server.shutdown();
+    println!(
+        "  survived: {} faults injected, {} shards re-placed, {} stall cycles; \
+         {} backpressure rejections ({} observed), {} shed, {} served",
+        report.faults_injected,
+        report.shards_retried,
+        report.fault_stall_cycles,
+        report.backpressure_rejected,
+        backpressured,
+        report.shed_jobs,
+        report.simulated
+    );
+    assert!(report.faults_injected > 0, "the chaos plan never fired");
+    assert_eq!(report.shed_jobs, 1);
+    assert_eq!(report.backpressure_rejected as u32, backpressured);
+}
