@@ -521,6 +521,125 @@ pub struct ServingBenchReport {
     /// `continuous jobs/s / wave jobs/s` (≥ 1.0 means continuous
     /// throughput is no worse).
     pub throughput_ratio: f64,
+    /// Worker-pool core-scaling sweep: the same continuous drive at
+    /// 1, 2 and 4 pool threads, wall-clock jobs/s each.
+    pub pool_scaling: Vec<PoolScalingPoint>,
+    /// Wall-clock jobs/s at 4 pool threads over 1 thread (the
+    /// core-scaling headline; ~1.0 on a single-core host).
+    pub pool_speedup_4x: f64,
+    /// Every pooled run produced outputs, retire traces and makespans
+    /// bit-identical to the serial (1-thread) run.
+    pub pool_bit_identical: bool,
+    /// Host cores visible to the process
+    /// (`std::thread::available_parallelism`); speedup is only
+    /// meaningful when this covers the pool width.
+    pub host_cores: usize,
+}
+
+/// One thread count of the worker-pool core-scaling sweep.
+#[derive(Debug, Clone)]
+pub struct PoolScalingPoint {
+    /// Worker threads stepping the cluster pool (1 = serial farm).
+    pub threads: usize,
+    /// Wall-clock throughput of the continuous drive, jobs/s.
+    pub jobs_per_second: f64,
+    /// Throughput over the 1-thread run.
+    pub speedup: f64,
+}
+
+/// One continuous-admission drive of the pool-scaling workload on
+/// `threads` pool threads: admits every job (two shard events
+/// interleaved per admission, as the server does), drains the farm,
+/// and returns the wall-clock throughput plus the full observable
+/// record for the cross-thread-count differential.
+fn pool_scaling_run(
+    jobs: &[(String, ntx_sched::JobKind)],
+    clusters: usize,
+    threads: usize,
+) -> (f64, Vec<Vec<f32>>, Vec<(u64, usize, u64, u64)>, u64) {
+    use ntx_sched::{DurationTable, Job, JobResult, ScaleOutConfig, SimulatorBackend};
+    let config = ScaleOutConfig::with_clusters(clusters).with_worker_threads(threads);
+    let mut sim = SimulatorBackend::new(config);
+    let mut table = DurationTable::new();
+    let mut trace = Vec::new();
+    let mut results: Vec<Option<JobResult>> = (0..jobs.len()).map(|_| None).collect();
+    let t0 = std::time::Instant::now();
+    let mut settle = |r: ntx_sched::ShardRetire,
+                      table: &mut DurationTable,
+                      results: &mut Vec<Option<JobResult>>| {
+        table.observe(r.class, r.est_cycles, r.cycles);
+        trace.push((r.job_id, r.cluster, r.clock, r.cycles));
+        if let Some(res) = r.result {
+            let slot = res.job_id as usize;
+            results[slot] = Some(res);
+        }
+    };
+    for (i, (label, kind)) in jobs.iter().enumerate() {
+        let job = Job::new(i as u64, label.clone(), kind.clone());
+        sim.admit_continuous(&job, &table).expect("admit");
+        for _ in 0..2 {
+            if let Some(r) = sim.step_farm() {
+                settle(r, &mut table, &mut results);
+            }
+        }
+    }
+    while let Some(r) = sim.step_farm() {
+        settle(r, &mut table, &mut results);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let jps = if wall > 0.0 {
+        jobs.len() as f64 / wall
+    } else {
+        0.0
+    };
+    let outputs = results
+        .into_iter()
+        .map(|r| r.expect("every job retires").output)
+        .collect();
+    (jps, outputs, trace, sim.farm_makespan())
+}
+
+/// Runs the worker-pool core-scaling sweep: the serving mix repeated
+/// four times (64 jobs) driven through continuous admission at 1, 2
+/// and 4 pool threads, measuring wall-clock jobs/s and checking every
+/// pooled run bit-identical to the serial one.
+fn pool_scaling_sweep(clusters: usize) -> (Vec<PoolScalingPoint>, f64, bool) {
+    // Four copies of the mix: enough shard work that the wall clock
+    // measures simulation, not setup.
+    let jobs: Vec<(String, ntx_sched::JobKind)> = (0..4)
+        .flat_map(|rep| {
+            serving_jobs()
+                .into_iter()
+                .map(move |(label, kind)| (format!("{label} r{rep}"), kind))
+        })
+        .collect();
+    let (base_jps, base_out, base_trace, base_makespan) = pool_scaling_run(&jobs, clusters, 1);
+    let mut points = vec![PoolScalingPoint {
+        threads: 1,
+        jobs_per_second: base_jps,
+        speedup: 1.0,
+    }];
+    let mut identical = true;
+    let mut speedup_4x = 1.0;
+    for threads in [2usize, 4] {
+        let (jps, out, trace, makespan) = pool_scaling_run(&jobs, clusters, threads);
+        identical &= out.len() == base_out.len()
+            && out.iter().zip(&base_out).all(|(a, b)| {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+            })
+            && trace == base_trace
+            && makespan == base_makespan;
+        let speedup = if base_jps > 0.0 { jps / base_jps } else { 0.0 };
+        if threads == 4 {
+            speedup_4x = speedup;
+        }
+        points.push(PoolScalingPoint {
+            threads,
+            jobs_per_second: jps,
+            speedup,
+        });
+    }
+    (points, speedup_4x, identical)
 }
 
 /// The mixed workload queue of the serving experiment: four job
@@ -785,6 +904,11 @@ pub fn serving_report() -> ServingBenchReport {
         1.0
     };
 
+    // Worker-pool core scaling: the same drive at 1/2/4 pool threads,
+    // differential-checked against the serial run.
+    let (pool_scaling, pool_speedup_4x, pool_bit_identical) = pool_scaling_sweep(clusters);
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
     ServingBenchReport {
         clusters,
         jobs: jobs.len(),
@@ -803,6 +927,10 @@ pub fn serving_report() -> ServingBenchReport {
         wave,
         latency_win,
         throughput_ratio,
+        pool_scaling,
+        pool_speedup_4x,
+        pool_bit_identical,
+        host_cores,
     }
 }
 

@@ -533,6 +533,20 @@ pub fn serving(r: &crate::experiments::ServingBenchReport) -> String {
         "  continuous vs wave : {:.2}x mean-latency win, {:.2}x throughput\n",
         r.latency_win, r.throughput_ratio
     ));
+    s.push_str(&format!(
+        "  worker-pool scaling ({} host cores, bit-identical to serial: {}):\n",
+        r.host_cores,
+        if r.pool_bit_identical { "yes" } else { "NO" },
+    ));
+    for p in &r.pool_scaling {
+        s.push_str(&format!(
+            "    {} thread{}: {:>8.1} jobs/s  ({:.2}x)\n",
+            p.threads,
+            if p.threads == 1 { " " } else { "s" },
+            p.jobs_per_second,
+            p.speedup
+        ));
+    }
     s
 }
 
@@ -582,7 +596,11 @@ pub fn serving_json(r: &crate::experiments::ServingBenchReport) -> String {
             "  \"server_continuous\": {},\n",
             "  \"server_wave\": {},\n",
             "  \"latency_win\": {:.3},\n",
-            "  \"throughput_ratio\": {:.3}\n",
+            "  \"throughput_ratio\": {:.3},\n",
+            "  \"host_cores\": {},\n",
+            "  \"pool_bit_identical\": {},\n",
+            "  \"pool_speedup_4x\": {:.3},\n",
+            "  \"pool_scaling\": [\n{}\n  ]\n",
             "}}\n"
         ),
         r.clusters,
@@ -601,7 +619,18 @@ pub fn serving_json(r: &crate::experiments::ServingBenchReport) -> String {
         server_run_json(&r.continuous),
         server_run_json(&r.wave),
         r.latency_win,
-        r.throughput_ratio
+        r.throughput_ratio,
+        r.host_cores,
+        r.pool_bit_identical,
+        r.pool_speedup_4x,
+        r.pool_scaling
+            .iter()
+            .map(|p| format!(
+                "    {{ \"threads\": {}, \"jobs_per_second\": {:.2}, \"speedup\": {:.3} }}",
+                p.threads, p.jobs_per_second, p.speedup
+            ))
+            .collect::<Vec<_>>()
+            .join(",\n")
     )
 }
 

@@ -434,6 +434,15 @@ impl HmcSubsystem {
 mod tests {
     use super::*;
 
+    /// Pool workers own the clusters — and through them the attached
+    /// HMC ports — on other threads; both halves must stay `Send`.
+    #[test]
+    fn hmc_ports_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<HmcPort>();
+        assert_send::<HmcSubsystem>();
+    }
+
     #[test]
     fn default_matches_figure_1() {
         let h = HmcConfig::default();

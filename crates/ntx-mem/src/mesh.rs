@@ -335,6 +335,14 @@ impl HmcMesh {
 mod tests {
     use super::*;
 
+    /// The pooled farm wires per-cube ports into clusters living on
+    /// worker threads; the mesh and its ports must stay `Send`.
+    #[test]
+    fn mesh_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<HmcMesh>();
+    }
+
     #[test]
     fn block_partition_is_contiguous_and_balanced() {
         let mesh = HmcMesh::new(MeshConfig::default().with_cubes(4), 10, 1.25e9, 1);

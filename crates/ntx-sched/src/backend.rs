@@ -332,6 +332,7 @@ impl SimulatorBackend {
     pub fn new(config: ScaleOutConfig) -> Self {
         let mut farm = ClusterFarm::with_memory(config.clusters, config.cluster, config.memory);
         farm.set_fault_plan(config.faults);
+        farm.set_worker_threads(crate::farm::resolve_worker_threads(config.worker_threads));
         Self {
             config,
             farm,
@@ -357,7 +358,7 @@ impl SimulatorBackend {
     ///
     /// Propagates tiler errors.
     pub fn admit_full_width(&self, job: &Job) -> Result<Vec<ClusterPlan>, SchedError> {
-        Tiler::new(self.config.clusters).plan(job, self.farm.cluster(0))
+        Tiler::new(self.config.clusters).plan(job, self.farm.reference_cluster())
     }
 
     /// Runs one admitted job, sharded plan `i` on cluster `i` (the
@@ -385,7 +386,7 @@ impl SimulatorBackend {
     ) -> Result<(Vec<ClusterPlan>, usize), SchedError> {
         let n = self.config.clusters;
         loop {
-            match Tiler::new(shards).plan(job, self.farm.cluster(0)) {
+            match Tiler::new(shards).plan(job, self.farm.reference_cluster()) {
                 Ok(plans) => return Ok((plans, shards)),
                 // A shard that cannot fit the TCDM may fit when split
                 // finer; retry wider until the farm width is exhausted.
@@ -608,6 +609,12 @@ impl SimulatorBackend {
     #[must_use]
     pub fn virtual_now(&self) -> u64 {
         self.farm.virtual_now()
+    }
+
+    /// Worker-pool counters of the farm (see [`ClusterFarm::pool_stats`]).
+    #[must_use]
+    pub fn pool_stats(&self) -> crate::farm::PoolStats {
+        self.farm.pool_stats()
     }
 
     /// Fault-recovery counters of the farm (see

@@ -57,6 +57,14 @@ pub struct ScaleOutConfig {
     /// degradation. The empty plan (the default) injects nothing;
     /// batch (oracle) runs always ignore it.
     pub faults: ntx_sim::FaultPlan,
+    /// Worker threads for the continuous farm's cluster pool. `0`
+    /// (the default) resolves via the `NTX_WORKER_THREADS` env
+    /// variable, falling back to serial; `1` forces serial; `> 1`
+    /// steps clusters speculatively on that many threads while the
+    /// merge front keeps retire order — and every output and counter —
+    /// bit-identical to the serial farm. Batch (oracle) runs always
+    /// execute serially.
+    pub worker_threads: usize,
 }
 
 impl Default for ScaleOutConfig {
@@ -70,6 +78,7 @@ impl Default for ScaleOutConfig {
             memory: MemoryModel::Ideal,
             affinity: true,
             faults: ntx_sim::FaultPlan::NONE,
+            worker_threads: 0,
         }
     }
 }
@@ -124,6 +133,14 @@ impl ScaleOutConfig {
     #[must_use]
     pub fn with_faults(mut self, faults: ntx_sim::FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Sets the worker-pool width for continuous farms (`0` = resolve
+    /// from the `NTX_WORKER_THREADS` env variable, `1` = serial).
+    #[must_use]
+    pub fn with_worker_threads(mut self, threads: usize) -> Self {
+        self.worker_threads = threads;
         self
     }
 }

@@ -34,7 +34,9 @@
 
 use ntx_mem::{HmcMesh, HmcPort, HmcSubsystem, MemoryModel};
 use ntx_sim::{Cluster, ClusterConfig, FaultPlan, PerfSnapshot};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::sync::mpsc;
 
 use crate::executor::{BatchResult, JobResult};
 use crate::job::JobClass;
@@ -103,6 +105,272 @@ pub struct FaultStats {
     pub shards_retried: u64,
 }
 
+/// Worker-pool utilization counters of one continuous farm run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Resolved worker-thread count stepping the continuous farm
+    /// (1 = the serial merge loop runs shards inline).
+    pub worker_threads: usize,
+    /// Shards executed speculatively on pool workers and folded in at
+    /// the deterministic `(clock, cluster)` retire front.
+    pub shards_merged: u64,
+    /// Speculated shards invalidated by a cluster kill: the aborted
+    /// in-flight shard plus every queued plan reclaimed from the dead
+    /// worker for re-placement on survivors.
+    pub shards_reclaimed: u64,
+}
+
+/// Resolves a requested worker-thread count for the continuous farm:
+/// an explicit `requested > 0` wins; `0` means auto — the
+/// `NTX_WORKER_THREADS` environment variable when set to a positive
+/// integer, else `1` (the serial merge loop).
+#[must_use]
+pub fn resolve_worker_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    std::env::var("NTX_WORKER_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// A command to a pool worker. Per-cluster `Run`s arrive in admission
+/// order (the merge thread is the only sender), so each cluster's
+/// speculative execution order matches the serial farm's FIFO exactly.
+enum WorkerCmd {
+    /// Execute the next queued shard of `cluster` speculatively.
+    /// (The plan is boxed so the enum stays channel-slot sized.)
+    Run {
+        cluster: usize,
+        plan: Box<ClusterPlan>,
+        wiring: Option<ShardWiring>,
+    },
+    /// Return every plan stashed on a dead `cluster` (the merge thread
+    /// detected its kill and is about to re-place the orphans).
+    Reclaim { cluster: usize },
+}
+
+/// A pool worker's answer for one shard of one cluster, delivered on
+/// that cluster's result channel in execution (= admission) order.
+enum ShardOutcome {
+    /// The shard ran to completion before any armed kill cycle.
+    Retired {
+        perf: PerfSnapshot,
+        cycles: u64,
+        /// `(output offset, data)` readback segments, gathered on the
+        /// worker because the job's output vector lives merge-side.
+        reads: Vec<(usize, Vec<f32>)>,
+    },
+    /// The shard straddled the cluster's kill cycle: its effects are
+    /// discarded and `plan` is the untouched backup for re-placement.
+    Aborted { plan: ClusterPlan },
+    /// Answer to [`WorkerCmd::Reclaim`]: the stashed (never executed)
+    /// plans of a dead cluster, in admission order.
+    Reclaimed { plans: Vec<ClusterPlan> },
+}
+
+/// One cluster's state as owned by a pool worker thread.
+struct WorkerSlot {
+    cluster: Cluster,
+    /// Local mirror of the merge thread's virtual clock for this
+    /// cluster — both are the same pure sum of retired shard cycles
+    /// plus injected stalls, so kill/stall decisions agree bit-exactly.
+    clock: u64,
+    /// Set once the clock reaches an armed kill cycle (or a shard
+    /// straddles it): later `Run`s are stashed, never executed.
+    dead: bool,
+    stash: Vec<ClusterPlan>,
+    tx: mpsc::Sender<ShardOutcome>,
+}
+
+/// The body of one pool worker thread: owns a disjoint subset of the
+/// farm's clusters and runs their shard FIFOs speculatively. Exits
+/// when the command channel closes (the pool is dropped).
+fn worker_loop(
+    mut owned: BTreeMap<usize, WorkerSlot>,
+    faults: FaultPlan,
+    rx: mpsc::Receiver<WorkerCmd>,
+) {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            WorkerCmd::Run {
+                cluster,
+                mut plan,
+                wiring,
+            } => {
+                let slot = owned
+                    .get_mut(&cluster)
+                    .expect("cluster owned by this worker");
+                let kill_at = faults.kill_cycle(cluster as u32);
+                if slot.dead || kill_at.is_some_and(|at| slot.clock >= at) {
+                    // The cluster crossed its kill cycle: the merge
+                    // thread will reclaim this plan for a survivor.
+                    slot.dead = true;
+                    slot.stash.push(*plan);
+                    continue;
+                }
+                let backup = kill_at.map(|_| plan.clone());
+                let start = slot.clock;
+                let (perf, cycles) = run_shard(&mut slot.cluster, &mut plan, wiring);
+                if let Some(at) = kill_at {
+                    if start + cycles > at {
+                        // Mid-shard kill: discard the run, freeze the
+                        // clock, hand the backup plan to the merge
+                        // thread for re-placement.
+                        slot.clock = at;
+                        slot.dead = true;
+                        let plan = *backup.expect("kill armed implies a plan backup");
+                        let _ = slot.tx.send(ShardOutcome::Aborted { plan });
+                        continue;
+                    }
+                }
+                let reads = plan
+                    .readbacks
+                    .iter()
+                    .map(|rb| {
+                        let mut buf = vec![0f32; rb.len as usize];
+                        match rb.source {
+                            ReadbackSource::Ext(addr) => {
+                                slot.cluster.ext_mem().read_f32_into(addr, &mut buf);
+                            }
+                            ReadbackSource::Tcdm(addr) => {
+                                slot.cluster.read_tcdm_into(addr, &mut buf);
+                            }
+                        }
+                        (rb.dst, buf)
+                    })
+                    .collect();
+                slot.clock = start + cycles;
+                let stall = faults.stall_between(cluster as u32, start, slot.clock);
+                if stall > 0 {
+                    slot.cluster.attribute_fault_stall(stall);
+                    slot.clock += stall;
+                }
+                let _ = slot.tx.send(ShardOutcome::Retired {
+                    perf,
+                    cycles,
+                    reads,
+                });
+            }
+            WorkerCmd::Reclaim { cluster } => {
+                let slot = owned
+                    .get_mut(&cluster)
+                    .expect("cluster owned by this worker");
+                slot.dead = true;
+                let plans = std::mem::take(&mut slot.stash);
+                let _ = slot.tx.send(ShardOutcome::Reclaimed { plans });
+            }
+        }
+    }
+}
+
+/// The persistent worker pool of a pooled continuous farm: `threads`
+/// OS threads, each owning the clusters `c` with `c % threads == t`.
+/// Commands flow one channel per thread (preserving per-cluster FIFO
+/// order); results come back one channel per cluster so the merge
+/// thread can wait on exactly the cluster the deterministic retire
+/// order demands next.
+struct WorkerPool {
+    cmd_tx: Vec<mpsc::Sender<WorkerCmd>>,
+    result_rx: Vec<mpsc::Receiver<ShardOutcome>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .field("clusters", &self.result_rx.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Moves the farm's clusters onto `threads` worker threads.
+    fn spawn(clusters: Vec<Cluster>, clocks: &[u64], faults: FaultPlan, threads: usize) -> Self {
+        let threads = threads.min(clusters.len()).max(1);
+        let mut result_rx = Vec::with_capacity(clusters.len());
+        let mut owned: Vec<BTreeMap<usize, WorkerSlot>> =
+            (0..threads).map(|_| BTreeMap::new()).collect();
+        for (c, cluster) in clusters.into_iter().enumerate() {
+            let (tx, rx) = mpsc::channel();
+            result_rx.push(rx);
+            owned[c % threads].insert(
+                c,
+                WorkerSlot {
+                    cluster,
+                    clock: clocks[c],
+                    dead: false,
+                    stash: Vec::new(),
+                    tx,
+                },
+            );
+        }
+        let mut cmd_tx = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for slots in owned {
+            let (tx, rx) = mpsc::channel::<WorkerCmd>();
+            cmd_tx.push(tx);
+            handles.push(std::thread::spawn(move || worker_loop(slots, faults, rx)));
+        }
+        Self {
+            cmd_tx,
+            result_rx,
+            handles,
+            threads,
+        }
+    }
+
+    /// Forwards one queued shard to its cluster's worker.
+    fn send_run(&self, cluster: usize, plan: ClusterPlan, wiring: Option<ShardWiring>) {
+        self.cmd_tx[cluster % self.threads]
+            .send(WorkerCmd::Run {
+                cluster,
+                plan: Box::new(plan),
+                wiring,
+            })
+            .expect("pool worker thread alive");
+    }
+
+    /// Blocks for the next shard outcome of `cluster` (its worker runs
+    /// ahead speculatively; results arrive in admission order).
+    fn recv(&self, cluster: usize) -> ShardOutcome {
+        self.result_rx[cluster]
+            .recv()
+            .expect("pool worker thread alive")
+    }
+
+    /// Synchronously recovers the stashed plans of a dead cluster. The
+    /// command channel is FIFO, so every `Run` sent before this has
+    /// been stashed by the time the worker answers — the plans line up
+    /// one-to-one with the merge thread's queued shard metadata.
+    fn reclaim(&self, cluster: usize) -> Vec<ClusterPlan> {
+        self.cmd_tx[cluster % self.threads]
+            .send(WorkerCmd::Reclaim { cluster })
+            .expect("pool worker thread alive");
+        match self.recv(cluster) {
+            ShardOutcome::Reclaimed { plans } => plans,
+            _ => unreachable!(
+                "every pre-kill shard outcome is consumed before the merge thread \
+                 detects the kill, so the reclaim answer is next on the channel"
+            ),
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the command channels ends the worker loops.
+        self.cmd_tx.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
 /// One retired shard of the continuously-admitted farm: everything the
 /// serving layer needs to update its measured-duration table and
 /// deliver completions.
@@ -140,11 +408,14 @@ struct ActiveJob {
     finish_clock: u64,
 }
 
-/// One queued shard of the continuous farm.
+/// One queued shard of the continuous farm. In serial mode the plan
+/// waits here; in pooled mode it was forwarded to the cluster's worker
+/// at admission (`plan: None`) and only returns — via abort or reclaim
+/// — when a kill forces re-placement.
 #[derive(Debug)]
 struct QueuedShard {
     slot: usize,
-    plan: ClusterPlan,
+    plan: Option<ClusterPlan>,
     /// Corrected estimated cycles (the placement load unit).
     hint: u64,
     /// Raw roofline estimate (the measured-duration feedback input).
@@ -160,8 +431,31 @@ struct QueuedShard {
 /// event at a time.
 #[derive(Debug)]
 pub struct ClusterFarm {
+    /// The cluster states. Emptied when the worker pool activates —
+    /// from then on each cluster lives on its worker thread and
+    /// [`reference`](Self::reference) serves configuration queries.
     clusters: Vec<Cluster>,
+    /// The per-cluster base configuration (before any memory-model
+    /// port injection) — rebuilds the reference cluster at pool
+    /// activation.
+    config: ClusterConfig,
     freq_hz: f64,
+    /// Requested worker threads for continuous stepping (resolved; 1 =
+    /// serial merge loop). The pool spins up lazily on first admit.
+    worker_threads: usize,
+    /// The live worker pool once continuous admission activates it.
+    pool: Option<WorkerPool>,
+    /// Fresh cluster of the same configuration, for tiler/introspection
+    /// queries while the real clusters live on the workers.
+    reference: Option<Cluster>,
+    /// Pool-utilization counters of this run.
+    pool_stats: PoolStats,
+    /// Event-selection heap over `(clock, cluster)` keys: the earliest
+    /// clocked cluster with pending work retires next. Entries are
+    /// validated lazily on pop, so stale keys are cheap.
+    ready: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Per-cluster flag: a key for this cluster is in `ready`.
+    enqueued: Vec<bool>,
     /// Per-cluster FIFOs of shards admitted but not yet run
     /// (continuous mode only; `run_batch` keeps its own local queues).
     pending: Vec<VecDeque<QueuedShard>>,
@@ -328,7 +622,14 @@ impl ClusterFarm {
         };
         Self {
             clusters: built,
+            config,
             freq_hz: config.ntx_freq_hz,
+            worker_threads: 1,
+            pool: None,
+            reference: None,
+            pool_stats: PoolStats::default(),
+            ready: BinaryHeap::new(),
+            enqueued: vec![false; clusters],
             pending: (0..clusters).map(|_| VecDeque::new()).collect(),
             active: Vec::new(),
             free_slots: Vec::new(),
@@ -345,8 +646,96 @@ impl ClusterFarm {
     /// Arms a chaos schedule for this farm's continuous mode. Batch
     /// runs ([`run_batch`](ClusterFarm::run_batch)) ignore it — they
     /// are the fault-free differential oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics once the worker pool is active: the pool bakes the plan
+    /// into its workers at activation.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(
+            self.pool.is_none(),
+            "fault plans must be armed before the worker pool activates"
+        );
         self.faults = plan;
+    }
+
+    /// Sets the worker-thread count for continuous stepping (resolved
+    /// via [`resolve_worker_threads`]; values above 1 make the first
+    /// continuous admission activate the pool). Batch runs are
+    /// unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics once the worker pool is active.
+    pub fn set_worker_threads(&mut self, threads: usize) {
+        assert!(
+            self.pool.is_none(),
+            "the worker-thread count must be set before the pool activates"
+        );
+        self.worker_threads = threads.max(1);
+    }
+
+    /// The resolved worker-thread count of the continuous farm (1 =
+    /// serial merge loop).
+    #[must_use]
+    pub fn worker_threads(&self) -> usize {
+        self.worker_threads
+    }
+
+    /// Pool-utilization counters of this run (all zero in serial mode;
+    /// `worker_threads` always reports the resolved count).
+    #[must_use]
+    pub fn pool_stats(&self) -> PoolStats {
+        PoolStats {
+            worker_threads: self.worker_threads,
+            ..self.pool_stats
+        }
+    }
+
+    /// Spins up the worker pool on the first continuous admission of a
+    /// multi-threaded farm: the cluster states move onto the worker
+    /// threads and a fresh reference cluster takes over configuration
+    /// queries. Serial farms (`worker_threads == 1`) never activate.
+    fn activate_pool(&mut self) {
+        if self.pool.is_some() || self.worker_threads <= 1 {
+            return;
+        }
+        self.reference = Some(Cluster::new(self.config));
+        let clusters = std::mem::take(&mut self.clusters);
+        self.pool = Some(WorkerPool::spawn(
+            clusters,
+            &self.clock,
+            self.faults,
+            self.worker_threads,
+        ));
+    }
+
+    /// Queues cluster `index` as an event-selection candidate at its
+    /// current clock (no-op when already queued, dead, or idle).
+    fn push_candidate(&mut self, index: usize) {
+        if !self.enqueued[index] && !self.dead[index] && !self.pending[index].is_empty() {
+            self.ready.push(Reverse((self.clock[index], index)));
+            self.enqueued[index] = true;
+        }
+    }
+
+    /// Pops the next event cluster: the earliest `(clock, cluster)`
+    /// key whose cluster is alive and has pending work — identical to
+    /// a full `min_by_key` scan, in O(log N). Stale keys (the clock
+    /// moved while queued) are re-pushed.
+    fn next_event_cluster(&mut self) -> Option<usize> {
+        while let Some(Reverse((clk, c))) = self.ready.pop() {
+            self.enqueued[c] = false;
+            if self.dead[c] || self.pending[c].is_empty() {
+                continue;
+            }
+            if clk != self.clock[c] {
+                self.push_candidate(c);
+                continue;
+            }
+            return Some(c);
+        }
+        None
     }
 
     /// The armed chaos schedule (the empty plan by default).
@@ -371,7 +760,7 @@ impl ClusterFarm {
     /// Number of live clusters.
     #[must_use]
     pub fn num_alive(&self) -> usize {
-        (0..self.clusters.len())
+        (0..self.num_clusters())
             .filter(|&c| self.is_alive(c))
             .count()
     }
@@ -382,7 +771,7 @@ impl ClusterFarm {
     /// clusters when none are alive.
     #[must_use]
     pub fn virtual_now(&self) -> u64 {
-        let alive = (0..self.clusters.len())
+        let alive = (0..self.num_clusters())
             .filter(|&c| self.is_alive(c))
             .map(|c| self.clock[c])
             .min();
@@ -414,10 +803,33 @@ impl ClusterFarm {
         }
         self.fault_stats.faults_injected += 1;
         let mut orphans: Vec<QueuedShard> = extra.into_iter().collect();
-        orphans.extend(std::mem::take(&mut self.pending[index]));
+        if self.pool.is_some() {
+            // The aborted in-flight shard was a dead speculation too.
+            self.pool_stats.shards_reclaimed += orphans.len() as u64;
+        }
+        let queued: Vec<QueuedShard> = std::mem::take(&mut self.pending[index]).into();
+        match &self.pool {
+            // The queued plans were forwarded to the dead cluster's
+            // worker at admission; reclaim them (FIFO, so they line up
+            // with the queued metadata) before re-placement.
+            Some(pool) if !queued.is_empty() => {
+                let plans = pool.reclaim(index);
+                assert_eq!(
+                    plans.len(),
+                    queued.len(),
+                    "reclaimed plans must match the queued shards one-to-one"
+                );
+                self.pool_stats.shards_reclaimed += plans.len() as u64;
+                orphans.extend(queued.into_iter().zip(plans).map(|(mut task, plan)| {
+                    task.plan = Some(plan);
+                    task
+                }));
+            }
+            _ => orphans.extend(queued),
+        }
         self.queued_hint[index] = 0;
         for mut task in orphans {
-            let target = (0..self.clusters.len())
+            let target = (0..self.num_clusters())
                 .filter(|&c| self.is_alive(c))
                 .min_by_key(|&c| (self.load(c), c))
                 .expect("a surviving cluster must exist to re-admit orphaned shards");
@@ -428,7 +840,12 @@ impl ClusterFarm {
                 .clone();
             task.wiring = self.wiring_for(target, &meta);
             self.queued_hint[target] += task.hint;
+            if let Some(pool) = &self.pool {
+                let plan = task.plan.take().expect("reclaimed orphan carries its plan");
+                pool.send_run(target, plan, task.wiring);
+            }
             self.pending[target].push_back(task);
+            self.push_candidate(target);
             self.fault_stats.shards_retried += 1;
         }
     }
@@ -491,17 +908,37 @@ impl ClusterFarm {
     /// Number of clusters.
     #[must_use]
     pub fn num_clusters(&self) -> usize {
-        self.clusters.len()
+        self.clock.len()
     }
 
     /// Read-only access to cluster `index`.
     ///
     /// # Panics
     ///
-    /// Panics if `index` is out of range.
+    /// Panics if `index` is out of range, or once the worker pool is
+    /// active (cluster states then live on the worker threads — use
+    /// [`reference_cluster`](Self::reference_cluster) for
+    /// configuration introspection).
     #[must_use]
     pub fn cluster(&self, index: usize) -> &Cluster {
+        assert!(
+            self.pool.is_none(),
+            "cluster states live on the worker pool; use reference_cluster() \
+             for configuration introspection"
+        );
         &self.clusters[index]
+    }
+
+    /// A cluster of this farm's configuration for tiler and capacity
+    /// queries — cluster 0 in serial mode, a fresh identically-
+    /// configured cluster once the pool owns the real states. Never
+    /// carries job data.
+    #[must_use]
+    pub fn reference_cluster(&self) -> &Cluster {
+        match &self.reference {
+            Some(r) => r,
+            None => &self.clusters[0],
+        }
     }
 
     /// Executes a batch of placed jobs and assembles per-job results
@@ -509,7 +946,11 @@ impl ClusterFarm {
     /// module docs). Results come back in `placed` order.
     #[must_use]
     pub fn run_batch(&mut self, placed: Vec<PlacedJob>, pipelined: bool) -> BatchResult {
-        let n = self.clusters.len();
+        assert!(
+            self.pool.is_none(),
+            "batch execution is not supported once the worker pool is active"
+        );
+        let n = self.num_clusters();
         let mut metas = Vec::with_capacity(placed.len());
         let mut outputs: Vec<Vec<f32>> = Vec::with_capacity(placed.len());
         let mut queues: Vec<Vec<ShardTask>> = (0..n).map(|_| Vec::new()).collect();
@@ -611,7 +1052,8 @@ impl ClusterFarm {
     /// least one non-empty plan for every valid job).
     pub fn admit(&mut self, placed: PlacedJob, shard_cycles_hint: u64, shard_cycles_est: u64) {
         assert!(!placed.shards.is_empty(), "job admitted with no shards");
-        let n = self.clusters.len();
+        self.activate_pool();
+        let n = self.num_clusters();
         let job = ActiveJob {
             output: vec![0f32; placed.meta.output_len],
             report: ScaleOutReport::new(n, self.freq_hz),
@@ -639,6 +1081,16 @@ impl ClusterFarm {
             self.queued_hint[c] += shard_cycles_hint;
             let meta = &self.active[slot].as_ref().expect("job just stored").meta;
             let wiring = self.wiring_for(c, meta);
+            // Pooled farms forward the plan to the cluster's worker
+            // right away — it starts speculating the moment its
+            // thread is free; the merge queue keeps the metadata.
+            let plan = match &self.pool {
+                Some(pool) => {
+                    pool.send_run(c, plan, wiring);
+                    None
+                }
+                None => Some(plan),
+            };
             self.pending[c].push_back(QueuedShard {
                 slot,
                 plan,
@@ -646,6 +1098,7 @@ impl ClusterFarm {
                 est: shard_cycles_est,
                 wiring,
             });
+            self.push_candidate(c);
         }
     }
 
@@ -658,86 +1111,146 @@ impl ClusterFarm {
     /// barriered [`run_batch`](ClusterFarm::run_batch) of the same
     /// placement — only the admission timing differs.
     pub fn step(&mut self) -> Option<ShardRetire> {
-        // Detect kills whose cycle was crossed since the last event:
-        // the dead cluster's queue is evacuated before anything else
-        // is scheduled, so no shard is ever lost.
-        for c in 0..self.clusters.len() {
-            if !self.dead[c] && self.crossed_kill(c) {
-                self.fail_cluster(c, None);
+        // A loop, not tail recursion: a kill with a deep pending queue
+        // re-places every orphan and tries again, and the stack must
+        // not grow with the queue depth.
+        loop {
+            // Detect a kill whose cycle was crossed since the last
+            // event: the dead cluster's queue is evacuated before
+            // anything else is scheduled, so no shard is ever lost.
+            // At most one kill is armed, so only that cluster needs
+            // checking.
+            if let Some(k) = self.faults.kill {
+                let kc = k.cluster as usize;
+                if kc < self.num_clusters() && !self.dead[kc] && self.crossed_kill(kc) {
+                    self.fail_cluster(kc, None);
+                }
             }
-        }
-        let c = (0..self.clusters.len())
-            .filter(|&c| !self.dead[c] && !self.pending[c].is_empty())
-            .min_by_key(|&c| (self.clock[c], c))?;
-        let mut task = self.pending[c].pop_front().expect("non-empty FIFO");
-        self.queued_hint[c] -= task.hint;
-        // With a kill armed on this cluster the shard might straddle
-        // the kill cycle; keep a copy so the aborted work can be
-        // re-placed bit-identically (`run_shard` consumes the tiles).
-        let kill_at = self.faults.kill_cycle(c as u32);
-        let backup = kill_at.map(|_| task.plan.clone());
-        let (perf, cycles) = run_shard(&mut self.clusters[c], &mut task.plan, task.wiring);
-        let start = self.clock[c];
-        if let Some(at) = kill_at {
-            if start + cycles > at {
-                // The cluster died mid-shard: discard the run — no
-                // readback, no counter accumulation, clock frozen at
-                // the kill cycle — and re-admit the shard (plus the
-                // rest of the queue) on the survivors. The dead
-                // cluster's memory state no longer matters.
-                self.clock[c] = at;
-                task.plan = backup.expect("kill armed implies a plan backup");
-                self.fail_cluster(c, Some(task));
-                return self.step();
+            let c = self.next_event_cluster()?;
+            let mut task = self.pending[c].pop_front().expect("non-empty FIFO");
+            self.queued_hint[c] -= task.hint;
+            let kill_at = self.faults.kill_cycle(c as u32);
+            let start = self.clock[c];
+            // Run the shard — inline on the serial engine, or collect
+            // the worker's speculative result. Per-cluster order is
+            // admission order on both engines and every cross-cluster
+            // decision happens here on the merge thread, so outcomes
+            // are bit-identical.
+            enum Ran {
+                Done(PerfSnapshot, u64, Option<Vec<(usize, Vec<f32>)>>),
+                Killed(ClusterPlan),
             }
+            let ran = match &self.pool {
+                Some(pool) => match pool.recv(c) {
+                    ShardOutcome::Retired {
+                        perf,
+                        cycles,
+                        reads,
+                    } => {
+                        debug_assert!(
+                            kill_at.is_none_or(|at| start + cycles <= at),
+                            "worker retired a shard across its kill cycle"
+                        );
+                        self.pool_stats.shards_merged += 1;
+                        Ran::Done(perf, cycles, Some(reads))
+                    }
+                    ShardOutcome::Aborted { plan } => Ran::Killed(plan),
+                    ShardOutcome::Reclaimed { .. } => {
+                        unreachable!("reclaim answers are consumed inside fail_cluster")
+                    }
+                },
+                None => {
+                    // With a kill armed the shard might straddle the
+                    // kill cycle; keep a copy so the aborted work can
+                    // be re-placed bit-identically (`run_shard`
+                    // consumes the tiles).
+                    let backup = kill_at.and_then(|_| task.plan.clone());
+                    let plan = task.plan.as_mut().expect("serial farm queues plans");
+                    let (perf, cycles) = run_shard(&mut self.clusters[c], plan, task.wiring);
+                    if kill_at.is_some_and(|at| start + cycles > at) {
+                        Ran::Killed(backup.expect("kill armed implies a plan backup"))
+                    } else {
+                        Ran::Done(perf, cycles, None)
+                    }
+                }
+            };
+            let (perf, cycles, reads) = match ran {
+                Ran::Killed(plan) => {
+                    // The cluster died mid-shard: discard the run — no
+                    // readback, no counter accumulation, clock frozen
+                    // at the kill cycle — and re-admit the shard (plus
+                    // the rest of the queue) on the survivors. The
+                    // dead cluster's memory state no longer matters.
+                    self.clock[c] = kill_at.expect("mid-shard abort implies an armed kill");
+                    task.plan = Some(plan);
+                    self.fail_cluster(c, Some(task));
+                    continue;
+                }
+                Ran::Done(perf, cycles, reads) => (perf, cycles, reads),
+            };
+            self.totals.accumulate(&perf);
+            self.clock[c] = start + cycles;
+            // Transient stalls: windows whose boundary the shard
+            // crossed freeze the cluster afterwards. Dead time is
+            // attributed to the fault counter, not to the shard
+            // (per-job outputs and counters stay bit-identical to the
+            // fault-free run). Pool workers apply the cluster-counter
+            // attribution themselves to keep their states in lockstep.
+            let stall = self.faults.stall_between(c as u32, start, self.clock[c]);
+            if stall > 0 {
+                if self.pool.is_none() {
+                    self.clusters[c].attribute_fault_stall(stall);
+                }
+                self.clock[c] += stall;
+                self.totals.fault_stall_cycles += stall;
+                self.fault_stats.faults_injected += 1;
+            }
+            let job = self.active[task.slot]
+                .as_mut()
+                .expect("queued shard has an active job");
+            match reads {
+                Some(reads) => {
+                    for (dst, data) in reads {
+                        job.output[dst..dst + data.len()].copy_from_slice(&data);
+                    }
+                }
+                None => {
+                    let plan = task.plan.as_ref().expect("serial farm queues plans");
+                    read_shard(&mut self.clusters[c], plan, &mut job.output);
+                }
+            }
+            job.report.per_cluster[c].accumulate(&perf);
+            job.report.makespan_cycles = job.report.makespan_cycles.max(cycles);
+            job.start_clock = job.start_clock.min(start);
+            job.finish_clock = job.finish_clock.max(self.clock[c]);
+            job.remaining -= 1;
+            let (job_id, class) = (job.meta.id, job.meta.class);
+            let result = if job.remaining == 0 {
+                let done = self.active[task.slot].take().expect("job still active");
+                self.free_slots.push(task.slot);
+                Some(JobResult {
+                    job_id: done.meta.id,
+                    label: done.meta.label,
+                    output: done.output,
+                    report: done.report,
+                    start_cycle: done.start_clock,
+                    finish_cycle: done.finish_clock,
+                    estimate: None,
+                })
+            } else {
+                None
+            };
+            self.push_candidate(c);
+            return Some(ShardRetire {
+                job_id,
+                class,
+                cluster: c,
+                cycles,
+                est_cycles: task.est,
+                clock: self.clock[c],
+                result,
+            });
         }
-        self.totals.accumulate(&perf);
-        let job = self.active[task.slot]
-            .as_mut()
-            .expect("queued shard has an active job");
-        read_shard(&mut self.clusters[c], &task.plan, &mut job.output);
-        self.clock[c] = start + cycles;
-        // Transient stalls: windows whose boundary the shard crossed
-        // freeze the cluster afterwards. Dead time is attributed to
-        // the fault counter, not to the shard (per-job outputs and
-        // counters stay bit-identical to the fault-free run).
-        let stall = self.faults.stall_between(c as u32, start, self.clock[c]);
-        if stall > 0 {
-            self.clusters[c].attribute_fault_stall(stall);
-            self.clock[c] += stall;
-            self.totals.fault_stall_cycles += stall;
-            self.fault_stats.faults_injected += 1;
-        }
-        job.report.per_cluster[c].accumulate(&perf);
-        job.report.makespan_cycles = job.report.makespan_cycles.max(cycles);
-        job.start_clock = job.start_clock.min(start);
-        job.finish_clock = job.finish_clock.max(self.clock[c]);
-        job.remaining -= 1;
-        let (job_id, class) = (job.meta.id, job.meta.class);
-        let result = if job.remaining == 0 {
-            let done = self.active[task.slot].take().expect("job still active");
-            self.free_slots.push(task.slot);
-            Some(JobResult {
-                job_id: done.meta.id,
-                label: done.meta.label,
-                output: done.output,
-                report: done.report,
-                start_cycle: done.start_clock,
-                finish_cycle: done.finish_clock,
-                estimate: None,
-            })
-        } else {
-            None
-        };
-        Some(ShardRetire {
-            job_id,
-            class,
-            cluster: c,
-            cycles,
-            est_cycles: task.est,
-            clock: self.clock[c],
-            result,
-        })
     }
 
     /// Runs the continuous farm dry: steps until every queued shard has

@@ -107,7 +107,9 @@ pub use backend::{
     Placement, SimulatorBackend,
 };
 pub use executor::{run_sharded, BatchResult, JobResult, ScaleOutConfig, ScaleOutExecutor};
-pub use farm::{ClusterFarm, FaultStats, JobMeta, PlacedJob, ShardRetire};
+pub use farm::{
+    resolve_worker_threads, ClusterFarm, FaultStats, JobMeta, PlacedJob, PoolStats, ShardRetire,
+};
 pub use job::{Job, JobClass, JobKind, JobOpts, JobQueue, RawJob};
 pub use ntx_mem::{HmcConfig, HmcMesh, HmcSubsystem, MemoryModel, MeshConfig};
 pub use ntx_sim::{ClusterKill, FaultPlan, LinkFault, StallSpec};

@@ -184,6 +184,15 @@ pub struct ServingReport {
     /// Dead cycles injected by transient cluster stalls, summed over
     /// all clusters.
     pub fault_stall_cycles: u64,
+    /// Worker threads the farm's cluster pool ran on (1 = serial
+    /// stepping, no pool).
+    pub worker_threads: usize,
+    /// Speculative shard results merged from pool workers (0 when
+    /// serial).
+    pub pool_shards_merged: u64,
+    /// Speculated shards invalidated and re-placed because their
+    /// cluster was killed (0 when serial).
+    pub pool_shards_reclaimed: u64,
 }
 
 impl ServingReport {
@@ -210,6 +219,9 @@ impl ServingReport {
             faults_injected: 0,
             shards_retried: 0,
             fault_stall_cycles: 0,
+            worker_threads: 1,
+            pool_shards_merged: 0,
+            pool_shards_reclaimed: 0,
         }
     }
 

@@ -136,6 +136,14 @@ impl ServerConfig {
         self.scale_out = self.scale_out.with_faults(faults);
         self
     }
+
+    /// Sets the worker-pool width of the served farm (see
+    /// [`ScaleOutConfig::with_worker_threads`](crate::ScaleOutConfig::with_worker_threads)).
+    #[must_use]
+    pub fn with_worker_threads(mut self, threads: usize) -> Self {
+        self.scale_out = self.scale_out.with_worker_threads(threads);
+        self
+    }
 }
 
 /// The shared admission gauge: how many submissions are in flight
@@ -763,6 +771,10 @@ fn continuous_loop(
     let faults = sim.fault_stats();
     stats.faults_injected = faults.faults_injected;
     stats.shards_retried = faults.shards_retried;
+    let pool = sim.pool_stats();
+    stats.worker_threads = pool.worker_threads;
+    stats.pool_shards_merged = pool.shards_merged;
+    stats.pool_shards_reclaimed = pool.shards_reclaimed;
     stats.backpressure_rejected = gauge.rejected.load(Ordering::Relaxed);
     stats.wall_seconds = t0.elapsed().as_secs_f64();
     stats

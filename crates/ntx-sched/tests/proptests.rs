@@ -478,7 +478,27 @@ fn run_with_faults(
     Vec<(u64, usize, u64, u64)>,
     ntx_sched::FaultStats,
 ) {
-    let mut sim = SimulatorBackend::new(ScaleOutConfig::with_clusters(clusters).with_faults(plan));
+    run_continuous_config(
+        kinds,
+        ScaleOutConfig::with_clusters(clusters).with_faults(plan),
+        steps_between,
+    )
+}
+
+/// Drives continuous admission under an arbitrary `config` (memory
+/// model, fault plan, worker-pool width), returning per-job results,
+/// the exact shard retire trace and the farm's fault counters — the
+/// fully-observable record a pooled-vs-serial differential compares.
+fn run_continuous_config(
+    kinds: &[JobKind],
+    config: ScaleOutConfig,
+    steps_between: usize,
+) -> (
+    Vec<JobResult>,
+    Vec<(u64, usize, u64, u64)>,
+    ntx_sched::FaultStats,
+) {
+    let mut sim = SimulatorBackend::new(config);
     let mut table = DurationTable::new();
     let mut trace = Vec::new();
     let mut results: Vec<Option<JobResult>> = kinds.iter().map(|_| None).collect();
@@ -567,6 +587,66 @@ proptest! {
         let (r3, _, _) = run_with_faults(&kinds, clusters, steps_between, reseeded);
         for (a, b) in r1.iter().zip(&r3) {
             assert_bits_eq(&a.output, &b.output, "reseeded chaos still exact");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The worker-pool farm against the serial farm, on random
+    /// multi-job mixes across every memory model and under seeded
+    /// chaos: stepping clusters speculatively on 2..8 pool threads and
+    /// merging retires on the `(clock, cluster)` front must be a pure
+    /// implementation detail. Per-job output bits, per-cluster
+    /// `PerfSnapshot` deltas, job windows, the **exact retire trace**
+    /// and the fault counters must all equal the serial farm's — under
+    /// mid-shard cluster kills (speculated shards on the dead cluster
+    /// are invalidated and re-run on survivors) and transient stalls,
+    /// with shared-HMC and 2-cube-mesh ports travelling to the worker
+    /// threads.
+    #[test]
+    fn pooled_farm_is_bit_identical_to_serial(
+        (kinds, clusters, steps_between, threads, mem_sel, seed, kill_cluster, kill_cycle) in (
+            prop::collection::vec(arb_kind(), 1..6),
+            2usize..8,
+            0usize..4,
+            2usize..=8,
+            0u8..3,
+            0u64..1000,
+            0u32..8,
+            1u64..4000,
+        )
+    ) {
+        let plan = ntx_sched::FaultPlan::NONE
+            .with_seed(seed)
+            .with_kill(kill_cluster % clusters as u32, kill_cycle)
+            .with_stalls(64, 1 << 14, 32);
+        let hmc = HmcConfig::default().with_interconnect_bits(64);
+        let base = ScaleOutConfig::with_clusters(clusters).with_faults(plan);
+        let base = match mem_sel {
+            0 => base,
+            1 => base.with_shared_hmc(hmc),
+            _ => base.with_hmc_mesh(MeshConfig::default().with_cubes(2).with_cube(hmc)),
+        };
+        let (rs, ts, ss) =
+            run_continuous_config(&kinds, base.with_worker_threads(1), steps_between);
+        let (rp, tp, sp) =
+            run_continuous_config(&kinds, base.with_worker_threads(threads), steps_between);
+        assert_eq!(tp, ts, "pooled retire trace must equal the serial trace");
+        assert_eq!(sp, ss, "pooled fault counters must equal the serial counters");
+        for (p, s) in rp.iter().zip(&rs) {
+            assert_bits_eq(&p.output, &s.output, "pooled vs serial output");
+            assert_eq!(
+                p.report.per_cluster, s.report.per_cluster,
+                "per-job PerfSnapshots must be bit-identical across engines"
+            );
+            assert_eq!(p.report.makespan_cycles, s.report.makespan_cycles);
+            assert_eq!(
+                (p.start_cycle, p.finish_cycle),
+                (s.start_cycle, s.finish_cycle),
+                "pooled vs serial job windows"
+            );
         }
     }
 }

@@ -921,6 +921,14 @@ mod tests {
     use super::*;
     use ntx_isa::{AguConfig, Command, LoopNest, OperandSelect, RegOffset};
 
+    /// The worker-pool farm moves whole clusters (with any attached
+    /// HMC/mesh ports) onto worker threads; `Cluster` must stay `Send`.
+    #[test]
+    fn cluster_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Cluster>();
+    }
+
     fn mac_cfg(x: u32, y: u32, out: u32, n: u32) -> NtxConfig {
         NtxConfig::builder()
             .command(Command::Mac {

@@ -10,6 +10,12 @@
 //! delivers completions through handles and callbacks as each job's
 //! last shard retires.
 //!
+//! The demo then runs twice — serial farm, then a 4-thread worker
+//! pool ([`ServerConfig::with_worker_threads`]) — and prints the
+//! measured wall-clock speedup: pool workers step the clusters
+//! speculatively while the merge front keeps every output and retire
+//! event bit-identical to the serial farm.
+//!
 //! Run with `cargo run --release --example serve`.
 
 use ntx::kernels::blas::GemmKernel;
@@ -98,7 +104,26 @@ fn run_client(session: &Session, client: u32) -> Vec<ntx::sched::JobHandle> {
 }
 
 fn main() {
-    let server = Server::start(ServerConfig::with_clusters(4));
+    // First pass: the serial farm (worker_threads = 1); second pass:
+    // a 4-thread worker pool. Same jobs, same simulated cycles —
+    // only the wall clock changes.
+    let serial_jps = run_demo(1, true);
+    let pooled_jps = run_demo(4, false);
+    if serial_jps > 0.0 && pooled_jps > 0.0 {
+        println!(
+            "  worker pool: {:.1} jobs/s serial vs {:.1} jobs/s on 4 threads \
+             ({:.2}x wall-clock speedup, outputs bit-identical by construction)",
+            serial_jps,
+            pooled_jps,
+            pooled_jps / serial_jps
+        );
+    }
+}
+
+/// Runs the whole client mix on a farm with `threads` pool workers
+/// and returns the measured wall-clock jobs/s.
+fn run_demo(threads: usize, verbose: bool) -> f64 {
+    let server = Server::start(ServerConfig::with_clusters(4).with_worker_threads(threads));
 
     // A callback completion: fired on the worker thread.
     let (cb_tx, cb_rx) = std::sync::mpsc::channel();
@@ -121,47 +146,57 @@ fn main() {
         }));
     }
 
-    println!("serve demo: 3 clients + 1 callback on a 4-cluster continuous farm");
+    println!(
+        "serve demo: 3 clients + 1 callback on a 4-cluster continuous farm \
+         ({threads} pool thread{})",
+        if threads == 1 { "" } else { "s" }
+    );
     for (c, t) in clients.into_iter().enumerate() {
         for done in t.join().expect("client thread") {
             let r = done.result.expect("valid job");
-            match r.estimate {
-                Some(e) => println!(
-                    "  client {c}: {:<28} estimated {:>9} cycles ({}-bound, {} shards) in {:?}",
-                    r.label,
-                    e.cycles,
-                    if e.compute_bound { "compute" } else { "memory" },
-                    e.shards,
-                    done.latency,
-                ),
-                None => println!(
-                    "  client {c}: {:<28} {:>9} cycles on the farm, {:>6} outputs, in {:?}",
-                    r.label,
-                    r.report.makespan_cycles,
-                    r.output.len(),
-                    done.latency,
-                ),
+            if verbose {
+                match r.estimate {
+                    Some(e) => println!(
+                        "  client {c}: {:<28} estimated {:>9} cycles ({}-bound, {} shards) in {:?}",
+                        r.label,
+                        e.cycles,
+                        if e.compute_bound { "compute" } else { "memory" },
+                        e.shards,
+                        done.latency,
+                    ),
+                    None => println!(
+                        "  client {c}: {:<28} {:>9} cycles on the farm, {:>6} outputs, in {:?}",
+                        r.label,
+                        r.report.makespan_cycles,
+                        r.output.len(),
+                        done.latency,
+                    ),
+                }
             }
             assert!(!done.deadline_missed);
         }
     }
     let cb = cb_rx.recv().expect("callback fired");
-    println!(
-        "  callback : {:<28} {:>9} cycles, delivered on the worker thread",
-        "axpy 1000 (callback)",
-        cb.result.expect("valid job").report.makespan_cycles
-    );
+    if verbose {
+        println!(
+            "  callback : {:<28} {:>9} cycles, delivered on the worker thread",
+            "axpy 1000 (callback)",
+            cb.result.expect("valid job").report.makespan_cycles
+        );
+    }
 
     let report = server.shutdown();
     println!(
         "  served {} jobs ({} simulated, {} estimated) in {:.2} s — {:.1} jobs/s, \
-         occupancy {:.0}%, {} deadline misses",
+         occupancy {:.0}%, {} deadline misses, {} pool merges",
         report.jobs,
         report.simulated,
         report.estimated,
         report.wall_seconds,
         report.jobs_per_second(),
         report.occupancy() * 100.0,
-        report.deadline_misses
+        report.deadline_misses,
+        report.pool_shards_merged,
     );
+    report.jobs_per_second()
 }
