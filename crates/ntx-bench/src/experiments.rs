@@ -2300,3 +2300,264 @@ pub fn chaos_report() -> ChaosBenchReport {
         async_all_explicit: async_explicit,
     }
 }
+
+// ---------------------------------------------------------- Native CPU
+
+/// One native-backend workload measurement: simulator vs native
+/// fast/exact wall time, exact-mode bit-identity, fast-mode accuracy.
+#[derive(Debug, Clone)]
+pub struct CpuWorkloadPoint {
+    /// Workload label.
+    pub workload: String,
+    /// Output elements.
+    pub elements: usize,
+    /// Simulator wall-clock seconds per run (single cluster).
+    pub sim_wall_s: f64,
+    /// Native fast-mode wall-clock seconds per run.
+    pub fast_wall_s: f64,
+    /// Native exact-mode wall-clock seconds per run.
+    pub exact_wall_s: f64,
+    /// `sim_wall_s / fast_wall_s` — the wire-speed win.
+    pub fast_speedup: f64,
+    /// `sim_wall_s / exact_wall_s` — still Kulisch-exact.
+    pub exact_speedup: f64,
+    /// Exact-mode output bitwise equal to the simulator output.
+    pub exact_bit_identical: bool,
+    /// Fast-mode RMSE against the `f64` reference.
+    pub fast_rmse: f64,
+    /// Fast-mode largest absolute error against the `f64` reference.
+    pub fast_max_abs_err: f64,
+}
+
+/// Everything `report-cpu` emits: the per-workload fast/exact
+/// measurements plus the aggregate gates.
+#[derive(Debug, Clone)]
+pub struct CpuBenchReport {
+    /// Cores the host reports (gates scale expectations).
+    pub host_cores: usize,
+    /// Worker threads the native backend sharded over.
+    pub threads: usize,
+    /// Per-workload measurements.
+    pub workloads: Vec<CpuWorkloadPoint>,
+    /// Every workload's exact-mode output matched the simulator
+    /// bitwise.
+    pub exact_bit_identical: bool,
+    /// Smallest fast-mode speedup over the gated workloads (conv3x3
+    /// and dot-4096) — the CI throughput gate.
+    pub gated_fast_speedup: f64,
+}
+
+/// `f64` reference for one native-eligible job kind (no intermediate
+/// rounding anywhere — the accuracy oracle for fast mode).
+fn cpu_reference(kind: &ntx_sched::JobKind) -> Vec<f64> {
+    use ntx_sched::JobKind;
+    match kind {
+        JobKind::Axpy { a, x, y } => x
+            .iter()
+            .zip(y)
+            .map(|(&xi, &yi)| f64::from(*a) * f64::from(xi) + f64::from(yi))
+            .collect(),
+        JobKind::Gemm { dims, a, b } => {
+            let (m, k, n) = (dims.m as usize, dims.k as usize, dims.n as usize);
+            let mut out = vec![0f64; m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    out[i * n + j] = (0..k)
+                        .map(|l| f64::from(a[i * k + l]) * f64::from(b[l * n + j]))
+                        .sum();
+                }
+            }
+            out
+        }
+        JobKind::Conv2d {
+            kernel,
+            image,
+            weights,
+        } => {
+            let (h, w) = (kernel.height as usize, kernel.width as usize);
+            let (k, f) = (kernel.k as usize, kernel.filters as usize);
+            let (oh, ow) = (kernel.out_height() as usize, kernel.out_width() as usize);
+            let mut out = vec![0f64; f * oh * ow];
+            for filt in 0..f {
+                for y in 0..oh {
+                    for x in 0..ow {
+                        out[filt * oh * ow + y * ow + x] = (0..k * k)
+                            .map(|t| {
+                                let (ky, kx) = (t / k, t % k);
+                                f64::from(image[(y + ky) * w + (x + kx)])
+                                    * f64::from(weights[filt * k * k + ky * k + kx])
+                            })
+                            .sum();
+                    }
+                }
+            }
+            let _ = h;
+            out
+        }
+        JobKind::Stencil2d {
+            height,
+            width,
+            grid,
+        } => {
+            let (h, w) = (*height as usize, *width as usize);
+            let (oh, ow) = (h - 2, w - 2);
+            let g = |y: usize, x: usize| f64::from(grid[y * w + x]);
+            let mut out = vec![0f64; oh * ow];
+            for y in 0..oh {
+                for x in 0..ow {
+                    out[y * ow + x] = g(y + 1, x) + g(y + 1, x + 2) + g(y, x + 1) + g(y + 2, x + 1)
+                        - 4.0 * g(y + 1, x + 1);
+                }
+            }
+            out
+        }
+        JobKind::Raw(_) => unreachable!("raw jobs are not native-eligible"),
+    }
+}
+
+/// Executes `kind` on `engine` and returns the per-run wall time
+/// (averaged over enough repetitions to dwarf timer noise) plus one
+/// output.
+fn time_native(engine: &ntx_cpu::NativeBackend, kind: &ntx_sched::JobKind) -> (f64, Vec<f32>) {
+    use ntx_sched::JobKind;
+    let run = || -> Vec<f32> {
+        match kind {
+            JobKind::Axpy { a, x, y } => engine.axpy(*a, x, y),
+            JobKind::Gemm { dims, a, b } => engine.gemm(dims, a, b),
+            JobKind::Conv2d {
+                kernel,
+                image,
+                weights,
+            } => engine.conv2d(kernel, image, weights),
+            JobKind::Stencil2d {
+                height,
+                width,
+                grid,
+            } => engine.stencil2d(*height as usize, *width as usize, grid),
+            JobKind::Raw(_) => unreachable!("raw jobs are not native-eligible"),
+        }
+    };
+    let output = run();
+    // Repeat until at least ~20 ms have accumulated so the per-run
+    // average is stable even for microsecond kernels.
+    let mut reps = 0u32;
+    let t0 = std::time::Instant::now();
+    loop {
+        std::hint::black_box(run());
+        reps += 1;
+        if t0.elapsed().as_secs_f64() >= 0.02 || reps >= 10_000 {
+            break;
+        }
+    }
+    (t0.elapsed().as_secs_f64() / f64::from(reps), output)
+}
+
+/// Measures the native CPU backend against the cycle-accurate
+/// simulator on the serving workload mix: per-run wall time in all
+/// three regimes, exact-mode bit-identity, and fast-mode accuracy
+/// against the `f64` reference (`ntx_fpu::rmse`).
+#[must_use]
+pub fn cpu_report() -> CpuBenchReport {
+    use ntx_sched::{run_sharded, Job, JobKind};
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = ntx_sched::resolve_worker_threads(0);
+    let fast = ntx_cpu::NativeBackend::fast().with_threads(threads);
+    let exact = ntx_cpu::NativeBackend::exact().with_threads(threads);
+    let workloads: Vec<(String, JobKind)> = vec![
+        (
+            "conv3x3 66x63x4".into(),
+            JobKind::Conv2d {
+                kernel: Conv2dKernel {
+                    height: 66,
+                    width: 63,
+                    k: 3,
+                    filters: 4,
+                },
+                image: test_data(66 * 63, 0xc0),
+                weights: test_data(9 * 4, 0xc1),
+            },
+        ),
+        (
+            "dot-4096".into(),
+            JobKind::Gemm {
+                dims: GemmKernel {
+                    m: 1,
+                    k: 4096,
+                    n: 1,
+                },
+                a: test_data(4096, 0xc2),
+                b: test_data(4096, 0xc3),
+            },
+        ),
+        (
+            "gemm 48x32x24".into(),
+            JobKind::Gemm {
+                dims: GemmKernel {
+                    m: 48,
+                    k: 32,
+                    n: 24,
+                },
+                a: test_data(48 * 32, 0xc4),
+                b: test_data(32 * 24, 0xc5),
+            },
+        ),
+        (
+            "stencil 60x33".into(),
+            JobKind::Stencil2d {
+                height: 60,
+                width: 33,
+                grid: test_data(60 * 33, 0xc6),
+            },
+        ),
+        (
+            "axpy 4096".into(),
+            JobKind::Axpy {
+                a: 1.5,
+                x: test_data(4096, 0xc7),
+                y: test_data(4096, 0xc8),
+            },
+        ),
+    ];
+    let mut points = Vec::with_capacity(workloads.len());
+    for (label, kind) in workloads {
+        // The simulator oracle: one cluster, full job, timed once
+        // (it is slow enough that one run is a stable measurement).
+        let t0 = std::time::Instant::now();
+        let sim = run_sharded(&Job::new(0, &label, kind.clone()), 1).expect("workload admits");
+        let sim_wall_s = t0.elapsed().as_secs_f64();
+        let (fast_wall_s, fast_out) = time_native(&fast, &kind);
+        let (exact_wall_s, exact_out) = time_native(&exact, &kind);
+        let exact_bit_identical = exact_out.len() == sim.output.len()
+            && exact_out
+                .iter()
+                .zip(&sim.output)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        let reference = cpu_reference(&kind);
+        let err = ntx_fpu::rmse(&fast_out, &reference);
+        points.push(CpuWorkloadPoint {
+            workload: label,
+            elements: fast_out.len(),
+            sim_wall_s,
+            fast_wall_s,
+            exact_wall_s,
+            fast_speedup: sim_wall_s / fast_wall_s.max(f64::MIN_POSITIVE),
+            exact_speedup: sim_wall_s / exact_wall_s.max(f64::MIN_POSITIVE),
+            exact_bit_identical,
+            fast_rmse: err.rmse,
+            fast_max_abs_err: err.max_abs_err,
+        });
+    }
+    let exact_bit_identical = points.iter().all(|p| p.exact_bit_identical);
+    let gated_fast_speedup = points
+        .iter()
+        .take(2)
+        .map(|p| p.fast_speedup)
+        .fold(f64::INFINITY, f64::min);
+    CpuBenchReport {
+        host_cores,
+        threads,
+        workloads: points,
+        exact_bit_identical,
+        gated_fast_speedup,
+    }
+}

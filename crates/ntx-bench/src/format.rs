@@ -826,6 +826,99 @@ pub fn chaos_json(r: &crate::experiments::ChaosBenchReport) -> String {
     )
 }
 
+/// Formats the native-CPU backend report as a text table.
+#[must_use]
+pub fn cpu(r: &crate::experiments::CpuBenchReport) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "Native CPU backend vs cycle-accurate simulator ({} host cores, {} worker threads)\n",
+        r.host_cores, r.threads
+    ));
+    s.push_str(&format!(
+        "  {:<18} {:>8} {:>12} {:>12} {:>12} {:>9} {:>9} {:>6} {:>11}\n",
+        "workload",
+        "elems",
+        "sim [ms]",
+        "fast [us]",
+        "exact [us]",
+        "fast x",
+        "exact x",
+        "bits",
+        "fast rmse"
+    ));
+    for p in &r.workloads {
+        s.push_str(&format!(
+            "  {:<18} {:>8} {:>12.3} {:>12.2} {:>12.2} {:>9.0} {:>9.0} {:>6} {:>11.3e}\n",
+            p.workload,
+            p.elements,
+            p.sim_wall_s * 1e3,
+            p.fast_wall_s * 1e6,
+            p.exact_wall_s * 1e6,
+            p.fast_speedup,
+            p.exact_speedup,
+            if p.exact_bit_identical { "ok" } else { "FAIL" },
+            p.fast_rmse
+        ));
+    }
+    s.push_str(&format!(
+        "  exact mode bit-identical: {}   gated fast speedup (conv3x3, dot-4096): {:.0}x\n",
+        if r.exact_bit_identical { "yes" } else { "NO" },
+        r.gated_fast_speedup
+    ));
+    s
+}
+
+fn cpu_point_json(p: &crate::experiments::CpuWorkloadPoint) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"workload\": \"{}\",\n",
+            "      \"elements\": {},\n",
+            "      \"sim_wall_s\": {:.9},\n",
+            "      \"fast_wall_s\": {:.9},\n",
+            "      \"exact_wall_s\": {:.9},\n",
+            "      \"fast_speedup\": {:.2},\n",
+            "      \"exact_speedup\": {:.2},\n",
+            "      \"exact_bit_identical\": {},\n",
+            "      \"fast_rmse\": {:e},\n",
+            "      \"fast_max_abs_err\": {:e}\n",
+            "    }}"
+        ),
+        p.workload,
+        p.elements,
+        p.sim_wall_s,
+        p.fast_wall_s,
+        p.exact_wall_s,
+        p.fast_speedup,
+        p.exact_speedup,
+        p.exact_bit_identical,
+        p.fast_rmse,
+        p.fast_max_abs_err
+    )
+}
+
+/// Formats the native-CPU backend report as JSON (for `BENCH_cpu.json`).
+#[must_use]
+pub fn cpu_json(r: &crate::experiments::CpuBenchReport) -> String {
+    let workloads: Vec<String> = r.workloads.iter().map(cpu_point_json).collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"host_cores\": {},\n",
+            "  \"threads\": {},\n",
+            "  \"workloads\": [\n{}\n  ],\n",
+            "  \"exact_bit_identical\": {},\n",
+            "  \"gated_fast_speedup\": {:.2}\n",
+            "}}\n"
+        ),
+        r.host_cores,
+        r.threads,
+        workloads.join(",\n"),
+        r.exact_bit_identical,
+        r.gated_fast_speedup
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,123 @@
+//! Reduction primitives for the native backend.
+//!
+//! The fast path follows the shape of a software Kulisch substitute on
+//! commodity hardware (SNIPPETS snippets 1–3): a floating-point add has
+//! a 3–5 cycle latency, so a single running sum serializes the whole
+//! reduction on that latency chain. Splitting the stream over
+//! [`LANES`] independent partial sums lets the core retire one FMA per
+//! issue slot (and lets the autovectorizer map the lane array onto a
+//! SIMD register), then a log-depth tree combines the lanes at the
+//! end. The result is *not* bit-identical to a sequential sum — the
+//! exact path goes through [`ntx_fpu::WideAccumulator`] instead, which
+//! is associativity-free by construction.
+
+use ntx_fpu::WideAccumulator;
+
+/// Number of independent partial-sum accumulators in the fast path.
+///
+/// Eight `f32` lanes fill one 256-bit vector register and comfortably
+/// cover the FP-add latency×throughput product of current cores.
+pub const LANES: usize = 8;
+
+/// Combines the partial-sum lanes with a balanced binary tree
+/// (pairwise adds, log₂ depth) instead of a left fold.
+#[inline]
+#[must_use]
+pub fn tree_combine(lanes: [f32; LANES]) -> f32 {
+    let a = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    let b = (lanes[4] + lanes[5]) + (lanes[6] + lanes[7]);
+    a + b
+}
+
+/// Fast dot product: [`LANES`] round-robin partial sums over the
+/// element stream, tree-combined at the end.
+///
+/// # Panics
+/// Panics if `x` and `y` have different lengths.
+#[must_use]
+pub fn dot_fast(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot operands must have equal lengths");
+    let mut acc = [0.0f32; LANES];
+    let mut xc = x.chunks_exact(LANES);
+    let mut yc = y.chunks_exact(LANES);
+    for (cx, cy) in xc.by_ref().zip(yc.by_ref()) {
+        for i in 0..LANES {
+            acc[i] += cx[i] * cy[i];
+        }
+    }
+    for (i, (&a, &b)) in xc.remainder().iter().zip(yc.remainder()).enumerate() {
+        acc[i] += a * b;
+    }
+    tree_combine(acc)
+}
+
+/// Exact dot product: every product lands in the wide Kulisch
+/// accumulator and is rounded to `f32` exactly once, independent of
+/// accumulation order.
+///
+/// # Panics
+/// Panics if `x` and `y` have different lengths.
+#[must_use]
+pub fn dot_exact(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot operands must have equal lengths");
+    let mut acc = WideAccumulator::new();
+    for (&a, &b) in x.iter().zip(y) {
+        acc.add_product(a, b);
+    }
+    acc.round()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize, mut seed: u32) -> Vec<f32> {
+        (0..n)
+            .map(|_| {
+                seed ^= seed << 13;
+                seed ^= seed >> 17;
+                seed ^= seed << 5;
+                ((seed % 257) as f32 - 128.0) / 7.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fast_dot_tracks_f64_reference() {
+        for n in [0, 1, 7, 8, 9, 63, 4096] {
+            let x = data(n, 0x11);
+            let y = data(n, 0x22);
+            let reference: f64 = x
+                .iter()
+                .zip(&y)
+                .map(|(&a, &b)| f64::from(a) * f64::from(b))
+                .sum();
+            let got = f64::from(dot_fast(&x, &y));
+            let scale: f64 = x.iter().map(|&a| f64::from(a).abs()).sum::<f64>() + 1.0;
+            assert!(
+                (got - reference).abs() <= 1e-3 * scale,
+                "n={n}: fast dot {got} strayed from reference {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_dot_matches_order_permutation() {
+        let x = data(129, 0x33);
+        let y = data(129, 0x44);
+        let forward = dot_exact(&x, &y);
+        let rx: Vec<f32> = x.iter().rev().copied().collect();
+        let ry: Vec<f32> = y.iter().rev().copied().collect();
+        assert_eq!(
+            forward.to_bits(),
+            dot_exact(&rx, &ry).to_bits(),
+            "Kulisch reduction must be order-independent"
+        );
+    }
+
+    #[test]
+    fn tree_combine_sums_all_lanes() {
+        let lanes = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+        assert_eq!(tree_combine(lanes), 255.0);
+    }
+}

@@ -15,7 +15,7 @@ pub struct ErrorStats {
     /// Root-mean-squared error.
     pub rmse: f64,
     /// Largest absolute error.
-    pub max_abs: f64,
+    pub max_abs_err: f64,
     /// Number of samples aggregated.
     pub samples: usize,
 }
@@ -36,15 +36,15 @@ pub fn rmse(computed: &[f32], reference: &[f64]) -> ErrorStats {
         return ErrorStats::default();
     }
     let mut sq = 0f64;
-    let mut max_abs = 0f64;
+    let mut max_abs_err = 0f64;
     for (&c, &r) in computed.iter().zip(reference) {
         let e = f64::from(c) - r;
         sq += e * e;
-        max_abs = max_abs.max(e.abs());
+        max_abs_err = max_abs_err.max(e.abs());
     }
     ErrorStats {
         rmse: (sq / computed.len() as f64).sqrt(),
-        max_abs,
+        max_abs_err,
         samples: computed.len(),
     }
 }
@@ -57,12 +57,19 @@ pub fn rmse(computed: &[f32], reference: &[f64]) -> ErrorStats {
 /// reference. Returns `(ntx_stats, fma_stats)`; the paper's figure of
 /// merit is `fma_stats.rmse / ntx_stats.rmse` (≈1.7 on their layer).
 ///
+/// Empty input (`dot_len == 0` or empty series) yields a pair of
+/// default [`ErrorStats`] rather than panicking, so callers can feed
+/// arbitrary measured batches straight in.
+///
 /// # Panics
 ///
 /// Panics if the slice lengths are not multiples of `dot_len` or differ.
 #[must_use]
 pub fn rmse_ratio_vs_fma(lhs: &[f32], rhs: &[f32], dot_len: usize) -> (ErrorStats, ErrorStats) {
-    assert!(dot_len > 0, "dot_len must be positive");
+    if dot_len == 0 || lhs.is_empty() {
+        assert_eq!(lhs.len(), rhs.len(), "operand series must match");
+        return (ErrorStats::default(), ErrorStats::default());
+    }
     assert_eq!(lhs.len(), rhs.len(), "operand series must match");
     assert_eq!(
         lhs.len() % dot_len,
@@ -102,7 +109,7 @@ mod tests {
         let r = [1.0f64, 2.0, 3.0];
         let s = rmse(&c, &r);
         assert_eq!(s.rmse, 0.0);
-        assert_eq!(s.max_abs, 0.0);
+        assert_eq!(s.max_abs_err, 0.0);
         assert_eq!(s.samples, 3);
     }
 
@@ -113,7 +120,7 @@ mod tests {
         let s = rmse(&c, &r);
         // sqrt((9 + 16) / 2)
         assert!((s.rmse - (12.5f64).sqrt()).abs() < 1e-12);
-        assert_eq!(s.max_abs, 4.0);
+        assert_eq!(s.max_abs_err, 4.0);
     }
 
     #[test]
@@ -121,6 +128,18 @@ mod tests {
         let s = rmse(&[], &[]);
         assert_eq!(s.samples, 0);
         assert_eq!(s.rmse, 0.0);
+        assert_eq!(s.max_abs_err, 0.0);
+    }
+
+    #[test]
+    fn ratio_guards_empty_input() {
+        // A zero-length batch (either shape) must not assert.
+        let (ntx, fma) = rmse_ratio_vs_fma(&[], &[], 0);
+        assert_eq!(ntx, ErrorStats::default());
+        assert_eq!(fma, ErrorStats::default());
+        let (ntx, fma) = rmse_ratio_vs_fma(&[], &[], 8);
+        assert_eq!(ntx.samples, 0);
+        assert_eq!(fma.samples, 0);
     }
 
     #[test]

@@ -15,13 +15,20 @@
 //!   `ntx-model`'s roofline estimates without spending a single
 //!   simulator cycle, useful for admission control and capacity
 //!   planning in front of the farm.
+//! * [`NativeHost`] — the wire-speed path: jobs execute on the host
+//!   CPU through [`ntx_cpu::NativeBackend`], either with the fast
+//!   multi-accumulator reduction ([`BackendKind::NativeFast`]) or
+//!   bit-identical to the simulator through the wide Kulisch
+//!   accumulator ([`BackendKind::NativeExact`]). Admission estimates
+//!   come from the same roofline, calibrated by a private
+//!   [`DurationTable`] EWMA of measured wall-clock durations.
 
 use ntx_mem::MemoryModel;
 use ntx_model::roofline::Roofline;
 
 use crate::executor::{BatchResult, JobResult, ScaleOutConfig};
 use crate::farm::{ClusterFarm, JobMeta, PlacedJob, ShardRetire};
-use crate::job::{Job, JobClass};
+use crate::job::{Job, JobClass, JobKind};
 use crate::report::ScaleOutReport;
 use crate::tiler::{ClusterPlan, Tiler};
 use crate::SchedError;
@@ -29,12 +36,23 @@ use crate::SchedError;
 /// Which backend executes a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BackendKind {
-    /// Bit-accurate execution in the cycle simulator (the default).
+    /// Bit-accurate execution in the cycle simulator (the default) —
+    /// the accuracy oracle: exact outputs *and* exact cycle counts,
+    /// orders of magnitude slower than the hardware it models.
     #[default]
     Simulate,
     /// Instant analytical estimate from the roofline model; no
     /// simulator cycles are spent and no output data is produced.
     Estimate,
+    /// Native host-CPU execution with multi-accumulator partial-sum
+    /// reduction: real outputs at wire speed, ordinary float rounding
+    /// error (measurable via `ntx_fpu::rmse`), wall-clock timing in
+    /// place of simulated cycles.
+    NativeFast,
+    /// Native host-CPU execution through the wide Kulisch
+    /// accumulator: real outputs **bit-identical to the simulator**,
+    /// still far faster than cycle-accurate simulation.
+    NativeExact,
 }
 
 /// An analytical answer: what the roofline model predicts for a job
@@ -69,6 +87,11 @@ pub enum AdmittedWork {
     },
     /// An analytical estimate; nothing to execute.
     Estimated(JobEstimate),
+    /// Admitted for native host-CPU execution, carrying the
+    /// EWMA-corrected roofline estimate used for admission control;
+    /// the job itself executes inside
+    /// [`run_batch`](Backend::run_batch).
+    Native(JobEstimate),
 }
 
 /// A job that passed admission, paired with its planned work.
@@ -751,8 +774,8 @@ impl Backend for AnalyticalBackend {
             .map(|AdmittedJob { job, work }| {
                 let est = match work {
                     AdmittedWork::Estimated(e) => e,
-                    AdmittedWork::Tiled { .. } => {
-                        debug_assert!(false, "tiled plan admitted to the analytical backend");
+                    AdmittedWork::Tiled { .. } | AdmittedWork::Native(_) => {
+                        debug_assert!(false, "foreign plan admitted to the analytical backend");
                         estimate_for(&job, 1, &self.roofline, self.freq_hz)
                     }
                 };
@@ -766,10 +789,162 @@ impl Backend for AnalyticalBackend {
                     start_cycle: 0,
                     finish_cycle: est.cycles,
                     estimate: Some(est),
+                    backend: BackendKind::Estimate,
                 }
             })
             .collect();
         // Estimates spend no simulated time: the batch window is empty.
+        BatchResult {
+            results,
+            report: ScaleOutReport::new(self.clusters, self.freq_hz),
+        }
+    }
+}
+
+/// The wire-speed backend: executes jobs directly on the host CPU
+/// through [`ntx_cpu::NativeBackend`], sharded over the same worker
+/// threads the farm's pool uses
+/// ([`ScaleOutConfig::with_worker_threads`] / `NTX_WORKER_THREADS`).
+///
+/// Admission estimates start from the same roofline as the other
+/// backends and are calibrated by a **private** [`DurationTable`]:
+/// each executed job folds its measured wall-clock duration
+/// (converted to NTX cycles at the cluster clock) into the per-class
+/// EWMA, so after a handful of jobs the admission controller predicts
+/// native latencies instead of accelerator latencies. The table is
+/// deliberately not shared with the simulator's placement feedback —
+/// host wall-clock and simulated shard cycles measure different
+/// machines.
+///
+/// Exact mode ([`BackendKind::NativeExact`]) produces outputs
+/// bit-identical to [`SimulatorBackend`] on every job kind; raw
+/// command-stream jobs have no native lowering and are rejected at
+/// admission.
+#[derive(Debug)]
+pub struct NativeHost {
+    engine: ntx_cpu::NativeBackend,
+    kind: BackendKind,
+    clusters: usize,
+    freq_hz: f64,
+    roofline: Roofline,
+    table: DurationTable,
+}
+
+impl NativeHost {
+    /// A fast-mode host backend for the system `config` describes.
+    #[must_use]
+    pub fn fast(config: &ScaleOutConfig) -> Self {
+        Self::new(config, ntx_cpu::NativeMode::Fast, BackendKind::NativeFast)
+    }
+
+    /// An exact-mode (bit-identical) host backend for `config`.
+    #[must_use]
+    pub fn exact(config: &ScaleOutConfig) -> Self {
+        Self::new(config, ntx_cpu::NativeMode::Exact, BackendKind::NativeExact)
+    }
+
+    fn new(config: &ScaleOutConfig, mode: ntx_cpu::NativeMode, kind: BackendKind) -> Self {
+        let threads = crate::farm::resolve_worker_threads(config.worker_threads);
+        Self {
+            engine: ntx_cpu::NativeBackend::new(mode).with_threads(threads),
+            kind,
+            clusters: config.clusters,
+            freq_hz: config.cluster.ntx_freq_hz,
+            roofline: roofline_for(config),
+            table: DurationTable::new(),
+        }
+    }
+
+    /// The wall-clock calibration table (introspection).
+    #[must_use]
+    pub fn table(&self) -> &DurationTable {
+        &self.table
+    }
+
+    fn execute(&self, job: &Job) -> Vec<f32> {
+        match &job.kind {
+            JobKind::Axpy { a, x, y } => self.engine.axpy(*a, x, y),
+            JobKind::Gemm { dims, a, b } => self.engine.gemm(dims, a, b),
+            JobKind::Conv2d {
+                kernel,
+                image,
+                weights,
+            } => self.engine.conv2d(kernel, image, weights),
+            JobKind::Stencil2d {
+                height,
+                width,
+                grid,
+            } => self
+                .engine
+                .stencil2d(*height as usize, *width as usize, grid),
+            JobKind::Raw(_) => {
+                debug_assert!(false, "raw job admitted to the native backend");
+                Vec::new()
+            }
+        }
+    }
+}
+
+impl Backend for NativeHost {
+    fn admit(&mut self, job: &Job) -> Result<AdmittedWork, SchedError> {
+        job.validate()?;
+        if matches!(job.kind, JobKind::Raw(_)) {
+            return Err(SchedError::Shape(
+                "raw NTX command streams have no native lowering; \
+                 submit them with BackendKind::Simulate"
+                    .into(),
+            ));
+        }
+        // The native backend runs each job as one unit (threading is
+        // internal), so the estimate is the unsharded roofline bent by
+        // the learned wall-clock ratio of this job class.
+        let raw = estimate_for(job, 1, &self.roofline, self.freq_hz);
+        let cycles = self.table.corrected_cycles(job.kind.class(), raw.cycles);
+        Ok(AdmittedWork::Native(JobEstimate {
+            cycles,
+            seconds: cycles as f64 / self.freq_hz,
+            ..raw
+        }))
+    }
+
+    /// Executes each admitted job on the host CPU in batch order. The
+    /// measured wall-clock duration becomes the result's makespan (in
+    /// NTX cycles at the cluster clock) and is folded into the
+    /// calibration EWMA against the **raw** roofline estimate — same
+    /// discipline as the farm's placement feedback.
+    fn run_batch(&mut self, batch: Vec<AdmittedJob>) -> BatchResult {
+        let results: Vec<JobResult> = batch
+            .into_iter()
+            .map(|AdmittedJob { job, work }| {
+                let est = match work {
+                    AdmittedWork::Native(e) => e,
+                    AdmittedWork::Tiled { .. } | AdmittedWork::Estimated(_) => {
+                        debug_assert!(false, "foreign plan admitted to the native backend");
+                        estimate_for(&job, 1, &self.roofline, self.freq_hz)
+                    }
+                };
+                let t0 = std::time::Instant::now();
+                let output = self.execute(&job);
+                let wall = t0.elapsed().as_secs_f64();
+                let measured = ((wall * self.freq_hz).round() as u64).max(1);
+                let raw = estimate_for(&job, 1, &self.roofline, self.freq_hz);
+                self.table.observe(job.kind.class(), raw.cycles, measured);
+                let mut report = ScaleOutReport::new(self.clusters, self.freq_hz);
+                report.makespan_cycles = measured;
+                JobResult {
+                    job_id: job.id,
+                    label: job.label,
+                    output,
+                    report,
+                    start_cycle: 0,
+                    finish_cycle: measured,
+                    estimate: Some(est),
+                    backend: self.kind,
+                }
+            })
+            .collect();
+        // Native jobs spend no simulated farm time: the batch window
+        // stays empty, mirroring the analytical backend.
         BatchResult {
             results,
             report: ScaleOutReport::new(self.clusters, self.freq_hz),

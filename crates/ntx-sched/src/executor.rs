@@ -2,11 +2,12 @@
 //! serving stack.
 //!
 //! [`ScaleOutExecutor`] wires a [`SimulatorBackend`] (the tiler, the
-//! placement heuristic and the [`ClusterFarm`](crate::ClusterFarm))
-//! and an [`AnalyticalBackend`]
-//! (roofline estimates) behind the [`Backend`] trait and dispatches
-//! each job to the backend its [`JobOpts`](crate::JobOpts) select. The
-//! async, multi-client entry point on top of this is
+//! placement heuristic and the [`ClusterFarm`](crate::ClusterFarm)),
+//! an [`AnalyticalBackend`] (roofline estimates) and a pair of
+//! [`NativeHost`]s (wire-speed host-CPU execution, fast and
+//! bit-exact) behind the [`Backend`] trait and dispatches each job to
+//! the backend its [`JobOpts`](crate::JobOpts) select. The async,
+//! multi-client entry point on top of this is
 //! [`Server`](crate::Server); the executor itself is the synchronous
 //! core both paths share.
 
@@ -14,7 +15,7 @@ use ntx_mem::{HmcConfig, MemoryModel, MeshConfig};
 use ntx_sim::{Cluster, ClusterConfig};
 
 use crate::backend::{
-    AdmittedJob, AnalyticalBackend, Backend, BackendKind, JobEstimate, SimulatorBackend,
+    AdmittedJob, AnalyticalBackend, Backend, BackendKind, JobEstimate, NativeHost, SimulatorBackend,
 };
 use crate::farm::JobMeta;
 use crate::job::{Job, JobQueue};
@@ -165,8 +166,11 @@ pub struct JobResult {
     /// (`finish_cycle - start_cycle` includes any wait for a busy
     /// cluster, unlike `report.makespan_cycles`).
     pub finish_cycle: u64,
-    /// The analytical answer, when the job ran on the estimate backend.
+    /// The analytical answer, when the job ran on the estimate backend,
+    /// or the (calibrated) admission estimate for native jobs.
     pub estimate: Option<JobEstimate>,
+    /// Which backend produced this result.
+    pub backend: BackendKind,
 }
 
 /// Result of draining a whole queue.
@@ -186,11 +190,14 @@ pub struct ScaleOutExecutor {
     config: ScaleOutConfig,
     sim: SimulatorBackend,
     model: AnalyticalBackend,
+    native_fast: NativeHost,
+    native_exact: NativeHost,
 }
 
 impl ScaleOutExecutor {
     /// Builds `config.clusters` independent clusters plus the
-    /// analytical model of the same system.
+    /// analytical model and the native host backends of the same
+    /// system.
     ///
     /// # Panics
     ///
@@ -202,6 +209,8 @@ impl ScaleOutExecutor {
             config,
             sim: SimulatorBackend::new(config),
             model: AnalyticalBackend::new(&config),
+            native_fast: NativeHost::fast(&config),
+            native_exact: NativeHost::exact(&config),
         }
     }
 
@@ -232,6 +241,8 @@ impl ScaleOutExecutor {
         match kind {
             BackendKind::Simulate => &mut self.sim,
             BackendKind::Estimate => &mut self.model,
+            BackendKind::NativeFast => &mut self.native_fast,
+            BackendKind::NativeExact => &mut self.native_exact,
         }
     }
 
@@ -279,49 +290,54 @@ impl ScaleOutExecutor {
                     })?;
             work.push(admitted);
         }
-        // Split the admitted queue by backend, remembering each job's
-        // submission slot.
-        let mut sim_batch = Vec::new();
-        let mut sim_slots = Vec::new();
-        let mut model_batch = Vec::new();
-        let mut model_slots = Vec::new();
+        // Split the admitted queue into one lane per backend,
+        // remembering each job's submission slot.
+        const LANES: [BackendKind; 4] = [
+            BackendKind::Simulate,
+            BackendKind::Estimate,
+            BackendKind::NativeFast,
+            BackendKind::NativeExact,
+        ];
+        let lane = |kind: BackendKind| {
+            LANES
+                .iter()
+                .position(|&k| k == kind)
+                .expect("every backend kind has a lane")
+        };
+        let mut batches: [Vec<AdmittedJob>; 4] = Default::default();
+        let mut slots: [Vec<usize>; 4] = Default::default();
+        let mut total = 0usize;
         for (slot, admitted) in work.into_iter().enumerate() {
             let job = queue.pop().expect("one queued job per admission");
-            match job.opts.backend {
-                BackendKind::Simulate => {
-                    sim_slots.push(slot);
-                    sim_batch.push(AdmittedJob {
-                        job,
-                        work: admitted,
-                    });
-                }
-                BackendKind::Estimate => {
-                    model_slots.push(slot);
-                    model_batch.push(AdmittedJob {
-                        job,
-                        work: admitted,
-                    });
-                }
+            let l = lane(job.opts.backend);
+            slots[l].push(slot);
+            batches[l].push(AdmittedJob {
+                job,
+                work: admitted,
+            });
+            total += 1;
+        }
+        // Run each lane's batch and stitch results back into
+        // submission order. The batch window is the simulated one —
+        // estimates and native jobs spend no simulator time.
+        let mut results: Vec<Option<JobResult>> = (0..total).map(|_| None).collect();
+        let mut window = None;
+        for (l, &kind) in LANES.iter().enumerate() {
+            let batch = std::mem::take(&mut batches[l]);
+            let lane_result = self.backend(kind).run_batch(batch);
+            for (&slot, r) in slots[l].iter().zip(lane_result.results) {
+                results[slot] = Some(r);
             }
-        }
-        let slots = sim_slots.len() + model_slots.len();
-        let sim_result = self.sim.run_batch(sim_batch);
-        let model_result = self.model.run_batch(model_batch);
-        // Stitch results back into submission order. The batch window
-        // is the simulated one — estimates spend no simulator time.
-        let mut results: Vec<Option<JobResult>> = (0..slots).map(|_| None).collect();
-        for (slot, r) in sim_slots.into_iter().zip(sim_result.results) {
-            results[slot] = Some(r);
-        }
-        for (slot, r) in model_slots.into_iter().zip(model_result.results) {
-            results[slot] = Some(r);
+            if kind == BackendKind::Simulate {
+                window = Some(lane_result.report);
+            }
         }
         Ok(BatchResult {
             results: results
                 .into_iter()
                 .map(|r| r.expect("every slot filled"))
                 .collect(),
-            report: sim_result.report,
+            report: window.expect("simulator lane always runs"),
         })
     }
 }

@@ -1030,6 +1030,7 @@ impl ClusterFarm {
                 start_cycle: start[j],
                 finish_cycle: finish[j],
                 estimate: None,
+                backend: crate::BackendKind::Simulate,
             })
             .collect();
         BatchResult {
@@ -1236,6 +1237,7 @@ impl ClusterFarm {
                     start_cycle: done.start_clock,
                     finish_cycle: done.finish_clock,
                     estimate: None,
+                    backend: crate::BackendKind::Simulate,
                 })
             } else {
                 None

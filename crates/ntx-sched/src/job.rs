@@ -186,6 +186,24 @@ impl JobOpts {
         }
     }
 
+    /// Options selecting fast native host-CPU execution.
+    #[must_use]
+    pub fn native_fast() -> Self {
+        Self {
+            backend: BackendKind::NativeFast,
+            ..Self::default()
+        }
+    }
+
+    /// Options selecting bit-exact native host-CPU execution.
+    #[must_use]
+    pub fn native_exact() -> Self {
+        Self {
+            backend: BackendKind::NativeExact,
+            ..Self::default()
+        }
+    }
+
     /// Sets the priority (builder style).
     #[must_use]
     pub fn with_priority(mut self, priority: u8) -> Self {

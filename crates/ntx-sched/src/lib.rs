@@ -14,9 +14,11 @@
 //!   (backend selection, priority, deadline);
 //! * **Backends** — the [`Backend`] trait covers plan admission, tile
 //!   launch and readback; [`SimulatorBackend`] executes bit-accurately
-//!   through the cycle simulator's burst API while
+//!   through the cycle simulator's burst API,
 //!   [`AnalyticalBackend`] answers instantly from `ntx-model`'s
-//!   roofline estimates, selectable per job;
+//!   roofline estimates, and [`NativeHost`] executes on the host CPU
+//!   at wire speed — fast multi-accumulator reduction or a Kulisch
+//!   exact mode bit-identical to the simulator — selectable per job;
 //! * **Farm** — the [`ClusterFarm`] drives N independent clusters by
 //!   burst events with no per-job barrier: each cluster starts its
 //!   next shard the cycle its previous one retires, and small jobs
@@ -104,7 +106,7 @@ pub mod tiler;
 
 pub use backend::{
     AdmittedJob, AdmittedWork, AnalyticalBackend, Backend, BackendKind, DurationTable, JobEstimate,
-    Placement, SimulatorBackend,
+    NativeHost, Placement, SimulatorBackend,
 };
 pub use executor::{run_sharded, BatchResult, JobResult, ScaleOutConfig, ScaleOutExecutor};
 pub use farm::{

@@ -139,6 +139,8 @@ pub struct ServingReport {
     pub simulated: u64,
     /// Jobs answered by the analytical backend.
     pub estimated: u64,
+    /// Jobs executed natively on the host CPU (fast or exact mode).
+    pub native: u64,
     /// Jobs rejected at admission.
     pub failed: u64,
     /// Scheduling rounds executed: waves in wave mode, non-empty
@@ -203,6 +205,7 @@ impl ServingReport {
             jobs: 0,
             simulated: 0,
             estimated: 0,
+            native: 0,
             failed: 0,
             waves: 0,
             deadline_misses: 0,

@@ -33,7 +33,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::backend::{
-    AdmittedJob, AnalyticalBackend, Backend, BackendKind, DurationTable, SimulatorBackend,
+    AdmittedJob, AnalyticalBackend, Backend, BackendKind, DurationTable, NativeHost,
+    SimulatorBackend,
 };
 use crate::executor::{JobResult, ScaleOutConfig, ScaleOutExecutor};
 use crate::job::{Job, JobKind, JobOpts, JobQueue};
@@ -576,8 +577,11 @@ fn deliver(
     let deadline_missed = deadline.is_some_and(|d| latency > d);
     stats.jobs += 1;
     match &result {
-        Ok(r) if r.estimate.is_some() => stats.estimated += 1,
-        Ok(_) => stats.simulated += 1,
+        Ok(r) => match r.backend {
+            BackendKind::Simulate => stats.simulated += 1,
+            BackendKind::Estimate => stats.estimated += 1,
+            BackendKind::NativeFast | BackendKind::NativeExact => stats.native += 1,
+        },
         Err(_) => stats.failed += 1,
     }
     if deadline_missed {
@@ -643,6 +647,8 @@ fn continuous_loop(
 ) -> ServingReport {
     let mut sim = SimulatorBackend::new(config.scale_out);
     let mut model = AnalyticalBackend::new(&config.scale_out);
+    let mut native_fast = NativeHost::fast(&config.scale_out);
+    let mut native_exact = NativeHost::exact(&config.scale_out);
     let mut table = DurationTable::new();
     let mut stats = ServingReport::new(config.scale_out.clusters);
     let mut pending: Vec<(u64, Pending)> = Vec::new();
@@ -699,12 +705,18 @@ fn continuous_loop(
                 continue;
             }
             match job.opts.backend {
-                // Estimates never touch the farm: answer immediately.
-                BackendKind::Estimate => {
+                // Estimates and native jobs never touch the farm:
+                // answer immediately, off the simulated clock.
+                BackendKind::Estimate | BackendKind::NativeFast | BackendKind::NativeExact => {
+                    let backend: &mut dyn Backend = match job.opts.backend {
+                        BackendKind::Estimate => &mut model,
+                        BackendKind::NativeFast => &mut native_fast,
+                        _ => &mut native_exact,
+                    };
                     let id = job.id;
-                    let result = match model.admit(&job) {
+                    let result = match backend.admit(&job) {
                         Ok(work) => {
-                            let mut batch = model.run_batch(vec![AdmittedJob { job, work }]);
+                            let mut batch = backend.run_batch(vec![AdmittedJob { job, work }]);
                             Ok(batch.results.pop().expect("one result per admitted job"))
                         }
                         Err(e) => Err(e),

@@ -219,6 +219,22 @@ impl<S: JobSink> ReadyJob<S> {
         self.backend(BackendKind::Estimate)
     }
 
+    /// Shorthand for [`backend`](Self::backend)`(BackendKind::NativeFast)`:
+    /// execute on the host CPU at wire speed with the fast
+    /// multi-accumulator reduction.
+    #[must_use]
+    pub fn native_fast(self) -> Self {
+        self.backend(BackendKind::NativeFast)
+    }
+
+    /// Shorthand for [`backend`](Self::backend)`(BackendKind::NativeExact)`:
+    /// execute on the host CPU through the wide Kulisch accumulator,
+    /// bit-identical to the simulator.
+    #[must_use]
+    pub fn native_exact(self) -> Self {
+        self.backend(BackendKind::NativeExact)
+    }
+
     /// Replaces all serving options at once (migration aid for callers
     /// that already hold a [`JobOpts`]).
     #[must_use]

@@ -1,0 +1,250 @@
+//! Native-backend equivalence properties.
+//!
+//! The exact-mode contract: a job routed to
+//! [`BackendKind::NativeExact`] must produce output **bit-identical**
+//! to the cycle-accurate simulator on every job kind, any cluster
+//! count, batch or continuous admission, alone or interleaved with
+//! simulated and fast-native jobs in the same queue.
+//!
+//! Unlike the sharding proptests (which use a dyadic grid so every
+//! sum is exact), inputs here are drawn from a *rough* grid — `q / 7`
+//! is not exactly representable — so reductions genuinely round and
+//! the property exercises the rounding behaviour itself: both paths
+//! must round identically (wide Kulisch accumulation, one rounding
+//! per architecturally-visible store), not merely compute exactly.
+
+use ntx_kernels::blas::GemmKernel;
+use ntx_kernels::conv::Conv2dKernel;
+use ntx_sched::{
+    run_sharded, BackendKind, Job, JobKind, JobQueue, ScaleOutConfig, ScaleOutExecutor, Server,
+    ServerConfig,
+};
+use proptest::prelude::*;
+
+/// Rough values `q / 7`: representable inputs whose products and sums
+/// are *not* exactly representable, forcing real rounding decisions.
+fn rough_f32() -> impl Strategy<Value = f32> {
+    (-64i32..=64).prop_map(|q| q as f32 / 7.0)
+}
+
+fn rough_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(rough_f32(), len..=len)
+}
+
+fn assert_bits_eq(got: &[f32], expect: &[f32], what: &str) {
+    assert_eq!(got.len(), expect.len(), "{what}: length");
+    for (i, (g, e)) in got.iter().zip(expect).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            e.to_bits(),
+            "{what}: element {i} differs ({g} vs {e})"
+        );
+    }
+}
+
+/// A random job of any native-eligible family, sized to fit one
+/// cluster.
+fn arb_kind() -> impl Strategy<Value = JobKind> {
+    prop_oneof![
+        (rough_f32(), 1usize..400)
+            .prop_flat_map(|(a, n)| (Just(a), rough_vec(n), rough_vec(n)))
+            .prop_map(|(a, x, y)| JobKind::Axpy { a, x, y }),
+        (1u32..16, 1u32..14, 1u32..10)
+            .prop_flat_map(|(m, k, n)| {
+                (
+                    Just(GemmKernel { m, k, n }),
+                    rough_vec((m * k) as usize),
+                    rough_vec((k * n) as usize),
+                )
+            })
+            .prop_map(|(dims, a, b)| JobKind::Gemm { dims, a, b }),
+        (0u32..10, 0u32..8, 1u32..3)
+            .prop_flat_map(|(dh, dw, filters)| {
+                let (h, w) = (3 + dh, 3 + dw);
+                (
+                    Just(Conv2dKernel {
+                        height: h,
+                        width: w,
+                        k: 3,
+                        filters,
+                    }),
+                    rough_vec((h * w) as usize),
+                    rough_vec((9 * filters) as usize),
+                )
+            })
+            .prop_map(|(kernel, image, weights)| JobKind::Conv2d {
+                kernel,
+                image,
+                weights,
+            }),
+        (3u32..16, 3u32..12)
+            .prop_flat_map(|(h, w)| (Just((h, w)), rough_vec((h * w) as usize)))
+            .prop_map(|((height, width), grid)| JobKind::Stencil2d {
+                height,
+                width,
+                grid,
+            }),
+    ]
+}
+
+/// The simulator oracle for one kind: a fresh single-cluster run.
+fn oracle(kind: &JobKind) -> Vec<f32> {
+    run_sharded(&Job::new(0, "oracle", kind.clone()), 1)
+        .expect("oracle run")
+        .output
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batch path: a mixed queue of simulated / native-exact /
+    /// native-fast jobs on 1–8 clusters. Every simulated and every
+    /// native-exact output must match the single-cluster simulator
+    /// oracle bit for bit — the farm may shard and place freely, the
+    /// native backend may thread freely, no bit may move.
+    #[test]
+    fn native_exact_bit_identical_on_mixed_queues(
+        jobs in prop::collection::vec((arb_kind(), 0u8..3), 1..5),
+        clusters in 1usize..=8,
+    ) {
+        let mut exec = ScaleOutExecutor::new(ScaleOutConfig::with_clusters(clusters));
+        let mut queue = JobQueue::new();
+        for (i, (kind, lane)) in jobs.iter().enumerate() {
+            let backend = match lane {
+                0 => BackendKind::Simulate,
+                1 => BackendKind::NativeExact,
+                _ => BackendKind::NativeFast,
+            };
+            queue
+                .job(format!("job{i}"))
+                .kind(kind.clone())
+                .backend(backend)
+                .submit();
+        }
+        let batch = exec.run_queue(&mut queue).expect("mixed queue runs");
+        prop_assert_eq!(batch.results.len(), jobs.len());
+        for (result, (kind, lane)) in batch.results.iter().zip(&jobs) {
+            match lane {
+                // Simulated and native-exact jobs agree with the
+                // oracle bitwise; fast jobs only promise shape.
+                0 | 1 => assert_bits_eq(&result.output, &oracle(kind), "mixed queue"),
+                _ => prop_assert_eq!(result.output.len(), oracle(kind).len()),
+            }
+        }
+    }
+
+    /// Continuous path: the same mix submitted through a live server,
+    /// so native answers interleave with farm shard retires and the
+    /// admission EWMA. Ordering and interleaving must not move a bit.
+    #[test]
+    fn native_exact_bit_identical_under_continuous_admission(
+        jobs in prop::collection::vec((arb_kind(), (0u8..2).prop_map(|b| b == 1)), 1..5),
+        clusters in 1usize..=8,
+    ) {
+        let server = Server::start(ServerConfig::with_clusters(clusters));
+        let session = server.session();
+        let handles: Vec<_> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, (kind, native))| {
+                let ready = session.job(format!("job{i}")).kind(kind.clone());
+                let ready = if *native { ready.native_exact() } else { ready };
+                ready.submit().expect("server running")
+            })
+            .collect();
+        for (handle, (kind, _)) in handles.into_iter().zip(&jobs) {
+            let done = handle.wait().expect("served");
+            let result = done.result.expect("valid job");
+            assert_bits_eq(&result.output, &oracle(kind), "continuous");
+        }
+        let report = server.shutdown();
+        prop_assert_eq!(report.jobs, jobs.len() as u64);
+        let native_jobs = jobs.iter().filter(|(_, n)| *n).count() as u64;
+        prop_assert_eq!(report.native, native_jobs);
+        prop_assert_eq!(report.simulated, report.jobs - native_jobs);
+        prop_assert_eq!(report.failed, 0);
+    }
+}
+
+/// The two bench workloads the CI gate times: conv3x3 on a 66×63
+/// image with 4 filters, and a 4096-element dot product. Exact mode
+/// must match the simulator bitwise on both, deterministically.
+#[test]
+fn bench_workloads_bit_identical() {
+    let mut seed = 0x2f6e_3a11u32;
+    let mut data = |n: usize| -> Vec<f32> {
+        (0..n)
+            .map(|_| {
+                seed ^= seed << 13;
+                seed ^= seed >> 17;
+                seed ^= seed << 5;
+                ((seed % 509) as f32 - 254.0) / 7.0
+            })
+            .collect()
+    };
+    let conv = JobKind::Conv2d {
+        kernel: Conv2dKernel {
+            height: 66,
+            width: 63,
+            k: 3,
+            filters: 4,
+        },
+        image: data(66 * 63),
+        weights: data(9 * 4),
+    };
+    let dot = JobKind::Gemm {
+        dims: GemmKernel {
+            m: 1,
+            k: 4096,
+            n: 1,
+        },
+        a: data(4096),
+        b: data(4096),
+    };
+    let mut exec = ScaleOutExecutor::new(ScaleOutConfig::with_clusters(4));
+    let mut queue = JobQueue::new();
+    for kind in [&conv, &dot] {
+        queue
+            .job("native")
+            .kind(kind.clone())
+            .native_exact()
+            .submit();
+    }
+    let batch = exec.run_queue(&mut queue).expect("bench workloads run");
+    assert_bits_eq(&batch.results[0].output, &oracle(&conv), "conv3x3 66x63x4");
+    assert_bits_eq(&batch.results[1].output, &oracle(&dot), "dot-4096");
+}
+
+/// Raw command-stream jobs have no native lowering: admission must
+/// reject them with a shape error instead of executing garbage.
+#[test]
+fn raw_jobs_rejected_at_native_admission() {
+    use ntx_isa::{AguConfig, Command, LoopNest, NtxConfig, OperandSelect};
+    let cfg = NtxConfig::builder()
+        .command(Command::Mac {
+            operand: OperandSelect::Memory,
+        })
+        .loops(LoopNest::vector(4))
+        .agu(0, AguConfig::stream(0x000, 4))
+        .agu(1, AguConfig::stream(0x100, 4))
+        .agu(2, AguConfig::fixed(0x200))
+        .build()
+        .unwrap();
+    let kind = JobKind::Raw(ntx_sched::RawJob {
+        config: cfg,
+        tcdm: vec![(0x000, vec![1.0; 4]), (0x100, vec![1.0; 4])],
+        result_addr: 0x200,
+        result_len: 1,
+    });
+    let mut exec = ScaleOutExecutor::new(ScaleOutConfig::with_clusters(2));
+    let mut queue = JobQueue::new();
+    queue.job("raw").kind(kind).native_exact().submit();
+    let err = exec
+        .run_queue(&mut queue)
+        .expect_err("raw must be rejected");
+    assert!(matches!(
+        err,
+        ntx_sched::SchedError::Job { source, .. }
+            if matches!(*source, ntx_sched::SchedError::Shape(_))
+    ));
+}

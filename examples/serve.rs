@@ -1,14 +1,24 @@
-//! Serve: many clients, one always-on cluster farm.
+//! Serve: many clients, one always-on cluster farm, three backends.
 //!
-//! Demonstrates the `ntx-sched` serving stack: three client threads
-//! hold cloned [`ntx::sched::Session`]s on the async server and build
-//! a mix of GEMM / convolution / AXPY / stencil jobs (plus an instant
+//! Demonstrates the `ntx-sched` serving stack: client threads hold
+//! cloned [`ntx::sched::Session`]s on the async server and build a mix
+//! of GEMM / convolution / AXPY / stencil jobs (plus an instant
 //! analytical estimate) with the fluent `JobBuilder`; the worker
 //! admits each job into the *running* four-cluster farm the moment it
 //! arrives (continuous admission — no wave batching), places it on the
 //! least-loaded clusters using measured-duration feedback, and
 //! delivers completions through handles and callbacks as each job's
 //! last shard retires.
+//!
+//! New in this demo: **mixed-backend queues**. One client routes its
+//! jobs to the native host-CPU backend ([`ntx::cpu`]) instead of the
+//! simulator — `.native_exact()` answers bit-identically to the
+//! cycle-accurate farm (every reduction through the Kulisch
+//! accumulator), `.native_fast()` answers at multi-accumulator SIMD
+//! speed. The demo submits the same convolution all three ways through
+//! one session, checks the exact output against the simulated bits,
+//! and prints the measured latency speedups plus the fast-mode RMSE
+//! against exact.
 //!
 //! The demo then runs twice — serial farm, then a 4-thread worker
 //! pool ([`ServerConfig::with_worker_threads`]) — and prints the
@@ -22,6 +32,75 @@ use ntx::kernels::blas::GemmKernel;
 use ntx::kernels::conv::Conv2dKernel;
 use ntx::sched::{Server, ServerConfig, Session};
 use std::time::Duration;
+
+/// The same convolution submitted to all three executing backends
+/// through one session: the simulator (the accuracy oracle), native
+/// exact (must match it bitwise), and native fast (approximate, at
+/// wire speed). Prints latencies, speedups, and the fast-vs-exact
+/// RMSE.
+fn mixed_backend_showdown() {
+    let server = Server::start(ServerConfig::with_clusters(4));
+    let session = server.session();
+    let kernel = Conv2dKernel {
+        height: 66,
+        width: 63,
+        k: 3,
+        filters: 4,
+    };
+    let image = data(66 * 63, 0xe1);
+    let weights = data(9 * 4, 0xe2);
+    let submit = |label: &str| {
+        session
+            .job(label)
+            .conv2d(kernel, image.clone(), weights.clone())
+    };
+    let sim = submit("conv3x3 (simulated)").submit().expect("running");
+    let exact = submit("conv3x3 (native exact)")
+        .native_exact()
+        .submit()
+        .expect("running");
+    let fast = submit("conv3x3 (native fast)")
+        .native_fast()
+        .submit()
+        .expect("running");
+    let sim = sim.wait().expect("served");
+    let exact = exact.wait().expect("served");
+    let fast = fast.wait().expect("served");
+    let sim_out = &sim.result.as_ref().expect("valid").output;
+    let exact_out = &exact.result.as_ref().expect("valid").output;
+    let fast_out = &fast.result.as_ref().expect("valid").output;
+    assert!(
+        sim_out
+            .iter()
+            .zip(exact_out)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "native exact must match the simulator bitwise"
+    );
+    let exact_f64: Vec<f64> = exact_out.iter().map(|&v| f64::from(v)).collect();
+    let err = ntx::fpu::rmse(fast_out, &exact_f64);
+    println!("mixed-backend showdown: one conv3x3 job, three backends, one session");
+    println!(
+        "  simulated    {:>12?}   (the accuracy oracle)",
+        sim.latency
+    );
+    println!(
+        "  native exact {:>12?}   {:.0}x faster, bit-identical to the simulator",
+        exact.latency,
+        sim.latency.as_secs_f64() / exact.latency.as_secs_f64().max(f64::MIN_POSITIVE)
+    );
+    println!(
+        "  native fast  {:>12?}   {:.0}x faster, rmse {:.3e} (max abs err {:.3e}) vs exact",
+        fast.latency,
+        sim.latency.as_secs_f64() / fast.latency.as_secs_f64().max(f64::MIN_POSITIVE),
+        err.rmse,
+        err.max_abs_err
+    );
+    let report = server.shutdown();
+    println!(
+        "  served {} jobs: {} simulated, {} native\n",
+        report.jobs, report.simulated, report.native
+    );
+}
 
 fn data(n: usize, mut seed: u32) -> Vec<f32> {
     (0..n)
@@ -85,7 +164,7 @@ fn run_client(session: &Session, client: u32) -> Vec<ntx::sched::JobHandle> {
                 .submit()
                 .expect("server running"),
         ],
-        _ => vec![session
+        2 => vec![session
             .job("gemm 512x512x512 (estimate)")
             .gemm(
                 GemmKernel {
@@ -100,10 +179,37 @@ fn run_client(session: &Session, client: u32) -> Vec<ntx::sched::JobHandle> {
             .priority(3)
             .submit()
             .expect("server running")],
+        // Client 3 wants answers now: native host-CPU execution,
+        // sharing the queue with everyone's simulated jobs.
+        _ => vec![
+            session
+                .job("gemm 64x48x32 (native exact)")
+                .gemm(
+                    GemmKernel {
+                        m: 64,
+                        k: 48,
+                        n: 32,
+                    },
+                    data(64 * 48, 0xc3),
+                    data(48 * 32, 0xc4),
+                )
+                .native_exact()
+                .deadline(deadline)
+                .submit()
+                .expect("server running"),
+            session
+                .job("stencil 80x44 (native fast)")
+                .stencil2d(80, 44, data(80 * 44, 0xc5))
+                .native_fast()
+                .deadline(deadline)
+                .submit()
+                .expect("server running"),
+        ],
     }
 }
 
 fn main() {
+    mixed_backend_showdown();
     // First pass: the serial farm (worker_threads = 1); second pass:
     // a 4-thread worker pool. Same jobs, same simulated cycles —
     // only the wall clock changes.
@@ -134,9 +240,10 @@ fn run_demo(threads: usize, verbose: bool) -> f64 {
         .submit_callback(move |completion| drop(cb_tx.send(completion)))
         .expect("server running");
 
-    // Three clients submit concurrently through cloned sessions.
+    // Four clients submit concurrently through cloned sessions; the
+    // fourth routes its jobs to the native CPU backend.
     let mut clients = Vec::new();
-    for c in 0..3u32 {
+    for c in 0..4u32 {
         let session = server.session();
         clients.push(std::thread::spawn(move || {
             run_client(&session, c)
@@ -147,7 +254,7 @@ fn run_demo(threads: usize, verbose: bool) -> f64 {
     }
 
     println!(
-        "serve demo: 3 clients + 1 callback on a 4-cluster continuous farm \
+        "serve demo: 4 clients + 1 callback on a 4-cluster continuous farm \
          ({threads} pool thread{})",
         if threads == 1 { "" } else { "s" }
     );
@@ -155,8 +262,8 @@ fn run_demo(threads: usize, verbose: bool) -> f64 {
         for done in t.join().expect("client thread") {
             let r = done.result.expect("valid job");
             if verbose {
-                match r.estimate {
-                    Some(e) => println!(
+                match (r.backend, r.estimate) {
+                    (ntx::sched::BackendKind::Estimate, Some(e)) => println!(
                         "  client {c}: {:<28} estimated {:>9} cycles ({}-bound, {} shards) in {:?}",
                         r.label,
                         e.cycles,
@@ -164,7 +271,18 @@ fn run_demo(threads: usize, verbose: bool) -> f64 {
                         e.shards,
                         done.latency,
                     ),
-                    None => println!(
+                    (
+                        ntx::sched::BackendKind::NativeFast | ntx::sched::BackendKind::NativeExact,
+                        _,
+                    ) => {
+                        println!(
+                            "  client {c}: {:<28} native CPU, {:>6} outputs, in {:?}",
+                            r.label,
+                            r.output.len(),
+                            done.latency,
+                        );
+                    }
+                    _ => println!(
                         "  client {c}: {:<28} {:>9} cycles on the farm, {:>6} outputs, in {:?}",
                         r.label,
                         r.report.makespan_cycles,
@@ -187,11 +305,12 @@ fn run_demo(threads: usize, verbose: bool) -> f64 {
 
     let report = server.shutdown();
     println!(
-        "  served {} jobs ({} simulated, {} estimated) in {:.2} s — {:.1} jobs/s, \
-         occupancy {:.0}%, {} deadline misses, {} pool merges",
+        "  served {} jobs ({} simulated, {} estimated, {} native) in {:.2} s — \
+         {:.1} jobs/s, occupancy {:.0}%, {} deadline misses, {} pool merges",
         report.jobs,
         report.simulated,
         report.estimated,
+        report.native,
         report.wall_seconds,
         report.jobs_per_second(),
         report.occupancy() * 100.0,

@@ -7,6 +7,7 @@
 //!
 //! | Module | Contents |
 //! |--------|----------|
+//! | [`cpu`] | Native host-CPU execution: multi-accumulator fast mode, bit-exact Kulisch mode |
 //! | [`fpu`] | Wide (PCS/Kulisch) accumulator, comparator, FPU datapath |
 //! | [`isa`] | NTX command set, loop/AGU descriptors, register file |
 //! | [`mem`] | TCDM banks, logarithmic interconnect, DMA, external memory |
@@ -15,7 +16,7 @@
 //! | [`kernels`] | BLAS / convolution / stencil kernels lowered to NTX |
 //! | [`dnn`] | DNN workload models (AlexNet … ResNet-152) |
 //! | [`model`] | Roofline, power/area/technology models, paper tables |
-//! | [`sched`] | Scale-out serving stack: job queue, backends (simulate/estimate), pipelined cluster farm, async server |
+//! | [`sched`] | Scale-out serving stack: job queue, backends (simulate/estimate/native), pipelined cluster farm, async server |
 //!
 //! # Quickstart
 //!
@@ -47,6 +48,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use ntx_cpu as cpu;
 pub use ntx_dnn as dnn;
 pub use ntx_fpu as fpu;
 pub use ntx_isa as isa;
