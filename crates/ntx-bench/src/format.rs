@@ -919,6 +919,124 @@ pub fn cpu_json(r: &crate::experiments::CpuBenchReport) -> String {
     )
 }
 
+/// Formats the training-step DAG report as a text table.
+#[must_use]
+pub fn dnn(r: &crate::experiments::DnnBenchReport) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "Whole-network training step as a job DAG: {} (batch {}), {} GEMM ops, \
+         dims capped to {}, {} clusters\n",
+        r.network, r.batch, r.ops, r.dim_cap, r.clusters
+    ));
+    s.push_str(&format!(
+        "  {:<18} {:>6} {:>8} {:>12} {:>16} {:>6}\n",
+        "run", "jobs", "failed", "wall [ms]", "makespan [cyc]", "order"
+    ));
+    for run in &r.runs {
+        s.push_str(&format!(
+            "  {:<18} {:>6} {:>8} {:>12.2} {:>16} {:>6}\n",
+            run.backend,
+            run.jobs,
+            run.failed,
+            run.wall_s * 1e3,
+            run.makespan_cycles,
+            if run.order_topological { "ok" } else { "FAIL" }
+        ));
+    }
+    s.push_str(&format!(
+        "  sim == native-exact bitwise: {}   sim rerun bitwise-identical: {}\n",
+        if r.sim_native_bit_identical {
+            "yes"
+        } else {
+            "NO"
+        },
+        if r.sim_deterministic { "yes" } else { "NO" }
+    ));
+    s.push_str(&format!(
+        "  split-K vs resident oracle bit-identical: {}   deep GEMM 8x6000x4 \
+         bit-identical: {} (fast-mode max |err| {:.3e})\n",
+        if r.split_oracle_bit_identical {
+            "yes"
+        } else {
+            "NO"
+        },
+        if r.deep_split_bit_identical {
+            "yes"
+        } else {
+            "NO"
+        },
+        r.deep_fast_max_abs_err
+    ));
+    s.push_str(&format!(
+        "  executed DAG: {:.3} MMAC   full-size step: {:.2} GMAC, Table II model \
+         predicts {:.1} ms ({:.1} Gflop) on {} clusters\n",
+        r.scaled_macs as f64 / 1e6,
+        r.full_macs as f64 / 1e9,
+        r.predicted_step_s * 1e3,
+        r.predicted_flops / 1e9,
+        r.clusters
+    ));
+    s
+}
+
+fn dnn_run_json(run: &crate::experiments::DnnStepRun) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"backend\": \"{}\",\n",
+            "      \"jobs\": {},\n",
+            "      \"failed\": {},\n",
+            "      \"wall_s\": {:.9},\n",
+            "      \"makespan_cycles\": {},\n",
+            "      \"order_topological\": {}\n",
+            "    }}"
+        ),
+        run.backend, run.jobs, run.failed, run.wall_s, run.makespan_cycles, run.order_topological
+    )
+}
+
+/// Formats the training-step DAG report as JSON (for `BENCH_dnn.json`).
+#[must_use]
+pub fn dnn_json(r: &crate::experiments::DnnBenchReport) -> String {
+    let runs: Vec<String> = r.runs.iter().map(dnn_run_json).collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"network\": \"{}\",\n",
+            "  \"ops\": {},\n",
+            "  \"batch\": {},\n",
+            "  \"dim_cap\": {},\n",
+            "  \"clusters\": {},\n",
+            "  \"scaled_macs\": {},\n",
+            "  \"full_macs\": {},\n",
+            "  \"runs\": [\n{}\n  ],\n",
+            "  \"sim_native_bit_identical\": {},\n",
+            "  \"sim_deterministic\": {},\n",
+            "  \"split_oracle_bit_identical\": {},\n",
+            "  \"deep_split_bit_identical\": {},\n",
+            "  \"deep_fast_max_abs_err\": {:e},\n",
+            "  \"predicted_step_s\": {:.9},\n",
+            "  \"predicted_flops\": {:.1}\n",
+            "}}\n"
+        ),
+        r.network,
+        r.ops,
+        r.batch,
+        r.dim_cap,
+        r.clusters,
+        r.scaled_macs,
+        r.full_macs,
+        runs.join(",\n"),
+        r.sim_native_bit_identical,
+        r.sim_deterministic,
+        r.split_oracle_bit_identical,
+        r.deep_split_bit_identical,
+        r.deep_fast_max_abs_err,
+        r.predicted_step_s,
+        r.predicted_flops
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,14 +9,15 @@
 
 #![forbid(unsafe_code)]
 
+pub mod diff;
 pub mod experiments;
 pub mod format;
 
 pub use experiments::{
-    chaos_report, cpu_report, fig5_points, greenwave_rows, hmc_report, hmc_report_sweep,
-    mesh_report, mesh_report_sweep, precision_experiment, scaling_report, serving_report,
-    simperf_report, table1_report, ChaosBenchReport, ChaosRunStats, CpuBenchReport,
-    CpuWorkloadPoint, HmcReport, HmcScalingPoint, HmcWorkloadCurve, MeshReport, MeshScalingPoint,
-    MeshWorkloadCurve, PrecisionReport, ScalingPoint, ScalingReport, ServingBenchReport,
-    SimPerfReport, SimPerfWorkload, Table1Report,
+    chaos_report, cpu_report, dnn_report, fig5_points, greenwave_rows, hmc_report,
+    hmc_report_sweep, mesh_report, mesh_report_sweep, precision_experiment, scaling_report,
+    serving_report, simperf_report, table1_report, ChaosBenchReport, ChaosRunStats, CpuBenchReport,
+    CpuWorkloadPoint, DnnBenchReport, DnnStepRun, HmcReport, HmcScalingPoint, HmcWorkloadCurve,
+    MeshReport, MeshScalingPoint, MeshWorkloadCurve, PrecisionReport, ScalingPoint, ScalingReport,
+    ServingBenchReport, SimPerfReport, SimPerfWorkload, Table1Report,
 };

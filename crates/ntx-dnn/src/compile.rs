@@ -1,0 +1,395 @@
+//! Compiling networks into servable training-step job DAGs.
+//!
+//! The cost model in [`training`](crate::TrainingModel) *predicts* what
+//! one training step costs; this module *builds* one: every compute
+//! layer of a [`Network`] is lowered to GEMM operations — forward,
+//! backward-by-data, backward-by-weights — linked by dependency edges,
+//! so the whole step can be submitted to the serving stack as a job
+//! DAG (`session.job(..).gemm(..).after_id(..)`) and executed by any
+//! backend. The lowering is the standard im2col view:
+//!
+//! * conv forward: `M = c_out`, `K = c_in·kh·kw`, `N = out_h·out_w`;
+//! * conv backward-by-data: `M = c_in`, `K = c_out·kh·kw`, `N = h·w`;
+//! * conv backward-by-weights: `M = c_out`, `K = out_h·out_w`,
+//!   `N = c_in·kh·kw`;
+//! * fully-connected layers are the degenerate `1×1` case with the
+//!   minibatch as the `N` dimension.
+//!
+//! Pooling layers carry no MACs; they contribute no ops but forward
+//! their dependency so the chain stays connected. Edges follow the
+//! data: forward ops chain layer to layer; each backward-by-data op
+//! waits on the downstream gradient and its own forward op; each
+//! backward-by-weights op waits on the downstream gradient and the
+//! *previous* layer's forward activations — which leaves the two
+//! backward ops of one layer free to run concurrently.
+//!
+//! Full-size ImageNet layers are far too large for a cycle-accurate
+//! run, so [`TrainingStep::scaled`] caps every GEMM dimension while
+//! preserving the DAG shape — the form the simulator and the bit-exact
+//! native backend execute and cross-check in the `report-dnn` bench.
+
+use ntx_kernels::blas::GemmKernel;
+
+use crate::layer::{Layer, Network};
+
+/// Which training pass an op belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    /// Forward activation computation.
+    Forward,
+    /// Gradient with respect to the layer input.
+    BackwardData,
+    /// Gradient with respect to the layer weights.
+    BackwardWeight,
+}
+
+impl Pass {
+    /// Short label used in op names ("fwd", "bwd-d", "bwd-w").
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            Pass::Forward => "fwd",
+            Pass::BackwardData => "bwd-d",
+            Pass::BackwardWeight => "bwd-w",
+        }
+    }
+}
+
+/// One GEMM operation of a compiled training step.
+#[derive(Debug, Clone)]
+pub struct StepOp {
+    /// Human-readable name, e.g. `"conv3 bwd-w"`.
+    pub name: String,
+    /// Which pass the op implements.
+    pub pass: Pass,
+    /// Index of the source layer in the network's layer list.
+    pub layer: usize,
+    /// The im2col GEMM dimensions.
+    pub dims: GemmKernel,
+    /// Indices of predecessor ops in [`TrainingStep::ops`]. Always
+    /// strictly smaller than this op's own index, so the list order is
+    /// a valid topological order.
+    pub deps: Vec<usize>,
+}
+
+impl StepOp {
+    /// Deterministic operand data for this op: `(A, B)` sized to
+    /// `dims`, seeded per op so every layer gets distinct values.
+    /// Values are multiples of 1/16 in `[-2, 2)` — products and small
+    /// sums stay exactly representable, keeping cross-backend
+    /// bit-compares meaningful.
+    #[must_use]
+    pub fn gemm_data(&self, seed: u32) -> (Vec<f32>, Vec<f32>) {
+        let data = |n: usize, mut s: u32| -> Vec<f32> {
+            s = s.wrapping_mul(0x9e37_79b9) | 1;
+            (0..n)
+                .map(|_| {
+                    s ^= s << 13;
+                    s ^= s >> 17;
+                    s ^= s << 5;
+                    ((s % 64) as f32 - 32.0) / 16.0
+                })
+                .collect()
+        };
+        let a = data((self.dims.m * self.dims.k) as usize, seed);
+        let b = data(
+            (self.dims.k * self.dims.n) as usize,
+            seed.wrapping_add(0x5bd1),
+        );
+        (a, b)
+    }
+}
+
+/// A whole training step compiled to a GEMM job DAG.
+#[derive(Debug, Clone)]
+pub struct TrainingStep {
+    /// Name of the source network.
+    pub network: String,
+    /// Ops in a valid topological order (every dep precedes its user).
+    pub ops: Vec<StepOp>,
+    /// The minibatch size the step was compiled for.
+    pub batch: u32,
+}
+
+impl TrainingStep {
+    /// Total multiply-accumulates across all ops (each GEMM is
+    /// `m·k·n` MACs).
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| u64::from(op.dims.m) * u64::from(op.dims.k) * u64::from(op.dims.n))
+            .sum()
+    }
+
+    /// The same DAG with every GEMM dimension clamped to `cap` (≥ 1):
+    /// identical op list, names and edges, but sizes a cycle-accurate
+    /// simulator can execute. Used by the `report-dnn` bench to
+    /// cross-check simulator and native backends bit-for-bit.
+    #[must_use]
+    pub fn scaled(&self, cap: u32) -> TrainingStep {
+        let cap = cap.max(1);
+        let mut s = self.clone();
+        for op in &mut s.ops {
+            op.dims.m = op.dims.m.min(cap);
+            op.dims.k = op.dims.k.min(cap);
+            op.dims.n = op.dims.n.min(cap);
+        }
+        s
+    }
+
+    /// Checks the topological invariant: every dependency index is in
+    /// range and strictly precedes its user.
+    #[must_use]
+    pub fn is_topological(&self) -> bool {
+        self.ops
+            .iter()
+            .enumerate()
+            .all(|(i, op)| op.deps.iter().all(|&d| d < i))
+    }
+}
+
+/// The GEMM view of one compute layer, per pass. Pooling layers yield
+/// `None` (no MACs).
+fn lower(layer: &Layer, pass: Pass, batch: u32) -> Option<GemmKernel> {
+    match layer {
+        Layer::Conv(c) => {
+            let (oh, ow) = (c.out_h(), c.out_w());
+            Some(match pass {
+                Pass::Forward => GemmKernel {
+                    m: c.c_out,
+                    k: c.c_in * c.kh * c.kw,
+                    n: oh * ow,
+                },
+                Pass::BackwardData => GemmKernel {
+                    m: c.c_in,
+                    k: c.c_out * c.kh * c.kw,
+                    n: c.h * c.w,
+                },
+                Pass::BackwardWeight => GemmKernel {
+                    m: c.c_out,
+                    k: oh * ow,
+                    n: c.c_in * c.kh * c.kw,
+                },
+            })
+        }
+        Layer::Fc(f) => Some(match pass {
+            Pass::Forward => GemmKernel {
+                m: f.outputs,
+                k: f.inputs,
+                n: batch,
+            },
+            Pass::BackwardData => GemmKernel {
+                m: f.inputs,
+                k: f.outputs,
+                n: batch,
+            },
+            Pass::BackwardWeight => GemmKernel {
+                m: f.outputs,
+                k: batch,
+                n: f.inputs,
+            },
+        }),
+        Layer::Pool(_) => None,
+    }
+}
+
+/// Short per-layer name ("conv0", "fc5", …).
+fn layer_tag(layer: &Layer, index: usize) -> String {
+    match layer {
+        Layer::Conv(_) => format!("conv{index}"),
+        Layer::Fc(_) => format!("fc{index}"),
+        Layer::Pool(_) => format!("pool{index}"),
+    }
+}
+
+/// Compiles one training step of `net` (minibatch `batch`) into a GEMM
+/// job DAG. Conv dims are per sample (activation GEMMs repeat per
+/// sample on a real farm; the DAG models the dependency structure, not
+/// the replication); FC layers batch along `N`. The first compute
+/// layer emits no backward-by-data op — input gradients are unused.
+#[must_use]
+pub fn training_step(net: &Network, batch: u32) -> TrainingStep {
+    let batch = batch.max(1);
+    let mut ops: Vec<StepOp> = Vec::new();
+    // Forward chain. `fwd[i]` is the op index of layer i's forward
+    // GEMM; pooling layers forward their producer's index so the
+    // chain never breaks.
+    let mut fwd: Vec<Option<usize>> = Vec::with_capacity(net.layers.len());
+    let mut prev: Option<usize> = None;
+    for (i, layer) in net.layers.iter().enumerate() {
+        match lower(layer, Pass::Forward, batch) {
+            Some(dims) => {
+                let idx = ops.len();
+                ops.push(StepOp {
+                    name: format!("{} {}", layer_tag(layer, i), Pass::Forward.tag()),
+                    pass: Pass::Forward,
+                    layer: i,
+                    dims,
+                    deps: prev.into_iter().collect(),
+                });
+                prev = Some(idx);
+                fwd.push(Some(idx));
+            }
+            None => fwd.push(prev),
+        }
+    }
+    // Backward sweep, last compute layer first. `grad` is the op that
+    // produces the gradient flowing into the next-earlier layer.
+    let mut grad: Option<usize> = prev;
+    let compute_layers: Vec<usize> = (0..net.layers.len())
+        .filter(|&i| !matches!(net.layers[i], Layer::Pool(_)))
+        .collect();
+    for (pos, &i) in compute_layers.iter().enumerate().rev() {
+        let layer = &net.layers[i];
+        // Weight gradient: needs the incoming gradient and the
+        // previous layer's forward activations.
+        if let Some(dims) = lower(layer, Pass::BackwardWeight, batch) {
+            let mut deps: Vec<usize> = grad.into_iter().collect();
+            if pos > 0 {
+                if let Some(f) = fwd[compute_layers[pos - 1]] {
+                    if !deps.contains(&f) {
+                        deps.push(f);
+                    }
+                }
+            }
+            ops.push(StepOp {
+                name: format!("{} {}", layer_tag(layer, i), Pass::BackwardWeight.tag()),
+                pass: Pass::BackwardWeight,
+                layer: i,
+                dims,
+                deps,
+            });
+        }
+        // Data gradient: becomes the incoming gradient of the
+        // next-earlier compute layer. The first compute layer skips it.
+        if pos > 0 {
+            if let Some(dims) = lower(layer, Pass::BackwardData, batch) {
+                let mut deps: Vec<usize> = grad.into_iter().collect();
+                if let Some(f) = fwd[i] {
+                    if !deps.contains(&f) {
+                        deps.push(f);
+                    }
+                }
+                let idx = ops.len();
+                ops.push(StepOp {
+                    name: format!("{} {}", layer_tag(layer, i), Pass::BackwardData.tag()),
+                    pass: Pass::BackwardData,
+                    layer: i,
+                    dims,
+                    deps,
+                });
+                grad = Some(idx);
+            }
+        }
+    }
+    TrainingStep {
+        network: net.name.to_string(),
+        ops,
+        batch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::networks;
+
+    #[test]
+    fn alexnet_step_is_a_topological_dag() {
+        let net = networks::alexnet();
+        let step = training_step(&net, 64);
+        assert!(step.is_topological());
+        let compute = net
+            .layers
+            .iter()
+            .filter(|l| !matches!(l, Layer::Pool(_)))
+            .count();
+        // Every compute layer: fwd + bwd-w; all but the first: bwd-d.
+        assert_eq!(step.ops.len(), 3 * compute - 1);
+        assert!(step.total_macs() > 0);
+        // The forward chain is connected: each forward op (after the
+        // first) depends on the previous forward op.
+        let fwds: Vec<usize> = step
+            .ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.pass == Pass::Forward)
+            .map(|(i, _)| i)
+            .collect();
+        for w in fwds.windows(2) {
+            assert!(step.ops[w[1]].deps.contains(&w[0]));
+        }
+    }
+
+    #[test]
+    fn conv_lowering_is_im2col() {
+        use crate::layer::ConvLayer;
+        let net = Network {
+            name: "one-conv",
+            layers: vec![Layer::Conv(ConvLayer::square(8, 8, 3, 16, 3, 1))],
+        };
+        let step = training_step(&net, 4);
+        // Single layer: fwd + bwd-w only.
+        assert_eq!(step.ops.len(), 2);
+        let f = &step.ops[0];
+        assert_eq!((f.dims.m, f.dims.k, f.dims.n), (16, 27, 64));
+        let w = &step.ops[1];
+        assert_eq!(w.pass, Pass::BackwardWeight);
+        assert_eq!((w.dims.m, w.dims.k, w.dims.n), (16, 64, 27));
+        // GEMM MACs match the layer-count MACs for the forward op.
+        assert_eq!(
+            u64::from(f.dims.m) * u64::from(f.dims.k) * u64::from(f.dims.n),
+            net.layers[0].macs()
+        );
+    }
+
+    #[test]
+    fn backward_ops_of_one_layer_are_concurrent() {
+        let net = networks::alexnet();
+        let step = training_step(&net, 64);
+        for (i, op) in step.ops.iter().enumerate() {
+            if op.pass != Pass::BackwardWeight {
+                continue;
+            }
+            // The matching bwd-d op of the same layer (when present)
+            // must not depend on the bwd-w op or vice versa.
+            if let Some((j, other)) = step
+                .ops
+                .iter()
+                .enumerate()
+                .find(|(_, o)| o.layer == op.layer && o.pass == Pass::BackwardData)
+            {
+                assert!(!op.deps.contains(&j));
+                assert!(!other.deps.contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_preserves_shape_and_bounds_dims() {
+        let step = training_step(&networks::alexnet(), 64);
+        let small = step.scaled(24);
+        assert_eq!(small.ops.len(), step.ops.len());
+        assert!(small.is_topological());
+        for (a, b) in step.ops.iter().zip(&small.ops) {
+            assert_eq!(a.deps, b.deps);
+            assert!(b.dims.m <= 24 && b.dims.k <= 24 && b.dims.n <= 24);
+            assert!(b.dims.m >= 1 && b.dims.k >= 1 && b.dims.n >= 1);
+        }
+    }
+
+    #[test]
+    fn gemm_data_is_deterministic_and_sized() {
+        let step = training_step(&networks::alexnet(), 64).scaled(16);
+        let op = &step.ops[0];
+        let (a1, b1) = op.gemm_data(7);
+        let (a2, b2) = op.gemm_data(7);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        assert_eq!(a1.len(), (op.dims.m * op.dims.k) as usize);
+        assert_eq!(b1.len(), (op.dims.k * op.dims.n) as usize);
+        let (a3, _) = op.gemm_data(8);
+        assert_ne!(a1, a3);
+    }
+}

@@ -22,9 +22,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compile;
 mod layer;
 pub mod networks;
 mod training;
 
+pub use compile::{Pass, StepOp, TrainingStep};
 pub use layer::{ConvLayer, FcLayer, Layer, Network, PoolLayer};
 pub use training::{TrainingCost, TrainingModel};

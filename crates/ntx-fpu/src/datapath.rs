@@ -224,6 +224,25 @@ impl FpuDatapath {
         self.max_cmp.index().filter(|&i| i != u32::MAX)
     }
 
+    /// Initialises the accumulator from a full-precision spill image
+    /// (the `AccuInit::Wide` option): the exact 640-bit value and
+    /// sticky state of a previous accumulation pass resume as if the
+    /// pass boundary never happened. Comparators clear as on any init.
+    pub fn init_accumulator_wide(&mut self, words: &[u32; crate::kulisch::SPILL_WORDS]) {
+        self.min_cmp.clear();
+        self.max_cmp.clear();
+        self.accumulator.load_words(words);
+    }
+
+    /// Serialises the accumulator into its lossless spill image (the
+    /// wide-store path): [`SPILL_WORDS`](crate::SPILL_WORDS) 32-bit
+    /// words. Like [`store_accumulator`](Self::store_accumulator), the
+    /// accumulator itself is left unchanged.
+    #[must_use]
+    pub fn store_accumulator_wide(&self) -> [u32; crate::kulisch::SPILL_WORDS] {
+        self.accumulator.to_words()
+    }
+
     /// Direct access to the wide accumulator (used by precision studies).
     #[must_use]
     pub fn accumulator(&self) -> &WideAccumulator {

@@ -22,6 +22,15 @@ const LSB_EXP: i32 = -298;
 /// Number of 64-bit limbs in the fixed-point window.
 const LIMBS: usize = 10;
 
+/// Number of 32-bit words in the lossless spill image of one
+/// accumulator: 20 limb words (ten 64-bit limbs, low word first) plus
+/// one sticky-state word, padded to an even count so consecutive spill
+/// slots keep alternating TCDM bank parity.
+pub const SPILL_WORDS: usize = 22;
+
+/// Byte size of one spill image ([`SPILL_WORDS`] × 4).
+pub const SPILL_BYTES: u32 = (SPILL_WORDS as u32) * 4;
+
 /// Sticky special-value state of the accumulator.
 ///
 /// IEEE special inputs do not have a fixed-point representation; the
@@ -382,6 +391,60 @@ impl WideAccumulator {
         compose(negative, window, low as i32 + LSB_EXP, sticky)
     }
 
+    /// Serialises the full accumulator — 640-bit value plus sticky
+    /// state — into [`SPILL_WORDS`] little-endian 32-bit words. The
+    /// image is canonical (materialised limbs, window split erased), so
+    /// two accumulators denoting the same value spill identically, and
+    /// a [`load_words`](Self::load_words) round trip is lossless: this
+    /// is what makes split-K accumulation passes bit-exact.
+    #[must_use]
+    pub fn to_words(&self) -> [u32; SPILL_WORDS] {
+        let mut out = [0u32; SPILL_WORDS];
+        for (i, &l) in self.materialize().iter().enumerate() {
+            out[2 * i] = l as u32;
+            out[2 * i + 1] = (l >> 32) as u32;
+        }
+        out[2 * LIMBS] = match self.state {
+            AccuState::Exact => 0,
+            AccuState::PosInf => 1,
+            AccuState::NegInf => 2,
+            AccuState::Nan => 3,
+        };
+        out
+    }
+
+    /// Restores the accumulator from a [`to_words`](Self::to_words)
+    /// image, replacing the current value and sticky state. The
+    /// reference/windowed mode of `self` is kept; in windowed mode the
+    /// occupied range is re-minimised against the image's sign fill, so
+    /// a restore is as cheap to keep accumulating into as the original.
+    pub fn load_words(&mut self, words: &[u32; SPILL_WORDS]) {
+        for i in 0..LIMBS {
+            self.limbs[i] = u64::from(words[2 * i]) | (u64::from(words[2 * i + 1]) << 32);
+        }
+        self.state = match words[2 * LIMBS] & 3 {
+            0 => AccuState::Exact,
+            1 => AccuState::PosInf,
+            2 => AccuState::NegInf,
+            _ => AccuState::Nan,
+        };
+        if self.reference {
+            self.occ = LIMBS;
+            self.ext = 0;
+        } else {
+            self.ext = if self.limbs[LIMBS - 1] >> 63 != 0 {
+                u64::MAX
+            } else {
+                0
+            };
+            let mut occ = LIMBS;
+            while occ > 0 && self.limbs[occ - 1] == self.ext {
+                occ -= 1;
+            }
+            self.occ = occ;
+        }
+    }
+
     /// Lossy conversion of the accumulated value to `f64`, for debugging
     /// and error analysis. Special states map to the matching `f64`.
     #[must_use]
@@ -592,5 +655,57 @@ mod tests {
     fn to_f64_lossy_tracks_value() {
         let acc = acc_of(&[(3.0, 4.0), (0.5, 0.5)]);
         assert!((acc.to_f64_lossy() - 12.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spill_restore_roundtrips_value_and_state() {
+        // A spill/restore in the middle of a long cancelling sum must
+        // be invisible: the resumed accumulator rounds identically to
+        // one that never spilled.
+        let tiny = f32::from_bits(1);
+        let cases: &[&[(f32, f32)]] = &[
+            &[(1.0e8, 1.0e8), (1.0, 1.0)],
+            &[(-2.5, 4.0), (tiny, tiny)],
+            &[(f32::MAX, f32::MAX)],
+            &[(f32::INFINITY, 1.0)],
+            &[(f32::NAN, 1.0)],
+            &[(-1.0, f32::INFINITY)],
+            &[],
+        ];
+        let tail: &[(f32, f32)] = &[(-1.0e8, 1.0e8), (0.25, -3.0), (tiny, -1.0)];
+        for &head in cases {
+            let mut oracle = acc_of(head);
+            let words = oracle.to_words();
+            let mut resumed = WideAccumulator::new();
+            resumed.add_product(99.0, -7.0); // stale junk the restore must erase
+            resumed.load_words(&words);
+            assert_eq!(resumed, oracle);
+            for &(a, b) in tail {
+                oracle.add_product(a, b);
+                resumed.add_product(a, b);
+            }
+            assert_eq!(resumed.round().to_bits(), oracle.round().to_bits());
+            assert_eq!(resumed.state(), oracle.state());
+        }
+    }
+
+    #[test]
+    fn spill_images_are_canonical_across_modes_and_histories() {
+        // Same denoted value through different histories (different
+        // internal window splits) and in reference mode must serialise
+        // to the identical image — split-K spills are then independent
+        // of the accumulator implementation variant.
+        let mut a = WideAccumulator::new();
+        a.add_product(f32::MAX, f32::MAX);
+        a.add_product(-f32::MAX, f32::MAX);
+        a.add_product(2.0, 3.0);
+        let mut b = WideAccumulator::new_reference();
+        b.add_product(2.0, 3.0);
+        assert_eq!(a.to_words(), b.to_words());
+        // Restore into a reference accumulator behaves identically too.
+        let mut r = WideAccumulator::new_reference();
+        r.load_words(&a.to_words());
+        r.add_product(-2.0, 3.0);
+        assert!(r.is_zero());
     }
 }

@@ -44,5 +44,5 @@ mod rmse;
 pub use comparator::{Comparator, CompareMode};
 pub use datapath::{FpuDatapath, FpuOp};
 pub use float::{compose, decompose, ulp, Decomposed, FloatClass};
-pub use kulisch::{AccuState, WideAccumulator};
+pub use kulisch::{AccuState, WideAccumulator, SPILL_BYTES, SPILL_WORDS};
 pub use rmse::{rmse, rmse_ratio_vs_fma, ErrorStats};

@@ -23,7 +23,8 @@ pub enum OperandSelect {
 }
 
 /// How the accumulator is initialised at the init level (Fig. 3a:
-/// `accu = [0 | *AGU2]`).
+/// `accu = [0 | *AGU2]`, extended with the full-precision spill
+/// restore that makes multi-pass split-K reductions bit-exact).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum AccuInit {
     /// Start the reduction from zero.
@@ -31,7 +32,17 @@ pub enum AccuInit {
     Zero,
     /// Load the running value from memory through AGU 2 (read-modify-
     /// write accumulation, e.g. accumulating output channels in place).
+    /// The loaded value is a rounded `f32`, so chaining passes this way
+    /// rounds at every pass boundary.
     Memory,
+    /// Restore the complete wide-accumulator state — all
+    /// [`ntx_fpu::SPILL_WORDS`] words of the 640-bit fixed-point value
+    /// plus sticky flags — from memory through AGU 2. Together with
+    /// [`NtxConfig::wide_store`](crate::NtxConfig::wide_store) this
+    /// resumes a reduction across command boundaries with **no**
+    /// intermediate rounding: a split-K GEMM accumulated this way is
+    /// bit-identical to a single unsplit reduction.
+    Wide,
 }
 
 /// What a reduction command writes back at the store level.

@@ -21,6 +21,11 @@ pub struct NtxConfig {
     pub agus: [AguConfig; 3],
     /// Accumulator initialisation at the init level.
     pub accu_init: AccuInit,
+    /// Store the complete wide-accumulator spill image
+    /// ([`ntx_fpu::SPILL_WORDS`] words through AGU 2) at each store
+    /// event instead of the rounded `f32` — the write half of the
+    /// bit-exact multi-pass reduction protocol (see [`AccuInit::Wide`]).
+    pub wide_store: bool,
     /// The ALU scalar register `R`.
     pub register: f32,
 }
@@ -45,6 +50,12 @@ impl NtxConfig {
         if self.command.is_reduction() && self.loops.store_level() == 0 {
             return Err(ConfigError::ReductionStoresEveryCycle);
         }
+        // Only the FMAC path owns a wide accumulator; spilling or
+        // restoring one from any other command is meaningless.
+        let is_mac = matches!(self.command, Command::Mac { .. });
+        if (self.wide_store || self.accu_init == AccuInit::Wide) && !is_mac {
+            return Err(ConfigError::WideAccuOnNonMac);
+        }
         Ok(())
     }
 
@@ -54,13 +65,18 @@ impl NtxConfig {
         self.loops.total_iterations() * self.command.flops_per_element()
     }
 
-    /// Total TCDM read accesses (element reads plus accumulator-init
-    /// reads when `accu_init` is [`AccuInit::Memory`]).
+    /// Total TCDM read accesses: element reads plus accumulator-init
+    /// reads — one word per init event under [`AccuInit::Memory`],
+    /// [`ntx_fpu::SPILL_WORDS`] per init event under [`AccuInit::Wide`].
     #[must_use]
     pub fn total_reads(&self) -> u64 {
         let element = self.loops.total_iterations() * u64::from(self.command.reads_per_element());
-        let init = if self.command.is_reduction() && self.accu_init == AccuInit::Memory {
-            self.loops.init_events()
+        let init = if self.command.is_reduction() {
+            match self.accu_init {
+                AccuInit::Zero => 0,
+                AccuInit::Memory => self.loops.init_events(),
+                AccuInit::Wide => self.loops.init_events() * ntx_fpu::SPILL_WORDS as u64,
+            }
         } else {
             0
         };
@@ -68,11 +84,17 @@ impl NtxConfig {
     }
 
     /// Total TCDM write accesses (store events; element-wise commands
-    /// write every iteration).
+    /// write every iteration, wide stores spill
+    /// [`ntx_fpu::SPILL_WORDS`] words per store event).
     #[must_use]
     pub fn total_writes(&self) -> u64 {
         if self.command.is_reduction() {
-            self.loops.store_events()
+            let per_store = if self.wide_store {
+                ntx_fpu::SPILL_WORDS as u64
+            } else {
+                1
+            };
+            self.loops.store_events() * per_store
         } else {
             self.loops.total_iterations()
         }
@@ -101,6 +123,7 @@ pub struct NtxConfigBuilder {
     loops: LoopNest,
     agus: [AguConfig; 3],
     accu_init: AccuInit,
+    wide_store: bool,
     register: f32,
 }
 
@@ -122,6 +145,7 @@ impl NtxConfigBuilder {
             loops: LoopNest::vector(1),
             agus: [AguConfig::default(); 3],
             accu_init: AccuInit::Zero,
+            wide_store: false,
             register: 0.0,
         }
     }
@@ -154,6 +178,14 @@ impl NtxConfigBuilder {
         self
     }
 
+    /// Selects wide-spill stores: each store event writes the full
+    /// accumulator image instead of the rounded `f32` (see
+    /// [`NtxConfig::wide_store`]).
+    pub fn wide_store(&mut self, wide: bool) -> &mut Self {
+        self.wide_store = wide;
+        self
+    }
+
     /// Sets the ALU scalar register `R`.
     pub fn register(&mut self, r: f32) -> &mut Self {
         self.register = r;
@@ -171,6 +203,7 @@ impl NtxConfigBuilder {
             loops: self.loops,
             agus: self.agus,
             accu_init: self.accu_init,
+            wide_store: self.wide_store,
             register: self.register,
         };
         cfg.validate()?;
@@ -224,6 +257,38 @@ mod tests {
         // 32 iterations * 2 reads + 4 init reads.
         assert_eq!(cfg.total_reads(), 68);
         assert_eq!(cfg.total_writes(), 4);
+    }
+
+    #[test]
+    fn wide_init_and_store_account_full_spill_images() {
+        let cfg = NtxConfig::builder()
+            .command(mac())
+            .loops(LoopNest::nested(&[8, 4]).with_levels(1, 1))
+            .accu_init(AccuInit::Wide)
+            .wide_store(true)
+            .build()
+            .expect("valid");
+        // 32 iterations * 2 reads + 4 init events * 22 spill words.
+        assert_eq!(cfg.total_reads(), 64 + 4 * ntx_fpu::SPILL_WORDS as u64);
+        assert_eq!(cfg.total_writes(), 4 * ntx_fpu::SPILL_WORDS as u64);
+    }
+
+    #[test]
+    fn wide_accu_rejected_on_non_mac_commands() {
+        let err = NtxConfig::builder()
+            .command(Command::Min)
+            .loops(LoopNest::vector(4))
+            .accu_init(AccuInit::Wide)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::WideAccuOnNonMac);
+        let err = NtxConfig::builder()
+            .command(Command::Max)
+            .loops(LoopNest::vector(4))
+            .wide_store(true)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::WideAccuOnNonMac);
     }
 
     #[test]

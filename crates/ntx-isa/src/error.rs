@@ -52,6 +52,11 @@ pub enum ConfigError {
         /// The offending stride.
         stride: i32,
     },
+    /// Wide accumulator spill/restore (`AccuInit::Wide` or
+    /// `wide_store`) was configured on a command that has no wide
+    /// accumulator to spill — only reduction commands through the FMAC
+    /// path ([`Command::Mac`](crate::Command::Mac)) carry one.
+    WideAccuOnNonMac,
     /// The command register holds an encoding that maps to no command.
     UnknownCommandEncoding {
         /// The offending raw word.
@@ -91,6 +96,10 @@ impl fmt::Display for ConfigError {
             ConfigError::UnalignedStride { agu, slot, stride } => write!(
                 f,
                 "AGU {agu} stride {slot} ({stride}) is not a multiple of 4 bytes"
+            ),
+            ConfigError::WideAccuOnNonMac => write!(
+                f,
+                "wide accumulator spill/restore requires a MAC reduction command"
             ),
             ConfigError::UnknownCommandEncoding { raw } => {
                 write!(f, "command word {raw:#010x} maps to no NTX command")

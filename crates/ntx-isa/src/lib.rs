@@ -54,3 +54,8 @@ pub use config::{NtxConfig, NtxConfigBuilder};
 pub use error::ConfigError;
 pub use loops::{LoopCounters, LoopNest, MAX_LOOPS};
 pub use regfile::{RegFile, RegOffset, WriteEffect, NTX_REGFILE_BYTES};
+
+// The wide-accumulator spill image is part of the ISA contract (the
+// footprint of `AccuInit::Wide` restores and `wide_store` stores), so
+// its dimensions are re-exported here for lowering code.
+pub use ntx_fpu::{SPILL_BYTES, SPILL_WORDS};

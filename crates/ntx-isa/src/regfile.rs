@@ -39,7 +39,8 @@ impl RegOffset {
     pub const STORE_LEVEL: u32 = 0x1c;
     /// AGU base addresses, `AGU_BASE + 4*agu`.
     pub const AGU_BASE: u32 = 0x20;
-    /// Accumulator init select (0 = zero, 1 = memory).
+    /// Accumulator init select: bits `[1:0]` = 0 zero / 1 memory /
+    /// 2 wide restore; bit `2` enables wide-spill stores.
     pub const ACCU_INIT: u32 = 0x2c;
     /// AGU strides, `AGU_STRIDE + 4*(agu*MAX_LOOPS + slot)`.
     pub const AGU_STRIDE: u32 = 0x30;
@@ -188,16 +189,18 @@ impl RegFile {
             *agu = AguConfig::new(w(RegOffset::AGU_BASE + 4 * i as u32), strides);
         }
         let command = Command::decode(w(RegOffset::COMMAND))?;
-        let accu_init = if w(RegOffset::ACCU_INIT) & 1 != 0 {
-            AccuInit::Memory
-        } else {
-            AccuInit::Zero
+        let accu_word = w(RegOffset::ACCU_INIT);
+        let accu_init = match accu_word & 3 {
+            0 => AccuInit::Zero,
+            1 => AccuInit::Memory,
+            _ => AccuInit::Wide,
         };
         let cfg = NtxConfig {
             command,
             loops,
             agus,
             accu_init,
+            wide_store: accu_word & 4 != 0,
             register: f32::from_bits(w(RegOffset::ALU_REG)),
         };
         cfg.validate()?;
@@ -226,10 +229,12 @@ impl RegFile {
                 );
             }
         }
-        set(
-            RegOffset::ACCU_INIT,
-            u32::from(cfg.accu_init == AccuInit::Memory),
-        );
+        let accu_word = match cfg.accu_init {
+            AccuInit::Zero => 0,
+            AccuInit::Memory => 1,
+            AccuInit::Wide => 2,
+        } | (u32::from(cfg.wide_store) << 2);
+        set(RegOffset::ACCU_INIT, accu_word);
         set(RegOffset::ALU_REG, cfg.register.to_bits());
         set(RegOffset::COMMAND, cfg.command.encode());
     }
@@ -261,6 +266,23 @@ mod tests {
         rf.load_config(&cfg);
         let decoded = rf.staged_config().expect("valid staged config");
         assert_eq!(decoded, cfg);
+    }
+
+    #[test]
+    fn wide_accu_modes_roundtrip_through_registers() {
+        let mut cfg = sample_config();
+        cfg.accu_init = AccuInit::Wide;
+        cfg.wide_store = true;
+        cfg.agus[2] = AguConfig::new(0x200, [0, 88, 88, 0, 0]);
+        let mut rf = RegFile::new();
+        rf.load_config(&cfg);
+        let decoded = rf.staged_config().expect("valid staged config");
+        assert_eq!(decoded, cfg);
+        // wide_store without wide restore (final split-K pass shape).
+        cfg.accu_init = AccuInit::Memory;
+        cfg.wide_store = false;
+        rf.load_config(&cfg);
+        assert_eq!(rf.staged_config().expect("valid"), cfg);
     }
 
     #[test]

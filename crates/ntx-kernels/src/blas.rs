@@ -12,7 +12,9 @@
 //! correctness tests and utilisation measurements.
 
 use crate::{split_work, KernelCost};
-use ntx_isa::{AccuInit, AguConfig, Command, ConfigError, LoopNest, NtxConfig, OperandSelect};
+use ntx_isa::{
+    AccuInit, AguConfig, Command, ConfigError, LoopNest, NtxConfig, OperandSelect, SPILL_BYTES,
+};
 use ntx_sim::{Cluster, PerfSnapshot};
 
 /// `y = a·x + y` over `n` elements.
@@ -253,7 +255,44 @@ impl GemmKernel {
         ldb: u32,
         engines: u32,
     ) -> Result<Vec<NtxConfig>, ConfigError> {
+        self.lower_pass(a_addr, b_addr, c_addr, ldb, AccuInit::Zero, false, engines)
+    }
+
+    /// Lowers one pass of a (possibly split-K) GEMM. The tile is
+    /// `m × k × n` with `B` at leading dimension `ldb`; `C` is laid out
+    /// as row-major *slots* whose width follows the accumulator
+    /// protocol — 4 B rounded `f32` slots for an ordinary pass,
+    /// [`SPILL_BYTES`]-wide accumulator images whenever this pass reads
+    /// or writes spilled wide state. `init` and `wide_store` select the
+    /// pass position in the bit-exact split-K protocol (see
+    /// [`AccuInit::Wide`]): first chunk `Zero` + wide stores, middle
+    /// chunks `Wide` + wide stores, final chunk `Wide` + a rounded
+    /// `f32` store written in place at each slot base.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn lower_pass(
+        &self,
+        a_addr: u32,
+        b_addr: u32,
+        c_addr: u32,
+        ldb: u32,
+        init: AccuInit,
+        wide_store: bool,
+        engines: u32,
+    ) -> Result<Vec<NtxConfig>, ConfigError> {
         assert!(ldb >= self.n, "leading dimension below the row length");
+        // The AGU2 address sequence is shared by the init read and the
+        // store write, so a pass touching wide state walks C in
+        // spill-image slots; the final pass's f32 result lands at each
+        // slot's base address.
+        let slot = if wide_store || init == AccuInit::Wide {
+            SPILL_BYTES
+        } else {
+            4
+        };
         let (k, n) = (self.k as i32, ldb as i32);
         split_work(self.m, engines)
             .into_iter()
@@ -262,6 +301,8 @@ impl GemmKernel {
                     .command(Command::Mac {
                         operand: OperandSelect::Memory,
                     })
+                    .accu_init(init)
+                    .wide_store(wide_store)
                     .loops(LoopNest::nested(&[self.k, self.n, nrows]).with_levels(1, 1))
                     // A row: walk k, rewind per column, advance per row.
                     .agu(
@@ -284,10 +325,13 @@ impl GemmKernel {
                             ],
                         ),
                     )
-                    // C: one store per column, rows contiguous.
+                    // C: one slot per column, rows contiguous.
                     .agu(
                         2,
-                        AguConfig::new(c_addr + 4 * row0 * self.n, [0, 4, 4, 0, 0]),
+                        AguConfig::new(
+                            c_addr + slot * row0 * self.n,
+                            [0, slot as i32, slot as i32, 0, 0],
+                        ),
                     )
                     .build()
             })
@@ -464,6 +508,63 @@ mod tests {
         let mut c = cluster();
         let (got, _) = GemmKernel { m: n, k: n, n }.run(&mut c, &a, &b);
         assert_eq!(got, b);
+    }
+
+    #[test]
+    fn gemm_split_k_passes_match_unsplit_bit_exactly() {
+        // Chain k = 8 + 4 through the wide-accumulator spill protocol
+        // and compare against the unsplit lowering: the result must be
+        // identical to the bit, because the wide image carries the full
+        // fixed-point sum across the pass boundary.
+        let (m, k, n) = (4u32, 12u32, 5u32);
+        let (k0, k1) = (8u32, 4u32);
+        let a = ramp((m * k) as usize, 0.37);
+        let b = ramp((k * n) as usize, -0.23);
+
+        let mut oracle = cluster();
+        let (expect, _) = GemmKernel { m, k, n }.run(&mut oracle, &a, &b);
+
+        let mut c = cluster();
+        let engines = c.num_engines() as u32;
+        // Compact chunk layouts: A chunks at lda = chunk length, B
+        // chunks at ldb = n (odd, so no padding needed).
+        let a0_addr = 0u32;
+        let a1_addr = a0_addr + 4 * m * k0;
+        let b0_addr = a1_addr + 4 * m * k1;
+        let b1_addr = b0_addr + 4 * k0 * n;
+        let cw_addr = b1_addr + 4 * k1 * n;
+        assert!(cw_addr + SPILL_BYTES * m * n <= c.config().tcdm.bytes);
+        for r in 0..m {
+            c.write_tcdm_f32(
+                a0_addr + 4 * r * k0,
+                &a[(r * k) as usize..(r * k + k0) as usize],
+            );
+            c.write_tcdm_f32(
+                a1_addr + 4 * r * k1,
+                &a[(r * k + k0) as usize..((r + 1) * k) as usize],
+            );
+        }
+        c.write_tcdm_f32(b0_addr, &b[..(k0 * n) as usize]);
+        c.write_tcdm_f32(b1_addr, &b[(k0 * n) as usize..]);
+        let pass0 = GemmKernel { m, k: k0, n }
+            .lower_pass(a0_addr, b0_addr, cw_addr, n, AccuInit::Zero, true, engines)
+            .expect("valid pass 0");
+        for (i, cfg) in pass0.iter().enumerate() {
+            c.offload_with_writes(i, cfg, 10);
+        }
+        c.run_to_completion();
+        let pass1 = GemmKernel { m, k: k1, n }
+            .lower_pass(a1_addr, b1_addr, cw_addr, n, AccuInit::Wide, false, engines)
+            .expect("valid pass 1");
+        for (i, cfg) in pass1.iter().enumerate() {
+            c.offload_with_writes(i, cfg, 10);
+        }
+        c.run_to_completion();
+        let got: Vec<f32> = (0..m * n)
+            .map(|i| c.read_tcdm_f32(cw_addr + SPILL_BYTES * i, 1)[0])
+            .collect();
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&got), bits(&expect));
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! addresses (ping-pong).
 
 use crate::stencil::StencilPass;
-use ntx_isa::NtxConfig;
+use ntx_isa::{AccuInit, ConfigError, NtxConfig, SPILL_BYTES};
 use ntx_mem::{DmaDescriptor, DmaDirection};
 use ntx_sim::{Cluster, PerfSnapshot};
 
@@ -280,6 +280,220 @@ pub fn axpy_tiles(
         half ^= 1;
     }
     tiles
+}
+
+/// Pads a GEMM leading dimension to an odd element count so the column
+/// walk cycles through all TCDM banks (the [`crate::blas::GemmKernel`]
+/// bank-conflict trick).
+#[must_use]
+pub fn gemm_pad_ldb(n: u32) -> u32 {
+    if n.is_multiple_of(2) {
+        n + 1
+    } else {
+        n
+    }
+}
+
+/// True when an `m_t × n_t` output tile with `k_c`-long dot-product
+/// chunks of a GEMM with full depth `k` fits the split-tile TCDM
+/// layout of [`gemm_split_tiles`] in `tcdm_bytes`: two ping-pong `C`
+/// buffers (wide [`SPILL_BYTES`]-per-element accumulator slots when
+/// `k_c < k` forces the split-K spill protocol, rounded `f32` slots
+/// otherwise), two ping-pong `A` chunk buffers and two ping-pong
+/// (padded) `B` chunk buffers. This is the one capacity rule of that
+/// layout, shared with the scale-out tiler.
+#[must_use]
+pub fn gemm_split_fits(m_t: u32, n_t: u32, k_c: u32, k: u32, tcdm_bytes: u32) -> bool {
+    let slot: u64 = if k_c < k { SPILL_BYTES as u64 } else { 4 };
+    let c = 2 * slot * u64::from(m_t) * u64::from(n_t);
+    let a = 2 * 4 * u64::from(m_t) * u64::from(k_c);
+    let b = 2 * 4 * u64::from(k_c) * u64::from(gemm_pad_ldb(n_t));
+    c + a + b <= u64::from(tcdm_bytes)
+}
+
+/// Chooses the `(m_t, n_t, k_c)` tile shape for a GEMM too large for a
+/// single resident pass. M/N tiling shrinks first (it re-streams
+/// operands but keeps every dot product whole); K splits only when a
+/// modest output tile still cannot hold its operands, because split-K
+/// switches the `C` buffer to [`SPILL_BYTES`]-wide accumulator slots
+/// and chains the passes through the wide-spill protocol. `m_t` stays
+/// at `engines` or above while it can, so every co-processor keeps at
+/// least one output row. Returns `None` when even a 1×1×1 tile cannot
+/// fit (pathologically small TCDMs only).
+#[must_use]
+pub fn gemm_split_shape(
+    dims: &crate::blas::GemmKernel,
+    engines: u32,
+    tcdm_bytes: u32,
+) -> Option<(u32, u32, u32)> {
+    let m_floor = dims.m.min(engines).max(1);
+    let (mut m_t, mut n_t, mut k_c) = (dims.m, dims.n, dims.k);
+    loop {
+        if gemm_split_fits(m_t, n_t, k_c, dims.k, tcdm_bytes) {
+            return Some((m_t, n_t, k_c));
+        }
+        if n_t > 8 {
+            n_t = n_t.div_ceil(2);
+        } else if m_t > m_floor {
+            m_t = m_floor.max(m_t.div_ceil(2));
+        } else if k_c > 8 {
+            k_c = k_c.div_ceil(2);
+        } else if n_t > 1 {
+            n_t = n_t.div_ceil(2);
+        } else if m_t > 1 {
+            m_t = m_t.div_ceil(2);
+        } else if k_c > 1 {
+            k_c = k_c.div_ceil(2);
+        } else {
+            return None;
+        }
+    }
+}
+
+/// Builds the streaming tile schedule for a GEMM whose operands exceed
+/// the TCDM: the `m × n` output is walked in `m_t × n_t` tiles, and
+/// each tile's dot products run as `⌈k / k_c⌉` accumulation passes over
+/// `A`/`B` chunks streamed from external memory. With more than one
+/// pass the tile's `C` buffer holds [`SPILL_BYTES`]-wide accumulator
+/// images and the passes chain through the wide-spill protocol
+/// ([`AccuInit::Wide`] + `wide_store`), so the result is **bit-
+/// identical** to an unsplit reduction: the first pass starts from
+/// zero and spills, middle passes restore and spill, and the final
+/// pass restores and writes the once-rounded `f32` in place at each
+/// slot base, from where a gather DMA scatters it into the external
+/// `C`.
+///
+/// `a_ext`/`b_ext`/`c_ext` hold compact row-major `m×k`, `k×n` and
+/// `m×n` matrices. The `A`/`B` chunk buffers ping-pong per pass and
+/// the `C` buffer per output tile; both reuse a buffer half no earlier
+/// than two tile tasks after its last store was queued, which the
+/// in-order DMA queue orders safely (see [`TilePipeline`]).
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from the pass lowerings.
+///
+/// # Panics
+///
+/// Panics if the tile shape fails [`gemm_split_fits`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_split_tiles(
+    cluster: &Cluster,
+    dims: &crate::blas::GemmKernel,
+    a_ext: u64,
+    b_ext: u64,
+    c_ext: u64,
+    m_t: u32,
+    n_t: u32,
+    k_c: u32,
+) -> Result<Vec<TileTask>, ConfigError> {
+    let (m, k, n) = (dims.m, dims.k, dims.n);
+    let engines = cluster.num_engines() as u32;
+    assert!(
+        gemm_split_fits(m_t, n_t, k_c, k, cluster.config().tcdm.bytes),
+        "split gemm tile shape must fit the TCDM"
+    );
+    let passes = k.div_ceil(k_c);
+    let slot = if passes > 1 { SPILL_BYTES } else { 4 };
+    let ldb_t = gemm_pad_ldb(n_t);
+    let c_bytes = slot * m_t * n_t;
+    let a_bytes = 4 * m_t * k_c;
+    let b_bytes = 4 * k_c * ldb_t;
+    let a_base = 2 * c_bytes;
+    let b_base = a_base + 2 * a_bytes;
+    let mut tiles = Vec::new();
+    let mut half = 0u32; // A/B ping-pong, per pass (= per tile task)
+    let mut chalf = 0u32; // C ping-pong, per output tile
+    let mut rt0 = 0u32;
+    while rt0 < m {
+        let rows = m_t.min(m - rt0);
+        let mut nt0 = 0u32;
+        while nt0 < n {
+            let cols = n_t.min(n - nt0);
+            let c_addr = chalf * c_bytes;
+            for j in 0..passes {
+                let k0 = j * k_c;
+                let kc = k_c.min(k - k0);
+                let a_addr = a_base + half * a_bytes;
+                let b_addr = b_base + half * b_bytes;
+                let loads = vec![
+                    // A chunk: `rows` rows of `kc`, compact (lda = kc).
+                    DmaDescriptor {
+                        ext_addr: a_ext + 4 * u64::from(rt0 * k + k0),
+                        tcdm_addr: a_addr,
+                        row_bytes: 4 * kc,
+                        rows,
+                        ext_stride: 4 * u64::from(k),
+                        tcdm_stride: 4 * kc,
+                        dir: DmaDirection::ExtToTcdm,
+                    },
+                    // B chunk: `kc` rows of `cols`, padded to ldb_t.
+                    DmaDescriptor {
+                        ext_addr: b_ext + 4 * u64::from(k0 * n + nt0),
+                        tcdm_addr: b_addr,
+                        row_bytes: 4 * cols,
+                        rows: kc,
+                        ext_stride: 4 * u64::from(n),
+                        tcdm_stride: 4 * ldb_t,
+                        dir: DmaDirection::ExtToTcdm,
+                    },
+                ];
+                let last = j + 1 == passes;
+                let (init, wide_store) = match (passes > 1, j == 0, last) {
+                    (false, ..) => (AccuInit::Zero, false),
+                    (true, true, _) => (AccuInit::Zero, true),
+                    (true, false, false) => (AccuInit::Wide, true),
+                    (true, false, true) => (AccuInit::Wide, false),
+                };
+                let commands = crate::blas::GemmKernel {
+                    m: rows,
+                    k: kc,
+                    n: cols,
+                }
+                .lower_pass(a_addr, b_addr, c_addr, ldb_t, init, wide_store, engines)?
+                .into_iter()
+                .enumerate()
+                .collect();
+                let stores = if !last {
+                    Vec::new()
+                } else if passes > 1 {
+                    // Gather the rounded f32 results out of the wide
+                    // slot bases, one strided descriptor per tile row.
+                    (0..rows)
+                        .map(|r| DmaDescriptor {
+                            ext_addr: c_ext + 4 * u64::from((rt0 + r) * n + nt0),
+                            tcdm_addr: c_addr + slot * r * cols,
+                            row_bytes: 4,
+                            rows: cols,
+                            ext_stride: 4,
+                            tcdm_stride: slot,
+                            dir: DmaDirection::TcdmToExt,
+                        })
+                        .collect()
+                } else {
+                    vec![DmaDescriptor {
+                        ext_addr: c_ext + 4 * u64::from(rt0 * n + nt0),
+                        tcdm_addr: c_addr,
+                        row_bytes: 4 * cols,
+                        rows,
+                        ext_stride: 4 * u64::from(n),
+                        tcdm_stride: 4 * cols,
+                        dir: DmaDirection::TcdmToExt,
+                    }]
+                };
+                tiles.push(TileTask {
+                    loads,
+                    commands,
+                    stores,
+                });
+                half ^= 1;
+            }
+            chalf ^= 1;
+            nt0 += cols;
+        }
+        rt0 += rows;
+    }
+    Ok(tiles)
 }
 
 /// True when a `band_rows`-row streaming band of `kernel`, with the
@@ -663,6 +877,101 @@ mod tests {
         }
         assert!(perf.flops > 0);
         assert!(perf.dma_bytes > 0);
+    }
+
+    #[test]
+    fn streaming_split_gemm_matches_resident_run_bit_exactly() {
+        // Force a 4-pass split-K on a GEMM small enough for the
+        // resident oracle: every output element must come back bit-
+        // identical, because the passes chain the full wide-accumulator
+        // image instead of rounded partials.
+        let dims = crate::blas::GemmKernel { m: 13, k: 64, n: 6 };
+        let a: Vec<f32> = (0..dims.m * dims.k)
+            .map(|i| 0.17 * (i as f32 - 300.0))
+            .collect();
+        let b: Vec<f32> = (0..dims.k * dims.n)
+            .map(|i| -0.09 * (i as f32 - 150.0))
+            .collect();
+        let mut oracle = Cluster::new(ClusterConfig::default());
+        let (expect, _) = dims.run(&mut oracle, &a, &b);
+
+        let mut cluster = Cluster::new(ClusterConfig::default());
+        let (a_ext, b_ext, c_ext) = (0u64, 0x10_0000u64, 0x20_0000u64);
+        cluster.ext_mem().write_f32_slice(a_ext, &a);
+        cluster.ext_mem().write_f32_slice(b_ext, &b);
+        // Edge tiles in every dimension: 13 rows in tiles of 8, 6
+        // columns in tiles of 4, 64 k in chunks of 16.
+        let (m_t, n_t, k_c) = (8u32, 4u32, 16u32);
+        assert!(gemm_split_fits(
+            m_t,
+            n_t,
+            k_c,
+            dims.k,
+            cluster.config().tcdm.bytes
+        ));
+        let tiles = gemm_split_tiles(&cluster, &dims, a_ext, b_ext, c_ext, m_t, n_t, k_c)
+            .expect("valid split lowering");
+        // 2 row tiles x 2 column tiles x 4 passes.
+        assert_eq!(tiles.len(), 16);
+        let perf = run_tiles(&mut cluster, &tiles);
+        let got = cluster
+            .ext_mem()
+            .read_f32_slice(c_ext, (dims.m * dims.n) as usize);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&got), bits(&expect));
+        // Each pass re-streams its chunks; the wide images never leave
+        // the TCDM.
+        assert!(perf.flops >= 2 * u64::from(dims.m * dims.k * dims.n));
+    }
+
+    #[test]
+    fn streaming_split_gemm_single_pass_tiles_match() {
+        // M/N tiling without a k split: plain f32 C tiles, still bit-
+        // identical (each dot product stays whole).
+        let dims = crate::blas::GemmKernel { m: 12, k: 20, n: 9 };
+        let a: Vec<f32> = (0..dims.m * dims.k).map(|i| 0.31 * i as f32).collect();
+        let b: Vec<f32> = (0..dims.k * dims.n)
+            .map(|i| 0.11 * (i as f32) - 7.0)
+            .collect();
+        let mut oracle = Cluster::new(ClusterConfig::default());
+        let (expect, _) = dims.run(&mut oracle, &a, &b);
+        let mut cluster = Cluster::new(ClusterConfig::default());
+        let (a_ext, b_ext, c_ext) = (0u64, 0x10_0000u64, 0x20_0000u64);
+        cluster.ext_mem().write_f32_slice(a_ext, &a);
+        cluster.ext_mem().write_f32_slice(b_ext, &b);
+        let tiles = gemm_split_tiles(&cluster, &dims, a_ext, b_ext, c_ext, 8, 5, dims.k)
+            .expect("valid split lowering");
+        run_tiles(&mut cluster, &tiles);
+        let got = cluster
+            .ext_mem()
+            .read_f32_slice(c_ext, (dims.m * dims.n) as usize);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&got), bits(&expect));
+    }
+
+    #[test]
+    fn gemm_split_shape_fits_and_prefers_whole_k() {
+        let dims = crate::blas::GemmKernel {
+            m: 96,
+            k: 96,
+            n: 96,
+        };
+        let (m_t, n_t, k_c) = gemm_split_shape(&dims, 8, 64 * 1024).expect("shape exists");
+        assert!(gemm_split_fits(m_t, n_t, k_c, dims.k, 64 * 1024));
+        // K fits whole here: M/N tiling alone must carry it.
+        assert_eq!(k_c, dims.k);
+        assert!(m_t >= 8, "all engines keep a row");
+        // A deep GEMM forces the k split.
+        let deep = crate::blas::GemmKernel {
+            m: 64,
+            k: 9216,
+            n: 64,
+        };
+        let (m_t, n_t, k_c) = gemm_split_shape(&deep, 8, 64 * 1024).expect("shape exists");
+        assert!(k_c < deep.k, "split-K engaged");
+        assert!(gemm_split_fits(m_t, n_t, k_c, deep.k, 64 * 1024));
+        // Pathologically small TCDM: nothing fits.
+        assert!(gemm_split_shape(&deep, 8, 64).is_none());
     }
 
     #[test]

@@ -1025,9 +1025,10 @@ mod tests {
     }
 
     #[test]
-    fn simulator_admission_retries_capacity_wider() {
-        // A GEMM whose single-cluster shard overflows the TCDM must be
-        // admitted at a wider sharding instead of rejected.
+    fn simulator_admits_oversized_gemm_as_streaming_tiles() {
+        // A GEMM whose single-cluster shard overflows the TCDM is no
+        // longer widened or rejected: the shard streams through M/N
+        // output tiles at the sharding the heuristic asked for.
         let config = ScaleOutConfig {
             target_shard_cycles: u64::MAX, // heuristic says 1 shard
             ..ScaleOutConfig::with_clusters(4)
@@ -1047,10 +1048,15 @@ mod tests {
                 b: vec![0.25; 96 * 96],
             },
         );
-        let work = sim.admit(&job).expect("should fit when split");
+        let work = sim.admit(&job).expect("streams when oversized");
         let AdmittedWork::Tiled { plans, .. } = work else {
             panic!("simulator admission must tile");
         };
-        assert!(plans.iter().filter(|p| !p.is_empty()).count() > 1);
+        let active: Vec<_> = plans.iter().filter(|p| !p.is_empty()).collect();
+        assert_eq!(active.len(), 1, "no widening needed");
+        assert!(
+            active[0].tiles.len() > 1,
+            "the shard streams as multiple output tiles"
+        );
     }
 }

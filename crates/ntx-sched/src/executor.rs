@@ -613,10 +613,22 @@ mod tests {
             result_addr: 0xfff0,
             result_len: 8,
         });
-        assert!(matches!(
-            run_sharded(&job(kind), 1),
-            Err(SchedError::Capacity(_))
-        ));
+        // 32 B requested at 0xfff0 with 16 B left: a typed error that
+        // names the sizes, not a stringly capacity failure.
+        match run_sharded(&job(kind), 1) {
+            Err(SchedError::PlanTooLarge {
+                what,
+                requested,
+                available,
+                suggested_passes,
+            }) => {
+                assert_eq!(what, "raw job result window");
+                assert_eq!(requested, 32);
+                assert_eq!(available, 16);
+                assert_eq!(suggested_passes, 2);
+            }
+            other => panic!("expected PlanTooLarge, got {other:?}"),
+        }
     }
 
     #[test]
@@ -636,20 +648,47 @@ mod tests {
     }
 
     #[test]
-    fn capacity_error_for_oversized_gemm_shard() {
+    fn oversized_gemm_shard_streams_in_split_tiles() {
+        // 1 cluster: A + padded B + C need ~110 kB, over the 64 kB
+        // TCDM — the shard streams as M/N output tiles instead of
+        // being rejected, and the result still matches exactly (the
+        // data is dyadic and small, so both sums are exact).
+        let (a, b) = (data(96 * 96, 1), data(96 * 96, 2));
         let kind = JobKind::Gemm {
             dims: GemmKernel {
                 m: 96,
                 k: 96,
                 n: 96,
             },
-            a: data(96 * 96, 1),
-            b: data(96 * 96, 2),
+            a: a.clone(),
+            b: b.clone(),
         };
-        // 1 cluster: A + padded B + C need ~90 kB, over the 64 kB TCDM.
-        assert!(matches!(
-            run_sharded(&job(kind), 1),
-            Err(SchedError::Capacity(_))
-        ));
+        let r = run_sharded(&job(kind), 1).unwrap();
+        let expect = reference::gemm(&a, &b, 96, 96, 96);
+        assert_eq!(r.output, expect);
+    }
+
+    #[test]
+    fn deep_gemm_splits_k_and_matches_sharded_run() {
+        // k = 6000 exceeds even a resident 8-row band of A, forcing
+        // split-K accumulation passes; sharding across clusters must
+        // not change a bit either.
+        let (m, k, n) = (8u32, 6000u32, 4u32);
+        let (a, b) = (data((m * k) as usize, 3), data((k * n) as usize, 4));
+        let kind = JobKind::Gemm {
+            dims: GemmKernel { m, k, n },
+            a: a.clone(),
+            b: b.clone(),
+        };
+        let single = run_sharded(&job(kind.clone()), 1).unwrap();
+        let wide = run_sharded(&job(kind), 2).unwrap();
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&single.output), bits(&wide.output));
+        // The wide accumulator rounds once at the very end, so even a
+        // 6000-term sum stays close to the f32 reference.
+        let expect = reference::gemm(&a, &b, m as usize, k as usize, n as usize);
+        for (g, e) in single.output.iter().zip(&expect) {
+            assert!((g - e).abs() <= 1e-2 * e.abs().max(1.0), "{g} vs {e}");
+        }
     }
 }

@@ -245,10 +245,21 @@ pub struct Job {
     pub kind: JobKind,
     /// Serving options (backend, priority, deadline).
     pub opts: JobOpts,
+    /// Submission ids of predecessor jobs. Ordering-only edges: the
+    /// continuous server admits this job the event its last
+    /// predecessor's completion is delivered (whatever that
+    /// completion's outcome), so a training step can be expressed as a
+    /// DAG of layer jobs. Unknown ids park the job until the
+    /// predecessor is submitted; predecessors that never complete fail
+    /// it at shutdown with
+    /// [`SchedError::DependencyDropped`](crate::SchedError). A FIFO
+    /// [`JobQueue`] honors edges by construction when predecessors are
+    /// enqueued first; wave admission ignores them.
+    pub deps: Vec<u64>,
 }
 
 impl Job {
-    /// A job with default options.
+    /// A job with default options and no predecessors.
     #[must_use]
     pub fn new(id: u64, label: impl Into<String>, kind: JobKind) -> Self {
         Self {
@@ -256,7 +267,15 @@ impl Job {
             label: label.into(),
             kind,
             opts: JobOpts::default(),
+            deps: Vec::new(),
         }
+    }
+
+    /// Replaces the predecessor set (builder style).
+    #[must_use]
+    pub fn with_deps(mut self, deps: Vec<u64>) -> Self {
+        self.deps = deps;
+        self
     }
 
     /// Number of `f32` elements in this job's output.
@@ -308,6 +327,11 @@ impl Job {
     /// geometry.
     pub fn validate(&self) -> Result<(), SchedError> {
         let shape_err = |msg: String| Err(SchedError::Shape(msg));
+        // A self-edge can never be satisfied — it would park the job
+        // forever waiting for its own completion.
+        if self.deps.contains(&self.id) {
+            return shape_err(format!("job {} depends on itself", self.id));
+        }
         match &self.kind {
             JobKind::Axpy { x, y, .. } => {
                 if x.len() != y.len() {
@@ -401,7 +425,7 @@ impl JobQueue {
         note = "use the fluent builder: `queue.job(label).kind(kind).submit()`"
     )]
     pub fn push(&mut self, label: impl Into<String>, kind: JobKind) -> u64 {
-        self.enqueue(label.into(), kind, JobOpts::default())
+        self.enqueue(label.into(), kind, JobOpts::default(), Vec::new())
     }
 
     /// Enqueues a job with explicit serving options; returns its id.
@@ -410,12 +434,18 @@ impl JobQueue {
         note = "use the fluent builder: `queue.job(label).kind(kind).priority(p).submit()`"
     )]
     pub fn push_with(&mut self, label: impl Into<String>, kind: JobKind, opts: JobOpts) -> u64 {
-        self.enqueue(label.into(), kind, opts)
+        self.enqueue(label.into(), kind, opts, Vec::new())
     }
 
     /// The one enqueue primitive behind both the fluent
     /// [`JobQueue::job`] builder and the deprecated `push*` shims.
-    pub(crate) fn enqueue(&mut self, label: String, kind: JobKind, opts: JobOpts) -> u64 {
+    pub(crate) fn enqueue(
+        &mut self,
+        label: String,
+        kind: JobKind,
+        opts: JobOpts,
+        deps: Vec<u64>,
+    ) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
         self.jobs.push_back(Job {
@@ -423,6 +453,7 @@ impl JobQueue {
             label,
             kind,
             opts,
+            deps,
         });
         id
     }

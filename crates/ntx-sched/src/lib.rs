@@ -130,6 +130,21 @@ pub enum SchedError {
     Shape(String),
     /// A shard cannot fit the TCDM even at the minimum tile size.
     Capacity(String),
+    /// A single non-tileable window — a raw job's TCDM preload or
+    /// result window — exceeds what the TCDM can hold, so no sharding
+    /// or tiling can help. Carries the sizes and how many passes an
+    /// explicit split by the submitter would need.
+    PlanTooLarge {
+        /// What was being placed (e.g. `"raw job preload"`).
+        what: &'static str,
+        /// Bytes the window needs.
+        requested: u64,
+        /// Bytes available at the requested address.
+        available: u64,
+        /// `ceil(requested / available)`: the minimum number of
+        /// windows an explicit split would need.
+        suggested_passes: u32,
+    },
     /// The kernel lowering rejected a configuration.
     Lowering(ConfigError),
     /// A job in a batch failed; identifies the submission so callers
@@ -153,6 +168,15 @@ pub enum SchedError {
         /// The configured admission-queue capacity that was hit.
         limit: usize,
     },
+    /// The job was parked on a dependency edge whose predecessor never
+    /// completed before the server shut down — the predecessor id was
+    /// never submitted, or was itself parked on an unsatisfied edge.
+    /// Carries one of the unfinished predecessor ids so the client can
+    /// see which edge was left dangling.
+    DependencyDropped {
+        /// An unfinished predecessor the job was still waiting for.
+        dep: u64,
+    },
     /// Deadline-aware shedding rejected the job at admission: the
     /// placement estimate already proves its virtual-cycle deadline
     /// cannot be met, so simulating it would only burn farm time that
@@ -170,6 +194,16 @@ impl std::fmt::Display for SchedError {
         match self {
             SchedError::Shape(m) => write!(f, "shape error: {m}"),
             SchedError::Capacity(m) => write!(f, "capacity error: {m}"),
+            SchedError::PlanTooLarge {
+                what,
+                requested,
+                available,
+                suggested_passes,
+            } => write!(
+                f,
+                "{what} needs {requested} B but only {available} B are available; \
+                 split it into at least {suggested_passes} passes"
+            ),
             SchedError::Lowering(e) => write!(f, "lowering error: {e:?}"),
             SchedError::Job { id, label, source } => {
                 write!(f, "job {id} ({label}): {source}")
@@ -178,6 +212,11 @@ impl std::fmt::Display for SchedError {
             SchedError::Backpressure { limit } => {
                 write!(f, "admission queue full ({limit} submissions pending)")
             }
+            SchedError::DependencyDropped { dep } => write!(
+                f,
+                "dependency edge left dangling: predecessor {dep} never completed \
+                 before shutdown"
+            ),
             SchedError::DeadlineUnmeetable {
                 estimated_cycles,
                 deadline_cycles,

@@ -52,7 +52,9 @@ pub enum AdmissionMode {
     Continuous,
     /// Gather pending submissions into priority-ordered waves and run
     /// each wave to completion before delivering (the PR 3 reference
-    /// behaviour).
+    /// behaviour). Wave admission does **not** honor dependency edges
+    /// ([`ReadyJob::after`](crate::session::ReadyJob::after)) — waves
+    /// order by priority alone; DAG clients need continuous admission.
     Wave,
 }
 
@@ -246,6 +248,7 @@ struct Submission {
     label: String,
     kind: JobKind,
     opts: JobOpts,
+    deps: Vec<u64>,
     submitted: Instant,
     reply: Reply,
 }
@@ -340,7 +343,7 @@ impl ServerHandle {
         note = "use the session builder: `handle.session().job(label).kind(kind).submit()`"
     )]
     pub fn submit(&self, label: impl Into<String>, kind: JobKind) -> Result<JobHandle, SchedError> {
-        self.send_handle(label.into(), kind, JobOpts::default())
+        self.send_handle(label.into(), kind, JobOpts::default(), Vec::new())
     }
 
     /// Submits a job with explicit options; returns its handle.
@@ -358,7 +361,7 @@ impl ServerHandle {
         kind: JobKind,
         opts: JobOpts,
     ) -> Result<JobHandle, SchedError> {
-        self.send_handle(label.into(), kind, opts)
+        self.send_handle(label.into(), kind, opts, Vec::new())
     }
 
     /// Submits a job whose completion is delivered to `callback` on the
@@ -379,7 +382,7 @@ impl ServerHandle {
         opts: JobOpts,
         callback: impl FnOnce(Completion) + Send + 'static,
     ) -> Result<u64, SchedError> {
-        self.send_callback(label.into(), kind, opts, callback)
+        self.send_callback(label.into(), kind, opts, Vec::new(), callback)
     }
 
     /// Handle-reply submission primitive (the [`Session`] sink).
@@ -388,9 +391,10 @@ impl ServerHandle {
         label: String,
         kind: JobKind,
         opts: JobOpts,
+        deps: Vec<u64>,
     ) -> Result<JobHandle, SchedError> {
         let (tx, rx) = channel();
-        let id = self.send(label, kind, opts, Reply::Handle(tx))?;
+        let id = self.send(label, kind, opts, deps, Reply::Handle(tx))?;
         Ok(JobHandle { id, rx })
     }
 
@@ -400,9 +404,10 @@ impl ServerHandle {
         label: String,
         kind: JobKind,
         opts: JobOpts,
+        deps: Vec<u64>,
         callback: impl FnOnce(Completion) + Send + 'static,
     ) -> Result<u64, SchedError> {
-        self.send(label, kind, opts, Reply::Callback(Box::new(callback)))
+        self.send(label, kind, opts, deps, Reply::Callback(Box::new(callback)))
     }
 
     /// Blocking handle-reply submission: waits for an admission slot
@@ -413,10 +418,11 @@ impl ServerHandle {
         label: String,
         kind: JobKind,
         opts: JobOpts,
+        deps: Vec<u64>,
     ) -> Result<JobHandle, SchedError> {
         self.gauge.acquire_blocking()?;
         let (tx, rx) = channel();
-        let id = self.send_acquired(label, kind, opts, Reply::Handle(tx))?;
+        let id = self.send_acquired(label, kind, opts, deps, Reply::Handle(tx))?;
         Ok(JobHandle { id, rx })
     }
 
@@ -425,10 +431,11 @@ impl ServerHandle {
         label: String,
         kind: JobKind,
         opts: JobOpts,
+        deps: Vec<u64>,
         reply: Reply,
     ) -> Result<u64, SchedError> {
         self.gauge.try_acquire()?;
-        self.send_acquired(label, kind, opts, reply)
+        self.send_acquired(label, kind, opts, deps, reply)
     }
 
     /// Sends a submission whose admission slot is already claimed; the
@@ -438,6 +445,7 @@ impl ServerHandle {
         label: String,
         kind: JobKind,
         opts: JobOpts,
+        deps: Vec<u64>,
         reply: Reply,
     ) -> Result<u64, SchedError> {
         let id = self.seq.fetch_add(1, Ordering::Relaxed);
@@ -447,6 +455,7 @@ impl ServerHandle {
                 label,
                 kind,
                 opts,
+                deps,
                 submitted: Instant::now(),
                 reply,
             })))
@@ -517,7 +526,7 @@ impl Server {
     )]
     pub fn submit(&self, label: impl Into<String>, kind: JobKind) -> Result<JobHandle, SchedError> {
         self.handle
-            .send_handle(label.into(), kind, JobOpts::default())
+            .send_handle(label.into(), kind, JobOpts::default(), Vec::new())
     }
 
     /// Submits from the owning thread with explicit options.
@@ -535,7 +544,8 @@ impl Server {
         kind: JobKind,
         opts: JobOpts,
     ) -> Result<JobHandle, SchedError> {
-        self.handle.send_handle(label.into(), kind, opts)
+        self.handle
+            .send_handle(label.into(), kind, opts, Vec::new())
     }
 
     /// Stops the worker after every submission enqueued before this
@@ -622,6 +632,148 @@ fn take(pending: &mut Vec<(u64, Pending)>, id: u64) -> Option<Pending> {
         .map(|i| pending.remove(i).1)
 }
 
+/// A validated submission parked on dependency edges: it enters
+/// admission the event the last id in `missing` finishes.
+struct Waiting {
+    job: Job,
+    p: Pending,
+    missing: Vec<u64>,
+}
+
+/// The continuous worker's farm-side state, grouped so dependency
+/// release can re-enter admission from any point in the loop (a retire
+/// event, or a predecessor that completed during its own admission).
+struct ContinuousState {
+    sim: SimulatorBackend,
+    model: AnalyticalBackend,
+    native_fast: NativeHost,
+    native_exact: NativeHost,
+    table: DurationTable,
+    stats: ServingReport,
+    /// Farm-placed jobs whose completion a client is waiting for.
+    pending: Vec<(u64, Pending)>,
+    /// Ids whose completion has been delivered (any outcome). The
+    /// release gate of the dependency graph: an edge into this set is
+    /// satisfied.
+    done: std::collections::HashSet<u64>,
+    /// Jobs parked on unfinished predecessors.
+    waiting: Vec<Waiting>,
+}
+
+impl ContinuousState {
+    /// Marks `id` finished and unparks every waiter it was the last
+    /// unfinished predecessor of. Idempotent — the done-set makes a
+    /// second finish of the same id a no-op, so a predecessor whose
+    /// shards were re-placed after a fault still releases its
+    /// dependents exactly once (its completion is also delivered
+    /// exactly once: [`take`] removes the pending entry on the first
+    /// retire that carries the merged result).
+    fn finish(&mut self, id: u64) -> Vec<(Job, Pending)> {
+        if !self.done.insert(id) {
+            return Vec::new();
+        }
+        let mut ready = Vec::new();
+        let mut i = 0;
+        while i < self.waiting.len() {
+            self.waiting[i].missing.retain(|d| *d != id);
+            if self.waiting[i].missing.is_empty() {
+                let w = self.waiting.remove(i);
+                ready.push((w.job, w.p));
+            } else {
+                i += 1;
+            }
+        }
+        ready
+    }
+
+    /// Admits one dependency-free job. Returns `Some(id)` when the
+    /// job's completion was delivered during admission (estimate and
+    /// native backends answer inline; simulator admission can reject),
+    /// so the caller can cascade the release of its dependents; `None`
+    /// when the job was placed on the farm and will finish at a retire
+    /// event.
+    fn admit(&mut self, job: Job, p: Pending, gauge: &AdmissionGauge) -> Option<u64> {
+        match job.opts.backend {
+            // Estimates and native jobs never touch the farm: answer
+            // immediately, off the simulated clock.
+            BackendKind::Estimate | BackendKind::NativeFast | BackendKind::NativeExact => {
+                let backend: &mut dyn Backend = match job.opts.backend {
+                    BackendKind::Estimate => &mut self.model,
+                    BackendKind::NativeFast => &mut self.native_fast,
+                    _ => &mut self.native_exact,
+                };
+                let id = job.id;
+                let result = match backend.admit(&job) {
+                    Ok(work) => {
+                        let mut batch = backend.run_batch(vec![AdmittedJob { job, work }]);
+                        Ok(batch.results.pop().expect("one result per admitted job"))
+                    }
+                    Err(e) => Err(e),
+                };
+                deliver(
+                    &mut self.stats,
+                    gauge,
+                    p.submitted,
+                    p.deadline,
+                    p.reply,
+                    id,
+                    result,
+                );
+                Some(id)
+            }
+            BackendKind::Simulate => {
+                match self
+                    .sim
+                    .admit_continuous_within(&job, &self.table, job.opts.deadline_cycles)
+                {
+                    Ok(_) => {
+                        self.pending.push((job.id, p));
+                        None
+                    }
+                    Err(e) => {
+                        if matches!(e, SchedError::DeadlineUnmeetable { .. }) {
+                            self.stats.shed_jobs += 1;
+                        }
+                        let id = job.id;
+                        deliver(
+                            &mut self.stats,
+                            gauge,
+                            p.submitted,
+                            p.deadline,
+                            p.reply,
+                            id,
+                            Err(e),
+                        );
+                        Some(id)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Admits every job on the `ready` worklist, highest priority
+    /// first (submission id breaks ties), cascading through dependents
+    /// that become ready because a predecessor completed during its
+    /// own admission. Released dependents merge into the ordering, so
+    /// a high-priority dependent overtakes lower-priority jobs that
+    /// were ready before it.
+    fn drain_ready(&mut self, mut ready: Vec<(Job, Pending)>, gauge: &AdmissionGauge) {
+        while !ready.is_empty() {
+            let mut best = 0;
+            for i in 1..ready.len() {
+                let key = |j: &Job| (std::cmp::Reverse(j.opts.priority), j.id);
+                if key(&ready[i].0) < key(&ready[best].0) {
+                    best = i;
+                }
+            }
+            let (job, p) = ready.swap_remove(best);
+            if let Some(id) = self.admit(job, p, gauge) {
+                ready.append(&mut self.finish(id));
+            }
+        }
+    }
+}
+
 /// The continuous-admission worker: the farm never stops between jobs.
 ///
 /// Each trip around the loop (1) pulls every submission currently on
@@ -640,28 +792,46 @@ fn take(pending: &mut Vec<(u64, Pending)>, id: u64) -> Option<Pending> {
 /// fault counters (injected faults, retried shards) are folded into
 /// the final report. Wave mode keeps the PR 3 semantics and skips
 /// both.
+///
+/// Dependency edges are resolved here, on the merge side: a submission
+/// carrying unfinished predecessor ids parks in a waiting list and is
+/// handed to admission the event its last predecessor's completion is
+/// delivered — by a farm retire, or inline when the predecessor ran on
+/// the estimate/native backends (release then cascades within the same
+/// admission round). Unknown predecessor ids park the job until they
+/// are submitted and finish; at shutdown, jobs still parked fail with
+/// [`SchedError::DependencyDropped`]. Because the done-set and the
+/// pending list release each id exactly once, a predecessor whose
+/// shards were re-placed after a cluster kill still releases its
+/// dependents exactly once.
 fn continuous_loop(
     rx: &Receiver<Msg>,
     config: ServerConfig,
     gauge: &AdmissionGauge,
 ) -> ServingReport {
-    let mut sim = SimulatorBackend::new(config.scale_out);
-    let mut model = AnalyticalBackend::new(&config.scale_out);
-    let mut native_fast = NativeHost::fast(&config.scale_out);
-    let mut native_exact = NativeHost::exact(&config.scale_out);
-    let mut table = DurationTable::new();
-    let mut stats = ServingReport::new(config.scale_out.clusters);
-    let mut pending: Vec<(u64, Pending)> = Vec::new();
+    let mut st = ContinuousState {
+        sim: SimulatorBackend::new(config.scale_out),
+        model: AnalyticalBackend::new(&config.scale_out),
+        native_fast: NativeHost::fast(&config.scale_out),
+        native_exact: NativeHost::exact(&config.scale_out),
+        table: DurationTable::new(),
+        stats: ServingReport::new(config.scale_out.clusters),
+        pending: Vec::new(),
+        done: std::collections::HashSet::new(),
+        waiting: Vec::new(),
+    };
     let mut group: Vec<Submission> = Vec::new();
     let t0 = Instant::now();
     let mut open = true;
     loop {
         // Gather the submissions that have arrived. Block only when
         // the farm has nothing to do; otherwise take what is there and
-        // get back to retiring shards.
+        // get back to retiring shards. Parked waiters don't hold the
+        // farm open — only new submissions can release them, and those
+        // arrive on this channel.
         group.clear();
         if open {
-            if !sim.has_farm_work() {
+            if !st.sim.has_farm_work() {
                 match rx.recv() {
                     Ok(Msg::Submit(s)) => group.push(*s),
                     Ok(Msg::Shutdown) | Err(_) => open = false,
@@ -675,17 +845,21 @@ fn continuous_loop(
                 }
             }
         }
-        // Admit the group: priority first, submission order on ties.
         if !group.is_empty() {
-            stats.waves += 1;
+            st.stats.waves += 1;
         }
-        group.sort_by_key(|s| (std::cmp::Reverse(s.opts.priority), s.id));
+        // Validate and park-or-ready each submission; the ready set is
+        // then admitted in priority order (ids break ties). A job that
+        // fails validation completes right here — which still counts
+        // as finishing for its dependents.
+        let mut ready: Vec<(Job, Pending)> = Vec::new();
         for s in group.drain(..) {
             let job = Job {
                 id: s.id,
                 label: s.label,
                 kind: s.kind,
                 opts: s.opts,
+                deps: s.deps,
             };
             let p = Pending {
                 submitted: s.submitted,
@@ -693,74 +867,43 @@ fn continuous_loop(
                 reply: s.reply,
             };
             if let Err(e) = job.validate() {
+                let id = job.id;
                 deliver(
-                    &mut stats,
+                    &mut st.stats,
                     gauge,
                     p.submitted,
                     p.deadline,
                     p.reply,
-                    job.id,
+                    id,
                     Err(e),
                 );
+                ready.append(&mut st.finish(id));
                 continue;
             }
-            match job.opts.backend {
-                // Estimates and native jobs never touch the farm:
-                // answer immediately, off the simulated clock.
-                BackendKind::Estimate | BackendKind::NativeFast | BackendKind::NativeExact => {
-                    let backend: &mut dyn Backend = match job.opts.backend {
-                        BackendKind::Estimate => &mut model,
-                        BackendKind::NativeFast => &mut native_fast,
-                        _ => &mut native_exact,
-                    };
-                    let id = job.id;
-                    let result = match backend.admit(&job) {
-                        Ok(work) => {
-                            let mut batch = backend.run_batch(vec![AdmittedJob { job, work }]);
-                            Ok(batch.results.pop().expect("one result per admitted job"))
-                        }
-                        Err(e) => Err(e),
-                    };
-                    deliver(
-                        &mut stats,
-                        gauge,
-                        p.submitted,
-                        p.deadline,
-                        p.reply,
-                        id,
-                        result,
-                    );
-                }
-                BackendKind::Simulate => {
-                    match sim.admit_continuous_within(&job, &table, job.opts.deadline_cycles) {
-                        Ok(_) => pending.push((job.id, p)),
-                        Err(e) => {
-                            if matches!(e, SchedError::DeadlineUnmeetable { .. }) {
-                                stats.shed_jobs += 1;
-                            }
-                            deliver(
-                                &mut stats,
-                                gauge,
-                                p.submitted,
-                                p.deadline,
-                                p.reply,
-                                job.id,
-                                Err(e),
-                            );
-                        }
-                    }
-                }
+            let missing: Vec<u64> = job
+                .deps
+                .iter()
+                .copied()
+                .filter(|d| !st.done.contains(d))
+                .collect();
+            if missing.is_empty() {
+                ready.push((job, p));
+            } else {
+                st.waiting.push(Waiting { job, p, missing });
             }
         }
-        // Retire one shard event and deliver any finished job.
-        if let Some(retire) = sim.step_farm() {
-            table.observe(retire.class, retire.est_cycles, retire.cycles);
-            stats.busy_cluster_cycles += retire.cycles;
+        st.drain_ready(ready, gauge);
+        // Retire one shard event, deliver any finished job, and admit
+        // the dependents that completion releases.
+        if let Some(retire) = st.sim.step_farm() {
+            st.table
+                .observe(retire.class, retire.est_cycles, retire.cycles);
+            st.stats.busy_cluster_cycles += retire.cycles;
             if let Some(result) = retire.result {
-                if let Some(p) = take(&mut pending, result.job_id) {
+                if let Some(p) = take(&mut st.pending, result.job_id) {
                     let id = result.job_id;
                     deliver(
-                        &mut stats,
+                        &mut st.stats,
                         gauge,
                         p.submitted,
                         p.deadline,
@@ -768,22 +911,40 @@ fn continuous_loop(
                         id,
                         Ok(result),
                     );
+                    let released = st.finish(id);
+                    st.drain_ready(released, gauge);
                 }
             }
         } else if !open {
             break;
         }
     }
-    stats.makespan_cycles = sim.farm_makespan();
-    let totals = sim.perf_totals();
+    // The channel is closed and the farm is drained: any job still
+    // parked waits on a predecessor that will never finish (its id was
+    // never submitted, or it is itself parked). Fail them all.
+    for w in std::mem::take(&mut st.waiting) {
+        let dep = w.missing.first().copied().unwrap_or(w.job.id);
+        deliver(
+            &mut st.stats,
+            gauge,
+            w.p.submitted,
+            w.p.deadline,
+            w.p.reply,
+            w.job.id,
+            Err(SchedError::DependencyDropped { dep }),
+        );
+    }
+    let mut stats = st.stats;
+    stats.makespan_cycles = st.sim.farm_makespan();
+    let totals = st.sim.perf_totals();
     stats.ext_wait_cycles = totals.ext_wait_cycles;
     stats.ext_remote_bytes = totals.ext_remote_bytes;
     stats.ext_remote_wait_cycles = totals.ext_remote_wait_cycles;
     stats.fault_stall_cycles = totals.fault_stall_cycles;
-    let faults = sim.fault_stats();
+    let faults = st.sim.fault_stats();
     stats.faults_injected = faults.faults_injected;
     stats.shards_retried = faults.shards_retried;
-    let pool = sim.pool_stats();
+    let pool = st.sim.pool_stats();
     stats.worker_threads = pool.worker_threads;
     stats.pool_shards_merged = pool.shards_merged;
     stats.pool_shards_reclaimed = pool.shards_reclaimed;
@@ -824,11 +985,14 @@ fn wave_loop(rx: &Receiver<Msg>, config: ServerConfig, gauge: &AdmissionGauge) -
         let mut queue = JobQueue::new();
         let mut pending: Vec<(u64, Pending)> = Vec::with_capacity(wave.len());
         for s in wave {
+            // Deps are recorded but not honored in wave mode (see
+            // `AdmissionMode::Wave`): waves order by priority alone.
             let job = Job {
                 id: s.id,
                 label: s.label,
                 kind: s.kind,
                 opts: s.opts,
+                deps: s.deps,
             };
             let p = Pending {
                 submitted: s.submitted,
@@ -1252,6 +1416,146 @@ mod tests {
             }
         }
         assert!(outcome.is_some(), "wait_timeout loop never resolved");
+    }
+
+    #[test]
+    fn dag_chain_admits_in_dependency_order() {
+        // Without edges the tiny tail jobs would overtake the big head
+        // job on a 4-cluster farm; with edges every completion is
+        // delivered in topological order.
+        let server = Server::start(ServerConfig::with_clusters(4));
+        let session = server.session();
+        let order = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let record = |order: &Arc<std::sync::Mutex<Vec<u64>>>| {
+            let order = Arc::clone(order);
+            move |c: Completion| {
+                assert!(c.result.is_ok());
+                order.lock().unwrap().push(c.id);
+            }
+        };
+        let a = session
+            .job("head")
+            .kind(axpy(40_000, 3))
+            .submit_callback(record(&order))
+            .unwrap();
+        let b = session
+            .job("mid")
+            .kind(axpy(64, 5))
+            .after_id(a)
+            .submit_callback(record(&order))
+            .unwrap();
+        let c = session
+            .job("tail")
+            .kind(axpy(64, 7))
+            .after_id(a)
+            .after_id(b)
+            .submit_callback(record(&order))
+            .unwrap();
+        let report = server.shutdown();
+        assert_eq!(report.jobs, 3);
+        assert_eq!(report.failed, 0);
+        assert_eq!(*order.lock().unwrap(), vec![a, b, c]);
+    }
+
+    #[test]
+    fn dag_edge_from_inline_backend_cascades_in_one_round() {
+        // A predecessor served inline (estimate / native backends
+        // complete during admission) releases its dependents in the
+        // same admission round, even when both arrive in one group.
+        let server = Server::start(ServerConfig::with_clusters(2));
+        let session = server.session();
+        let a = session
+            .job("plan")
+            .kind(axpy(4096, 3))
+            .estimate()
+            .submit()
+            .unwrap();
+        let b = session
+            .job("run")
+            .kind(axpy(256, 5))
+            .after(&a)
+            .submit()
+            .unwrap();
+        let c = session
+            .job("check")
+            .kind(axpy(128, 7))
+            .native_exact()
+            .after_all([&a, &b])
+            .submit()
+            .unwrap();
+        assert!(a.wait().unwrap().result.is_ok());
+        assert!(b.wait().unwrap().result.is_ok());
+        assert!(c.wait().unwrap().result.is_ok());
+        let report = server.shutdown();
+        assert_eq!(report.jobs, 3);
+        assert_eq!(report.failed, 0);
+    }
+
+    #[test]
+    fn dangling_dependency_fails_at_shutdown() {
+        let server = Server::start(ServerConfig::with_clusters(1));
+        let session = server.session();
+        let orphan = session
+            .job("orphan")
+            .kind(axpy(64, 3))
+            .after_id(9_999)
+            .submit()
+            .unwrap();
+        // A self-edge is rejected at validation, before it can park
+        // forever.
+        let selfish = session
+            .job("selfish")
+            .kind(axpy(64, 5))
+            .after_id(1)
+            .submit()
+            .unwrap();
+        assert_eq!(selfish.id, 1);
+        assert!(matches!(
+            selfish.wait().unwrap().result,
+            Err(SchedError::Shape(_))
+        ));
+        let report = server.shutdown();
+        match orphan.wait().unwrap().result {
+            Err(SchedError::DependencyDropped { dep }) => assert_eq!(dep, 9_999),
+            other => panic!("expected a dropped dependency, got {other:?}"),
+        }
+        assert_eq!(report.jobs, 2);
+        assert_eq!(report.failed, 2);
+    }
+
+    #[test]
+    fn dag_survives_cluster_kill_and_releases_once() {
+        // A chain across a cluster kill: the re-placed predecessor
+        // still completes exactly once, so each dependent runs exactly
+        // once and the whole chain retires successfully.
+        let faults = crate::FaultPlan::NONE.with_seed(11).with_kill(1, 500);
+        let server = Server::start(ServerConfig::with_clusters(4).with_faults(faults));
+        let session = server.session();
+        let order = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut prev: Option<u64> = None;
+        for i in 0..4u32 {
+            let order = Arc::clone(&order);
+            let job = session
+                .job(format!("step-{i}"))
+                .kind(axpy(20_000 + 64 * i as usize, i + 1));
+            let job = match prev {
+                Some(p) => job.after_id(p),
+                None => job,
+            };
+            let id = job
+                .submit_callback(move |c| {
+                    assert!(c.result.is_ok(), "chain step failed: {:?}", c.result);
+                    order.lock().unwrap().push(c.id);
+                })
+                .unwrap();
+            prev = Some(id);
+        }
+        let report = server.shutdown();
+        assert_eq!(report.jobs, 4);
+        assert_eq!(report.failed, 0);
+        assert!(report.faults_injected >= 1, "the kill should have fired");
+        let order = order.lock().unwrap();
+        assert_eq!(*order, vec![0, 1, 2, 3], "chain must retire in order");
     }
 
     #[test]

@@ -52,21 +52,21 @@ use crate::SchedError;
 pub trait JobSink {
     /// What the sink hands back at submission.
     type Receipt;
-    /// Accepts one fully-specified job.
-    fn accept(self, label: String, kind: JobKind, opts: JobOpts) -> Self::Receipt;
+    /// Accepts one fully-specified job, with its predecessor edges.
+    fn accept(self, label: String, kind: JobKind, opts: JobOpts, deps: Vec<u64>) -> Self::Receipt;
 }
 
 impl JobSink for &mut JobQueue {
     type Receipt = u64;
-    fn accept(self, label: String, kind: JobKind, opts: JobOpts) -> u64 {
-        self.enqueue(label, kind, opts)
+    fn accept(self, label: String, kind: JobKind, opts: JobOpts, deps: Vec<u64>) -> u64 {
+        self.enqueue(label, kind, opts, deps)
     }
 }
 
 impl JobSink for &Session {
     type Receipt = Result<JobHandle, SchedError>;
-    fn accept(self, label: String, kind: JobKind, opts: JobOpts) -> Self::Receipt {
-        self.handle.send_handle(label, kind, opts)
+    fn accept(self, label: String, kind: JobKind, opts: JobOpts, deps: Vec<u64>) -> Self::Receipt {
+        self.handle.send_handle(label, kind, opts, deps)
     }
 }
 
@@ -118,6 +118,7 @@ impl<S: JobSink> JobBuilder<S> {
             label: self.label,
             kind,
             opts: JobOpts::default(),
+            deps: Vec::new(),
         }
     }
 
@@ -163,6 +164,7 @@ pub struct ReadyJob<S: JobSink> {
     label: String,
     kind: JobKind,
     opts: JobOpts,
+    deps: Vec<u64>,
 }
 
 impl<S: JobSink> ReadyJob<S> {
@@ -243,11 +245,53 @@ impl<S: JobSink> ReadyJob<S> {
         self
     }
 
+    /// Runs this job only after the job behind `handle` has completed.
+    ///
+    /// Dependency edges are **ordering-only**: the continuous server
+    /// admits this job the event the predecessor's completion is
+    /// delivered — whatever its outcome, so a failed predecessor still
+    /// releases its dependents (check the predecessor's own
+    /// [`Completion`] to react to failures). Chains of `after` calls
+    /// accumulate; the job waits for *all* recorded predecessors.
+    /// Predecessors that never complete before shutdown fail this job
+    /// with [`SchedError::DependencyDropped`]. Edges are honored by
+    /// continuous admission and by FIFO [`JobQueue`] execution (when
+    /// predecessors are enqueued first); wave admission ignores them.
+    #[must_use]
+    pub fn after(mut self, handle: &crate::JobHandle) -> Self {
+        self.deps.push(handle.id);
+        self
+    }
+
+    /// Runs this job only after every job in `handles` has completed
+    /// (see [`after`](Self::after) for the edge semantics).
+    #[must_use]
+    pub fn after_all<'a>(
+        mut self,
+        handles: impl IntoIterator<Item = &'a crate::JobHandle>,
+    ) -> Self {
+        self.deps.extend(handles.into_iter().map(|h| h.id));
+        self
+    }
+
+    /// Records a predecessor by raw submission id — for callers that
+    /// kept the id of a callback submission instead of a
+    /// [`JobHandle`](crate::JobHandle) (see [`after`](Self::after) for
+    /// the edge semantics). An id that is never submitted parks the
+    /// job until shutdown fails it with
+    /// [`SchedError::DependencyDropped`].
+    #[must_use]
+    pub fn after_id(mut self, id: u64) -> Self {
+        self.deps.push(id);
+        self
+    }
+
     /// Submits the job to the sink and returns its receipt: a
     /// [`JobHandle`](crate::JobHandle) from a [`Session`], the job id
     /// from a [`JobQueue`].
     pub fn submit(self) -> S::Receipt {
-        self.sink.accept(self.label, self.kind, self.opts)
+        self.sink
+            .accept(self.label, self.kind, self.opts, self.deps)
     }
 }
 
@@ -267,7 +311,7 @@ impl ReadyJob<&Session> {
     ) -> Result<u64, SchedError> {
         self.sink
             .handle
-            .send_callback(self.label, self.kind, self.opts, callback)
+            .send_callback(self.label, self.kind, self.opts, self.deps, callback)
     }
 
     /// Blocking variant of [`submit`](Self::submit): when the server's
@@ -281,7 +325,7 @@ impl ReadyJob<&Session> {
     pub fn submit_wait(self) -> Result<crate::JobHandle, SchedError> {
         self.sink
             .handle
-            .send_handle_wait(self.label, self.kind, self.opts)
+            .send_handle_wait(self.label, self.kind, self.opts, self.deps)
     }
 }
 

@@ -8,7 +8,11 @@
 //! * **AXPY** shards contiguous element ranges; every shard streams
 //!   through the ping-pong tile schedule of `ntx_kernels::schedule`.
 //! * **GEMM** shards rows of `A`/`C`; `B` is replicated into every
-//!   shard (the B-broadcast of a row-parallel decomposition).
+//!   shard (the B-broadcast of a row-parallel decomposition). A shard
+//!   too large to sit resident streams as M/N output tiles whose dot
+//!   products run as split-K accumulation passes chained through the
+//!   wide-accumulator spill protocol — bit-identical to the resident
+//!   lowering, because no pass boundary rounds.
 //! * **Conv2d** shards bands of output rows; each cluster re-loads its
 //!   `k-1` input halo rows, then streams its band through the
 //!   double-buffered `conv_tiles` schedule.
@@ -24,8 +28,8 @@
 
 use ntx_kernels::conv::Conv2dKernel;
 use ntx_kernels::schedule::{
-    axpy_tiles, conv_band_fits, conv_tiles, laplace2d_band_fits, laplace2d_tiles,
-    weight_replica_addrs, TileTask,
+    axpy_tiles, conv_band_fits, conv_tiles, gemm_split_shape, gemm_split_tiles,
+    laplace2d_band_fits, laplace2d_tiles, weight_replica_addrs, TileTask,
 };
 use ntx_kernels::split_work;
 use ntx_mem::{DmaDescriptor, DmaDirection};
@@ -133,8 +137,10 @@ impl Tiler {
     ///
     /// # Errors
     ///
-    /// [`SchedError::Shape`] for inconsistent jobs and
-    /// [`SchedError::Capacity`] when a shard cannot fit the TCDM.
+    /// [`SchedError::Shape`] for inconsistent jobs,
+    /// [`SchedError::Capacity`] when a shard cannot fit the TCDM or
+    /// its external-memory region, and [`SchedError::PlanTooLarge`]
+    /// when a raw job's opaque TCDM window exceeds the TCDM.
     pub fn plan(&self, job: &Job, cluster: &Cluster) -> Result<Vec<ClusterPlan>, SchedError> {
         job.validate()?;
         let mut plans = vec![ClusterPlan::default(); self.clusters];
@@ -156,21 +162,30 @@ impl Tiler {
                 // an out-of-range window would silently alias instead
                 // of faulting — reject it at planning time.
                 let tcdm_bytes = u64::from(cluster.config().tcdm.bytes);
-                let check_window = |what: &str, addr: u32, bytes: u64| {
-                    let end = u64::from(addr) + bytes;
-                    if end > tcdm_bytes {
-                        return Err(SchedError::Capacity(format!(
-                            "raw job {what} at {addr:#x}..{end:#x} exceeds the \
-                             {tcdm_bytes} B TCDM"
-                        )));
+                let check_window = |what: &'static str, addr: u32, bytes: u64| {
+                    let available = tcdm_bytes.saturating_sub(u64::from(addr));
+                    if bytes > available {
+                        // A raw command is opaque to the tiler, so it
+                        // cannot split the window itself — report the
+                        // sizes and the pass count a manual split
+                        // would need.
+                        return Err(SchedError::PlanTooLarge {
+                            what,
+                            requested: bytes,
+                            available,
+                            suggested_passes: bytes
+                                .div_ceil(available.max(1))
+                                .min(u64::from(u32::MAX))
+                                as u32,
+                        });
                     }
                     Ok(())
                 };
                 for (addr, values) in &raw.tcdm {
-                    check_window("preload", *addr, 4 * values.len() as u64)?;
+                    check_window("raw job preload", *addr, 4 * values.len() as u64)?;
                 }
                 check_window(
-                    "result window",
+                    "raw job result window",
                     raw.result_addr,
                     4 * u64::from(raw.result_len),
                 )?;
@@ -229,53 +244,76 @@ impl Tiler {
         // the column walk cycles through all TCDM banks (same trick as
         // `GemmKernel::run`).
         let ldb = if n % 2 == 0 { n + 1 } else { n };
+        // B is replicated into every shard; its region check is
+        // per-job, the A/C checks per shard below.
+        check_ext_region("gemm B operand", 4 * u64::from(k) * u64::from(n))?;
         for (plan, (row0, rows)) in plans
             .iter_mut()
             .zip(split_work(dims.m, self.clusters as u32))
         {
+            check_ext_region("gemm A shard", 4 * u64::from(rows) * u64::from(k))?;
+            check_ext_region("gemm C shard", 4 * u64::from(rows) * u64::from(n))?;
             let band = ntx_kernels::blas::GemmKernel { m: rows, k, n };
             let a_addr = 0u32;
             let b_addr = 4 * rows * k;
             let c_addr = b_addr + 4 * k * (n + 1);
             let end = c_addr + 4 * rows * n;
-            if end > tcdm_bytes {
-                return Err(SchedError::Capacity(format!(
-                    "gemm shard {rows}x{k}x{n} needs {end} B of TCDM ({tcdm_bytes} available)"
-                )));
-            }
             plan.ext_writes.push((
                 EXT_IN0,
                 a[(row0 * k) as usize..((row0 + rows) * k) as usize].to_vec(),
             ));
             plan.ext_writes.push((EXT_IN1, b.to_vec()));
-            let commands = band
-                .lower_with_ldb(a_addr, b_addr, c_addr, ldb, engines)
-                .map_err(SchedError::Lowering)?
-                .into_iter()
-                .enumerate()
-                .collect();
-            plan.tiles = vec![TileTask {
-                loads: vec![
-                    DmaDescriptor::linear(EXT_IN0, a_addr, 4 * rows * k, DmaDirection::ExtToTcdm),
-                    // B lands in its padded-leading-dimension layout.
-                    DmaDescriptor {
-                        ext_addr: EXT_IN1,
-                        tcdm_addr: b_addr,
-                        row_bytes: 4 * n,
-                        rows: k,
-                        ext_stride: 4 * u64::from(n),
-                        tcdm_stride: 4 * ldb,
-                        dir: DmaDirection::ExtToTcdm,
-                    },
-                ],
-                commands,
-                stores: vec![DmaDescriptor::linear(
-                    EXT_OUT,
-                    c_addr,
-                    4 * rows * n,
-                    DmaDirection::TcdmToExt,
-                )],
-            }];
+            if end > tcdm_bytes {
+                // The shard cannot sit resident: stream it as M/N
+                // output tiles with (when even a full-depth row chunk
+                // is too long) split-K accumulation passes chained
+                // through the wide-accumulator spill protocol — bit-
+                // identical to the resident lowering either way.
+                let (m_t, n_t, k_c) =
+                    gemm_split_shape(&band, engines, tcdm_bytes).ok_or_else(|| {
+                        SchedError::Capacity(format!(
+                            "gemm shard {rows}x{k}x{n} cannot fit even a 1x1x1 \
+                             split tile in a {tcdm_bytes} B TCDM"
+                        ))
+                    })?;
+                plan.tiles =
+                    gemm_split_tiles(cluster, &band, EXT_IN0, EXT_IN1, EXT_OUT, m_t, n_t, k_c)
+                        .map_err(SchedError::Lowering)?;
+            } else {
+                let commands = band
+                    .lower_with_ldb(a_addr, b_addr, c_addr, ldb, engines)
+                    .map_err(SchedError::Lowering)?
+                    .into_iter()
+                    .enumerate()
+                    .collect();
+                plan.tiles = vec![TileTask {
+                    loads: vec![
+                        DmaDescriptor::linear(
+                            EXT_IN0,
+                            a_addr,
+                            4 * rows * k,
+                            DmaDirection::ExtToTcdm,
+                        ),
+                        // B lands in its padded-leading-dimension layout.
+                        DmaDescriptor {
+                            ext_addr: EXT_IN1,
+                            tcdm_addr: b_addr,
+                            row_bytes: 4 * n,
+                            rows: k,
+                            ext_stride: 4 * u64::from(n),
+                            tcdm_stride: 4 * ldb,
+                            dir: DmaDirection::ExtToTcdm,
+                        },
+                    ],
+                    commands,
+                    stores: vec![DmaDescriptor::linear(
+                        EXT_OUT,
+                        c_addr,
+                        4 * rows * n,
+                        DmaDirection::TcdmToExt,
+                    )],
+                }];
+            }
             plan.readbacks.push(Readback {
                 source: ReadbackSource::Ext(EXT_OUT),
                 len: rows * n,

@@ -809,3 +809,98 @@ proptest! {
         assert_eq!(traffic(&ra), traffic(&rn), "placement must not change traffic volume");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random job DAGs through the live continuous server: for a mixed
+    /// GEMM/conv/AXPY/stencil queue with random dependency edges
+    /// (`deps[i]` drawn from earlier submissions), served on 1..8
+    /// clusters with 1..4 worker-pool threads, with or without a
+    /// seeded mid-run cluster kill:
+    ///
+    /// * **edge safety** — no job's completion is delivered before
+    ///   every one of its predecessors' completions (the observable
+    ///   form of "never admitted before its predecessors retired");
+    /// * **exactness** — every job completes (kills re-place, never
+    ///   lose) and its output is bit-identical to a topologically
+    ///   ordered serial replay — each job run alone on one fresh
+    ///   cluster, which is the exact single-job semantics the DAG
+    ///   serving must preserve.
+    #[test]
+    fn random_dag_completes_in_dependency_order_with_exact_outputs(
+        (kinds, edges, clusters, threads, kill) in (
+            prop::collection::vec(arb_kind(), 1..6),
+            prop::collection::vec(any::<u32>(), 6),
+            1usize..8,
+            1usize..4,
+            (any::<bool>(), 0u64..500, 0u32..8, 1u64..3000),
+        )
+    ) {
+        use std::sync::{Arc, Mutex};
+        let n = kinds.len();
+        // Bit j of edges[i] draws the edge j -> i (j < i), so every
+        // generated graph is a DAG over submission order.
+        let deps: Vec<Vec<usize>> = (0..n)
+            .map(|i| (0..i).filter(|j| edges[i] >> j & 1 == 1).collect())
+            .collect();
+        let mut scale_out = ScaleOutConfig::with_clusters(clusters).with_worker_threads(threads);
+        let (kill_on, seed, kill_cluster, kill_cycle) = kill;
+        if kill_on {
+            scale_out = scale_out.with_faults(
+                ntx_sched::FaultPlan::NONE
+                    .with_seed(seed)
+                    .with_kill(kill_cluster % clusters as u32, kill_cycle),
+            );
+        }
+        let server = ntx_sched::Server::start(ntx_sched::ServerConfig {
+            scale_out,
+            ..Default::default()
+        });
+        let session = server.session();
+        let outputs = Arc::new(Mutex::new(vec![None::<Vec<f32>>; n]));
+        let order: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::with_capacity(n)));
+        let mut ids = Vec::with_capacity(n);
+        for (i, kind) in kinds.iter().enumerate() {
+            let mut b = session.job(format!("dag-{i}")).kind(kind.clone());
+            for &d in &deps[i] {
+                b = b.after_id(ids[d]);
+            }
+            let (outs, ord) = (Arc::clone(&outputs), Arc::clone(&order));
+            let id = b
+                .submit_callback(move |c| {
+                    let r = c.result.expect("DAG job completes");
+                    outs.lock().expect("outputs lock")[i] = Some(r.output);
+                    ord.lock().expect("order lock").push(i);
+                })
+                .expect("server running");
+            ids.push(id);
+        }
+        let report = server.shutdown();
+        prop_assert_eq!(report.jobs, n as u64, "every DAG job must complete");
+        prop_assert_eq!(report.failed, 0, "no DAG job may fail");
+        let order = order.lock().expect("order lock").clone();
+        prop_assert_eq!(order.len(), n);
+        let mut pos = vec![usize::MAX; n];
+        for (p, &i) in order.iter().enumerate() {
+            pos[i] = p;
+        }
+        for (i, ds) in deps.iter().enumerate() {
+            for &d in ds {
+                prop_assert!(
+                    pos[d] < pos[i],
+                    "job {} completed before its predecessor {}",
+                    i,
+                    d
+                );
+            }
+        }
+        let outputs = outputs.lock().expect("outputs lock").clone();
+        for (i, kind) in kinds.iter().enumerate() {
+            let serial = run_sharded(&Job::new(i as u64, format!("dag-{i}"), kind.clone()), 1)
+                .expect("serial replay");
+            let got = outputs[i].as_ref().expect("output recorded");
+            assert_bits_eq(got, &serial.output, "DAG serving vs serial replay output");
+        }
+    }
+}

@@ -17,7 +17,7 @@
 //! write while the buffer is full reports
 //! [`EngineStatus::Backpressure`], which stalls the writing core.
 
-use ntx_fpu::{FpuDatapath, FpuOp};
+use ntx_fpu::{FpuDatapath, FpuOp, SPILL_WORDS};
 use ntx_isa::{
     AccuInit, Agu, Command, ConfigError, LoopCounters, NtxConfig, RegFile, RegOffset, StoreSource,
     WriteEffect,
@@ -126,6 +126,10 @@ struct Execution {
     latch_x: Option<f32>,
     latch_y: Option<f32>,
     latch_init: Option<f32>,
+    /// Latched wide-spill image for [`AccuInit::Wide`] restores — the
+    /// full accumulator state read through AGU 2 as one multi-word
+    /// burst, kept across stall cycles like the scalar latches.
+    latch_init_wide: Option<[u32; SPILL_WORDS]>,
     /// Init/store events are periodic in the flat iteration index (the
     /// loop counters are a mixed-radix encoding of it): `at_init` fires
     /// every `prod(bounds[..init_level])` iterations, `at_store` on the
@@ -139,6 +143,29 @@ struct Execution {
 }
 
 impl Execution {
+    /// True while the accumulator-init value for the current iteration
+    /// still has to be fetched from the TCDM.
+    #[inline]
+    fn init_fetch_pending(&self) -> bool {
+        match self.config.accu_init {
+            AccuInit::Zero => false,
+            AccuInit::Memory => self.latch_init.is_none(),
+            AccuInit::Wide => self.latch_init_wide.is_none(),
+        }
+    }
+
+    /// Fetches and latches the init operand after a granted init read:
+    /// the rounded `f32` for [`AccuInit::Memory`], the full spill image
+    /// for [`AccuInit::Wide`].
+    fn latch_init_fetch(&mut self, tcdm: &mut Tcdm) {
+        match self.config.accu_init {
+            AccuInit::Wide => {
+                self.latch_init_wide = Some(read_spill(tcdm, self.agus[2].address()));
+            }
+            _ => self.latch_init = Some(tcdm.read_f32(self.agus[2].address())),
+        }
+    }
+
     fn new(config: NtxConfig) -> Self {
         let bounds = config.loops.bounds();
         let period =
@@ -156,6 +183,7 @@ impl Execution {
             latch_x: None,
             latch_y: None,
             latch_init: None,
+            latch_init_wide: None,
             init_countdown: 0,
             init_period,
             store_countdown: store_period - 1,
@@ -304,9 +332,7 @@ impl NtxEngine {
         let cmd = exec.config.command;
         plan.reduction_init = cmd.is_reduction() && exec.at_init();
         plan.at_store = exec.at_store();
-        plan.needs_init = plan.reduction_init
-            && exec.config.accu_init == AccuInit::Memory
-            && exec.latch_init.is_none();
+        plan.needs_init = plan.reduction_init && exec.init_fetch_pending();
         let reads = cmd.reads_per_element();
         plan.needs_x = reads >= 1 && exec.latch_x.is_none();
         plan.needs_y = reads >= 2 && exec.latch_y.is_none();
@@ -356,10 +382,7 @@ impl NtxEngine {
         };
         let cmd = exec.config.command;
         let reads = cmd.reads_per_element();
-        let needs_init = cmd.is_reduction()
-            && exec.config.accu_init == AccuInit::Memory
-            && exec.counters.at_init()
-            && exec.latch_init.is_none();
+        let needs_init = cmd.is_reduction() && exec.counters.at_init() && exec.init_fetch_pending();
         let needs_x = reads >= 1 && exec.latch_x.is_none();
         let needs_y = reads >= 2 && exec.latch_y.is_none();
         let store_needed = exec.counters.at_store();
@@ -383,7 +406,7 @@ impl NtxEngine {
         };
         // Latch granted reads (same order as desired_accesses).
         if take(needs_init) {
-            exec.latch_init = Some(tcdm.read_f32(exec.agus[2].address()));
+            exec.latch_init_fetch(tcdm);
         }
         if take(needs_x) {
             exec.latch_x = Some(tcdm.read_f32(exec.agus[0].address()));
@@ -393,10 +416,8 @@ impl NtxEngine {
         }
         let store_granted = take(store_needed);
         // Ready when nothing is missing any more.
-        let init_pending = cmd.is_reduction()
-            && exec.config.accu_init == AccuInit::Memory
-            && exec.counters.at_init()
-            && exec.latch_init.is_none();
+        let init_pending =
+            cmd.is_reduction() && exec.counters.at_init() && exec.init_fetch_pending();
         let reads_ready = !init_pending
             && (reads < 1 || exec.latch_x.is_some())
             && (reads < 2 || exec.latch_y.is_some());
@@ -406,11 +427,7 @@ impl NtxEngine {
         }
         // Accumulator (re-)initialisation at the init level.
         if cmd.is_reduction() && exec.counters.at_init() {
-            let init = match exec.config.accu_init {
-                AccuInit::Zero => None,
-                AccuInit::Memory => exec.latch_init,
-            };
-            self.fpu.init_accumulator(init);
+            apply_accu_init(&mut self.fpu, exec, tcdm);
         }
         let x = exec.latch_x.take().unwrap_or(0.0);
         let y = if reads >= 2 {
@@ -419,6 +436,7 @@ impl NtxEngine {
             self.fpu.register()
         };
         exec.latch_init = None;
+        exec.latch_init_wide = None;
         // Execute.
         let index = exec.counters.index_counter();
         let out = self.fpu.execute(cmd.fpu_op(), x, y, index);
@@ -432,7 +450,11 @@ impl NtxEngine {
                     tcdm.write_f32(addr, out.unwrap_or(0.0));
                 }
                 StoreSource::Accumulator => {
-                    tcdm.write_f32(addr, self.fpu.store_accumulator());
+                    if exec.config.wide_store {
+                        write_spill(tcdm, addr, &self.fpu.store_accumulator_wide());
+                    } else {
+                        tcdm.write_f32(addr, self.fpu.store_accumulator());
+                    }
                 }
                 StoreSource::CompareValue => {
                     let v = match cmd {
@@ -505,7 +527,7 @@ impl NtxEngine {
             }
         };
         if take(plan.needs_init) {
-            exec.latch_init = Some(tcdm.read_f32(exec.agus[2].address()));
+            exec.latch_init_fetch(tcdm);
         }
         if take(plan.needs_x) {
             exec.latch_x = Some(tcdm.read_f32(exec.agus[0].address()));
@@ -515,10 +537,7 @@ impl NtxEngine {
         }
         let store_granted = take(plan.at_store);
         // Ready when nothing is missing any more.
-        let init_pending = cmd.is_reduction()
-            && exec.config.accu_init == AccuInit::Memory
-            && exec.at_init()
-            && exec.latch_init.is_none();
+        let init_pending = cmd.is_reduction() && exec.at_init() && exec.init_fetch_pending();
         let reads_ready = !init_pending
             && (reads < 1 || exec.latch_x.is_some())
             && (reads < 2 || exec.latch_y.is_some());
@@ -528,11 +547,7 @@ impl NtxEngine {
         }
         // Accumulator (re-)initialisation at the init level.
         if plan.reduction_init {
-            let init = match exec.config.accu_init {
-                AccuInit::Zero => None,
-                AccuInit::Memory => exec.latch_init,
-            };
-            self.fpu.init_accumulator(init);
+            apply_accu_init(&mut self.fpu, exec, tcdm);
         }
         let x = exec.latch_x.take().unwrap_or(0.0);
         let y = if reads >= 2 {
@@ -541,6 +556,7 @@ impl NtxEngine {
             self.fpu.register()
         };
         exec.latch_init = None;
+        exec.latch_init_wide = None;
         self.finish_iteration(x, y, plan.at_store, tcdm);
     }
 
@@ -556,14 +572,7 @@ impl NtxEngine {
         let cmd = exec.config.command;
         let reads = cmd.reads_per_element();
         if plan.reduction_init {
-            let init = match exec.config.accu_init {
-                AccuInit::Zero => None,
-                AccuInit::Memory => Some(match exec.latch_init {
-                    Some(v) => v,
-                    None => tcdm.read_f32(exec.agus[2].address()),
-                }),
-            };
-            self.fpu.init_accumulator(init);
+            apply_accu_init(&mut self.fpu, exec, tcdm);
         }
         let exec = self.current.as_mut().expect("checked above");
         let x = match exec.latch_x.take() {
@@ -580,6 +589,7 @@ impl NtxEngine {
             self.fpu.register()
         };
         exec.latch_init = None;
+        exec.latch_init_wide = None;
         self.finish_iteration(x, y, plan.at_store, tcdm);
     }
 
@@ -600,7 +610,11 @@ impl NtxEngine {
                     tcdm.write_f32(addr, out.unwrap_or(0.0));
                 }
                 StoreSource::Accumulator => {
-                    tcdm.write_f32(addr, self.fpu.store_accumulator());
+                    if exec.config.wide_store {
+                        write_spill(tcdm, addr, &self.fpu.store_accumulator_wide());
+                    } else {
+                        tcdm.write_f32(addr, self.fpu.store_accumulator());
+                    }
                 }
                 StoreSource::CompareValue => {
                     let v = match cmd {
@@ -696,6 +710,7 @@ impl NtxEngine {
             || exec.latch_x.is_some()
             || exec.latch_y.is_some()
             || exec.latch_init.is_some()
+            || exec.latch_init_wide.is_some()
         {
             return 0;
         }
@@ -819,6 +834,49 @@ impl NtxEngine {
         self.active_cycles = 0;
         self.stall_cycles = 0;
         self.commands_completed = 0;
+    }
+}
+
+/// Applies the accumulator (re-)initialisation of the current init
+/// event: zero, rounded-`f32` load, or full wide-spill restore. Reads
+/// from the operand latch when one is held (the stall-retry paths) and
+/// straight from the TCDM otherwise (the all-granted fast path); both
+/// cost the same TCDM read total per init event.
+fn apply_accu_init(fpu: &mut FpuDatapath, exec: &Execution, tcdm: &mut Tcdm) {
+    match exec.config.accu_init {
+        AccuInit::Zero => fpu.init_accumulator(None),
+        AccuInit::Memory => {
+            let v = match exec.latch_init {
+                Some(v) => v,
+                None => tcdm.read_f32(exec.agus[2].address()),
+            };
+            fpu.init_accumulator(Some(v));
+        }
+        AccuInit::Wide => {
+            let words = match exec.latch_init_wide {
+                Some(w) => w,
+                None => read_spill(tcdm, exec.agus[2].address()),
+            };
+            fpu.init_accumulator_wide(&words);
+        }
+    }
+}
+
+/// Reads one wide-accumulator spill image (a single arbitration event,
+/// [`SPILL_WORDS`] counted TCDM reads).
+fn read_spill(tcdm: &mut Tcdm, base: u32) -> [u32; SPILL_WORDS] {
+    let mut words = [0u32; SPILL_WORDS];
+    for (i, w) in words.iter_mut().enumerate() {
+        *w = tcdm.read_u32(base + 4 * i as u32);
+    }
+    words
+}
+
+/// Writes one wide-accumulator spill image (a single arbitration event,
+/// [`SPILL_WORDS`] counted TCDM writes).
+fn write_spill(tcdm: &mut Tcdm, base: u32, words: &[u32; SPILL_WORDS]) {
+    for (i, &w) in words.iter().enumerate() {
+        tcdm.write_u32(base + 4 * i as u32, w);
     }
 }
 
@@ -1076,6 +1134,17 @@ mod tests {
                 .agu(2, AguConfig::new(0xa00, [0, 0, 4, 0, 0]))
                 .build()
                 .unwrap(),
+            // Wide spill/restore per row (split-K protocol shape).
+            NtxConfig::builder()
+                .command(mac())
+                .loops(LoopNest::nested(&[12, 3]).with_levels(1, 1))
+                .agu(0, AguConfig::stream(0, 4))
+                .agu(1, AguConfig::stream(0x404, 4))
+                .agu(2, AguConfig::new(0x1000, [0, 88, 0, 0, 0]))
+                .accu_init(AccuInit::Wide)
+                .wide_store(true)
+                .build()
+                .unwrap(),
         ];
         let image: Vec<f32> = (0..2048).map(|i| ((i * 13 % 31) as f32) - 15.0).collect();
         let mut ref_tcdm = Tcdm::default();
@@ -1135,6 +1204,61 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn wide_spill_resumes_reductions_bit_exactly() {
+        // An 8-element dot product whose running sum transiently holds
+        // 9e14 + 3 at the pass boundary: any f32 rounding there loses
+        // the small terms, so only the wide-chained split can match the
+        // unsplit oracle (which cancels back down to exactly 6.0).
+        let xs = [3.0e7f32, 1.0, 0.25, 0.5, -3.0e7, 2.0, 0.125, 4.0];
+        let ys = [3.0e7f32, 1.0, 4.0, 2.0, 3.0e7, 0.5, 8.0, 0.25];
+        let mut tcdm = Tcdm::default();
+        tcdm.poke_f32_from(0, &xs);
+        tcdm.poke_f32_from(0x100, &ys);
+        let pass = |lo: u32, init: AccuInit, wide: bool, c_addr: u32| {
+            NtxConfig::builder()
+                .command(mac())
+                .loops(LoopNest::vector(4))
+                .agu(0, AguConfig::stream(16 * lo, 4))
+                .agu(1, AguConfig::stream(0x100 + 16 * lo, 4))
+                .agu(2, AguConfig::fixed(c_addr))
+                .accu_init(init)
+                .wide_store(wide)
+                .build()
+                .unwrap()
+        };
+        // Oracle: the unsplit reduction.
+        let mut engine = NtxEngine::new();
+        engine.offload(
+            &NtxConfig::builder()
+                .command(mac())
+                .loops(LoopNest::vector(8))
+                .agu(0, AguConfig::stream(0, 4))
+                .agu(1, AguConfig::stream(0x100, 4))
+                .agu(2, AguConfig::fixed(0x600))
+                .build()
+                .unwrap(),
+        );
+        run_engine(&mut engine, &mut tcdm, 100);
+        // Split into two passes chained through the wide spill image;
+        // the final pass stores the rounded f32 over the image base.
+        let mut wide = NtxEngine::new();
+        wide.offload(&pass(0, AccuInit::Zero, true, 0x700));
+        run_engine(&mut wide, &mut tcdm, 100);
+        wide.offload(&pass(1, AccuInit::Wide, false, 0x700));
+        run_engine(&mut wide, &mut tcdm, 100);
+        // Split chained through the rounded f32 (read-modify-write).
+        let mut lossy = NtxEngine::new();
+        lossy.offload(&pass(0, AccuInit::Zero, false, 0x780));
+        run_engine(&mut lossy, &mut tcdm, 100);
+        lossy.offload(&pass(1, AccuInit::Memory, false, 0x780));
+        run_engine(&mut lossy, &mut tcdm, 100);
+        let unsplit = tcdm.read_u32(0x600);
+        assert_eq!(f32::from_bits(unsplit), 6.0, "exact sum");
+        assert_eq!(tcdm.read_u32(0x700), unsplit, "wide-chained split differs");
+        assert_ne!(tcdm.read_u32(0x780), unsplit, "f32 chaining must round");
     }
 
     #[test]

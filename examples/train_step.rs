@@ -1,0 +1,107 @@
+//! Train step: a whole network's training step served as one job DAG.
+//!
+//! `ntx_dnn::compile` lowers every compute layer of AlexNet to im2col
+//! GEMMs — forward, backward-by-data, backward-by-weights — linked by
+//! dependency edges that follow the data. This demo submits the whole
+//! step to the continuous server through one [`Session`]: each op is a
+//! `.gemm(..)` job chained with `.after_id(..)` to its predecessors,
+//! and the server admits each op the event its last predecessor
+//! retires — the two backward ops of a layer run concurrently, and
+//! independent branches overlap on the four-cluster farm.
+//!
+//! The same DAG then runs again on the bit-exact native backend
+//! (`.native_exact()`), and the demo checks every op's output against
+//! the simulated bits: with every reduction through the Kulisch
+//! accumulator, backends may change wall-clock, never a bit.
+//!
+//! Full-size ImageNet layers are far too large for a cycle-accurate
+//! run, so dimensions are capped (`TrainingStep::scaled`) while the
+//! DAG shape — the thing being served — stays exactly AlexNet's.
+//!
+//! Run with `cargo run --release --example train_step`.
+
+use ntx::dnn::{compile, networks};
+use ntx::sched::{BackendKind, Server, ServerConfig};
+use std::sync::{Arc, Mutex};
+
+/// Runs the compiled step as one job DAG and returns per-op outputs
+/// plus the completion order.
+fn run_dag(
+    step: &ntx::dnn::TrainingStep,
+    backend: BackendKind,
+) -> (Vec<Vec<f32>>, Vec<usize>, ntx::sched::ServingReport) {
+    let server = Server::start(ServerConfig::with_clusters(4));
+    let session = server.session();
+    let n = step.ops.len();
+    let outputs = Arc::new(Mutex::new(vec![Vec::new(); n]));
+    let order: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut ids = Vec::with_capacity(n);
+    for (i, op) in step.ops.iter().enumerate() {
+        let (a, b) = op.gemm_data(i as u32);
+        let mut job = session.job(&op.name).gemm(op.dims, a, b).backend(backend);
+        for &d in &op.deps {
+            job = job.after_id(ids[d]);
+        }
+        let (outs, ord) = (Arc::clone(&outputs), Arc::clone(&order));
+        let id = job
+            .submit_callback(move |c| {
+                let r = c.result.expect("op completes");
+                outs.lock().unwrap()[i] = r.output;
+                ord.lock().unwrap().push(i);
+            })
+            .expect("server running");
+        ids.push(id);
+    }
+    let report = server.shutdown();
+    let outputs = outputs.lock().unwrap().clone();
+    let order = order.lock().unwrap().clone();
+    (outputs, order, report)
+}
+
+fn main() {
+    let net = networks::alexnet();
+    let step = compile::training_step(&net, 64).scaled(48);
+    println!(
+        "AlexNet training step: {} GEMM ops (fwd/bwd-d/bwd-w), dims capped to 48",
+        step.ops.len()
+    );
+
+    let (sim, order, report) = run_dag(&step, BackendKind::Simulate);
+    println!(
+        "  simulator    : {} jobs, makespan {} cycles, wall {:.0} ms",
+        report.jobs,
+        report.makespan_cycles,
+        report.wall_seconds * 1e3
+    );
+    // The completion order is a topological order of the DAG: every op
+    // retired only after all its predecessors.
+    let mut pos = vec![0usize; step.ops.len()];
+    for (p, &i) in order.iter().enumerate() {
+        pos[i] = p;
+    }
+    let topological = step
+        .ops
+        .iter()
+        .enumerate()
+        .all(|(i, op)| op.deps.iter().all(|&d| pos[d] < pos[i]));
+    println!("  completion order topological: {topological}");
+    assert!(topological);
+
+    let (native, _, nreport) = run_dag(&step, BackendKind::NativeExact);
+    let identical = sim.iter().zip(&native).all(|(s, x)| {
+        s.len() == x.len() && s.iter().zip(x).all(|(a, b)| a.to_bits() == b.to_bits())
+    });
+    println!(
+        "  native-exact : {} jobs, wall {:.0} ms, outputs bit-identical to simulator: {}",
+        nreport.jobs,
+        nreport.wall_seconds * 1e3,
+        identical
+    );
+    assert!(identical);
+
+    // A taste of the DAG: the last layer's two backward ops share the
+    // incoming gradient but not an edge between them — they overlap.
+    for op in step.ops.iter().rev().take(3) {
+        println!("    {:<14} deps {:?}", op.name, op.deps);
+    }
+}
